@@ -1,0 +1,89 @@
+// Experiment E8: reputation-guided screening vs reputation-free baselines at
+// equal checking budget f, across adversary mixes.
+//
+// Comparators (all over the identical seeded workload):
+//   check-all  — validates everything (f = 0 anchor: zero loss, max cost),
+//   uniform    — source drawn uniformly, same 1 - f*Pr coin,
+//   majority   — unweighted vote, -1 majority unchecked w.p. f,
+//   reputation — the paper (Algorithm 2 + 3).
+//
+// Expected shape: reputation's loss approaches check-all's (zero) while its
+// validation count approaches uniform's; uniform and majority pay much more
+// loss at the same f whenever adversaries are present.
+
+#include <cstdio>
+
+#include "baselines/policies.hpp"
+#include "baselines/policy_simulator.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace repchain;
+using baselines::PolicyWorkloadConfig;
+using baselines::SimCollector;
+using repchain::bench::fmt;
+using repchain::bench::Table;
+
+struct Mix {
+  const char* name;
+  std::vector<SimCollector> collectors;
+};
+
+void compare(const Mix& mix, double f) {
+  PolicyWorkloadConfig w;
+  w.transactions = 20000;
+  w.p_valid = 0.6;
+  w.collectors = mix.collectors;
+  w.seed = 2024;
+
+  reputation::ReputationParams params;
+  params.f = f;
+
+  baselines::CheckAllPolicy check_all;
+  baselines::UniformPolicy uniform(f);
+  baselines::MajorityVotePolicy majority(f);
+  baselines::ReputationPolicy reputation(params, mix.collectors.size(), 1);
+
+  Table table({"policy", "validations/tx", "loss", "mistakes", "S_min"});
+  table.print_header();
+  for (baselines::ScreeningPolicy* p :
+       {static_cast<baselines::ScreeningPolicy*>(&check_all),
+        static_cast<baselines::ScreeningPolicy*>(&uniform),
+        static_cast<baselines::ScreeningPolicy*>(&majority),
+        static_cast<baselines::ScreeningPolicy*>(&reputation)}) {
+    const auto r = run_policy(*p, w);
+    table.row({p->name(), fmt(static_cast<double>(r.validations) / r.transactions, 3),
+               fmt(r.loss, 1), std::to_string(r.mistakes), fmt(r.s_min, 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_baselines — E8: reputation vs reputation-free screening\n");
+  const double f = 0.7;
+
+  const Mix mixes[] = {
+      {"all honest (accuracy 1.0)",
+       {{1.0, 0, 0}, {1.0, 0, 0}, {1.0, 0, 0}, {1.0, 0, 0}}},
+      {"one adversary among three honest",
+       {{1.0, 0, 0}, {1.0, 0, 0}, {1.0, 0, 0}, {1.0, 1.0, 0}}},
+      {"adversarial majority (3 of 4 flip)",
+       {{1.0, 0, 0}, {1.0, 1.0, 0}, {1.0, 1.0, 0}, {1.0, 1.0, 0}}},
+      {"noisy crowd (accuracy 0.75), one perfect",
+       {{1.0, 0, 0}, {0.75, 0, 0}, {0.75, 0, 0}, {0.75, 0, 0}}},
+      {"concealers (drop 0.6) plus one adversary",
+       {{1.0, 0, 0.6}, {1.0, 0, 0.6}, {1.0, 0, 0}, {1.0, 1.0, 0}}},
+  };
+
+  for (const auto& mix : mixes) {
+    bench::section(std::string("E8: f = 0.7, mix = ") + mix.name);
+    compare(mix, f);
+  }
+
+  bench::note("\nKey row: under 'adversarial majority', unweighted majority vote\n"
+              "is poisoned while reputation recovers by weighting the single\n"
+              "honest collector up — the overlap structure the paper exploits.");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Crypto substrate microbenchmarks (plumbing cost context for every other
+// experiment): SHA-256/512 throughput, Ed25519 keygen/sign/verify, VRF
+// evaluate/verify, Merkle tree construction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/batch_verify.hpp"
+#include "crypto/keygen.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "crypto/vrf.hpp"
+
+namespace {
+
+using namespace repchain;
+using namespace repchain::crypto;
+
+void bm_sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sha256)->Arg(64)->Arg(1024)->Arg(65536)->Name("sha256/bytes");
+
+void bm_sha512(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sha512)->Arg(64)->Arg(1024)->Arg(65536)->Name("sha512/bytes");
+
+void bm_keygen(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    const SigningKey key(random_seed(rng));
+    benchmark::DoNotOptimize(key.public_key());
+  }
+}
+BENCHMARK(bm_keygen)->Name("ed25519_keygen");
+
+void bm_sign(benchmark::State& state) {
+  Rng rng(4);
+  const SigningKey key(random_seed(rng));
+  const Bytes msg = rng.bytes(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(msg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_sign)->Name("ed25519_sign");
+
+void bm_verify(benchmark::State& state) {
+  Rng rng(5);
+  const SigningKey key(random_seed(rng));
+  const Bytes msg = rng.bytes(128);
+  const Signature sig = key.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify(key.public_key(), msg, sig));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_verify)->Name("ed25519_verify");
+
+void bm_double_scalar(benchmark::State& state) {
+  Rng rng(9);
+  const SigningKey key(random_seed(rng));
+  ByteArray<64> wa{}, wb{};
+  Bytes ra = rng.bytes(64), rb = rng.bytes(64);
+  std::copy(ra.begin(), ra.end(), wa.begin());
+  std::copy(rb.begin(), rb.end(), wb.begin());
+  const Scalar a = sc_from_bytes_wide(wa);
+  const Scalar b = sc_from_bytes_wide(wb);
+  const auto p = point_decompress(key.public_key().bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point_double_scalar_mul(a, *p, b));
+  }
+}
+BENCHMARK(bm_double_scalar)->Name("point_double_scalar_mul(strauss)");
+
+void bm_two_ladders(benchmark::State& state) {
+  Rng rng(10);
+  const SigningKey key(random_seed(rng));
+  ByteArray<64> wa{}, wb{};
+  Bytes ra = rng.bytes(64), rb = rng.bytes(64);
+  std::copy(ra.begin(), ra.end(), wa.begin());
+  std::copy(rb.begin(), rb.end(), wb.begin());
+  const Scalar a = sc_from_bytes_wide(wa);
+  const Scalar b = sc_from_bytes_wide(wb);
+  const auto p = point_decompress(key.public_key().bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point_add(point_scalar_mul(*p, a), point_base_mul(b)));
+  }
+}
+BENCHMARK(bm_two_ladders)->Name("point_two_independent_ladders");
+
+void bm_vrf_evaluate(benchmark::State& state) {
+  Rng rng(6);
+  const SigningKey key(random_seed(rng));
+  const Bytes alpha = rng.bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf_evaluate(key, alpha));
+  }
+}
+BENCHMARK(bm_vrf_evaluate)->Name("vrf_evaluate");
+
+void bm_vrf_verify(benchmark::State& state) {
+  Rng rng(7);
+  const SigningKey key(random_seed(rng));
+  const Bytes alpha = rng.bytes(32);
+  const VrfResult r = vrf_evaluate(key, alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf_verify(key.public_key(), alpha, r.proof));
+  }
+}
+BENCHMARK(bm_vrf_verify)->Name("vrf_verify");
+
+void bm_batch_verify(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<BatchItem> items;
+  for (int i = 0; i < state.range(0); ++i) {
+    const SigningKey key(random_seed(rng));
+    BatchItem item;
+    item.pub = key.public_key();
+    item.message = rng.bytes(64);
+    item.sig = key.sign(item.message);
+    items.push_back(std::move(item));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_batch(items, rng));
+  }
+  // items/sec = amortized per-signature verification throughput.
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_batch_verify)->Arg(4)->Arg(16)->Arg(64)->Name("batch_verify/sigs");
+
+void bm_merkle_build(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(rng.bytes(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree(leaves).root());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_merkle_build)->Arg(16)->Arg(256)->Arg(4096)->Name("merkle_build/leaves");
+
+}  // namespace
+
+BENCHMARK_MAIN();

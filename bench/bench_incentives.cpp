@@ -1,0 +1,131 @@
+// Experiment E6 (§4.2 incentives): a collector's revenue is proportional to
+//   prod_u w_{i,k_u} * mu^misreport * nu^forge,
+// so all three misbehaviour classes — misreporting, concealing, forging —
+// cut into revenue, and honest work maximizes it.
+//
+// We run cohorts of identical collectors differing only in behaviour and
+// print cumulative protocol rewards plus the reputation components under
+// governor 0.
+//
+// Expected shape: honest >> noisy > concealing > misreporting; the forger's
+// revenue collapses fastest (nu^forge with forge << 0).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace repchain;
+using protocol::CollectorBehavior;
+using repchain::bench::fmt;
+using repchain::bench::Table;
+
+void cohorts() {
+  bench::section("E6a: cumulative rewards by behaviour cohort");
+  bench::note("6 collectors: honest, noisy(0.8), misreporting(0.5),\n"
+              "concealing(0.5), forging(0.3), adversarial; 12 providers, r = 4,\n"
+              "20 rounds, audits reveal all unchecked truths.");
+  sim::ScenarioConfig cfg;
+  cfg.topology = {12, 6, 3, 4};
+  cfg.rounds = 20;
+  cfg.txs_per_provider_per_round = 2;
+  cfg.p_valid = 0.7;
+  cfg.governor.rep.f = 0.6;
+  cfg.behaviors = {CollectorBehavior::honest(),          CollectorBehavior::noisy(0.8),
+                   CollectorBehavior::misreporting(0.5), CollectorBehavior::concealing(0.5),
+                   CollectorBehavior::forging(0.3),      CollectorBehavior::adversarial()};
+  cfg.seed = 4242;
+  sim::Scenario s(cfg);
+  s.run();
+
+  const char* names[] = {"honest",     "noisy-0.8", "misreport-0.5",
+                         "conceal-0.5", "forge-0.3", "adversarial"};
+  const auto& g = s.governors().front();
+  Table table({"collector", "reward", "share", "misreport", "forge", "sum log w"});
+  table.print_header();
+  const auto shares = g.revenue_shares();
+  for (std::size_t c = 0; c < 6; ++c) {
+    const CollectorId id(static_cast<std::uint32_t>(c));
+    double share = 0.0;
+    for (const auto& [cid, sh] : shares) {
+      if (cid == id) share = sh;
+    }
+    double sum_log_w = 0.0;
+    for (ProviderId p : s.directory().providers_of(id)) {
+      sum_log_w += g.reputation().log_weight(id, p);
+    }
+    table.row({names[c], fmt(s.collector_rewards()[c], 1), fmt(share, 4),
+               std::to_string(g.reputation().misreport(id)),
+               std::to_string(g.reputation().forge(id)), fmt(sum_log_w, 2)});
+  }
+}
+
+void mu_nu_sweep() {
+  bench::section("E6b ablation: mu, nu steer how hard misreports/forgeries bite");
+  bench::note("Same scenario (honest vs misreporting vs forging), sweeping mu/nu;\n"
+              "reporting the honest collector's revenue share under governor 0.");
+  Table table({"mu", "nu", "honest", "misreporter", "forger"});
+  table.print_header();
+  for (double mu : {1.05, 1.2}) {
+    for (double nu : {1.2, 2.0}) {
+      sim::ScenarioConfig cfg;
+      cfg.topology = {6, 3, 2, 2};
+      cfg.rounds = 12;
+      cfg.txs_per_provider_per_round = 2;
+      cfg.governor.rep.f = 0.6;
+      cfg.governor.rep.mu = mu;
+      cfg.governor.rep.nu = nu;
+      cfg.behaviors = {CollectorBehavior::honest(), CollectorBehavior::misreporting(0.6),
+                       CollectorBehavior::forging(0.4)};
+      cfg.seed = 999;
+      sim::Scenario s(cfg);
+      s.run();
+      const auto shares = s.governors().front().revenue_shares();
+      double sh[3] = {0, 0, 0};
+      for (const auto& [cid, share] : shares) sh[cid.value()] = share;
+      table.row({fmt(mu, 2), fmt(nu, 2), fmt(sh[0], 4), fmt(sh[1], 4), fmt(sh[2], 4)});
+    }
+  }
+  bench::note("\nLarger mu widens the gap against misreporters; larger nu\n"
+              "crushes forgers harder — the paper's mu, nu > 1 requirement.");
+}
+
+void conceal_ablation() {
+  bench::section("E6c ablation: conceal_checked_penalty (Alg. 3 vs §4.2 prose)");
+  bench::note("The paper's prose says concealing a checked tx costs reputation\n"
+              "(less than misreporting); Algorithm 3 only touches reporters.\n"
+              "Sweeping the penalty with a heavy concealer in the cohort.");
+  Table table({"penalty", "honest", "concealer", "misreporter"});
+  table.print_header();
+  for (std::int64_t penalty : {0L, 1L}) {
+    sim::ScenarioConfig cfg;
+    cfg.topology = {6, 3, 2, 2};
+    cfg.rounds = 12;
+    cfg.txs_per_provider_per_round = 2;
+    cfg.governor.rep.f = 0.6;
+    cfg.governor.rep.conceal_checked_penalty = penalty;
+    cfg.behaviors = {CollectorBehavior::honest(), CollectorBehavior::concealing(0.7),
+                     CollectorBehavior::misreporting(0.6)};
+    cfg.seed = 777;
+    sim::Scenario s(cfg);
+    s.run();
+    const auto shares = s.governors().front().revenue_shares();
+    double sh[3] = {0, 0, 0};
+    for (const auto& [cid, share] : shares) sh[cid.value()] = share;
+    table.row({std::to_string(penalty), fmt(sh[0], 4), fmt(sh[1], 4), fmt(sh[2], 4)});
+  }
+  bench::note("\nWith the penalty on, the concealer's share drops further while\n"
+              "remaining above the misreporter's — the ordering the prose asks for.");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_incentives — E6 / §4.2: revenue punishes all misbehaviour\n");
+  cohorts();
+  mu_nu_sweep();
+  conceal_ablation();
+  return 0;
+}

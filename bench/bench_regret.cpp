@@ -1,0 +1,198 @@
+// Experiment E1 (Theorem 1): governor loss L_T vs the best collector's loss
+// S_min in the learning-with-expert-advice game underlying the reputation
+// mechanism. Prints, per (r, T): L_T, S_min, regret, the normalized regret
+// regret/sqrt(T log r), and the paper's explicit bounds.
+//
+// Paper claim: with beta = 1 - 4*sqrt(log r / T),
+//   L_T <= S_min + 16*sqrt(T log r)  = S_min + O(sqrt(T)).
+// Expected shape: the normalized regret column stays bounded (well under 16)
+// as T grows; the bound column always dominates the regret column.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "reputation/params.hpp"
+#include "reputation/rwm.hpp"
+
+namespace {
+
+using namespace repchain;
+using namespace repchain::reputation;
+using repchain::bench::fmt;
+using repchain::bench::Table;
+
+/// Stochastic adversary: expert 0 is near-perfect (err 2%), the rest err at
+/// 30-60%; 10% abstention everywhere.
+void stochastic_advice(std::vector<Advice>& advice, Rng& rng) {
+  const std::size_t r = advice.size();
+  for (std::size_t i = 0; i < r; ++i) {
+    if (rng.bernoulli(0.1)) {
+      advice[i] = Advice::kAbstain;
+      continue;
+    }
+    const double p_err = i == 0 ? 0.02 : 0.3 + 0.3 * static_cast<double>(i) / r;
+    advice[i] = rng.bernoulli(p_err) ? Advice::kWrong : Advice::kCorrect;
+  }
+}
+
+/// Adaptive adversary: the currently heaviest expert errs (worst case for
+/// multiplicative weights).
+void adaptive_advice(std::vector<Advice>& advice, const RwmGame& game) {
+  std::size_t heaviest = 0;
+  for (std::size_t i = 1; i < advice.size(); ++i) {
+    if (game.relative_weight(i) > game.relative_weight(heaviest)) heaviest = i;
+  }
+  for (auto& a : advice) a = Advice::kCorrect;
+  advice[heaviest] = Advice::kWrong;
+}
+
+struct RunResult {
+  double loss;
+  double s_min;
+};
+
+RunResult run(std::size_t r, std::size_t t_max, double beta, bool adaptive,
+              std::uint64_t seed) {
+  RwmGame game(r, beta);
+  Rng rng(seed);
+  std::vector<Advice> advice(r);
+  for (std::size_t t = 0; t < t_max; ++t) {
+    if (adaptive) {
+      adaptive_advice(advice, game);
+    } else {
+      stochastic_advice(advice, rng);
+    }
+    (void)game.step(advice);
+  }
+  return {game.cumulative_loss(), game.min_expert_loss()};
+}
+
+void sweep(bool adaptive) {
+  bench::section(adaptive ? "E1a: adaptive adversary (heaviest expert errs)"
+                          : "E1b: stochastic adversary (one near-perfect collector)");
+  Table table({"r", "T", "beta", "L_T", "S_min", "regret", "reg_norm",
+               "bound_16rt"});
+  table.print_header();
+  for (std::size_t r : {4u, 8u, 16u}) {
+    for (std::size_t t : {100u, 300u, 1000u, 2400u, 4800u}) {
+      const double beta = theorem_optimal_beta(r, t);
+      // Average over seeds for the stochastic case.
+      const int seeds = adaptive ? 1 : 5;
+      double loss = 0.0, s_min = 0.0;
+      for (int s = 0; s < seeds; ++s) {
+        const auto res = run(r, t, beta, adaptive, 1000 + s);
+        loss += res.loss;
+        s_min += res.s_min;
+      }
+      loss /= seeds;
+      s_min /= seeds;
+      const double scale =
+          std::sqrt(static_cast<double>(t) * std::log(static_cast<double>(r)));
+      const double regret = loss - s_min;
+      table.row({std::to_string(r), std::to_string(t), fmt(beta, 3), fmt(loss, 1),
+                 fmt(s_min, 1), fmt(regret, 1), fmt(regret / scale, 3),
+                 fmt(16.0 * scale, 1)});
+    }
+  }
+}
+
+void beta_ablation() {
+  bench::section("E1c ablation: fixed beta = 0.9 vs theorem-optimal beta");
+  bench::note("Paper suggests beta = 0.9 in practice; Theorem 1 tunes "
+              "beta = 1 - 4*sqrt(log r / T). Stochastic adversary, r = 8.");
+  Table table({"T", "regret(0.9)", "regret(opt)", "opt beta"});
+  table.print_header();
+  for (std::size_t t : {100u, 300u, 1000u, 2400u, 4800u}) {
+    double r_fixed = 0.0, r_opt = 0.0;
+    const double beta_opt = theorem_optimal_beta(8, t);
+    for (int s = 0; s < 5; ++s) {
+      const auto fixed = run(8, t, 0.9, false, 2000 + s);
+      const auto opt = run(8, t, beta_opt, false, 2000 + s);
+      r_fixed += fixed.loss - fixed.s_min;
+      r_opt += opt.loss - opt.s_min;
+    }
+    table.row({std::to_string(t), fmt(r_fixed / 5, 1), fmt(r_opt / 5, 1),
+               fmt(beta_opt, 3)});
+  }
+}
+
+void sqrt_scaling() {
+  bench::section("E1d: regret growth is O(sqrt(T)) not O(T)");
+  bench::note("Adaptive adversary (regret strictly positive there; under the\n"
+              "stochastic one the aggregate eventually beats the best expert\n"
+              "and regret goes negative). Quadrupling T: sqrt scaling predicts\n"
+              "ratio ~2, linear would be 4. r = 8.");
+  Table table({"T", "regret", "ratio vs T/4", "regret/sqrt(T)"});
+  table.print_header();
+  double prev = 0.0;
+  for (std::size_t t : {300u, 1200u, 4800u, 19200u}) {
+    const auto res = run(8, t, theorem_optimal_beta(8, t), true, 0);
+    const double regret = res.loss - res.s_min;
+    table.row({std::to_string(t), fmt(regret, 1),
+               prev > 0 ? fmt(regret / prev, 2) : "-",
+               fmt(regret / std::sqrt(static_cast<double>(t)), 3)});
+    prev = regret;
+  }
+  bench::note("\nThe T = 19200 row sits outside Theorem 1's stated domain: for\n"
+              "r = 8 the tuning beta = 1 - 4 sqrt(log r / T) <= 0.9 'holds when\n"
+              "T <= 4800' (paper, end of proof). Beyond it beta saturates at 0.9\n"
+              "and worst-case growth drifts back toward linear — the theorem's\n"
+              "domain restriction is real, not an artifact.");
+}
+
+void drift() {
+  bench::section("E1e extension: non-stationary experts (quality drift)");
+  bench::note("Which collector is 'the good one' changes every 500 rounds; the\n"
+              "multiplicative weights must re-converge. Regret is measured\n"
+              "against the best FIXED expert (the theorem's comparator) and\n"
+              "against the best PER-SEGMENT expert (tracking comparator).");
+  Table table({"T", "L_T", "S_min fixed", "regret", "S_min track", "reg track"});
+  table.print_header();
+  const std::size_t r = 6;
+  for (std::size_t t_max : {1000u, 2000u, 4000u}) {
+    Rng rng(9090);
+    RwmGame game(r, 0.9);
+    std::vector<double> segment_losses;  // best-expert loss per segment
+    std::vector<double> seg_expert(r, 0.0);
+    std::vector<Advice> advice(r);
+    for (std::size_t t = 0; t < t_max; ++t) {
+      const std::size_t good = (t / 500) % r;  // the reliable expert rotates
+      for (std::size_t i = 0; i < r; ++i) {
+        const double p_err = i == good ? 0.02 : 0.45;
+        advice[i] = rng.bernoulli(p_err) ? Advice::kWrong : Advice::kCorrect;
+        if (advice[i] == Advice::kWrong) seg_expert[i] += 2.0;
+      }
+      (void)game.step(advice);
+      if ((t + 1) % 500 == 0 || t + 1 == t_max) {
+        segment_losses.push_back(
+            *std::min_element(seg_expert.begin(), seg_expert.end()));
+        std::fill(seg_expert.begin(), seg_expert.end(), 0.0);
+      }
+    }
+    double s_track = 0.0;
+    for (double l : segment_losses) s_track += l;
+    table.row({std::to_string(t_max), fmt(game.cumulative_loss(), 1),
+               fmt(game.min_expert_loss(), 1), fmt(game.regret(), 1), fmt(s_track, 1),
+               fmt(game.cumulative_loss() - s_track, 1)});
+  }
+  bench::note("\nRegret vs the fixed comparator can go negative (no fixed expert\n"
+              "is good everywhere); the tracking gap grows with each switch —\n"
+              "the known limitation of plain multiplicative weights the paper\n"
+              "inherits (a future-work hook: sleeping-experts variants).");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_regret — E1 / Theorem 1: L_T <= S_min + O(sqrt(T))\n");
+  sweep(/*adaptive=*/false);
+  sweep(/*adaptive=*/true);
+  beta_ablation();
+  sqrt_scaling();
+  drift();
+  return 0;
+}

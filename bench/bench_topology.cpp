@@ -1,0 +1,91 @@
+// Figure 1 (F1): the three-tier hierarchy with overlapping provider-collector
+// links (r*l = s*n). Prints the structural invariants for representative
+// configurations and times directory construction at scale.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace repchain;
+using repchain::bench::Table;
+
+void structure_table() {
+  bench::section("F1: hierarchy structure — r*l = s*n invariant");
+  Table table({"l (providers)", "n (collectors)", "m (governors)", "r", "s",
+               "links", "r*l==s*n"});
+  table.print_header();
+  struct Cfg {
+    std::size_t l, n, m, r;
+  };
+  for (const Cfg c : {Cfg{8, 4, 3, 2}, Cfg{16, 8, 4, 3}, Cfg{100, 20, 5, 4},
+                      Cfg{1000, 100, 7, 10}, Cfg{5000, 250, 9, 5}}) {
+    sim::TopologyConfig t;
+    t.providers = c.l;
+    t.collectors = c.n;
+    t.governors = c.m;
+    t.r = c.r;
+    t.validate();
+
+    protocol::Directory d;
+    for (std::uint32_t i = 0; i < c.l; ++i) d.add_provider(ProviderId(i), NodeId(i));
+    for (std::uint32_t i = 0; i < c.n; ++i) {
+      d.add_collector(CollectorId(i), NodeId(1'000'000 + i));
+    }
+    for (std::uint32_t i = 0; i < c.m; ++i) {
+      d.add_governor(GovernorId(i), NodeId(2'000'000 + i));
+    }
+    build_links(t, d);
+
+    std::size_t links = 0;
+    bool balanced = true;
+    for (std::uint32_t i = 0; i < c.l; ++i) {
+      const auto& cs = d.collectors_of(ProviderId(i));
+      links += cs.size();
+      balanced = balanced && cs.size() == t.r;
+    }
+    for (std::uint32_t i = 0; i < c.n; ++i) {
+      balanced = balanced && d.providers_of(CollectorId(i)).size() == t.s();
+    }
+    table.row({std::to_string(c.l), std::to_string(c.n), std::to_string(c.m),
+               std::to_string(c.r), std::to_string(t.s()), std::to_string(links),
+               balanced ? "yes" : "NO"});
+  }
+}
+
+void bm_build_topology(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  sim::TopologyConfig t;
+  t.providers = l;
+  t.collectors = l / 10;
+  t.governors = 5;
+  t.r = 5;
+  for (auto _ : state) {
+    protocol::Directory d;
+    for (std::uint32_t i = 0; i < t.providers; ++i) {
+      d.add_provider(ProviderId(i), NodeId(i));
+    }
+    for (std::uint32_t i = 0; i < t.collectors; ++i) {
+      d.add_collector(CollectorId(i), NodeId(1'000'000 + i));
+    }
+    build_links(t, d);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_build_topology)->Arg(100)->Arg(1000)->Arg(10000)->Name("build_topology/l");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("bench_topology — Figure 1: the three-tier overlap structure\n");
+  structure_table();
+  bench::section("F1b: directory construction scaling (google-benchmark)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

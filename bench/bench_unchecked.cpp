@@ -1,0 +1,112 @@
+// Experiments E2 (Lemma 2) and E3 (Theorem 3).
+//
+// E2: for every transaction, P[unchecked] <= f. We sweep f through the full
+// protocol (Scenario) and through the policy simulator, printing the
+// measured unchecked fraction next to the bound f.
+//
+// E3: P[more than (f+delta)N transactions unchecked] <= exp(-2 delta^2 N).
+// We estimate the left side over many seeded runs and print it against the
+// Hoeffding bound.
+//
+// Expected shape: measured fraction always <= f (strictly below it when
+// multiple collectors report, because P_checked = 1 - f*sum Pr_i^2); the
+// empirical tail never exceeds the Hoeffding bound.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/policies.hpp"
+#include "baselines/policy_simulator.hpp"
+#include "bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace repchain;
+using repchain::bench::fmt;
+using repchain::bench::Table;
+
+void full_protocol_sweep() {
+  bench::section("E2a: unchecked fraction vs f — full protocol");
+  bench::note("8 providers x 4 collectors x 3 governors, honest collectors,\n"
+              "all-invalid workload (every report is -1, the worst case for\n"
+              "Lemma 2). Fraction measured over governor 0's screening.");
+  Table table({"f", "screened", "unchecked", "fraction", "bound f"});
+  table.print_header();
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    sim::ScenarioConfig cfg;
+    cfg.topology = {8, 4, 3, 2};
+    cfg.rounds = 8;
+    cfg.txs_per_provider_per_round = 4;
+    cfg.p_valid = 0.0;  // every label is -1
+    cfg.governor.rep.f = f;
+    cfg.seed = 77;
+    sim::Scenario s(cfg);
+    s.run();
+    const auto& st = s.governors().front().screening_stats();
+    const double frac = static_cast<double>(st.unchecked) /
+                        static_cast<double>(st.screened);
+    table.row({fmt(f, 1), std::to_string(st.screened), std::to_string(st.unchecked),
+               fmt(frac, 3), fmt(f, 1)});
+  }
+}
+
+void simulator_sweep() {
+  bench::section("E2b: unchecked fraction vs f — policy simulator, mixed workload");
+  bench::note("3 collectors (perfect/noisy-0.7/adversarial), p_valid = 0.5,\n"
+              "N = 20000 transactions per point.");
+  Table table({"f", "unchecked frac", "bound f"});
+  table.print_header();
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    reputation::ReputationParams params;
+    params.f = f;
+    baselines::ReputationPolicy policy(params, 3, 1);
+    baselines::PolicyWorkloadConfig w;
+    w.transactions = 20000;
+    w.p_valid = 0.5;
+    w.collectors = {{1.0, 0.0, 0.0}, {0.7, 0.0, 0.0}, {1.0, 1.0, 0.0}};
+    w.seed = 99;
+    const auto r = run_policy(policy, w);
+    table.row({fmt(f, 1),
+               fmt(static_cast<double>(r.unchecked) / r.transactions, 3), fmt(f, 1)});
+  }
+}
+
+void hoeffding_tail() {
+  bench::section("E3: Hoeffding tail — P[unchecked > (f+delta)N] vs exp(-2 delta^2 N)");
+  bench::note("f = 0.5, single always-invalid reporter (P[unchecked] = f\n"
+              "exactly, the extreme point of Lemma 2); 400 seeded runs per N.");
+  Table table({"N", "delta", "empirical", "hoeffding"});
+  table.print_header();
+  const double f = 0.5;
+  for (std::size_t n : {200u, 800u, 3200u}) {
+    for (double delta : {0.02, 0.05, 0.1}) {
+      int exceed = 0;
+      const int runs = 400;
+      for (int s = 0; s < runs; ++s) {
+        // Bernoulli(f) per transaction: the single-reporter -1 case.
+        Rng rng(10'000 + s);
+        std::size_t unchecked = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+          if (rng.bernoulli(f)) ++unchecked;
+        }
+        if (static_cast<double>(unchecked) > (f + delta) * static_cast<double>(n)) {
+          ++exceed;
+        }
+      }
+      const double empirical = static_cast<double>(exceed) / runs;
+      const double bound = std::exp(-2.0 * delta * delta * static_cast<double>(n));
+      table.row({std::to_string(n), fmt(delta, 2), fmt(empirical, 4), fmt(bound, 4)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_unchecked — E2 (Lemma 2) and E3 (Theorem 3)\n");
+  full_protocol_sweep();
+  simulator_sweep();
+  hoeffding_tail();
+  return 0;
+}

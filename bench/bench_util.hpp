@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared formatting helpers for the experiment benches: fixed-width tables
+// with a header, printed to stdout so `for b in build/bench/*; do $b; done`
+// yields the paper-style rows directly.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace repchain::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size() * static_cast<std::size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace repchain::bench

@@ -1,0 +1,81 @@
+// Use case §5.1 — car-sharing after a platform merger.
+//
+// Mapping (as in the paper):
+//   users (riders)  -> providers: ride requests + payments are transactions;
+//   drivers         -> collectors: label +1 if willing/able to serve, -1
+//                      otherwise, and forward to the schedulers;
+//   schedulers      -> governors: assign rides, maintain the shared ledger
+//                      both merged platforms read, and keep per-driver
+//                      reputation so untruthful drivers stop being trusted.
+//
+// The demo runs two driver pools: platform A's drivers are honest, one of
+// platform B's drivers inflates its acceptance labels (claims rides it never
+// serves — a misreporting collector). The schedulers' reputation mechanism
+// identifies the dishonest driver without auditing every ride.
+
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+
+using namespace repchain;
+using protocol::CollectorBehavior;
+
+int main() {
+  std::printf("Car-sharing alliance: 12 riders, 6 drivers (2 platforms), "
+              "3 schedulers\n\n");
+
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 12;  // riders
+  cfg.topology.collectors = 6;  // drivers
+  cfg.topology.governors = 3;   // schedulers (one per merged company + 1 neutral)
+  cfg.topology.r = 2;           // each rider's request reaches 2 nearby drivers
+  cfg.rounds = 15;
+  cfg.txs_per_provider_per_round = 2;  // ride requests per rider per round
+  cfg.p_valid = 0.75;  // 75% of requests are serviceable (valid)
+  cfg.governor.rep.f = 0.6;  // schedulers verify a subset of contested rides
+  cfg.reward_per_valid_tx = 10.0;  // fare share pool per served ride
+  cfg.seed = 2026;
+
+  // Drivers 0-4 honest (driver 1 is new and misjudges 15% of requests);
+  // driver 5 (platform B) reports dishonestly half the time.
+  cfg.behaviors = {CollectorBehavior::honest(),        CollectorBehavior::noisy(0.85),
+                   CollectorBehavior::honest(),        CollectorBehavior::honest(),
+                   CollectorBehavior::honest(),        CollectorBehavior::misreporting(0.5)};
+
+  sim::Scenario scenario(cfg);
+  scenario.run();
+
+  const auto summary = scenario.summary();
+  std::printf("after %zu dispatch rounds:\n", cfg.rounds);
+  std::printf("  ride requests submitted     : %llu\n",
+              static_cast<unsigned long long>(summary.txs_submitted));
+  std::printf("  rides recorded on the ledger: %llu served, %llu contested-unchecked,"
+              " %llu recovered by rider disputes\n",
+              static_cast<unsigned long long>(summary.chain_valid_txs),
+              static_cast<unsigned long long>(summary.chain_unchecked_txs),
+              static_cast<unsigned long long>(summary.chain_argued_txs));
+  std::printf("  ride audits the schedulers ran: %llu (%.0f%% of the check-everything"
+              " cost)\n\n",
+              static_cast<unsigned long long>(summary.validations_total),
+              100.0 * static_cast<double>(summary.validations_total) /
+                  static_cast<double>(summary.txs_submitted * cfg.topology.governors));
+
+  std::printf("driver standing after the run (scheduler 0's reputation view):\n");
+  const char* roster[] = {"A-1 honest", "A-2 new driver", "A-3 honest",
+                          "A-4 honest", "B-1 honest",     "B-2 DISHONEST"};
+  const auto& sched = scenario.governors().front();
+  const auto shares = sched.revenue_shares();
+  for (const auto& [driver, share] : shares) {
+    std::printf("  driver %-14s fare share %6.2f%%   misreport score %+lld   "
+                "earned %8.2f\n",
+                roster[driver.value()], share * 100.0,
+                static_cast<long long>(sched.reputation().misreport(driver)),
+                scenario.collector_rewards()[driver.value()]);
+  }
+
+  std::printf("\nThe dishonest platform-B driver's reputation (and fare share)\n"
+              "collapses, while the merged platforms never had to build a new\n"
+              "central platform: the shared permissioned ledger holds every\n"
+              "ride, traceably signed by rider and driver.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Use case §5.2 — critical-illness insurance underwriting.
+//
+// Mapping (as in the paper):
+//   potential policyholders -> providers: application materials (medical
+//       history, smoking status, ...) are signed transactions;
+//   independent agents      -> collectors: verify materials, label +1/-1,
+//       fill the survey, sign and submit to the insurers;
+//   insurance companies     -> governors: accept applications, spot-check a
+//       fraction of surveys, and keep per-agent reputation.
+//
+// One agent colludes with applicants (labels bad materials valid to earn
+// commissions); one is lazy and drops half the paperwork. The insurers'
+// spot-checks (misreport counter) plus the argue channel for wrongly
+// rejected applicants expose both, and a signed audit trail survives on the
+// ledger.
+
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+
+using namespace repchain;
+using protocol::CollectorBehavior;
+
+int main() {
+  std::printf("Insurance alliance: 10 applicants/round-pool, 5 independent "
+              "agents, 4 insurers\n\n");
+
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 10;  // policyholders
+  cfg.topology.collectors = 5;  // independent agents
+  cfg.topology.governors = 4;   // insurance companies
+  cfg.topology.r = 2;           // each applicant files through 2 agents
+  cfg.rounds = 15;
+  cfg.txs_per_provider_per_round = 2;  // application documents per round
+  cfg.p_valid = 0.6;  // 40% of applications contain disqualifying records
+  cfg.governor.rep.f = 0.7;  // insurers re-examine only a fraction of rejections
+  cfg.governor.rep.mu = 1.15;  // commission advantage of clean survey history
+  cfg.seed = 11;
+
+  // Agent 3 colludes: flips labels 60% of the time (sells bad applications
+  // as good ones and vice versa). Agent 4 is negligent: loses half the
+  // paperwork.
+  cfg.behaviors = {CollectorBehavior::honest(), CollectorBehavior::honest(),
+                   CollectorBehavior::honest(), CollectorBehavior::misreporting(0.6),
+                   CollectorBehavior::concealing(0.5)};
+
+  sim::Scenario scenario(cfg);
+  scenario.run();
+
+  const auto summary = scenario.summary();
+  std::printf("after %zu underwriting rounds:\n", cfg.rounds);
+  std::printf("  applications filed            : %llu\n",
+              static_cast<unsigned long long>(summary.txs_submitted));
+  std::printf("  accepted on first review      : %llu\n",
+              static_cast<unsigned long long>(summary.chain_valid_txs));
+  std::printf("  provisionally rejected        : %llu (unchecked)\n",
+              static_cast<unsigned long long>(summary.chain_unchecked_txs));
+  std::printf("  recovered via applicant appeal: %llu (the argue channel)\n",
+              static_cast<unsigned long long>(summary.chain_argued_txs));
+  std::printf("  document audits performed     : %llu\n\n",
+              static_cast<unsigned long long>(summary.validations_total));
+
+  const char* roster[] = {"agent-1 (honest)", "agent-2 (honest)", "agent-3 (honest)",
+                          "agent-4 COLLUDING", "agent-5 NEGLIGENT"};
+  std::printf("agent standing (insurer 0's local reputation):\n");
+  const auto& insurer = scenario.governors().front();
+  for (const auto& [agent, share] : insurer.revenue_shares()) {
+    double sum_log_w = 0.0;
+    for (ProviderId p : scenario.directory().providers_of(agent)) {
+      sum_log_w += insurer.reputation().log_weight(agent, p);
+    }
+    std::printf("  %-18s commission share %6.2f%%  survey score %+lld  "
+                "trust(log w) %7.2f\n",
+                roster[agent.value()], share * 100.0,
+                static_cast<long long>(insurer.reputation().misreport(agent)),
+                sum_log_w);
+  }
+
+  std::printf("\nagreement across all %zu insurers: %s — every accepted policy,\n"
+              "rejection and appeal is on one tamper-proof ledger, signed by the\n"
+              "applicant (no deniable evidence) and by the agent (no deniable\n"
+              "survey), exactly the paper's accountability story.\n",
+              scenario.governors().size(), summary.agreement ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Private payloads: sealing transaction contents so collectors route and
+// label without reading business data, while governors (who hold the
+// alliance payload key from the Identity Manager at enrollment) can decrypt
+// what lands on the chain.
+//
+// The paper's related work (§2.3) flags privacy as a live concern for
+// reputation systems; this demo shows the ChaCha20-Poly1305 extension
+// composing with the protocol: the ledger stores ciphertext, the hierarchy
+// is unchanged, and only key holders recover plaintext.
+
+#include <cstdio>
+
+#include "crypto/chacha20poly1305.hpp"
+#include "crypto/hmac.hpp"
+#include "sim/scenario.hpp"
+
+using namespace repchain;
+
+namespace {
+
+/// Deterministic per-transaction nonce: provider id + sequence (never reused
+/// under one key as long as providers number their transactions, which the
+/// protocol already requires).
+crypto::AeadNonce tx_nonce(ProviderId provider, std::uint64_t seq) {
+  crypto::AeadNonce n{};
+  for (int i = 0; i < 4; ++i) {
+    n.bytes[i] = static_cast<std::uint8_t>(provider.value() >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    n.bytes[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Private payloads: sealed ride requests on the shared ledger\n\n");
+
+  // The alliance payload key, distributed by the IM to providers and
+  // governors at enrollment (derived from an enrollment master secret).
+  const auto master = to_bytes("alliance-enrollment-master-secret");
+  const crypto::Hash256 derived =
+      crypto::derive_key(master, to_bytes("payload-sealing-v1"));
+  crypto::AeadKey key;
+  std::copy(derived.begin(), derived.end(), key.bytes.begin());
+
+  sim::ScenarioConfig cfg;
+  cfg.topology = {4, 2, 2, 2};
+  cfg.rounds = 0;  // we drive rounds manually after seeding sealed txs
+  cfg.txs_per_provider_per_round = 0;
+  cfg.p_valid = 1.0;
+  cfg.seed = 77;
+  sim::Scenario scenario(cfg);
+
+  // Each provider seals a confidential request and submits the ciphertext as
+  // the transaction payload.
+  const char* requests[] = {"ride: home -> airport, fare 42",
+                            "ride: office -> clinic, fare 13",
+                            "ride: hotel -> venue, fare 7",
+                            "ride: depot -> port, fare 99"};
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    auto& provider = scenario.providers()[p];
+    const Bytes plaintext = to_bytes(requests[p]);
+    const Bytes aad = to_bytes("provider-" + std::to_string(p));
+    const Bytes sealed =
+        crypto::aead_seal(key, tx_nonce(provider.id(), 0), plaintext, aad);
+    (void)provider.submit(sealed, /*truly_valid=*/true);
+  }
+  scenario.queue().run();
+  scenario.run_round();
+
+  const auto& chain = scenario.governors().front().chain();
+  std::printf("chain height %zu; inspecting block #1:\n\n", chain.height());
+
+  for (const auto& rec : chain.head().txs) {
+    const Bytes aad = to_bytes("provider-" + std::to_string(rec.tx.provider.value()));
+    std::printf("  tx from provider %u\n", rec.tx.provider.value());
+    std::printf("    on-ledger payload (what a collector saw): %s...\n",
+                to_hex(BytesView(rec.tx.payload.data(),
+                                 std::min<std::size_t>(16, rec.tx.payload.size())))
+                    .c_str());
+    const auto opened =
+        crypto::aead_open(key, tx_nonce(rec.tx.provider, rec.tx.seq), rec.tx.payload,
+                          aad);
+    std::printf("    governor decrypts: %s\n",
+                opened ? to_string(*opened).c_str() : "<authentication failed>");
+
+    // A party without the key (or with a tampered copy) gets nothing.
+    crypto::AeadKey wrong = key;
+    wrong.bytes[0] ^= 1;
+    const auto denied = crypto::aead_open(
+        wrong, tx_nonce(rec.tx.provider, rec.tx.seq), rec.tx.payload, aad);
+    std::printf("    outsider with wrong key: %s\n\n",
+                denied ? "DECRYPTED (bug!)" : "rejected (tag mismatch)");
+  }
+
+  std::printf("Labels, signatures, screening and reputation all operated on the\n"
+              "ciphertext: the hierarchy never needed the plaintext to do its job,\n"
+              "and the tamper-evident ledger now carries confidential payloads.\n");
+  return 0;
+}

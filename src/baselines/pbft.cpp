@@ -1,0 +1,180 @@
+#include "baselines/pbft.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace repchain::baselines {
+
+Bytes PbftMsg::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-pbft-v1");
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(view);
+  w.u64(sequence);
+  w.raw(repchain::view(digest));
+  w.bytes(payload);
+  w.u32(replica);
+  return std::move(w).take();
+}
+
+Bytes PbftMsg::encode() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(view);
+  w.u64(sequence);
+  w.raw(repchain::view(digest));
+  w.bytes(payload);
+  w.u32(replica);
+  w.raw(repchain::view(sig.bytes));
+  return std::move(w).take();
+}
+
+PbftMsg PbftMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  PbftMsg m;
+  const auto phase_raw = r.u8();
+  if (phase_raw < 1 || phase_raw > 3) throw DecodeError("bad pbft phase");
+  m.phase = static_cast<PbftPhase>(phase_raw);
+  m.view = r.u64();
+  m.sequence = r.u64();
+  m.digest = r.raw_array<32>();
+  m.payload = r.bytes();
+  m.replica = r.u32();
+  m.sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return m;
+}
+
+PbftReplica::PbftReplica(std::uint32_t id, NodeId node, crypto::SigningKey key,
+                         net::SimNetwork& net, const identity::IdentityManager& im,
+                         std::vector<NodeId> replica_nodes)
+    : id_(id),
+      node_(node),
+      key_(std::move(key)),
+      net_(net),
+      im_(im),
+      replica_nodes_(std::move(replica_nodes)) {
+  if (replica_nodes_.empty()) throw ConfigError("pbft needs at least one replica");
+}
+
+void PbftReplica::broadcast(const PbftMsg& msg) {
+  const Bytes enc = msg.encode();
+  for (NodeId dest : replica_nodes_) {
+    net_.send(node_, dest, net::MsgKind::kTest, enc);
+  }
+}
+
+void PbftReplica::send_phase(PbftPhase phase, std::uint64_t sequence,
+                             const crypto::Hash256& digest, const Bytes& payload) {
+  PbftMsg msg;
+  msg.phase = phase;
+  msg.view = view_;
+  msg.sequence = sequence;
+  msg.digest = digest;
+  msg.payload = payload;
+  msg.replica = id_;
+  msg.sig = key_.sign(msg.signed_preimage());
+  broadcast(msg);
+}
+
+void PbftReplica::propose(const Bytes& payload) {
+  if (!is_primary()) throw ProtocolError("only the primary proposes");
+  const auto digest = crypto::Sha256::hash(payload);
+  send_phase(PbftPhase::kPrePrepare, next_sequence_++, digest, payload);
+}
+
+void PbftReplica::propose_equivocating(const Bytes& payload_a, const Bytes& payload_b) {
+  if (!is_primary()) throw ProtocolError("only the primary proposes");
+  const std::uint64_t seq = next_sequence_++;
+  for (std::size_t i = 0; i < replica_nodes_.size(); ++i) {
+    const Bytes& payload = (i % 2 == 0) ? payload_a : payload_b;
+    PbftMsg msg;
+    msg.phase = PbftPhase::kPrePrepare;
+    msg.view = view_;
+    msg.sequence = seq;
+    msg.digest = crypto::Sha256::hash(payload);
+    msg.payload = payload;
+    msg.replica = id_;
+    msg.sig = key_.sign(msg.signed_preimage());
+    net_.send(node_, replica_nodes_[i], net::MsgKind::kTest, msg.encode());
+  }
+}
+
+void PbftReplica::on_message(const net::Message& raw) {
+  PbftMsg msg;
+  try {
+    msg = PbftMsg::decode(raw.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (msg.view != view_) return;
+  if (msg.replica >= replicas()) return;
+  // Authenticate against the sender's enrolled key.
+  const NodeId sender = replica_nodes_[msg.replica];
+  if (!im_.authenticate(sender, msg.signed_preimage(), msg.sig)) return;
+
+  SlotState& slot = slots_[msg.sequence];
+  switch (msg.phase) {
+    case PbftPhase::kPrePrepare: {
+      // Must come from the view's primary; accept the first pre-prepare for
+      // a sequence, ignore conflicting ones (equivocation cannot make two
+      // honest replicas prepare different digests *and* both reach quorum).
+      if (msg.replica != view_ % replicas()) return;
+      if (crypto::Sha256::hash(msg.payload) != msg.digest) return;
+      if (slot.digest.has_value()) return;
+      slot.digest = msg.digest;
+      slot.payload = msg.payload;
+      break;
+    }
+    case PbftPhase::kPrepare: {
+      if (slot.digest.has_value() && msg.digest != *slot.digest) return;
+      slot.prepares.insert(msg.replica);
+      break;
+    }
+    case PbftPhase::kCommit: {
+      if (slot.digest.has_value() && msg.digest != *slot.digest) return;
+      slot.commits.insert(msg.replica);
+      break;
+    }
+  }
+  try_advance(msg.sequence);
+}
+
+void PbftReplica::try_advance(std::uint64_t sequence) {
+  SlotState& slot = slots_[sequence];
+  if (!slot.digest.has_value()) return;
+
+  // Phase 2: after accepting a pre-prepare, broadcast a prepare (own
+  // prepare counts toward the quorum via the loopback copy).
+  if (!slot.sent_prepare) {
+    slot.sent_prepare = true;
+    send_phase(PbftPhase::kPrepare, sequence, *slot.digest);
+  }
+
+  // Prepared: 2f+1 matching prepares (incl. own).
+  if (!slot.prepared && slot.prepares.size() >= quorum()) {
+    slot.prepared = true;
+    if (!slot.sent_commit) {
+      slot.sent_commit = true;
+      send_phase(PbftPhase::kCommit, sequence, *slot.digest);
+    }
+  }
+
+  // Committed: 2f+1 matching commits after prepared.
+  if (slot.prepared && !slot.committed && slot.commits.size() >= quorum()) {
+    slot.committed = true;
+    deliver_ready();
+  }
+}
+
+void PbftReplica::deliver_ready() {
+  for (;;) {
+    const auto it = slots_.find(next_deliver_);
+    if (it == slots_.end() || !it->second.committed) return;
+    delivered_.push_back(it->second.payload);
+    ++next_deliver_;
+  }
+}
+
+}  // namespace repchain::baselines

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/sha256.hpp"
+#include "identity/identity_manager.hpp"
+#include "net/network.hpp"
+
+namespace repchain::baselines {
+
+/// Message kinds for the PBFT baseline (kept out of the protocol's enum —
+/// this is a comparator, not part of RepChain).
+enum class PbftPhase : std::uint8_t {
+  kPrePrepare = 1,
+  kPrepare = 2,
+  kCommit = 3,
+};
+
+/// One signed PBFT message: (phase, view, sequence, payload digest), plus
+/// the full payload on pre-prepare.
+struct PbftMsg {
+  PbftPhase phase = PbftPhase::kPrePrepare;
+  std::uint64_t view = 0;
+  std::uint64_t sequence = 0;
+  crypto::Hash256 digest{};
+  Bytes payload;  // only on pre-prepare
+  std::uint32_t replica = 0;
+  crypto::Signature sig;
+
+  [[nodiscard]] Bytes signed_preimage() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static PbftMsg decode(BytesView data);
+};
+
+/// Classic three-phase PBFT agreement (pre-prepare / prepare / commit with
+/// 2f+1 quorums, f = floor((m-1)/3)), fixed view (no view change — the
+/// comparison is about steady-state message complexity, which is what the
+/// paper's §4.1 discusses). Implemented as the BFT baseline the paper's
+/// related work (§2.2) positions the protocol against: RepChain's
+/// leader-trusting block dissemination costs O(m) messages per block where
+/// PBFT costs O(m^2).
+///
+/// Byzantine behaviours covered by tests: silent replicas (up to f), and an
+/// equivocating primary (conflicting pre-prepares) — safety holds (no two
+/// honest replicas deliver different payloads for one sequence), liveness
+/// for that sequence is lost, as expected without view change.
+class PbftReplica {
+ public:
+  PbftReplica(std::uint32_t id, NodeId node, crypto::SigningKey key,
+              net::SimNetwork& net, const identity::IdentityManager& im,
+              std::vector<NodeId> replica_nodes);
+
+  PbftReplica(const PbftReplica&) = delete;
+  PbftReplica& operator=(const PbftReplica&) = delete;
+
+  /// Primary (replica id == view % m) proposes a payload for the next
+  /// sequence number.
+  void propose(const Bytes& payload);
+
+  /// Test hook: an equivocating primary sends pre-prepares with different
+  /// payloads to different replicas.
+  void propose_equivocating(const Bytes& payload_a, const Bytes& payload_b);
+
+  void on_message(const net::Message& msg);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] bool is_primary() const { return view_ % replicas() == id_; }
+  [[nodiscard]] std::size_t replicas() const { return replica_nodes_.size(); }
+  [[nodiscard]] std::size_t max_faulty() const { return (replicas() - 1) / 3; }
+  [[nodiscard]] std::size_t quorum() const { return 2 * max_faulty() + 1; }
+
+  /// Payloads delivered in sequence order.
+  [[nodiscard]] const std::vector<Bytes>& delivered() const { return delivered_; }
+
+ private:
+  struct SlotState {
+    std::optional<crypto::Hash256> digest;  // from the accepted pre-prepare
+    Bytes payload;
+    std::set<std::uint32_t> prepares;  // replicas whose prepare we verified
+    std::set<std::uint32_t> commits;
+    bool prepared = false;
+    bool committed = false;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+  };
+
+  void broadcast(const PbftMsg& msg);
+  void send_phase(PbftPhase phase, std::uint64_t sequence,
+                  const crypto::Hash256& digest, const Bytes& payload = {});
+  void try_advance(std::uint64_t sequence);
+  void deliver_ready();
+
+  std::uint32_t id_;
+  NodeId node_;
+  crypto::SigningKey key_;
+  net::SimNetwork& net_;
+  const identity::IdentityManager& im_;
+  std::vector<NodeId> replica_nodes_;
+
+  std::uint64_t view_ = 0;
+  std::uint64_t next_sequence_ = 1;  // primary's proposal counter
+  std::map<std::uint64_t, SlotState> slots_;
+  std::uint64_t next_deliver_ = 1;
+  std::vector<Bytes> delivered_;
+};
+
+}  // namespace repchain::baselines

@@ -1,0 +1,95 @@
+#include "baselines/policies.hpp"
+
+namespace repchain::baselines {
+
+using ledger::Label;
+
+ReputationPolicy::ReputationPolicy(reputation::ReputationParams params,
+                                   std::size_t collectors, std::size_t providers)
+    : table_(params) {
+  for (std::uint32_t c = 0; c < collectors; ++c) {
+    for (std::uint32_t p = 0; p < providers; ++p) {
+      table_.link(CollectorId(c), ProviderId(p));
+    }
+  }
+}
+
+PolicyDecision ReputationPolicy::decide(ProviderId provider,
+                                        std::span<const reputation::Report> reports,
+                                        Rng& rng) {
+  const reputation::Selection sel = table_.select_reporter(provider, reports, rng);
+  PolicyDecision d;
+  d.chosen_label = sel.label;
+  if (sel.label == Label::kValid) {
+    d.check = true;
+  } else {
+    d.check = rng.bernoulli(1.0 - table_.params().f * sel.pr_chosen);
+  }
+  return d;
+}
+
+void ReputationPolicy::on_truth(ProviderId provider,
+                                std::span<const reputation::Report> reports,
+                                bool tx_valid, bool was_checked) {
+  if (was_checked) {
+    table_.update_checked(provider, reports, tx_valid);
+  } else {
+    (void)table_.update_revealed(provider, reports, tx_valid);
+  }
+}
+
+PolicyDecision CheckAllPolicy::decide(ProviderId,
+                                      std::span<const reputation::Report> reports,
+                                      Rng&) {
+  PolicyDecision d;
+  d.check = true;
+  d.chosen_label = reports.empty() ? Label::kInvalid : reports.front().label;
+  return d;
+}
+
+UniformPolicy::UniformPolicy(double f) : f_(f) {}
+
+PolicyDecision UniformPolicy::decide(ProviderId,
+                                     std::span<const reputation::Report> reports,
+                                     Rng& rng) {
+  PolicyDecision d;
+  if (reports.empty()) {
+    d.check = true;
+    d.chosen_label = Label::kInvalid;
+    return d;
+  }
+  const std::size_t idx = rng.uniform(reports.size());
+  d.chosen_label = reports[idx].label;
+  if (d.chosen_label == Label::kValid) {
+    d.check = true;
+  } else {
+    const double pr = 1.0 / static_cast<double>(reports.size());
+    d.check = rng.bernoulli(1.0 - f_ * pr);
+  }
+  return d;
+}
+
+MajorityVotePolicy::MajorityVotePolicy(double f) : f_(f) {}
+
+PolicyDecision MajorityVotePolicy::decide(ProviderId,
+                                          std::span<const reputation::Report> reports,
+                                          Rng& rng) {
+  int balance = 0;
+  for (const auto& r : reports) {
+    balance += (r.label == Label::kValid) ? 1 : -1;
+  }
+  PolicyDecision d;
+  if (balance > 0) {
+    d.chosen_label = Label::kValid;
+    d.check = true;
+  } else if (balance == 0) {
+    d.chosen_label = Label::kValid;
+    d.check = true;  // ties are resolved by validating
+  } else {
+    d.chosen_label = Label::kInvalid;
+    d.check = rng.bernoulli(1.0 - f_);
+  }
+  return d;
+}
+
+}  // namespace repchain::baselines

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "reputation/reputation_table.hpp"
+
+namespace repchain::baselines {
+
+/// What a screening policy decided for one transaction.
+struct PolicyDecision {
+  bool check = false;                 // run validate(tx)?
+  ledger::Label chosen_label = ledger::Label::kValid;  // the adopted label
+};
+
+/// Abstract screening policy: given the reports on one transaction, decide
+/// whether to validate it and which label to adopt if not. The paper's
+/// reputation-guided screening and the comparison baselines (E8) all
+/// implement this interface, so the same workload drives every comparator.
+class ScreeningPolicy {
+ public:
+  virtual ~ScreeningPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual PolicyDecision decide(ProviderId provider,
+                                std::span<const reputation::Report> reports,
+                                Rng& rng) = 0;
+
+  /// Feedback when a transaction's truth becomes known (checked immediately,
+  /// or revealed later for unchecked ones). Learning policies update here.
+  virtual void on_truth(ProviderId provider,
+                        std::span<const reputation::Report> reports, bool tx_valid,
+                        bool was_checked) {
+    (void)provider;
+    (void)reports;
+    (void)tx_valid;
+    (void)was_checked;
+  }
+};
+
+/// The paper's policy: reputation-weighted source selection with the
+/// 1 - f*Pr check coin (Algorithm 2) and multiplicative updates
+/// (Algorithm 3).
+class ReputationPolicy final : public ScreeningPolicy {
+ public:
+  ReputationPolicy(reputation::ReputationParams params, std::size_t collectors,
+                   std::size_t providers);
+
+  [[nodiscard]] std::string name() const override { return "reputation"; }
+  PolicyDecision decide(ProviderId provider,
+                        std::span<const reputation::Report> reports, Rng& rng) override;
+  void on_truth(ProviderId provider, std::span<const reputation::Report> reports,
+                bool tx_valid, bool was_checked) override;
+
+  [[nodiscard]] const reputation::ReputationTable& table() const { return table_; }
+
+ private:
+  reputation::ReputationTable table_;
+};
+
+/// Baseline: validate every transaction (f -> 0). Zero governor mistakes,
+/// maximum validation cost.
+class CheckAllPolicy final : public ScreeningPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "check-all"; }
+  PolicyDecision decide(ProviderId, std::span<const reputation::Report> reports,
+                        Rng&) override;
+};
+
+/// Baseline: reputation-free screening — pick a reporter uniformly at
+/// random, then apply the same 1 - f*Pr coin with Pr = 1/x. Isolates the
+/// value of reputation weighting at equal checking budget.
+class UniformPolicy final : public ScreeningPolicy {
+ public:
+  explicit UniformPolicy(double f);
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+  PolicyDecision decide(ProviderId, std::span<const reputation::Report> reports,
+                        Rng& rng) override;
+
+ private:
+  double f_;
+};
+
+/// Baseline: unweighted majority vote over the reports; a -1 majority is
+/// left unchecked with probability f (ties are validated).
+class MajorityVotePolicy final : public ScreeningPolicy {
+ public:
+  explicit MajorityVotePolicy(double f);
+  [[nodiscard]] std::string name() const override { return "majority"; }
+  PolicyDecision decide(ProviderId, std::span<const reputation::Report> reports,
+                        Rng& rng) override;
+
+ private:
+  double f_;
+};
+
+}  // namespace repchain::baselines

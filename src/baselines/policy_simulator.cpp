@@ -1,0 +1,99 @@
+#include "baselines/policy_simulator.hpp"
+
+#include <deque>
+
+#include "common/errors.hpp"
+
+namespace repchain::baselines {
+
+using ledger::Label;
+
+PolicyRunResult run_policy(ScreeningPolicy& policy, const PolicyWorkloadConfig& config) {
+  if (config.collectors.empty()) {
+    throw ConfigError("policy simulator needs at least one collector");
+  }
+  if (config.providers == 0) {
+    throw ConfigError("policy simulator needs at least one provider");
+  }
+
+  Rng truth_rng(config.seed);            // shared across policies
+  Rng advice_rng = truth_rng.derive(1);  // shared across policies
+  Rng policy_rng = truth_rng.derive(2);  // policy's own coin flips
+
+  PolicyRunResult result;
+  result.transactions = config.transactions;
+  std::vector<double> collector_loss(config.collectors.size(), 0.0);
+
+  struct PendingReveal {
+    ProviderId provider;
+    std::vector<reputation::Report> reports;
+    bool truth;
+    std::size_t due;  // transaction index at which the truth surfaces
+  };
+  std::deque<PendingReveal> pending;
+
+  for (std::size_t t = 0; t < config.transactions; ++t) {
+    const ProviderId provider(static_cast<std::uint32_t>(t % config.providers));
+    const bool truth = truth_rng.bernoulli(config.p_valid);
+
+    // Generate the report pattern (identical for every policy at this seed).
+    std::vector<reputation::Report> reports;
+    std::vector<bool> reported(config.collectors.size(), false);
+    for (std::size_t c = 0; c < config.collectors.size(); ++c) {
+      const SimCollector& col = config.collectors[c];
+      if (advice_rng.bernoulli(col.drop)) continue;
+      bool observed = advice_rng.bernoulli(col.accuracy) ? truth : !truth;
+      if (advice_rng.bernoulli(col.flip)) observed = !observed;
+      reports.push_back(reputation::Report{CollectorId(static_cast<std::uint32_t>(c)),
+                                           observed ? Label::kValid : Label::kInvalid});
+      reported[c] = true;
+    }
+    if (reports.empty()) {
+      // Nobody reported: nothing reaches the governor; skip.
+      continue;
+    }
+
+    const PolicyDecision decision = policy.decide(provider, reports, policy_rng);
+    if (decision.check) {
+      ++result.validations;
+      policy.on_truth(provider, reports, truth, /*was_checked=*/true);
+    } else {
+      ++result.unchecked;
+      // Unchecked transactions are recorded invalid; truth==valid is the
+      // paper's loss-2 mistake.
+      if (truth) {
+        result.loss += 2.0;
+        ++result.mistakes;
+      }
+      // Per-collector loss on this unchecked transaction (S_min tracking).
+      const Label correct = truth ? Label::kValid : Label::kInvalid;
+      for (std::size_t c = 0; c < config.collectors.size(); ++c) {
+        if (!reported[c]) {
+          collector_loss[c] += 1.0;
+        }
+      }
+      for (const auto& rep : reports) {
+        if (rep.label != correct) collector_loss[rep.collector.value()] += 2.0;
+      }
+      pending.push_back(PendingReveal{provider, reports, truth, t + config.reveal_lag});
+    }
+
+    // Reveal due truths (argue/audit feedback to learning policies).
+    while (!pending.empty() && pending.front().due <= t) {
+      const PendingReveal& r = pending.front();
+      policy.on_truth(r.provider, r.reports, r.truth, /*was_checked=*/false);
+      pending.pop_front();
+    }
+  }
+  // Flush outstanding reveals at the end of the run.
+  for (const auto& r : pending) {
+    policy.on_truth(r.provider, r.reports, r.truth, false);
+  }
+
+  result.s_min = collector_loss.empty()
+                     ? 0.0
+                     : *std::min_element(collector_loss.begin(), collector_loss.end());
+  return result;
+}
+
+}  // namespace repchain::baselines

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/policies.hpp"
+#include "common/rng.hpp"
+
+namespace repchain::baselines {
+
+/// Behaviour of one synthetic collector in the policy simulator: with
+/// probability `drop` it files no report; otherwise its label is correct
+/// with probability `accuracy` and inverted with probability `flip`.
+struct SimCollector {
+  double accuracy = 1.0;
+  double flip = 0.0;
+  double drop = 0.0;
+};
+
+/// Workload for a policy head-to-head: T transactions from a set of
+/// providers observed by the same collector cohort.
+struct PolicyWorkloadConfig {
+  std::size_t transactions = 1000;
+  std::size_t providers = 1;
+  double p_valid = 0.7;
+  std::vector<SimCollector> collectors;
+  /// Truths of unchecked transactions are revealed to the policy after this
+  /// many further transactions (0 = immediately) — the argue/audit latency.
+  std::size_t reveal_lag = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome counters per policy run.
+struct PolicyRunResult {
+  std::uint64_t transactions = 0;
+  std::uint64_t validations = 0;
+  std::uint64_t unchecked = 0;
+  /// Paper loss: 2 per unchecked transaction whose truth was valid.
+  double loss = 0.0;
+  /// Wrongly discarded never happens (checked => exact), so mistakes ==
+  /// loss/2.
+  std::uint64_t mistakes = 0;
+  /// Best single collector's accumulated loss over the unchecked
+  /// transactions (2 per wrong label, 1 per missing report) — the theorem's
+  /// S_min comparator.
+  double s_min = 0.0;
+};
+
+/// Drives one policy over a synthetic report stream. The same
+/// (config, seed) generates the same transaction truths and report patterns
+/// for every policy, so comparisons isolate the screening rule itself (E7,
+/// E8).
+[[nodiscard]] PolicyRunResult run_policy(ScreeningPolicy& policy,
+                                         const PolicyWorkloadConfig& config);
+
+}  // namespace repchain::baselines

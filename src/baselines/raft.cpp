@@ -1,0 +1,287 @@
+#include "baselines/raft.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::baselines {
+
+Bytes RaftMsg::encode() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(term);
+  w.u32(from);
+  w.u64(last_log_index);
+  w.u64(last_log_term);
+  w.boolean(granted);
+  w.u64(prev_log_index);
+  w.u64(prev_log_term);
+  w.u64(leader_commit);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.u64(e.term);
+    w.bytes(e.payload);
+  }
+  w.u64(match_index);
+  return std::move(w).take();
+}
+
+RaftMsg RaftMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  RaftMsg m;
+  const auto type_raw = r.u8();
+  if (type_raw < 1 || type_raw > 4) throw DecodeError("bad raft message type");
+  m.type = static_cast<RaftMsgType>(type_raw);
+  m.term = r.u64();
+  m.from = r.u32();
+  m.last_log_index = r.u64();
+  m.last_log_term = r.u64();
+  m.granted = r.boolean();
+  m.prev_log_index = r.u64();
+  m.prev_log_term = r.u64();
+  m.leader_commit = r.u64();
+  const auto n = r.u32();
+  r.expect_count(n, 8 + 4);
+  m.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RaftLogEntry e;
+    e.term = r.u64();
+    e.payload = r.bytes();
+    m.entries.push_back(std::move(e));
+  }
+  m.match_index = r.u64();
+  r.expect_done();
+  return m;
+}
+
+RaftNode::RaftNode(std::uint32_t id, NodeId node, net::SimNetwork& net,
+                   std::vector<NodeId> peers, Rng rng)
+    : id_(id), node_(node), net_(net), peers_(std::move(peers)), rng_(rng) {
+  if (peers_.empty()) throw ConfigError("raft cluster needs at least one node");
+}
+
+void RaftNode::start() { reset_election_timer(); }
+
+std::vector<Bytes> RaftNode::committed() const {
+  std::vector<Bytes> out;
+  out.reserve(commit_index_);
+  for (std::uint64_t i = 0; i < commit_index_; ++i) out.push_back(log_[i].payload);
+  return out;
+}
+
+void RaftNode::send(std::uint32_t peer, const RaftMsg& msg) {
+  net_.send(node_, peers_[peer], net::MsgKind::kTest, msg.encode());
+}
+
+void RaftNode::reset_election_timer() {
+  const std::uint64_t epoch = ++election_epoch_;
+  const SimDuration timeout = kElectionMin + rng_.uniform(kElectionJitter + 1);
+  net_.queue().schedule_after(timeout, [this, epoch] {
+    if (epoch != election_epoch_) return;  // timer was reset since
+    if (role_ != Role::kLeader) become_candidate();
+  });
+}
+
+void RaftNode::schedule_heartbeat() {
+  const std::uint64_t epoch = ++heartbeat_epoch_;
+  net_.queue().schedule_after(kHeartbeat, [this, epoch] {
+    if (epoch != heartbeat_epoch_ || role_ != Role::kLeader) return;
+    broadcast_append();
+    schedule_heartbeat();
+  });
+}
+
+void RaftNode::become_follower(std::uint64_t term) {
+  role_ = Role::kFollower;
+  term_ = term;
+  voted_for_.reset();
+  votes_.clear();
+  reset_election_timer();
+}
+
+void RaftNode::become_candidate() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id_;
+  votes_ = {id_};
+  reset_election_timer();
+
+  RaftMsg msg;
+  msg.type = RaftMsgType::kRequestVote;
+  msg.term = term_;
+  msg.from = id_;
+  msg.last_log_index = last_log_index();
+  msg.last_log_term = last_log_term();
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    if (p != id_) send(p, msg);
+  }
+  // Single-node cluster: immediate leadership.
+  if (votes_.size() * 2 > peers_.size()) become_leader();
+}
+
+void RaftNode::become_leader() {
+  role_ = Role::kLeader;
+  match_index_.clear();
+  next_index_.clear();
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    next_index_[p] = last_log_index() + 1;
+    match_index_[p] = 0;
+  }
+  match_index_[id_] = last_log_index();
+  broadcast_append();
+  schedule_heartbeat();
+}
+
+bool RaftNode::submit(const Bytes& payload) {
+  if (role_ != Role::kLeader) return false;
+  log_.push_back(RaftLogEntry{term_, payload});
+  match_index_[id_] = last_log_index();
+  broadcast_append();
+  advance_commit();
+  return true;
+}
+
+void RaftNode::broadcast_append() {
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    if (p == id_) continue;
+    const std::uint64_t next = next_index_[p];
+    RaftMsg msg;
+    msg.type = RaftMsgType::kAppendEntries;
+    msg.term = term_;
+    msg.from = id_;
+    msg.prev_log_index = next - 1;
+    msg.prev_log_term =
+        (next >= 2 && next - 2 < log_.size()) ? log_[next - 2].term : 0;
+    msg.leader_commit = commit_index_;
+    for (std::uint64_t i = next; i <= last_log_index(); ++i) {
+      msg.entries.push_back(log_[i - 1]);
+    }
+    send(p, msg);
+  }
+}
+
+void RaftNode::advance_commit() {
+  // Commit the highest index replicated on a majority whose entry is from
+  // the current term (Raft's commit rule).
+  for (std::uint64_t idx = last_log_index(); idx > commit_index_; --idx) {
+    if (log_[idx - 1].term != term_) break;
+    std::size_t count = 0;
+    for (const auto& [p, match] : match_index_) {
+      (void)p;
+      if (match >= idx) ++count;
+    }
+    if (count * 2 > peers_.size()) {
+      commit_index_ = idx;
+      break;
+    }
+  }
+}
+
+void RaftNode::on_message(const net::Message& raw) {
+  RaftMsg msg;
+  try {
+    msg = RaftMsg::decode(raw.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (msg.from >= peers_.size()) return;
+  if (msg.term > term_) become_follower(msg.term);
+
+  switch (msg.type) {
+    case RaftMsgType::kRequestVote:
+      on_request_vote(msg);
+      break;
+    case RaftMsgType::kVoteReply:
+      on_vote_reply(msg);
+      break;
+    case RaftMsgType::kAppendEntries:
+      on_append_entries(msg);
+      break;
+    case RaftMsgType::kAppendReply:
+      on_append_reply(msg);
+      break;
+  }
+}
+
+void RaftNode::on_request_vote(const RaftMsg& msg) {
+  RaftMsg reply;
+  reply.type = RaftMsgType::kVoteReply;
+  reply.term = term_;
+  reply.from = id_;
+
+  const bool up_to_date =
+      msg.last_log_term > last_log_term() ||
+      (msg.last_log_term == last_log_term() && msg.last_log_index >= last_log_index());
+  if (msg.term == term_ && up_to_date &&
+      (!voted_for_.has_value() || *voted_for_ == msg.from)) {
+    voted_for_ = msg.from;
+    reply.granted = true;
+    reset_election_timer();
+  }
+  send(msg.from, reply);
+}
+
+void RaftNode::on_vote_reply(const RaftMsg& msg) {
+  if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) return;
+  votes_.insert(msg.from);
+  if (votes_.size() * 2 > peers_.size()) become_leader();
+}
+
+void RaftNode::on_append_entries(const RaftMsg& msg) {
+  RaftMsg reply;
+  reply.type = RaftMsgType::kAppendReply;
+  reply.from = id_;
+
+  if (msg.term < term_) {
+    reply.term = term_;
+    reply.granted = false;
+    send(msg.from, reply);
+    return;
+  }
+  // Valid leader for this term.
+  if (role_ != Role::kFollower || msg.term > term_) become_follower(msg.term);
+  term_ = msg.term;
+  reply.term = term_;
+  reset_election_timer();
+
+  // Log matching check at prev_log_index.
+  if (msg.prev_log_index > log_.size() ||
+      (msg.prev_log_index > 0 && log_[msg.prev_log_index - 1].term != msg.prev_log_term)) {
+    reply.granted = false;
+    send(msg.from, reply);
+    return;
+  }
+
+  // Append/overwrite entries from prev_log_index + 1.
+  std::uint64_t idx = msg.prev_log_index;
+  for (const auto& e : msg.entries) {
+    ++idx;
+    if (idx <= log_.size()) {
+      if (log_[idx - 1].term != e.term) {
+        log_.resize(idx - 1);  // conflict: truncate suffix
+        log_.push_back(e);
+      }
+    } else {
+      log_.push_back(e);
+    }
+  }
+  if (msg.leader_commit > commit_index_) {
+    commit_index_ = std::min<std::uint64_t>(msg.leader_commit, log_.size());
+  }
+  reply.granted = true;
+  reply.match_index = msg.prev_log_index + msg.entries.size();
+  send(msg.from, reply);
+}
+
+void RaftNode::on_append_reply(const RaftMsg& msg) {
+  if (role_ != Role::kLeader || msg.term != term_) return;
+  if (msg.granted) {
+    match_index_[msg.from] = std::max(match_index_[msg.from], msg.match_index);
+    next_index_[msg.from] = match_index_[msg.from] + 1;
+    advance_commit();
+  } else {
+    // Back off and retry on the next heartbeat.
+    if (next_index_[msg.from] > 1) --next_index_[msg.from];
+  }
+}
+
+}  // namespace repchain::baselines

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace repchain::baselines {
+
+/// Raft message types (self-contained baseline; uses MsgKind::kTest on the
+/// wire with its own inner type tag).
+enum class RaftMsgType : std::uint8_t {
+  kRequestVote = 1,
+  kVoteReply = 2,
+  kAppendEntries = 3,  // also the heartbeat when entries are empty
+  kAppendReply = 4,
+};
+
+struct RaftLogEntry {
+  std::uint64_t term = 0;
+  Bytes payload;
+};
+
+/// One Raft wire message (unencrypted — this baseline measures protocol
+/// behaviour and message complexity, not authentication; the paper's §2.2
+/// cites Corda-with-Raft as the crash-fault-tolerant comparator).
+struct RaftMsg {
+  RaftMsgType type = RaftMsgType::kRequestVote;
+  std::uint64_t term = 0;
+  std::uint32_t from = 0;
+  // RequestVote: candidate's last log position.
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+  // VoteReply / AppendReply:
+  bool granted = false;
+  // AppendEntries:
+  std::uint64_t prev_log_index = 0;
+  std::uint64_t prev_log_term = 0;
+  std::uint64_t leader_commit = 0;
+  std::vector<RaftLogEntry> entries;
+  // AppendReply: index of the last entry the follower matched.
+  std::uint64_t match_index = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static RaftMsg decode(BytesView data);
+};
+
+/// Compact single-decree-stream Raft: randomized election timeouts, terms,
+/// RequestVote with the log-up-to-date check, AppendEntries with the
+/// log-matching property, commit on majority match (current-term entries
+/// only). No persistence or snapshots — nodes that "crash" (SimNetwork
+/// node-down) simply stop participating, and this baseline is only run
+/// within one incarnation per node.
+///
+/// Tolerates floor((m-1)/2) crashed nodes — the §2.2 contrast with both
+/// PBFT (f < m/3 byzantine) and RepChain's leader-trusting O(m) path.
+class RaftNode {
+ public:
+  RaftNode(std::uint32_t id, NodeId node, net::SimNetwork& net,
+           std::vector<NodeId> peers, Rng rng);
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Start the node's election timer (call once after wiring handlers).
+  void start();
+
+  void on_message(const net::Message& msg);
+
+  /// Leader-only: append a client payload to the replicated log.
+  /// Returns false if this node is not currently the leader.
+  bool submit(const Bytes& payload);
+
+  enum class Role : std::uint8_t { kFollower, kCandidate, kLeader };
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] std::uint64_t term() const { return term_; }
+  [[nodiscard]] std::uint64_t commit_index() const { return commit_index_; }
+  /// Committed payloads in log order.
+  [[nodiscard]] std::vector<Bytes> committed() const;
+  [[nodiscard]] const std::vector<RaftLogEntry>& log() const { return log_; }
+
+ private:
+  void become_follower(std::uint64_t term);
+  void become_candidate();
+  void become_leader();
+  void reset_election_timer();
+  void schedule_heartbeat();
+  void send(std::uint32_t peer, const RaftMsg& msg);
+  void broadcast_append();
+  void advance_commit();
+  [[nodiscard]] std::uint64_t last_log_index() const { return log_.size(); }
+  [[nodiscard]] std::uint64_t last_log_term() const {
+    return log_.empty() ? 0 : log_.back().term;
+  }
+
+  void on_request_vote(const RaftMsg& msg);
+  void on_vote_reply(const RaftMsg& msg);
+  void on_append_entries(const RaftMsg& msg);
+  void on_append_reply(const RaftMsg& msg);
+
+  std::uint32_t id_;
+  NodeId node_;
+  net::SimNetwork& net_;
+  std::vector<NodeId> peers_;  // index = raft id (includes self)
+  Rng rng_;
+
+  Role role_ = Role::kFollower;
+  std::uint64_t term_ = 0;
+  std::optional<std::uint32_t> voted_for_;
+  std::vector<RaftLogEntry> log_;  // 1-based indexing via index-1
+  std::uint64_t commit_index_ = 0;
+
+  std::set<std::uint32_t> votes_;
+  std::map<std::uint32_t, std::uint64_t> match_index_;
+  std::map<std::uint32_t, std::uint64_t> next_index_;
+
+  // Timer epochs: a fired timer is ignored unless its epoch is current.
+  std::uint64_t election_epoch_ = 0;
+  std::uint64_t heartbeat_epoch_ = 0;
+
+  static constexpr SimDuration kHeartbeat = 20 * kMillisecond;
+  static constexpr SimDuration kElectionMin = 100 * kMillisecond;
+  static constexpr SimDuration kElectionJitter = 100 * kMillisecond;
+};
+
+}  // namespace repchain::baselines

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repchain {
+
+/// Owning byte buffer used throughout the library for payloads and wire data.
+using Bytes = std::vector<std::uint8_t>;
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Decode lowercase/uppercase hex into bytes. Throws DecodeError on odd
+/// length or non-hex characters.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Copy a string's bytes into a Bytes buffer.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interpret bytes as a (not necessarily printable) string.
+[[nodiscard]] std::string to_string(BytesView data);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenate any number of byte views.
+[[nodiscard]] Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-time equality (length leak only); for MAC/signature comparison.
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b);
+
+/// Fixed-size digests/keys as typed arrays.
+template <std::size_t N>
+using ByteArray = std::array<std::uint8_t, N>;
+
+/// Convert a fixed array to an owning buffer.
+template <std::size_t N>
+[[nodiscard]] Bytes to_bytes(const ByteArray<N>& a) {
+  return Bytes(a.begin(), a.end());
+}
+
+/// View over a fixed array.
+template <std::size_t N>
+[[nodiscard]] BytesView view(const ByteArray<N>& a) {
+  return BytesView(a.data(), a.size());
+}
+
+}  // namespace repchain

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repchain {
+
+/// Root of the library's exception hierarchy. Every error thrown by repchain
+/// derives from this type so callers can catch library failures uniformly.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated wire data encountered while decoding.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// Cryptographic failure: bad key material, malformed signature, etc.
+/// (A signature that merely fails to verify is reported by a bool, not this.)
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Misuse or failure of the simulated network layer.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error("net: " + what) {}
+};
+
+/// A protocol-level violation (e.g. appending a block with a bad serial).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
+/// Invalid scenario or node configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+}  // namespace repchain

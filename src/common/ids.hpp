@@ -1,0 +1,62 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace repchain {
+
+/// Strongly-typed integer identifier. `Tag` distinguishes unrelated id
+/// spaces at compile time so a ProviderId cannot be passed where a
+/// CollectorId is expected.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  value_type value_ = 0;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << id.value();
+}
+
+struct ProviderTag {};
+struct CollectorTag {};
+struct GovernorTag {};
+struct NodeTag {};
+
+/// Identifier of a provider node (tier 1 of the hierarchy).
+using ProviderId = StrongId<ProviderTag>;
+/// Identifier of a collector node (tier 2).
+using CollectorId = StrongId<CollectorTag>;
+/// Identifier of a governor node (tier 3).
+using GovernorId = StrongId<GovernorTag>;
+/// Flat network-level node identifier (any tier).
+using NodeId = StrongId<NodeTag>;
+
+/// Protocol round number (one block per round).
+using Round = std::uint64_t;
+/// Block serial number; blocks carry one-by-one increasing serials from 1.
+using BlockSerial = std::uint64_t;
+
+}  // namespace repchain
+
+namespace std {
+template <typename Tag>
+struct hash<repchain::StrongId<Tag>> {
+  size_t operator()(repchain::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace repchain {
+
+/// Deterministic pseudorandom generator (xoshiro256++ seeded via splitmix64).
+///
+/// Every stochastic component of the library draws from an explicitly-passed
+/// Rng so whole-protocol runs are reproducible from a single seed. `derive`
+/// creates statistically independent child streams, which keeps per-node
+/// randomness stable under reordering of unrelated events.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Index drawn proportionally to `weights` (non-negative, at least one
+  /// positive). This is the primitive behind reputation-weighted source
+  /// selection in Algorithm 2.
+  std::size_t weighted_choice(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  /// Fill a buffer with pseudorandom bytes (used for simulated key material).
+  void fill(Bytes& out);
+  Bytes bytes(std::size_t n);
+
+  /// Independent child stream; distinct `salt`s give distinct streams.
+  [[nodiscard]] Rng derive(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace repchain

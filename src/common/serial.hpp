@@ -1,0 +1,162 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+
+namespace repchain {
+
+/// Append-only binary encoder. All integers are little-endian fixed width;
+/// variable-length fields are length-prefixed with u32. The format is the
+/// single wire format used for message payloads, blocks and signatures'
+/// preimages, so that hashing/signing is well-defined byte-exact.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void bytes(BytesView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    append(buf_, v);
+  }
+
+  /// Raw bytes with no length prefix (fixed-size fields like digests).
+  void raw(BytesView v) { append(buf_, v); }
+
+  void str(std::string_view s) {
+    bytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked binary decoder matching BinaryWriter. Throws DecodeError on
+/// truncation or overlong length prefixes; never reads out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw DecodeError("boolean byte out of range");
+    return v == 1;
+  }
+
+  [[nodiscard]] Bytes bytes() {
+    const std::uint32_t n = u32();
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Read exactly `n` raw bytes (fixed-size fields).
+  [[nodiscard]] Bytes raw(std::size_t n) {
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  template <std::size_t N>
+  [[nodiscard]] ByteArray<N> raw_array() {
+    need(N);
+    ByteArray<N> out{};
+    for (std::size_t i = 0; i < N; ++i) out[i] = data_[pos_ + i];
+    pos_ += N;
+    return out;
+  }
+
+  [[nodiscard]] std::string str() {
+    Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  /// Guard against hostile length prefixes: a claimed element count whose
+  /// minimal wire size exceeds the remaining bytes cannot be honest. Call
+  /// before reserving count-sized containers.
+  void expect_count(std::uint64_t count, std::size_t min_bytes_per_element) const {
+    if (min_bytes_per_element == 0) return;
+    if (count > remaining() / min_bytes_per_element) {
+      throw DecodeError("element count exceeds remaining input");
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  /// Throw unless the whole input has been consumed; call at the end of a
+  /// top-level decode to reject trailing garbage.
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after decode");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw DecodeError("truncated input");
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace repchain

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace repchain {
+
+/// Simulated time in microseconds since scenario start. The synchronous model
+/// of the paper (known bound on processing and transmission delay; local
+/// clocks with bounded drift) is realized by the discrete-event simulator in
+/// src/net against this time base.
+using SimTime = std::uint64_t;
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+}  // namespace repchain

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace repchain {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Used by the bench harness and metrics collection.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+/// Stores samples and answers percentile queries; for latency-style metrics
+/// where the distribution shape matters.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  /// p in [0, 100]. Nearest-rank on the sorted samples; 0 if empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace repchain

@@ -1,0 +1,223 @@
+#include "crypto/chacha20poly1305.hpp"
+
+#include <cstring>
+
+namespace repchain::crypto {
+
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u32 rotl32(u32 x, int n) { return (x << n) | (x >> (32 - n)); }
+
+u32 load32_le(const std::uint8_t* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+void store32_le(std::uint8_t* p, u32 v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(u32& a, u32& b, u32& c, u32& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+/// One 64-byte ChaCha20 block (RFC 8439 §2.3).
+void chacha20_block(const AeadKey& key, const AeadNonce& nonce, u32 counter,
+                    std::uint8_t out[64]) {
+  u32 state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32_le(key.bytes.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32_le(nonce.bytes.data() + 4 * i);
+
+  u32 w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32_le(out + 4 * i, w[i] + state[i]);
+}
+
+}  // namespace
+
+Bytes chacha20_xor(const AeadKey& key, const AeadNonce& nonce, u32 counter,
+                   BytesView data) {
+  Bytes out(data.begin(), data.end());
+  std::uint8_t block[64];
+  std::size_t off = 0;
+  while (off < out.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    const std::size_t take = std::min<std::size_t>(64, out.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] ^= block[i];
+    off += take;
+  }
+  return out;
+}
+
+ByteArray<16> poly1305(const ByteArray<32>& key, BytesView message) {
+  // r (clamped) and s halves of the one-time key; accumulator in radix 2^26
+  // over 2^130 - 5 (the standard 5x26 implementation).
+  u32 r0 = load32_le(key.data() + 0) & 0x3ffffff;
+  u32 r1 = (load32_le(key.data() + 3) >> 2) & 0x3ffff03;
+  u32 r2 = (load32_le(key.data() + 6) >> 4) & 0x3ffc0ff;
+  u32 r3 = (load32_le(key.data() + 9) >> 6) & 0x3f03fff;
+  u32 r4 = (load32_le(key.data() + 12) >> 8) & 0x00fffff;
+
+  const u32 s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  u32 h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t off = 0;
+  while (off < message.size()) {
+    std::uint8_t block[17] = {};
+    const std::size_t take = std::min<std::size_t>(16, message.size() - off);
+    std::memcpy(block, message.data() + off, take);
+    block[take] = 1;  // the 2^(8*take) bit
+    off += take;
+
+    // Load the 17-byte block into 5x26 limbs.
+    const u32 t0 = load32_le(block + 0);
+    const u32 t1 = load32_le(block + 4);
+    const u32 t2 = load32_le(block + 8);
+    const u32 t3 = load32_le(block + 12);
+    const u32 t4 = block[16];
+
+    h0 += t0 & 0x3ffffff;
+    h1 += static_cast<u32>(((static_cast<u64>(t1) << 32 | t0) >> 26) & 0x3ffffff);
+    h2 += static_cast<u32>(((static_cast<u64>(t2) << 32 | t1) >> 20) & 0x3ffffff);
+    h3 += static_cast<u32>(((static_cast<u64>(t3) << 32 | t2) >> 14) & 0x3ffffff);
+    h4 += static_cast<u32>((static_cast<u64>(t4) << 24 | (t3 >> 8)));
+
+    // h *= r (mod 2^130 - 5).
+    const u64 d0 = static_cast<u64>(h0) * r0 + static_cast<u64>(h1) * s4 +
+                   static_cast<u64>(h2) * s3 + static_cast<u64>(h3) * s2 +
+                   static_cast<u64>(h4) * s1;
+    u64 d1 = static_cast<u64>(h0) * r1 + static_cast<u64>(h1) * r0 +
+             static_cast<u64>(h2) * s4 + static_cast<u64>(h3) * s3 +
+             static_cast<u64>(h4) * s2;
+    u64 d2 = static_cast<u64>(h0) * r2 + static_cast<u64>(h1) * r1 +
+             static_cast<u64>(h2) * r0 + static_cast<u64>(h3) * s4 +
+             static_cast<u64>(h4) * s3;
+    u64 d3 = static_cast<u64>(h0) * r3 + static_cast<u64>(h1) * r2 +
+             static_cast<u64>(h2) * r1 + static_cast<u64>(h3) * r0 +
+             static_cast<u64>(h4) * s4;
+    u64 d4 = static_cast<u64>(h0) * r4 + static_cast<u64>(h1) * r3 +
+             static_cast<u64>(h2) * r2 + static_cast<u64>(h3) * r1 +
+             static_cast<u64>(h4) * r0;
+
+    u64 c;
+    c = d0 >> 26; h0 = static_cast<u32>(d0) & 0x3ffffff; d1 += c;
+    c = d1 >> 26; h1 = static_cast<u32>(d1) & 0x3ffffff; d2 += c;
+    c = d2 >> 26; h2 = static_cast<u32>(d2) & 0x3ffffff; d3 += c;
+    c = d3 >> 26; h3 = static_cast<u32>(d3) & 0x3ffffff; d4 += c;
+    c = d4 >> 26; h4 = static_cast<u32>(d4) & 0x3ffffff;
+    h0 += static_cast<u32>(c) * 5;
+    c = h0 >> 26; h0 &= 0x3ffffff;
+    h1 += static_cast<u32>(c);
+  }
+
+  // Full reduction: h mod 2^130 - 5.
+  u32 c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+  c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+  c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+  c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+
+  // Compute h + -p (i.e. h - (2^130 - 5)) and select if non-negative.
+  u32 g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+  u32 g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+  u32 g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+  u32 g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+  const u32 g4 = h4 + c;
+  if (g4 >> 26) {  // h >= p: use g
+    h0 = g0; h1 = g1; h2 = g2; h3 = g3; h4 = g4 & 0x3ffffff;
+  }
+
+  // Serialize h and add s (mod 2^128).
+  const u32 hw0 = h0 | (h1 << 26);
+  const u32 hw1 = (h1 >> 6) | (h2 << 20);
+  const u32 hw2 = (h2 >> 12) | (h3 << 14);
+  const u32 hw3 = (h3 >> 18) | (h4 << 8);
+
+  u64 f;
+  ByteArray<16> tag{};
+  f = static_cast<u64>(hw0) + load32_le(key.data() + 16);
+  store32_le(tag.data() + 0, static_cast<u32>(f));
+  f = static_cast<u64>(hw1) + load32_le(key.data() + 20) + (f >> 32);
+  store32_le(tag.data() + 4, static_cast<u32>(f));
+  f = static_cast<u64>(hw2) + load32_le(key.data() + 24) + (f >> 32);
+  store32_le(tag.data() + 8, static_cast<u32>(f));
+  f = static_cast<u64>(hw3) + load32_le(key.data() + 28) + (f >> 32);
+  store32_le(tag.data() + 12, static_cast<u32>(f));
+  return tag;
+}
+
+namespace {
+
+ByteArray<16> aead_tag(const AeadKey& key, const AeadNonce& nonce, BytesView ciphertext,
+                       BytesView aad) {
+  // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+  std::uint8_t block0[64];
+  chacha20_block(key, nonce, 0, block0);
+  ByteArray<32> otk{};
+  std::memcpy(otk.data(), block0, 32);
+
+  // MAC input: aad || pad16 || ct || pad16 || len(aad) || len(ct), LE u64s.
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 48);
+  append(mac_data, aad);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  append(mac_data, ciphertext);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  for (int i = 0; i < 8; ++i) {
+    mac_data.push_back(static_cast<std::uint8_t>(static_cast<u64>(aad.size()) >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    mac_data.push_back(
+        static_cast<std::uint8_t>(static_cast<u64>(ciphertext.size()) >> (8 * i)));
+  }
+  return poly1305(otk, mac_data);
+}
+
+}  // namespace
+
+Bytes aead_seal(const AeadKey& key, const AeadNonce& nonce, BytesView plaintext,
+                BytesView aad) {
+  Bytes out = chacha20_xor(key, nonce, 1, plaintext);
+  const ByteArray<16> tag = aead_tag(key, nonce, out, aad);
+  append(out, view(tag));
+  return out;
+}
+
+std::optional<Bytes> aead_open(const AeadKey& key, const AeadNonce& nonce,
+                               BytesView sealed, BytesView aad) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const BytesView ciphertext(sealed.data(), sealed.size() - kAeadTagSize);
+  const BytesView tag(sealed.data() + ciphertext.size(), kAeadTagSize);
+
+  const ByteArray<16> expected = aead_tag(key, nonce, ciphertext, aad);
+  if (!ct_equal(view(expected), tag)) return std::nullopt;
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace repchain::crypto

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace repchain::crypto {
+
+/// ChaCha20-Poly1305 AEAD (RFC 8439), implemented from scratch.
+///
+/// Used by the sealed-payload extension: a provider can encrypt a
+/// transaction payload under a key shared with the governors, so collectors
+/// route and label without reading business data — the privacy concern the
+/// paper's related work (§2.3) raises for reputation systems.
+struct AeadKey {
+  ByteArray<32> bytes{};
+};
+
+struct AeadNonce {
+  ByteArray<12> bytes{};
+};
+
+constexpr std::size_t kAeadTagSize = 16;
+
+/// Encrypt-and-authenticate: returns ciphertext || 16-byte tag.
+[[nodiscard]] Bytes aead_seal(const AeadKey& key, const AeadNonce& nonce,
+                              BytesView plaintext, BytesView aad);
+
+/// Verify-and-decrypt; nullopt on any authentication failure.
+[[nodiscard]] std::optional<Bytes> aead_open(const AeadKey& key, const AeadNonce& nonce,
+                                             BytesView sealed, BytesView aad);
+
+/// Raw ChaCha20 keystream XOR (exposed for tests; counter starts at
+/// `counter`).
+[[nodiscard]] Bytes chacha20_xor(const AeadKey& key, const AeadNonce& nonce,
+                                 std::uint32_t counter, BytesView data);
+
+/// One-shot Poly1305 MAC (exposed for tests).
+[[nodiscard]] ByteArray<16> poly1305(const ByteArray<32>& key, BytesView message);
+
+}  // namespace repchain::crypto

@@ -1,0 +1,219 @@
+#include "crypto/ed25519.hpp"
+
+#include "crypto/sha512.hpp"
+
+namespace repchain::crypto {
+
+namespace {
+/// 2d, cached for the unified addition formula.
+const Fe& fe_2d() {
+  static const Fe k2d = fe_add(fe_edwards_d(), fe_edwards_d());
+  return k2d;
+}
+
+Scalar clamp_scalar(ByteArray<32> a) {
+  a[0] &= 248;
+  a[31] &= 127;
+  a[31] |= 64;
+  // The clamped value is < 2^255; reduce mod L for use with our scalar type.
+  return sc_from_bytes(a);
+}
+}  // namespace
+
+Point point_identity() {
+  Point p;
+  p.X = fe_zero();
+  p.Y = fe_one();
+  p.Z = fe_one();
+  p.T = fe_zero();
+  return p;
+}
+
+const Point& point_base() {
+  static const Point kBase = [] {
+    // y = 4/5 mod p with the even-x root, per RFC 8032.
+    const Fe y = fe_mul(fe_from_u64(4), fe_invert(fe_from_u64(5)));
+    ByteArray<32> enc = fe_to_bytes(y);  // sign bit 0 -> even x
+    const auto p = point_decompress(enc);
+    return *p;
+  }();
+  return kBase;
+}
+
+Point point_add(const Point& p, const Point& q) {
+  // Unified addition (add-2008-hwcd-3 for a = -1); also valid for doubling.
+  const Fe a = fe_mul(fe_sub(p.Y, p.X), fe_sub(q.Y, q.X));
+  const Fe b = fe_mul(fe_add(p.Y, p.X), fe_add(q.Y, q.X));
+  const Fe c = fe_mul(fe_mul(p.T, fe_2d()), q.T);
+  const Fe d = fe_mul(fe_add(p.Z, p.Z), q.Z);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  Point r;
+  r.X = fe_mul(e, f);
+  r.Y = fe_mul(g, h);
+  r.T = fe_mul(e, h);
+  r.Z = fe_mul(f, g);
+  return r;
+}
+
+Point point_double(const Point& p) { return point_add(p, p); }
+
+Point point_neg(const Point& p) {
+  Point r = p;
+  r.X = fe_neg(p.X);
+  r.T = fe_neg(p.T);
+  return r;
+}
+
+Point point_scalar_mul(const Point& p, const Scalar& s) {
+  const ByteArray<32> bits = sc_to_bytes(s);
+  Point acc = point_identity();
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      acc = point_double(acc);
+      if ((bits[byte] >> bit) & 1) acc = point_add(acc, p);
+    }
+  }
+  return acc;
+}
+
+Point point_base_mul(const Scalar& s) { return point_scalar_mul(point_base(), s); }
+
+Point point_double_scalar_mul(const Scalar& a, const Point& p, const Scalar& b) {
+  const ByteArray<32> abits = sc_to_bytes(a);
+  const ByteArray<32> bbits = sc_to_bytes(b);
+  // Table indexed by (bit_a, bit_b): 01 -> B, 10 -> P, 11 -> P + B.
+  const Point& base = point_base();
+  const Point p_plus_b = point_add(p, base);
+
+  Point acc = point_identity();
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      acc = point_double(acc);
+      const int ba = (abits[byte] >> bit) & 1;
+      const int bb = (bbits[byte] >> bit) & 1;
+      if (ba && bb) {
+        acc = point_add(acc, p_plus_b);
+      } else if (ba) {
+        acc = point_add(acc, p);
+      } else if (bb) {
+        acc = point_add(acc, base);
+      }
+    }
+  }
+  return acc;
+}
+
+bool point_equal(const Point& p, const Point& q) {
+  // x1/z1 == x2/z2  <=>  x1*z2 == x2*z1, same for y.
+  const Fe lx = fe_mul(p.X, q.Z);
+  const Fe rx = fe_mul(q.X, p.Z);
+  const Fe ly = fe_mul(p.Y, q.Z);
+  const Fe ry = fe_mul(q.Y, p.Z);
+  return fe_equal(lx, rx) && fe_equal(ly, ry);
+}
+
+bool point_is_identity(const Point& p) { return point_equal(p, point_identity()); }
+
+ByteArray<32> point_compress(const Point& p) {
+  const Fe zinv = fe_invert(p.Z);
+  const Fe x = fe_mul(p.X, zinv);
+  const Fe y = fe_mul(p.Y, zinv);
+  ByteArray<32> out = fe_to_bytes(y);
+  if (fe_is_negative(x)) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<Point> point_decompress(const ByteArray<32>& in) {
+  const bool x_sign = (in[31] & 0x80) != 0;
+  const Fe y = fe_from_bytes(in);  // drops bit 255
+
+  // Solve x^2 = (y^2 - 1) / (d*y^2 + 1).
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());
+  const Fe v = fe_add(fe_mul(fe_edwards_d(), y2), fe_one());
+
+  // Candidate root x = u * v^3 * (u * v^7)^((p-5)/8).
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow22523(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (!fe_equal(vx2, u)) {
+    if (fe_equal(vx2, fe_neg(u))) {
+      x = fe_mul(x, fe_sqrtm1());
+    } else {
+      return std::nullopt;  // not a curve point
+    }
+  }
+  if (fe_is_zero(x) && x_sign) return std::nullopt;  // -0 is not canonical
+  if (fe_is_negative(x) != x_sign) x = fe_neg(x);
+
+  Point p;
+  p.X = x;
+  p.Y = y;
+  p.Z = fe_one();
+  p.T = fe_mul(x, y);
+  return p;
+}
+
+SigningKey::SigningKey(const PrivateSeed& seed) {
+  const Hash512 h = Sha512::hash(view(seed.bytes));
+  ByteArray<32> lower{};
+  for (int i = 0; i < 32; ++i) lower[i] = h[i];
+  for (int i = 0; i < 32; ++i) prefix_[i] = h[32 + i];
+  secret_scalar_ = clamp_scalar(lower);
+  public_.bytes = point_compress(point_base_mul(secret_scalar_));
+}
+
+Signature SigningKey::sign(BytesView message) const {
+  // r = SHA-512(prefix || M) mod L.
+  const Hash512 rh = sha512_concat({view(prefix_), message});
+  ByteArray<64> rh_arr{};
+  std::copy(rh.begin(), rh.end(), rh_arr.begin());
+  const Scalar r = sc_from_bytes_wide(rh_arr);
+
+  const ByteArray<32> r_enc = point_compress(point_base_mul(r));
+
+  // k = SHA-512(enc(R) || pub || M) mod L.
+  const Hash512 kh = sha512_concat({view(r_enc), view(public_.bytes), message});
+  ByteArray<64> kh_arr{};
+  std::copy(kh.begin(), kh.end(), kh_arr.begin());
+  const Scalar k = sc_from_bytes_wide(kh_arr);
+
+  const Scalar s = sc_muladd(k, secret_scalar_, r);
+  const ByteArray<32> s_enc = sc_to_bytes(s);
+
+  Signature sig;
+  std::copy(r_enc.begin(), r_enc.end(), sig.bytes.begin());
+  std::copy(s_enc.begin(), s_enc.end(), sig.bytes.begin() + 32);
+  return sig;
+}
+
+bool verify(const PublicKey& pub, BytesView message, const Signature& sig) {
+  ByteArray<32> r_enc{}, s_enc{};
+  std::copy(sig.bytes.begin(), sig.bytes.begin() + 32, r_enc.begin());
+  std::copy(sig.bytes.begin() + 32, sig.bytes.end(), s_enc.begin());
+
+  if (!sc_is_canonical(s_enc)) return false;
+  const Scalar s = sc_from_bytes(s_enc);
+
+  const auto r = point_decompress(r_enc);
+  if (!r) return false;
+  const auto a = point_decompress(pub.bytes);
+  if (!a) return false;
+
+  const Hash512 kh = sha512_concat({view(r_enc), view(pub.bytes), message});
+  ByteArray<64> kh_arr{};
+  std::copy(kh.begin(), kh.end(), kh_arr.begin());
+  const Scalar k = sc_from_bytes_wide(kh_arr);
+
+  // Check [S]B == R + [k]A, rearranged as [k](-A) + [S]B == R so one
+  // interleaved double-scalar ladder covers both multiplications.
+  const Point lhs = point_double_scalar_mul(k, point_neg(*a), s);
+  return point_equal(lhs, *r);
+}
+
+}  // namespace repchain::crypto

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace repchain::crypto {
+
+/// Element of GF(2^255 - 19) in radix-2^51 representation (5 limbs).
+/// Limbs are kept loosely reduced (< 2^52-ish) between operations; `carry`
+/// normalizes, `to_bytes` produces the unique canonical encoding.
+///
+/// This is the arithmetic core of the from-scratch Ed25519 implementation
+/// (see DESIGN.md: crypto substrate).
+struct Fe {
+  std::uint64_t v[5] = {0, 0, 0, 0, 0};
+};
+
+[[nodiscard]] Fe fe_zero();
+[[nodiscard]] Fe fe_one();
+[[nodiscard]] Fe fe_from_u64(std::uint64_t x);
+
+/// Load from 32 little-endian bytes; the top (256th) bit is ignored, as in
+/// RFC 8032 point decoding.
+[[nodiscard]] Fe fe_from_bytes(const ByteArray<32>& in);
+
+/// Store canonical (fully reduced) 32-byte little-endian encoding.
+[[nodiscard]] ByteArray<32> fe_to_bytes(const Fe& f);
+
+[[nodiscard]] Fe fe_add(const Fe& a, const Fe& b);
+[[nodiscard]] Fe fe_sub(const Fe& a, const Fe& b);
+[[nodiscard]] Fe fe_neg(const Fe& a);
+[[nodiscard]] Fe fe_mul(const Fe& a, const Fe& b);
+[[nodiscard]] Fe fe_sq(const Fe& a);
+
+/// a^(2^255 - 21)  ==  a^(p-2)  ==  a^-1 (for a != 0).
+[[nodiscard]] Fe fe_invert(const Fe& a);
+
+/// a^((p-5)/8) = a^(2^252 - 3); used in square-root extraction for point
+/// decompression.
+[[nodiscard]] Fe fe_pow22523(const Fe& a);
+
+/// Generic square-and-multiply with a little-endian byte exponent.
+[[nodiscard]] Fe fe_pow(const Fe& a, const ByteArray<32>& exponent_le);
+
+/// True iff canonical encodings match.
+[[nodiscard]] bool fe_equal(const Fe& a, const Fe& b);
+[[nodiscard]] bool fe_is_zero(const Fe& a);
+/// Least significant bit of the canonical encoding (the "sign" of x in
+/// RFC 8032 point compression).
+[[nodiscard]] bool fe_is_negative(const Fe& a);
+
+/// sqrt(-1) mod p, computed once as 2^((p-1)/4).
+[[nodiscard]] const Fe& fe_sqrtm1();
+
+/// Edwards curve constant d = -121665/121666 mod p, computed once.
+[[nodiscard]] const Fe& fe_edwards_d();
+
+}  // namespace repchain::crypto

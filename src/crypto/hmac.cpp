@@ -1,0 +1,48 @@
+#include "crypto/hmac.hpp"
+
+namespace repchain::crypto {
+
+namespace {
+
+template <typename Hash>
+typename Hash::Digest hmac_impl(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const auto digest = Hash::hash(key);
+    std::copy(digest.begin(), digest.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Hash inner;
+  inner.update(ipad).update(message);
+  const auto inner_digest = inner.finish();
+
+  Hash outer;
+  outer.update(opad).update(view(inner_digest));
+  return outer.finish();
+}
+
+}  // namespace
+
+Hash256 hmac_sha256(BytesView key, BytesView message) {
+  return hmac_impl<Sha256>(key, message);
+}
+
+Hash512 hmac_sha512(BytesView key, BytesView message) {
+  return hmac_impl<Sha512>(key, message);
+}
+
+Hash256 derive_key(BytesView master, BytesView label) {
+  return hmac_sha256(master, label);
+}
+
+}  // namespace repchain::crypto

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace repchain::crypto {
+
+/// HMAC (RFC 2104) instantiated over SHA-256. Used by the identity manager
+/// for credential binding where a full signature is unnecessary.
+[[nodiscard]] Hash256 hmac_sha256(BytesView key, BytesView message);
+
+/// HMAC over SHA-512.
+[[nodiscard]] Hash512 hmac_sha512(BytesView key, BytesView message);
+
+/// HKDF-style expand (single-block): derive labeled sub-keys from a master
+/// secret; used to derive per-node key material deterministically in tests
+/// and examples.
+[[nodiscard]] Hash256 derive_key(BytesView master, BytesView label);
+
+}  // namespace repchain::crypto

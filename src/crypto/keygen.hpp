@@ -1,0 +1,18 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace repchain::crypto {
+
+/// Draw a fresh Ed25519 seed from a deterministic Rng stream. The simulation
+/// has no OS entropy source on purpose: all key material must be reproducible
+/// from the scenario seed.
+[[nodiscard]] inline PrivateSeed random_seed(Rng& rng) {
+  PrivateSeed seed;
+  Bytes b = rng.bytes(seed.bytes.size());
+  std::copy(b.begin(), b.end(), seed.bytes.begin());
+  return seed;
+}
+
+}  // namespace repchain::crypto

@@ -1,0 +1,70 @@
+#include "crypto/merkle.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::crypto {
+
+namespace {
+constexpr std::uint8_t kLeafTag = 0x00;
+constexpr std::uint8_t kNodeTag = 0x01;
+}  // namespace
+
+Hash256 MerkleTree::hash_leaf(BytesView leaf) {
+  return sha256_concat({BytesView(&kLeafTag, 1), leaf});
+}
+
+Hash256 MerkleTree::hash_node(const Hash256& left, const Hash256& right) {
+  return sha256_concat({BytesView(&kNodeTag, 1), view(left), view(right)});
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Hash256{};
+    return;
+  }
+  std::vector<Hash256> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(level);
+
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      // Odd node at the end is paired with itself (Bitcoin-style duplication).
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(hash_node(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) throw ConfigError("MerkleTree::prove index out of range");
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    MerkleStep step;
+    step.sibling_on_left = (pos % 2 == 1);
+    step.sibling = sibling < level.size() ? level[sibling] : level[pos];
+    proof.steps.push_back(step);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& root, BytesView leaf, const MerkleProof& proof) {
+  Hash256 acc = hash_leaf(leaf);
+  for (const auto& step : proof.steps) {
+    acc = step.sibling_on_left ? hash_node(step.sibling, acc) : hash_node(acc, step.sibling);
+  }
+  return ct_equal(view(acc), view(root));
+}
+
+}  // namespace repchain::crypto

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace repchain::crypto {
+
+/// One step of a Merkle inclusion proof: the sibling digest and which side it
+/// sits on.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_left = false;
+};
+
+/// Inclusion proof for one leaf.
+struct MerkleProof {
+  std::size_t leaf_index = 0;
+  std::vector<MerkleStep> steps;
+};
+
+/// Binary Merkle tree over SHA-256 with domain-separated leaf/node hashing
+/// (prevents second-preimage confusion between leaves and internal nodes).
+/// Blocks commit to their TXList through this root.
+class MerkleTree {
+ public:
+  /// Build over leaf payloads. An empty tree has the all-zero root.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  [[nodiscard]] const Hash256& root() const { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Proof for the i-th leaf. Throws ConfigError if out of range.
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  /// Verify a proof against a root for the given leaf payload.
+  [[nodiscard]] static bool verify(const Hash256& root, BytesView leaf,
+                                   const MerkleProof& proof);
+
+  [[nodiscard]] static Hash256 hash_leaf(BytesView leaf);
+  [[nodiscard]] static Hash256 hash_node(const Hash256& left, const Hash256& right);
+
+ private:
+  // levels_[0] = leaf digests, levels_.back() = {root}.
+  std::vector<std::vector<Hash256>> levels_;
+  Hash256 root_{};
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace repchain::crypto

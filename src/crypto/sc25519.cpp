@@ -1,0 +1,139 @@
+#include "crypto/sc25519.hpp"
+
+namespace repchain::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// L = 2^252 + 27742317777372353535851937790883648493, little-endian limbs.
+constexpr u64 kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0x0ULL,
+                       0x1000000000000000ULL};
+
+// Compare 256-bit values: a >= b.
+bool ge256(const u64 a[4], const u64 b[4]) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+// a -= b (256-bit), assumes a >= b.
+void sub256(u64 a[4], const u64 b[4]) {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 bi = b[i] + borrow;
+    // borrow propagates iff b[i]+borrow overflowed, or a[i] < bi.
+    const bool overflow = borrow != 0 && bi == 0;
+    const u64 next_borrow = (overflow || a[i] < bi) ? 1 : 0;
+    a[i] -= bi;
+    borrow = next_borrow;
+  }
+}
+
+// Reduce an n-bit little-endian limb array (bits processed MSB first) mod L,
+// by binary long division. Value magnitude is unconstrained.
+Scalar reduce_bits(const u64* limbs, int nlimbs) {
+  u64 r[4] = {0, 0, 0, 0};
+  for (int bit = nlimbs * 64 - 1; bit >= 0; --bit) {
+    // r = (r << 1) | bit; r stays < L < 2^253 so the shift cannot overflow.
+    u64 carry = (limbs[bit / 64] >> (bit % 64)) & 1;
+    for (int i = 0; i < 4; ++i) {
+      const u64 next = r[i] >> 63;
+      r[i] = (r[i] << 1) | carry;
+      carry = next;
+    }
+    if (ge256(r, kL)) sub256(r, kL);
+  }
+  Scalar s;
+  for (int i = 0; i < 4; ++i) s.v[i] = r[i];
+  return s;
+}
+}  // namespace
+
+Scalar sc_from_bytes_wide(const ByteArray<64>& in) {
+  u64 limbs[8];
+  for (int i = 0; i < 8; ++i) {
+    u64 v = 0;
+    for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+    limbs[i] = v;
+  }
+  return reduce_bits(limbs, 8);
+}
+
+Scalar sc_from_bytes(const ByteArray<32>& in) {
+  u64 limbs[4];
+  for (int i = 0; i < 4; ++i) {
+    u64 v = 0;
+    for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+    limbs[i] = v;
+  }
+  return reduce_bits(limbs, 4);
+}
+
+bool sc_is_canonical(const ByteArray<32>& in) {
+  u64 limbs[4];
+  for (int i = 0; i < 4; ++i) {
+    u64 v = 0;
+    for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+    limbs[i] = v;
+  }
+  return !ge256(limbs, kL);
+}
+
+ByteArray<32> sc_to_bytes(const Scalar& s) {
+  ByteArray<32> out{};
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + b] = static_cast<std::uint8_t>(s.v[i] >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Scalar sc_muladd(const Scalar& a, const Scalar& b, const Scalar& c) {
+  // 512-bit product a*b + c via schoolbook multiplication.
+  u64 wide[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = (u128)a.v[i] * b.v[j] + wide[i + j] + carry;
+      wide[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    wide[i + 4] += carry;
+  }
+  // wide += c.
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u128 cur = (u128)wide[i] + (i < 4 ? c.v[i] : 0) + carry;
+    wide[i] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  return reduce_bits(wide, 8);
+}
+
+Scalar sc_add(const Scalar& a, const Scalar& b) {
+  u64 limbs[5] = {};
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = (u128)a.v[i] + b.v[i] + carry;
+    limbs[i] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  limbs[4] = static_cast<u64>(carry);
+  u64 padded[8] = {limbs[0], limbs[1], limbs[2], limbs[3], limbs[4], 0, 0, 0};
+  return reduce_bits(padded, 5);
+}
+
+Scalar sc_zero() { return Scalar{}; }
+
+bool sc_equal(const Scalar& a, const Scalar& b) {
+  u64 diff = 0;
+  for (int i = 0; i < 4; ++i) diff |= a.v[i] ^ b.v[i];
+  return diff == 0;
+}
+
+bool sc_is_zero(const Scalar& s) { return sc_equal(s, sc_zero()); }
+
+}  // namespace repchain::crypto

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace repchain::crypto {
+
+/// Scalar modulo the Ed25519 group order
+/// L = 2^252 + 27742317777372353535851937790883648493,
+/// stored as four little-endian 64-bit limbs, always fully reduced (< L).
+struct Scalar {
+  std::uint64_t v[4] = {0, 0, 0, 0};
+};
+
+/// Reduce a 64-byte little-endian integer mod L (the SHA-512-to-scalar step
+/// of RFC 8032 signing/verification).
+[[nodiscard]] Scalar sc_from_bytes_wide(const ByteArray<64>& in);
+
+/// Interpret 32 little-endian bytes and reduce mod L.
+[[nodiscard]] Scalar sc_from_bytes(const ByteArray<32>& in);
+
+/// True iff the 32-byte encoding is already canonical (< L); RFC 8032
+/// verification rejects signatures whose S part is not.
+[[nodiscard]] bool sc_is_canonical(const ByteArray<32>& in);
+
+[[nodiscard]] ByteArray<32> sc_to_bytes(const Scalar& s);
+
+/// (a * b + c) mod L — the S = r + k*a step of signing.
+[[nodiscard]] Scalar sc_muladd(const Scalar& a, const Scalar& b, const Scalar& c);
+
+[[nodiscard]] Scalar sc_add(const Scalar& a, const Scalar& b);
+[[nodiscard]] Scalar sc_zero();
+[[nodiscard]] bool sc_equal(const Scalar& a, const Scalar& b);
+[[nodiscard]] bool sc_is_zero(const Scalar& s);
+
+}  // namespace repchain::crypto

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace repchain::crypto {
+
+/// SHA-256 digest (FIPS 180-4), implemented from scratch. This is the
+/// collision-resistant hash H used for block chaining and Merkle roots.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = ByteArray<kDigestSize>;
+
+  Sha256();
+
+  /// Absorb more input. May be called repeatedly.
+  Sha256& update(BytesView data);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+using Hash256 = Sha256::Digest;
+
+/// Hash arbitrary many parts as a single message.
+[[nodiscard]] Hash256 sha256_concat(std::initializer_list<BytesView> parts);
+
+}  // namespace repchain::crypto

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace repchain::crypto {
+
+/// SHA-512 digest (FIPS 180-4), implemented from scratch. Required by the
+/// Ed25519 signature scheme and used to derive VRF outputs.
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+  using Digest = ByteArray<kDigestSize>;
+
+  Sha512();
+
+  Sha512& update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint64_t state_[8];
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+using Hash512 = Sha512::Digest;
+
+/// Hash arbitrary many parts as a single message.
+[[nodiscard]] Hash512 sha512_concat(std::initializer_list<BytesView> parts);
+
+}  // namespace repchain::crypto

@@ -1,0 +1,34 @@
+#include "crypto/vrf.hpp"
+
+namespace repchain::crypto {
+
+namespace {
+constexpr std::string_view kDomain = "repchain-vrf";
+
+Hash512 output_from_proof(const Signature& proof) {
+  return sha512_concat(
+      {BytesView(reinterpret_cast<const std::uint8_t*>(kDomain.data()), kDomain.size()),
+       view(proof.bytes)});
+}
+}  // namespace
+
+VrfResult vrf_evaluate(const SigningKey& key, BytesView alpha) {
+  VrfResult r;
+  r.proof = key.sign(alpha);
+  r.output = output_from_proof(r.proof);
+  return r;
+}
+
+std::optional<Hash512> vrf_verify(const PublicKey& pub, BytesView alpha,
+                                  const Signature& proof) {
+  if (!verify(pub, alpha, proof)) return std::nullopt;
+  return output_from_proof(proof);
+}
+
+std::uint64_t vrf_output_to_u64(const Hash512& output) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | output[i];
+  return v;
+}
+
+}  // namespace repchain::crypto

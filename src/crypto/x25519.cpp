@@ -1,0 +1,81 @@
+#include "crypto/x25519.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace repchain::crypto {
+
+ByteArray<32> x25519_clamp(ByteArray<32> k) {
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+  return k;
+}
+
+ByteArray<32> x25519(const ByteArray<32>& scalar, const ByteArray<32>& u_in) {
+  const ByteArray<32> k = x25519_clamp(scalar);
+  // RFC 7748: mask the top bit of the input u-coordinate.
+  ByteArray<32> u_bytes = u_in;
+  u_bytes[31] &= 127;
+  const Fe x1 = fe_from_bytes(u_bytes);
+
+  // Montgomery ladder with (X2:Z2) and (X3:Z3); swap-based, MSB first over
+  // the 255 relevant bits.
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  const Fe a24 = fe_from_u64(121665);  // (486662 - 2) / 4
+
+  int swap = 0;
+  for (int bit = 254; bit >= 0; --bit) {
+    const int k_bit = (k[bit / 8] >> (bit % 8)) & 1;
+    if ((swap ^ k_bit) != 0) {
+      std::swap(x2, x3);
+      std::swap(z2, z3);
+    }
+    swap = k_bit;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+
+    const Fe t0 = fe_add(da, cb);
+    x3 = fe_sq(t0);
+    const Fe t1 = fe_sub(da, cb);
+    z3 = fe_mul(x1, fe_sq(t1));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e, fe_add(aa, fe_mul(a24, e)));
+  }
+  if (swap != 0) {
+    std::swap(x2, x3);
+    std::swap(z2, z3);
+  }
+
+  return fe_to_bytes(fe_mul(x2, fe_invert(z2)));
+}
+
+X25519PublicKey x25519_public(const X25519SecretKey& secret) {
+  ByteArray<32> base{};
+  base[0] = 9;
+  X25519PublicKey pub;
+  pub.bytes = x25519(secret.bytes, base);
+  return pub;
+}
+
+ByteArray<32> x25519_shared(const X25519SecretKey& my_secret,
+                            const X25519PublicKey& their_public) {
+  return x25519(my_secret.bytes, their_public.bytes);
+}
+
+AeadKey derive_aead_key(const ByteArray<32>& shared_secret, BytesView label) {
+  const Hash256 derived = derive_key(view(shared_secret), label);
+  AeadKey key;
+  std::copy(derived.begin(), derived.end(), key.bytes.begin());
+  return key;
+}
+
+}  // namespace repchain::crypto

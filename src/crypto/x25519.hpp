@@ -1,0 +1,45 @@
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/chacha20poly1305.hpp"
+#include "crypto/fe25519.hpp"
+
+namespace repchain::crypto {
+
+/// X25519 Diffie-Hellman (RFC 7748) over the Montgomery form of
+/// curve25519, implemented with the constant-structure Montgomery ladder on
+/// top of the same field arithmetic as the Ed25519 module.
+///
+/// Gives any two enrolled parties a shared payload-sealing key (see
+/// chacha20poly1305.hpp) from their published DH public keys — the key
+/// agreement behind the private-payload extension. Correctness is
+/// cross-validated in the tests against the independently-tested Edwards
+/// implementation via the birational map u = (1+y)/(1-y).
+struct X25519PublicKey {
+  ByteArray<32> bytes{};
+};
+
+struct X25519SecretKey {
+  ByteArray<32> bytes{};
+};
+
+/// The RFC 7748 scalar clamp.
+[[nodiscard]] ByteArray<32> x25519_clamp(ByteArray<32> k);
+
+/// Scalar multiplication on the Montgomery u-line: X25519(k, u).
+[[nodiscard]] ByteArray<32> x25519(const ByteArray<32>& scalar, const ByteArray<32>& u);
+
+/// Public key = X25519(clamp(secret), 9).
+[[nodiscard]] X25519PublicKey x25519_public(const X25519SecretKey& secret);
+
+/// Shared secret = X25519(clamp(my_secret), their_public). Returns the raw
+/// u-coordinate; hash before use as a symmetric key (see derive_aead_key).
+[[nodiscard]] ByteArray<32> x25519_shared(const X25519SecretKey& my_secret,
+                                          const X25519PublicKey& their_public);
+
+/// HKDF-style derivation of an AEAD key from a DH shared secret and a
+/// context label.
+[[nodiscard]] AeadKey derive_aead_key(const ByteArray<32>& shared_secret,
+                                      BytesView label);
+
+}  // namespace repchain::crypto

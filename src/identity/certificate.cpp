@@ -1,0 +1,57 @@
+#include "identity/certificate.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::identity {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kProvider:
+      return "provider";
+    case Role::kCollector:
+      return "collector";
+    case Role::kGovernor:
+      return "governor";
+  }
+  return "unknown";
+}
+
+Bytes Certificate::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-cert-v1");
+  w.u32(subject.value());
+  w.u8(static_cast<std::uint8_t>(role));
+  w.raw(view(public_key.bytes));
+  w.u64(issued_at);
+  w.u64(serial);
+  return std::move(w).take();
+}
+
+Bytes Certificate::encode() const {
+  BinaryWriter w;
+  w.u32(subject.value());
+  w.u8(static_cast<std::uint8_t>(role));
+  w.raw(view(public_key.bytes));
+  w.u64(issued_at);
+  w.u64(serial);
+  w.raw(view(ca_signature.bytes));
+  return std::move(w).take();
+}
+
+Certificate Certificate::decode(BytesView data) {
+  BinaryReader r(data);
+  Certificate c;
+  c.subject = NodeId(r.u32());
+  const auto role_raw = r.u8();
+  if (role_raw < 1 || role_raw > 3) throw DecodeError("bad role in certificate");
+  c.role = static_cast<Role>(role_raw);
+  c.public_key.bytes = r.raw_array<32>();
+  c.issued_at = r.u64();
+  c.serial = r.u64();
+  c.ca_signature.bytes = r.raw_array<64>();
+  r.expect_done();
+  return c;
+}
+
+}  // namespace repchain::identity

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace repchain::identity {
+
+/// Role of a network member, recorded by the Identity Manager (§3.1).
+enum class Role : std::uint8_t {
+  kProvider = 1,
+  kCollector = 2,
+  kGovernor = 3,
+};
+
+[[nodiscard]] const char* role_name(Role r);
+
+/// Credential binding a node id and role to an Ed25519 public key, signed by
+/// the Identity Manager's CA key. All protocol-level authentication
+/// ultimately chains up to one of these.
+struct Certificate {
+  NodeId subject;
+  Role role = Role::kProvider;
+  crypto::PublicKey public_key;
+  SimTime issued_at = 0;
+  std::uint64_t serial = 0;
+  crypto::Signature ca_signature;
+
+  /// Canonical byte encoding of the signed fields (everything but the
+  /// signature) — the CA's signing preimage.
+  [[nodiscard]] Bytes signed_preimage() const;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Certificate decode(BytesView data);
+};
+
+}  // namespace repchain::identity

@@ -1,0 +1,68 @@
+#include "identity/identity_manager.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::identity {
+
+IdentityManager::IdentityManager(const crypto::PrivateSeed& ca_seed) : ca_key_(ca_seed) {}
+
+Certificate IdentityManager::enroll(NodeId node, Role role, const crypto::PublicKey& key,
+                                    SimTime issued_at) {
+  if (certs_.contains(node)) {
+    throw ConfigError("node already enrolled with the identity manager");
+  }
+  Certificate cert;
+  cert.subject = node;
+  cert.role = role;
+  cert.public_key = key;
+  cert.issued_at = issued_at;
+  cert.serial = next_serial_++;
+  cert.ca_signature = ca_key_.sign(cert.signed_preimage());
+  certs_.emplace(node, cert);
+  return cert;
+}
+
+bool IdentityManager::is_enrolled(NodeId node) const { return certs_.contains(node); }
+
+const Certificate& IdentityManager::certificate(NodeId node) const {
+  const auto it = certs_.find(node);
+  if (it == certs_.end()) throw ConfigError("unknown node in identity manager");
+  return it->second;
+}
+
+std::optional<Role> IdentityManager::role_of(NodeId node) const {
+  const auto it = certs_.find(node);
+  if (it == certs_.end()) return std::nullopt;
+  return it->second.role;
+}
+
+bool IdentityManager::verify_certificate(const Certificate& cert) const {
+  if (is_revoked(cert.subject)) return false;
+  const auto it = certs_.find(cert.subject);
+  if (it == certs_.end()) return false;
+  // The registered certificate must match byte-for-byte (prevents swapping
+  // a stale cert for the same subject).
+  if (it->second.encode() != cert.encode()) return false;
+  return crypto::verify(ca_key_.public_key(), cert.signed_preimage(), cert.ca_signature);
+}
+
+bool IdentityManager::authenticate(NodeId node, BytesView message,
+                                   const crypto::Signature& sig) const {
+  if (is_revoked(node)) return false;
+  const auto it = certs_.find(node);
+  if (it == certs_.end()) return false;
+  return crypto::verify(it->second.public_key, message, sig);
+}
+
+bool IdentityManager::authorize(NodeId node, Role required_role, BytesView message,
+                                const crypto::Signature& sig) const {
+  const auto role = role_of(node);
+  if (!role || *role != required_role) return false;
+  return authenticate(node, message, sig);
+}
+
+void IdentityManager::revoke(NodeId node) { revoked_.insert(node); }
+
+bool IdentityManager::is_revoked(NodeId node) const { return revoked_.contains(node); }
+
+}  // namespace repchain::identity

@@ -1,0 +1,124 @@
+#include "ledger/block.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "crypto/merkle.hpp"
+
+namespace repchain::ledger {
+
+const char* tx_status_name(TxStatus s) {
+  switch (s) {
+    case TxStatus::kCheckedValid:
+      return "checked-valid";
+    case TxStatus::kUncheckedInvalid:
+      return "unchecked-invalid";
+    case TxStatus::kArguedValid:
+      return "argued-valid";
+  }
+  return "unknown";
+}
+
+Bytes TxRecord::encode() const {
+  BinaryWriter w;
+  w.bytes(tx.encode());
+  w.u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(label)));
+  w.u8(static_cast<std::uint8_t>(status));
+  return std::move(w).take();
+}
+
+TxRecord TxRecord::decode(BytesView data) {
+  BinaryReader r(data);
+  TxRecord rec;
+  rec.tx = Transaction::decode(r.bytes());
+  const auto raw_label = static_cast<std::int8_t>(r.u8());
+  if (raw_label != +1 && raw_label != -1) throw DecodeError("bad label in tx record");
+  rec.label = static_cast<Label>(raw_label);
+  const auto raw_status = r.u8();
+  if (raw_status < 1 || raw_status > 3) throw DecodeError("bad status in tx record");
+  rec.status = static_cast<TxStatus>(raw_status);
+  r.expect_done();
+  return rec;
+}
+
+Bytes Block::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-block-v1");
+  w.u64(serial);
+  w.u64(round);
+  w.raw(view(prev_hash));
+  w.raw(view(tx_root));
+  w.u32(leader.value());
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const auto& rec : txs) w.bytes(rec.encode());
+  return std::move(w).take();
+}
+
+crypto::Hash256 Block::hash() const { return crypto::Sha256::hash(encode()); }
+
+crypto::Hash256 Block::compute_tx_root() const {
+  std::vector<Bytes> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& rec : txs) leaves.push_back(rec.encode());
+  return crypto::MerkleTree(leaves).root();
+}
+
+Bytes Block::encode() const {
+  BinaryWriter w;
+  w.u64(serial);
+  w.u64(round);
+  w.raw(view(prev_hash));
+  w.raw(view(tx_root));
+  w.u32(leader.value());
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const auto& rec : txs) w.bytes(rec.encode());
+  w.raw(view(leader_sig.bytes));
+  return std::move(w).take();
+}
+
+Block Block::decode(BytesView data) {
+  BinaryReader r(data);
+  Block b;
+  b.serial = r.u64();
+  b.round = r.u64();
+  b.prev_hash = r.raw_array<32>();
+  b.tx_root = r.raw_array<32>();
+  b.leader = GovernorId(r.u32());
+  const auto count = r.u32();
+  // Each TXList entry is length-prefixed (>= 4 bytes on the wire).
+  r.expect_count(count, 4);
+  b.txs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    b.txs.push_back(TxRecord::decode(r.bytes()));
+  }
+  b.leader_sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return b;
+}
+
+crypto::MerkleProof Block::prove_tx(std::size_t index) const {
+  std::vector<Bytes> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& rec : txs) leaves.push_back(rec.encode());
+  return crypto::MerkleTree(leaves).prove(index);
+}
+
+bool Block::verify_tx_inclusion(const crypto::Hash256& tx_root, const TxRecord& record,
+                                const crypto::MerkleProof& proof) {
+  return crypto::MerkleTree::verify(tx_root, record.encode(), proof);
+}
+
+Block make_block(BlockSerial serial, Round round, const crypto::Hash256& prev_hash,
+                 GovernorId leader, std::vector<TxRecord> txs,
+                 const crypto::SigningKey& key) {
+  Block b;
+  b.serial = serial;
+  b.round = round;
+  b.prev_hash = prev_hash;
+  b.leader = leader;
+  b.txs = std::move(txs);
+  b.tx_root = b.compute_tx_root();
+  b.leader_sig = key.sign(b.signed_preimage());
+  return b;
+}
+
+}  // namespace repchain::ledger

@@ -1,0 +1,94 @@
+#include "ledger/transaction.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::ledger {
+
+Bytes Transaction::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-tx-v1");
+  w.u32(provider.value());
+  w.u64(seq);
+  w.u64(timestamp);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+TxId Transaction::id() const { return crypto::Sha256::hash(signed_preimage()); }
+
+Bytes Transaction::encode() const {
+  BinaryWriter w;
+  w.u32(provider.value());
+  w.u64(seq);
+  w.u64(timestamp);
+  w.bytes(payload);
+  w.raw(view(provider_sig.bytes));
+  return std::move(w).take();
+}
+
+Transaction Transaction::decode(BytesView data) {
+  BinaryReader r(data);
+  Transaction tx;
+  tx.provider = ProviderId(r.u32());
+  tx.seq = r.u64();
+  tx.timestamp = r.u64();
+  tx.payload = r.bytes();
+  tx.provider_sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return tx;
+}
+
+Transaction make_transaction(ProviderId provider, std::uint64_t seq, SimTime timestamp,
+                             Bytes payload, const crypto::SigningKey& key) {
+  Transaction tx;
+  tx.provider = provider;
+  tx.seq = seq;
+  tx.timestamp = timestamp;
+  tx.payload = std::move(payload);
+  tx.provider_sig = key.sign(tx.signed_preimage());
+  return tx;
+}
+
+Bytes LabeledTransaction::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-labeled-tx-v1");
+  w.bytes(tx.encode());
+  w.u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(label)));
+  w.u32(collector.value());
+  return std::move(w).take();
+}
+
+Bytes LabeledTransaction::encode() const {
+  BinaryWriter w;
+  w.bytes(tx.encode());
+  w.u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(label)));
+  w.u32(collector.value());
+  w.raw(view(collector_sig.bytes));
+  return std::move(w).take();
+}
+
+LabeledTransaction LabeledTransaction::decode(BytesView data) {
+  BinaryReader r(data);
+  LabeledTransaction ltx;
+  ltx.tx = Transaction::decode(r.bytes());
+  const auto raw = static_cast<std::int8_t>(r.u8());
+  if (raw != +1 && raw != -1) throw DecodeError("label must be +1 or -1");
+  ltx.label = static_cast<Label>(raw);
+  ltx.collector = CollectorId(r.u32());
+  ltx.collector_sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return ltx;
+}
+
+LabeledTransaction make_labeled(const Transaction& tx, Label label, CollectorId collector,
+                                const crypto::SigningKey& key) {
+  LabeledTransaction ltx;
+  ltx.tx = tx;
+  ltx.label = label;
+  ltx.collector = collector;
+  ltx.collector_sig = key.sign(ltx.signed_preimage());
+  return ltx;
+}
+
+}  // namespace repchain::ledger

@@ -1,0 +1,41 @@
+#include "net/atomic_broadcast.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace repchain::net {
+
+AtomicBroadcastGroup::AtomicBroadcastGroup(SimNetwork& net, std::vector<NodeId> members)
+    : net_(net), members_(std::move(members)) {
+  if (members_.empty()) throw ConfigError("atomic broadcast group needs members");
+}
+
+void AtomicBroadcastGroup::broadcast(NodeId from, MsgKind kind, const Bytes& payload) {
+  ++next_seq_;
+  auto& queue = net_.queue();
+  for (NodeId member : members_) {
+    // Count the copy in network statistics (atomic broadcast costs one
+    // message per member in this sequencer realization).
+    // Delivery respects both the link delay and the group's total order.
+    const SimTime arrival = queue.now() + net_.draw_delay();
+    SimTime& last = last_delivery_[member];
+    const SimTime deliver_at = std::max(arrival, last);
+    last = deliver_at;
+
+    Message msg;
+    msg.from = from;
+    msg.to = member;
+    msg.kind = kind;
+    msg.payload = payload;
+    msg.sent_at = queue.now();
+    msg.delivered_at = deliver_at;
+
+    queue.schedule_at(deliver_at, [&net = net_, msg = std::move(msg)]() {
+      net.deliver_direct(msg);
+    });
+  }
+  net_.count_broadcast(kind, members_.size(), payload.size());
+}
+
+}  // namespace repchain::net

@@ -1,0 +1,40 @@
+#include "net/event_queue.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::net {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) throw NetError("cannot schedule event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    // Move the callback out before popping so it can schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++n;
+    ++processed_;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace repchain::net

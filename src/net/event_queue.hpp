@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace repchain::net {
+
+/// Deterministic discrete-event scheduler. Events scheduled for the same
+/// simulated time fire in scheduling order (FIFO tie-break), which makes
+/// whole-protocol runs bit-reproducible from the scenario seed.
+///
+/// This is the substrate for the paper's synchronous system model: message
+/// transmission and processing delays are realized as bounded event delays.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute simulated time `t` (>= now).
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after a relative delay.
+  void schedule_after(SimDuration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+
+  /// Process events until the queue drains or `max_events` fire.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Process events with time <= `until`.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace repchain::net

@@ -1,0 +1,96 @@
+#include "net/network.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::net {
+
+namespace {
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+}  // namespace
+
+SimNetwork::SimNetwork(EventQueue& queue, Rng rng, LatencyModel latency)
+    : queue_(queue), rng_(rng), latency_(latency) {
+  if (latency.min_delay > latency.max_delay) {
+    throw ConfigError("latency min_delay > max_delay");
+  }
+}
+
+NodeId SimNetwork::add_node() {
+  handlers_.emplace_back();
+  down_.push_back(false);
+  return NodeId(static_cast<std::uint32_t>(handlers_.size() - 1));
+}
+
+void SimNetwork::set_handler(NodeId node, Handler handler) {
+  handlers_.at(node.value()) = std::move(handler);
+}
+
+SimDuration SimNetwork::draw_delay() {
+  const SimDuration span = latency_.max_delay - latency_.min_delay;
+  return latency_.min_delay + (span == 0 ? 0 : rng_.uniform(span + 1));
+}
+
+void SimNetwork::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) {
+  if (from.value() >= handlers_.size() || to.value() >= handlers_.size()) {
+    throw NetError("send to/from unregistered node");
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  ++stats_.by_kind[kind];
+  stats_.bytes_by_kind[kind] += payload.size();
+
+  if (down_[from.value()] || down_[to.value()]) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (const auto it = drop_.find(link_key(from, to));
+      it != drop_.end() && rng_.bernoulli(it->second)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.kind = kind;
+  msg.payload = std::move(payload);
+  msg.sent_at = queue_.now();
+
+  const SimTime deliver_at = queue_.now() + draw_delay();
+  queue_.schedule_at(deliver_at, [this, msg = std::move(msg), deliver_at]() mutable {
+    msg.delivered_at = deliver_at;
+    auto& handler = handlers_.at(msg.to.value());
+    if (handler && !down_[msg.to.value()]) handler(msg);
+  });
+}
+
+void SimNetwork::multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
+                           const Bytes& payload) {
+  for (NodeId dest : to) send(from, dest, kind, payload);
+}
+
+void SimNetwork::set_drop_probability(NodeId from, NodeId to, double p) {
+  if (p < 0.0 || p > 1.0) throw ConfigError("drop probability out of [0,1]");
+  drop_[link_key(from, to)] = p;
+}
+
+void SimNetwork::set_node_down(NodeId node, bool down) {
+  down_.at(node.value()) = down;
+}
+
+void SimNetwork::deliver_direct(const Message& msg) {
+  auto& handler = handlers_.at(msg.to.value());
+  if (handler && !down_[msg.to.value()] && !down_[msg.from.value()]) handler(msg);
+}
+
+void SimNetwork::count_broadcast(MsgKind kind, std::size_t copies,
+                                 std::size_t payload_bytes) {
+  stats_.messages_sent += copies;
+  stats_.bytes_sent += copies * payload_bytes;
+  stats_.by_kind[kind] += copies;
+  stats_.bytes_by_kind[kind] += copies * payload_bytes;
+}
+
+}  // namespace repchain::net

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "net/event_queue.hpp"
+
+namespace repchain::net {
+
+/// Message kinds, used both for dispatch and for the communication-complexity
+/// accounting of experiment E5 (see DESIGN.md).
+enum class MsgKind : std::uint16_t {
+  kProviderTx = 1,      // provider -> collectors (collecting phase)
+  kCollectorUpload = 2, // collector -> governors (uploading phase)
+  kArgue = 3,           // provider -> governors (argue on a buried tx)
+  kVrfAnnounce = 4,     // governor -> governors (leader election)
+  kBlockProposal = 5,   // leader -> governors
+  kStakeTx = 6,         // governor -> governors (stake transfer)
+  kStateProposal = 7,   // leader -> governors (3-step consensus, step 1)
+  kStateSignature = 8,  // governor -> leader   (3-step consensus, step 2)
+  kStateCommit = 9,     // leader -> governors  (3-step consensus, step 3)
+  kExpelEvidence = 10,  // governor -> governors (leader misbehaved)
+  kLabelGossip = 11,    // governor -> governors (equivocation detection)
+  kBlockRequest = 12,   // any node -> governor (retrieve(s))
+  kBlockResponse = 13,  // governor -> requester
+  kTest = 99,
+};
+
+/// A delivered network message.
+struct Message {
+  NodeId from;
+  NodeId to;
+  MsgKind kind = MsgKind::kTest;
+  Bytes payload;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+/// Uniform link latency in [min_delay, max_delay]; max_delay is the
+/// synchrony bound Delta the paper assumes known.
+struct LatencyModel {
+  SimDuration min_delay = 1 * kMillisecond;
+  SimDuration max_delay = 10 * kMillisecond;
+};
+
+/// Per-kind and aggregate traffic counters.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::map<MsgKind, std::uint64_t> by_kind;
+  std::map<MsgKind, std::uint64_t> bytes_by_kind;
+};
+
+/// Simulated point-to-point network with bounded delays, optional lossy
+/// links for fault injection, and traffic accounting. All sends are
+/// unicast; broadcast is a loop (each copy is a counted message, which is
+/// what the paper's communication-complexity claims count too).
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  SimNetwork(EventQueue& queue, Rng rng, LatencyModel latency);
+
+  /// Register a new node; the handler may be installed later (two-phase
+  /// construction lets nodes capture their own id).
+  NodeId add_node();
+  void set_handler(NodeId node, Handler handler);
+
+  /// Send a message; it is delivered after a bounded random delay unless the
+  /// link drops it.
+  void send(NodeId from, NodeId to, MsgKind kind, Bytes payload);
+
+  /// Unicast to each destination.
+  void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
+                 const Bytes& payload);
+
+  /// Fault injection: fraction of messages lost on the (from, to) link.
+  void set_drop_probability(NodeId from, NodeId to, double p);
+  /// Fault injection: all messages sent by `node` are lost (crash).
+  void set_node_down(NodeId node, bool down);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] SimDuration max_delay() const { return latency_.max_delay; }
+  [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
+
+  /// Draw one link delay (exposed for the atomic-broadcast layer).
+  [[nodiscard]] SimDuration draw_delay();
+
+  /// Invoke the destination handler for a fully-formed message now. Used by
+  /// the atomic-broadcast layer, which schedules and orders deliveries
+  /// itself. Respects node-down fault injection.
+  void deliver_direct(const Message& msg);
+
+  /// Account for `copies` unicast copies of a broadcast in the traffic stats.
+  void count_broadcast(MsgKind kind, std::size_t copies, std::size_t payload_bytes);
+
+ private:
+  EventQueue& queue_;
+  Rng rng_;
+  LatencyModel latency_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> down_;
+  std::unordered_map<std::uint64_t, double> drop_;  // key = from<<32 | to
+  NetworkStats stats_;
+};
+
+}  // namespace repchain::net

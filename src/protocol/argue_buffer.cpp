@@ -1,0 +1,52 @@
+#include "protocol/argue_buffer.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::protocol {
+
+ArgueBuffer::ArgueBuffer(std::size_t u) : u_(u) {
+  if (u == 0) throw ConfigError("argue latency U must be positive");
+}
+
+void ArgueBuffer::record(ProviderId provider, const ledger::TxId& id) {
+  PerProvider& p = providers_[provider];
+  p.positions.emplace(id, p.counter);
+  ++p.counter;
+  expire_old(p);
+}
+
+void ArgueBuffer::expire_old(PerProvider& p) {
+  // Lazy sweep: drop entries buried deeper than U. The map stays small
+  // (<= U+1 live entries) so a full scan on insert is cheap and keeps
+  // `arguable` O(1).
+  for (auto it = p.positions.begin(); it != p.positions.end();) {
+    if (p.counter - it->second > u_ + 1) {
+      it = p.positions.erase(it);
+      ++expired_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool ArgueBuffer::arguable(ProviderId provider, const ledger::TxId& id) const {
+  const auto pit = providers_.find(provider);
+  if (pit == providers_.end()) return false;
+  const auto it = pit->second.positions.find(id);
+  if (it == pit->second.positions.end()) return false;
+  // buried-by count = counter - pos - 1; arguable while buried-by <= U.
+  return pit->second.counter - it->second <= u_ + 1;
+}
+
+bool ArgueBuffer::consume(ProviderId provider, const ledger::TxId& id) {
+  if (!arguable(provider, id)) return false;
+  providers_[provider].positions.erase(id);
+  return true;
+}
+
+std::size_t ArgueBuffer::pending(ProviderId provider) const {
+  const auto pit = providers_.find(provider);
+  return pit == providers_.end() ? 0 : pit->second.positions.size();
+}
+
+}  // namespace repchain::protocol

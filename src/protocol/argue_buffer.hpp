@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "ledger/transaction.hpp"
+
+namespace repchain::protocol {
+
+/// Bookkeeping for the argue-latency bound U (§3.1, §4.2).
+///
+/// A transaction recorded invalid-and-unchecked can be argued only until it
+/// is "buried" by more than U newer unchecked transactions from the same
+/// provider; after that it is invalid permanently. Each governor keeps one
+/// of these per local ledger view.
+class ArgueBuffer {
+ public:
+  explicit ArgueBuffer(std::size_t u);
+
+  /// Record a newly unchecked transaction for `provider`. Expires anything
+  /// buried deeper than U.
+  void record(ProviderId provider, const ledger::TxId& id);
+
+  /// Still within the latency bound?
+  [[nodiscard]] bool arguable(ProviderId provider, const ledger::TxId& id) const;
+
+  /// Remove and return whether the tx was arguable (an accepted argue
+  /// consumes the entry; a rejected one leaves state unchanged).
+  bool consume(ProviderId provider, const ledger::TxId& id);
+
+  [[nodiscard]] std::size_t u() const { return u_; }
+  /// Currently arguable entries for one provider.
+  [[nodiscard]] std::size_t pending(ProviderId provider) const;
+  /// Total transactions ever expired unargued.
+  [[nodiscard]] std::uint64_t expired() const { return expired_; }
+
+ private:
+  struct PerProvider {
+    // Position counter of the next unchecked tx; a tx at position p has been
+    // buried by (counter - p - 1) newer ones and stays arguable while that
+    // count is <= U.
+    std::uint64_t counter = 0;
+    std::unordered_map<ledger::TxId, std::uint64_t, ledger::TxIdHash> positions;
+  };
+
+  void expire_old(PerProvider& p);
+
+  std::size_t u_;
+  std::unordered_map<ProviderId, PerProvider> providers_;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace repchain::protocol

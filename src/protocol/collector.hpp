@@ -1,0 +1,106 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "identity/identity_manager.hpp"
+#include "ledger/validation_oracle.hpp"
+#include "net/atomic_broadcast.hpp"
+#include "protocol/directory.hpp"
+
+namespace repchain::protocol {
+
+/// Behaviour model of a collector. The honest profile verifies, labels
+/// truthfully and uploads everything; the knobs below realize the three
+/// misbehaviour classes of §4.2 plus observation noise:
+///   (1) misreporting  — flip_probability (deliberate) / accuracy (noise),
+///   (2) concealing    — drop_probability,
+///   (3) forging       — forge_probability (a fabricated transaction with a
+///       bogus provider signature is attached per genuine one received),
+/// plus equivocation (different labels to different governors), which models
+/// a Byzantine collector stepping outside the atomic-broadcast primitive.
+struct CollectorBehavior {
+  double accuracy = 1.0;
+  double flip_probability = 0.0;
+  double drop_probability = 0.0;
+  double forge_probability = 0.0;
+  bool equivocate = false;
+
+  [[nodiscard]] static CollectorBehavior honest() { return {}; }
+  [[nodiscard]] static CollectorBehavior noisy(double accuracy) {
+    CollectorBehavior b;
+    b.accuracy = accuracy;
+    return b;
+  }
+  [[nodiscard]] static CollectorBehavior adversarial() {
+    CollectorBehavior b;
+    b.flip_probability = 1.0;
+    return b;
+  }
+  [[nodiscard]] static CollectorBehavior misreporting(double flip) {
+    CollectorBehavior b;
+    b.flip_probability = flip;
+    return b;
+  }
+  [[nodiscard]] static CollectorBehavior concealing(double drop) {
+    CollectorBehavior b;
+    b.drop_probability = drop;
+    return b;
+  }
+  [[nodiscard]] static CollectorBehavior forging(double rate) {
+    CollectorBehavior b;
+    b.forge_probability = rate;
+    return b;
+  }
+  [[nodiscard]] static CollectorBehavior equivocating() {
+    CollectorBehavior b;
+    b.equivocate = true;
+    return b;
+  }
+};
+
+/// Per-collector activity counters.
+struct CollectorStats {
+  std::uint64_t received = 0;
+  std::uint64_t uploaded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t forged = 0;
+  std::uint64_t rejected_bad_signature = 0;
+};
+
+/// A collector node (tier 2): verifies provider signatures, labels
+/// transactions ±1 per its (mis)behaviour model, signs and atomically
+/// broadcasts the labeled transaction to all governors (Algorithm 1).
+class Collector {
+ public:
+  Collector(CollectorId id, NodeId node, crypto::SigningKey key, net::SimNetwork& net,
+            const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
+            const Directory& directory, net::AtomicBroadcastGroup& upload_group,
+            CollectorBehavior behavior, Rng rng);
+
+  /// Network delivery entry point (kProviderTx messages).
+  void on_message(const net::Message& msg);
+
+  [[nodiscard]] CollectorId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const CollectorBehavior& behavior() const { return behavior_; }
+  [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+
+ private:
+  void upload(const ledger::Transaction& tx, ledger::Label label);
+  void upload_forgery(ProviderId provider);
+
+  CollectorId id_;
+  NodeId node_;
+  crypto::SigningKey key_;
+  net::SimNetwork& net_;
+  const identity::IdentityManager& im_;
+  ledger::ValidationOracle& oracle_;
+  const Directory& directory_;
+  net::AtomicBroadcastGroup& upload_group_;
+  CollectorBehavior behavior_;
+  Rng rng_;
+  CollectorStats stats_;
+  std::uint64_t forge_seq_ = 1'000'000'000;  // distinct seq space for fabrications
+};
+
+}  // namespace repchain::protocol

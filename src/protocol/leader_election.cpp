@@ -1,0 +1,78 @@
+#include "protocol/leader_election.hpp"
+
+namespace repchain::protocol {
+
+ElectionState::ElectionState(Round round, const StakeLedger& stake,
+                             const std::set<GovernorId>& expelled)
+    : round_(round) {
+  for (const auto& [gov, units] : stake.balances()) {
+    if (!expelled.contains(gov) && units > 0) expected_.emplace(gov, units);
+  }
+}
+
+bool ElectionState::add_announcement(const VrfAnnounceMsg& msg,
+                                     const identity::IdentityManager& im,
+                                     NodeId sender_node) {
+  if (msg.round != round_) return false;
+  const auto it = expected_.find(msg.governor);
+  if (it == expected_.end()) return false;        // unknown or expelled governor
+  if (seen_.contains(msg.governor)) return false;  // duplicate announcement
+  if (msg.tickets.size() != it->second) return false;  // one ticket per stake unit
+
+  // Verify every ticket's VRF proof against the governor's enrolled key.
+  const auto role = im.role_of(sender_node);
+  if (!role || *role != identity::Role::kGovernor) return false;
+  const auto& pub = im.certificate(sender_node).public_key;
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> hashes;
+  hashes.reserve(msg.tickets.size());
+  std::set<std::uint32_t> units_seen;
+  for (const auto& t : msg.tickets) {
+    if (t.governor != msg.governor) return false;
+    if (t.unit >= it->second) return false;        // unit index out of range
+    if (!units_seen.insert(t.unit).second) return false;  // duplicate unit
+    const auto out = crypto::vrf_verify(pub, vrf_alpha(round_, t.governor, t.unit),
+                                        t.proof);
+    if (!out) return false;
+    hashes.emplace_back(crypto::vrf_output_to_u64(*out), t.unit);
+  }
+
+  seen_.insert(msg.governor);
+  for (const auto& [hash, unit] : hashes) {
+    const bool better =
+        hash < best_.hash ||
+        (hash == best_.hash && (msg.governor < best_.governor ||
+                                (msg.governor == best_.governor && unit < best_.unit)));
+    if (better) {
+      best_.hash = hash;
+      best_.governor = msg.governor;
+      best_.unit = unit;
+    }
+  }
+  return true;
+}
+
+bool ElectionState::complete() const { return seen_.size() == expected_.size(); }
+
+std::optional<GovernorId> ElectionState::winner() const {
+  if (!complete() || expected_.empty()) return std::nullopt;
+  return best_.governor;
+}
+
+VrfAnnounceMsg make_announcement(Round round, GovernorId gov, std::uint64_t stake_units,
+                                 const crypto::SigningKey& key) {
+  VrfAnnounceMsg msg;
+  msg.round = round;
+  msg.governor = gov;
+  msg.tickets.reserve(stake_units);
+  for (std::uint32_t u = 0; u < stake_units; ++u) {
+    VrfTicket t;
+    t.governor = gov;
+    t.unit = u;
+    t.proof = crypto::vrf_evaluate(key, vrf_alpha(round, gov, u)).proof;
+    msg.tickets.push_back(t);
+  }
+  return msg;
+}
+
+}  // namespace repchain::protocol

@@ -1,0 +1,290 @@
+#include "protocol/messages.hpp"
+
+#include "common/serial.hpp"
+
+namespace repchain::protocol {
+
+// --- ArgueMsg ---------------------------------------------------------------
+
+Bytes ArgueMsg::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-argue-v1");
+  w.u32(provider.value());
+  w.bytes(tx.encode());
+  w.u64(serial);
+  return std::move(w).take();
+}
+
+Bytes ArgueMsg::encode() const {
+  BinaryWriter w;
+  w.u32(provider.value());
+  w.bytes(tx.encode());
+  w.u64(serial);
+  w.raw(view(provider_sig.bytes));
+  return std::move(w).take();
+}
+
+ArgueMsg ArgueMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  ArgueMsg m;
+  m.provider = ProviderId(r.u32());
+  m.tx = ledger::Transaction::decode(r.bytes());
+  m.serial = r.u64();
+  m.provider_sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return m;
+}
+
+ArgueMsg make_argue(ProviderId provider, const ledger::Transaction& tx,
+                    BlockSerial serial, const crypto::SigningKey& key) {
+  ArgueMsg m;
+  m.provider = provider;
+  m.tx = tx;
+  m.serial = serial;
+  m.provider_sig = key.sign(m.signed_preimage());
+  return m;
+}
+
+// --- VRF announce ------------------------------------------------------------
+
+Bytes vrf_alpha(Round round, GovernorId governor, std::uint32_t unit) {
+  BinaryWriter w;
+  w.str("repchain-leader-vrf-v1");
+  w.u64(round);
+  w.u32(governor.value());
+  w.u32(unit);
+  return std::move(w).take();
+}
+
+Bytes VrfAnnounceMsg::encode() const {
+  BinaryWriter w;
+  w.u64(round);
+  w.u32(governor.value());
+  w.u32(static_cast<std::uint32_t>(tickets.size()));
+  for (const auto& t : tickets) {
+    w.u32(t.governor.value());
+    w.u32(t.unit);
+    w.raw(view(t.proof.bytes));
+  }
+  return std::move(w).take();
+}
+
+VrfAnnounceMsg VrfAnnounceMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  VrfAnnounceMsg m;
+  m.round = r.u64();
+  m.governor = GovernorId(r.u32());
+  const auto n = r.u32();
+  r.expect_count(n, 4 + 4 + 64);  // governor + unit + proof per ticket
+  m.tickets.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    VrfTicket t;
+    t.governor = GovernorId(r.u32());
+    t.unit = r.u32();
+    t.proof.bytes = r.raw_array<64>();
+    m.tickets.push_back(t);
+  }
+  r.expect_done();
+  return m;
+}
+
+// --- Stake transfer ----------------------------------------------------------
+
+Bytes StakeTxMsg::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-stake-tx-v1");
+  w.u32(from.value());
+  w.u32(to.value());
+  w.u64(amount);
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+Bytes StakeTxMsg::encode() const {
+  BinaryWriter w;
+  w.u32(from.value());
+  w.u32(to.value());
+  w.u64(amount);
+  w.u64(seq);
+  w.raw(view(sig.bytes));
+  return std::move(w).take();
+}
+
+StakeTxMsg StakeTxMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  StakeTxMsg m;
+  m.from = GovernorId(r.u32());
+  m.to = GovernorId(r.u32());
+  m.amount = r.u64();
+  m.seq = r.u64();
+  m.sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return m;
+}
+
+StakeTxMsg make_stake_tx(GovernorId from, GovernorId to, std::uint64_t amount,
+                         std::uint64_t seq, const crypto::SigningKey& key) {
+  StakeTxMsg m;
+  m.from = from;
+  m.to = to;
+  m.amount = amount;
+  m.seq = seq;
+  m.sig = key.sign(m.signed_preimage());
+  return m;
+}
+
+// --- Stake consensus (3-step) --------------------------------------------------
+
+Bytes StateProposalMsg::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-state-proposal-v1");
+  w.u64(round);
+  w.u32(leader.value());
+  w.bytes(state);
+  return std::move(w).take();
+}
+
+Bytes StateProposalMsg::encode() const {
+  BinaryWriter w;
+  w.u64(round);
+  w.u32(leader.value());
+  w.bytes(state);
+  w.raw(view(leader_sig.bytes));
+  return std::move(w).take();
+}
+
+StateProposalMsg StateProposalMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  StateProposalMsg m;
+  m.round = r.u64();
+  m.leader = GovernorId(r.u32());
+  m.state = r.bytes();
+  m.leader_sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return m;
+}
+
+Bytes StateSignatureMsg::encode() const {
+  BinaryWriter w;
+  w.u64(round);
+  w.u32(signer.value());
+  w.raw(view(sig.bytes));
+  return std::move(w).take();
+}
+
+StateSignatureMsg StateSignatureMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  StateSignatureMsg m;
+  m.round = r.u64();
+  m.signer = GovernorId(r.u32());
+  m.sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return m;
+}
+
+Bytes StateCommitMsg::encode() const {
+  BinaryWriter w;
+  w.u64(round);
+  w.u32(leader.value());
+  w.bytes(state);
+  w.u32(static_cast<std::uint32_t>(signatures.size()));
+  for (const auto& s : signatures) w.bytes(s.encode());
+  return std::move(w).take();
+}
+
+StateCommitMsg StateCommitMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  StateCommitMsg m;
+  m.round = r.u64();
+  m.leader = GovernorId(r.u32());
+  m.state = r.bytes();
+  const auto n = r.u32();
+  r.expect_count(n, 4);  // each signature entry is length-prefixed
+  m.signatures.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.signatures.push_back(StateSignatureMsg::decode(r.bytes()));
+  }
+  r.expect_done();
+  return m;
+}
+
+// --- Block retrieval -------------------------------------------------------------
+
+Bytes BlockRequestMsg::encode() const {
+  BinaryWriter w;
+  w.u64(serial);
+  return std::move(w).take();
+}
+
+BlockRequestMsg BlockRequestMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  BlockRequestMsg m;
+  m.serial = r.u64();
+  r.expect_done();
+  return m;
+}
+
+Bytes BlockResponseMsg::encode() const {
+  BinaryWriter w;
+  w.u64(serial);
+  w.boolean(found);
+  w.bytes(block);
+  return std::move(w).take();
+}
+
+BlockResponseMsg BlockResponseMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  BlockResponseMsg m;
+  m.serial = r.u64();
+  m.found = r.boolean();
+  m.block = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+// --- Expulsion -----------------------------------------------------------------
+
+Bytes ExpelMsg::signed_preimage() const {
+  BinaryWriter w;
+  w.str("repchain-expel-v1");
+  w.u64(round);
+  w.u32(accuser.value());
+  w.u32(accused.value());
+  w.bytes(evidence);
+  return std::move(w).take();
+}
+
+Bytes ExpelMsg::encode() const {
+  BinaryWriter w;
+  w.u64(round);
+  w.u32(accuser.value());
+  w.u32(accused.value());
+  w.bytes(evidence);
+  w.raw(view(accuser_sig.bytes));
+  return std::move(w).take();
+}
+
+ExpelMsg ExpelMsg::decode(BytesView data) {
+  BinaryReader r(data);
+  ExpelMsg m;
+  m.round = r.u64();
+  m.accuser = GovernorId(r.u32());
+  m.accused = GovernorId(r.u32());
+  m.evidence = r.bytes();
+  m.accuser_sig.bytes = r.raw_array<64>();
+  r.expect_done();
+  return m;
+}
+
+ExpelMsg make_expel(Round round, GovernorId accuser, GovernorId accused, Bytes evidence,
+                    const crypto::SigningKey& key) {
+  ExpelMsg m;
+  m.round = round;
+  m.accuser = accuser;
+  m.accused = accused;
+  m.evidence = std::move(evidence);
+  m.accuser_sig = key.sign(m.signed_preimage());
+  return m;
+}
+
+}  // namespace repchain::protocol

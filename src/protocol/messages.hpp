@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/ed25519.hpp"
+#include "ledger/block.hpp"
+#include "ledger/transaction.hpp"
+
+namespace repchain::protocol {
+
+/// argue(tx, s) of §3.1: a provider disputes a transaction recorded
+/// invalid-and-unchecked in block `serial`.
+struct ArgueMsg {
+  ProviderId provider;
+  ledger::Transaction tx;
+  BlockSerial serial = 0;
+  crypto::Signature provider_sig;  // over the argue preimage
+
+  [[nodiscard]] Bytes signed_preimage() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ArgueMsg decode(BytesView data);
+};
+
+[[nodiscard]] ArgueMsg make_argue(ProviderId provider, const ledger::Transaction& tx,
+                                  BlockSerial serial, const crypto::SigningKey& key);
+
+/// One VRF lottery ticket: governor j's evaluation for its stake unit u in
+/// round r (§3.4.3). The output is recomputed from the proof on receipt.
+struct VrfTicket {
+  GovernorId governor;
+  std::uint32_t unit = 0;
+  crypto::Signature proof;
+};
+
+/// All of a governor's tickets for one round, announced to every governor.
+struct VrfAnnounceMsg {
+  Round round = 0;
+  GovernorId governor;
+  std::vector<VrfTicket> tickets;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static VrfAnnounceMsg decode(BytesView data);
+};
+
+/// VRF input for (round, governor, unit) — the paper's VRF_gj(r, j, u).
+[[nodiscard]] Bytes vrf_alpha(Round round, GovernorId governor, std::uint32_t unit);
+
+/// A signed stake transfer between governors (§3.4.3).
+struct StakeTxMsg {
+  GovernorId from;
+  GovernorId to;
+  std::uint64_t amount = 0;
+  std::uint64_t seq = 0;  // sender-local, prevents replay
+  crypto::Signature sig;
+
+  [[nodiscard]] Bytes signed_preimage() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StakeTxMsg decode(BytesView data);
+};
+
+[[nodiscard]] StakeTxMsg make_stake_tx(GovernorId from, GovernorId to,
+                                       std::uint64_t amount, std::uint64_t seq,
+                                       const crypto::SigningKey& key);
+
+/// Step 1 of the stake consensus: the leader proposes NEW_STATE.
+struct StateProposalMsg {
+  Round round = 0;
+  GovernorId leader;
+  Bytes state;  // canonical StakeLedger encoding
+  crypto::Signature leader_sig;
+
+  [[nodiscard]] Bytes signed_preimage() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StateProposalMsg decode(BytesView data);
+};
+
+/// Step 2: a governor's signature on the proposal it verified.
+struct StateSignatureMsg {
+  Round round = 0;
+  GovernorId signer;
+  crypto::Signature sig;  // over the proposal's signed_preimage
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StateSignatureMsg decode(BytesView data);
+};
+
+/// Step 3: the leader packs the state and everyone's signatures.
+struct StateCommitMsg {
+  Round round = 0;
+  GovernorId leader;
+  Bytes state;
+  std::vector<StateSignatureMsg> signatures;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StateCommitMsg decode(BytesView data);
+};
+
+/// retrieve(s) over the network (§3.1: "for each node, he can call
+/// retrieve(s)"): ask a governor for the block with a given serial.
+struct BlockRequestMsg {
+  BlockSerial serial = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static BlockRequestMsg decode(BytesView data);
+};
+
+/// Response: the requested block, or found == false past the chain head.
+struct BlockResponseMsg {
+  BlockSerial serial = 0;
+  bool found = false;
+  Bytes block;  // encoded ledger::Block when found
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static BlockResponseMsg decode(BytesView data);
+};
+
+/// Evidence that the round leader misbehaved (e.g. proposed a state
+/// inconsistent with the stake transactions everyone saw); broadcast so other
+/// governors can verify and expel the leader (§3.4.3 step 2).
+struct ExpelMsg {
+  Round round = 0;
+  GovernorId accuser;
+  GovernorId accused;
+  Bytes evidence;  // the offending proposal's encoding
+  crypto::Signature accuser_sig;
+
+  [[nodiscard]] Bytes signed_preimage() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ExpelMsg decode(BytesView data);
+};
+
+[[nodiscard]] ExpelMsg make_expel(Round round, GovernorId accuser, GovernorId accused,
+                                  Bytes evidence, const crypto::SigningKey& key);
+
+}  // namespace repchain::protocol

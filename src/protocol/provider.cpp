@@ -1,0 +1,123 @@
+#include "protocol/provider.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::protocol {
+
+Provider::Provider(ProviderId id, NodeId node, crypto::SigningKey key,
+                   net::SimNetwork& net, const identity::IdentityManager& im,
+                   ledger::ValidationOracle& oracle, const Directory& directory,
+                   bool active)
+    : id_(id),
+      node_(node),
+      key_(std::move(key)),
+      net_(net),
+      im_(im),
+      oracle_(oracle),
+      directory_(directory),
+      active_(active),
+      collector_group_(net, directory.collector_nodes_of(id)),
+      governor_nodes_(directory.governor_nodes()) {}
+
+const ledger::Transaction& Provider::submit(Bytes payload, bool truly_valid) {
+  const ledger::Transaction tx = ledger::make_transaction(
+      id_, next_seq_++, net_.queue().now(), std::move(payload), key_);
+  oracle_.register_tx(tx.id(), truly_valid);
+
+  auto [it, inserted] = own_.emplace(tx.id(), OwnTx{tx, truly_valid, false, false});
+  // broadcast_provider(tx): atomic broadcast to the r linked collectors.
+  collector_group_.broadcast(node_, net::MsgKind::kProviderTx, tx.encode());
+  return it->second.tx;
+}
+
+void Provider::request_block(BlockSerial serial) {
+  // Round-robin over governors so retrieval load spreads.
+  const NodeId gov = governor_nodes_[serial % governor_nodes_.size()];
+  BlockRequestMsg req;
+  req.serial = serial;
+  net_.send(node_, gov, net::MsgKind::kBlockRequest, req.encode());
+}
+
+void Provider::sync() {
+  if (sync_in_flight_) return;
+  sync_in_flight_ = true;
+  request_block(chain_.height() + 1);
+}
+
+void Provider::on_message(const net::Message& msg) {
+  if (msg.kind != net::MsgKind::kBlockResponse) return;
+  BlockResponseMsg resp;
+  try {
+    resp = BlockResponseMsg::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (!sync_in_flight_) return;
+  if (resp.serial != chain_.height() + 1) return;  // stale response
+
+  if (!resp.found) {
+    // Caught up with the chain head.
+    sync_in_flight_ = false;
+    return;
+  }
+
+  ledger::Block block;
+  try {
+    block = ledger::Block::decode(resp.block);
+  } catch (const DecodeError&) {
+    ++rejected_blocks_;
+    sync_in_flight_ = false;
+    return;
+  }
+
+  // Light-client verification: the proposer must be an enrolled governor and
+  // the signature must authenticate; ChainStore::append enforces serial
+  // continuity, the hash link and the tx-root commitment.
+  const NodeId leader_node = directory_.node_of(block.leader);
+  if (!im_.authorize(leader_node, identity::Role::kGovernor, block.signed_preimage(),
+                     block.leader_sig)) {
+    ++rejected_blocks_;
+    sync_in_flight_ = false;
+    return;
+  }
+  try {
+    chain_.append(block);
+  } catch (const ProtocolError&) {
+    ++rejected_blocks_;
+    sync_in_flight_ = false;
+    return;
+  }
+
+  on_block(chain_.head());
+  // Chain the next request until the governor reports not-found.
+  request_block(chain_.height() + 1);
+}
+
+void Provider::on_block(const ledger::Block& block) {
+  for (const auto& rec : block.txs) {
+    if (rec.tx.provider != id_) continue;
+    const auto it = own_.find(rec.tx.id());
+    if (it == own_.end()) continue;
+    OwnTx& own = it->second;
+
+    if (rec.status == ledger::TxStatus::kCheckedValid ||
+        rec.status == ledger::TxStatus::kArguedValid) {
+      if (!own.confirmed) {
+        own.confirmed = true;
+        ++confirmed_valid_;
+      }
+      continue;
+    }
+
+    // (tx, invalid, unchecked): an active provider who knows the transaction
+    // is valid invokes argue(tx, s).
+    if (active_ && own.valid && !own.argued) {
+      own.argued = true;
+      ++argued_;
+      const ArgueMsg msg = make_argue(id_, own.tx, block.serial, key_);
+      net_.multicast(node_, governor_nodes_, net::MsgKind::kArgue, msg.encode());
+    }
+  }
+}
+
+}  // namespace repchain::protocol

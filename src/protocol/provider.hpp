@@ -1,0 +1,91 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "crypto/ed25519.hpp"
+#include "identity/identity_manager.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/block.hpp"
+#include "ledger/validation_oracle.hpp"
+#include "net/atomic_broadcast.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/messages.hpp"
+
+namespace repchain::protocol {
+
+/// A provider node (tier 1): signs transactions with the current timestamp
+/// and atomically broadcasts them to its r linked collectors (§3.2). An
+/// *active* provider also retrieves every block and argues whenever one of
+/// its valid transactions was recorded invalid-and-unchecked (§3.1,
+/// Validity).
+class Provider {
+ public:
+  Provider(ProviderId id, NodeId node, crypto::SigningKey key, net::SimNetwork& net,
+           const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
+           const Directory& directory, bool active);
+
+  /// Collecting phase: create, register, sign and broadcast one transaction.
+  /// `truly_valid` is the hidden application-level ground truth.
+  const ledger::Transaction& submit(Bytes payload, bool truly_valid);
+
+  /// Light-client sync: request the next missing block from a governor
+  /// (round-robin); responses chain further requests until the provider has
+  /// caught up with the chain head. Each appended block is verified locally
+  /// (leader signature, serial continuity, hash link, tx root) and scanned
+  /// for own transactions (argue on wrongly-buried ones).
+  void sync();
+
+  /// Network delivery entry point (kBlockResponse messages).
+  void on_message(const net::Message& msg);
+
+  /// Process one retrieved block (also called internally by sync).
+  void on_block(const ledger::Block& block);
+
+  /// The provider's own verified replica of the chain.
+  [[nodiscard]] const ledger::ChainStore& chain() const { return chain_; }
+
+  [[nodiscard]] ProviderId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const crypto::PublicKey& public_key() const { return key_.public_key(); }
+
+  [[nodiscard]] std::uint64_t submitted() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t argued() const { return argued_; }
+  [[nodiscard]] std::uint64_t blocks_synced() const { return chain_.height(); }
+  [[nodiscard]] std::uint64_t rejected_blocks() const { return rejected_blocks_; }
+  /// Own valid transactions observed in a block with a valid/argued status.
+  [[nodiscard]] std::uint64_t confirmed_valid() const { return confirmed_valid_; }
+
+ private:
+  void request_block(BlockSerial serial);
+
+  ProviderId id_;
+  NodeId node_;
+  crypto::SigningKey key_;
+  net::SimNetwork& net_;
+  const identity::IdentityManager& im_;
+  ledger::ValidationOracle& oracle_;
+  const Directory& directory_;
+  bool active_;
+
+  net::AtomicBroadcastGroup collector_group_;
+  std::vector<NodeId> governor_nodes_;
+
+  ledger::ChainStore chain_;
+  bool sync_in_flight_ = false;
+  std::uint64_t rejected_blocks_ = 0;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t argued_ = 0;
+  std::uint64_t confirmed_valid_ = 0;
+
+  struct OwnTx {
+    ledger::Transaction tx;
+    bool valid = false;
+    bool argued = false;
+    bool confirmed = false;
+  };
+  std::unordered_map<ledger::TxId, OwnTx, ledger::TxIdHash> own_;
+};
+
+}  // namespace repchain::protocol

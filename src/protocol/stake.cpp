@@ -1,0 +1,65 @@
+#include "protocol/stake.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::protocol {
+
+void StakeLedger::set(GovernorId gov, std::uint64_t units) {
+  const auto it = stake_.find(gov);
+  if (it != stake_.end()) {
+    total_ -= it->second;
+    it->second = units;
+  } else {
+    stake_.emplace(gov, units);
+  }
+  total_ += units;
+}
+
+std::uint64_t StakeLedger::of(GovernorId gov) const {
+  const auto it = stake_.find(gov);
+  if (it == stake_.end()) throw ProtocolError("unknown governor in stake ledger");
+  return it->second;
+}
+
+void StakeLedger::transfer(GovernorId from, GovernorId to, std::uint64_t amount) {
+  const auto fit = stake_.find(from);
+  const auto tit = stake_.find(to);
+  if (fit == stake_.end() || tit == stake_.end()) {
+    throw ProtocolError("stake transfer between unknown governors");
+  }
+  if (fit->second < amount) {
+    throw ProtocolError("insufficient stake for transfer");
+  }
+  fit->second -= amount;
+  tit->second += amount;
+}
+
+Bytes StakeLedger::encode() const {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(stake_.size()));
+  for (const auto& [gov, units] : stake_) {
+    w.u32(gov.value());
+    w.u64(units);
+  }
+  return std::move(w).take();
+}
+
+StakeLedger StakeLedger::decode(BytesView data) {
+  BinaryReader r(data);
+  StakeLedger ledger;
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GovernorId gov(r.u32());
+    const std::uint64_t units = r.u64();
+    if (ledger.stake_.contains(gov)) throw DecodeError("duplicate governor in stake state");
+    ledger.stake_.emplace(gov, units);
+    ledger.total_ += units;
+  }
+  r.expect_done();
+  return ledger;
+}
+
+crypto::Hash256 StakeLedger::state_hash() const { return crypto::Sha256::hash(encode()); }
+
+}  // namespace repchain::protocol

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/sha256.hpp"
+
+namespace repchain::protocol {
+
+/// Governor stake bookkeeping for the PoS leader election (§3.4.3). The
+/// canonical encoding (sorted by governor id) is the NEW_STATE payload of
+/// the 3-step stake consensus, so every governor derives the same bytes from
+/// the same balances.
+class StakeLedger {
+ public:
+  /// Set the genesis stake of a governor (setup only).
+  void set(GovernorId gov, std::uint64_t units);
+
+  [[nodiscard]] std::uint64_t of(GovernorId gov) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t governor_count() const { return stake_.size(); }
+  [[nodiscard]] const std::map<GovernorId, std::uint64_t>& balances() const {
+    return stake_;
+  }
+
+  /// Apply a transfer. Throws ProtocolError on insufficient balance or
+  /// unknown governors.
+  void transfer(GovernorId from, GovernorId to, std::uint64_t amount);
+
+  /// Canonical byte encoding (sorted by governor id).
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StakeLedger decode(BytesView data);
+
+  [[nodiscard]] crypto::Hash256 state_hash() const;
+
+  bool operator==(const StakeLedger& other) const { return stake_ == other.stake_; }
+
+ private:
+  std::map<GovernorId, std::uint64_t> stake_;  // ordered => canonical encoding
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace repchain::protocol

@@ -1,0 +1,42 @@
+#include "reputation/gamma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "reputation/params.hpp"
+
+namespace repchain::reputation {
+
+double theorem_optimal_beta(std::size_t r, std::size_t t) {
+  if (r < 2 || t == 0) return 0.9;
+  const double raw =
+      1.0 - 4.0 * std::sqrt(std::log(static_cast<double>(r)) / static_cast<double>(t));
+  return std::clamp(raw, 0.1, 0.9);
+}
+
+double expected_loss(double w_right, double w_wrong) {
+  if (w_right < 0.0 || w_wrong < 0.0) {
+    throw ConfigError("reputation masses must be non-negative");
+  }
+  const double total = w_right + w_wrong;
+  if (total <= 0.0) return 0.0;
+  return 2.0 * w_wrong / total;
+}
+
+double gamma_tx(double beta, double loss) {
+  if (beta <= 0.0 || beta >= 1.0) throw ConfigError("beta must be in (0, 1)");
+  if (loss < 0.0 || loss > 2.0) throw ConfigError("loss must be in [0, 2]");
+  const double low = (beta * beta + beta) / 2.0;
+  if (loss == 0.0) return low;
+  const double mid = (beta - 1.0) / loss + (beta + 1.0) / 2.0;
+  return std::max(mid, low);
+}
+
+bool gamma_feasible(double beta, double gamma, double loss) {
+  if (loss <= 0.0) return gamma >= beta * beta && gamma <= beta;
+  const double upper = 0.5 * (gamma - 1.0) * loss + 1.0;
+  return beta * beta <= gamma && gamma <= beta && beta <= upper && upper <= 1.0;
+}
+
+}  // namespace repchain::reputation

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace repchain::reputation {
+
+/// The governor's expected loss on an unchecked transaction,
+///   L_tx = 2 * W_wrong / (W_right + W_wrong),
+/// where W_right / W_wrong are summed reputations of collectors that labeled
+/// the transaction correctly / incorrectly (§3.4.2). Always in [0, 2].
+[[nodiscard]] double expected_loss(double w_right, double w_wrong);
+
+/// The paper's practical mislabel discount
+///   gamma_tx = max{ (beta-1)/L + (beta+1)/2 , (beta^2+beta)/2 },
+/// which satisfies beta^2 <= gamma_tx <= beta <= (gamma_tx-1)*L/2 + 1 <= 1
+/// for every beta in (0,1) and L in (0, 2] (§3.4.2). For L == 0 no weight is
+/// multiplied by gamma, so any feasible value works; we return the lower
+/// candidate.
+[[nodiscard]] double gamma_tx(double beta, double loss);
+
+/// True iff (beta, gamma, L) satisfies the §3.4.2 inequality chain.
+[[nodiscard]] bool gamma_feasible(double beta, double gamma, double loss);
+
+}  // namespace repchain::reputation

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/errors.hpp"
+
+namespace repchain::reputation {
+
+/// Tunables of the reputation mechanism (§3.4).
+struct ReputationParams {
+  /// Multiplicative discount for collectors who *discarded* a transaction
+  /// whose truth was later revealed (Algorithm 3, case 3). The paper
+  /// suggests 0.9 in practice and 1 - 4*sqrt(log r / T) for the theorem-
+  /// optimal tuning (Theorem 1).
+  double beta = 0.9;
+
+  /// Efficiency knob f in (0, 1): a screening-chosen -1 report is validated
+  /// with probability 1 - f * Pr[chosen]. Larger f => fewer validations =>
+  /// faster protocol, lower correctness (§3.4.1, Lemma 2).
+  double f = 0.5;
+
+  /// Revenue bases (> 1) for the misreport and forge counters:
+  /// revenue ∝ Π_u w_{i,k_u} · mu^misreport · nu^forge (§3.4.3).
+  double mu = 1.1;
+  double nu = 1.5;
+
+  /// Ablation knob for a discrepancy between the paper's §4.2 prose and
+  /// Algorithm 3: the text says concealing a *checked* transaction also cuts
+  /// reputation ("a misreporting will lead to a higher cut ... than
+  /// concealing"), while the pseudocode only updates reporters. 0 follows
+  /// Algorithm 3 (default); k > 0 subtracts k from the misreport counter of
+  /// every linked collector that failed to report a checked transaction.
+  std::int64_t conceal_checked_penalty = 0;
+
+  /// Argue latency bound: an unchecked-invalid transaction can be argued
+  /// only until U further unchecked transactions from the same provider have
+  /// been recorded (§3.1, §4.2).
+  std::size_t argue_latency_u = 100;
+
+  void validate() const {
+    if (beta <= 0.0 || beta >= 1.0) throw ConfigError("beta must be in (0, 1)");
+    if (f <= 0.0 || f >= 1.0) throw ConfigError("f must be in (0, 1)");
+    if (mu <= 1.0) throw ConfigError("mu must be > 1");
+    if (nu <= 1.0) throw ConfigError("nu must be > 1");
+    if (argue_latency_u == 0) throw ConfigError("argue latency U must be positive");
+    if (conceal_checked_penalty < 0) {
+      throw ConfigError("conceal_checked_penalty must be non-negative");
+    }
+  }
+};
+
+/// Theorem-optimal beta = 1 - 4*sqrt(log r / T), clamped into the interval
+/// [0.1, 0.9] where the proof's log-linearization holds (Theorem 1).
+[[nodiscard]] double theorem_optimal_beta(std::size_t r, std::size_t t);
+
+}  // namespace repchain::reputation

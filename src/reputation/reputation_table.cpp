@@ -1,0 +1,314 @@
+#include "reputation/reputation_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "reputation/gamma.hpp"
+
+namespace repchain::reputation {
+
+using ledger::Label;
+
+ReputationTable::ReputationTable(ReputationParams params) : params_(params) {
+  params_.validate();
+}
+
+void ReputationTable::link(CollectorId collector, ProviderId provider) {
+  auto& e = collectors_[collector];
+  const auto [it, inserted] = e.log_w.emplace(provider, 0.0);
+  (void)it;
+  if (inserted) by_provider_[provider].push_back(collector);
+}
+
+void ReputationTable::register_collector(CollectorId collector) {
+  collectors_.try_emplace(collector);
+}
+
+bool ReputationTable::linked(CollectorId collector, ProviderId provider) const {
+  const auto it = collectors_.find(collector);
+  return it != collectors_.end() && it->second.log_w.contains(provider);
+}
+
+std::vector<CollectorId> ReputationTable::collectors_for(ProviderId provider) const {
+  const auto it = by_provider_.find(provider);
+  return it == by_provider_.end() ? std::vector<CollectorId>{} : it->second;
+}
+
+const ReputationTable::Entry& ReputationTable::entry(CollectorId c) const {
+  const auto it = collectors_.find(c);
+  if (it == collectors_.end()) throw ProtocolError("unknown collector in reputation table");
+  return it->second;
+}
+
+ReputationTable::Entry& ReputationTable::entry(CollectorId c) {
+  const auto it = collectors_.find(c);
+  if (it == collectors_.end()) throw ProtocolError("unknown collector in reputation table");
+  return it->second;
+}
+
+double ReputationTable::log_w_or_throw(const Entry& e, ProviderId provider) const {
+  const auto it = e.log_w.find(provider);
+  if (it == e.log_w.end()) {
+    throw ProtocolError("collector not linked with provider in reputation table");
+  }
+  return it->second;
+}
+
+double ReputationTable::weight(CollectorId collector, ProviderId provider) const {
+  return std::exp(log_weight(collector, provider));
+}
+
+double ReputationTable::log_weight(CollectorId collector, ProviderId provider) const {
+  return log_w_or_throw(entry(collector), provider);
+}
+
+std::int64_t ReputationTable::misreport(CollectorId collector) const {
+  return entry(collector).misreport;
+}
+
+std::int64_t ReputationTable::forge(CollectorId collector) const {
+  return entry(collector).forge;
+}
+
+void ReputationTable::punish_forgery(CollectorId collector) {
+  // Algorithm 3, case 1.
+  entry(collector).forge -= 1;
+}
+
+void ReputationTable::update_checked(ProviderId provider,
+                                     std::span<const Report> reports, bool tx_valid) {
+  // Algorithm 3, case 2.
+  const Label truth = tx_valid ? Label::kValid : Label::kInvalid;
+  for (const Report& r : reports) {
+    Entry& e = entry(r.collector);
+    e.misreport += (r.label == truth) ? +1 : -1;
+  }
+  if (params_.conceal_checked_penalty > 0) {
+    // §4.2-prose ablation: concealing a checked transaction is also cut,
+    // though less than a misreport (see ReputationParams).
+    for (CollectorId c : collectors_for(provider)) {
+      const bool reported = std::any_of(reports.begin(), reports.end(),
+                                        [c](const Report& r) { return r.collector == c; });
+      if (!reported) entry(c).misreport -= params_.conceal_checked_penalty;
+    }
+  }
+}
+
+std::optional<double> ReputationTable::update_revealed(ProviderId provider,
+                                                       std::span<const Report> reports,
+                                                       bool tx_valid) {
+  // Algorithm 3, case 3. Compute L_tx over reporters with current weights,
+  // derive gamma_tx, then apply the multiplicative updates.
+  const Label truth = tx_valid ? Label::kValid : Label::kInvalid;
+  const std::vector<double> rel = relative_weights(provider, reports);
+
+  double w_right = 0.0, w_wrong = 0.0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    (reports[i].label == truth ? w_right : w_wrong) += rel[i];
+  }
+
+  std::optional<double> gamma;
+  if (w_wrong > 0.0) {
+    gamma = gamma_tx(params_.beta, expected_loss(w_right, w_wrong));
+  }
+
+  const double log_beta = std::log(params_.beta);
+  const double log_gamma = gamma ? std::log(*gamma) : 0.0;
+
+  // Reporters: wrong label -> *gamma; correct -> unchanged.
+  for (const Report& r : reports) {
+    if (r.label != truth) {
+      Entry& e = entry(r.collector);
+      const auto it = e.log_w.find(provider);
+      if (it == e.log_w.end()) {
+        throw ProtocolError("reporter not linked with provider");
+      }
+      it->second += log_gamma;
+    }
+  }
+  // Linked collectors that did not report: -> *beta.
+  for (CollectorId c : collectors_for(provider)) {
+    const bool reported = std::any_of(reports.begin(), reports.end(),
+                                      [c](const Report& r) { return r.collector == c; });
+    if (!reported) {
+      entry(c).log_w.at(provider) += log_beta;
+    }
+  }
+  return gamma;
+}
+
+std::vector<double> ReputationTable::relative_weights(
+    ProviderId provider, std::span<const Report> reports) const {
+  std::vector<double> logs;
+  logs.reserve(reports.size());
+  for (const Report& r : reports) {
+    logs.push_back(log_w_or_throw(entry(r.collector), provider));
+  }
+  const double max_log = logs.empty() ? 0.0 : *std::max_element(logs.begin(), logs.end());
+  std::vector<double> rel;
+  rel.reserve(logs.size());
+  for (double lw : logs) rel.push_back(std::exp(lw - max_log));
+  return rel;
+}
+
+Selection ReputationTable::select_reporter(ProviderId provider,
+                                           std::span<const Report> reports,
+                                           Rng& rng) const {
+  if (reports.empty()) throw ProtocolError("select_reporter with no reports");
+  const std::vector<double> rel = relative_weights(provider, reports);
+  const double total = std::accumulate(rel.begin(), rel.end(), 0.0);
+  const std::size_t idx = rng.weighted_choice(rel);
+
+  Selection sel;
+  sel.chosen = reports[idx].collector;
+  sel.label = reports[idx].label;
+  sel.pr_chosen = rel[idx] / total;
+  return sel;
+}
+
+double ReputationTable::check_probability(ProviderId provider,
+                                          std::span<const Report> reports) const {
+  // P_checked = 1 - f * sum_{i labeled -1} Pr[i]^2 (Lemma 2's derivation):
+  // a +1 pick is always validated; a -1 pick with probability 1 - f*Pr[i].
+  const std::vector<double> rel = relative_weights(provider, reports);
+  const double total = std::accumulate(rel.begin(), rel.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  double sum_sq_invalid = 0.0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].label == Label::kInvalid) {
+      const double pr = rel[i] / total;
+      sum_sq_invalid += pr * pr;
+    }
+  }
+  return 1.0 - params_.f * sum_sq_invalid;
+}
+
+double ReputationTable::expected_loss_for(ProviderId provider,
+                                          std::span<const Report> reports,
+                                          bool tx_valid) const {
+  const Label truth = tx_valid ? Label::kValid : Label::kInvalid;
+  const std::vector<double> rel = relative_weights(provider, reports);
+  double w_right = 0.0, w_wrong = 0.0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    (reports[i].label == truth ? w_right : w_wrong) += rel[i];
+  }
+  return expected_loss(w_right, w_wrong);
+}
+
+double ReputationTable::log_revenue_weight(CollectorId collector) const {
+  const Entry& e = entry(collector);
+  double log_rev = 0.0;
+  for (const auto& [provider, lw] : e.log_w) log_rev += lw;
+  log_rev += static_cast<double>(e.misreport) * std::log(params_.mu);
+  log_rev += static_cast<double>(e.forge) * std::log(params_.nu);
+  return log_rev;
+}
+
+std::vector<std::pair<CollectorId, double>> ReputationTable::revenue_shares() const {
+  std::vector<std::pair<CollectorId, double>> shares;
+  if (collectors_.empty()) return shares;
+
+  std::vector<std::pair<CollectorId, double>> logs;
+  logs.reserve(collectors_.size());
+  for (const auto& [c, e] : collectors_) {
+    (void)e;
+    logs.emplace_back(c, log_revenue_weight(c));
+  }
+  std::sort(logs.begin(), logs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double max_log = logs.front().second;
+  for (const auto& [c, lw] : logs) max_log = std::max(max_log, lw);
+
+  double total = 0.0;
+  for (auto& [c, lw] : logs) {
+    lw = std::exp(lw - max_log);
+    total += lw;
+  }
+  shares.reserve(logs.size());
+  for (const auto& [c, w] : logs) shares.emplace_back(c, w / total);
+  return shares;
+}
+
+Bytes ReputationTable::encode() const {
+  BinaryWriter w;
+  w.str("repchain-reputation-v1");
+  w.f64(params_.beta);
+  w.f64(params_.f);
+  w.f64(params_.mu);
+  w.f64(params_.nu);
+  w.i64(params_.conceal_checked_penalty);
+  w.u64(params_.argue_latency_u);
+
+  // Canonical order: collectors ascending, providers ascending within each.
+  std::vector<CollectorId> ids;
+  ids.reserve(collectors_.size());
+  for (const auto& [c, e] : collectors_) {
+    (void)e;
+    ids.push_back(c);
+  }
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (CollectorId c : ids) {
+    const Entry& e = collectors_.at(c);
+    w.u32(c.value());
+    w.i64(e.misreport);
+    w.i64(e.forge);
+    std::vector<std::pair<ProviderId, double>> links(e.log_w.begin(), e.log_w.end());
+    std::sort(links.begin(), links.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u32(static_cast<std::uint32_t>(links.size()));
+    for (const auto& [p, lw] : links) {
+      w.u32(p.value());
+      w.f64(lw);
+    }
+  }
+  return std::move(w).take();
+}
+
+ReputationTable ReputationTable::decode(BytesView data) {
+  BinaryReader r(data);
+  if (r.str() != "repchain-reputation-v1") {
+    throw DecodeError("bad reputation table magic");
+  }
+  ReputationParams params;
+  params.beta = r.f64();
+  params.f = r.f64();
+  params.mu = r.f64();
+  params.nu = r.f64();
+  params.conceal_checked_penalty = r.i64();
+  params.argue_latency_u = r.u64();
+
+  ReputationTable table(params);
+  const auto n = r.u32();
+  r.expect_count(n, 4 + 8 + 8 + 4);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const CollectorId c(r.u32());
+    if (table.collectors_.contains(c)) {
+      throw DecodeError("duplicate collector in reputation checkpoint");
+    }
+    Entry& e = table.collectors_[c];
+    e.misreport = r.i64();
+    e.forge = r.i64();
+    const auto links = r.u32();
+    r.expect_count(links, 4 + 8);
+    for (std::uint32_t k = 0; k < links; ++k) {
+      const ProviderId p(r.u32());
+      const double lw = r.f64();
+      if (!std::isfinite(lw) || lw > 0.0) {
+        throw DecodeError("invalid log-weight in reputation checkpoint");
+      }
+      if (!e.log_w.emplace(p, lw).second) {
+        throw DecodeError("duplicate provider link in reputation checkpoint");
+      }
+      table.by_provider_[p].push_back(c);
+    }
+  }
+  r.expect_done();
+  return table;
+}
+
+}  // namespace repchain::reputation

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "ledger/transaction.hpp"
+#include "reputation/params.hpp"
+
+namespace repchain::reputation {
+
+/// One collector's label on one transaction, as seen by a governor.
+struct Report {
+  CollectorId collector;
+  ledger::Label label = ledger::Label::kValid;
+};
+
+/// Outcome of the screening draw in Algorithm 2: the reporter chosen with
+/// probability proportional to reputation, its label, and Pr[chosen]
+/// (needed for the 1 - f*Pr check coin).
+struct Selection {
+  CollectorId chosen;
+  ledger::Label label = ledger::Label::kValid;
+  double pr_chosen = 0.0;
+};
+
+/// A governor's local reputation state over all collectors — the
+/// (s+2)-dimensional vector r_{j,i} of §3.4 for every collector i:
+///
+///   ( w_{j,i,k_1}, ..., w_{j,i,k_s}, w_misreport, w_forge )
+///
+/// The first s entries are per-provider multiplicative weights (initialized
+/// to 1), updated only when an unchecked transaction's truth is revealed
+/// (Algorithm 3 case 3). w_misreport is an additive counter updated on
+/// checked transactions (case 2); w_forge is an additive counter decremented
+/// on forged uploads (case 1).
+///
+/// Implementation note: multiplicative weights are stored as logs. All
+/// selection probabilities and expected-loss values depend only on weight
+/// ratios within a provider group, so log-space arithmetic (with
+/// max-subtraction before exponentiation) is exact for the protocol while
+/// immune to the underflow a linear representation hits after a few thousand
+/// discounts.
+class ReputationTable {
+ public:
+  explicit ReputationTable(ReputationParams params);
+
+  /// Register a collector-provider link (weight starts at 1). Idempotent.
+  void link(CollectorId collector, ProviderId provider);
+  /// Register a collector with no links yet (so counters exist).
+  void register_collector(CollectorId collector);
+
+  [[nodiscard]] bool linked(CollectorId collector, ProviderId provider) const;
+  [[nodiscard]] std::vector<CollectorId> collectors_for(ProviderId provider) const;
+
+  /// w_{j,i,k} as a linear value (exp of the stored log; for inspection and
+  /// short horizons — protocol code uses the ratio-based queries below).
+  [[nodiscard]] double weight(CollectorId collector, ProviderId provider) const;
+  [[nodiscard]] double log_weight(CollectorId collector, ProviderId provider) const;
+  [[nodiscard]] std::int64_t misreport(CollectorId collector) const;
+  [[nodiscard]] std::int64_t forge(CollectorId collector) const;
+
+  // --- Algorithm 3 -------------------------------------------------------
+
+  /// Case 1: a forged/ill-signed upload from `collector`; w_forge -= 1.
+  void punish_forgery(CollectorId collector);
+
+  /// Case 2: transaction was validated by the governor; reporters who
+  /// labeled correctly get misreport += 1, incorrectly -= 1. When the
+  /// conceal_checked_penalty ablation is on, linked collectors of `provider`
+  /// that did not report lose that many misreport points too.
+  void update_checked(ProviderId provider, std::span<const Report> reports,
+                      bool tx_valid);
+
+  /// Case 3: an unchecked transaction's truth was revealed. Reporters with
+  /// the wrong label are discounted by gamma_tx, linked collectors that
+  /// discarded the transaction by beta, correct reporters unchanged.
+  /// Returns the gamma_tx used (nullopt when no weight mass was wrong, in
+  /// which case no gamma multiplication happened).
+  std::optional<double> update_revealed(ProviderId provider,
+                                        std::span<const Report> reports, bool tx_valid);
+
+  // --- Screening support (Algorithm 2) ------------------------------------
+
+  /// Draw the source collector among reporters with probability proportional
+  /// to w_{j,i,k}. Throws ProtocolError if `reports` is empty or contains an
+  /// unlinked collector.
+  [[nodiscard]] Selection select_reporter(ProviderId provider,
+                                          std::span<const Report> reports,
+                                          Rng& rng) const;
+
+  /// Probability that the Algorithm 2 screening validates this transaction,
+  ///   P_checked = 1 - f * sum_{i labeled -1} Pr[i]^2  (Lemma 2's quantity).
+  [[nodiscard]] double check_probability(ProviderId provider,
+                                         std::span<const Report> reports) const;
+
+  /// L_tx = 2*W_wrong / (W_right + W_wrong) over the reporters, given the
+  /// revealed truth.
+  [[nodiscard]] double expected_loss_for(ProviderId provider,
+                                         std::span<const Report> reports,
+                                         bool tx_valid) const;
+
+  // --- Revenue (§3.4.3) ----------------------------------------------------
+
+  /// log of Π_u w_{i,k_u} · mu^misreport · nu^forge.
+  [[nodiscard]] double log_revenue_weight(CollectorId collector) const;
+
+  /// Normalized revenue shares over all registered collectors (softmax over
+  /// log revenue weights); sums to 1.
+  [[nodiscard]] std::vector<std::pair<CollectorId, double>> revenue_shares() const;
+
+  [[nodiscard]] const ReputationParams& params() const { return params_; }
+  [[nodiscard]] std::size_t collector_count() const { return collectors_.size(); }
+
+  /// Checkpoint the full table (params + every collector's log-weights and
+  /// counters) in a canonical byte encoding; decode reconstructs an
+  /// equivalent table. Lets a governor persist its local reputation state
+  /// across restarts.
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ReputationTable decode(BytesView data);
+
+ private:
+  struct Entry {
+    std::unordered_map<ProviderId, double> log_w;  // per-provider log weight
+    std::int64_t misreport = 0;
+    std::int64_t forge = 0;
+  };
+
+  [[nodiscard]] const Entry& entry(CollectorId c) const;
+  [[nodiscard]] Entry& entry(CollectorId c);
+  [[nodiscard]] double log_w_or_throw(const Entry& e, ProviderId provider) const;
+
+  /// Relative (max-normalized) weights of the reporters for `provider`.
+  [[nodiscard]] std::vector<double> relative_weights(ProviderId provider,
+                                                     std::span<const Report> reports) const;
+
+  ReputationParams params_;
+  std::unordered_map<CollectorId, Entry> collectors_;
+  std::unordered_map<ProviderId, std::vector<CollectorId>> by_provider_;
+};
+
+}  // namespace repchain::reputation

@@ -1,0 +1,75 @@
+#include "reputation/rwm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "reputation/gamma.hpp"
+
+namespace repchain::reputation {
+
+RwmGame::RwmGame(std::size_t experts, double beta)
+    : beta_(beta), log_beta_(std::log(beta)), log_w_(experts, 0.0),
+      expert_loss_(experts, 0.0) {
+  if (experts == 0) throw ConfigError("RwmGame needs at least one expert");
+  if (beta <= 0.0 || beta >= 1.0) throw ConfigError("beta must be in (0, 1)");
+}
+
+double RwmGame::step(std::span<const Advice> advice) {
+  if (advice.size() != log_w_.size()) {
+    throw ConfigError("advice vector size mismatch");
+  }
+
+  const double max_log = *std::max_element(log_w_.begin(), log_w_.end());
+  double w_right = 0.0, w_wrong = 0.0;
+  for (std::size_t i = 0; i < advice.size(); ++i) {
+    const double rel = std::exp(log_w_[i] - max_log);
+    if (advice[i] == Advice::kCorrect) w_right += rel;
+    if (advice[i] == Advice::kWrong) w_wrong += rel;
+  }
+
+  const double loss = expected_loss(w_right, w_wrong);
+  const double log_gamma = w_wrong > 0.0 ? std::log(gamma_tx(beta_, loss)) : 0.0;
+
+  for (std::size_t i = 0; i < advice.size(); ++i) {
+    switch (advice[i]) {
+      case Advice::kCorrect:
+        break;
+      case Advice::kWrong:
+        log_w_[i] += log_gamma;
+        expert_loss_[i] += 2.0;
+        break;
+      case Advice::kAbstain:
+        log_w_[i] += log_beta_;
+        expert_loss_[i] += 1.0;
+        break;
+    }
+  }
+
+  cumulative_loss_ += loss;
+  ++rounds_;
+  return loss;
+}
+
+double RwmGame::min_expert_loss() const {
+  return *std::min_element(expert_loss_.begin(), expert_loss_.end());
+}
+
+double RwmGame::theorem_bound() const {
+  const double r = static_cast<double>(experts());
+  const double t = static_cast<double>(rounds_);
+  return min_expert_loss() +
+         2.0 * (std::log(r) / (1.0 - beta_) + 16.0 * (1.0 - beta_) * t);
+}
+
+double RwmGame::relative_weight(std::size_t i) const {
+  const double max_log = *std::max_element(log_w_.begin(), log_w_.end());
+  return std::exp(log_w_.at(i) - max_log);
+}
+
+double sqrt_bound(std::size_t experts, std::size_t rounds) {
+  return 16.0 * std::sqrt(static_cast<double>(rounds) *
+                          std::log(static_cast<double>(experts)));
+}
+
+}  // namespace repchain::reputation

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repchain::reputation {
+
+/// An expert's behaviour in one round of the abstract game: the collector's
+/// label was correct, wrong, or the collector abstained (discarded the
+/// transaction).
+enum class Advice : std::uint8_t {
+  kCorrect = 0,
+  kWrong = 1,
+  kAbstain = 2,
+};
+
+/// The learning-with-expert-advice game underlying Theorem 1, isolated from
+/// the rest of the protocol so the regret bound can be validated directly
+/// (experiment E1).
+///
+/// Each round the governor faces one unchecked transaction; each expert
+/// (collector) is correct, wrong, or abstains. The governor's expected loss
+/// for the round is L_t = 2*W_wrong / (W_right + W_wrong) computed over
+/// current weights; afterwards wrong experts are discounted by gamma_t
+/// (the paper's closed form) and abstainers by beta.
+///
+/// Per-expert cumulative loss counts 2 per wrong round and 1 per abstention
+/// (matching the exponents with which beta bounds the expert's weight from
+/// below in the proof: w_i >= beta^{S_i} since gamma_t >= beta^2).
+class RwmGame {
+ public:
+  RwmGame(std::size_t experts, double beta);
+
+  /// Play one round. Returns this round's expected governor loss L_t.
+  double step(std::span<const Advice> advice);
+
+  [[nodiscard]] std::size_t experts() const { return log_w_.size(); }
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+  /// L_T: cumulative expected governor loss.
+  [[nodiscard]] double cumulative_loss() const { return cumulative_loss_; }
+  /// S_i per expert.
+  [[nodiscard]] const std::vector<double>& expert_losses() const { return expert_loss_; }
+  /// S_min = min_i S_i.
+  [[nodiscard]] double min_expert_loss() const;
+  /// Regret L_T - S_min.
+  [[nodiscard]] double regret() const { return cumulative_loss() - min_expert_loss(); }
+
+  /// The proof's explicit bound with this beta:
+  ///   L_T <= S_min + 2*(log r / (1-beta) + 16*(1-beta)*T)   (Theorem 1).
+  [[nodiscard]] double theorem_bound() const;
+
+  /// Relative weight (max-normalized) of expert i.
+  [[nodiscard]] double relative_weight(std::size_t i) const;
+
+ private:
+  double beta_;
+  double log_beta_;
+  std::vector<double> log_w_;
+  std::vector<double> expert_loss_;
+  double cumulative_loss_ = 0.0;
+  std::size_t rounds_ = 0;
+};
+
+/// Convenience: L_T <= S_min + 16*sqrt(T log r), the O(sqrt(T)) headline
+/// bound obtained with beta = 1 - 4*sqrt(log r / T).
+[[nodiscard]] double sqrt_bound(std::size_t experts, std::size_t rounds);
+
+}  // namespace repchain::reputation

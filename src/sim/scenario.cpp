@@ -1,0 +1,246 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "crypto/keygen.hpp"
+
+namespace repchain::sim {
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  config_.topology.validate();
+  config_.governor.rep.validate();
+  config_.governor.enable_label_gossip |= config_.enable_label_gossip;
+
+  net_ = std::make_unique<net::SimNetwork>(queue_, rng_.derive(1), config_.latency);
+  Rng key_rng = rng_.derive(2);
+  im_ = std::make_unique<identity::IdentityManager>(crypto::random_seed(key_rng));
+  oracle_ = std::make_unique<ledger::ValidationOracle>(config_.validation_cost);
+
+  const auto& topo = config_.topology;
+
+  // Register network nodes and identities for every member, then links.
+  std::vector<crypto::SigningKey> provider_keys, collector_keys, governor_keys;
+  for (std::size_t i = 0; i < topo.providers; ++i) {
+    const NodeId node = net_->add_node();
+    directory_.add_provider(ProviderId(static_cast<std::uint32_t>(i)), node);
+    provider_keys.emplace_back(crypto::random_seed(key_rng));
+    im_->enroll(node, identity::Role::kProvider, provider_keys.back().public_key());
+  }
+  for (std::size_t i = 0; i < topo.collectors; ++i) {
+    const NodeId node = net_->add_node();
+    directory_.add_collector(CollectorId(static_cast<std::uint32_t>(i)), node);
+    collector_keys.emplace_back(crypto::random_seed(key_rng));
+    im_->enroll(node, identity::Role::kCollector, collector_keys.back().public_key());
+  }
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const NodeId node = net_->add_node();
+    directory_.add_governor(GovernorId(static_cast<std::uint32_t>(i)), node);
+    governor_keys.emplace_back(crypto::random_seed(key_rng));
+    im_->enroll(node, identity::Role::kGovernor, governor_keys.back().public_key());
+  }
+  build_links(topo, directory_);
+
+  governor_group_ =
+      std::make_unique<net::AtomicBroadcastGroup>(*net_, directory_.governor_nodes());
+
+  // Genesis stake.
+  protocol::StakeLedger genesis;
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const std::uint64_t units =
+        i < config_.governor_stakes.size() ? config_.governor_stakes[i] : 1;
+    genesis.set(GovernorId(static_cast<std::uint32_t>(i)), units);
+  }
+
+  // Instantiate nodes (reserve to keep references stable while wiring
+  // handlers).
+  for (std::size_t i = 0; i < topo.providers; ++i) {
+    const ProviderId id(static_cast<std::uint32_t>(i));
+    providers_.emplace_back(id, directory_.node_of(id), std::move(provider_keys[i]),
+                            *net_, *im_, *oracle_, directory_,
+                            config_.providers_active);
+    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
+      providers_[i].on_message(m);
+    });
+  }
+  for (std::size_t i = 0; i < topo.collectors; ++i) {
+    const CollectorId id(static_cast<std::uint32_t>(i));
+    const protocol::CollectorBehavior behavior =
+        config_.behaviors.empty()
+            ? protocol::CollectorBehavior::honest()
+            : config_.behaviors[i % config_.behaviors.size()];
+    collectors_.emplace_back(id, directory_.node_of(id), std::move(collector_keys[i]),
+                             *net_, *im_, *oracle_, directory_, *governor_group_,
+                             behavior, rng_.derive(1000 + i));
+    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
+      collectors_[i].on_message(m);
+    });
+  }
+  if (config_.governor_visibility <= 0.0 || config_.governor_visibility > 1.0) {
+    throw ConfigError("governor_visibility must be in (0, 1]");
+  }
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const GovernorId id(static_cast<std::uint32_t>(i));
+    std::vector<CollectorId> visible;
+    if (config_.governor_visibility < 1.0) {
+      const auto count = static_cast<std::size_t>(
+          std::ceil(config_.governor_visibility * static_cast<double>(topo.collectors)));
+      for (std::size_t k = 0; k < std::max<std::size_t>(count, 1); ++k) {
+        visible.push_back(
+            CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
+      }
+    }
+    governors_.emplace_back(id, directory_.node_of(id), std::move(governor_keys[i]),
+                            *net_, *im_, *oracle_, directory_, *governor_group_,
+                            config_.governor, genesis, rng_.derive(2000 + i),
+                            std::move(visible));
+    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
+      governors_[i].on_message(m);
+    });
+  }
+
+  rewards_.assign(topo.collectors, 0.0);
+  leader_counts_.assign(topo.governors, 0);
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::settle() { queue_.run(); }
+
+void Scenario::run_round() {
+  ++round_;
+  RoundRecord record;
+  record.round = round_;
+  const std::uint64_t validations_before = oracle_->validations();
+  const std::uint64_t messages_before = net_->stats().messages_sent;
+  const double loss_before = governors_.front().metrics().expected_loss;
+  std::uint64_t argues_before = 0;
+  for (const auto& g : governors_) argues_before += g.metrics().argues_accepted;
+
+  // --- Election: every governor announces its VRF tickets. ------------------
+  for (auto& g : governors_) g.begin_round(round_);
+  settle();
+
+  // --- Collecting + uploading phases. ---------------------------------------
+  Rng workload = rng_.derive(10'000 + round_);
+  for (auto& p : providers_) {
+    for (std::size_t t = 0; t < config_.txs_per_provider_per_round; ++t) {
+      const bool valid = workload.bernoulli(config_.p_valid);
+      Bytes payload = workload.bytes(24);
+      (void)p.submit(std::move(payload), valid);
+      // Spread submissions a little so aggregation windows interleave.
+      queue_.run_until(queue_.now() + 1 * kMillisecond);
+    }
+  }
+  // Let uploads, aggregation timers and screening finish.
+  settle();
+
+  // Equivocation-detection extension: governors cross-check signed labels.
+  if (config_.governor.enable_label_gossip) {
+    for (auto& g : governors_) g.gossip_labels();
+    settle();
+  }
+
+  // --- Processing phase: the leader packs and proposes the block. -----------
+  for (auto& g : governors_) g.propose_if_leader();
+  settle();
+
+  // Track leadership and distribute rewards from the leader's reputation.
+  const auto leader = governors_.front().round_leader();
+  if (leader) {
+    leader_counts_[leader->value()] += 1;
+    auto& leader_gov = governors_[leader->value()];
+    if (!leader_gov.chain().empty()) {
+      const auto& block = leader_gov.chain().head();
+      std::size_t valid_txs = 0;
+      for (const auto& rec : block.txs) {
+        if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++valid_txs;
+      }
+      const double profit = config_.reward_per_valid_tx * static_cast<double>(valid_txs);
+      if (profit > 0.0) {
+        for (const auto& [c, share] : leader_gov.revenue_shares()) {
+          rewards_[c.value()] += profit * share;
+        }
+      }
+    }
+  }
+
+  // Providers retrieve new blocks over the network (retrieve(s) light-client
+  // sync); active ones argue over wrongly-buried transactions (Validity).
+  for (auto& p : providers_) p.sync();
+  settle();
+
+  // Stake consensus for any transfers queued this round.
+  for (auto& g : governors_) g.run_stake_consensus_if_leader();
+  settle();
+
+  // --- Audit: remaining unrevealed unchecked truths surface. ----------------
+  if (config_.audit_probability > 0.0) {
+    Rng audit = rng_.derive(20'000 + round_);
+    for (auto& g : governors_) {
+      for (const auto& id : g.unrevealed_unchecked()) {
+        if (audit.bernoulli(config_.audit_probability)) {
+          (void)g.reveal_unchecked(id);
+        }
+      }
+    }
+  }
+  settle();
+
+  record.leader = governors_.front().round_leader();
+  if (!governors_.front().chain().empty() &&
+      governors_.front().chain().head().round == round_) {
+    record.block_txs = governors_.front().chain().head().txs.size();
+  }
+  record.validations_delta = oracle_->validations() - validations_before;
+  record.messages_delta = net_->stats().messages_sent - messages_before;
+  record.expected_loss_delta =
+      governors_.front().metrics().expected_loss - loss_before;
+  std::uint64_t argues_after = 0;
+  for (const auto& g : governors_) argues_after += g.metrics().argues_accepted;
+  record.argues_delta = argues_after - argues_before;
+  history_.push_back(record);
+}
+
+void Scenario::run() {
+  for (std::size_t i = 0; i < config_.rounds; ++i) run_round();
+}
+
+ScenarioSummary Scenario::summary() const {
+  ScenarioSummary s;
+  for (const auto& p : providers_) s.txs_submitted += p.submitted();
+
+  const auto& chain0 = governors_.front().chain();
+  s.blocks = chain0.height();
+  s.chain_valid_txs = chain0.count_status(ledger::TxStatus::kCheckedValid);
+  s.chain_unchecked_txs = chain0.count_status(ledger::TxStatus::kUncheckedInvalid);
+  s.chain_argued_txs = chain0.count_status(ledger::TxStatus::kArguedValid);
+
+  s.agreement = true;
+  s.chains_audit_ok = true;
+  for (std::size_t i = 0; i < governors_.size(); ++i) {
+    s.chains_audit_ok = s.chains_audit_ok && governors_[i].chain().audit();
+    if (i > 0) {
+      s.agreement = s.agreement && ledger::ChainStore::same_prefix(
+                                       governors_[0].chain(), governors_[i].chain());
+    }
+  }
+
+  s.validations_total = oracle_->validations();
+  double exp_loss = 0.0, real_loss = 0.0;
+  std::uint64_t mistakes = 0;
+  for (const auto& g : governors_) {
+    exp_loss += g.metrics().expected_loss;
+    real_loss += g.metrics().realized_loss;
+    mistakes += g.metrics().mistakes;
+  }
+  const double m = static_cast<double>(governors_.size());
+  s.mean_governor_expected_loss = exp_loss / m;
+  s.mean_governor_realized_loss = real_loss / m;
+  s.mean_governor_mistakes =
+      static_cast<std::uint64_t>(static_cast<double>(mistakes) / m);
+  s.network = net_->stats();
+  return s;
+}
+
+}  // namespace repchain::sim

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "identity/identity_manager.hpp"
+#include "ledger/validation_oracle.hpp"
+#include "net/atomic_broadcast.hpp"
+#include "net/network.hpp"
+#include "protocol/collector.hpp"
+#include "protocol/governor.hpp"
+#include "protocol/provider.hpp"
+#include "sim/topology.hpp"
+
+namespace repchain::sim {
+
+/// Full scenario configuration: topology, protocol parameters, workload and
+/// fault mix. One Scenario = one deterministic whole-protocol run.
+struct ScenarioConfig {
+  TopologyConfig topology;
+  protocol::GovernorConfig governor;
+  net::LatencyModel latency;
+
+  std::size_t rounds = 10;
+  std::size_t txs_per_provider_per_round = 2;
+  /// Ground-truth probability that a generated transaction is valid.
+  double p_valid = 0.8;
+  /// Providers argue over wrongly-buried transactions (Validity liveness).
+  bool providers_active = true;
+  /// Probability that the truth of a still-unrevealed unchecked transaction
+  /// surfaces through "other evidence" at the end of each round (the paper's
+  /// "real states ... are revealed sometime after"; argue only covers valid
+  /// transactions of active providers).
+  double audit_probability = 1.0;
+  /// Collector behaviours, assigned round-robin over the n collectors.
+  /// Empty => all honest.
+  std::vector<protocol::CollectorBehavior> behaviors;
+  /// Genesis stake per governor; empty => 1 unit each.
+  std::vector<std::uint64_t> governor_stakes;
+  /// Reward paid to collectors per valid transaction in an accepted block.
+  double reward_per_valid_tx = 1.0;
+  /// validate(tx) cost charged by the oracle.
+  SimDuration validation_cost = 1 * kMillisecond;
+  /// Fraction of collectors each governor perceives (1.0 = the paper's
+  /// default full connectivity). With v < 1, governor j sees the
+  /// ceil(v*n) collectors {(j + k) mod n}, staggered so views overlap.
+  double governor_visibility = 1.0;
+  /// Enable the equivocation-detection extension (label gossip between
+  /// governors after each uploading phase). Mirrors
+  /// GovernorConfig::enable_label_gossip, set here for convenience.
+  bool enable_label_gossip = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// Per-round time series entry (what a dashboard would chart).
+struct RoundRecord {
+  Round round = 0;
+  std::optional<GovernorId> leader;
+  std::size_t block_txs = 0;            // size of this round's block
+  std::uint64_t validations_delta = 0;  // oracle validations this round
+  std::uint64_t messages_delta = 0;     // network messages this round
+  double expected_loss_delta = 0.0;     // governor 0's L increment
+  std::uint64_t argues_delta = 0;       // argues accepted (all governors)
+};
+
+/// Aggregated outcome of a run (also see per-node accessors on Scenario).
+struct ScenarioSummary {
+  std::uint64_t txs_submitted = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t chain_valid_txs = 0;
+  std::uint64_t chain_unchecked_txs = 0;
+  std::uint64_t chain_argued_txs = 0;
+  bool agreement = false;        // all governor chains share a prefix
+  bool chains_audit_ok = false;  // integrity + no-skipping on every replica
+  std::uint64_t validations_total = 0;  // oracle-wide validate() calls
+  double mean_governor_expected_loss = 0.0;
+  double mean_governor_realized_loss = 0.0;
+  std::uint64_t mean_governor_mistakes = 0;
+  net::NetworkStats network;
+};
+
+/// Builds the whole system — identity manager, simulated network, atomic
+/// broadcast groups, providers/collectors/governors — wires it per the
+/// topology, then drives the three-phase rounds of §3.1:
+/// collecting -> uploading -> processing (election, screening settle, block
+/// proposal, argue service, audit reveal, rewards).
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Run all configured rounds.
+  void run();
+  /// Run a single round (callable repeatedly; advances the round counter).
+  void run_round();
+
+  [[nodiscard]] ScenarioSummary summary() const;
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] std::deque<protocol::Provider>& providers() { return providers_; }
+  [[nodiscard]] std::deque<protocol::Collector>& collectors() { return collectors_; }
+  [[nodiscard]] std::deque<protocol::Governor>& governors() { return governors_; }
+  [[nodiscard]] const protocol::Directory& directory() const { return directory_; }
+  [[nodiscard]] ledger::ValidationOracle& oracle() { return *oracle_; }
+  [[nodiscard]] net::SimNetwork& network() { return *net_; }
+  [[nodiscard]] net::EventQueue& queue() { return queue_; }
+  [[nodiscard]] identity::IdentityManager& identity_manager() { return *im_; }
+  [[nodiscard]] Round current_round() const { return round_; }
+
+  /// Cumulative reward paid to each collector (leader-share based, §3.4.3).
+  [[nodiscard]] const std::vector<double>& collector_rewards() const { return rewards_; }
+  /// Rounds each governor led.
+  [[nodiscard]] const std::vector<std::uint64_t>& leader_counts() const {
+    return leader_counts_;
+  }
+  /// Per-round time series (one entry per completed round).
+  [[nodiscard]] const std::vector<RoundRecord>& history() const { return history_; }
+
+ private:
+  void settle();  // drain the event queue
+
+  ScenarioConfig config_;
+  Rng rng_;
+  net::EventQueue queue_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<identity::IdentityManager> im_;
+  std::unique_ptr<ledger::ValidationOracle> oracle_;
+  protocol::Directory directory_;
+  std::unique_ptr<net::AtomicBroadcastGroup> governor_group_;
+
+  // deques: node objects must never relocate (handlers and the governors'
+  // internal references are address-stable).
+  std::deque<protocol::Provider> providers_;
+  std::deque<protocol::Collector> collectors_;
+  std::deque<protocol::Governor> governors_;
+
+  Round round_ = 0;
+  std::vector<double> rewards_;
+  std::vector<std::uint64_t> leader_counts_;
+  std::vector<RoundRecord> history_;
+};
+
+}  // namespace repchain::sim

@@ -1,0 +1,30 @@
+#include "sim/topology.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::sim {
+
+void TopologyConfig::validate() const {
+  if (providers == 0 || collectors == 0 || governors == 0) {
+    throw ConfigError("topology: all tiers must be non-empty");
+  }
+  if (r == 0 || r > collectors) {
+    throw ConfigError("topology: need 0 < r <= n");
+  }
+  if ((r * providers) % collectors != 0) {
+    throw ConfigError("topology: r*l must be divisible by n (r*l = s*n)");
+  }
+}
+
+void build_links(const TopologyConfig& config, protocol::Directory& directory) {
+  config.validate();
+  for (std::size_t i = 0; i < config.providers; ++i) {
+    for (std::size_t j = 0; j < config.r; ++j) {
+      const std::size_t c = (i * config.r + j) % config.collectors;
+      directory.link(ProviderId(static_cast<std::uint32_t>(i)),
+                     CollectorId(static_cast<std::uint32_t>(c)));
+    }
+  }
+}
+
+}  // namespace repchain::sim

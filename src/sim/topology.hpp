@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "protocol/directory.hpp"
+
+namespace repchain::sim {
+
+/// Size and overlap structure of the Figure 1 hierarchy: l providers, n
+/// collectors, m governors; each provider linked with r collectors and each
+/// collector with s providers, where r*l = s*n must hold (§3.1).
+struct TopologyConfig {
+  std::size_t providers = 8;   // l
+  std::size_t collectors = 4;  // n
+  std::size_t governors = 3;   // m
+  std::size_t r = 2;           // collectors per provider
+
+  /// s = r*l/n, the providers per collector.
+  [[nodiscard]] std::size_t s() const { return r * providers / collectors; }
+
+  /// Throws ConfigError unless the structure is realizable: all tiers
+  /// non-empty, r <= n, and r*l divisible by n (so every collector oversees
+  /// exactly s providers).
+  void validate() const;
+};
+
+/// Populate `directory`'s link structure with a balanced circulant
+/// assignment: provider i is linked to collectors (i*r + j) mod n for
+/// j = 0..r-1, giving every collector exactly s providers and the overlap
+/// the reputation mechanism exploits.
+void build_links(const TopologyConfig& config, protocol::Directory& directory);
+
+}  // namespace repchain::sim

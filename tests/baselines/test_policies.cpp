@@ -1,0 +1,218 @@
+#include "baselines/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/policy_simulator.hpp"
+#include "common/errors.hpp"
+
+namespace repchain::baselines {
+namespace {
+
+using ledger::Label;
+
+reputation::ReputationParams params(double f = 0.5) {
+  reputation::ReputationParams p;
+  p.f = f;
+  return p;
+}
+
+std::vector<reputation::Report> reports(std::initializer_list<Label> labels) {
+  std::vector<reputation::Report> out;
+  std::uint32_t c = 0;
+  for (Label l : labels) out.push_back({CollectorId(c++), l});
+  return out;
+}
+
+TEST(CheckAllPolicy, AlwaysChecks) {
+  CheckAllPolicy p;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto d = p.decide(ProviderId(0), reports({Label::kInvalid, Label::kInvalid}),
+                            rng);
+    EXPECT_TRUE(d.check);
+  }
+}
+
+TEST(UniformPolicy, PlusOnePickAlwaysChecked) {
+  UniformPolicy p(0.9);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = p.decide(ProviderId(0), reports({Label::kValid}), rng);
+    EXPECT_TRUE(d.check);
+    EXPECT_EQ(d.chosen_label, Label::kValid);
+  }
+}
+
+TEST(UniformPolicy, SingleMinusOneUncheckedAtRateF) {
+  UniformPolicy p(0.6);
+  Rng rng(3);
+  int unchecked = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (!p.decide(ProviderId(0), reports({Label::kInvalid}), rng).check) ++unchecked;
+  }
+  EXPECT_NEAR(unchecked / static_cast<double>(n), 0.6, 0.03);
+}
+
+TEST(UniformPolicy, SelectionIsUniform) {
+  UniformPolicy p(0.5);
+  Rng rng(4);
+  int plus = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const auto d =
+        p.decide(ProviderId(0), reports({Label::kValid, Label::kInvalid}), rng);
+    if (d.chosen_label == Label::kValid) ++plus;
+  }
+  EXPECT_NEAR(plus / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(MajorityVotePolicy, MajorityValidChecks) {
+  MajorityVotePolicy p(0.9);
+  Rng rng(5);
+  const auto d = p.decide(
+      ProviderId(0), reports({Label::kValid, Label::kValid, Label::kInvalid}), rng);
+  EXPECT_TRUE(d.check);
+  EXPECT_EQ(d.chosen_label, Label::kValid);
+}
+
+TEST(MajorityVotePolicy, TieChecks) {
+  MajorityVotePolicy p(0.9);
+  Rng rng(6);
+  const auto d = p.decide(ProviderId(0), reports({Label::kValid, Label::kInvalid}), rng);
+  EXPECT_TRUE(d.check);
+}
+
+TEST(MajorityVotePolicy, MinusMajorityUncheckedAtRateF) {
+  MajorityVotePolicy p(0.7);
+  Rng rng(7);
+  int unchecked = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = p.decide(
+        ProviderId(0), reports({Label::kInvalid, Label::kInvalid, Label::kValid}), rng);
+    EXPECT_EQ(d.chosen_label, Label::kInvalid);
+    if (!d.check) ++unchecked;
+  }
+  EXPECT_NEAR(unchecked / static_cast<double>(n), 0.7, 0.03);
+}
+
+TEST(ReputationPolicy, LearnsToIgnoreAdversary) {
+  ReputationPolicy p(params(0.5), /*collectors=*/2, /*providers=*/1);
+  Rng rng(8);
+  // Collector 1 always wrong on unchecked reveals.
+  const auto reps = reports({Label::kValid, Label::kInvalid});
+  for (int i = 0; i < 50; ++i) {
+    p.on_truth(ProviderId(0), reps, /*tx_valid=*/true, /*was_checked=*/false);
+  }
+  EXPECT_LT(p.table().weight(CollectorId(1), ProviderId(0)), 1e-3);
+  // Selection now almost surely picks collector 0.
+  int picked_plus = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (p.decide(ProviderId(0), reps, rng).chosen_label == Label::kValid) ++picked_plus;
+  }
+  EXPECT_GE(picked_plus, 199);
+}
+
+// --- Simulator ----------------------------------------------------------------
+
+PolicyWorkloadConfig workload(std::uint64_t seed = 1) {
+  PolicyWorkloadConfig w;
+  w.transactions = 4000;
+  w.p_valid = 0.7;
+  w.collectors = {SimCollector{1.0, 0.0, 0.0},   // perfect
+                  SimCollector{0.7, 0.0, 0.0},   // noisy
+                  SimCollector{1.0, 1.0, 0.0}};  // adversarial (always flips)
+  w.seed = seed;
+  return w;
+}
+
+TEST(PolicySimulator, RejectsEmptyConfig) {
+  CheckAllPolicy p;
+  PolicyWorkloadConfig w;
+  w.collectors.clear();
+  EXPECT_THROW((void)run_policy(p, w), ConfigError);
+  w = workload();
+  w.providers = 0;
+  EXPECT_THROW((void)run_policy(p, w), ConfigError);
+}
+
+TEST(PolicySimulator, CheckAllHasZeroLossFullCost) {
+  CheckAllPolicy p;
+  const auto r = run_policy(p, workload());
+  EXPECT_EQ(r.loss, 0.0);
+  EXPECT_EQ(r.unchecked, 0u);
+  EXPECT_EQ(r.validations, r.transactions);
+}
+
+TEST(PolicySimulator, ReputationBeatsUniformOnLossAtEqualF) {
+  auto w = workload(42);
+  ReputationPolicy rep(params(0.8), w.collectors.size(), 1);
+  UniformPolicy uni(0.8);
+  const auto rr = run_policy(rep, w);
+  const auto ru = run_policy(uni, w);
+  // Same workload, same f: reputation learns to draw from the perfect
+  // collector, so its loss (valid txs buried) is much lower.
+  EXPECT_LT(rr.loss, ru.loss * 0.7)
+      << "reputation loss " << rr.loss << " vs uniform " << ru.loss;
+}
+
+TEST(PolicySimulator, ReputationSavesValidationsVsCheckAll) {
+  auto w = workload(43);
+  w.p_valid = 0.2;  // many invalid txs -> many -1 picks -> savings possible
+  ReputationPolicy rep(params(0.8), w.collectors.size(), 1);
+  CheckAllPolicy all;
+  const auto rr = run_policy(rep, w);
+  const auto ra = run_policy(all, w);
+  EXPECT_LT(rr.validations, ra.validations * 0.85);
+}
+
+TEST(PolicySimulator, SMinTracksBestCollector) {
+  // With a perfect collector present, S_min counts only its abstentions;
+  // with no drops it is exactly 0.
+  auto w = workload(44);
+  ReputationPolicy rep(params(0.8), w.collectors.size(), 1);
+  const auto r = run_policy(rep, w);
+  EXPECT_EQ(r.s_min, 0.0);
+}
+
+TEST(PolicySimulator, TheoremBoundHoldsEndToEnd) {
+  // E4's shape in miniature: governor loss <= S_min + O(sqrt((f+delta)N)).
+  auto w = workload(45);
+  w.transactions = 3000;
+  ReputationPolicy rep(params(0.5), w.collectors.size(), 1);
+  const auto r = run_policy(rep, w);
+  const double bound =
+      r.s_min + 16.0 * std::sqrt(static_cast<double>(r.unchecked + 1) *
+                                 std::log(static_cast<double>(w.collectors.size())));
+  EXPECT_LE(r.loss, bound) << "loss " << r.loss << " bound " << bound;
+}
+
+TEST(PolicySimulator, RevealLagOnlyDelaysLearning) {
+  auto w = workload(46);
+  ReputationPolicy immediate(params(0.8), w.collectors.size(), 1);
+  const auto r0 = run_policy(immediate, w);
+
+  w.reveal_lag = 50;
+  ReputationPolicy lagged(params(0.8), w.collectors.size(), 1);
+  const auto r50 = run_policy(lagged, w);
+
+  // Lag hurts, but boundedly (U-latency discussion in §4.2).
+  EXPECT_LE(r0.loss, r50.loss + 1e-9);
+  EXPECT_LT(r50.loss, r0.loss + 2.0 * 50 + 100.0);
+}
+
+TEST(PolicySimulator, DeterministicPerSeed) {
+  auto w = workload(47);
+  ReputationPolicy a(params(0.5), w.collectors.size(), 1);
+  ReputationPolicy b(params(0.5), w.collectors.size(), 1);
+  const auto ra = run_policy(a, w);
+  const auto rb = run_policy(b, w);
+  EXPECT_EQ(ra.loss, rb.loss);
+  EXPECT_EQ(ra.validations, rb.validations);
+}
+
+}  // namespace
+}  // namespace repchain::baselines

@@ -1,0 +1,66 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace repchain {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Bytes, HexOddLengthThrows) {
+  EXPECT_THROW(from_hex("abc"), DecodeError);
+}
+
+TEST(Bytes, HexBadCharThrows) {
+  EXPECT_THROW(from_hex("zz"), DecodeError);
+  EXPECT_THROW(from_hex("0g"), DecodeError);
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "hello \x01 world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1, 2};
+  append(dst, Bytes{3, 4});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1}, b = {}, c = {2, 3};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(a, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(a, Bytes{1, 2}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, FixedArrayHelpers) {
+  ByteArray<4> arr = {9, 8, 7, 6};
+  EXPECT_EQ(to_bytes(arr), (Bytes{9, 8, 7, 6}));
+  EXPECT_EQ(view(arr).size(), 4u);
+  EXPECT_EQ(view(arr)[0], 9);
+}
+
+}  // namespace
+}  // namespace repchain

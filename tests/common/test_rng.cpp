@@ -1,0 +1,149 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace repchain {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+  }
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), ConfigError);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRangeAndRoughlyUniform) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedChoiceFrequencies) {
+  Rng rng(17);
+  const std::vector<double> w = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_choice(w)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, WeightedChoiceSkipsZeroWeights) {
+  Rng rng(19);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_choice(w), 1u);
+  }
+}
+
+TEST(Rng, WeightedChoiceRejectsBadInput) {
+  Rng rng(23);
+  EXPECT_THROW(rng.weighted_choice(std::vector<double>{0.0, 0.0}), ConfigError);
+  EXPECT_THROW(rng.weighted_choice(std::vector<double>{-1.0, 2.0}), ConfigError);
+  EXPECT_THROW(rng.weighted_choice(std::vector<double>{std::nan(""), 1.0}), ConfigError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BytesFillsRequestedLength) {
+  Rng rng(31);
+  const Bytes b = rng.bytes(37);
+  EXPECT_EQ(b.size(), 37u);
+  // Overwhelmingly unlikely to be all zero.
+  bool nonzero = false;
+  for (auto x : b) nonzero |= (x != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, DerivedStreamsIndependent) {
+  Rng base(101);
+  Rng a = base.derive(1);
+  Rng b = base.derive(2);
+  Rng a2 = base.derive(1);
+  int same_ab = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a.next_u64();
+    const auto vb = b.next_u64();
+    EXPECT_EQ(va, a2.next_u64());  // same salt -> same stream
+    if (va == vb) ++same_ab;
+  }
+  EXPECT_LT(same_ab, 2);  // different salts -> different streams
+}
+
+}  // namespace
+}  // namespace repchain

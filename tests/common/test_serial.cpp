@@ -1,0 +1,106 @@
+#include "common/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace repchain {
+namespace {
+
+TEST(Serial, IntegerRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, DoubleRoundTrip) {
+  BinaryWriter w;
+  w.f64(3.14159);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+
+  BinaryReader r(w.data());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Serial, BooleanRoundTrip) {
+  BinaryWriter w;
+  w.boolean(true);
+  w.boolean(false);
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+}
+
+TEST(Serial, BooleanRejectsOutOfRange) {
+  const Bytes raw = {2};
+  BinaryReader r(raw);
+  EXPECT_THROW((void)r.boolean(), DecodeError);
+}
+
+TEST(Serial, BytesAndStringRoundTrip) {
+  BinaryWriter w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), Bytes{});
+  r.expect_done();
+}
+
+TEST(Serial, RawFixedFields) {
+  BinaryWriter w;
+  ByteArray<4> arr = {4, 3, 2, 1};
+  w.raw(view(arr));
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.raw_array<4>(), arr);
+}
+
+TEST(Serial, TruncatedIntegerThrows) {
+  const Bytes raw = {1, 2, 3};
+  BinaryReader r(raw);
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(Serial, TruncatedBytesThrows) {
+  BinaryWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);
+  BinaryReader r(w.data());
+  EXPECT_THROW((void)r.bytes(), DecodeError);
+}
+
+TEST(Serial, TrailingBytesDetected) {
+  BinaryWriter w;
+  w.u8(1);
+  w.u8(2);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.expect_done(), DecodeError);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Serial, LittleEndianLayout) {
+  BinaryWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+}  // namespace
+}  // namespace repchain

@@ -1,0 +1,147 @@
+#include "crypto/chacha20poly1305.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace repchain::crypto {
+namespace {
+
+AeadKey make_key(std::uint8_t seed = 0) {
+  AeadKey k;
+  for (std::size_t i = 0; i < 32; ++i) k.bytes[i] = static_cast<std::uint8_t>(seed + i);
+  return k;
+}
+
+AeadNonce make_nonce(std::uint8_t seed = 0) {
+  AeadNonce n;
+  for (std::size_t i = 0; i < 12; ++i) n.bytes[i] = static_cast<std::uint8_t>(seed + i);
+  return n;
+}
+
+// RFC 8439 §2.3.2: ChaCha20 block-function known-answer, exercised through
+// the XOR interface (keystream = XOR with zeros).
+TEST(ChaCha20, Rfc8439BlockFunctionVector) {
+  AeadKey key;
+  for (std::size_t i = 0; i < 32; ++i) key.bytes[i] = static_cast<std::uint8_t>(i);
+  AeadNonce nonce{};
+  const Bytes n = from_hex("000000090000004a00000000");
+  std::copy(n.begin(), n.end(), nonce.bytes.begin());
+
+  const Bytes keystream = chacha20_xor(key, nonce, 1, Bytes(64, 0));
+  EXPECT_EQ(to_hex(keystream),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2: ChaCha20 encryption of the "sunscreen" plaintext.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  AeadKey key;
+  for (std::size_t i = 0; i < 32; ++i) key.bytes[i] = static_cast<std::uint8_t>(i);
+  AeadNonce nonce{};
+  const Bytes n = from_hex("000000000000004a00000000");
+  std::copy(n.begin(), n.end(), nonce.bytes.begin());
+
+  const Bytes plaintext = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes ct = chacha20_xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.begin() + 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+}
+
+// RFC 8439 §2.5.2: Poly1305 known-answer.
+TEST(Poly1305, Rfc8439Vector) {
+  ByteArray<32> key{};
+  const Bytes k = from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  std::copy(k.begin(), k.end(), key.begin());
+  const Bytes msg = to_bytes("Cryptographic Forum Research Group");
+  EXPECT_EQ(to_hex(view(poly1305(key, msg))), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EmptyMessageIsSOnly) {
+  ByteArray<32> key{};
+  for (std::size_t i = 16; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  // r = 0 and no blocks: tag == s.
+  const auto tag = poly1305(key, Bytes{});
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(tag[i], key[16 + i]);
+  }
+}
+
+TEST(Aead, SealOpenRoundTrip) {
+  const AeadKey key = make_key(1);
+  const AeadNonce nonce = make_nonce(2);
+  const Bytes plaintext = to_bytes("confidential ride request: A -> B, fare 12");
+  const Bytes aad = to_bytes("provider-7|seq-3");
+
+  const Bytes sealed = aead_seal(key, nonce, plaintext, aad);
+  EXPECT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+  const auto opened = aead_open(key, nonce, sealed, aad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, EmptyPlaintextAndAad) {
+  const AeadKey key = make_key(3);
+  const AeadNonce nonce = make_nonce(4);
+  const Bytes sealed = aead_seal(key, nonce, Bytes{}, Bytes{});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  const auto opened = aead_open(key, nonce, sealed, Bytes{});
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Aead, TamperedCiphertextRejected) {
+  const AeadKey key = make_key(5);
+  const AeadNonce nonce = make_nonce(6);
+  const Bytes plaintext = to_bytes("payload");
+  Bytes sealed = aead_seal(key, nonce, plaintext, Bytes{});
+  for (std::size_t pos : {std::size_t{0}, sealed.size() - 1, sealed.size() / 2}) {
+    Bytes mutated = sealed;
+    mutated[pos] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, nonce, mutated, Bytes{}).has_value()) << pos;
+  }
+}
+
+TEST(Aead, WrongAadRejected) {
+  const AeadKey key = make_key(7);
+  const AeadNonce nonce = make_nonce(8);
+  const Bytes sealed = aead_seal(key, nonce, to_bytes("p"), to_bytes("aad-1"));
+  EXPECT_FALSE(aead_open(key, nonce, sealed, to_bytes("aad-2")).has_value());
+}
+
+TEST(Aead, WrongKeyOrNonceRejected) {
+  const Bytes sealed = aead_seal(make_key(9), make_nonce(10), to_bytes("p"), Bytes{});
+  EXPECT_FALSE(aead_open(make_key(11), make_nonce(10), sealed, Bytes{}).has_value());
+  EXPECT_FALSE(aead_open(make_key(9), make_nonce(12), sealed, Bytes{}).has_value());
+}
+
+TEST(Aead, TruncatedSealedRejected) {
+  const AeadKey key = make_key(13);
+  const AeadNonce nonce = make_nonce(14);
+  EXPECT_FALSE(aead_open(key, nonce, Bytes(8, 0), Bytes{}).has_value());
+}
+
+TEST(Aead, LargeMessageRoundTrip) {
+  Rng rng(99);
+  const AeadKey key = make_key(15);
+  const AeadNonce nonce = make_nonce(16);
+  const Bytes plaintext = rng.bytes(10000);  // many keystream blocks
+  const Bytes aad = rng.bytes(100);
+  const auto opened = aead_open(key, nonce, aead_seal(key, nonce, plaintext, aad), aad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, DistinctNoncesDistinctCiphertexts) {
+  const AeadKey key = make_key(17);
+  const Bytes plaintext = to_bytes("same plaintext");
+  const Bytes a = aead_seal(key, make_nonce(1), plaintext, Bytes{});
+  const Bytes b = aead_seal(key, make_nonce(2), plaintext, Bytes{});
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace repchain::crypto

@@ -1,0 +1,64 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repchain::crypto {
+namespace {
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2Sha256) {
+  const Bytes key = to_bytes("Jefe");
+  const Bytes data = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(view(hmac_sha256(key, data))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case2Sha512) {
+  const Bytes key = to_bytes("Jefe");
+  const Bytes data = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(view(hmac_sha512(key, data))),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554"
+            "9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737");
+}
+
+// RFC 4231 test case 1 (20 bytes of 0x0b, "Hi There").
+TEST(Hmac, Rfc4231Case1Sha256) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = to_bytes("Hi There");
+  EXPECT_EQ(to_hex(view(hmac_sha256(key, data))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, KeyLongerThanBlockIsHashedFirst) {
+  const Bytes long_key(200, 0xaa);
+  const Bytes data = to_bytes("message");
+  // Must not throw and must differ from using the truncated key directly.
+  const auto with_long = hmac_sha256(long_key, data);
+  const Bytes prefix(long_key.begin(), long_key.begin() + 64);
+  const auto with_prefix = hmac_sha256(prefix, data);
+  EXPECT_NE(to_hex(view(with_long)), to_hex(view(with_prefix)));
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  const Bytes data = to_bytes("same message");
+  EXPECT_NE(to_hex(view(hmac_sha256(to_bytes("k1"), data))),
+            to_hex(view(hmac_sha256(to_bytes("k2"), data))));
+}
+
+TEST(Hmac, DifferentMessagesDifferentMacs) {
+  const Bytes key = to_bytes("key");
+  EXPECT_NE(to_hex(view(hmac_sha256(key, to_bytes("m1")))),
+            to_hex(view(hmac_sha256(key, to_bytes("m2")))));
+}
+
+TEST(Hmac, DeriveKeyDeterministicAndLabelSeparated) {
+  const Bytes master = to_bytes("master-secret");
+  const auto k1 = derive_key(master, to_bytes("label-a"));
+  const auto k1_again = derive_key(master, to_bytes("label-a"));
+  const auto k2 = derive_key(master, to_bytes("label-b"));
+  EXPECT_EQ(k1, k1_again);
+  EXPECT_NE(to_hex(view(k1)), to_hex(view(k2)));
+}
+
+}  // namespace
+}  // namespace repchain::crypto

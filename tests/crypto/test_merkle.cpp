@@ -1,0 +1,107 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace repchain::crypto {
+namespace {
+
+std::vector<Bytes> make_leaves(std::size_t n) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(to_bytes("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree t({});
+  EXPECT_EQ(t.root(), Hash256{});
+  EXPECT_EQ(t.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  const auto leaves = make_leaves(1);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.root(), MerkleTree::hash_leaf(leaves[0]));
+}
+
+TEST(Merkle, LeafAndNodeHashesAreDomainSeparated) {
+  // hash_leaf(x) must never equal hash_node applied to the same bytes.
+  const Bytes x(64, 0x42);
+  Hash256 l{}, r{};
+  std::copy(x.begin(), x.begin() + 32, l.begin());
+  std::copy(x.begin() + 32, x.end(), r.begin());
+  EXPECT_NE(MerkleTree::hash_leaf(x), MerkleTree::hash_node(l, r));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  MerkleTree base(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].push_back(0xff);
+    MerkleTree t(mutated);
+    EXPECT_NE(t.root(), base.root()) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  MerkleTree a(leaves);
+  std::swap(leaves[0], leaves[3]);
+  MerkleTree b(leaves);
+  EXPECT_NE(a.root(), b.root());
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = t.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(t.root(), leaves[i], proof)) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleProofTest, ProofForWrongLeafFails) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  const auto proof = t.prove(0);
+  EXPECT_FALSE(MerkleTree::verify(t.root(), to_bytes("not-a-leaf"), proof));
+}
+
+TEST_P(MerkleProofTest, TamperedProofFails) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  auto proof = t.prove(n / 2);
+  if (!proof.steps.empty()) {
+    proof.steps[0].sibling[0] ^= 0x01;
+    EXPECT_FALSE(MerkleTree::verify(t.root(), leaves[n / 2], proof));
+  }
+}
+
+// Odd sizes exercise the duplicated-last-node path.
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33));
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree t(make_leaves(4));
+  EXPECT_THROW((void)t.prove(4), ConfigError);
+}
+
+TEST(Merkle, VerifyAgainstWrongRootFails) {
+  const auto leaves = make_leaves(6);
+  MerkleTree t(leaves);
+  Hash256 wrong = t.root();
+  wrong[31] ^= 0x80;
+  EXPECT_FALSE(MerkleTree::verify(wrong, leaves[2], t.prove(2)));
+}
+
+}  // namespace
+}  // namespace repchain::crypto

@@ -1,0 +1,133 @@
+#include "crypto/sc25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace repchain::crypto {
+namespace {
+
+ByteArray<32> from_hex_arr(const std::string& hex) {
+  const Bytes b = from_hex(hex);
+  ByteArray<32> out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+// L's little-endian byte encoding.
+ByteArray<32> l_bytes() {
+  return from_hex_arr(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+}
+
+Scalar random_scalar(Rng& rng) {
+  ByteArray<64> wide{};
+  const Bytes raw = rng.bytes(64);
+  std::copy(raw.begin(), raw.end(), wide.begin());
+  return sc_from_bytes_wide(wide);
+}
+
+TEST(Sc25519, ZeroProperties) {
+  EXPECT_TRUE(sc_is_zero(sc_zero()));
+  EXPECT_EQ(sc_to_bytes(sc_zero()), ByteArray<32>{});
+}
+
+TEST(Sc25519, LReducesToZero) {
+  const Scalar l = sc_from_bytes(l_bytes());
+  EXPECT_TRUE(sc_is_zero(l));
+}
+
+TEST(Sc25519, LIsNotCanonical) {
+  EXPECT_FALSE(sc_is_canonical(l_bytes()));
+  // L - 1 is canonical.
+  auto lm1 = l_bytes();
+  lm1[0] -= 1;
+  EXPECT_TRUE(sc_is_canonical(lm1));
+}
+
+TEST(Sc25519, SmallValuesCanonical) {
+  ByteArray<32> one{};
+  one[0] = 1;
+  EXPECT_TRUE(sc_is_canonical(one));
+  EXPECT_TRUE(sc_is_canonical(ByteArray<32>{}));
+}
+
+TEST(Sc25519, RoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const Scalar s = random_scalar(rng);
+    const auto enc = sc_to_bytes(s);
+    EXPECT_TRUE(sc_is_canonical(enc));
+    EXPECT_TRUE(sc_equal(sc_from_bytes(enc), s));
+  }
+}
+
+TEST(Sc25519, AddCommutative) {
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const Scalar a = random_scalar(rng), b = random_scalar(rng);
+    EXPECT_TRUE(sc_equal(sc_add(a, b), sc_add(b, a)));
+  }
+}
+
+TEST(Sc25519, AddZeroIdentity) {
+  Rng rng(9);
+  const Scalar a = random_scalar(rng);
+  EXPECT_TRUE(sc_equal(sc_add(a, sc_zero()), a));
+}
+
+TEST(Sc25519, MulAddSmallValues) {
+  // 3 * 4 + 5 = 17.
+  ByteArray<32> b3{}, b4{}, b5{}, b17{};
+  b3[0] = 3;
+  b4[0] = 4;
+  b5[0] = 5;
+  b17[0] = 17;
+  const Scalar r = sc_muladd(sc_from_bytes(b3), sc_from_bytes(b4), sc_from_bytes(b5));
+  EXPECT_TRUE(sc_equal(r, sc_from_bytes(b17)));
+}
+
+TEST(Sc25519, MulAddDistributes) {
+  // a*b + a*c == a*(b+c).
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const Scalar a = random_scalar(rng), b = random_scalar(rng), c = random_scalar(rng);
+    const Scalar lhs = sc_add(sc_muladd(a, b, sc_zero()), sc_muladd(a, c, sc_zero()));
+    const Scalar rhs = sc_muladd(a, sc_add(b, c), sc_zero());
+    EXPECT_TRUE(sc_equal(lhs, rhs));
+  }
+}
+
+TEST(Sc25519, MulCommutative) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const Scalar a = random_scalar(rng), b = random_scalar(rng);
+    EXPECT_TRUE(sc_equal(sc_muladd(a, b, sc_zero()), sc_muladd(b, a, sc_zero())));
+  }
+}
+
+TEST(Sc25519, WideReductionMatchesNarrowForSmallInputs) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    ByteArray<32> narrow{};
+    Bytes raw = rng.bytes(32);
+    std::copy(raw.begin(), raw.end(), narrow.begin());
+    ByteArray<64> wide{};
+    std::copy(narrow.begin(), narrow.end(), wide.begin());
+    EXPECT_TRUE(sc_equal(sc_from_bytes(narrow), sc_from_bytes_wide(wide)));
+  }
+}
+
+TEST(Sc25519, MulByOneIsIdentity) {
+  Rng rng(19);
+  ByteArray<32> one{};
+  one[0] = 1;
+  const Scalar s1 = sc_from_bytes(one);
+  for (int i = 0; i < 20; ++i) {
+    const Scalar a = random_scalar(rng);
+    EXPECT_TRUE(sc_equal(sc_muladd(a, s1, sc_zero()), a));
+  }
+}
+
+}  // namespace
+}  // namespace repchain::crypto

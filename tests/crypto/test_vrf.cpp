@@ -1,0 +1,91 @@
+#include "crypto/vrf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/keygen.hpp"
+
+namespace repchain::crypto {
+namespace {
+
+TEST(Vrf, EvaluateVerifyRoundTrip) {
+  Rng rng(2001);
+  const SigningKey key(random_seed(rng));
+  const Bytes alpha = to_bytes("round-1|gov-3|stake-0");
+  const VrfResult r = vrf_evaluate(key, alpha);
+  const auto out = vrf_verify(key.public_key(), alpha, r.proof);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, r.output);
+}
+
+TEST(Vrf, DeterministicOutput) {
+  Rng rng(2002);
+  const SigningKey key(random_seed(rng));
+  const Bytes alpha = to_bytes("same input");
+  EXPECT_EQ(vrf_evaluate(key, alpha).output, vrf_evaluate(key, alpha).output);
+}
+
+TEST(Vrf, DistinctInputsDistinctOutputs) {
+  Rng rng(2003);
+  const SigningKey key(random_seed(rng));
+  EXPECT_NE(vrf_evaluate(key, to_bytes("a")).output,
+            vrf_evaluate(key, to_bytes("b")).output);
+}
+
+TEST(Vrf, DistinctKeysDistinctOutputs) {
+  Rng rng(2004);
+  const SigningKey a(random_seed(rng));
+  const SigningKey b(random_seed(rng));
+  const Bytes alpha = to_bytes("shared input");
+  EXPECT_NE(vrf_evaluate(a, alpha).output, vrf_evaluate(b, alpha).output);
+}
+
+TEST(Vrf, WrongKeyProofRejected) {
+  Rng rng(2005);
+  const SigningKey a(random_seed(rng));
+  const SigningKey b(random_seed(rng));
+  const Bytes alpha = to_bytes("input");
+  const VrfResult r = vrf_evaluate(a, alpha);
+  EXPECT_FALSE(vrf_verify(b.public_key(), alpha, r.proof).has_value());
+}
+
+TEST(Vrf, WrongInputProofRejected) {
+  Rng rng(2006);
+  const SigningKey key(random_seed(rng));
+  const VrfResult r = vrf_evaluate(key, to_bytes("input-1"));
+  EXPECT_FALSE(vrf_verify(key.public_key(), to_bytes("input-2"), r.proof).has_value());
+}
+
+TEST(Vrf, TamperedProofRejected) {
+  Rng rng(2007);
+  const SigningKey key(random_seed(rng));
+  const Bytes alpha = to_bytes("input");
+  VrfResult r = vrf_evaluate(key, alpha);
+  r.proof.bytes[10] ^= 0x01;
+  EXPECT_FALSE(vrf_verify(key.public_key(), alpha, r.proof).has_value());
+}
+
+TEST(Vrf, OutputToU64BigEndianPrefix) {
+  Hash512 out{};
+  out[0] = 0x01;
+  out[7] = 0xff;
+  EXPECT_EQ(vrf_output_to_u64(out), 0x01000000000000ffULL);
+}
+
+TEST(Vrf, OutputsLookUniform) {
+  // Crude uniformity check: over many (key, input) pairs the leading bit of
+  // the u64 projection should be ~50/50.
+  Rng rng(2008);
+  const SigningKey key(random_seed(rng));
+  int high = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const VrfResult r = vrf_evaluate(key, to_bytes("input-" + std::to_string(i)));
+    if (vrf_output_to_u64(r.output) >> 63) ++high;
+  }
+  EXPECT_GT(high, n / 4);
+  EXPECT_LT(high, 3 * n / 4);
+}
+
+}  // namespace
+}  // namespace repchain::crypto

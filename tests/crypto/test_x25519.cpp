@@ -1,0 +1,127 @@
+#include "crypto/x25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace repchain::crypto {
+namespace {
+
+ByteArray<32> arr(const std::string& hex) {
+  const Bytes b = from_hex(hex);
+  ByteArray<32> out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+// RFC 7748 §5.2, first test vector.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar =
+      arr("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto u = arr("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(to_hex(view(x25519(scalar, u))),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 §6.1: the full Diffie-Hellman example.
+TEST(X25519, Rfc7748DiffieHellmanExample) {
+  X25519SecretKey alice;
+  alice.bytes = arr("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  X25519SecretKey bob;
+  bob.bytes = arr("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pub = x25519_public(alice);
+  const auto bob_pub = x25519_public(bob);
+  EXPECT_EQ(to_hex(view(alice_pub.bytes)),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(to_hex(view(bob_pub.bytes)),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto shared_a = x25519_shared(alice, bob_pub);
+  const auto shared_b = x25519_shared(bob, alice_pub);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(to_hex(view(shared_a)),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretsAgreeAcrossRandomPairs) {
+  Rng rng(42);
+  for (int i = 0; i < 5; ++i) {
+    X25519SecretKey a, b;
+    Bytes ra = rng.bytes(32), rb = rng.bytes(32);
+    std::copy(ra.begin(), ra.end(), a.bytes.begin());
+    std::copy(rb.begin(), rb.end(), b.bytes.begin());
+    const auto shared_ab = x25519_shared(a, x25519_public(b));
+    const auto shared_ba = x25519_shared(b, x25519_public(a));
+    EXPECT_EQ(shared_ab, shared_ba) << "pair " << i;
+    // Distinct pairs produce distinct secrets.
+    X25519SecretKey c;
+    Bytes rc = rng.bytes(32);
+    std::copy(rc.begin(), rc.end(), c.bytes.begin());
+    EXPECT_NE(x25519_shared(a, x25519_public(c)), shared_ab);
+  }
+}
+
+TEST(X25519, CrossValidatesAgainstEdwardsImplementation) {
+  // The Montgomery ladder and the (independently tested) Edwards double-and-
+  // add must agree through the birational map u = (1+y)/(1-y): for clamped
+  // k, X25519(k, 9) == u([k]B) computed on the Edwards side.
+  Rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    ByteArray<32> k{};
+    const Bytes raw = rng.bytes(32);
+    std::copy(raw.begin(), raw.end(), k.begin());
+    const ByteArray<32> clamped = x25519_clamp(k);
+
+    // Montgomery side.
+    ByteArray<32> base{};
+    base[0] = 9;
+    const ByteArray<32> mont_u = x25519(clamped, base);
+
+    // Edwards side ([k]B == [k mod L]B since B has order L).
+    const Point p = point_base_mul(sc_from_bytes(clamped));
+    const Fe zinv = fe_invert(p.Z);
+    const Fe y = fe_mul(p.Y, zinv);
+    const Fe u = fe_mul(fe_add(fe_one(), y), fe_invert(fe_sub(fe_one(), y)));
+    EXPECT_EQ(to_hex(view(mont_u)), to_hex(view(fe_to_bytes(u)))) << "k index " << i;
+  }
+}
+
+TEST(X25519, ClampSetsExpectedBits) {
+  ByteArray<32> k{};
+  for (auto& b : k) b = 0xff;
+  const auto c = x25519_clamp(k);
+  EXPECT_EQ(c[0] & 0x07, 0);
+  EXPECT_EQ(c[31] & 0x80, 0);
+  EXPECT_EQ(c[31] & 0x40, 0x40);
+}
+
+TEST(X25519, DeriveAeadKeyEndToEnd) {
+  // Two parties agree on a key and actually seal/open with it.
+  Rng rng(99);
+  X25519SecretKey a, b;
+  Bytes ra = rng.bytes(32), rb = rng.bytes(32);
+  std::copy(ra.begin(), ra.end(), a.bytes.begin());
+  std::copy(rb.begin(), rb.end(), b.bytes.begin());
+
+  const AeadKey ka = derive_aead_key(x25519_shared(a, x25519_public(b)),
+                                     to_bytes("payload-sealing-v1"));
+  const AeadKey kb = derive_aead_key(x25519_shared(b, x25519_public(a)),
+                                     to_bytes("payload-sealing-v1"));
+  EXPECT_EQ(ka.bytes, kb.bytes);
+
+  AeadNonce nonce{};
+  const Bytes sealed = aead_seal(ka, nonce, to_bytes("secret"), Bytes{});
+  const auto opened = aead_open(kb, nonce, sealed, Bytes{});
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, to_bytes("secret"));
+
+  // A different label yields a different (incompatible) key.
+  const AeadKey other = derive_aead_key(x25519_shared(a, x25519_public(b)),
+                                        to_bytes("different-context"));
+  EXPECT_FALSE(aead_open(other, nonce, sealed, Bytes{}).has_value());
+}
+
+}  // namespace
+}  // namespace repchain::crypto

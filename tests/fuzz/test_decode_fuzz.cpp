@@ -1,0 +1,127 @@
+// Robustness sweep: every wire decoder must survive arbitrary byte strings
+// by throwing DecodeError (or succeeding), never crashing, looping, or
+// throwing anything else. Seeds are parameterized; each seed drives random
+// buffers of varied sizes plus mutation fuzz over valid encodings.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/errors.hpp"
+
+#include "common/rng.hpp"
+#include "crypto/keygen.hpp"
+#include "identity/certificate.hpp"
+#include "ledger/block.hpp"
+#include "ledger/transaction.hpp"
+#include "protocol/leader_election.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/stake.hpp"
+
+namespace repchain {
+namespace {
+
+using DecoderFn = std::function<void(BytesView)>;
+
+std::vector<std::pair<const char*, DecoderFn>> decoders() {
+  return {
+      {"Transaction", [](BytesView d) { (void)ledger::Transaction::decode(d); }},
+      {"LabeledTransaction",
+       [](BytesView d) { (void)ledger::LabeledTransaction::decode(d); }},
+      {"TxRecord", [](BytesView d) { (void)ledger::TxRecord::decode(d); }},
+      {"Block", [](BytesView d) { (void)ledger::Block::decode(d); }},
+      {"Certificate", [](BytesView d) { (void)identity::Certificate::decode(d); }},
+      {"ArgueMsg", [](BytesView d) { (void)protocol::ArgueMsg::decode(d); }},
+      {"VrfAnnounceMsg", [](BytesView d) { (void)protocol::VrfAnnounceMsg::decode(d); }},
+      {"StakeTxMsg", [](BytesView d) { (void)protocol::StakeTxMsg::decode(d); }},
+      {"StateProposalMsg",
+       [](BytesView d) { (void)protocol::StateProposalMsg::decode(d); }},
+      {"StateSignatureMsg",
+       [](BytesView d) { (void)protocol::StateSignatureMsg::decode(d); }},
+      {"StateCommitMsg", [](BytesView d) { (void)protocol::StateCommitMsg::decode(d); }},
+      {"ExpelMsg", [](BytesView d) { (void)protocol::ExpelMsg::decode(d); }},
+      {"StakeLedger", [](BytesView d) { (void)protocol::StakeLedger::decode(d); }},
+  };
+}
+
+/// Run a decoder on `data`; pass iff it returns or throws DecodeError.
+void expect_graceful(const char* name, const DecoderFn& fn, BytesView data) {
+  try {
+    fn(data);
+  } catch (const DecodeError&) {
+    // expected failure mode
+  } catch (const std::exception& e) {
+    FAIL() << name << " threw non-DecodeError: " << e.what();
+  }
+}
+
+class DecodeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecodeFuzz, RandomBuffersAreHandledGracefully) {
+  Rng rng(GetParam());
+  for (const auto& [name, fn] : decoders()) {
+    for (std::size_t size : {0u, 1u, 7u, 32u, 64u, 100u, 300u, 1000u}) {
+      for (int i = 0; i < 20; ++i) {
+        const Bytes data = rng.bytes(size);
+        expect_graceful(name, fn, data);
+      }
+    }
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedValidEncodingsAreHandledGracefully) {
+  Rng rng(GetParam() ^ 0xf00dULL);
+  crypto::SigningKey key(crypto::random_seed(rng));
+
+  const auto tx = ledger::make_transaction(ProviderId(1), 2, 3, rng.bytes(16), key);
+  const auto ltx = ledger::make_labeled(tx, ledger::Label::kInvalid, CollectorId(4), key);
+  ledger::TxRecord rec;
+  rec.tx = tx;
+  const auto block =
+      ledger::make_block(1, 1, crypto::Hash256{}, GovernorId(0), {rec}, key);
+  const auto argue = protocol::make_argue(ProviderId(1), tx, 9, key);
+  const auto announce = protocol::make_announcement(3, GovernorId(1), 2, key);
+  const auto stake_tx = protocol::make_stake_tx(GovernorId(0), GovernorId(1), 5, 6, key);
+
+  struct Case {
+    const char* name;
+    Bytes encoding;
+    DecoderFn fn;
+  };
+  const std::vector<Case> cases = {
+      {"Transaction", tx.encode(),
+       [](BytesView d) { (void)ledger::Transaction::decode(d); }},
+      {"LabeledTransaction", ltx.encode(),
+       [](BytesView d) { (void)ledger::LabeledTransaction::decode(d); }},
+      {"Block", block.encode(), [](BytesView d) { (void)ledger::Block::decode(d); }},
+      {"ArgueMsg", argue.encode(),
+       [](BytesView d) { (void)protocol::ArgueMsg::decode(d); }},
+      {"VrfAnnounceMsg", announce.encode(),
+       [](BytesView d) { (void)protocol::VrfAnnounceMsg::decode(d); }},
+      {"StakeTxMsg", stake_tx.encode(),
+       [](BytesView d) { (void)protocol::StakeTxMsg::decode(d); }},
+  };
+
+  for (const auto& c : cases) {
+    // Truncations at every prefix length.
+    for (std::size_t len = 0; len < c.encoding.size(); ++len) {
+      expect_graceful(c.name, c.fn, BytesView(c.encoding.data(), len));
+    }
+    // Random single-byte corruptions (length fields included).
+    for (int i = 0; i < 200; ++i) {
+      Bytes mutated = c.encoding;
+      mutated[rng.uniform(mutated.size())] = static_cast<std::uint8_t>(rng.next_u64());
+      expect_graceful(c.name, c.fn, mutated);
+    }
+    // Random extensions.
+    for (int i = 0; i < 20; ++i) {
+      Bytes extended = c.encoding;
+      append(extended, rng.bytes(1 + rng.uniform(16)));
+      expect_graceful(c.name, c.fn, extended);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace repchain

@@ -1,0 +1,144 @@
+#include "ledger/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "crypto/keygen.hpp"
+
+namespace repchain::ledger {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(555), provider_key(crypto::random_seed(rng)),
+              collector_key(crypto::random_seed(rng)) {}
+
+  Transaction make_tx(std::uint64_t seq = 1) {
+    return make_transaction(ProviderId(10), seq, 1000 + seq, to_bytes("payload"),
+                            provider_key);
+  }
+
+  Rng rng;
+  crypto::SigningKey provider_key;
+  crypto::SigningKey collector_key;
+};
+
+TEST(Transaction, EncodeDecodeRoundTrip) {
+  Fixture f;
+  const Transaction tx = f.make_tx();
+  const Transaction decoded = Transaction::decode(tx.encode());
+  EXPECT_EQ(decoded, tx);
+  EXPECT_EQ(decoded.provider, ProviderId(10));
+  EXPECT_EQ(decoded.seq, 1u);
+  EXPECT_EQ(decoded.timestamp, 1001u);
+  EXPECT_EQ(decoded.payload, to_bytes("payload"));
+}
+
+TEST(Transaction, SignatureVerifiesAgainstPreimage) {
+  Fixture f;
+  const Transaction tx = f.make_tx();
+  EXPECT_TRUE(crypto::verify(f.provider_key.public_key(), tx.signed_preimage(),
+                             tx.provider_sig));
+}
+
+TEST(Transaction, IdStableAcrossReEncoding) {
+  Fixture f;
+  const Transaction tx = f.make_tx();
+  EXPECT_EQ(tx.id(), Transaction::decode(tx.encode()).id());
+}
+
+TEST(Transaction, IdIgnoresSignature) {
+  // The id must identify the provider-signed content: two copies of the same
+  // transaction carry the same id even if signature bytes were re-created.
+  Fixture f;
+  Transaction tx = f.make_tx();
+  Transaction copy = tx;
+  copy.provider_sig.bytes[0] ^= 0xff;  // corrupt (id should not change)
+  EXPECT_EQ(tx.id(), copy.id());
+}
+
+TEST(Transaction, IdDistinguishesSeqTimestampPayloadProvider) {
+  Fixture f;
+  const Transaction base = f.make_tx(1);
+  Transaction t = base;
+  t.seq = 2;
+  EXPECT_NE(base.id(), t.id());
+  t = base;
+  t.timestamp += 1;
+  EXPECT_NE(base.id(), t.id());
+  t = base;
+  t.payload.push_back(0);
+  EXPECT_NE(base.id(), t.id());
+  t = base;
+  t.provider = ProviderId(11);
+  EXPECT_NE(base.id(), t.id());
+}
+
+TEST(Transaction, DecodeRejectsTruncation) {
+  Fixture f;
+  Bytes enc = f.make_tx().encode();
+  enc.resize(enc.size() - 10);
+  EXPECT_THROW(Transaction::decode(enc), DecodeError);
+}
+
+TEST(Transaction, DecodeRejectsTrailingGarbage) {
+  Fixture f;
+  Bytes enc = f.make_tx().encode();
+  enc.push_back(0x00);
+  EXPECT_THROW(Transaction::decode(enc), DecodeError);
+}
+
+TEST(LabeledTransaction, EncodeDecodeRoundTrip) {
+  Fixture f;
+  const Transaction tx = f.make_tx();
+  const LabeledTransaction ltx =
+      make_labeled(tx, Label::kInvalid, CollectorId(3), f.collector_key);
+  const LabeledTransaction decoded = LabeledTransaction::decode(ltx.encode());
+  EXPECT_EQ(decoded.tx, tx);
+  EXPECT_EQ(decoded.label, Label::kInvalid);
+  EXPECT_EQ(decoded.collector, CollectorId(3));
+  EXPECT_EQ(decoded.collector_sig, ltx.collector_sig);
+}
+
+TEST(LabeledTransaction, SignatureCoversLabel) {
+  Fixture f;
+  const Transaction tx = f.make_tx();
+  LabeledTransaction ltx = make_labeled(tx, Label::kValid, CollectorId(3), f.collector_key);
+  ASSERT_TRUE(crypto::verify(f.collector_key.public_key(), ltx.signed_preimage(),
+                             ltx.collector_sig));
+  // Flipping the label invalidates the collector's signature.
+  ltx.label = Label::kInvalid;
+  EXPECT_FALSE(crypto::verify(f.collector_key.public_key(), ltx.signed_preimage(),
+                              ltx.collector_sig));
+}
+
+TEST(LabeledTransaction, DecodeRejectsBadLabel) {
+  Fixture f;
+  const Transaction tx = f.make_tx();
+  const LabeledTransaction ltx =
+      make_labeled(tx, Label::kValid, CollectorId(3), f.collector_key);
+  Bytes enc = ltx.encode();
+  // The label byte sits right after the length-prefixed tx blob.
+  const std::size_t label_pos = 4 + tx.encode().size();
+  enc[label_pos] = 0;
+  EXPECT_THROW(LabeledTransaction::decode(enc), DecodeError);
+}
+
+TEST(Label, OppositeFlips) {
+  EXPECT_EQ(opposite(Label::kValid), Label::kInvalid);
+  EXPECT_EQ(opposite(Label::kInvalid), Label::kValid);
+}
+
+TEST(TxIdHash, UsableInUnorderedMap) {
+  Fixture f;
+  std::unordered_map<TxId, int, TxIdHash> map;
+  const Transaction a = f.make_tx(1);
+  const Transaction b = f.make_tx(2);
+  map[a.id()] = 1;
+  map[b.id()] = 2;
+  EXPECT_EQ(map.at(a.id()), 1);
+  EXPECT_EQ(map.at(b.id()), 2);
+}
+
+}  // namespace
+}  // namespace repchain::ledger

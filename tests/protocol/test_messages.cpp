@@ -1,0 +1,140 @@
+#include "protocol/messages.hpp"
+
+#include "protocol/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "crypto/keygen.hpp"
+
+namespace repchain::protocol {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(88), key(crypto::random_seed(rng)) {}
+
+  ledger::Transaction tx() {
+    return ledger::make_transaction(ProviderId(1), 7, 1234, to_bytes("p"), key);
+  }
+
+  Rng rng;
+  crypto::SigningKey key;
+};
+
+TEST(ArgueMsg, RoundTripAndSignature) {
+  Fixture f;
+  const ArgueMsg m = make_argue(ProviderId(1), f.tx(), 5, f.key);
+  const ArgueMsg d = ArgueMsg::decode(m.encode());
+  EXPECT_EQ(d.provider, ProviderId(1));
+  EXPECT_EQ(d.serial, 5u);
+  EXPECT_EQ(d.tx, m.tx);
+  EXPECT_TRUE(crypto::verify(f.key.public_key(), d.signed_preimage(), d.provider_sig));
+}
+
+TEST(ArgueMsg, SignatureCoversSerial) {
+  Fixture f;
+  ArgueMsg m = make_argue(ProviderId(1), f.tx(), 5, f.key);
+  m.serial = 6;
+  EXPECT_FALSE(crypto::verify(f.key.public_key(), m.signed_preimage(), m.provider_sig));
+}
+
+TEST(VrfAlpha, DistinctPerRoundGovernorUnit) {
+  EXPECT_NE(vrf_alpha(1, GovernorId(0), 0), vrf_alpha(2, GovernorId(0), 0));
+  EXPECT_NE(vrf_alpha(1, GovernorId(0), 0), vrf_alpha(1, GovernorId(1), 0));
+  EXPECT_NE(vrf_alpha(1, GovernorId(0), 0), vrf_alpha(1, GovernorId(0), 1));
+}
+
+TEST(VrfAnnounceMsg, RoundTrip) {
+  Fixture f;
+  const VrfAnnounceMsg m = make_announcement(3, GovernorId(2), 4, f.key);
+  EXPECT_EQ(m.tickets.size(), 4u);
+  const VrfAnnounceMsg d = VrfAnnounceMsg::decode(m.encode());
+  EXPECT_EQ(d.round, 3u);
+  EXPECT_EQ(d.governor, GovernorId(2));
+  ASSERT_EQ(d.tickets.size(), 4u);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    EXPECT_EQ(d.tickets[u].unit, u);
+    EXPECT_TRUE(crypto::vrf_verify(f.key.public_key(),
+                                   vrf_alpha(3, GovernorId(2), u), d.tickets[u].proof)
+                    .has_value());
+  }
+}
+
+TEST(StakeTxMsg, RoundTripAndSignature) {
+  Fixture f;
+  const StakeTxMsg m = make_stake_tx(GovernorId(0), GovernorId(1), 42, 7, f.key);
+  const StakeTxMsg d = StakeTxMsg::decode(m.encode());
+  EXPECT_EQ(d.from, GovernorId(0));
+  EXPECT_EQ(d.to, GovernorId(1));
+  EXPECT_EQ(d.amount, 42u);
+  EXPECT_EQ(d.seq, 7u);
+  EXPECT_TRUE(crypto::verify(f.key.public_key(), d.signed_preimage(), d.sig));
+}
+
+TEST(StakeTxMsg, SignatureCoversAmount) {
+  Fixture f;
+  StakeTxMsg m = make_stake_tx(GovernorId(0), GovernorId(1), 42, 7, f.key);
+  m.amount = 43;
+  EXPECT_FALSE(crypto::verify(f.key.public_key(), m.signed_preimage(), m.sig));
+}
+
+TEST(StateMessages, ProposalSignatureCommitRoundTrip) {
+  Fixture f;
+  StateProposalMsg p;
+  p.round = 9;
+  p.leader = GovernorId(1);
+  p.state = to_bytes("canonical-state");
+  p.leader_sig = f.key.sign(p.signed_preimage());
+  const StateProposalMsg dp = StateProposalMsg::decode(p.encode());
+  EXPECT_EQ(dp.state, p.state);
+  EXPECT_TRUE(crypto::verify(f.key.public_key(), dp.signed_preimage(), dp.leader_sig));
+
+  StateSignatureMsg s;
+  s.round = 9;
+  s.signer = GovernorId(2);
+  s.sig = f.key.sign(p.signed_preimage());
+  const StateSignatureMsg ds = StateSignatureMsg::decode(s.encode());
+  EXPECT_EQ(ds.signer, GovernorId(2));
+
+  StateCommitMsg c;
+  c.round = 9;
+  c.leader = GovernorId(1);
+  c.state = p.state;
+  c.signatures = {s, s};
+  const StateCommitMsg dc = StateCommitMsg::decode(c.encode());
+  EXPECT_EQ(dc.signatures.size(), 2u);
+  EXPECT_EQ(dc.signatures[0].sig, s.sig);
+}
+
+TEST(ExpelMsg, RoundTripAndSignature) {
+  Fixture f;
+  const ExpelMsg m =
+      make_expel(4, GovernorId(0), GovernorId(1), to_bytes("evidence"), f.key);
+  const ExpelMsg d = ExpelMsg::decode(m.encode());
+  EXPECT_EQ(d.accuser, GovernorId(0));
+  EXPECT_EQ(d.accused, GovernorId(1));
+  EXPECT_EQ(d.evidence, to_bytes("evidence"));
+  EXPECT_TRUE(crypto::verify(f.key.public_key(), d.signed_preimage(), d.accuser_sig));
+}
+
+TEST(Messages, DecodeRejectsTruncation) {
+  Fixture f;
+  std::vector<Bytes> encodings = {
+      make_argue(ProviderId(1), f.tx(), 5, f.key).encode(),
+      make_announcement(3, GovernorId(2), 2, f.key).encode(),
+      make_stake_tx(GovernorId(0), GovernorId(1), 1, 1, f.key).encode()};
+  for (Bytes enc : encodings) {
+    enc.pop_back();
+    bool threw = false;
+    try {
+      (void)ArgueMsg::decode(enc);
+    } catch (const DecodeError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+}  // namespace
+}  // namespace repchain::protocol

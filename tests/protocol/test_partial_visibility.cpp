@@ -1,0 +1,94 @@
+// Tests for partial governor visibility (§3.1: "in real cases, a governor
+// may only perceive partial information ... the structure of the network can
+// be adjusted").
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "sim/scenario.hpp"
+
+namespace repchain::sim {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.topology.providers = 8;
+  cfg.topology.collectors = 4;
+  cfg.topology.governors = 3;
+  cfg.topology.r = 4;  // every provider reaches all collectors
+  cfg.rounds = 4;
+  cfg.txs_per_provider_per_round = 2;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(PartialVisibility, FullVisibilityByDefault) {
+  Scenario s(base_config());
+  for (auto& g : s.governors()) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      EXPECT_TRUE(g.sees(CollectorId(c)));
+    }
+  }
+}
+
+TEST(PartialVisibility, HalfViewStillSafeAndLive) {
+  auto cfg = base_config();
+  cfg.governor_visibility = 0.5;  // each governor sees 2 of 4 collectors
+  Scenario s(cfg);
+  s.run();
+
+  const auto sum = s.summary();
+  EXPECT_EQ(sum.blocks, 4u);
+  EXPECT_TRUE(sum.agreement);
+  EXPECT_TRUE(sum.chains_audit_ok);
+
+  // Each governor saw only its window and ignored the rest.
+  for (auto& g : s.governors()) {
+    std::size_t seen = 0;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      if (g.sees(CollectorId(c))) ++seen;
+    }
+    EXPECT_EQ(seen, 2u);
+    EXPECT_GT(g.metrics().uploads_invisible, 0u);
+    EXPECT_EQ(g.reputation().collector_count(), 2u);
+  }
+}
+
+TEST(PartialVisibility, ViewsAreStaggeredAcrossGovernors) {
+  auto cfg = base_config();
+  cfg.governor_visibility = 0.5;
+  Scenario s(cfg);
+  // Governor j sees {(j+k) mod n}: neighbours overlap in exactly one
+  // collector here (n=4, window 2).
+  EXPECT_TRUE(s.governors()[0].sees(CollectorId(0)));
+  EXPECT_TRUE(s.governors()[0].sees(CollectorId(1)));
+  EXPECT_FALSE(s.governors()[0].sees(CollectorId(2)));
+  EXPECT_TRUE(s.governors()[1].sees(CollectorId(1)));
+  EXPECT_TRUE(s.governors()[1].sees(CollectorId(2)));
+}
+
+TEST(PartialVisibility, InvisibleAdversaryCannotHurtThisGovernorsReputation) {
+  auto cfg = base_config();
+  cfg.governor_visibility = 0.5;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::adversarial(),
+                   protocol::CollectorBehavior::honest()};
+  Scenario s(cfg);
+  s.run();
+  // Governor 0 sees collectors {0, 1} only; the adversarial collector 2 is
+  // outside its world entirely (no reputation entry, no screening input).
+  auto& g0 = s.governors()[0];
+  EXPECT_FALSE(g0.sees(CollectorId(2)));
+  EXPECT_THROW((void)g0.reputation().misreport(CollectorId(2)), ProtocolError);
+}
+
+TEST(PartialVisibility, InvalidFractionRejected) {
+  auto cfg = base_config();
+  cfg.governor_visibility = 0.0;
+  EXPECT_THROW(Scenario s(cfg), ConfigError);
+  cfg.governor_visibility = 1.5;
+  EXPECT_THROW(Scenario s2(cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace repchain::sim

@@ -1,0 +1,115 @@
+#include "reputation/gamma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "reputation/params.hpp"
+
+namespace repchain::reputation {
+namespace {
+
+TEST(ExpectedLoss, Bounds) {
+  EXPECT_DOUBLE_EQ(expected_loss(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_loss(0.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(expected_loss(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_loss(3.0, 1.0), 0.5);
+}
+
+TEST(ExpectedLoss, EmptyMassIsZero) {
+  EXPECT_DOUBLE_EQ(expected_loss(0.0, 0.0), 0.0);
+}
+
+TEST(ExpectedLoss, NegativeMassThrows) {
+  EXPECT_THROW((void)expected_loss(-1.0, 1.0), ConfigError);
+  EXPECT_THROW((void)expected_loss(1.0, -1.0), ConfigError);
+}
+
+TEST(GammaTx, MatchesPaperClosedForm) {
+  // beta = 0.9, L = 1: max{(0.9-1)/1 + 0.95, (0.81+0.9)/2} = max{0.85, 0.855}.
+  EXPECT_NEAR(gamma_tx(0.9, 1.0), 0.855, 1e-12);
+  // beta = 0.9, L = 2: max{0.9, 0.855} = 0.9 (= beta, the upper end).
+  EXPECT_NEAR(gamma_tx(0.9, 2.0), 0.9, 1e-12);
+}
+
+TEST(GammaTx, ZeroLossUsesLowerCandidate) {
+  EXPECT_NEAR(gamma_tx(0.9, 0.0), (0.81 + 0.9) / 2.0, 1e-12);
+}
+
+TEST(GammaTx, RejectsBadArguments) {
+  EXPECT_THROW((void)gamma_tx(0.0, 1.0), ConfigError);
+  EXPECT_THROW((void)gamma_tx(1.0, 1.0), ConfigError);
+  EXPECT_THROW((void)gamma_tx(0.9, -0.1), ConfigError);
+  EXPECT_THROW((void)gamma_tx(0.9, 2.1), ConfigError);
+}
+
+/// Property sweep over (beta, L): the paper's inequality chain
+/// beta^2 <= gamma <= beta <= (gamma-1)L/2 + 1 <= 1 must hold everywhere in
+/// the feasible region (§3.4.2 claims such a gamma exists for each beta in
+/// (0,1) and L < 2; at L = 2 gamma = beta and the chain closes with
+/// equality).
+class GammaFeasibility : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaFeasibility, ChainHoldsAcrossLosses) {
+  const double beta = GetParam();
+  for (double loss = 0.01; loss <= 2.0; loss += 0.01) {
+    const double g = gamma_tx(beta, loss);
+    EXPECT_TRUE(gamma_feasible(beta, g, loss))
+        << "beta=" << beta << " loss=" << loss << " gamma=" << g;
+    // Theorem 1's proof additionally needs gamma >= 2(beta-1)/L + 1.
+    EXPECT_GE(g, 2.0 * (beta - 1.0) / loss + 1.0 - 1e-12)
+        << "beta=" << beta << " loss=" << loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, GammaFeasibility,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95,
+                                           0.99));
+
+TEST(GammaFeasible, DetectsViolations) {
+  EXPECT_FALSE(gamma_feasible(0.9, 0.5, 1.0));   // gamma < beta^2
+  EXPECT_FALSE(gamma_feasible(0.9, 0.95, 1.0));  // gamma > beta
+  EXPECT_TRUE(gamma_feasible(0.9, 0.855, 1.0));
+}
+
+TEST(TheoremOptimalBeta, MatchesFormulaInRange) {
+  // r=8, T=4800: 1 - 4*sqrt(log 8 / 4800) ~ 0.9167... clamps to 0.9.
+  EXPECT_DOUBLE_EQ(theorem_optimal_beta(8, 4800), 0.9);
+  // r=8, T=400: 1 - 4*sqrt(log 8 / 400) ~ 0.7118.
+  EXPECT_NEAR(theorem_optimal_beta(8, 400), 1.0 - 4.0 * std::sqrt(std::log(8.0) / 400.0),
+              1e-12);
+}
+
+TEST(TheoremOptimalBeta, ClampsLow) {
+  // Tiny T forces the raw value negative; clamp at 0.1.
+  EXPECT_DOUBLE_EQ(theorem_optimal_beta(8, 4), 0.1);
+}
+
+TEST(TheoremOptimalBeta, DegenerateInputsDefault) {
+  EXPECT_DOUBLE_EQ(theorem_optimal_beta(1, 100), 0.9);
+  EXPECT_DOUBLE_EQ(theorem_optimal_beta(8, 0), 0.9);
+}
+
+TEST(ReputationParams, ValidationCatchesBadValues) {
+  ReputationParams p;
+  p.validate();  // defaults are fine
+  auto bad = p;
+  bad.beta = 1.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = p;
+  bad.f = 0.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = p;
+  bad.mu = 1.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = p;
+  bad.nu = 0.5;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = p;
+  bad.argue_latency_u = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace repchain::reputation

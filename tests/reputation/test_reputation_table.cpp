@@ -1,0 +1,374 @@
+#include "reputation/reputation_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace repchain::reputation {
+namespace {
+
+using ledger::Label;
+
+ReputationParams default_params() {
+  ReputationParams p;
+  p.beta = 0.9;
+  p.f = 0.5;
+  p.mu = 1.1;
+  p.nu = 1.5;
+  return p;
+}
+
+/// Table with 3 collectors all linked to provider 0.
+ReputationTable make_table() {
+  ReputationTable t(default_params());
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    t.link(CollectorId(c), ProviderId(0));
+  }
+  return t;
+}
+
+TEST(ReputationTable, InitialState) {
+  ReputationTable t = make_table();
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(t.weight(CollectorId(c), ProviderId(0)), 1.0);
+    EXPECT_EQ(t.misreport(CollectorId(c)), 0);
+    EXPECT_EQ(t.forge(CollectorId(c)), 0);
+  }
+  EXPECT_EQ(t.collector_count(), 3u);
+  EXPECT_EQ(t.collectors_for(ProviderId(0)).size(), 3u);
+}
+
+TEST(ReputationTable, LinkIdempotent) {
+  ReputationTable t = make_table();
+  t.link(CollectorId(0), ProviderId(0));
+  EXPECT_EQ(t.collectors_for(ProviderId(0)).size(), 3u);
+  EXPECT_TRUE(t.linked(CollectorId(0), ProviderId(0)));
+  EXPECT_FALSE(t.linked(CollectorId(0), ProviderId(9)));
+}
+
+TEST(ReputationTable, UnknownCollectorThrows) {
+  ReputationTable t = make_table();
+  EXPECT_THROW((void)t.weight(CollectorId(9), ProviderId(0)), ProtocolError);
+  EXPECT_THROW((void)t.misreport(CollectorId(9)), ProtocolError);
+}
+
+TEST(ReputationTable, UnlinkedProviderThrows) {
+  ReputationTable t = make_table();
+  EXPECT_THROW((void)t.weight(CollectorId(0), ProviderId(7)), ProtocolError);
+}
+
+TEST(ReputationTable, ForgeryPenalty) {
+  ReputationTable t = make_table();
+  t.punish_forgery(CollectorId(1));
+  t.punish_forgery(CollectorId(1));
+  EXPECT_EQ(t.forge(CollectorId(1)), -2);
+  EXPECT_EQ(t.forge(CollectorId(0)), 0);
+}
+
+TEST(ReputationTable, CheckedUpdateAdjustsMisreport) {
+  ReputationTable t = make_table();
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  t.update_checked(ProviderId(0), reports, /*tx_valid=*/true);
+  EXPECT_EQ(t.misreport(CollectorId(0)), +1);  // labeled correctly
+  EXPECT_EQ(t.misreport(CollectorId(1)), -1);  // misreported
+  EXPECT_EQ(t.misreport(CollectorId(2)), 0);   // discarded: unchanged (Alg. 3)
+
+  // Weights never move on checked transactions.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(t.weight(CollectorId(c), ProviderId(0)), 1.0);
+  }
+}
+
+TEST(ReputationTable, RevealedUpdateAppliesGammaAndBeta) {
+  ReputationTable t = make_table();
+  // Collector 0 correct (+1 on a valid tx), collector 1 wrong, collector 2
+  // discarded.
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  const auto gamma = t.update_revealed(ProviderId(0), reports, /*tx_valid=*/true);
+  ASSERT_TRUE(gamma.has_value());
+
+  // Both reporters had weight 1 => L = 2*1/(1+1) = 1, gamma = 0.855.
+  EXPECT_NEAR(*gamma, 0.855, 1e-12);
+  EXPECT_DOUBLE_EQ(t.weight(CollectorId(0), ProviderId(0)), 1.0);
+  EXPECT_NEAR(t.weight(CollectorId(1), ProviderId(0)), 0.855, 1e-12);
+  EXPECT_NEAR(t.weight(CollectorId(2), ProviderId(0)), 0.9, 1e-12);
+}
+
+TEST(ReputationTable, RevealedUpdateNoWrongMassSkipsGamma) {
+  ReputationTable t = make_table();
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kValid},
+  };
+  const auto gamma = t.update_revealed(ProviderId(0), reports, true);
+  EXPECT_FALSE(gamma.has_value());
+  EXPECT_DOUBLE_EQ(t.weight(CollectorId(0), ProviderId(0)), 1.0);
+  EXPECT_DOUBLE_EQ(t.weight(CollectorId(1), ProviderId(0)), 1.0);
+  EXPECT_NEAR(t.weight(CollectorId(2), ProviderId(0)), 0.9, 1e-12);
+}
+
+TEST(ReputationTable, RevealedInvalidTruthFlipsRightAndWrong) {
+  ReputationTable t = make_table();
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},    // wrong: tx is invalid
+      {CollectorId(1), Label::kInvalid},  // right
+  };
+  (void)t.update_revealed(ProviderId(0), reports, /*tx_valid=*/false);
+  EXPECT_LT(t.weight(CollectorId(0), ProviderId(0)), 1.0);
+  EXPECT_DOUBLE_EQ(t.weight(CollectorId(1), ProviderId(0)), 1.0);
+}
+
+TEST(ReputationTable, GammaReflectsCurrentWeights) {
+  ReputationTable t = make_table();
+  // Cut collector 1's weight first so W_wrong is small => L small => larger
+  // penalty gap; gamma = max{(b-1)/L + (b+1)/2, lower}.
+  const std::vector<Report> wrong1 = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  (void)t.update_revealed(ProviderId(0), wrong1, true);
+  const double w1 = t.weight(CollectorId(1), ProviderId(0));
+  const double expected_l = 2.0 * w1 / (1.0 + w1);
+  const auto gamma = t.update_revealed(ProviderId(0), wrong1, true);
+  ASSERT_TRUE(gamma.has_value());
+  EXPECT_NEAR(*gamma, std::max((0.9 - 1.0) / expected_l + 0.95, (0.81 + 0.9) / 2.0),
+              1e-12);
+}
+
+TEST(ReputationTable, ExpectedLossForMatchesDefinition) {
+  ReputationTable t = make_table();
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+      {CollectorId(2), Label::kInvalid},
+  };
+  // All weights 1: truth valid => W_right = 1, W_wrong = 2 => L = 4/3.
+  EXPECT_NEAR(t.expected_loss_for(ProviderId(0), reports, true), 4.0 / 3.0, 1e-12);
+  // Truth invalid => W_right = 2, W_wrong = 1 => L = 2/3.
+  EXPECT_NEAR(t.expected_loss_for(ProviderId(0), reports, false), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ReputationTable, SelectReporterProportionalToWeight) {
+  ReputationTable t = make_table();
+  // Discount collector 1 heavily.
+  const std::vector<Report> wrong1 = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  for (int i = 0; i < 20; ++i) (void)t.update_revealed(ProviderId(0), wrong1, true);
+
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  Rng rng(99);
+  int chose0 = 0;
+  const int n = 5000;
+  double pr0 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Selection sel = t.select_reporter(ProviderId(0), reports, rng);
+    if (sel.chosen == CollectorId(0)) {
+      ++chose0;
+      pr0 = sel.pr_chosen;
+      EXPECT_EQ(sel.label, Label::kValid);
+    }
+  }
+  const double w1 = t.weight(CollectorId(1), ProviderId(0));
+  const double expected_pr0 = 1.0 / (1.0 + w1);
+  EXPECT_NEAR(pr0, expected_pr0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(chose0) / n, expected_pr0, 0.02);
+}
+
+TEST(ReputationTable, SelectReporterEmptyThrows) {
+  ReputationTable t = make_table();
+  Rng rng(1);
+  EXPECT_THROW((void)t.select_reporter(ProviderId(0), {}, rng), ProtocolError);
+}
+
+TEST(ReputationTable, CheckProbabilityBounds) {
+  ReputationTable t = make_table();
+  // All +1: always checked.
+  const std::vector<Report> all_valid = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kValid},
+  };
+  EXPECT_DOUBLE_EQ(t.check_probability(ProviderId(0), all_valid), 1.0);
+
+  // All -1, equal weights: P = 1 - f * sum (1/n)^2 = 1 - 0.5 * 2 * 0.25.
+  const std::vector<Report> all_invalid = {
+      {CollectorId(0), Label::kInvalid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  EXPECT_NEAR(t.check_probability(ProviderId(0), all_invalid), 1.0 - 0.5 * 0.5, 1e-12);
+
+  // Lemma 2: always >= 1 - f.
+  const std::vector<Report> single_invalid = {{CollectorId(0), Label::kInvalid}};
+  EXPECT_NEAR(t.check_probability(ProviderId(0), single_invalid), 1.0 - 0.5, 1e-12);
+  EXPECT_GE(t.check_probability(ProviderId(0), single_invalid), 1.0 - 0.5 - 1e-12);
+}
+
+TEST(ReputationTable, LongHorizonNoUnderflow) {
+  // 100k consecutive discounts would underflow linear doubles (0.9^100000);
+  // log-space selection must still work and prefer the clean collector.
+  ReputationTable t = make_table();
+  const std::vector<Report> wrong1 = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  for (int i = 0; i < 100000; ++i) (void)t.update_revealed(ProviderId(0), wrong1, true);
+  EXPECT_TRUE(std::isfinite(t.log_weight(CollectorId(1), ProviderId(0))));
+
+  Rng rng(5);
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  const Selection sel = t.select_reporter(ProviderId(0), reports, rng);
+  EXPECT_EQ(sel.chosen, CollectorId(0));
+  EXPECT_NEAR(sel.pr_chosen, 1.0, 1e-9);
+}
+
+TEST(ReputationTable, RevenueSharesSumToOne) {
+  ReputationTable t = make_table();
+  const auto shares = t.revenue_shares();
+  ASSERT_EQ(shares.size(), 3u);
+  double total = 0.0;
+  for (const auto& [c, s] : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Equal initial reputation => equal shares.
+  for (const auto& [c, s] : shares) EXPECT_NEAR(s, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ReputationTable, RevenuePunishesAllThreeMisbehaviors) {
+  ReputationTable t = make_table();
+  // Collector 1 misreports a checked tx; collector 2 forges; collector 0 has
+  // a weight cut from a revealed mislabel... make collector 0 clean instead
+  // and dirty the others across all three components.
+  t.update_checked(ProviderId(0), std::vector<Report>{{CollectorId(1), Label::kInvalid}}, true);
+  t.punish_forgery(CollectorId(2));
+  const std::vector<Report> wrong2 = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(2), Label::kInvalid},
+  };
+  (void)t.update_revealed(ProviderId(0), wrong2, true);
+
+  const auto shares = t.revenue_shares();
+  double s0 = 0, s1 = 0, s2 = 0;
+  for (const auto& [c, s] : shares) {
+    if (c == CollectorId(0)) s0 = s;
+    if (c == CollectorId(1)) s1 = s;
+    if (c == CollectorId(2)) s2 = s;
+  }
+  EXPECT_GT(s0, s1);
+  EXPECT_GT(s1, s2);  // forging + mislabeling worse than one misreport
+}
+
+TEST(ReputationTable, RevenueRewardsPositiveMisreportHistory) {
+  ReputationTable t = make_table();
+  for (int i = 0; i < 10; ++i) {
+    t.update_checked(ProviderId(0), std::vector<Report>{{CollectorId(0), Label::kValid}}, true);
+  }
+  const auto shares = t.revenue_shares();
+  double s0 = 0, s1 = 0;
+  for (const auto& [c, s] : shares) {
+    if (c == CollectorId(0)) s0 = s;
+    if (c == CollectorId(1)) s1 = s;
+  }
+  // mu^10 advantage.
+  EXPECT_NEAR(s0 / s1, std::pow(1.1, 10), 1e-9);
+}
+
+TEST(ReputationTable, ConcealPenaltyAblation) {
+  // Algorithm 3 default: concealing a checked tx is free (tested above).
+  // With the §4.2-prose ablation on, a non-reporting linked collector loses
+  // misreport points, but fewer than a misreporter would.
+  auto p = default_params();
+  p.conceal_checked_penalty = 1;
+  ReputationTable t(p);
+  for (std::uint32_t c = 0; c < 3; ++c) t.link(CollectorId(c), ProviderId(0));
+
+  const std::vector<Report> reports = {
+      {CollectorId(0), Label::kValid},
+      {CollectorId(1), Label::kInvalid},
+  };
+  t.update_checked(ProviderId(0), reports, /*tx_valid=*/true);
+  EXPECT_EQ(t.misreport(CollectorId(0)), +1);  // correct
+  EXPECT_EQ(t.misreport(CollectorId(1)), -1);  // misreported: cut of 2 vs correct
+  EXPECT_EQ(t.misreport(CollectorId(2)), -1);  // concealed: cut of 1 (ablation)
+}
+
+TEST(ReputationTable, ConcealPenaltyRejectsNegative) {
+  auto p = default_params();
+  p.conceal_checked_penalty = -1;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ReputationTable, CheckpointRoundTrip) {
+  ReputationTable t = make_table();
+  // Dirty the state in all three components.
+  t.punish_forgery(CollectorId(2));
+  t.update_checked(ProviderId(0),
+                   std::vector<Report>{{CollectorId(0), Label::kValid}}, true);
+  const std::vector<Report> wrong1 = {{CollectorId(0), Label::kValid},
+                                      {CollectorId(1), Label::kInvalid}};
+  for (int i = 0; i < 5; ++i) (void)t.update_revealed(ProviderId(0), wrong1, true);
+
+  const ReputationTable restored = ReputationTable::decode(t.encode());
+  EXPECT_EQ(restored.collector_count(), t.collector_count());
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(restored.log_weight(CollectorId(c), ProviderId(0)),
+                     t.log_weight(CollectorId(c), ProviderId(0)));
+    EXPECT_EQ(restored.misreport(CollectorId(c)), t.misreport(CollectorId(c)));
+    EXPECT_EQ(restored.forge(CollectorId(c)), t.forge(CollectorId(c)));
+  }
+  EXPECT_DOUBLE_EQ(restored.params().beta, t.params().beta);
+  // Behavioural equivalence: identical revenue shares.
+  const auto a = t.revenue_shares();
+  const auto b = restored.revenue_shares();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_DOUBLE_EQ(a[i].second, b[i].second);
+  }
+}
+
+TEST(ReputationTable, CheckpointEncodingIsCanonical) {
+  // Same logical state built in different orders encodes identically.
+  ReputationTable a(default_params());
+  a.link(CollectorId(0), ProviderId(0));
+  a.link(CollectorId(1), ProviderId(0));
+  ReputationTable b(default_params());
+  b.link(CollectorId(1), ProviderId(0));
+  b.link(CollectorId(0), ProviderId(0));
+  EXPECT_EQ(a.encode(), b.encode());
+}
+
+TEST(ReputationTable, CheckpointRejectsCorruption) {
+  ReputationTable t = make_table();
+  Bytes enc = t.encode();
+  enc[0] ^= 1;  // magic
+  EXPECT_THROW((void)ReputationTable::decode(enc), DecodeError);
+
+  Bytes truncated = t.encode();
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)ReputationTable::decode(truncated), DecodeError);
+}
+
+TEST(ReputationTable, RegisterCollectorWithoutLinks) {
+  ReputationTable t(default_params());
+  t.register_collector(CollectorId(5));
+  EXPECT_EQ(t.misreport(CollectorId(5)), 0);
+  EXPECT_EQ(t.collector_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.log_revenue_weight(CollectorId(5)), 0.0);
+}
+
+}  // namespace
+}  // namespace repchain::reputation

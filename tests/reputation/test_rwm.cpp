@@ -1,0 +1,188 @@
+#include "reputation/rwm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "reputation/params.hpp"
+
+namespace repchain::reputation {
+namespace {
+
+TEST(RwmGame, RejectsBadConstruction) {
+  EXPECT_THROW(RwmGame(0, 0.9), ConfigError);
+  EXPECT_THROW(RwmGame(4, 0.0), ConfigError);
+  EXPECT_THROW(RwmGame(4, 1.0), ConfigError);
+}
+
+TEST(RwmGame, RejectsWrongAdviceSize) {
+  RwmGame g(3, 0.9);
+  const std::vector<Advice> advice(2, Advice::kCorrect);
+  EXPECT_THROW((void)g.step(advice), ConfigError);
+}
+
+TEST(RwmGame, AllCorrectNoLoss) {
+  RwmGame g(4, 0.9);
+  const std::vector<Advice> advice(4, Advice::kCorrect);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_DOUBLE_EQ(g.step(advice), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(g.cumulative_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(g.min_expert_loss(), 0.0);
+}
+
+TEST(RwmGame, AllWrongFullLoss) {
+  RwmGame g(4, 0.9);
+  const std::vector<Advice> advice(4, Advice::kWrong);
+  EXPECT_DOUBLE_EQ(g.step(advice), 2.0);
+  EXPECT_DOUBLE_EQ(g.cumulative_loss(), 2.0);
+  EXPECT_DOUBLE_EQ(g.min_expert_loss(), 2.0);
+}
+
+TEST(RwmGame, ExpertLossAccounting) {
+  RwmGame g(3, 0.9);
+  (void)g.step(std::vector<Advice>{Advice::kCorrect, Advice::kWrong, Advice::kAbstain});
+  const auto& losses = g.expert_losses();
+  EXPECT_DOUBLE_EQ(losses[0], 0.0);
+  EXPECT_DOUBLE_EQ(losses[1], 2.0);
+  EXPECT_DOUBLE_EQ(losses[2], 1.0);
+  EXPECT_EQ(g.rounds(), 1u);
+}
+
+TEST(RwmGame, WrongExpertWeightDecays) {
+  RwmGame g(2, 0.9);
+  const std::vector<Advice> advice = {Advice::kCorrect, Advice::kWrong};
+  double prev = 1.0;
+  for (int t = 0; t < 50; ++t) {
+    (void)g.step(advice);
+    const double w = g.relative_weight(1);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+  EXPECT_DOUBLE_EQ(g.relative_weight(0), 1.0);
+  EXPECT_LT(g.relative_weight(1), 0.01);
+}
+
+TEST(RwmGame, PerRoundLossShrinksAsBadExpertLosesWeight) {
+  RwmGame g(2, 0.9);
+  const std::vector<Advice> advice = {Advice::kCorrect, Advice::kWrong};
+  const double first = g.step(advice);
+  double last = first;
+  for (int t = 0; t < 100; ++t) last = g.step(advice);
+  EXPECT_LT(last, first / 10.0);
+}
+
+TEST(RwmGame, LossIsExpectedWeightFraction) {
+  RwmGame g(4, 0.9);
+  // 1 wrong among 4 equal-weight experts: L = 2 * 1/4 = 0.5.
+  const std::vector<Advice> advice = {Advice::kCorrect, Advice::kCorrect,
+                                      Advice::kCorrect, Advice::kWrong};
+  EXPECT_DOUBLE_EQ(g.step(advice), 0.5);
+}
+
+TEST(RwmGame, AbstainersExcludedFromLoss) {
+  RwmGame g(3, 0.9);
+  // 1 correct, 1 wrong, 1 abstain: L = 2 * 1/(1+1) = 1, abstainer's weight
+  // does not appear in the denominator.
+  const std::vector<Advice> advice = {Advice::kCorrect, Advice::kWrong,
+                                      Advice::kAbstain};
+  EXPECT_DOUBLE_EQ(g.step(advice), 1.0);
+}
+
+TEST(RwmGame, TheoremBoundHoldsAdversarialPattern) {
+  // Adversary makes the currently-heaviest expert wrong each round — the
+  // classic worst case for weighted majority.
+  const std::size_t r = 8;
+  const std::size_t t_max = 2000;
+  RwmGame g(r, theorem_optimal_beta(r, t_max));
+  for (std::size_t t = 0; t < t_max; ++t) {
+    std::vector<Advice> advice(r, Advice::kCorrect);
+    // Expert with max relative weight errs.
+    std::size_t heaviest = 0;
+    for (std::size_t i = 1; i < r; ++i) {
+      if (g.relative_weight(i) > g.relative_weight(heaviest)) heaviest = i;
+    }
+    advice[heaviest] = Advice::kWrong;
+    (void)g.step(advice);
+  }
+  EXPECT_LE(g.cumulative_loss(), g.theorem_bound());
+}
+
+class RwmRegretSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Stochastic adversary over several seeds: the explicit Theorem 1 bound
+// L_T <= S_min + 2(log r/(1-beta) + 16(1-beta)T) must hold on every run.
+TEST_P(RwmRegretSweep, TheoremBoundHoldsStochastic) {
+  Rng rng(GetParam());
+  const std::size_t r = 8;
+  const std::size_t t_max = 1500;
+  RwmGame g(r, theorem_optimal_beta(r, t_max));
+  for (std::size_t t = 0; t < t_max; ++t) {
+    std::vector<Advice> advice(r);
+    for (std::size_t i = 0; i < r; ++i) {
+      // Expert i errs with probability i/(r+2), abstains with prob 0.1.
+      const double p_err = static_cast<double>(i) / (r + 2);
+      if (rng.bernoulli(0.1)) {
+        advice[i] = Advice::kAbstain;
+      } else {
+        advice[i] = rng.bernoulli(p_err) ? Advice::kWrong : Advice::kCorrect;
+      }
+    }
+    (void)g.step(advice);
+  }
+  EXPECT_LE(g.cumulative_loss(), g.theorem_bound());
+  // With a near-perfect expert present, regret is o(T): well under T/4 here.
+  EXPECT_LE(g.regret(), static_cast<double>(t_max) / 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwmRegretSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(RwmGame, RegretScalesSublinearly) {
+  // Doubling T should grow regret by roughly sqrt(2), not 2 (O(sqrt T)).
+  auto run = [](std::size_t t_max) {
+    Rng rng(4242);
+    const std::size_t r = 8;
+    RwmGame g(r, theorem_optimal_beta(r, t_max));
+    for (std::size_t t = 0; t < t_max; ++t) {
+      std::vector<Advice> advice(r);
+      for (std::size_t i = 0; i < r; ++i) {
+        advice[i] = rng.bernoulli(i == 0 ? 0.02 : 0.4) ? Advice::kWrong
+                                                       : Advice::kCorrect;
+      }
+      (void)g.step(advice);
+    }
+    return g.regret();
+  };
+  const double r1 = run(1000);
+  const double r4 = run(4000);
+  // sqrt scaling predicts ratio 2; linear would be 4. Allow generous slack.
+  EXPECT_LT(r4 / r1, 3.0);
+}
+
+TEST(RwmGame, PaperOperatingPointHoldsBound) {
+  // The paper's own worked numbers: r = 8, T = 4800 is the largest T where
+  // beta = 1 - 4 sqrt(log r / T) <= 0.9 "holds, which is realistic".
+  Rng rng(20260706);
+  const std::size_t r = 8;
+  const std::size_t t_max = 4800;
+  RwmGame g(r, theorem_optimal_beta(r, t_max));
+  for (std::size_t t = 0; t < t_max; ++t) {
+    std::vector<Advice> advice(r);
+    for (std::size_t i = 0; i < r; ++i) {
+      advice[i] = rng.bernoulli(i == 0 ? 0.01 : 0.35) ? Advice::kWrong
+                                                      : Advice::kCorrect;
+    }
+    (void)g.step(advice);
+  }
+  EXPECT_LE(g.cumulative_loss(), g.min_expert_loss() + sqrt_bound(r, t_max));
+}
+
+TEST(SqrtBound, MatchesFormula) {
+  EXPECT_NEAR(sqrt_bound(8, 4800), 16.0 * std::sqrt(4800.0 * std::log(8.0)), 1e-9);
+}
+
+}  // namespace
+}  // namespace repchain::reputation

@@ -1,0 +1,116 @@
+// Randomized whole-protocol soak: sweep seeds x fault mixes x parameters and
+// assert the §3.1 safety invariants plus Lemma 2's bound on every single
+// run. Anything that violates agreement, chain integrity, no-skipping,
+// almost-no-creation or the unchecked-fraction bound fails loudly.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace repchain::sim {
+namespace {
+
+using protocol::CollectorBehavior;
+
+struct SoakCase {
+  std::uint64_t seed;
+  std::size_t mix;
+};
+
+std::vector<CollectorBehavior> behavior_mix(std::size_t mix) {
+  switch (mix % 5) {
+    case 0:
+      return {};  // all honest
+    case 1:
+      return {CollectorBehavior::honest(), CollectorBehavior::noisy(0.75)};
+    case 2:
+      return {CollectorBehavior::honest(), CollectorBehavior::adversarial(),
+              CollectorBehavior::concealing(0.5)};
+    case 3:
+      return {CollectorBehavior::honest(), CollectorBehavior::forging(0.4),
+              CollectorBehavior::equivocating()};
+    default:
+      return {CollectorBehavior::misreporting(0.3), CollectorBehavior::honest(),
+              CollectorBehavior::noisy(0.9), CollectorBehavior::concealing(0.2)};
+  }
+}
+
+class ProtocolSoak : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(ProtocolSoak, InvariantsHoldUnderRandomizedRuns) {
+  const SoakCase param = GetParam();
+  Rng knobs(param.seed * 7919);
+
+  ScenarioConfig cfg;
+  cfg.topology.collectors = 2 + knobs.uniform(4);              // 2..5
+  cfg.topology.providers = cfg.topology.collectors * (1 + knobs.uniform(3));
+  cfg.topology.governors = 2 + knobs.uniform(3);               // 2..4
+  cfg.topology.r = 1 + knobs.uniform(cfg.topology.collectors); // 1..n
+  // Keep r*l divisible by n: providers is a multiple of n, so any r works.
+  cfg.rounds = 3 + knobs.uniform(4);
+  cfg.txs_per_provider_per_round = 1 + knobs.uniform(3);
+  cfg.p_valid = 0.3 + 0.6 * knobs.uniform01();
+  cfg.governor.rep.f = 0.2 + 0.7 * knobs.uniform01();
+  cfg.governor.rep.beta = 0.5 + 0.45 * knobs.uniform01();
+  cfg.behaviors = behavior_mix(param.mix);
+  cfg.enable_label_gossip = (param.mix % 2) == 0;
+  cfg.seed = param.seed;
+
+  Scenario s(cfg);
+  s.run();
+  const auto sum = s.summary();
+
+  // Safety invariants.
+  EXPECT_TRUE(sum.agreement);
+  EXPECT_TRUE(sum.chains_audit_ok);
+  EXPECT_EQ(sum.blocks, cfg.rounds);
+
+  // Almost No Creation: every chain record is a registered, provider-signed
+  // transaction.
+  for (const auto& block : s.governors().front().chain().blocks()) {
+    for (const auto& rec : block.txs) {
+      ASSERT_TRUE(s.oracle().is_registered(rec.tx.id()));
+    }
+  }
+
+  // Lemma 2: the unchecked fraction never exceeds f (+ sampling slack).
+  for (auto& g : s.governors()) {
+    const auto& st = g.screening_stats();
+    if (st.screened >= 20) {
+      const double frac =
+          static_cast<double>(st.unchecked) / static_cast<double>(st.screened);
+      EXPECT_LE(frac, cfg.governor.rep.f + 0.15)
+          << "seed=" << param.seed << " mix=" << param.mix;
+    }
+  }
+
+  // Providers replicated the chain they were served.
+  for (auto& p : s.providers()) {
+    EXPECT_EQ(p.chain().head_hash(), s.governors().front().chain().head_hash());
+    EXPECT_EQ(p.rejected_blocks(), 0u);
+  }
+
+  // Time series is complete and consistent.
+  ASSERT_EQ(s.history().size(), cfg.rounds);
+  std::uint64_t validations = 0;
+  for (const auto& r : s.history()) validations += r.validations_delta;
+  EXPECT_EQ(validations, sum.validations_total);
+}
+
+std::vector<SoakCase> soak_cases() {
+  std::vector<SoakCase> cases;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (std::size_t mix = 0; mix < 5; ++mix) {
+      cases.push_back({seed * 101, mix});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProtocolSoak, ::testing::ValuesIn(soak_cases()),
+                         [](const ::testing::TestParamInfo<SoakCase>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_mix" +
+                                  std::to_string(info.param.mix);
+                         });
+
+}  // namespace
+}  // namespace repchain::sim
