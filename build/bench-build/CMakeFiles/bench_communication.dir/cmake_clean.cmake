@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_communication"
+  "../bench/bench_communication.pdb"
+  "CMakeFiles/bench_communication.dir/bench_communication.cpp.o"
+  "CMakeFiles/bench_communication.dir/bench_communication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_leader_election"
+  "../bench/bench_leader_election.pdb"
+  "CMakeFiles/bench_leader_election.dir/bench_leader_election.cpp.o"
+  "CMakeFiles/bench_leader_election.dir/bench_leader_election.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

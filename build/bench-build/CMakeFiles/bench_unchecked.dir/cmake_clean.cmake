@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unchecked"
+  "../bench/bench_unchecked.pdb"
+  "CMakeFiles/bench_unchecked.dir/bench_unchecked.cpp.o"
+  "CMakeFiles/bench_unchecked.dir/bench_unchecked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unchecked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

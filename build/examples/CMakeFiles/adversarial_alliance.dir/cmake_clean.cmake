@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_alliance.dir/adversarial_alliance.cpp.o"
+  "CMakeFiles/adversarial_alliance.dir/adversarial_alliance.cpp.o.d"
+  "adversarial_alliance"
+  "adversarial_alliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_alliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alliance_cli.dir/alliance_cli.cpp.o"
+  "CMakeFiles/alliance_cli.dir/alliance_cli.cpp.o.d"
+  "alliance_cli"
+  "alliance_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alliance_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

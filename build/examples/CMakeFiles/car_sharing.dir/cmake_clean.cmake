@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_sharing.dir/car_sharing.cpp.o"
+  "CMakeFiles/car_sharing.dir/car_sharing.cpp.o.d"
+  "car_sharing"
+  "car_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_payloads.dir/private_payloads.cpp.o"
+  "CMakeFiles/private_payloads.dir/private_payloads.cpp.o.d"
+  "private_payloads"
+  "private_payloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_payloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

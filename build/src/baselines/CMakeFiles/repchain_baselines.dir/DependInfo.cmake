@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/pbft.cpp" "src/baselines/CMakeFiles/repchain_baselines.dir/pbft.cpp.o" "gcc" "src/baselines/CMakeFiles/repchain_baselines.dir/pbft.cpp.o.d"
+  "/root/repo/src/baselines/policies.cpp" "src/baselines/CMakeFiles/repchain_baselines.dir/policies.cpp.o" "gcc" "src/baselines/CMakeFiles/repchain_baselines.dir/policies.cpp.o.d"
+  "/root/repo/src/baselines/policy_simulator.cpp" "src/baselines/CMakeFiles/repchain_baselines.dir/policy_simulator.cpp.o" "gcc" "src/baselines/CMakeFiles/repchain_baselines.dir/policy_simulator.cpp.o.d"
+  "/root/repo/src/baselines/raft.cpp" "src/baselines/CMakeFiles/repchain_baselines.dir/raft.cpp.o" "gcc" "src/baselines/CMakeFiles/repchain_baselines.dir/raft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reputation/CMakeFiles/repchain_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repchain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/repchain_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/repchain_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_baselines.dir/pbft.cpp.o"
+  "CMakeFiles/repchain_baselines.dir/pbft.cpp.o.d"
+  "CMakeFiles/repchain_baselines.dir/policies.cpp.o"
+  "CMakeFiles/repchain_baselines.dir/policies.cpp.o.d"
+  "CMakeFiles/repchain_baselines.dir/policy_simulator.cpp.o"
+  "CMakeFiles/repchain_baselines.dir/policy_simulator.cpp.o.d"
+  "CMakeFiles/repchain_baselines.dir/raft.cpp.o"
+  "CMakeFiles/repchain_baselines.dir/raft.cpp.o.d"
+  "librepchain_baselines.a"
+  "librepchain_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

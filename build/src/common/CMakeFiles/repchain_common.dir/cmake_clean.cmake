@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_common.dir/bytes.cpp.o"
+  "CMakeFiles/repchain_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/repchain_common.dir/rng.cpp.o"
+  "CMakeFiles/repchain_common.dir/rng.cpp.o.d"
+  "CMakeFiles/repchain_common.dir/stats.cpp.o"
+  "CMakeFiles/repchain_common.dir/stats.cpp.o.d"
+  "librepchain_common.a"
+  "librepchain_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/batch_verify.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/batch_verify.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/batch_verify.cpp.o.d"
+  "/root/repo/src/crypto/chacha20poly1305.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/chacha20poly1305.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/chacha20poly1305.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/fe25519.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/fe25519.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/fe25519.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sc25519.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/sc25519.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/sc25519.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/vrf.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/vrf.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/vrf.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/repchain_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/repchain_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

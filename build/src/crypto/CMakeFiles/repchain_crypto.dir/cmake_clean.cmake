@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_crypto.dir/batch_verify.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/batch_verify.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/chacha20poly1305.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/chacha20poly1305.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/fe25519.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/fe25519.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/sc25519.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/sc25519.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/vrf.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/vrf.cpp.o.d"
+  "CMakeFiles/repchain_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/repchain_crypto.dir/x25519.cpp.o.d"
+  "librepchain_crypto.a"
+  "librepchain_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/identity/certificate.cpp" "src/identity/CMakeFiles/repchain_identity.dir/certificate.cpp.o" "gcc" "src/identity/CMakeFiles/repchain_identity.dir/certificate.cpp.o.d"
+  "/root/repo/src/identity/identity_manager.cpp" "src/identity/CMakeFiles/repchain_identity.dir/identity_manager.cpp.o" "gcc" "src/identity/CMakeFiles/repchain_identity.dir/identity_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_identity.dir/certificate.cpp.o"
+  "CMakeFiles/repchain_identity.dir/certificate.cpp.o.d"
+  "CMakeFiles/repchain_identity.dir/identity_manager.cpp.o"
+  "CMakeFiles/repchain_identity.dir/identity_manager.cpp.o.d"
+  "librepchain_identity.a"
+  "librepchain_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_ledger.dir/block.cpp.o"
+  "CMakeFiles/repchain_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/repchain_ledger.dir/chain.cpp.o"
+  "CMakeFiles/repchain_ledger.dir/chain.cpp.o.d"
+  "CMakeFiles/repchain_ledger.dir/transaction.cpp.o"
+  "CMakeFiles/repchain_ledger.dir/transaction.cpp.o.d"
+  "CMakeFiles/repchain_ledger.dir/validation_oracle.cpp.o"
+  "CMakeFiles/repchain_ledger.dir/validation_oracle.cpp.o.d"
+  "librepchain_ledger.a"
+  "librepchain_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

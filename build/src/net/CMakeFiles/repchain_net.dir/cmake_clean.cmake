@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_net.dir/atomic_broadcast.cpp.o"
+  "CMakeFiles/repchain_net.dir/atomic_broadcast.cpp.o.d"
+  "CMakeFiles/repchain_net.dir/event_queue.cpp.o"
+  "CMakeFiles/repchain_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/repchain_net.dir/network.cpp.o"
+  "CMakeFiles/repchain_net.dir/network.cpp.o.d"
+  "librepchain_net.a"
+  "librepchain_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

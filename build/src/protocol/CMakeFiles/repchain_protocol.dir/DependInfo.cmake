@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/argue_buffer.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/argue_buffer.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/argue_buffer.cpp.o.d"
+  "/root/repo/src/protocol/collector.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/collector.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/collector.cpp.o.d"
+  "/root/repo/src/protocol/directory.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/directory.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/directory.cpp.o.d"
+  "/root/repo/src/protocol/governor.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/governor.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/governor.cpp.o.d"
+  "/root/repo/src/protocol/leader_election.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/leader_election.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/leader_election.cpp.o.d"
+  "/root/repo/src/protocol/messages.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/messages.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/messages.cpp.o.d"
+  "/root/repo/src/protocol/provider.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/provider.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/provider.cpp.o.d"
+  "/root/repo/src/protocol/screening.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/screening.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/screening.cpp.o.d"
+  "/root/repo/src/protocol/stake.cpp" "src/protocol/CMakeFiles/repchain_protocol.dir/stake.cpp.o" "gcc" "src/protocol/CMakeFiles/repchain_protocol.dir/stake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repchain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/repchain_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/repchain_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/repchain_reputation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_protocol.dir/argue_buffer.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/argue_buffer.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/collector.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/collector.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/directory.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/directory.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/governor.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/governor.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/leader_election.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/leader_election.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/messages.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/messages.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/provider.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/provider.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/screening.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/screening.cpp.o.d"
+  "CMakeFiles/repchain_protocol.dir/stake.cpp.o"
+  "CMakeFiles/repchain_protocol.dir/stake.cpp.o.d"
+  "librepchain_protocol.a"
+  "librepchain_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

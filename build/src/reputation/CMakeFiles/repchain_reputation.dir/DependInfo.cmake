@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reputation/gamma.cpp" "src/reputation/CMakeFiles/repchain_reputation.dir/gamma.cpp.o" "gcc" "src/reputation/CMakeFiles/repchain_reputation.dir/gamma.cpp.o.d"
+  "/root/repo/src/reputation/reputation_table.cpp" "src/reputation/CMakeFiles/repchain_reputation.dir/reputation_table.cpp.o" "gcc" "src/reputation/CMakeFiles/repchain_reputation.dir/reputation_table.cpp.o.d"
+  "/root/repo/src/reputation/rwm.cpp" "src/reputation/CMakeFiles/repchain_reputation.dir/rwm.cpp.o" "gcc" "src/reputation/CMakeFiles/repchain_reputation.dir/rwm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/repchain_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_reputation.dir/gamma.cpp.o"
+  "CMakeFiles/repchain_reputation.dir/gamma.cpp.o.d"
+  "CMakeFiles/repchain_reputation.dir/reputation_table.cpp.o"
+  "CMakeFiles/repchain_reputation.dir/reputation_table.cpp.o.d"
+  "CMakeFiles/repchain_reputation.dir/rwm.cpp.o"
+  "CMakeFiles/repchain_reputation.dir/rwm.cpp.o.d"
+  "librepchain_reputation.a"
+  "librepchain_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repchain_sim.dir/scenario.cpp.o"
+  "CMakeFiles/repchain_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/repchain_sim.dir/topology.cpp.o"
+  "CMakeFiles/repchain_sim.dir/topology.cpp.o.d"
+  "librepchain_sim.a"
+  "librepchain_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repchain_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_batch_verify.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_batch_verify.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_batch_verify.cpp.o.d"
+  "/root/repo/tests/crypto/test_chacha20poly1305.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_chacha20poly1305.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_chacha20poly1305.cpp.o.d"
+  "/root/repo/tests/crypto/test_ed25519.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_ed25519.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_ed25519.cpp.o.d"
+  "/root/repo/tests/crypto/test_fe25519.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_fe25519.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_fe25519.cpp.o.d"
+  "/root/repo/tests/crypto/test_hmac.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o.d"
+  "/root/repo/tests/crypto/test_merkle.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_merkle.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_merkle.cpp.o.d"
+  "/root/repo/tests/crypto/test_sc25519.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_sc25519.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sc25519.cpp.o.d"
+  "/root/repo/tests/crypto/test_sha.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha.cpp.o.d"
+  "/root/repo/tests/crypto/test_vrf.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_vrf.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_vrf.cpp.o.d"
+  "/root/repo/tests/crypto/test_x25519.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/test_x25519.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_batch_verify.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_batch_verify.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_chacha20poly1305.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_chacha20poly1305.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_ed25519.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_ed25519.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_fe25519.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_fe25519.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_merkle.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_merkle.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sc25519.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sc25519.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_vrf.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_vrf.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_x25519.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_x25519.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

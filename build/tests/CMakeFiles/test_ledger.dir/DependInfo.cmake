@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ledger/test_block_chain.cpp" "tests/CMakeFiles/test_ledger.dir/ledger/test_block_chain.cpp.o" "gcc" "tests/CMakeFiles/test_ledger.dir/ledger/test_block_chain.cpp.o.d"
+  "/root/repo/tests/ledger/test_transaction.cpp" "tests/CMakeFiles/test_ledger.dir/ledger/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/test_ledger.dir/ledger/test_transaction.cpp.o.d"
+  "/root/repo/tests/ledger/test_validation_oracle.cpp" "tests/CMakeFiles/test_ledger.dir/ledger/test_validation_oracle.cpp.o" "gcc" "tests/CMakeFiles/test_ledger.dir/ledger/test_validation_oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ledger/CMakeFiles/repchain_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ledger.dir/ledger/test_block_chain.cpp.o"
+  "CMakeFiles/test_ledger.dir/ledger/test_block_chain.cpp.o.d"
+  "CMakeFiles/test_ledger.dir/ledger/test_transaction.cpp.o"
+  "CMakeFiles/test_ledger.dir/ledger/test_transaction.cpp.o.d"
+  "CMakeFiles/test_ledger.dir/ledger/test_validation_oracle.cpp.o"
+  "CMakeFiles/test_ledger.dir/ledger/test_validation_oracle.cpp.o.d"
+  "test_ledger"
+  "test_ledger.pdb"
+  "test_ledger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

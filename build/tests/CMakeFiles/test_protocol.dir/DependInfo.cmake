@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol/test_components.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_components.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_components.cpp.o.d"
+  "/root/repo/tests/protocol/test_equivocation.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_equivocation.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_equivocation.cpp.o.d"
+  "/root/repo/tests/protocol/test_governor.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_governor.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_governor.cpp.o.d"
+  "/root/repo/tests/protocol/test_integration.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_integration.cpp.o.d"
+  "/root/repo/tests/protocol/test_leader_election.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_leader_election.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_leader_election.cpp.o.d"
+  "/root/repo/tests/protocol/test_messages.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_messages.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_messages.cpp.o.d"
+  "/root/repo/tests/protocol/test_partial_visibility.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_partial_visibility.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_partial_visibility.cpp.o.d"
+  "/root/repo/tests/protocol/test_provider_sync.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/test_provider_sync.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_provider_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/repchain_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repchain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repchain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/identity/CMakeFiles/repchain_identity.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/repchain_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/repchain_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/repchain_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repchain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

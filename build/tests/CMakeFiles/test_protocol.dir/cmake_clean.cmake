@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/protocol/test_components.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_components.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_equivocation.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_equivocation.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_governor.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_governor.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_integration.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_integration.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_leader_election.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_leader_election.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_messages.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_messages.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_partial_visibility.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_partial_visibility.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_provider_sync.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_provider_sync.cpp.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

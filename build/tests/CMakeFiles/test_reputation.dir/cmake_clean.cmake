@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reputation.dir/reputation/test_gamma.cpp.o"
+  "CMakeFiles/test_reputation.dir/reputation/test_gamma.cpp.o.d"
+  "CMakeFiles/test_reputation.dir/reputation/test_reputation_table.cpp.o"
+  "CMakeFiles/test_reputation.dir/reputation/test_reputation_table.cpp.o.d"
+  "CMakeFiles/test_reputation.dir/reputation/test_rwm.cpp.o"
+  "CMakeFiles/test_reputation.dir/reputation/test_rwm.cpp.o.d"
+  "test_reputation"
+  "test_reputation.pdb"
+  "test_reputation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
