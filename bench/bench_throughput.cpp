@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "baselines/policies.hpp"
@@ -76,6 +77,59 @@ void f_sweep_protocol() {
   }
 }
 
+// Machine-readable summary for dashboards/CI trend lines: one full-protocol
+// run, timed wall-clock, dumped as flat JSON. The file name matches the
+// BENCH_*.json gitignore pattern.
+void write_json_summary(const char* path) {
+  sim::ScenarioConfig cfg;
+  cfg.topology = {8, 4, 3, 2};
+  cfg.rounds = 10;
+  cfg.txs_per_provider_per_round = 3;
+  cfg.p_valid = 0.5;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::noisy(0.8)};
+  cfg.seed = 12;
+  sim::Scenario s(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto sum = s.summary();
+  const double sim_s =
+      static_cast<double>(s.queue().now()) / (1000.0 * kMillisecond);
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"throughput\",\n");
+  std::fprintf(out, "  \"providers\": %zu,\n", cfg.topology.providers);
+  std::fprintf(out, "  \"collectors\": %zu,\n", cfg.topology.collectors);
+  std::fprintf(out, "  \"governors\": %zu,\n", cfg.topology.governors);
+  std::fprintf(out, "  \"rounds\": %zu,\n", cfg.rounds);
+  std::fprintf(out, "  \"txs_submitted\": %llu,\n",
+               static_cast<unsigned long long>(sum.txs_submitted));
+  std::fprintf(out, "  \"chain_valid_txs\": %llu,\n",
+               static_cast<unsigned long long>(sum.chain_valid_txs));
+  std::fprintf(out, "  \"validations_total\": %llu,\n",
+               static_cast<unsigned long long>(sum.validations_total));
+  std::fprintf(out, "  \"messages_sent\": %llu,\n",
+               static_cast<unsigned long long>(sum.network.messages_sent));
+  std::fprintf(out, "  \"bytes_sent\": %llu,\n",
+               static_cast<unsigned long long>(sum.network.bytes_sent));
+  std::fprintf(out, "  \"sim_seconds\": %.6f,\n", sim_s);
+  std::fprintf(out, "  \"txs_per_sim_second\": %.3f,\n",
+               static_cast<double>(sum.txs_submitted) / sim_s);
+  std::fprintf(out, "  \"wall_seconds\": %.6f,\n", wall_s);
+  std::fprintf(out, "  \"txs_per_wall_second\": %.1f\n",
+               static_cast<double>(sum.txs_submitted) / wall_s);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 // --- google-benchmark timings of the screening hot path ------------------------
 
 void bm_screen(benchmark::State& state) {
@@ -132,6 +186,7 @@ int main(int argc, char** argv) {
   std::printf("bench_throughput — E7: efficiency/correctness trade of f\n");
   f_sweep_table();
   f_sweep_protocol();
+  write_json_summary("BENCH_throughput.json");
   bench::section("E7c: screening hot-path timings (google-benchmark)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "runtime/timer.hpp"
 
 namespace repchain::net {
 
@@ -15,17 +16,16 @@ namespace repchain::net {
 ///
 /// This is the substrate for the paper's synchronous system model: message
 /// transmission and processing delays are realized as bounded event delays.
-class EventQueue {
+/// It implements runtime::TimerService, so protocol nodes schedule their
+/// phase deadlines against it without depending on the simulator.
+class EventQueue final : public runtime::TimerService {
  public:
-  using Callback = std::function<void()>;
+  using Callback = runtime::TimerService::Callback;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedule `cb` at absolute simulated time `t` (>= now).
-  void schedule_at(SimTime t, Callback cb);
-
-  /// Schedule `cb` after a relative delay.
-  void schedule_after(SimDuration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+  void schedule_at(SimTime t, Callback cb) override;
 
   /// Process events until the queue drains or `max_events` fire.
   /// Returns the number of events processed.

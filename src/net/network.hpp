@@ -12,37 +12,15 @@
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "net/event_queue.hpp"
+#include "runtime/message.hpp"
+#include "runtime/transport.hpp"
 
 namespace repchain::net {
 
-/// Message kinds, used both for dispatch and for the communication-complexity
-/// accounting of experiment E5 (see DESIGN.md).
-enum class MsgKind : std::uint16_t {
-  kProviderTx = 1,      // provider -> collectors (collecting phase)
-  kCollectorUpload = 2, // collector -> governors (uploading phase)
-  kArgue = 3,           // provider -> governors (argue on a buried tx)
-  kVrfAnnounce = 4,     // governor -> governors (leader election)
-  kBlockProposal = 5,   // leader -> governors
-  kStakeTx = 6,         // governor -> governors (stake transfer)
-  kStateProposal = 7,   // leader -> governors (3-step consensus, step 1)
-  kStateSignature = 8,  // governor -> leader   (3-step consensus, step 2)
-  kStateCommit = 9,     // leader -> governors  (3-step consensus, step 3)
-  kExpelEvidence = 10,  // governor -> governors (leader misbehaved)
-  kLabelGossip = 11,    // governor -> governors (equivocation detection)
-  kBlockRequest = 12,   // any node -> governor (retrieve(s))
-  kBlockResponse = 13,  // governor -> requester
-  kTest = 99,
-};
-
-/// A delivered network message.
-struct Message {
-  NodeId from;
-  NodeId to;
-  MsgKind kind = MsgKind::kTest;
-  Bytes payload;
-  SimTime sent_at = 0;
-  SimTime delivered_at = 0;
-};
+// Message vocabulary lives in the runtime layer (protocol nodes speak it
+// without seeing the simulator); aliased here for the net-facing code.
+using runtime::Message;
+using runtime::MsgKind;
 
 /// Uniform link latency in [min_delay, max_delay]; max_delay is the
 /// synchrony bound Delta the paper assumes known.
@@ -64,7 +42,10 @@ struct NetworkStats {
 /// links for fault injection, and traffic accounting. All sends are
 /// unicast; broadcast is a loop (each copy is a counted message, which is
 /// what the paper's communication-complexity claims count too).
-class SimNetwork {
+///
+/// Implements runtime::Transport, the interface protocol nodes are written
+/// against.
+class SimNetwork final : public runtime::Transport {
  public:
   using Handler = std::function<void(const Message&)>;
 
@@ -77,11 +58,11 @@ class SimNetwork {
 
   /// Send a message; it is delivered after a bounded random delay unless the
   /// link drops it.
-  void send(NodeId from, NodeId to, MsgKind kind, Bytes payload);
+  void send(NodeId from, NodeId to, MsgKind kind, Bytes payload) override;
 
   /// Unicast to each destination.
   void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
-                 const Bytes& payload);
+                 const Bytes& payload) override;
 
   /// Fault injection: fraction of messages lost on the (from, to) link.
   void set_drop_probability(NodeId from, NodeId to, double p);
@@ -92,19 +73,21 @@ class SimNetwork {
   void reset_stats() { stats_ = NetworkStats{}; }
 
   [[nodiscard]] EventQueue& queue() { return queue_; }
-  [[nodiscard]] SimDuration max_delay() const { return latency_.max_delay; }
+  [[nodiscard]] runtime::TimerService& timers() override { return queue_; }
+  [[nodiscard]] SimDuration max_delay() const override { return latency_.max_delay; }
   [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
 
   /// Draw one link delay (exposed for the atomic-broadcast layer).
-  [[nodiscard]] SimDuration draw_delay();
+  [[nodiscard]] SimDuration draw_delay() override;
 
   /// Invoke the destination handler for a fully-formed message now. Used by
   /// the atomic-broadcast layer, which schedules and orders deliveries
   /// itself. Respects node-down fault injection.
-  void deliver_direct(const Message& msg);
+  void deliver_direct(const Message& msg) override;
 
   /// Account for `copies` unicast copies of a broadcast in the traffic stats.
-  void count_broadcast(MsgKind kind, std::size_t copies, std::size_t payload_bytes);
+  void count_broadcast(MsgKind kind, std::size_t copies,
+                       std::size_t payload_bytes) override;
 
  private:
   EventQueue& queue_;

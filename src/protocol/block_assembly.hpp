@@ -1,0 +1,50 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/ed25519.hpp"
+#include "ledger/chain.hpp"
+
+namespace repchain::protocol {
+
+/// The leader-side TXList of §3.1: accumulates screened records, packs up to
+/// b_limit of them into a signed block on top of the local chain head, and
+/// reconciles the pending list against accepted blocks so records are packed
+/// exactly once. Pure ledger logic — no networking, so it unit-tests in
+/// isolation and is shared by the Governor facade.
+class BlockAssembler {
+ public:
+  /// Queue one screened record for a future block (FIFO).
+  void add_pending(ledger::TxRecord record) {
+    pending_.push_back(std::move(record));
+  }
+
+  /// Pack up to `block_limit` pending records into a block extending `chain`,
+  /// signed by `leader`. Does not consume pending_ — reconciliation against
+  /// the accepted copy does (the proposal could be lost).
+  [[nodiscard]] ledger::Block propose(const ledger::ChainStore& chain, Round round,
+                                      GovernorId leader, std::size_t block_limit,
+                                      const crypto::SigningKey& key) const;
+
+  /// An accepted block arrived: remember its transactions as packed and drop
+  /// them from the pending list.
+  void reconcile(const ledger::Block& accepted);
+
+  /// True iff the transaction is already part of an accepted block.
+  [[nodiscard]] bool packed(const ledger::TxId& id) const {
+    return packed_.contains(id);
+  }
+
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// Restore path: rebuild the packed index from a chain and drop all
+  /// transient pending records.
+  void reset_from_chain(const ledger::ChainStore& chain);
+
+ private:
+  std::vector<ledger::TxRecord> pending_;
+  std::unordered_set<ledger::TxId, ledger::TxIdHash> packed_;  // already in a block
+};
+
+}  // namespace repchain::protocol

@@ -6,24 +6,23 @@ namespace repchain::protocol {
 
 using ledger::Label;
 
-Collector::Collector(CollectorId id, NodeId node, crypto::SigningKey key,
-                     net::SimNetwork& net, const identity::IdentityManager& im,
+Collector::Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
+                     const identity::IdentityManager& im,
                      ledger::ValidationOracle& oracle, const Directory& directory,
-                     net::AtomicBroadcastGroup& upload_group, CollectorBehavior behavior,
-                     Rng rng)
+                     runtime::AtomicBroadcastGroup& upload_group,
+                     CollectorBehavior behavior)
     : id_(id),
-      node_(node),
+      ctx_(ctx),
+      node_(ctx.node()),
       key_(std::move(key)),
-      net_(net),
       im_(im),
       oracle_(oracle),
       directory_(directory),
       upload_group_(upload_group),
-      behavior_(behavior),
-      rng_(rng) {}
+      behavior_(behavior) {}
 
-void Collector::on_message(const net::Message& msg) {
-  if (msg.kind != net::MsgKind::kProviderTx) return;
+void Collector::on_message(const runtime::Message& msg) {
+  if (msg.kind != runtime::MsgKind::kProviderTx) return;
   ledger::Transaction tx;
   try {
     tx = ledger::Transaction::decode(msg.payload);
@@ -40,21 +39,22 @@ void Collector::on_message(const net::Message& msg) {
     return;  // simply discard (Algorithm 1)
   }
 
+  Rng& rng = ctx_.rng();
   // Concealment.
-  if (rng_.bernoulli(behavior_.drop_probability)) {
+  if (rng.bernoulli(behavior_.drop_probability)) {
     ++stats_.dropped;
   } else {
     // validate(tx) from the collector's seat: a noisy observation of the
     // application-level ground truth.
-    Label label = oracle_.observe(tx.id(), behavior_.accuracy, rng_);
-    if (rng_.bernoulli(behavior_.flip_probability)) label = ledger::opposite(label);
+    Label label = oracle_.observe(tx.id(), behavior_.accuracy, rng);
+    if (rng.bernoulli(behavior_.flip_probability)) label = ledger::opposite(label);
     upload(tx, label);
   }
 
   // Forgery attempt: fabricate a transaction "from" the same provider. The
   // bogus signature is rejected by governors except with negligible
   // probability (Almost No Creation).
-  if (rng_.bernoulli(behavior_.forge_probability)) {
+  if (rng.bernoulli(behavior_.forge_probability)) {
     upload_forgery(tx.provider);
   }
 }
@@ -63,7 +63,7 @@ void Collector::upload(const ledger::Transaction& tx, Label label) {
   ++stats_.uploaded;
   if (!behavior_.equivocate) {
     const ledger::LabeledTransaction ltx = ledger::make_labeled(tx, label, id_, key_);
-    upload_group_.broadcast(node_, net::MsgKind::kCollectorUpload, ltx.encode());
+    upload_group_.broadcast(node_, runtime::MsgKind::kCollectorUpload, ltx.encode());
     return;
   }
   // Equivocation: a Byzantine collector bypasses the atomic broadcast and
@@ -72,25 +72,27 @@ void Collector::upload(const ledger::Transaction& tx, Label label) {
   for (std::size_t i = 0; i < governors.size(); ++i) {
     const Label sent = (i % 2 == 0) ? label : ledger::opposite(label);
     const ledger::LabeledTransaction ltx = ledger::make_labeled(tx, sent, id_, key_);
-    net_.send(node_, governors[i], net::MsgKind::kCollectorUpload, ltx.encode());
+    ctx_.transport().send(node_, governors[i], runtime::MsgKind::kCollectorUpload,
+                          ltx.encode());
   }
 }
 
 void Collector::upload_forgery(ProviderId provider) {
   ++stats_.forged;
+  Rng& rng = ctx_.rng();
   ledger::Transaction fake;
   fake.provider = provider;
   fake.seq = forge_seq_++;
-  fake.timestamp = net_.queue().now();
-  fake.payload = rng_.bytes(16);
+  fake.timestamp = ctx_.now();
+  fake.payload = rng.bytes(16);
   // A forged provider signature: without the provider's secret key the best
   // a malicious collector can do is guess.
-  Bytes garbage = rng_.bytes(64);
+  Bytes garbage = rng.bytes(64);
   std::copy(garbage.begin(), garbage.end(), fake.provider_sig.bytes.begin());
 
   const ledger::LabeledTransaction ltx =
       ledger::make_labeled(fake, Label::kValid, id_, key_);
-  upload_group_.broadcast(node_, net::MsgKind::kCollectorUpload, ltx.encode());
+  upload_group_.broadcast(node_, runtime::MsgKind::kCollectorUpload, ltx.encode());
 }
 
 }  // namespace repchain::protocol

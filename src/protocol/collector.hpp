@@ -1,11 +1,11 @@
 #pragma once
 
-#include "common/rng.hpp"
 #include "crypto/ed25519.hpp"
 #include "identity/identity_manager.hpp"
 #include "ledger/validation_oracle.hpp"
-#include "net/atomic_broadcast.hpp"
 #include "protocol/directory.hpp"
+#include "runtime/atomic_broadcast.hpp"
+#include "runtime/node_context.hpp"
 
 namespace repchain::protocol {
 
@@ -70,15 +70,17 @@ struct CollectorStats {
 /// A collector node (tier 2): verifies provider signatures, labels
 /// transactions ±1 per its (mis)behaviour model, signs and atomically
 /// broadcasts the labeled transaction to all governors (Algorithm 1).
+///
+/// Behavioral randomness draws from the NodeContext's per-node rng stream.
 class Collector {
  public:
-  Collector(CollectorId id, NodeId node, crypto::SigningKey key, net::SimNetwork& net,
+  Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
             const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
-            const Directory& directory, net::AtomicBroadcastGroup& upload_group,
-            CollectorBehavior behavior, Rng rng);
+            const Directory& directory, runtime::AtomicBroadcastGroup& upload_group,
+            CollectorBehavior behavior);
 
   /// Network delivery entry point (kProviderTx messages).
-  void on_message(const net::Message& msg);
+  void on_message(const runtime::Message& msg);
 
   [[nodiscard]] CollectorId id() const { return id_; }
   [[nodiscard]] NodeId node() const { return node_; }
@@ -90,15 +92,14 @@ class Collector {
   void upload_forgery(ProviderId provider);
 
   CollectorId id_;
+  runtime::NodeContext& ctx_;
   NodeId node_;
   crypto::SigningKey key_;
-  net::SimNetwork& net_;
   const identity::IdentityManager& im_;
   ledger::ValidationOracle& oracle_;
   const Directory& directory_;
-  net::AtomicBroadcastGroup& upload_group_;
+  runtime::AtomicBroadcastGroup& upload_group_;
   CollectorBehavior behavior_;
-  Rng rng_;
   CollectorStats stats_;
   std::uint64_t forge_seq_ = 1'000'000'000;  // distinct seq space for fabrications
 };

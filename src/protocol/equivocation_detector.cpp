@@ -1,0 +1,75 @@
+#include "protocol/equivocation_detector.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::protocol {
+
+void EquivocationDetector::note_label(const ledger::TxId& id,
+                                      const ledger::LabeledTransaction& ltx) {
+  seen_labels_[id].emplace(ltx.collector, ltx);
+  ungossiped_.push_back(ltx);
+}
+
+void EquivocationDetector::age_out() {
+  seen_labels_prev_ = std::move(seen_labels_);
+  seen_labels_.clear();
+}
+
+std::optional<Bytes> EquivocationDetector::take_gossip_payload() {
+  if (ungossiped_.empty()) return std::nullopt;
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(ungossiped_.size()));
+  for (const auto& ltx : ungossiped_) w.bytes(ltx.encode());
+  ungossiped_.clear();
+  return std::move(w).take();
+}
+
+void EquivocationDetector::on_gossip_payload(BytesView payload) {
+  std::vector<ledger::LabeledTransaction> ltxs;
+  try {
+    BinaryReader r(payload);
+    const auto n = r.u32();
+    ltxs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ltxs.push_back(ledger::LabeledTransaction::decode(r.bytes()));
+    }
+    r.expect_done();
+  } catch (const DecodeError&) {
+    return;
+  }
+  on_gossip(ltxs);
+}
+
+void EquivocationDetector::on_gossip(
+    const std::vector<ledger::LabeledTransaction>& ltxs) {
+  for (const auto& remote : ltxs) {
+    // Only a genuinely signed remote label is evidence.
+    const NodeId collector_node = directory_.node_of(remote.collector);
+    if (!im_.authorize(collector_node, identity::Role::kCollector,
+                       remote.signed_preimage(), remote.collector_sig)) {
+      continue;
+    }
+    const ledger::LabeledTransaction* local = nullptr;
+    for (const LabelGen* gen : {&seen_labels_, &seen_labels_prev_}) {
+      const auto tit = gen->find(remote.tx.id());
+      if (tit == gen->end()) continue;
+      const auto cit = tit->second.find(remote.collector);
+      if (cit != tit->second.end()) {
+        local = &cit->second;
+        break;
+      }
+    }
+    if (local == nullptr || local->label == remote.label) continue;
+
+    // Two valid signatures by the same collector over conflicting labels for
+    // one transaction: a self-contained equivocation proof.
+    const auto key = std::make_pair(remote.collector.value(),
+                                    to_hex(view(remote.tx.id())));
+    if (!punished_.insert(key).second) continue;
+    ++metrics_.equivocations_detected;
+    table_.punish_forgery(remote.collector);
+  }
+}
+
+}  // namespace repchain::protocol

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "identity/identity_manager.hpp"
+#include "ledger/transaction.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/governor_types.hpp"
+#include "reputation/reputation_table.hpp"
+
+namespace repchain::protocol {
+
+/// The equivocation-detection extension (§4.2: collectors "reporting
+/// different results to different governors"): keeps the signed labels this
+/// governor received, gossips them to peers, and cross-checks incoming
+/// gossip against the local copies. Two valid collector signatures over
+/// conflicting labels for the same transaction are a self-contained proof,
+/// punished like a forgery (at most once per (collector, tx)).
+///
+/// Evidence is kept for two round generations: the current round's labels
+/// plus the previous round's (conflicts can only surface within the
+/// synchrony window), aged out each round so memory stays bounded.
+class EquivocationDetector {
+ public:
+  EquivocationDetector(const identity::IdentityManager& im,
+                       const Directory& directory,
+                       reputation::ReputationTable& table, GovernorMetrics& metrics)
+      : im_(im), directory_(directory), table_(table), metrics_(metrics) {}
+
+  /// Remember a locally received signed label and queue it for gossip.
+  void note_label(const ledger::TxId& id, const ledger::LabeledTransaction& ltx);
+
+  /// Round boundary: shift the evidence generations.
+  void age_out();
+
+  /// Encode and drain the labels queued since the last gossip; nullopt when
+  /// there is nothing to send.
+  [[nodiscard]] std::optional<Bytes> take_gossip_payload();
+
+  /// Cross-check a peer's decoded gossip batch against local evidence.
+  void on_gossip(const std::vector<ledger::LabeledTransaction>& ltxs);
+
+  /// Decode a gossip payload (as produced by take_gossip_payload) and
+  /// cross-check it; malformed payloads are ignored.
+  void on_gossip_payload(BytesView payload);
+
+ private:
+  using LabelGen = std::unordered_map<
+      ledger::TxId, std::unordered_map<CollectorId, ledger::LabeledTransaction>,
+      ledger::TxIdHash>;
+
+  const identity::IdentityManager& im_;
+  const Directory& directory_;
+  reputation::ReputationTable& table_;
+  GovernorMetrics& metrics_;
+
+  LabelGen seen_labels_;
+  LabelGen seen_labels_prev_;
+  std::vector<ledger::LabeledTransaction> ungossiped_;
+  std::set<std::pair<std::uint32_t, std::string>> punished_;
+};
+
+}  // namespace repchain::protocol

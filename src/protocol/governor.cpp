@@ -1,35 +1,33 @@
 #include "protocol/governor.hpp"
 
-#include <algorithm>
-
 #include "common/errors.hpp"
 #include "common/serial.hpp"
+
 namespace repchain::protocol {
 
-using ledger::Label;
-using ledger::TxStatus;
-
-Governor::Governor(GovernorId id, NodeId node, crypto::SigningKey key,
-                   net::SimNetwork& net, const identity::IdentityManager& im,
+Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
+                   const identity::IdentityManager& im,
                    ledger::ValidationOracle& oracle, const Directory& directory,
-                   net::AtomicBroadcastGroup& governor_group, GovernorConfig config,
-                   StakeLedger genesis_stake, Rng rng,
-                   std::vector<CollectorId> visible_collectors)
+                   runtime::AtomicBroadcastGroup& governor_group, GovernorConfig config,
+                   StakeLedger genesis_stake, std::vector<CollectorId> visible_collectors)
     : id_(id),
-      node_(node),
+      ctx_(ctx),
+      node_(ctx.node()),
       key_(std::move(key)),
-      net_(net),
       im_(im),
       oracle_(oracle),
       directory_(directory),
       group_(governor_group),
       config_(config),
-      rng_(rng),
       visible_(visible_collectors.begin(), visible_collectors.end()),
       table_(config.rep),
-      engine_(table_, oracle_, rng_),
-      stake_(std::move(genesis_stake)),
-      argue_buffer_(config.rep.argue_latency_u) {
+      engine_(table_, oracle_, ctx_.rng()),
+      argues_(table_, oracle_, metrics_, config.rep.argue_latency_u),
+      stake_consensus_(id, node_, key_, im_, directory_, ctx_.transport(), group_,
+                       std::move(genesis_stake)),
+      equivocation_(im_, directory_, table_, metrics_),
+      intake_(im_, directory_, table_, engine_, assembler_, argues_, equivocation_,
+              metrics_, ctx_.timers(), config_, visible_) {
   config_.rep.validate();
   // The governor connects with all collectors (§3.1 default) — or with its
   // partial view — and mirrors the provider-collector link structure into
@@ -41,229 +39,94 @@ Governor::Governor(GovernorId id, NodeId node, crypto::SigningKey key,
   }
 }
 
-void Governor::on_message(const net::Message& msg) {
+void Governor::emit(runtime::TraceKind kind, std::uint64_t arg0, std::uint64_t arg1) {
+  ctx_.emit(runtime::TraceEvent{kind, node_, round_, arg0, arg1});
+}
+
+void Governor::on_message(const runtime::Message& msg) {
   switch (msg.kind) {
-    case net::MsgKind::kCollectorUpload:
-      on_upload(msg);
+    case runtime::MsgKind::kCollectorUpload:
+      intake_.on_upload(msg);
       break;
-    case net::MsgKind::kArgue:
+    case runtime::MsgKind::kArgue:
       on_argue(msg);
       break;
-    case net::MsgKind::kVrfAnnounce:
+    case runtime::MsgKind::kVrfAnnounce:
       on_vrf(msg);
       break;
-    case net::MsgKind::kBlockProposal:
+    case runtime::MsgKind::kBlockProposal:
       on_block_proposal(msg);
       break;
-    case net::MsgKind::kStakeTx:
+    case runtime::MsgKind::kStakeTx:
       on_stake_tx(msg);
       break;
-    case net::MsgKind::kStateProposal:
+    case runtime::MsgKind::kStateProposal:
       on_state_proposal(msg);
       break;
-    case net::MsgKind::kStateSignature:
+    case runtime::MsgKind::kStateSignature:
       on_state_signature(msg);
       break;
-    case net::MsgKind::kStateCommit:
+    case runtime::MsgKind::kStateCommit:
       on_state_commit(msg);
       break;
-    case net::MsgKind::kExpelEvidence:
+    case runtime::MsgKind::kExpelEvidence:
       on_expel(msg);
       break;
-    case net::MsgKind::kLabelGossip:
+    case runtime::MsgKind::kLabelGossip:
       on_label_gossip(msg);
       break;
-    case net::MsgKind::kBlockRequest: {
-      // Serve retrieve(s) to any node.
-      BlockRequestMsg req;
-      try {
-        req = BlockRequestMsg::decode(msg.payload);
-      } catch (const DecodeError&) {
-        break;
-      }
-      BlockResponseMsg resp;
-      resp.serial = req.serial;
-      const auto block = chain_.retrieve(req.serial);
-      if (block) {
-        resp.found = true;
-        resp.block = block->encode();
-      }
-      net_.send(node_, msg.from, net::MsgKind::kBlockResponse, resp.encode());
+    case runtime::MsgKind::kBlockRequest:
+      on_block_request(msg);
       break;
-    }
     default:
       break;
   }
 }
 
-// --- Uploading phase intake (Algorithm 2, delivery part) ---------------------
+// --- Round driving (timer-armed phases) --------------------------------------
 
-void Governor::on_upload(const net::Message& msg) {
-  ++metrics_.uploads_received;
-  ledger::LabeledTransaction ltx;
-  try {
-    ltx = ledger::LabeledTransaction::decode(msg.payload);
-  } catch (const DecodeError&) {
-    ++metrics_.uploads_rejected;
-    return;
-  }
-
-  if (!sees(ltx.collector)) {
-    ++metrics_.uploads_invisible;
-    return;
-  }
-
-  // The collector's own signature must authenticate, or the upload cannot
-  // even be attributed — drop silently.
-  const auto collector_node = directory_.node_of(ltx.collector);
-  if (!im_.authorize(collector_node, identity::Role::kCollector, ltx.signed_preimage(),
-                     ltx.collector_sig)) {
-    ++metrics_.uploads_rejected;
-    return;
-  }
-
-  // verify(c_i, Tx): the contained provider signature must be genuine and
-  // the provider must be linked with this collector; otherwise the upload is
-  // a forgery — Algorithm 3 case 1.
-  const bool provider_known = directory_.linked(ltx.tx.provider, ltx.collector);
-  bool provider_sig_ok = false;
-  if (provider_known) {
-    const NodeId provider_node = directory_.node_of(ltx.tx.provider);
-    provider_sig_ok =
-        im_.authenticate(provider_node, ltx.tx.signed_preimage(), ltx.tx.provider_sig);
-  }
-  if (!provider_known || !provider_sig_ok) {
-    ++metrics_.forgeries_detected;
-    table_.punish_forgery(ltx.collector);
-    return;
-  }
-
-  const ledger::TxId id = ltx.tx.id();
-  if (packed_.contains(id) || unchecked_.contains(id)) {
-    // Replay of an already-processed transaction (atomic broadcast plus the
-    // timestamped signature makes this benign); ignore.
-    return;
-  }
-
-  auto [it, inserted] = aggregations_.try_emplace(id);
-  Aggregation& agg = it->second;
-  if (inserted) {
-    agg.tx = ltx.tx;
-    // starttime(tx, Delta): screen after the aggregation window.
-    net_.queue().schedule_after(config_.aggregation_delta,
-                                [this, id] { screen_aggregation(id); });
-  }
-  if (agg.screened) return;
-  if (!agg.reporters.insert(ltx.collector).second) {
-    ++metrics_.duplicate_reports;
-    return;
-  }
-  agg.reports.push_back(reputation::Report{ltx.collector, ltx.label});
-
+void Governor::arm_round(Round round, SimTime t0, const RoundTiming& timing) {
+  runtime::TimerService& timers = ctx_.timers();
+  timers.schedule_at(t0 + timing.election_offset, [this, round] { begin_round(round); });
   if (config_.enable_label_gossip) {
-    seen_labels_[id].emplace(ltx.collector, ltx);
-    ungossiped_.push_back(ltx);
+    timers.schedule_at(t0 + timing.gossip_offset, [this] { gossip_labels(); });
+  }
+  timers.schedule_at(t0 + timing.propose_offset, [this] { propose_if_leader(); });
+  timers.schedule_at(t0 + timing.stake_offset,
+                     [this] { run_stake_consensus_if_leader(); });
+  timers.schedule_at(t0 + timing.audit_offset,
+                     [this] { emit(runtime::TraceKind::kAuditPoint); });
+  if (auto_rounds_) {
+    timers.schedule_at(t0 + timing.round_span, [this, round, t0] {
+      emit(runtime::TraceKind::kRoundEnded);
+      arm_round(round + 1, t0 + auto_timing_.round_span, auto_timing_);
+    });
   }
 }
+
+void Governor::drive_rounds(Round first, const RoundTiming& timing) {
+  auto_rounds_ = true;
+  auto_timing_ = timing;
+  arm_round(first, ctx_.now(), timing);
+}
+
+// --- Label gossip (equivocation-detection extension, §4.2) -------------------
 
 void Governor::gossip_labels() {
-  if (!config_.enable_label_gossip || ungossiped_.empty()) return;
-  BinaryWriter w;
-  w.u32(static_cast<std::uint32_t>(ungossiped_.size()));
-  for (const auto& ltx : ungossiped_) w.bytes(ltx.encode());
-  ungossiped_.clear();
-  group_.broadcast(node_, net::MsgKind::kLabelGossip, std::move(w).take());
+  if (!config_.enable_label_gossip) return;
+  auto payload = equivocation_.take_gossip_payload();
+  if (!payload) return;
+  group_.broadcast(node_, runtime::MsgKind::kLabelGossip, std::move(*payload));
 }
 
-void Governor::on_label_gossip(const net::Message& msg) {
+void Governor::on_label_gossip(const runtime::Message& msg) {
   if (!config_.enable_label_gossip || msg.from == node_) return;
-  std::vector<ledger::LabeledTransaction> ltxs;
-  try {
-    BinaryReader r(msg.payload);
-    const auto n = r.u32();
-    ltxs.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      ltxs.push_back(ledger::LabeledTransaction::decode(r.bytes()));
-    }
-    r.expect_done();
-  } catch (const DecodeError&) {
-    return;
-  }
-
-  for (const auto& remote : ltxs) {
-    // Only a genuinely signed remote label is evidence.
-    const NodeId collector_node = directory_.node_of(remote.collector);
-    if (!im_.authorize(collector_node, identity::Role::kCollector,
-                       remote.signed_preimage(), remote.collector_sig)) {
-      continue;
-    }
-    const ledger::LabeledTransaction* local = nullptr;
-    for (const LabelGen* gen : {&seen_labels_, &seen_labels_prev_}) {
-      const auto tit = gen->find(remote.tx.id());
-      if (tit == gen->end()) continue;
-      const auto cit = tit->second.find(remote.collector);
-      if (cit != tit->second.end()) {
-        local = &cit->second;
-        break;
-      }
-    }
-    if (local == nullptr || local->label == remote.label) continue;
-
-    // Two valid signatures by the same collector over conflicting labels for
-    // one transaction: a self-contained equivocation proof.
-    const auto key = std::make_pair(remote.collector.value(),
-                                    to_hex(view(remote.tx.id())));
-    if (!punished_equivocations_.insert(key).second) continue;
-    ++metrics_.equivocations_detected;
-    table_.punish_forgery(remote.collector);
-  }
+  equivocation_.on_gossip_payload(msg.payload);
 }
 
-void Governor::screen_aggregation(const ledger::TxId& id) {
-  const auto it = aggregations_.find(id);
-  if (it == aggregations_.end() || it->second.screened) return;
-  Aggregation& agg = it->second;
-  agg.screened = true;
+// --- Argue handling (Algorithm 2, deliver_argue) -----------------------------
 
-  const ScreeningOutcome out = engine_.screen(agg.tx, agg.reports);
-  switch (out.kind) {
-    case ScreeningKind::kAppendedValid: {
-      ledger::TxRecord rec;
-      rec.tx = agg.tx;
-      rec.label = Label::kValid;
-      rec.status = TxStatus::kCheckedValid;
-      pending_.push_back(std::move(rec));
-      break;
-    }
-    case ScreeningKind::kDiscardedInvalid:
-      break;  // checked invalid: never enters a block
-    case ScreeningKind::kRecordedUnchecked: {
-      ledger::TxRecord rec;
-      rec.tx = agg.tx;
-      rec.label = Label::kInvalid;
-      rec.status = TxStatus::kUncheckedInvalid;
-      pending_.push_back(rec);
-
-      UncheckedEntry entry;
-      entry.tx = agg.tx;
-      entry.reports = agg.reports;
-      entry.truly_valid = oracle_.true_validity(id);  // metric only
-      entry.expected_loss =
-          table_.expected_loss_for(agg.tx.provider, agg.reports, entry.truly_valid);
-      metrics_.expected_loss += entry.expected_loss;
-      if (entry.truly_valid) metrics_.realized_loss += 2.0;
-      unchecked_.emplace(id, std::move(entry));
-      unchecked_order_.push_back(id);
-      argue_buffer_.record(agg.tx.provider, id);
-      break;
-    }
-  }
-  aggregations_.erase(it);
-}
-
-// --- Argue handling (Algorithm 2, deliver_argue) ------------------------------
-
-void Governor::on_argue(const net::Message& msg) {
+void Governor::on_argue(const runtime::Message& msg) {
   ++metrics_.argues_received;
   ArgueMsg argue;
   try {
@@ -278,67 +141,31 @@ void Governor::on_argue(const net::Message& msg) {
   }
   if (argue.tx.provider != argue.provider) return;
 
-  const ledger::TxId id = argue.tx.id();
-  auto uit = unchecked_.find(id);
-  if (uit == unchecked_.end() || uit->second.revealed) return;
-
-  if (!argue_buffer_.consume(argue.provider, id)) {
-    // Buried deeper than U: invalid permanently (§4.2).
-    ++metrics_.argues_rejected_late;
-    return;
-  }
-  ++metrics_.argues_accepted;
-
-  // Re-evaluate: status <- validate(tx).
-  ++metrics_.argue_validations;
-  const bool truth = oracle_.validate(id);
-  if (truth) {
-    ledger::TxRecord rec;
-    rec.tx = argue.tx;
-    rec.label = Label::kValid;
-    rec.status = TxStatus::kArguedValid;
-    pending_.push_back(std::move(rec));
-  }
-  apply_reveal(id, uit->second, truth);
+  auto rec = argues_.handle_argue(argue);
+  if (rec) assembler_.add_pending(std::move(*rec));
 }
 
-void Governor::apply_reveal(const ledger::TxId& id, UncheckedEntry& entry, bool truth) {
-  (void)id;
-  entry.revealed = true;
-  if (truth) ++metrics_.mistakes;
-  // Algorithm 3 case 3 with the screening-time report snapshot.
-  (void)table_.update_revealed(entry.tx.provider, entry.reports, truth);
-}
-
-bool Governor::reveal_unchecked(const ledger::TxId& id) {
-  auto it = unchecked_.find(id);
-  if (it == unchecked_.end() || it->second.revealed) return false;
-  apply_reveal(id, it->second, oracle_.true_validity(id));
-  return true;
-}
+bool Governor::reveal_unchecked(const ledger::TxId& id) { return argues_.reveal(id); }
 
 std::vector<ledger::TxId> Governor::unrevealed_unchecked() const {
-  std::vector<ledger::TxId> out;
-  for (const auto& id : unchecked_order_) {
-    const auto it = unchecked_.find(id);
-    if (it != unchecked_.end() && !it->second.revealed) out.push_back(id);
-  }
-  return out;
+  return argues_.unrevealed();
 }
 
-// --- Leader election (§3.4.3) --------------------------------------------------
+// --- Leader election (§3.4.3) ------------------------------------------------
 
 void Governor::begin_round(Round round) {
   round_ = round;
-  // Age out the equivocation evidence base (see seen_labels_ comment).
-  seen_labels_prev_ = std::move(seen_labels_);
-  seen_labels_.clear();
-  election_.emplace(round, stake_, expelled_);
-  const VrfAnnounceMsg msg = make_announcement(round, id_, stake_.of(id_), key_);
-  group_.broadcast(node_, net::MsgKind::kVrfAnnounce, msg.encode());
+  leader_announced_ = false;
+  emit(runtime::TraceKind::kRoundStarted);
+  // Age out the equivocation evidence base.
+  equivocation_.age_out();
+  election_.emplace(round, stake_consensus_.stake(), expelled_);
+  const VrfAnnounceMsg msg =
+      make_announcement(round, id_, stake_consensus_.stake().of(id_), key_);
+  group_.broadcast(node_, runtime::MsgKind::kVrfAnnounce, msg.encode());
 }
 
-void Governor::on_vrf(const net::Message& msg) {
+void Governor::on_vrf(const runtime::Message& msg) {
   if (!election_) return;
   VrfAnnounceMsg announce;
   try {
@@ -348,30 +175,30 @@ void Governor::on_vrf(const net::Message& msg) {
   }
   (void)election_->add_announcement(announce, im_,
                                     directory_.node_of(announce.governor));
+  if (!leader_announced_) {
+    if (const auto winner = election_->winner()) {
+      leader_announced_ = true;
+      emit(runtime::TraceKind::kLeaderElected, winner->value());
+    }
+  }
 }
 
-bool Governor::is_leader() const {
-  return election_ && election_->winner() == id_;
-}
+bool Governor::is_leader() const { return election_ && election_->winner() == id_; }
 
 std::optional<GovernorId> Governor::round_leader() const {
   return election_ ? election_->winner() : std::nullopt;
 }
 
-// --- Block proposal / adoption ---------------------------------------------------
+// --- Block proposal / adoption -----------------------------------------------
 
 void Governor::propose_if_leader() {
   if (!is_leader()) return;
-  std::vector<ledger::TxRecord> txs;
-  const std::size_t take = std::min(pending_.size(), config_.block_limit);
-  txs.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
-
-  const ledger::Block block = ledger::make_block(
-      chain_.height() + 1, round_, chain_.head_hash(), id_, std::move(txs), key_);
-  group_.broadcast(node_, net::MsgKind::kBlockProposal, block.encode());
+  const ledger::Block block =
+      assembler_.propose(chain_, round_, id_, config_.block_limit, key_);
+  group_.broadcast(node_, runtime::MsgKind::kBlockProposal, block.encode());
 }
 
-void Governor::on_block_proposal(const net::Message& msg) {
+void Governor::on_block_proposal(const runtime::Message& msg) {
   ledger::Block block;
   try {
     block = ledger::Block::decode(msg.payload);
@@ -406,20 +233,41 @@ void Governor::on_block_proposal(const net::Message& msg) {
 
   // Reconcile local pending list: drop records now present in the chain.
   const ledger::Block& accepted = chain_.head();
-  for (const auto& rec : accepted.txs) packed_.insert(rec.tx.id());
-  std::erase_if(pending_, [this](const ledger::TxRecord& rec) {
-    return packed_.contains(rec.tx.id());
-  });
+  assembler_.reconcile(accepted);
+  emit(runtime::TraceKind::kBlockCommitted, accepted.serial, accepted.txs.size());
 }
 
-// --- Stake transfers and the 3-step consensus (§3.4.3) ----------------------------
+void Governor::on_block_request(const runtime::Message& msg) {
+  // Serve retrieve(s) to any node.
+  BlockRequestMsg req;
+  try {
+    req = BlockRequestMsg::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  BlockResponseMsg resp;
+  resp.serial = req.serial;
+  const auto block = chain_.retrieve(req.serial);
+  if (block) {
+    resp.found = true;
+    resp.block = block->encode();
+  }
+  ctx_.transport().send(node_, msg.from, runtime::MsgKind::kBlockResponse,
+                        resp.encode());
+}
+
+// --- Stake transfers and the 3-step consensus (§3.4.3) -----------------------
 
 void Governor::submit_stake_transfer(GovernorId to, std::uint64_t amount) {
-  const StakeTxMsg msg = make_stake_tx(id_, to, amount, stake_seq_++, key_);
-  group_.broadcast(node_, net::MsgKind::kStakeTx, msg.encode());
+  stake_consensus_.submit_transfer(to, amount);
 }
 
-void Governor::on_stake_tx(const net::Message& msg) {
+void Governor::run_stake_consensus_if_leader() {
+  if (!is_leader()) return;
+  stake_consensus_.run_as_leader(round_);
+}
+
+void Governor::on_stake_tx(const runtime::Message& msg) {
   StakeTxMsg stx;
   try {
     stx = StakeTxMsg::decode(msg.payload);
@@ -431,58 +279,10 @@ void Governor::on_stake_tx(const net::Message& msg) {
                      stx.sig)) {
     return;
   }
-  // Replay protection: senders number their transfers; accept only strictly
-  // increasing sequence numbers per sender.
-  const auto it = stake_seq_seen_.find(stx.from);
-  if (it != stake_seq_seen_.end() && stx.seq <= it->second) return;
-  stake_seq_seen_[stx.from] = stx.seq;
-  round_stake_txs_.push_back(std::move(stx));
+  stake_consensus_.on_stake_tx(std::move(stx));
 }
 
-StakeLedger Governor::expected_stake_state() const {
-  StakeLedger state = stake_;
-  for (const auto& stx : round_stake_txs_) {
-    try {
-      state.transfer(stx.from, stx.to, stx.amount);
-    } catch (const ProtocolError&) {
-      // Insufficient funds / unknown party: skipped identically by every
-      // governor since the atomic broadcast ordered the transfers.
-    }
-  }
-  return state;
-}
-
-void Governor::run_stake_consensus_if_leader() {
-  if (!is_leader() || round_stake_txs_.empty()) return;
-
-  StakeLedger state = expected_stake_state();
-  if (cheat_stake_) {
-    // A byzantine leader credits itself (test hook).
-    state.set(id_, state.of(id_) + 1000);
-  }
-
-  StateProposalMsg proposal;
-  proposal.round = round_;
-  proposal.leader = id_;
-  proposal.state = state.encode();
-  proposal.leader_sig = key_.sign(proposal.signed_preimage());
-
-  // Install the proposal and this leader's own signature immediately: other
-  // governors' signatures can arrive before our own group copy does.
-  current_proposal_ = proposal;
-  collected_sigs_.clear();
-  sig_senders_.clear();
-  StateSignatureMsg own;
-  own.round = round_;
-  own.signer = id_;
-  own.sig = key_.sign(proposal.signed_preimage());
-  sig_senders_.insert(id_);
-  collected_sigs_.push_back(own);
-
-  group_.broadcast(node_, net::MsgKind::kStateProposal, proposal.encode());
-}
-
-void Governor::on_state_proposal(const net::Message& msg) {
+void Governor::on_state_proposal(const runtime::Message& msg) {
   StateProposalMsg proposal;
   try {
     proposal = StateProposalMsg::decode(msg.payload);
@@ -498,101 +298,31 @@ void Governor::on_state_proposal(const net::Message& msg) {
     return;
   }
 
-  // Consistency: the proposed NEW_STATE must equal the state derived from
-  // the stake transactions this governor received.
-  const StakeLedger expected = expected_stake_state();
-  if (proposal.state != expected.encode()) {
-    // Step 2 failure branch: broadcast the evidence to expel the leader.
-    broadcast_expel(proposal.leader, proposal.encode());
-    return;
-  }
-
-  if (proposal.leader == id_) return;  // own copy, handled at proposal time
-
-  current_proposal_ = proposal;
-  StateSignatureMsg sig;
-  sig.round = round_;
-  sig.signer = id_;
-  sig.sig = key_.sign(proposal.signed_preimage());
-  net_.send(node_, directory_.node_of(proposal.leader), net::MsgKind::kStateSignature,
-            sig.encode());
+  auto evidence = stake_consensus_.on_proposal(proposal, round_);
+  if (evidence) broadcast_expel(proposal.leader, std::move(*evidence));
 }
 
-void Governor::on_state_signature(const net::Message& msg) {
-  if (!current_proposal_ || current_proposal_->leader != id_) return;
+void Governor::on_state_signature(const runtime::Message& msg) {
   StateSignatureMsg sig;
   try {
     sig = StateSignatureMsg::decode(msg.payload);
   } catch (const DecodeError&) {
     return;
   }
-  if (sig.round != round_) return;
-  const NodeId signer_node = directory_.node_of(sig.signer);
-  if (!im_.authenticate(signer_node, current_proposal_->signed_preimage(), sig.sig)) {
-    return;
-  }
-  if (!sig_senders_.insert(sig.signer).second) return;
-  collected_sigs_.push_back(sig);
-
-  // When all (non-expelled) governors signed, commit.
-  std::size_t expected = 0;
-  for (GovernorId g : directory_.governors()) {
-    if (!expelled_.contains(g)) ++expected;
-  }
-  if (collected_sigs_.size() == expected) {
-    StateCommitMsg commit;
-    commit.round = round_;
-    commit.leader = id_;
-    commit.state = current_proposal_->state;
-    commit.signatures = collected_sigs_;
-    group_.broadcast(node_, net::MsgKind::kStateCommit, commit.encode());
-  }
+  stake_consensus_.on_signature(sig, round_, expelled_);
 }
 
-void Governor::on_state_commit(const net::Message& msg) {
+void Governor::on_state_commit(const runtime::Message& msg) {
   StateCommitMsg commit;
   try {
     commit = StateCommitMsg::decode(msg.payload);
   } catch (const DecodeError&) {
     return;
   }
-  if (commit.round != round_) return;
-  const auto winner = round_leader();
-  if (!winner || commit.leader != *winner) return;
-
-  // Rebuild the proposal preimage and verify every signature.
-  StateProposalMsg proposal;
-  proposal.round = commit.round;
-  proposal.leader = commit.leader;
-  proposal.state = commit.state;
-  const Bytes preimage = proposal.signed_preimage();
-
-  std::size_t expected = 0;
-  for (GovernorId g : directory_.governors()) {
-    if (!expelled_.contains(g)) ++expected;
-  }
-  if (commit.signatures.size() != expected) return;
-
-  std::set<GovernorId> signers;
-  for (const auto& sig : commit.signatures) {
-    const NodeId signer_node = directory_.node_of(sig.signer);
-    if (!im_.authenticate(signer_node, preimage, sig.sig)) return;
-    if (!signers.insert(sig.signer).second) return;
-  }
-
-  // Apply NEW_STATE.
-  try {
-    stake_ = StakeLedger::decode(commit.state);
-  } catch (const DecodeError&) {
-    return;
-  }
-  round_stake_txs_.clear();
-  current_proposal_.reset();
-  collected_sigs_.clear();
-  sig_senders_.clear();
+  stake_consensus_.on_commit(commit, round_, round_leader(), expelled_);
 }
 
-// --- Checkpointing -------------------------------------------------------------------
+// --- Checkpointing -----------------------------------------------------------
 
 Bytes Governor::checkpoint() const {
   BinaryWriter w;
@@ -601,7 +331,7 @@ Bytes Governor::checkpoint() const {
   w.u64(static_cast<std::uint64_t>(chain_.height()));
   for (const auto& block : chain_.blocks()) w.bytes(block.encode());
   w.bytes(table_.encode());
-  w.bytes(stake_.encode());
+  w.bytes(stake_consensus_.stake().encode());
   return std::move(w).take();
 }
 
@@ -625,27 +355,23 @@ void Governor::restore(BytesView data) {
 
   chain_ = std::move(chain);
   table_ = std::move(table);
-  stake_ = std::move(stake);
-  // Rebuild the packed-transaction index from the restored chain.
-  packed_.clear();
-  for (const auto& block : chain_.blocks()) {
-    for (const auto& rec : block.txs) packed_.insert(rec.tx.id());
-  }
-  pending_.clear();
-  aggregations_.clear();
-  unchecked_.clear();
-  unchecked_order_.clear();
+  stake_consensus_.restore_stake(std::move(stake));
+  // Rebuild the packed-transaction index from the restored chain; round
+  // transients (aggregations, unchecked snapshots, election) are dropped.
+  assembler_.reset_from_chain(chain_);
+  intake_.clear();
+  argues_.reset_transient();
   election_.reset();
 }
 
-// --- Expulsion ---------------------------------------------------------------------
+// --- Expulsion ---------------------------------------------------------------
 
 void Governor::broadcast_expel(GovernorId accused, Bytes evidence) {
   const ExpelMsg msg = make_expel(round_, id_, accused, std::move(evidence), key_);
-  group_.broadcast(node_, net::MsgKind::kExpelEvidence, msg.encode());
+  group_.broadcast(node_, runtime::MsgKind::kExpelEvidence, msg.encode());
 }
 
-void Governor::on_expel(const net::Message& msg) {
+void Governor::on_expel(const runtime::Message& msg) {
   ExpelMsg expel;
   try {
     expel = ExpelMsg::decode(msg.payload);
@@ -672,7 +398,7 @@ void Governor::on_expel(const net::Message& msg) {
   if (!im_.authenticate(accused_node, proposal.signed_preimage(), proposal.leader_sig)) {
     return;
   }
-  if (proposal.round == round_ && proposal.state == expected_stake_state().encode()) {
+  if (stake_consensus_.matches_expected(proposal, round_)) {
     return;  // evidence does not show misbehaviour
   }
   expelled_.insert(expel.accused);

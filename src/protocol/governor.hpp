@@ -1,84 +1,43 @@
 #pragma once
 
-#include <deque>
-#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
-#include "common/rng.hpp"
 #include "crypto/ed25519.hpp"
 #include "identity/identity_manager.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/validation_oracle.hpp"
-#include "net/atomic_broadcast.hpp"
-#include "protocol/argue_buffer.hpp"
+#include "protocol/argue_service.hpp"
+#include "protocol/block_assembly.hpp"
 #include "protocol/directory.hpp"
+#include "protocol/equivocation_detector.hpp"
+#include "protocol/governor_types.hpp"
 #include "protocol/leader_election.hpp"
 #include "protocol/messages.hpp"
+#include "protocol/round_timing.hpp"
 #include "protocol/screening.hpp"
-#include "protocol/stake.hpp"
+#include "protocol/screening_intake.hpp"
+#include "protocol/stake_consensus.hpp"
+#include "runtime/atomic_broadcast.hpp"
+#include "runtime/node_context.hpp"
 
 namespace repchain::protocol {
 
-/// Governor configuration.
-struct GovernorConfig {
-  reputation::ReputationParams rep;
-  /// b_limit: maximum transactions per block (§3.1).
-  std::size_t block_limit = 1000;
-  /// Aggregation window Delta after a transaction's first report (the
-  /// starttime/endtime timer of Algorithm 2).
-  SimDuration aggregation_delta = 25 * kMillisecond;
-  /// Extension (§4.2: collectors "reporting different results to different
-  /// governors"): when enabled, governors gossip the signed labels they
-  /// received; two valid collector signatures over conflicting labels for
-  /// the same transaction are a self-contained equivocation proof, punished
-  /// like a forgery.
-  bool enable_label_gossip = false;
-};
-
-/// Loss bookkeeping on one unchecked transaction, kept for the experiments:
-/// the paper's L counts 2 per unchecked transaction whose true state was
-/// valid (it was recorded invalid).
-struct UncheckedEntry {
-  ledger::Transaction tx;
-  std::vector<reputation::Report> reports;  // screening-time snapshot
-  double expected_loss = 0.0;               // L_tx at screening time (metric)
-  bool truly_valid = false;                 // ground truth (metric only)
-  bool revealed = false;
-};
-
-/// Governor metrics for the benches.
-struct GovernorMetrics {
-  std::uint64_t uploads_received = 0;
-  std::uint64_t uploads_rejected = 0;   // bad collector signature / unknown
-  std::uint64_t forgeries_detected = 0;
-  std::uint64_t duplicate_reports = 0;
-  std::uint64_t argues_received = 0;
-  std::uint64_t argues_accepted = 0;
-  std::uint64_t argues_rejected_late = 0;
-  std::uint64_t argue_validations = 0;
-  std::uint64_t blocks_accepted = 0;
-  std::uint64_t blocks_rejected = 0;
-  std::uint64_t equivocations_detected = 0;
-  std::uint64_t uploads_invisible = 0;  // from collectors outside this
-                                        // governor's partial view
-  /// Realized mistakes: unchecked transactions whose revealed truth was
-  /// valid (each costs the paper's loss of 2).
-  std::uint64_t mistakes = 0;
-  /// Sum of L_tx over all unchecked transactions (paper's expected loss).
-  double expected_loss = 0.0;
-  /// Realized loss 2 * (# unchecked with true state valid), counted at
-  /// screening time from ground truth (metric only; the governor itself
-  /// learns it only on reveal).
-  double realized_loss = 0.0;
-};
-
-/// A governor node (tier 3): screens uploaded transactions per Algorithm 2,
-/// maintains the local reputation vectors (Algorithm 3), takes part in
-/// VRF-PoS leader election, proposes/validates blocks, serves argue
-/// requests, and runs the 3-step stake consensus (§3.4).
+/// A governor node (tier 3), composed from focused units:
+///   - ScreeningIntake       upload auth + Delta-window report aggregation
+///   - ScreeningEngine       Algorithm 2 decision core (+ Algorithm 3 case 2)
+///   - ArgueService          unchecked/argue/reveal bookkeeping (case 3)
+///   - BlockAssembler        TXList accumulation and block packing
+///   - StakeConsensus        stake ledger + the 3-step consensus (§3.4.3)
+///   - EquivocationDetector  label-gossip cross-checking extension (§4.2)
+/// This class is the facade: message authentication, dispatch, leader
+/// election, timer-driven round phases, and checkpointing.
+///
+/// The governor sees its host only through runtime::NodeContext (transport,
+/// timers, rng, trace sink) — it runs unchanged under the simulator or any
+/// other runtime.
 class Governor {
  public:
   /// `visible_collectors` empty means the §3.1 default (a governor has
@@ -86,10 +45,10 @@ class Governor {
   /// uploads from — and keeps reputation for — the listed collectors
   /// (partial-information deployments, §3.1: "the structure of the network
   /// can be adjusted").
-  Governor(GovernorId id, NodeId node, crypto::SigningKey key, net::SimNetwork& net,
+  Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
            const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
-           const Directory& directory, net::AtomicBroadcastGroup& governor_group,
-           GovernorConfig config, StakeLedger genesis_stake, Rng rng,
+           const Directory& directory, runtime::AtomicBroadcastGroup& governor_group,
+           GovernorConfig config, StakeLedger genesis_stake,
            std::vector<CollectorId> visible_collectors = {});
 
   // The screening engine holds references into this object; Governor is
@@ -100,9 +59,22 @@ class Governor {
   Governor& operator=(Governor&&) = delete;
 
   /// Network delivery entry point; dispatches on message kind.
-  void on_message(const net::Message& msg);
+  void on_message(const runtime::Message& msg);
 
-  // --- Round driving (called by the scenario runner) -----------------------
+  // --- Round driving --------------------------------------------------------
+  //
+  // Rounds are self-driving: arm_round schedules every phase deadline of one
+  // round on the node's own timers (keyed to the synchrony bound Delta via
+  // RoundTiming), so no external coordinator pokes the governor between
+  // phases. The begin_round/propose_if_leader/... entry points remain public
+  // for surgical tests that drive phases by hand.
+
+  /// Schedule all phase deadlines of `round` starting at absolute time `t0`.
+  void arm_round(Round round, SimTime t0, const RoundTiming& timing);
+
+  /// Fully autonomous mode: arm `first` now and chain each following round
+  /// after round_span, forever. Used where no harness exists at all.
+  void drive_rounds(Round first, const RoundTiming& timing);
 
   /// Start round r: reset election state and broadcast own VRF tickets.
   void begin_round(Round round);
@@ -138,7 +110,7 @@ class Governor {
 
   /// For a byzantine-leader test: corrupt the stake state this leader
   /// proposes.
-  void set_cheat_stake_consensus(bool cheat) { cheat_stake_ = cheat; }
+  void set_cheat_stake_consensus(bool cheat) { stake_consensus_.set_cheat(cheat); }
 
   /// Checkpoint the governor's durable state — chain, reputation table,
   /// stake ledger — as one verifiable blob. Transient round state (pending
@@ -162,15 +134,13 @@ class Governor {
   [[nodiscard]] const reputation::ReputationTable& reputation() const { return table_; }
   [[nodiscard]] const ScreeningStats& screening_stats() const { return engine_.stats(); }
   [[nodiscard]] const GovernorMetrics& metrics() const { return metrics_; }
-  [[nodiscard]] const StakeLedger& stake() const { return stake_; }
+  [[nodiscard]] const StakeLedger& stake() const { return stake_consensus_.stake(); }
   [[nodiscard]] const std::set<GovernorId>& expelled() const { return expelled_; }
-  [[nodiscard]] std::size_t pending_txs() const { return pending_.size(); }
-  [[nodiscard]] const ArgueBuffer& argue_buffer() const { return argue_buffer_; }
+  [[nodiscard]] std::size_t pending_txs() const { return assembler_.pending_count(); }
+  [[nodiscard]] const ArgueBuffer& argue_buffer() const { return argues_.buffer(); }
   /// True iff this governor perceives `collector` (always true in the
   /// full-visibility default).
-  [[nodiscard]] bool sees(CollectorId collector) const {
-    return visible_.empty() || visible_.contains(collector);
-  }
+  [[nodiscard]] bool sees(CollectorId collector) const { return intake_.sees(collector); }
   /// Revenue shares from this governor's local reputation (§3.4.3); when this
   /// governor leads a round, these shares split the round's collector reward.
   [[nodiscard]] std::vector<std::pair<CollectorId, double>> revenue_shares() const {
@@ -181,85 +151,53 @@ class Governor {
   [[nodiscard]] const std::unordered_map<ledger::TxId, UncheckedEntry,
                                          ledger::TxIdHash>&
   unchecked_entries() const {
-    return unchecked_;
+    return argues_.entries();
   }
 
  private:
-  struct Aggregation {
-    ledger::Transaction tx;
-    std::vector<reputation::Report> reports;
-    std::unordered_set<CollectorId> reporters;
-    bool screened = false;
-  };
+  void on_argue(const runtime::Message& msg);
+  void on_vrf(const runtime::Message& msg);
+  void on_block_proposal(const runtime::Message& msg);
+  void on_stake_tx(const runtime::Message& msg);
+  void on_state_proposal(const runtime::Message& msg);
+  void on_state_signature(const runtime::Message& msg);
+  void on_state_commit(const runtime::Message& msg);
+  void on_expel(const runtime::Message& msg);
+  void on_label_gossip(const runtime::Message& msg);
+  void on_block_request(const runtime::Message& msg);
 
-  void on_upload(const net::Message& msg);
-  void on_argue(const net::Message& msg);
-  void on_vrf(const net::Message& msg);
-  void on_block_proposal(const net::Message& msg);
-  void on_stake_tx(const net::Message& msg);
-  void on_state_proposal(const net::Message& msg);
-  void on_state_signature(const net::Message& msg);
-  void on_state_commit(const net::Message& msg);
-  void on_expel(const net::Message& msg);
-  void on_label_gossip(const net::Message& msg);
-
-  void screen_aggregation(const ledger::TxId& id);
-  void apply_reveal(const ledger::TxId& id, UncheckedEntry& entry, bool truth);
-  [[nodiscard]] StakeLedger expected_stake_state() const;
   void broadcast_expel(GovernorId accused, Bytes evidence);
+  void emit(runtime::TraceKind kind, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
 
   GovernorId id_;
+  runtime::NodeContext& ctx_;
   NodeId node_;
   crypto::SigningKey key_;
-  net::SimNetwork& net_;
   const identity::IdentityManager& im_;
   ledger::ValidationOracle& oracle_;
   const Directory& directory_;
-  net::AtomicBroadcastGroup& group_;
+  runtime::AtomicBroadcastGroup& group_;
   GovernorConfig config_;
-  Rng rng_;
   std::set<CollectorId> visible_;  // empty = all
 
   reputation::ReputationTable table_;
+  GovernorMetrics metrics_;
   ScreeningEngine engine_;
   ledger::ChainStore chain_;
-  StakeLedger stake_;
-  ArgueBuffer argue_buffer_;
-  GovernorMetrics metrics_;
+  BlockAssembler assembler_;
+  ArgueService argues_;
+  StakeConsensus stake_consensus_;
+  EquivocationDetector equivocation_;
+  ScreeningIntake intake_;
 
   Round round_ = 0;
   std::optional<ElectionState> election_;
+  bool leader_announced_ = false;  // trace: kLeaderElected emitted this round
   std::set<GovernorId> expelled_;
 
-  // Screening state.
-  std::unordered_map<ledger::TxId, Aggregation, ledger::TxIdHash> aggregations_;
-  // Signed labels seen per (tx, collector) — evidence base for the
-  // equivocation-detection extension. Two generations: the current round's
-  // labels plus the previous round's (conflicts can only surface within the
-  // synchrony window), pruned at begin_round so memory stays bounded.
-  using LabelGen = std::unordered_map<
-      ledger::TxId, std::unordered_map<CollectorId, ledger::LabeledTransaction>,
-      ledger::TxIdHash>;
-  LabelGen seen_labels_;
-  LabelGen seen_labels_prev_;
-  std::vector<ledger::LabeledTransaction> ungossiped_;
-  std::set<std::pair<std::uint32_t, std::string>> punished_equivocations_;
-  std::unordered_map<ledger::TxId, UncheckedEntry, ledger::TxIdHash> unchecked_;
-  std::deque<ledger::TxId> unchecked_order_;
-  std::vector<ledger::TxRecord> pending_;
-  std::unordered_set<ledger::TxId, ledger::TxIdHash> packed_;  // already in a block
-
-  // Stake consensus state.
-  std::uint64_t stake_seq_ = 0;
-  // Highest stake-tx sequence accepted per sender: transfers are broadcast
-  // in sequence order (atomic broadcast preserves it), so anything at or
-  // below the high-water mark is a replay.
-  std::unordered_map<GovernorId, std::uint64_t> stake_seq_seen_;
-  std::vector<StakeTxMsg> round_stake_txs_;
-  std::optional<StateProposalMsg> current_proposal_;
-  std::vector<StateSignatureMsg> collected_sigs_;
-  std::set<GovernorId> sig_senders_;
-  bool cheat_stake_ = false;
+  // Self-driving mode (drive_rounds).
+  bool auto_rounds_ = false;
+  RoundTiming auto_timing_;
 };
 
 }  // namespace repchain::protocol

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "ledger/transaction.hpp"
+#include "reputation/reputation_table.hpp"
+
+namespace repchain::protocol {
+
+/// Governor configuration.
+struct GovernorConfig {
+  reputation::ReputationParams rep;
+  /// b_limit: maximum transactions per block (§3.1).
+  std::size_t block_limit = 1000;
+  /// Aggregation window Delta after a transaction's first report (the
+  /// starttime/endtime timer of Algorithm 2).
+  SimDuration aggregation_delta = 25 * kMillisecond;
+  /// Extension (§4.2: collectors "reporting different results to different
+  /// governors"): when enabled, governors gossip the signed labels they
+  /// received; two valid collector signatures over conflicting labels for
+  /// the same transaction are a self-contained equivocation proof, punished
+  /// like a forgery.
+  bool enable_label_gossip = false;
+};
+
+/// Loss bookkeeping on one unchecked transaction, kept for the experiments:
+/// the paper's L counts 2 per unchecked transaction whose true state was
+/// valid (it was recorded invalid).
+struct UncheckedEntry {
+  ledger::Transaction tx;
+  std::vector<reputation::Report> reports;  // screening-time snapshot
+  double expected_loss = 0.0;               // L_tx at screening time (metric)
+  bool truly_valid = false;                 // ground truth (metric only)
+  bool revealed = false;
+};
+
+/// Governor metrics for the benches.
+struct GovernorMetrics {
+  std::uint64_t uploads_received = 0;
+  std::uint64_t uploads_rejected = 0;   // bad collector signature / unknown
+  std::uint64_t forgeries_detected = 0;
+  std::uint64_t duplicate_reports = 0;
+  std::uint64_t argues_received = 0;
+  std::uint64_t argues_accepted = 0;
+  std::uint64_t argues_rejected_late = 0;
+  std::uint64_t argue_validations = 0;
+  std::uint64_t blocks_accepted = 0;
+  std::uint64_t blocks_rejected = 0;
+  std::uint64_t equivocations_detected = 0;
+  std::uint64_t uploads_invisible = 0;  // from collectors outside this
+                                        // governor's partial view
+  /// Realized mistakes: unchecked transactions whose revealed truth was
+  /// valid (each costs the paper's loss of 2).
+  std::uint64_t mistakes = 0;
+  /// Sum of L_tx over all unchecked transactions (paper's expected loss).
+  double expected_loss = 0.0;
+  /// Realized loss 2 * (# unchecked with true state valid), counted at
+  /// screening time from ground truth (metric only; the governor itself
+  /// learns it only on reveal).
+  double realized_loss = 0.0;
+};
+
+}  // namespace repchain::protocol

@@ -4,30 +4,36 @@
 
 namespace repchain::protocol {
 
-Provider::Provider(ProviderId id, NodeId node, crypto::SigningKey key,
-                   net::SimNetwork& net, const identity::IdentityManager& im,
+Provider::Provider(ProviderId id, runtime::NodeContext& ctx, crypto::SigningKey key,
+                   const identity::IdentityManager& im,
                    ledger::ValidationOracle& oracle, const Directory& directory,
                    bool active)
     : id_(id),
-      node_(node),
+      ctx_(ctx),
+      node_(ctx.node()),
       key_(std::move(key)),
-      net_(net),
       im_(im),
       oracle_(oracle),
       directory_(directory),
       active_(active),
-      collector_group_(net, directory.collector_nodes_of(id)),
+      collector_group_(ctx.transport(), directory.collector_nodes_of(id)),
       governor_nodes_(directory.governor_nodes()) {}
 
 const ledger::Transaction& Provider::submit(Bytes payload, bool truly_valid) {
   const ledger::Transaction tx = ledger::make_transaction(
-      id_, next_seq_++, net_.queue().now(), std::move(payload), key_);
+      id_, next_seq_++, ctx_.now(), std::move(payload), key_);
   oracle_.register_tx(tx.id(), truly_valid);
 
   auto [it, inserted] = own_.emplace(tx.id(), OwnTx{tx, truly_valid, false, false});
   // broadcast_provider(tx): atomic broadcast to the r linked collectors.
-  collector_group_.broadcast(node_, net::MsgKind::kProviderTx, tx.encode());
+  collector_group_.broadcast(node_, runtime::MsgKind::kProviderTx, tx.encode());
   return it->second.tx;
+}
+
+void Provider::arm_round(SimTime t0, const RoundTiming& timing) {
+  // Passive providers still replicate the chain; active_ only gates arguing
+  // (checked inside the sync path).
+  ctx_.timers().schedule_at(t0 + timing.sync_offset, [this] { sync(); });
 }
 
 void Provider::request_block(BlockSerial serial) {
@@ -35,7 +41,7 @@ void Provider::request_block(BlockSerial serial) {
   const NodeId gov = governor_nodes_[serial % governor_nodes_.size()];
   BlockRequestMsg req;
   req.serial = serial;
-  net_.send(node_, gov, net::MsgKind::kBlockRequest, req.encode());
+  ctx_.transport().send(node_, gov, runtime::MsgKind::kBlockRequest, req.encode());
 }
 
 void Provider::sync() {
@@ -44,8 +50,8 @@ void Provider::sync() {
   request_block(chain_.height() + 1);
 }
 
-void Provider::on_message(const net::Message& msg) {
-  if (msg.kind != net::MsgKind::kBlockResponse) return;
+void Provider::on_message(const runtime::Message& msg) {
+  if (msg.kind != runtime::MsgKind::kBlockResponse) return;
   BlockResponseMsg resp;
   try {
     resp = BlockResponseMsg::decode(msg.payload);
@@ -115,7 +121,8 @@ void Provider::on_block(const ledger::Block& block) {
       own.argued = true;
       ++argued_;
       const ArgueMsg msg = make_argue(id_, own.tx, block.serial, key_);
-      net_.multicast(node_, governor_nodes_, net::MsgKind::kArgue, msg.encode());
+      ctx_.transport().multicast(node_, governor_nodes_, runtime::MsgKind::kArgue,
+                                 msg.encode());
     }
   }
 }

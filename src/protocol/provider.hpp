@@ -4,12 +4,14 @@
 
 #include "crypto/ed25519.hpp"
 #include "identity/identity_manager.hpp"
-#include "ledger/chain.hpp"
 #include "ledger/block.hpp"
+#include "ledger/chain.hpp"
 #include "ledger/validation_oracle.hpp"
-#include "net/atomic_broadcast.hpp"
 #include "protocol/directory.hpp"
 #include "protocol/messages.hpp"
+#include "protocol/round_timing.hpp"
+#include "runtime/atomic_broadcast.hpp"
+#include "runtime/node_context.hpp"
 
 namespace repchain::protocol {
 
@@ -20,13 +22,17 @@ namespace repchain::protocol {
 /// Validity).
 class Provider {
  public:
-  Provider(ProviderId id, NodeId node, crypto::SigningKey key, net::SimNetwork& net,
+  Provider(ProviderId id, runtime::NodeContext& ctx, crypto::SigningKey key,
            const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
            const Directory& directory, bool active);
 
   /// Collecting phase: create, register, sign and broadcast one transaction.
   /// `truly_valid` is the hidden application-level ground truth.
   const ledger::Transaction& submit(Bytes payload, bool truly_valid);
+
+  /// Self-driving rounds: schedule this provider's sync at the round's
+  /// block-propagation deadline.
+  void arm_round(SimTime t0, const RoundTiming& timing);
 
   /// Light-client sync: request the next missing block from a governor
   /// (round-robin); responses chain further requests until the provider has
@@ -36,7 +42,7 @@ class Provider {
   void sync();
 
   /// Network delivery entry point (kBlockResponse messages).
-  void on_message(const net::Message& msg);
+  void on_message(const runtime::Message& msg);
 
   /// Process one retrieved block (also called internally by sync).
   void on_block(const ledger::Block& block);
@@ -60,15 +66,15 @@ class Provider {
   void request_block(BlockSerial serial);
 
   ProviderId id_;
+  runtime::NodeContext& ctx_;
   NodeId node_;
   crypto::SigningKey key_;
-  net::SimNetwork& net_;
   const identity::IdentityManager& im_;
   ledger::ValidationOracle& oracle_;
   const Directory& directory_;
   bool active_;
 
-  net::AtomicBroadcastGroup collector_group_;
+  runtime::AtomicBroadcastGroup collector_group_;
   std::vector<NodeId> governor_nodes_;
 
   ledger::ChainStore chain_;

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace repchain::protocol {
+
+/// Phase deadlines of one protocol round, as offsets from the round's start
+/// time T0. Rounds are self-driving: every governor arms timers for these
+/// deadlines itself (Governor::arm_round), so no central coordinator has to
+/// poke nodes between phases. The harness only injects the workload during
+/// the collecting window and advances the clock.
+///
+/// All offsets are keyed to the synchrony bound Delta (Transport::max_delay):
+/// under the paper's synchronous model every message of a phase lands within
+/// Delta of its send, so a deadline of "last send bound + Delta + margin"
+/// guarantees the phase has quiesced before the next one fires. Each phase
+/// budget below adds at least one Delta of margin beyond the inclusive
+/// worst case, which also guarantees no delivery ever collides exactly with
+/// a deadline timer (deadline ordering stays unambiguous).
+struct RoundTiming {
+  /// Election: every governor broadcasts its VRF announcement at T0; all
+  /// copies land within Delta.
+  SimDuration election_offset = 0;
+  /// Collecting phase opens: providers may start submitting transactions.
+  SimDuration workload_offset = 0;
+  /// How long the collecting window stays open (harness workload span).
+  SimDuration workload_span = 0;
+  /// Label-gossip deadline (armed only when the equivocation-detection
+  /// extension is enabled): uploads and their aggregation windows have
+  /// settled by now.
+  SimDuration gossip_offset = 0;
+  /// The elected leader packs pending records and broadcasts the block.
+  SimDuration propose_offset = 0;
+  /// Observers sample leader revenue shares here: after the block landed
+  /// everywhere, before argues from provider sync mutate reputation.
+  SimDuration rewards_offset = 0;
+  /// Providers start their light-client sync (and argue on buried txs).
+  SimDuration sync_offset = 0;
+  /// The leader runs the 3-step stake consensus over this round's transfers.
+  SimDuration stake_offset = 0;
+  /// Audit point: out-of-band truth revelation for still-unchecked txs.
+  SimDuration audit_offset = 0;
+  /// The round has fully quiesced; the next round may start here.
+  SimDuration round_span = 0;
+
+  /// Derive a conservative schedule from the synchrony bound, the Algorithm 2
+  /// aggregation window, and the length of the collecting window.
+  [[nodiscard]] static RoundTiming derive(SimDuration delta,
+                                          SimDuration aggregation_delta,
+                                          SimDuration workload_span,
+                                          bool label_gossip) {
+    RoundTiming t;
+    t.election_offset = 0;
+    // VRF copies land within Delta of T0; one Delta of margin.
+    t.workload_offset = 2 * delta;
+    t.workload_span = workload_span;
+    // After the last submission: provider->collector hop + collector->
+    // governor hop (2 Delta), then the aggregation window, then margin.
+    t.gossip_offset =
+        t.workload_offset + workload_span + 2 * delta + aggregation_delta + delta;
+    // Gossip broadcasts land within Delta; handlers are local. Skipped
+    // entirely when the extension is off.
+    t.propose_offset = t.gossip_offset + (label_gossip ? 2 * delta : 0);
+    // Block copies land within Delta; a bad block triggers one expel
+    // broadcast (one more Delta); plus margin.
+    t.rewards_offset = t.propose_offset + 3 * delta;
+    t.sync_offset = t.rewards_offset + delta;
+    // Light-client sync: request/response round trips (2 Delta each) for the
+    // round's new block plus the caught-up probe, then argue multicasts.
+    // Budget several round trips so a lagging provider still converges.
+    t.stake_offset = t.sync_offset + 10 * delta;
+    // Proposal broadcast (Delta), signatures (Delta), commit broadcast
+    // (Delta), possible expel evidence (2 Delta), plus margin.
+    t.audit_offset = t.stake_offset + 6 * delta;
+    t.round_span = t.audit_offset + 2 * delta;
+    return t;
+  }
+};
+
+}  // namespace repchain::protocol

@@ -1,0 +1,105 @@
+#include "protocol/screening_intake.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::protocol {
+
+using ledger::Label;
+using ledger::TxStatus;
+
+void ScreeningIntake::on_upload(const runtime::Message& msg) {
+  ++metrics_.uploads_received;
+  ledger::LabeledTransaction ltx;
+  try {
+    ltx = ledger::LabeledTransaction::decode(msg.payload);
+  } catch (const DecodeError&) {
+    ++metrics_.uploads_rejected;
+    return;
+  }
+
+  if (!sees(ltx.collector)) {
+    ++metrics_.uploads_invisible;
+    return;
+  }
+
+  // The collector's own signature must authenticate, or the upload cannot
+  // even be attributed — drop silently.
+  const auto collector_node = directory_.node_of(ltx.collector);
+  if (!im_.authorize(collector_node, identity::Role::kCollector, ltx.signed_preimage(),
+                     ltx.collector_sig)) {
+    ++metrics_.uploads_rejected;
+    return;
+  }
+
+  // verify(c_i, Tx): the contained provider signature must be genuine and
+  // the provider must be linked with this collector; otherwise the upload is
+  // a forgery — Algorithm 3 case 1.
+  const bool provider_known = directory_.linked(ltx.tx.provider, ltx.collector);
+  bool provider_sig_ok = false;
+  if (provider_known) {
+    const NodeId provider_node = directory_.node_of(ltx.tx.provider);
+    provider_sig_ok =
+        im_.authenticate(provider_node, ltx.tx.signed_preimage(), ltx.tx.provider_sig);
+  }
+  if (!provider_known || !provider_sig_ok) {
+    ++metrics_.forgeries_detected;
+    table_.punish_forgery(ltx.collector);
+    return;
+  }
+
+  const ledger::TxId id = ltx.tx.id();
+  if (assembler_.packed(id) || argues_.known(id)) {
+    // Replay of an already-processed transaction (atomic broadcast plus the
+    // timestamped signature makes this benign); ignore.
+    return;
+  }
+
+  auto [it, inserted] = aggregations_.try_emplace(id);
+  Aggregation& agg = it->second;
+  if (inserted) {
+    agg.tx = ltx.tx;
+    // starttime(tx, Delta): screen after the aggregation window.
+    timers_.schedule_after(config_.aggregation_delta, [this, id] { screen(id); });
+  }
+  if (agg.screened) return;
+  if (!agg.reporters.insert(ltx.collector).second) {
+    ++metrics_.duplicate_reports;
+    return;
+  }
+  agg.reports.push_back(reputation::Report{ltx.collector, ltx.label});
+
+  if (config_.enable_label_gossip) equivocation_.note_label(id, ltx);
+}
+
+void ScreeningIntake::screen(const ledger::TxId& id) {
+  const auto it = aggregations_.find(id);
+  if (it == aggregations_.end() || it->second.screened) return;
+  Aggregation& agg = it->second;
+  agg.screened = true;
+
+  const ScreeningOutcome out = engine_.screen(agg.tx, agg.reports);
+  switch (out.kind) {
+    case ScreeningKind::kAppendedValid: {
+      ledger::TxRecord rec;
+      rec.tx = agg.tx;
+      rec.label = Label::kValid;
+      rec.status = TxStatus::kCheckedValid;
+      assembler_.add_pending(std::move(rec));
+      break;
+    }
+    case ScreeningKind::kDiscardedInvalid:
+      break;  // checked invalid: never enters a block
+    case ScreeningKind::kRecordedUnchecked: {
+      ledger::TxRecord rec;
+      rec.tx = agg.tx;
+      rec.label = Label::kInvalid;
+      rec.status = TxStatus::kUncheckedInvalid;
+      assembler_.add_pending(std::move(rec));
+      argues_.record_unchecked(agg.tx, agg.reports);
+      break;
+    }
+  }
+  aggregations_.erase(it);
+}
+
+}  // namespace repchain::protocol

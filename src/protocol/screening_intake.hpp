@@ -1,0 +1,75 @@
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "identity/identity_manager.hpp"
+#include "ledger/transaction.hpp"
+#include "protocol/argue_service.hpp"
+#include "protocol/block_assembly.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/equivocation_detector.hpp"
+#include "protocol/governor_types.hpp"
+#include "protocol/screening.hpp"
+#include "runtime/message.hpp"
+#include "runtime/timer.hpp"
+
+namespace repchain::protocol {
+
+/// The uploading-phase front-end of Algorithm 2: authenticates collector
+/// uploads, verifies the contained provider signature (Algorithm 3 case 1 on
+/// failure), aggregates reports per transaction over the Delta window on the
+/// node's timers, and routes each screening outcome to the block assembler /
+/// argue service.
+class ScreeningIntake {
+ public:
+  ScreeningIntake(const identity::IdentityManager& im, const Directory& directory,
+                  reputation::ReputationTable& table, ScreeningEngine& engine,
+                  BlockAssembler& assembler, ArgueService& argues,
+                  EquivocationDetector& equivocation, GovernorMetrics& metrics,
+                  runtime::TimerService& timers, const GovernorConfig& config,
+                  const std::set<CollectorId>& visible)
+      : im_(im), directory_(directory), table_(table), engine_(engine),
+        assembler_(assembler), argues_(argues), equivocation_(equivocation),
+        metrics_(metrics), timers_(timers), config_(config), visible_(visible) {}
+
+  /// A kCollectorUpload delivery.
+  void on_upload(const runtime::Message& msg);
+
+  /// True iff this governor perceives `collector` (always true in the
+  /// full-visibility default; see Governor::sees).
+  [[nodiscard]] bool sees(CollectorId collector) const {
+    return visible_.empty() || visible_.contains(collector);
+  }
+
+  /// Restore path: drop in-flight aggregation windows.
+  void clear() { aggregations_.clear(); }
+
+ private:
+  struct Aggregation {
+    ledger::Transaction tx;
+    std::vector<reputation::Report> reports;
+    std::unordered_set<CollectorId> reporters;
+    bool screened = false;
+  };
+
+  void screen(const ledger::TxId& id);
+
+  const identity::IdentityManager& im_;
+  const Directory& directory_;
+  reputation::ReputationTable& table_;
+  ScreeningEngine& engine_;
+  BlockAssembler& assembler_;
+  ArgueService& argues_;
+  EquivocationDetector& equivocation_;
+  GovernorMetrics& metrics_;
+  runtime::TimerService& timers_;
+  const GovernorConfig& config_;
+  const std::set<CollectorId>& visible_;  // empty = all
+
+  std::unordered_map<ledger::TxId, Aggregation, ledger::TxIdHash> aggregations_;
+};
+
+}  // namespace repchain::protocol

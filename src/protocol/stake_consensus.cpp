@@ -1,0 +1,155 @@
+#include "protocol/stake_consensus.hpp"
+
+#include "common/errors.hpp"
+
+namespace repchain::protocol {
+
+void StakeConsensus::submit_transfer(GovernorId to, std::uint64_t amount) {
+  const StakeTxMsg msg = make_stake_tx(self_, to, amount, next_seq_++, key_);
+  group_.broadcast(node_, runtime::MsgKind::kStakeTx, msg.encode());
+}
+
+void StakeConsensus::on_stake_tx(StakeTxMsg stx) {
+  const auto it = seq_seen_.find(stx.from);
+  if (it != seq_seen_.end() && stx.seq <= it->second) return;
+  seq_seen_[stx.from] = stx.seq;
+  round_stake_txs_.push_back(std::move(stx));
+}
+
+StakeLedger StakeConsensus::expected_state() const {
+  StakeLedger state = stake_;
+  for (const auto& stx : round_stake_txs_) {
+    try {
+      state.transfer(stx.from, stx.to, stx.amount);
+    } catch (const ProtocolError&) {
+      // Insufficient funds / unknown party: skipped identically by every
+      // governor since the atomic broadcast ordered the transfers.
+    }
+  }
+  return state;
+}
+
+void StakeConsensus::run_as_leader(Round round) {
+  if (round_stake_txs_.empty()) return;
+
+  StakeLedger state = expected_state();
+  if (cheat_) {
+    // A byzantine leader credits itself (test hook).
+    state.set(self_, state.of(self_) + 1000);
+  }
+
+  StateProposalMsg proposal;
+  proposal.round = round;
+  proposal.leader = self_;
+  proposal.state = state.encode();
+  proposal.leader_sig = key_.sign(proposal.signed_preimage());
+
+  // Install the proposal and this leader's own signature immediately: other
+  // governors' signatures can arrive before our own group copy does.
+  current_proposal_ = proposal;
+  collected_sigs_.clear();
+  sig_senders_.clear();
+  StateSignatureMsg own;
+  own.round = round;
+  own.signer = self_;
+  own.sig = key_.sign(proposal.signed_preimage());
+  sig_senders_.insert(self_);
+  collected_sigs_.push_back(own);
+
+  group_.broadcast(node_, runtime::MsgKind::kStateProposal, proposal.encode());
+}
+
+std::optional<Bytes> StakeConsensus::on_proposal(const StateProposalMsg& proposal,
+                                                 Round round) {
+  // Consistency: the proposed NEW_STATE must equal the state derived from
+  // the stake transactions this governor received.
+  const StakeLedger expected = expected_state();
+  if (proposal.state != expected.encode()) {
+    // Step 2 failure branch: return the evidence to expel the leader.
+    return proposal.encode();
+  }
+  (void)round;
+
+  if (proposal.leader == self_) return std::nullopt;  // own copy, handled at
+                                                      // proposal time
+
+  current_proposal_ = proposal;
+  StateSignatureMsg sig;
+  sig.round = proposal.round;
+  sig.signer = self_;
+  sig.sig = key_.sign(proposal.signed_preimage());
+  transport_.send(node_, directory_.node_of(proposal.leader),
+                  runtime::MsgKind::kStateSignature, sig.encode());
+  return std::nullopt;
+}
+
+void StakeConsensus::on_signature(const StateSignatureMsg& sig, Round round,
+                                  const std::set<GovernorId>& expelled) {
+  if (!current_proposal_ || current_proposal_->leader != self_) return;
+  if (sig.round != round) return;
+  const NodeId signer_node = directory_.node_of(sig.signer);
+  if (!im_.authenticate(signer_node, current_proposal_->signed_preimage(), sig.sig)) {
+    return;
+  }
+  if (!sig_senders_.insert(sig.signer).second) return;
+  collected_sigs_.push_back(sig);
+
+  // When all (non-expelled) governors signed, commit.
+  std::size_t expected = 0;
+  for (GovernorId g : directory_.governors()) {
+    if (!expelled.contains(g)) ++expected;
+  }
+  if (collected_sigs_.size() == expected) {
+    StateCommitMsg commit;
+    commit.round = round;
+    commit.leader = self_;
+    commit.state = current_proposal_->state;
+    commit.signatures = collected_sigs_;
+    group_.broadcast(node_, runtime::MsgKind::kStateCommit, commit.encode());
+  }
+}
+
+void StakeConsensus::on_commit(const StateCommitMsg& commit, Round round,
+                               std::optional<GovernorId> leader,
+                               const std::set<GovernorId>& expelled) {
+  if (commit.round != round) return;
+  if (!leader || commit.leader != *leader) return;
+
+  // Rebuild the proposal preimage and verify every signature.
+  StateProposalMsg proposal;
+  proposal.round = commit.round;
+  proposal.leader = commit.leader;
+  proposal.state = commit.state;
+  const Bytes preimage = proposal.signed_preimage();
+
+  std::size_t expected = 0;
+  for (GovernorId g : directory_.governors()) {
+    if (!expelled.contains(g)) ++expected;
+  }
+  if (commit.signatures.size() != expected) return;
+
+  std::set<GovernorId> signers;
+  for (const auto& sig : commit.signatures) {
+    const NodeId signer_node = directory_.node_of(sig.signer);
+    if (!im_.authenticate(signer_node, preimage, sig.sig)) return;
+    if (!signers.insert(sig.signer).second) return;
+  }
+
+  // Apply NEW_STATE.
+  try {
+    stake_ = StakeLedger::decode(commit.state);
+  } catch (const DecodeError&) {
+    return;
+  }
+  round_stake_txs_.clear();
+  current_proposal_.reset();
+  collected_sigs_.clear();
+  sig_senders_.clear();
+}
+
+bool StakeConsensus::matches_expected(const StateProposalMsg& proposal,
+                                      Round round) const {
+  return proposal.round == round && proposal.state == expected_state().encode();
+}
+
+}  // namespace repchain::protocol

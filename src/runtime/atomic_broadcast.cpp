@@ -1,0 +1,42 @@
+#include "runtime/atomic_broadcast.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace repchain::runtime {
+
+AtomicBroadcastGroup::AtomicBroadcastGroup(Transport& transport,
+                                           std::vector<NodeId> members)
+    : transport_(transport), members_(std::move(members)) {
+  if (members_.empty()) throw ConfigError("atomic broadcast group needs members");
+}
+
+void AtomicBroadcastGroup::broadcast(NodeId from, MsgKind kind, const Bytes& payload) {
+  ++next_seq_;
+  TimerService& timers = transport_.timers();
+  for (NodeId member : members_) {
+    // Count the copy in network statistics (atomic broadcast costs one
+    // message per member in this sequencer realization).
+    // Delivery respects both the link delay and the group's total order.
+    const SimTime arrival = timers.now() + transport_.draw_delay();
+    SimTime& last = last_delivery_[member];
+    const SimTime deliver_at = std::max(arrival, last);
+    last = deliver_at;
+
+    Message msg;
+    msg.from = from;
+    msg.to = member;
+    msg.kind = kind;
+    msg.payload = payload;
+    msg.sent_at = timers.now();
+    msg.delivered_at = deliver_at;
+
+    timers.schedule_at(deliver_at, [&transport = transport_, msg = std::move(msg)]() {
+      transport.deliver_direct(msg);
+    });
+  }
+  transport_.count_broadcast(kind, members_.size(), payload.size());
+}
+
+}  // namespace repchain::runtime

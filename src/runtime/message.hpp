@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+
+namespace repchain::runtime {
+
+/// Message kinds, used both for dispatch and for the communication-complexity
+/// accounting of experiment E5 (see DESIGN.md).
+enum class MsgKind : std::uint16_t {
+  kProviderTx = 1,      // provider -> collectors (collecting phase)
+  kCollectorUpload = 2, // collector -> governors (uploading phase)
+  kArgue = 3,           // provider -> governors (argue on a buried tx)
+  kVrfAnnounce = 4,     // governor -> governors (leader election)
+  kBlockProposal = 5,   // leader -> governors
+  kStakeTx = 6,         // governor -> governors (stake transfer)
+  kStateProposal = 7,   // leader -> governors (3-step consensus, step 1)
+  kStateSignature = 8,  // governor -> leader   (3-step consensus, step 2)
+  kStateCommit = 9,     // leader -> governors  (3-step consensus, step 3)
+  kExpelEvidence = 10,  // governor -> governors (leader misbehaved)
+  kLabelGossip = 11,    // governor -> governors (equivocation detection)
+  kBlockRequest = 12,   // any node -> governor (retrieve(s))
+  kBlockResponse = 13,  // governor -> requester
+  kTest = 99,
+};
+
+/// A delivered network message.
+struct Message {
+  NodeId from;
+  NodeId to;
+  MsgKind kind = MsgKind::kTest;
+  Bytes payload;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+}  // namespace repchain::runtime

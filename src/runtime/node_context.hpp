@@ -1,0 +1,47 @@
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/transport.hpp"
+
+namespace repchain::runtime {
+
+/// Everything a node needs from its host: its network identity, the
+/// transport, the clock/timer service, a private deterministic random
+/// stream, and an optional trace sink. Nodes hold a reference, so one
+/// context per node must outlive it (store contexts address-stably).
+class NodeContext {
+ public:
+  NodeContext(NodeId node, Transport& transport, Rng rng,
+              TraceSink* trace = nullptr)
+      : node_(node), transport_(transport), rng_(rng), trace_(trace) {}
+
+  NodeContext(const NodeContext&) = delete;
+  NodeContext& operator=(const NodeContext&) = delete;
+  NodeContext(NodeContext&&) = delete;
+  NodeContext& operator=(NodeContext&&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] Transport& transport() { return transport_; }
+  [[nodiscard]] TimerService& timers() { return transport_.timers(); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  [[nodiscard]] SimTime now() const { return transport_.timers().now(); }
+  /// The synchrony bound Delta.
+  [[nodiscard]] SimDuration delta() const { return transport_.max_delay(); }
+
+  /// Emit a trace observation (no-op without a sink).
+  void emit(const TraceEvent& event) {
+    if (trace_ != nullptr) trace_->on_event(event);
+  }
+
+ private:
+  NodeId node_;
+  Transport& transport_;
+  Rng rng_;
+  TraceSink* trace_;
+};
+
+}  // namespace repchain::runtime

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/sim_time.hpp"
+
+namespace repchain::runtime {
+
+/// Clock plus one-shot timer scheduling — the only view of time a protocol
+/// node gets. In simulation the discrete-event queue implements this; a
+/// production runtime would back it with a timer wheel on the event loop.
+class TimerService {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~TimerService() = default;
+
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Schedule `cb` at absolute time `t` (>= now). Timers armed for the same
+  /// instant fire in arming order (FIFO), which round-driving relies on.
+  virtual void schedule_at(SimTime t, Callback cb) = 0;
+
+  /// Schedule `cb` after a relative delay.
+  void schedule_after(SimDuration d, Callback cb) {
+    schedule_at(now() + d, std::move(cb));
+  }
+};
+
+}  // namespace repchain::runtime

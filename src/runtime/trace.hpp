@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+
+namespace repchain::runtime {
+
+/// What happened, as seen from inside a node. Trace events are pure
+/// observations: emitting one must never change protocol behaviour.
+enum class TraceKind : std::uint8_t {
+  kRoundStarted = 1,    // a governor entered a round (arg0 unused)
+  kLeaderElected = 2,   // election completed (arg0 = winning governor id)
+  kBlockCommitted = 3,  // a block was accepted (arg0 = serial, arg1 = #txs)
+  kAuditPoint = 4,      // the round's audit deadline passed at this node
+  kRoundEnded = 5,      // self-driving mode: the round span elapsed
+};
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kRoundStarted;
+  NodeId node;            // emitting node
+  Round round = 0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// Consumes trace events. The scenario harness implements this to assemble
+/// per-round records without reaching into node internals mid-round.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+}  // namespace repchain::runtime

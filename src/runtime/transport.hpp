@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "runtime/message.hpp"
+#include "runtime/timer.hpp"
+
+namespace repchain::runtime {
+
+/// What a protocol node needs from the network: point-to-point delivery
+/// within the synchrony bound Delta, plus the hooks the total-order
+/// broadcast layer builds on. `net::SimNetwork` is the simulated
+/// implementation; a socket transport would implement the same surface
+/// without any protocol change.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Unicast; delivered after a bounded delay unless the link drops it.
+  virtual void send(NodeId from, NodeId to, MsgKind kind, Bytes payload) = 0;
+
+  /// Unicast to each destination (each copy is a counted message).
+  virtual void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
+                         const Bytes& payload) = 0;
+
+  /// The synchrony bound Delta the paper assumes known: no message takes
+  /// longer than this. Phase deadlines are keyed to it.
+  [[nodiscard]] virtual SimDuration max_delay() const = 0;
+
+  /// The clock/timer domain deliveries are scheduled in.
+  [[nodiscard]] virtual TimerService& timers() = 0;
+
+  // --- Hooks for the total-order broadcast layer ---------------------------
+
+  /// Draw one link delay (<= max_delay()).
+  [[nodiscard]] virtual SimDuration draw_delay() = 0;
+
+  /// Invoke the destination handler for a fully-formed message now; the
+  /// caller has already scheduled and ordered the delivery. Respects
+  /// node-down fault injection.
+  virtual void deliver_direct(const Message& msg) = 0;
+
+  /// Account for `copies` unicast copies of a broadcast in traffic stats.
+  virtual void count_broadcast(MsgKind kind, std::size_t copies,
+                               std::size_t payload_bytes) = 0;
+};
+
+}  // namespace repchain::runtime

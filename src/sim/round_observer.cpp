@@ -1,0 +1,32 @@
+#include "sim/round_observer.hpp"
+
+namespace repchain::sim {
+
+void RoundObserver::on_event(const runtime::TraceEvent& ev) {
+  if (watched_ && ev.node != *watched_) return;
+  switch (ev.kind) {
+    case runtime::TraceKind::kLeaderElected:
+      rounds_[ev.round].leader = GovernorId(static_cast<std::uint32_t>(ev.arg0));
+      break;
+    case runtime::TraceKind::kBlockCommitted:
+      rounds_[ev.round].block_txs = static_cast<std::size_t>(ev.arg1);
+      break;
+    default:
+      // Round markers (started/ended/audit) carry no payload to collect, but
+      // they still open the round entry so rounds_seen() counts them.
+      rounds_.try_emplace(ev.round);
+      break;
+  }
+}
+
+std::optional<GovernorId> RoundObserver::leader(Round round) const {
+  const auto it = rounds_.find(round);
+  return it == rounds_.end() ? std::nullopt : it->second.leader;
+}
+
+std::size_t RoundObserver::block_txs(Round round) const {
+  const auto it = rounds_.find(round);
+  return it == rounds_.end() ? 0 : it->second.block_txs;
+}
+
+}  // namespace repchain::sim

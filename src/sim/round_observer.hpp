@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "runtime/trace.hpp"
+
+namespace repchain::sim {
+
+/// Passive trace sink for the self-driving rounds: collects the
+/// kLeaderElected / kBlockCommitted events one watched node emits so the
+/// harness can assemble RoundRecords without poking the protocol objects
+/// between phases.
+class RoundObserver final : public runtime::TraceSink {
+ public:
+  /// Restrict collection to events emitted by `node` (the reference replica);
+  /// without a watched node every event is collected.
+  void watch(NodeId node) { watched_ = node; }
+
+  void on_event(const runtime::TraceEvent& ev) override;
+
+  /// The leader the watched node elected in `round` (nullopt if the election
+  /// never completed there).
+  [[nodiscard]] std::optional<GovernorId> leader(Round round) const;
+
+  /// Transactions in the block the watched node committed in `round` (0 when
+  /// no block committed).
+  [[nodiscard]] std::size_t block_txs(Round round) const;
+
+  /// Rounds that emitted at least one watched event.
+  [[nodiscard]] std::size_t rounds_seen() const { return rounds_.size(); }
+
+ private:
+  struct Entry {
+    std::optional<GovernorId> leader;
+    std::size_t block_txs = 0;
+  };
+
+  std::optional<NodeId> watched_;
+  std::unordered_map<Round, Entry> rounds_;
+};
+
+}  // namespace repchain::sim

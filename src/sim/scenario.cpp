@@ -19,6 +19,14 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
 
   const auto& topo = config_.topology;
 
+  // Phase deadlines for the self-driving rounds, keyed to the synchrony
+  // bound Delta and the collecting-phase span.
+  timing_ = protocol::RoundTiming::derive(
+      net_->max_delay(), config_.governor.aggregation_delta,
+      static_cast<SimDuration>(topo.providers * config_.txs_per_provider_per_round) *
+          kMillisecond,
+      config_.governor.enable_label_gossip);
+
   // Register network nodes and identities for every member, then links.
   std::vector<crypto::SigningKey> provider_keys, collector_keys, governor_keys;
   for (std::size_t i = 0; i < topo.providers; ++i) {
@@ -41,8 +49,8 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   }
   build_links(topo, directory_);
 
-  governor_group_ =
-      std::make_unique<net::AtomicBroadcastGroup>(*net_, directory_.governor_nodes());
+  governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
+      *net_, directory_.governor_nodes());
 
   // Genesis stake.
   protocol::StakeLedger genesis;
@@ -52,13 +60,13 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
     genesis.set(GovernorId(static_cast<std::uint32_t>(i)), units);
   }
 
-  // Instantiate nodes (reserve to keep references stable while wiring
-  // handlers).
+  // Instantiate nodes behind their runtime contexts (deques keep references
+  // stable while wiring handlers).
   for (std::size_t i = 0; i < topo.providers; ++i) {
     const ProviderId id(static_cast<std::uint32_t>(i));
-    providers_.emplace_back(id, directory_.node_of(id), std::move(provider_keys[i]),
-                            *net_, *im_, *oracle_, directory_,
-                            config_.providers_active);
+    provider_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(3000 + i));
+    providers_.emplace_back(id, provider_ctxs_.back(), std::move(provider_keys[i]),
+                            *im_, *oracle_, directory_, config_.providers_active);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       providers_[i].on_message(m);
     });
@@ -69,9 +77,9 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
         config_.behaviors.empty()
             ? protocol::CollectorBehavior::honest()
             : config_.behaviors[i % config_.behaviors.size()];
-    collectors_.emplace_back(id, directory_.node_of(id), std::move(collector_keys[i]),
-                             *net_, *im_, *oracle_, directory_, *governor_group_,
-                             behavior, rng_.derive(1000 + i));
+    collector_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(1000 + i));
+    collectors_.emplace_back(id, collector_ctxs_.back(), std::move(collector_keys[i]),
+                             *im_, *oracle_, directory_, *governor_group_, behavior);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       collectors_[i].on_message(m);
     });
@@ -90,14 +98,16 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
             CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
       }
     }
-    governors_.emplace_back(id, directory_.node_of(id), std::move(governor_keys[i]),
-                            *net_, *im_, *oracle_, directory_, *governor_group_,
-                            config_.governor, genesis, rng_.derive(2000 + i),
-                            std::move(visible));
+    governor_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(2000 + i),
+                                &observer_);
+    governors_.emplace_back(id, governor_ctxs_.back(), std::move(governor_keys[i]),
+                            *im_, *oracle_, directory_, *governor_group_,
+                            config_.governor, genesis, std::move(visible));
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       governors_[i].on_message(m);
     });
   }
+  observer_.watch(directory_.node_of(GovernorId(0)));
 
   rewards_.assign(topo.collectors, 0.0);
   leader_counts_.assign(topo.governors, 0);
@@ -105,10 +115,43 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
 
 Scenario::~Scenario() = default;
 
-void Scenario::settle() { queue_.run(); }
+void Scenario::sample_rewards() {
+  // Track leadership and distribute rewards from the leader's reputation.
+  const auto leader = governors_.front().round_leader();
+  if (!leader) return;
+  leader_counts_[leader->value()] += 1;
+  auto& leader_gov = governors_[leader->value()];
+  if (leader_gov.chain().empty()) return;
+  const auto& block = leader_gov.chain().head();
+  std::size_t valid_txs = 0;
+  for (const auto& rec : block.txs) {
+    if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++valid_txs;
+  }
+  const double profit = config_.reward_per_valid_tx * static_cast<double>(valid_txs);
+  if (profit > 0.0) {
+    for (const auto& [c, share] : leader_gov.revenue_shares()) {
+      rewards_[c.value()] += profit * share;
+    }
+  }
+}
+
+void Scenario::run_audit() {
+  // Remaining unrevealed unchecked truths surface through "other evidence".
+  // One shared stream consumed in governor order keeps the draw sequence
+  // deterministic.
+  Rng audit = rng_.derive(20'000 + round_);
+  for (auto& g : governors_) {
+    for (const auto& id : g.unrevealed_unchecked()) {
+      if (audit.bernoulli(config_.audit_probability)) {
+        (void)g.reveal_unchecked(id);
+      }
+    }
+  }
+}
 
 void Scenario::run_round() {
   ++round_;
+  const SimTime t0 = queue_.now();
   RoundRecord record;
   record.round = round_;
   const std::uint64_t validations_before = oracle_->validations();
@@ -117,11 +160,18 @@ void Scenario::run_round() {
   std::uint64_t argues_before = 0;
   for (const auto& g : governors_) argues_before += g.metrics().argues_accepted;
 
-  // --- Election: every governor announces its VRF tickets. ------------------
-  for (auto& g : governors_) g.begin_round(round_);
-  settle();
+  // Arm every node's phase timers (election -> screening settle -> propose ->
+  // stake consensus -> audit). Node order fixes the FIFO tie-break for timers
+  // sharing a deadline.
+  for (auto& g : governors_) g.arm_round(round_, t0, timing_);
+  for (auto& p : providers_) p.arm_round(t0, timing_);
+  queue_.schedule_at(t0 + timing_.rewards_offset, [this] { sample_rewards(); });
+  if (config_.audit_probability > 0.0) {
+    queue_.schedule_at(t0 + timing_.audit_offset, [this] { run_audit(); });
+  }
 
-  // --- Collecting + uploading phases. ---------------------------------------
+  // Collecting phase: inject the workload once the election has settled.
+  queue_.run_until(t0 + timing_.workload_offset);
   Rng workload = rng_.derive(10'000 + round_);
   for (auto& p : providers_) {
     for (std::size_t t = 0; t < config_.txs_per_provider_per_round; ++t) {
@@ -132,66 +182,13 @@ void Scenario::run_round() {
       queue_.run_until(queue_.now() + 1 * kMillisecond);
     }
   }
-  // Let uploads, aggregation timers and screening finish.
-  settle();
 
-  // Equivocation-detection extension: governors cross-check signed labels.
-  if (config_.governor.enable_label_gossip) {
-    for (auto& g : governors_) g.gossip_labels();
-    settle();
-  }
+  // The armed timers drive every remaining phase; just run the clock to the
+  // round boundary.
+  queue_.run_until(t0 + timing_.round_span);
 
-  // --- Processing phase: the leader packs and proposes the block. -----------
-  for (auto& g : governors_) g.propose_if_leader();
-  settle();
-
-  // Track leadership and distribute rewards from the leader's reputation.
-  const auto leader = governors_.front().round_leader();
-  if (leader) {
-    leader_counts_[leader->value()] += 1;
-    auto& leader_gov = governors_[leader->value()];
-    if (!leader_gov.chain().empty()) {
-      const auto& block = leader_gov.chain().head();
-      std::size_t valid_txs = 0;
-      for (const auto& rec : block.txs) {
-        if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++valid_txs;
-      }
-      const double profit = config_.reward_per_valid_tx * static_cast<double>(valid_txs);
-      if (profit > 0.0) {
-        for (const auto& [c, share] : leader_gov.revenue_shares()) {
-          rewards_[c.value()] += profit * share;
-        }
-      }
-    }
-  }
-
-  // Providers retrieve new blocks over the network (retrieve(s) light-client
-  // sync); active ones argue over wrongly-buried transactions (Validity).
-  for (auto& p : providers_) p.sync();
-  settle();
-
-  // Stake consensus for any transfers queued this round.
-  for (auto& g : governors_) g.run_stake_consensus_if_leader();
-  settle();
-
-  // --- Audit: remaining unrevealed unchecked truths surface. ----------------
-  if (config_.audit_probability > 0.0) {
-    Rng audit = rng_.derive(20'000 + round_);
-    for (auto& g : governors_) {
-      for (const auto& id : g.unrevealed_unchecked()) {
-        if (audit.bernoulli(config_.audit_probability)) {
-          (void)g.reveal_unchecked(id);
-        }
-      }
-    }
-  }
-  settle();
-
-  record.leader = governors_.front().round_leader();
-  if (!governors_.front().chain().empty() &&
-      governors_.front().chain().head().round == round_) {
-    record.block_txs = governors_.front().chain().head().txs.size();
-  }
+  record.leader = observer_.leader(round_);
+  record.block_txs = observer_.block_txs(round_);
   record.validations_delta = oracle_->validations() - validations_before;
   record.messages_delta = net_->stats().messages_sent - messages_before;
   record.expected_loss_delta =

@@ -7,11 +7,14 @@
 
 #include "identity/identity_manager.hpp"
 #include "ledger/validation_oracle.hpp"
-#include "net/atomic_broadcast.hpp"
 #include "net/network.hpp"
 #include "protocol/collector.hpp"
 #include "protocol/governor.hpp"
 #include "protocol/provider.hpp"
+#include "protocol/round_timing.hpp"
+#include "runtime/atomic_broadcast.hpp"
+#include "runtime/node_context.hpp"
+#include "sim/round_observer.hpp"
 #include "sim/topology.hpp"
 
 namespace repchain::sim {
@@ -82,11 +85,13 @@ struct ScenarioSummary {
   net::NetworkStats network;
 };
 
-/// Builds the whole system — identity manager, simulated network, atomic
-/// broadcast groups, providers/collectors/governors — wires it per the
-/// topology, then drives the three-phase rounds of §3.1:
-/// collecting -> uploading -> processing (election, screening settle, block
-/// proposal, argue service, audit reveal, rewards).
+/// Builds the whole system — identity manager, simulated network, per-node
+/// runtime contexts, atomic broadcast groups, providers/collectors/governors
+/// — and wires it per the topology. Rounds are self-driving: run_round arms
+/// every node's phase timers (keyed to the synchrony bound Delta via
+/// RoundTiming), injects the collecting-phase workload, and then just runs
+/// the clock to the round boundary while a passive RoundObserver assembles
+/// the RoundRecord from emitted trace events.
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig config);
@@ -103,6 +108,7 @@ class Scenario {
   [[nodiscard]] ScenarioSummary summary() const;
 
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const protocol::RoundTiming& timing() const { return timing_; }
   [[nodiscard]] std::deque<protocol::Provider>& providers() { return providers_; }
   [[nodiscard]] std::deque<protocol::Collector>& collectors() { return collectors_; }
   [[nodiscard]] std::deque<protocol::Governor>& governors() { return governors_; }
@@ -123,7 +129,8 @@ class Scenario {
   [[nodiscard]] const std::vector<RoundRecord>& history() const { return history_; }
 
  private:
-  void settle();  // drain the event queue
+  void sample_rewards();  // timer: leadership tally + collector reward split
+  void run_audit();       // timer: out-of-band reveal of unchecked truths
 
   ScenarioConfig config_;
   Rng rng_;
@@ -132,10 +139,15 @@ class Scenario {
   std::unique_ptr<identity::IdentityManager> im_;
   std::unique_ptr<ledger::ValidationOracle> oracle_;
   protocol::Directory directory_;
-  std::unique_ptr<net::AtomicBroadcastGroup> governor_group_;
+  std::unique_ptr<runtime::AtomicBroadcastGroup> governor_group_;
+  protocol::RoundTiming timing_;
+  RoundObserver observer_;
 
-  // deques: node objects must never relocate (handlers and the governors'
-  // internal references are address-stable).
+  // deques: node objects must never relocate (handlers, contexts and the
+  // governors' internal references are address-stable).
+  std::deque<runtime::NodeContext> provider_ctxs_;
+  std::deque<runtime::NodeContext> collector_ctxs_;
+  std::deque<runtime::NodeContext> governor_ctxs_;
   std::deque<protocol::Provider> providers_;
   std::deque<protocol::Collector> collectors_;
   std::deque<protocol::Governor> governors_;

@@ -1,11 +1,14 @@
-#include "net/atomic_broadcast.hpp"
+#include "runtime/atomic_broadcast.hpp"
 
 #include <gtest/gtest.h>
 
 #include "common/errors.hpp"
+#include "net/network.hpp"
 
 namespace repchain::net {
 namespace {
+
+using runtime::AtomicBroadcastGroup;
 
 struct GroupFixture {
   explicit GroupFixture(std::uint64_t seed, std::size_t members)

@@ -8,6 +8,7 @@
 
 #include "common/errors.hpp"
 #include "crypto/keygen.hpp"
+#include "net/network.hpp"
 #include "protocol/governor.hpp"
 #include "sim/topology.hpp"
 
@@ -44,7 +45,8 @@ struct World {
       directory.add_governor(GovernorId(i), node);
       im.enroll(node, identity::Role::kGovernor, governor_keys.back().public_key());
     }
-    group = std::make_unique<net::AtomicBroadcastGroup>(net, directory.governor_nodes());
+    group = std::make_unique<runtime::AtomicBroadcastGroup>(net,
+                                                            directory.governor_nodes());
 
     StakeLedger genesis;
     genesis.set(GovernorId(0), 1);
@@ -53,9 +55,11 @@ struct World {
     GovernorConfig config;
     config.aggregation_delta = 5 * kMillisecond;
     for (int i = 0; i < 2; ++i) {
-      governors.emplace_back(GovernorId(i), directory.node_of(GovernorId(i)),
-                             crypto::SigningKey(governor_keys[i]), net, im, oracle,
-                             directory, *group, config, genesis, rng.derive(100 + i));
+      contexts.emplace_back(directory.node_of(GovernorId(i)), net,
+                            rng.derive(100 + i));
+      governors.emplace_back(GovernorId(i), contexts.back(),
+                             crypto::SigningKey(governor_keys[i]), im, oracle,
+                             directory, *group, config, genesis);
       const std::size_t idx = governors.size() - 1;
       net.set_handler(directory.node_of(GovernorId(i)),
                       [this, idx](const net::Message& m) {
@@ -89,10 +93,11 @@ struct World {
   identity::IdentityManager im;
   ledger::ValidationOracle oracle;
   Directory directory;
-  std::unique_ptr<net::AtomicBroadcastGroup> group;
+  std::unique_ptr<runtime::AtomicBroadcastGroup> group;
   std::vector<crypto::SigningKey> provider_keys;
   std::vector<crypto::SigningKey> collector_keys;
   std::vector<crypto::SigningKey> governor_keys;
+  std::deque<runtime::NodeContext> contexts;
   std::deque<Governor> governors;
 };
 
