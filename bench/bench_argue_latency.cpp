@@ -22,7 +22,7 @@ using namespace repchain;
 using repchain::bench::fmt;
 using repchain::bench::Table;
 
-void lag_sweep() {
+void lag_sweep(bench::JsonReport& json) {
   bench::section("E10a: loss vs reveal lag (policy simulator, N = 10000, f = 0.7)");
   Table table({"lag", "loss", "mistakes", "validations/tx"});
   table.print_header();
@@ -37,12 +37,17 @@ void lag_sweep() {
     w.reveal_lag = lag;
     w.seed = 606;
     const auto r = run_policy(policy, w);
+    const double vpt = static_cast<double>(r.validations) / r.transactions;
     table.row({std::to_string(lag), fmt(r.loss, 1), std::to_string(r.mistakes),
-               fmt(static_cast<double>(r.validations) / r.transactions, 3)});
+               fmt(vpt, 3)});
+    json.row("lag_sweep", {{"lag", bench::ju(lag)},
+                           {"loss", bench::jf(r.loss, 1)},
+                           {"mistakes", bench::ju(r.mistakes)},
+                           {"validations_per_tx", bench::jf(vpt, 3)}});
   }
 }
 
-void u_bound_protocol() {
+void u_bound_protocol(bench::JsonReport& json) {
   bench::section("E10b: argue latency bound U in the full protocol");
   bench::note("All collectors invert labels (every valid tx buried), passive\n"
               "audit off: only argues reveal truths. Small U forces some argues\n"
@@ -62,11 +67,16 @@ void u_bound_protocol() {
     cfg.seed = 515;
     sim::Scenario s(cfg);
     s.run();
-    const auto& g = s.governors().front();
+    const auto& g = s.governor(0);
     table.row({std::to_string(u), std::to_string(g.screening_stats().unchecked),
                std::to_string(g.metrics().argues_accepted),
                std::to_string(g.metrics().argues_rejected_late),
                std::to_string(g.argue_buffer().expired())});
+    json.row("u_bound", {{"u", bench::ju(u)},
+                         {"unchecked", bench::ju(g.screening_stats().unchecked)},
+                         {"argues_accepted", bench::ju(g.metrics().argues_accepted)},
+                         {"argues_rejected_late", bench::ju(g.metrics().argues_rejected_late)},
+                         {"expired", bench::ju(g.argue_buffer().expired())}});
   }
   bench::note("\nExpected shape: as U shrinks, 'argued late' and 'expired' grow —\n"
               "those transactions are invalid permanently, the paper's rule.");
@@ -76,7 +86,9 @@ void u_bound_protocol() {
 
 int main() {
   std::printf("bench_argue_latency — E10: U-bounded argues, lag-tolerant learning\n");
-  lag_sweep();
-  u_bound_protocol();
+  bench::JsonReport json("argue_latency");
+  lag_sweep(json);
+  u_bound_protocol(json);
+  json.write();
   return 0;
 }

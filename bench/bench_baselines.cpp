@@ -30,7 +30,7 @@ struct Mix {
   std::vector<SimCollector> collectors;
 };
 
-void compare(const Mix& mix, double f) {
+void compare(const Mix& mix, double f, bench::JsonReport& json) {
   PolicyWorkloadConfig w;
   w.transactions = 20000;
   w.p_valid = 0.6;
@@ -53,8 +53,15 @@ void compare(const Mix& mix, double f) {
         static_cast<baselines::ScreeningPolicy*>(&majority),
         static_cast<baselines::ScreeningPolicy*>(&reputation)}) {
     const auto r = run_policy(*p, w);
-    table.row({p->name(), fmt(static_cast<double>(r.validations) / r.transactions, 3),
-               fmt(r.loss, 1), std::to_string(r.mistakes), fmt(r.s_min, 1)});
+    const double vpt = static_cast<double>(r.validations) / r.transactions;
+    table.row({p->name(), fmt(vpt, 3), fmt(r.loss, 1), std::to_string(r.mistakes),
+               fmt(r.s_min, 1)});
+    json.row("comparisons", {{"mix", bench::js(mix.name)},
+                             {"policy", bench::js(p->name())},
+                             {"validations_per_tx", bench::jf(vpt, 3)},
+                             {"loss", bench::jf(r.loss, 1)},
+                             {"mistakes", bench::ju(r.mistakes)},
+                             {"s_min", bench::jf(r.s_min, 1)}});
   }
 }
 
@@ -63,6 +70,8 @@ void compare(const Mix& mix, double f) {
 int main() {
   std::printf("bench_baselines — E8: reputation vs reputation-free screening\n");
   const double f = 0.7;
+  bench::JsonReport json("baselines");
+  json.field("f", bench::jf(f, 2));
 
   const Mix mixes[] = {
       {"all honest (accuracy 1.0)",
@@ -79,11 +88,12 @@ int main() {
 
   for (const auto& mix : mixes) {
     bench::section(std::string("E8: f = 0.7, mix = ") + mix.name);
-    compare(mix, f);
+    compare(mix, f, json);
   }
 
   bench::note("\nKey row: under 'adversarial majority', unweighted majority vote\n"
               "is poisoned while reputation recovers by weighting the single\n"
               "honest collector up — the overlap structure the paper exploits.");
+  json.write();
   return 0;
 }

@@ -24,7 +24,7 @@ using namespace repchain;
 using repchain::bench::fmt;
 using repchain::bench::Table;
 
-void simulator_sweep() {
+void simulator_sweep(bench::JsonReport& json) {
   bench::section("E4a: L vs S_min + 16 sqrt(T_u log r) — N sweep (policy simulator)");
   bench::note("r = 4 collectors: perfect, noisy(0.8), adversarial, concealing(0.5);\n"
               "f = 0.5, p_valid = 0.6, 5 seeds per N.");
@@ -56,10 +56,16 @@ void simulator_sweep() {
     const double bound = s_min + 16.0 * std::sqrt(t_u * std::log(4.0));
     table.row({std::to_string(n), "0.5", fmt(loss, 1), fmt(s_min, 1), fmt(t_u, 0),
                fmt(bound, 1), loss <= bound ? "yes" : "NO"});
+    json.row("n_sweep", {{"n", bench::ju(n)},
+                         {"loss", bench::jf(loss, 1)},
+                         {"s_min", bench::jf(s_min, 1)},
+                         {"t_u", bench::jf(t_u, 0)},
+                         {"bound", bench::jf(bound, 1)},
+                         {"within_bound", loss <= bound ? "true" : "false"}});
   }
 }
 
-void full_protocol_check() {
+void full_protocol_check(bench::JsonReport& json) {
   bench::section("E4b: full-protocol spot check (networked scenario)");
   bench::note("6 providers x 3 collectors (honest, honest, misreporting-0.8),\n"
               "r = 2, f = 0.7, audits reveal unchecked truths each round.\n"
@@ -79,11 +85,17 @@ void full_protocol_check() {
     cfg.seed = 321;
     sim::Scenario s(cfg);
     s.run();
-    const auto& g = s.governors().front();
+    const auto& g = s.governor(0);
     table.row({std::to_string(rounds), std::to_string(s.summary().txs_submitted),
                std::to_string(g.screening_stats().unchecked),
                std::to_string(g.metrics().mistakes), fmt(g.metrics().realized_loss, 1),
                fmt(g.metrics().expected_loss, 1)});
+    json.row("protocol_check", {{"rounds", bench::ju(rounds)},
+                                {"txs", bench::ju(s.summary().txs_submitted)},
+                                {"unchecked", bench::ju(g.screening_stats().unchecked)},
+                                {"mistakes", bench::ju(g.metrics().mistakes)},
+                                {"realized_loss", bench::jf(g.metrics().realized_loss, 1)},
+                                {"expected_loss", bench::jf(g.metrics().expected_loss, 1)}});
   }
   bench::note("\nExpected shape: mistakes grow sublinearly in N as the\n"
               "misreporter's weight collapses; expected loss tracks realized.");
@@ -93,7 +105,9 @@ void full_protocol_check() {
 
 int main() {
   std::printf("bench_combined_loss — E4 / Theorem 4: L <= S + O(sqrt((f+delta)N))\n");
-  simulator_sweep();
-  full_protocol_check();
+  bench::JsonReport json("combined_loss");
+  simulator_sweep(json);
+  full_protocol_check(json);
+  json.write();
   return 0;
 }

@@ -35,7 +35,7 @@ std::uint64_t kind_bytes(const net::NetworkStats& stats, net::MsgKind kind) {
   return it == stats.bytes_by_kind.end() ? 0 : it->second;
 }
 
-void block_complexity() {
+void block_complexity(bench::JsonReport& json) {
   bench::section("E5a: ordinary block — O(b_limit * m)");
   bench::note("Fixed workload (16 tx/round, 4 rounds), sweeping governors m.\n"
               "block msgs = m per round (leader broadcast); bytes ~ b_limit.");
@@ -56,11 +56,16 @@ void block_complexity() {
                std::to_string(kind_bytes(stats, net::MsgKind::kBlockProposal)),
                std::to_string(vrf),
                fmt(static_cast<double>(blocks) / static_cast<double>(m), 1)});
+    json.row("block_complexity",
+             {{"m", bench::ju(m)},
+              {"block_msgs", bench::ju(blocks)},
+              {"block_bytes", bench::ju(kind_bytes(stats, net::MsgKind::kBlockProposal))},
+              {"vrf_msgs", bench::ju(vrf)}});
   }
   bench::note("msgs/m constant => linear in m, matching O(b_limit * m).");
 }
 
-void stake_complexity() {
+void stake_complexity(bench::JsonReport& json) {
   bench::section("E5b: stake-transform block — O(m^2)");
   bench::note("Every governor submits one transfer in the round; counting\n"
               "stake-tx + 3-step consensus messages.");
@@ -78,7 +83,7 @@ void stake_complexity() {
     // Every governor transfers 1 unit to its neighbour, then one round runs
     // the 3-step consensus over the transfers.
     for (std::size_t g = 0; g < m; ++g) {
-      s.governors()[g].submit_stake_transfer(
+      s.governor(g).submit_stake_transfer(
           GovernorId(static_cast<std::uint32_t>((g + 1) % m)), 1);
     }
     s.run_round();
@@ -91,6 +96,10 @@ void stake_complexity() {
     table.row({std::to_string(m), std::to_string(stake), std::to_string(state),
                std::to_string(total),
                fmt(static_cast<double>(total) / static_cast<double>(m * m), 2)});
+    json.row("stake_complexity", {{"m", bench::ju(m)},
+                                  {"stake_msgs", bench::ju(stake)},
+                                  {"state_msgs", bench::ju(state)},
+                                  {"total", bench::ju(total)}});
   }
   bench::note("total/m^2 approaching a constant => quadratic, matching O(m^2).");
 }
@@ -118,7 +127,7 @@ void upload_fanout() {
   }
 }
 
-void pbft_comparison() {
+void pbft_comparison(bench::JsonReport& json) {
   bench::section("E5d: block agreement — RepChain leader-trust vs PBFT baseline");
   bench::note("Messages to commit ONE block across m governors. RepChain trusts\n"
               "the VRF-elected leader (one atomic broadcast, m copies); classic\n"
@@ -192,6 +201,10 @@ void pbft_comparison() {
                std::to_string(raft_msgs), std::to_string(pbft_msgs),
                fmt(static_cast<double>(pbft_msgs) / static_cast<double>(repchain_msgs),
                    1)});
+    json.row("consensus_comparison", {{"m", bench::ju(m)},
+                                      {"repchain_msgs", bench::ju(repchain_msgs)},
+                                      {"raft_msgs", bench::ju(raft_msgs)},
+                                      {"pbft_msgs", bench::ju(pbft_msgs)}});
   }
   bench::note("\nThe permissioned trust assumption (governors won't fork, §3.4.3)\n"
               "buys the factor-~3m reduction over PBFT (f < m/3 byzantine).\n"
@@ -204,9 +217,11 @@ void pbft_comparison() {
 
 int main() {
   std::printf("bench_communication — E5 / §4.1: O(b_limit*m) blocks, O(m^2) stake\n");
-  block_complexity();
-  stake_complexity();
+  bench::JsonReport json("communication");
+  block_complexity(json);
+  stake_complexity(json);
   upload_fanout();
-  pbft_comparison();
+  pbft_comparison(json);
+  json.write();
   return 0;
 }

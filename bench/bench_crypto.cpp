@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "crypto/ed25519.hpp"
 #include "crypto/batch_verify.hpp"
@@ -153,6 +156,52 @@ void bm_merkle_build(benchmark::State& state) {
 }
 BENCHMARK(bm_merkle_build)->Arg(16)->Arg(256)->Arg(4096)->Name("merkle_build/leaves");
 
+// Hand-timed headline numbers for BENCH_crypto.json: coarse single-shot
+// throughput per primitive, enough for trend lines. The google-benchmark
+// pass below remains the statistically careful view on stdout.
+void write_json_summary() {
+  using clock = std::chrono::steady_clock;
+  const auto ops_per_sec = [](int iters, auto&& fn) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    return s > 0.0 ? static_cast<double>(iters) / s : 0.0;
+  };
+
+  Rng rng(99);
+  const SigningKey key(random_seed(rng));
+  const Bytes msg = rng.bytes(128);
+  const Signature sig = key.sign(msg);
+  const Bytes big = rng.bytes(65536);
+  const Bytes alpha = rng.bytes(32);
+  const VrfResult vrf = vrf_evaluate(key, alpha);
+
+  repchain::bench::JsonReport json("crypto");
+  const auto add = [&](const char* op, int iters, auto&& fn) {
+    json.row("primitives", {{"op", repchain::bench::js(op)},
+                            {"ops_per_second",
+                             repchain::bench::jf(ops_per_sec(iters, fn), 1)}});
+  };
+  add("sha256_64KiB", 200,
+      [&] { benchmark::DoNotOptimize(Sha256::hash(big)); });
+  add("ed25519_sign", 500, [&] { benchmark::DoNotOptimize(key.sign(msg)); });
+  add("ed25519_verify", 500,
+      [&] { benchmark::DoNotOptimize(verify(key.public_key(), msg, sig)); });
+  add("vrf_evaluate", 200,
+      [&] { benchmark::DoNotOptimize(vrf_evaluate(key, alpha)); });
+  add("vrf_verify", 200, [&] {
+    benchmark::DoNotOptimize(vrf_verify(key.public_key(), alpha, vrf.proof));
+  });
+  json.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_json_summary();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

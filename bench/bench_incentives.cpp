@@ -22,7 +22,7 @@ using protocol::CollectorBehavior;
 using repchain::bench::fmt;
 using repchain::bench::Table;
 
-void cohorts() {
+void cohorts(bench::JsonReport& json) {
   bench::section("E6a: cumulative rewards by behaviour cohort");
   bench::note("6 collectors: honest, noisy(0.8), misreporting(0.5),\n"
               "concealing(0.5), forging(0.3), adversarial; 12 providers, r = 4,\n"
@@ -42,7 +42,7 @@ void cohorts() {
 
   const char* names[] = {"honest",     "noisy-0.8", "misreport-0.5",
                          "conceal-0.5", "forge-0.3", "adversarial"};
-  const auto& g = s.governors().front();
+  const auto& g = s.governor(0);
   Table table({"collector", "reward", "share", "misreport", "forge", "sum log w"});
   table.print_header();
   const auto shares = g.revenue_shares();
@@ -59,10 +59,16 @@ void cohorts() {
     table.row({names[c], fmt(s.collector_rewards()[c], 1), fmt(share, 4),
                std::to_string(g.reputation().misreport(id)),
                std::to_string(g.reputation().forge(id)), fmt(sum_log_w, 2)});
+    json.row("cohorts", {{"collector", bench::js(names[c])},
+                         {"reward", bench::jf(s.collector_rewards()[c], 1)},
+                         {"share", bench::jf(share, 4)},
+                         {"misreport", bench::ju(g.reputation().misreport(id))},
+                         {"forge", bench::ju(g.reputation().forge(id))},
+                         {"sum_log_w", bench::jf(sum_log_w, 2)}});
   }
 }
 
-void mu_nu_sweep() {
+void mu_nu_sweep(bench::JsonReport& json) {
   bench::section("E6b ablation: mu, nu steer how hard misreports/forgeries bite");
   bench::note("Same scenario (honest vs misreporting vs forging), sweeping mu/nu;\n"
               "reporting the honest collector's revenue share under governor 0.");
@@ -82,10 +88,15 @@ void mu_nu_sweep() {
       cfg.seed = 999;
       sim::Scenario s(cfg);
       s.run();
-      const auto shares = s.governors().front().revenue_shares();
+      const auto shares = s.governor(0).revenue_shares();
       double sh[3] = {0, 0, 0};
       for (const auto& [cid, share] : shares) sh[cid.value()] = share;
       table.row({fmt(mu, 2), fmt(nu, 2), fmt(sh[0], 4), fmt(sh[1], 4), fmt(sh[2], 4)});
+      json.row("mu_nu_sweep", {{"mu", bench::jf(mu, 2)},
+                               {"nu", bench::jf(nu, 2)},
+                               {"honest_share", bench::jf(sh[0], 4)},
+                               {"misreporter_share", bench::jf(sh[1], 4)},
+                               {"forger_share", bench::jf(sh[2], 4)}});
     }
   }
   bench::note("\nLarger mu widens the gap against misreporters; larger nu\n"
@@ -111,7 +122,7 @@ void conceal_ablation() {
     cfg.seed = 777;
     sim::Scenario s(cfg);
     s.run();
-    const auto shares = s.governors().front().revenue_shares();
+    const auto shares = s.governor(0).revenue_shares();
     double sh[3] = {0, 0, 0};
     for (const auto& [cid, share] : shares) sh[cid.value()] = share;
     table.row({std::to_string(penalty), fmt(sh[0], 4), fmt(sh[1], 4), fmt(sh[2], 4)});
@@ -124,8 +135,10 @@ void conceal_ablation() {
 
 int main() {
   std::printf("bench_incentives — E6 / §4.2: revenue punishes all misbehaviour\n");
-  cohorts();
-  mu_nu_sweep();
+  bench::JsonReport json("incentives");
+  cohorts(json);
+  mu_nu_sweep(json);
   conceal_ablation();
+  json.write();
   return 0;
 }

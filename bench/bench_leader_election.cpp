@@ -25,7 +25,7 @@ using repchain::bench::fmt;
 using repchain::bench::Table;
 
 void run_distribution(const char* name, const std::vector<std::uint64_t>& stakes,
-                      Round rounds) {
+                      Round rounds, bench::JsonReport& json) {
   bench::section(std::string("E9: stake distribution — ") + name);
 
   Rng rng(31337);
@@ -66,6 +66,12 @@ void run_distribution(const char* name, const std::vector<std::uint64_t>& stakes
     }
     table.row({std::to_string(g), std::to_string(stakes[g]), fmt(share, 3),
                std::to_string(wins[g]), fmt(freq, 3)});
+    json.row("distributions", {{"distribution", bench::js(name)},
+                               {"governor", bench::ju(g)},
+                               {"stake", bench::ju(stakes[g])},
+                               {"share", bench::jf(share, 3)},
+                               {"wins", bench::ju(wins[g])},
+                               {"frequency", bench::jf(freq, 3)}});
   }
   std::printf("chi-square = %.2f over %zu dof (95%% critical ~ %s)\n", chi2,
               stakes.size() - 1,
@@ -78,9 +84,11 @@ void run_distribution(const char* name, const std::vector<std::uint64_t>& stakes
 
 int main() {
   std::printf("bench_leader_election — E9: P[win] proportional to stake\n");
-  run_distribution("uniform 1:1:1:1", {1, 1, 1, 1}, 2000);
-  run_distribution("skewed 4:2:1:1", {4, 2, 1, 1}, 2000);
-  run_distribution("dominant 8:1:1", {8, 1, 1}, 2000);
-  run_distribution("six equal governors", {2, 2, 2, 2, 2, 2}, 1500);
+  bench::JsonReport json("leader_election");
+  run_distribution("uniform 1:1:1:1", {1, 1, 1, 1}, 2000, json);
+  run_distribution("skewed 4:2:1:1", {4, 2, 1, 1}, 2000, json);
+  run_distribution("dominant 8:1:1", {8, 1, 1}, 2000, json);
+  run_distribution("six equal governors", {2, 2, 2, 2, 2, 2}, 1500, json);
+  json.write();
   return 0;
 }

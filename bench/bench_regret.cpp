@@ -71,7 +71,7 @@ RunResult run(std::size_t r, std::size_t t_max, double beta, bool adaptive,
   return {game.cumulative_loss(), game.min_expert_loss()};
 }
 
-void sweep(bool adaptive) {
+void sweep(bool adaptive, bench::JsonReport& json) {
   bench::section(adaptive ? "E1a: adaptive adversary (heaviest expert errs)"
                           : "E1b: stochastic adversary (one near-perfect collector)");
   Table table({"r", "T", "beta", "L_T", "S_min", "regret", "reg_norm",
@@ -96,6 +96,15 @@ void sweep(bool adaptive) {
       table.row({std::to_string(r), std::to_string(t), fmt(beta, 3), fmt(loss, 1),
                  fmt(s_min, 1), fmt(regret, 1), fmt(regret / scale, 3),
                  fmt(16.0 * scale, 1)});
+      json.row(adaptive ? "adaptive_sweep" : "stochastic_sweep",
+               {{"r", bench::ju(r)},
+                {"t", bench::ju(t)},
+                {"beta", bench::jf(beta, 3)},
+                {"loss", bench::jf(loss, 1)},
+                {"s_min", bench::jf(s_min, 1)},
+                {"regret", bench::jf(regret, 1)},
+                {"regret_normalized", bench::jf(regret / scale, 3)},
+                {"bound", bench::jf(16.0 * scale, 1)}});
     }
   }
 }
@@ -189,10 +198,12 @@ void drift() {
 
 int main() {
   std::printf("bench_regret — E1 / Theorem 1: L_T <= S_min + O(sqrt(T))\n");
-  sweep(/*adaptive=*/false);
-  sweep(/*adaptive=*/true);
+  bench::JsonReport json("regret");
+  sweep(/*adaptive=*/false, json);
+  sweep(/*adaptive=*/true, json);
   beta_ablation();
   sqrt_scaling();
   drift();
+  json.write();
   return 0;
 }

@@ -72,15 +72,15 @@ void f_sweep_protocol() {
     sim::Scenario s(cfg);
     s.run();
     table.row({fmt(f, 1), std::to_string(s.summary().validations_total),
-               std::to_string(s.governors().front().screening_stats().unchecked),
-               std::to_string(s.governors().front().metrics().mistakes)});
+               std::to_string(s.governor(0).screening_stats().unchecked),
+               std::to_string(s.governor(0).metrics().mistakes)});
   }
 }
 
 // Machine-readable summary for dashboards/CI trend lines: one full-protocol
 // run, timed wall-clock, dumped as flat JSON. The file name matches the
 // BENCH_*.json gitignore pattern.
-void write_json_summary(const char* path) {
+void write_json_summary() {
   sim::ScenarioConfig cfg;
   cfg.topology = {8, 4, 3, 2};
   cfg.rounds = 10;
@@ -98,36 +98,23 @@ void write_json_summary(const char* path) {
   const auto sum = s.summary();
   const double sim_s =
       static_cast<double>(s.queue().now()) / (1000.0 * kMillisecond);
-  std::FILE* out = std::fopen(path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"throughput\",\n");
-  std::fprintf(out, "  \"providers\": %zu,\n", cfg.topology.providers);
-  std::fprintf(out, "  \"collectors\": %zu,\n", cfg.topology.collectors);
-  std::fprintf(out, "  \"governors\": %zu,\n", cfg.topology.governors);
-  std::fprintf(out, "  \"rounds\": %zu,\n", cfg.rounds);
-  std::fprintf(out, "  \"txs_submitted\": %llu,\n",
-               static_cast<unsigned long long>(sum.txs_submitted));
-  std::fprintf(out, "  \"chain_valid_txs\": %llu,\n",
-               static_cast<unsigned long long>(sum.chain_valid_txs));
-  std::fprintf(out, "  \"validations_total\": %llu,\n",
-               static_cast<unsigned long long>(sum.validations_total));
-  std::fprintf(out, "  \"messages_sent\": %llu,\n",
-               static_cast<unsigned long long>(sum.network.messages_sent));
-  std::fprintf(out, "  \"bytes_sent\": %llu,\n",
-               static_cast<unsigned long long>(sum.network.bytes_sent));
-  std::fprintf(out, "  \"sim_seconds\": %.6f,\n", sim_s);
-  std::fprintf(out, "  \"txs_per_sim_second\": %.3f,\n",
-               static_cast<double>(sum.txs_submitted) / sim_s);
-  std::fprintf(out, "  \"wall_seconds\": %.6f,\n", wall_s);
-  std::fprintf(out, "  \"txs_per_wall_second\": %.1f\n",
-               static_cast<double>(sum.txs_submitted) / wall_s);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", path);
+  bench::JsonReport json("throughput");
+  json.field("providers", bench::ju(cfg.topology.providers))
+      .field("collectors", bench::ju(cfg.topology.collectors))
+      .field("governors", bench::ju(cfg.topology.governors))
+      .field("rounds", bench::ju(cfg.rounds))
+      .field("txs_submitted", bench::ju(sum.txs_submitted))
+      .field("chain_valid_txs", bench::ju(sum.chain_valid_txs))
+      .field("validations_total", bench::ju(sum.validations_total))
+      .field("messages_sent", bench::ju(sum.network.messages_sent))
+      .field("bytes_sent", bench::ju(sum.network.bytes_sent))
+      .field("sim_seconds", bench::jf(sim_s))
+      .field("txs_per_sim_second",
+             bench::jf(static_cast<double>(sum.txs_submitted) / sim_s, 3))
+      .field("wall_seconds", bench::jf(wall_s))
+      .field("txs_per_wall_second",
+             bench::jf(static_cast<double>(sum.txs_submitted) / wall_s, 1));
+  json.write();
 }
 
 // --- google-benchmark timings of the screening hot path ------------------------
@@ -186,7 +173,7 @@ int main(int argc, char** argv) {
   std::printf("bench_throughput — E7: efficiency/correctness trade of f\n");
   f_sweep_table();
   f_sweep_protocol();
-  write_json_summary("BENCH_throughput.json");
+  write_json_summary();
   bench::section("E7c: screening hot-path timings (google-benchmark)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -14,7 +14,7 @@ namespace {
 using namespace repchain;
 using repchain::bench::Table;
 
-void structure_table() {
+void structure_table(bench::JsonReport& json) {
   bench::section("F1: hierarchy structure — r*l = s*n invariant");
   Table table({"l (providers)", "n (collectors)", "m (governors)", "r", "s",
                "links", "r*l==s*n"});
@@ -54,6 +54,13 @@ void structure_table() {
     table.row({std::to_string(c.l), std::to_string(c.n), std::to_string(c.m),
                std::to_string(c.r), std::to_string(t.s()), std::to_string(links),
                balanced ? "yes" : "NO"});
+    json.row("structures", {{"providers", bench::ju(c.l)},
+                            {"collectors", bench::ju(c.n)},
+                            {"governors", bench::ju(c.m)},
+                            {"r", bench::ju(c.r)},
+                            {"s", bench::ju(t.s())},
+                            {"links", bench::ju(links)},
+                            {"balanced", balanced ? "true" : "false"}});
   }
 }
 
@@ -83,7 +90,9 @@ BENCHMARK(bm_build_topology)->Arg(100)->Arg(1000)->Arg(10000)->Name("build_topol
 
 int main(int argc, char** argv) {
   std::printf("bench_topology — Figure 1: the three-tier overlap structure\n");
-  structure_table();
+  bench::JsonReport json("topology");
+  structure_table(json);
+  json.write();
   bench::section("F1b: directory construction scaling (google-benchmark)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -26,7 +26,7 @@ using namespace repchain;
 using repchain::bench::fmt;
 using repchain::bench::Table;
 
-void full_protocol_sweep() {
+void full_protocol_sweep(bench::JsonReport& json) {
   bench::section("E2a: unchecked fraction vs f — full protocol");
   bench::note("8 providers x 4 collectors x 3 governors, honest collectors,\n"
               "all-invalid workload (every report is -1, the worst case for\n"
@@ -43,15 +43,19 @@ void full_protocol_sweep() {
     cfg.seed = 77;
     sim::Scenario s(cfg);
     s.run();
-    const auto& st = s.governors().front().screening_stats();
+    const auto& st = s.governor(0).screening_stats();
     const double frac = static_cast<double>(st.unchecked) /
                         static_cast<double>(st.screened);
     table.row({fmt(f, 1), std::to_string(st.screened), std::to_string(st.unchecked),
                fmt(frac, 3), fmt(f, 1)});
+    json.row("protocol_sweep", {{"f", bench::jf(f, 1)},
+                                {"screened", bench::ju(st.screened)},
+                                {"unchecked", bench::ju(st.unchecked)},
+                                {"fraction", bench::jf(frac, 3)}});
   }
 }
 
-void simulator_sweep() {
+void simulator_sweep(bench::JsonReport& json) {
   bench::section("E2b: unchecked fraction vs f — policy simulator, mixed workload");
   bench::note("3 collectors (perfect/noisy-0.7/adversarial), p_valid = 0.5,\n"
               "N = 20000 transactions per point.");
@@ -67,12 +71,14 @@ void simulator_sweep() {
     w.collectors = {{1.0, 0.0, 0.0}, {0.7, 0.0, 0.0}, {1.0, 1.0, 0.0}};
     w.seed = 99;
     const auto r = run_policy(policy, w);
-    table.row({fmt(f, 1),
-               fmt(static_cast<double>(r.unchecked) / r.transactions, 3), fmt(f, 1)});
+    const double frac = static_cast<double>(r.unchecked) / r.transactions;
+    table.row({fmt(f, 1), fmt(frac, 3), fmt(f, 1)});
+    json.row("simulator_sweep", {{"f", bench::jf(f, 1)},
+                                 {"fraction", bench::jf(frac, 3)}});
   }
 }
 
-void hoeffding_tail() {
+void hoeffding_tail(bench::JsonReport& json) {
   bench::section("E3: Hoeffding tail — P[unchecked > (f+delta)N] vs exp(-2 delta^2 N)");
   bench::note("f = 0.5, single always-invalid reporter (P[unchecked] = f\n"
               "exactly, the extreme point of Lemma 2); 400 seeded runs per N.");
@@ -97,6 +103,10 @@ void hoeffding_tail() {
       const double empirical = static_cast<double>(exceed) / runs;
       const double bound = std::exp(-2.0 * delta * delta * static_cast<double>(n));
       table.row({std::to_string(n), fmt(delta, 2), fmt(empirical, 4), fmt(bound, 4)});
+      json.row("hoeffding", {{"n", bench::ju(n)},
+                             {"delta", bench::jf(delta, 2)},
+                             {"empirical", bench::jf(empirical, 4)},
+                             {"bound", bench::jf(bound, 4)}});
     }
   }
 }
@@ -105,8 +115,10 @@ void hoeffding_tail() {
 
 int main() {
   std::printf("bench_unchecked — E2 (Lemma 2) and E3 (Theorem 3)\n");
-  full_protocol_sweep();
-  simulator_sweep();
-  hoeffding_tail();
+  bench::JsonReport json("unchecked");
+  full_protocol_sweep(json);
+  simulator_sweep(json);
+  hoeffding_tail(json);
+  json.write();
   return 0;
 }

@@ -4,8 +4,10 @@
 // with a header, printed to stdout so `for b in build/bench/*; do $b; done`
 // yields the paper-style rows directly.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace repchain::bench {
@@ -47,5 +49,99 @@ inline void section(const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+// --- Machine-readable reports ------------------------------------------------
+//
+// Every bench binary writes a flat BENCH_<name>.json next to its stdout
+// table so dashboards/CI trend lines can diff runs without scraping text.
+// Values are pre-rendered JSON literals; the j* helpers below have distinct
+// names per type so call sites never hit integer/double overload surprises.
+
+inline std::string ju(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string jf(double v, int precision = 6) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string js(const std::string& v) {
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+/// Accumulates scalar fields and named series (arrays of flat objects), then
+/// writes `BENCH_<name>.json` into the current working directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    field("benchmark", js(name_));
+  }
+
+  /// Add one scalar field; `value` must already be a JSON literal (use
+  /// ju/jf/js).
+  JsonReport& field(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, value);
+    return *this;
+  }
+
+  /// Append one row to the named series array (created on first use). Each
+  /// cell value must already be a JSON literal.
+  JsonReport& row(const std::string& series,
+                  const std::vector<std::pair<std::string, std::string>>& cells) {
+    std::string obj = "{";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) obj += ", ";
+      obj += js(cells[i].first) + ": " + cells[i].second;
+    }
+    obj += "}";
+    for (auto& [key, rows] : series_) {
+      if (key == series) {
+        rows.push_back(std::move(obj));
+        return *this;
+      }
+    }
+    series_.emplace_back(series, std::vector<std::string>{std::move(obj)});
+    return *this;
+  }
+
+  /// Write BENCH_<name>.json (or an explicit path) and report it on stdout.
+  void write(const std::string& path = "") const {
+    const std::string file = path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::FILE* out = std::fopen(file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", file.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n");
+    bool first = true;
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(out, "%s  %s: %s", first ? "" : ",\n", js(key).c_str(),
+                   value.c_str());
+      first = false;
+    }
+    for (const auto& [key, rows] : series_) {
+      std::fprintf(out, "%s  %s: [\n", first ? "" : ",\n", js(key).c_str());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(out, "    %s%s\n", rows[i].c_str(),
+                     i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(out, "  ]");
+      first = false;
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", file.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> series_;
+};
 
 }  // namespace repchain::bench

@@ -44,8 +44,8 @@ int main() {
   // Governor 3 cheats whenever it leads a stake round; a standing stake
   // transfer keeps the 3-step consensus active until an honest leader
   // commits it, so governor 3's first stake leadership exposes it.
-  scenario.governors()[3].set_cheat_stake_consensus(true);
-  scenario.governors()[1].submit_stake_transfer(GovernorId(2), 1);
+  scenario.governor(3).set_cheat_stake_consensus(true);
+  scenario.governor(1).submit_stake_transfer(GovernorId(2), 1);
   scenario.queue().run();
 
   scenario.run();
@@ -65,7 +65,7 @@ int main() {
   std::uint64_t forged = 0;
   for (auto& c : scenario.collectors()) forged += c.stats().forged;
   std::uint64_t detected = 0;
-  for (auto& g : scenario.governors()) detected += g.metrics().forgeries_detected;
+  for (auto& g : scenario.governors()) detected += g->metrics().forgeries_detected;
   std::printf("forgery: %llu fabricated uploads, %llu detections across governors "
               "(every copy rejected by signature)\n",
               static_cast<unsigned long long>(forged),
@@ -73,13 +73,13 @@ int main() {
 
   std::uint64_t equivocations = 0;
   for (auto& g : scenario.governors()) {
-    equivocations += g.metrics().equivocations_detected;
+    equivocations += g->metrics().equivocations_detected;
   }
   std::printf("equivocation: %llu conflicting-signature proofs found via label "
               "gossip\n",
               static_cast<unsigned long long>(equivocations));
 
-  const auto& gov = scenario.governors().front();
+  const auto& gov = scenario.governor(0);
   std::printf("\ncollector standing under governor 0:\n");
   const char* roster[] = {"honest", "inverter", "concealer", "forger", "equivocator"};
   for (const auto& [c, share] : gov.revenue_shares()) {
@@ -92,8 +92,8 @@ int main() {
   std::printf("\ncheating governor 3: ");
   bool expelled_everywhere = true;
   for (auto& g : scenario.governors()) {
-    if (g.id() != GovernorId(3)) {
-      expelled_everywhere = expelled_everywhere && g.expelled().contains(GovernorId(3));
+    if (g->id() != GovernorId(3)) {
+      expelled_everywhere = expelled_everywhere && g->expelled().contains(GovernorId(3));
     }
   }
   std::printf("%s\n", expelled_everywhere

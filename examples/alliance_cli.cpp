@@ -153,26 +153,26 @@ int main(int argc, char** argv) {
 
     std::printf("\nper-governor screening:\n");
     for (auto& g : scenario.governors()) {
-      const auto& st = g.screening_stats();
+      const auto& st = g->screening_stats();
       std::printf("  governor %u: screened=%llu checked=%llu unchecked=%llu "
                   "mistakes=%llu forgeries=%llu equivocations=%llu\n",
-                  g.id().value(), static_cast<unsigned long long>(st.screened),
+                  g->id().value(), static_cast<unsigned long long>(st.screened),
                   static_cast<unsigned long long>(st.checked),
                   static_cast<unsigned long long>(st.unchecked),
-                  static_cast<unsigned long long>(g.metrics().mistakes),
-                  static_cast<unsigned long long>(g.metrics().forgeries_detected),
-                  static_cast<unsigned long long>(g.metrics().equivocations_detected));
+                  static_cast<unsigned long long>(g->metrics().mistakes),
+                  static_cast<unsigned long long>(g->metrics().forgeries_detected),
+                  static_cast<unsigned long long>(g->metrics().equivocations_detected));
     }
 
     std::printf("\ncollector standings (governor 0):\n");
-    for (const auto& [c, share] : scenario.governors().front().revenue_shares()) {
+    for (const auto& [c, share] : scenario.governor(0).revenue_shares()) {
       std::printf("  collector %u: share=%6.2f%% misreport=%+lld forge=%+lld "
                   "reward=%.2f\n",
                   c.value(), share * 100.0,
                   static_cast<long long>(
-                      scenario.governors().front().reputation().misreport(c)),
+                      scenario.governor(0).reputation().misreport(c)),
                   static_cast<long long>(
-                      scenario.governors().front().reputation().forge(c)),
+                      scenario.governor(0).reputation().forge(c)),
                   scenario.collector_rewards()[c.value()]);
     }
     return s.agreement && s.chains_audit_ok ? 0 : 1;

@@ -63,7 +63,7 @@ int main() {
   std::printf("driver standing after the run (scheduler 0's reputation view):\n");
   const char* roster[] = {"A-1 honest", "A-2 new driver", "A-3 honest",
                           "A-4 honest", "B-1 honest",     "B-2 DISHONEST"};
-  const auto& sched = scenario.governors().front();
+  const auto& sched = scenario.governor(0);
   const auto shares = sched.revenue_shares();
   for (const auto& [driver, share] : shares) {
     std::printf("  driver %-14s fare share %6.2f%%   misreport score %+lld   "

@@ -63,7 +63,7 @@ int main() {
   const char* roster[] = {"agent-1 (honest)", "agent-2 (honest)", "agent-3 (honest)",
                           "agent-4 COLLUDING", "agent-5 NEGLIGENT"};
   std::printf("agent standing (insurer 0's local reputation):\n");
-  const auto& insurer = scenario.governors().front();
+  const auto& insurer = scenario.governor(0);
   for (const auto& [agent, share] : insurer.revenue_shares()) {
     double sum_log_w = 0.0;
     for (ProviderId p : scenario.directory().providers_of(agent)) {

@@ -70,7 +70,7 @@ int main() {
   scenario.queue().run();
   scenario.run_round();
 
-  const auto& chain = scenario.governors().front().chain();
+  const auto& chain = scenario.governor(0).chain();
   std::printf("chain height %zu; inspecting block #1:\n\n", chain.height());
 
   for (const auto& rec : chain.head().txs) {

@@ -52,7 +52,7 @@ int main() {
               summary.chains_audit_ok ? "pass" : "FAIL");
 
   // Walk the chain with the public retrieve(s) API.
-  const auto& chain = scenario.governors().front().chain();
+  const auto& chain = scenario.governor(0).chain();
   for (BlockSerial s = 1; s <= chain.height(); ++s) {
     const auto block = chain.retrieve(s);
     std::printf("  block #%llu: %zu txs, leader governor %u, hash %s...\n",
@@ -61,7 +61,7 @@ int main() {
   }
 
   std::printf("\nreputation-driven revenue split (leader's local view):\n");
-  for (const auto& [collector, share] : scenario.governors().front().revenue_shares()) {
+  for (const auto& [collector, share] : scenario.governor(0).revenue_shares()) {
     std::printf("  collector %u: %.1f%%  (cumulative reward %.2f)\n", collector.value(),
                 share * 100.0, scenario.collector_rewards()[collector.value()]);
   }

@@ -62,6 +62,32 @@ bool ArgueService::reveal(const ledger::TxId& id) {
   return true;
 }
 
+std::vector<const UncheckedEntry*> ArgueService::entries_in_order() const {
+  std::vector<const UncheckedEntry*> out;
+  out.reserve(unchecked_order_.size());
+  for (const auto& id : unchecked_order_) {
+    const auto it = unchecked_.find(id);
+    if (it != unchecked_.end()) out.push_back(&it->second);
+  }
+  return out;
+}
+
+void ArgueService::restore_entries(std::vector<UncheckedEntry> entries) {
+  reset_transient();
+  for (auto& entry : entries) {
+    const ledger::TxId id = entry.tx.id();
+    const ProviderId provider = entry.tx.provider;
+    const bool revealed = entry.revealed;
+    unchecked_.emplace(id, std::move(entry));
+    unchecked_order_.push_back(id);
+    // Re-record every entry so per-provider burial depths match the
+    // screening order, then consume the revealed ones (an argue or reveal
+    // had already closed their windows before the checkpoint).
+    argue_buffer_.record(provider, id);
+    if (revealed) (void)argue_buffer_.consume(provider, id);
+  }
+}
+
 std::vector<ledger::TxId> ArgueService::unrevealed() const {
   std::vector<ledger::TxId> out;
   for (const auto& id : unchecked_order_) {

@@ -59,13 +59,22 @@ class ArgueService {
   }
   [[nodiscard]] const ArgueBuffer& buffer() const { return argue_buffer_; }
 
-  /// Restore path: unchecked snapshots are transient and dropped (case-3
-  /// updates for pre-checkpoint screenings are unavailable after a restart —
-  /// a bounded, documented loss, like the paper's U-latency).
+  /// Entries in screening order (oldest first), for checkpoint encoding.
+  [[nodiscard]] std::vector<const UncheckedEntry*> entries_in_order() const;
+
+  /// Restore path: drop all unchecked/argue state, including the argue
+  /// buffer (its burial positions are meaningless without the entries).
   void reset_transient() {
     unchecked_.clear();
     unchecked_order_.clear();
+    argue_buffer_ = ArgueBuffer(argue_buffer_.u());
   }
+
+  /// Restore path: reinstall checkpointed entries in screening order,
+  /// re-opening the argue window for every unrevealed one. Loss/mistake
+  /// metrics are NOT re-counted — they were observed by the pre-crash
+  /// incarnation; a restored governor's metrics start fresh.
+  void restore_entries(std::vector<UncheckedEntry> entries);
 
  private:
   void apply_reveal(UncheckedEntry& entry, bool truth);

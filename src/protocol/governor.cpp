@@ -9,7 +9,8 @@ Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey 
                    const identity::IdentityManager& im,
                    ledger::ValidationOracle& oracle, const Directory& directory,
                    runtime::AtomicBroadcastGroup& governor_group, GovernorConfig config,
-                   StakeLedger genesis_stake, std::vector<CollectorId> visible_collectors)
+                   StakeLedger genesis_stake, std::vector<CollectorId> visible_collectors,
+                   storage::NodeStateStore* store)
     : id_(id),
       ctx_(ctx),
       node_(ctx.node()),
@@ -27,8 +28,12 @@ Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey 
                        std::move(genesis_stake)),
       equivocation_(im_, directory_, table_, metrics_),
       intake_(im_, directory_, table_, engine_, assembler_, argues_, equivocation_,
-              metrics_, ctx_.timers(), config_, visible_) {
+              metrics_, ctx_.timers(), config_, visible_),
+      store_(store) {
   config_.rep.validate();
+  for (const NodeId n : directory_.governor_nodes()) {
+    if (n != node_) sync_peers_.push_back(n);
+  }
   // The governor connects with all collectors (§3.1 default) — or with its
   // partial view — and mirrors the provider-collector link structure into
   // its local reputation vectors.
@@ -77,6 +82,9 @@ void Governor::on_message(const runtime::Message& msg) {
       break;
     case runtime::MsgKind::kBlockRequest:
       on_block_request(msg);
+      break;
+    case runtime::MsgKind::kBlockResponse:
+      on_block_response(msg);
       break;
     default:
       break;
@@ -221,10 +229,25 @@ void Governor::on_block_proposal(const runtime::Message& msg) {
     return;
   }
 
+  const BlockSerial expected = chain_.height() + 1;
+  if (block.serial > expected) {
+    // A gap below an authenticated current-leader proposal means *we* are
+    // behind (e.g. freshly restarted), not that the leader misbehaved. Stash
+    // the proposal and fetch the missing prefix from peers; finish_sync
+    // rejects it if the gap cannot be filled.
+    future_blocks_.emplace(block.serial, std::move(block));
+    sync_chain();
+    return;
+  }
+  if (block.serial < expected) {
+    ++metrics_.blocks_rejected;  // stale replay of a block we already hold
+    return;
+  }
+
   try {
     chain_.append(block);
   } catch (const ProtocolError&) {
-    // Serial gap / bad prev hash / bad tx root: evidence of leader misbehaviour.
+    // Right serial but bad prev hash / tx root: leader misbehaviour.
     ++metrics_.blocks_rejected;
     broadcast_expel(block.leader, block.encode());
     return;
@@ -233,6 +256,7 @@ void Governor::on_block_proposal(const runtime::Message& msg) {
 
   // Reconcile local pending list: drop records now present in the chain.
   const ledger::Block& accepted = chain_.head();
+  persist_block(accepted);
   assembler_.reconcile(accepted);
   emit(runtime::TraceKind::kBlockCommitted, accepted.serial, accepted.txs.size());
 }
@@ -254,6 +278,118 @@ void Governor::on_block_request(const runtime::Message& msg) {
   }
   ctx_.transport().send(node_, msg.from, runtime::MsgKind::kBlockResponse,
                         resp.encode());
+}
+
+// --- Catch-up sync (provider light-client sync, reused node-to-node) ---------
+
+void Governor::sync_chain() {
+  if (sync_in_flight_) return;
+  if (sync_peers_.empty()) {
+    // Nobody to ask; whatever is stashed can only settle against the local
+    // head.
+    finish_sync();
+    return;
+  }
+  sync_in_flight_ = true;
+  request_block(chain_.height() + 1);
+}
+
+void Governor::request_block(BlockSerial serial) {
+  const NodeId peer = sync_peers_[serial % sync_peers_.size()];
+  BlockRequestMsg req;
+  req.serial = serial;
+  ctx_.transport().send(node_, peer, runtime::MsgKind::kBlockRequest, req.encode());
+}
+
+void Governor::on_block_response(const runtime::Message& msg) {
+  BlockResponseMsg resp;
+  try {
+    resp = BlockResponseMsg::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (!sync_in_flight_) return;
+  if (resp.serial != chain_.height() + 1) return;  // stale response
+
+  if (!resp.found) {
+    // Peer has nothing above our head.
+    finish_sync();
+    return;
+  }
+
+  ledger::Block block;
+  try {
+    block = ledger::Block::decode(resp.block);
+  } catch (const DecodeError&) {
+    ++metrics_.blocks_rejected;
+    finish_sync();
+    return;
+  }
+  // Same light-client verification as Provider::on_message: leader must be
+  // an enrolled governor, signature must authenticate; append re-checks
+  // serial continuity, hash link and tx-root.
+  const NodeId leader_node = directory_.node_of(block.leader);
+  if (!im_.authorize(leader_node, identity::Role::kGovernor, block.signed_preimage(),
+                     block.leader_sig)) {
+    ++metrics_.blocks_rejected;
+    finish_sync();
+    return;
+  }
+  try {
+    chain_.append(block);
+  } catch (const ProtocolError&) {
+    ++metrics_.blocks_rejected;
+    finish_sync();
+    return;
+  }
+  ++metrics_.blocks_synced;
+  const ledger::Block& adopted = chain_.head();
+  persist_block(adopted);
+  assembler_.reconcile(adopted);
+  future_blocks_.erase(adopted.serial);
+  drain_stash();
+
+  // Chain the next request until a peer reports not-found.
+  request_block(chain_.height() + 1);
+}
+
+void Governor::finish_sync() {
+  sync_in_flight_ = false;
+  drain_stash();
+  // Stashed proposals still above the head are unadoptable: the gap below
+  // them cannot be filled from any peer.
+  for (const auto& entry : future_blocks_) {
+    (void)entry;
+    ++metrics_.blocks_rejected;
+  }
+  future_blocks_.clear();
+}
+
+void Governor::drain_stash() {
+  while (true) {
+    const auto it = future_blocks_.begin();
+    if (it == future_blocks_.end()) break;
+    if (it->first <= chain_.height()) {
+      future_blocks_.erase(it);  // arrived via sync in the meantime
+      continue;
+    }
+    if (it->first != chain_.height() + 1) break;
+    try {
+      chain_.append(it->second);
+    } catch (const ProtocolError&) {
+      // Contiguous serial but bad prev hash / tx root: misbehaviour after all.
+      ++metrics_.blocks_rejected;
+      broadcast_expel(it->second.leader, it->second.encode());
+      future_blocks_.erase(it);
+      continue;
+    }
+    future_blocks_.erase(it);
+    ++metrics_.blocks_accepted;
+    const ledger::Block& accepted = chain_.head();
+    persist_block(accepted);
+    assembler_.reconcile(accepted);
+    emit(runtime::TraceKind::kBlockCommitted, accepted.serial, accepted.txs.size());
+  }
 }
 
 // --- Stake transfers and the 3-step consensus (§3.4.3) -----------------------
@@ -319,25 +455,73 @@ void Governor::on_state_commit(const runtime::Message& msg) {
   } catch (const DecodeError&) {
     return;
   }
-  stake_consensus_.on_commit(commit, round_, round_leader(), expelled_);
+  if (stake_consensus_.on_commit(commit, round_, round_leader(), expelled_)) {
+    // A stake-transform block is the paper's recovery point: snapshot the
+    // durable state and truncate the WAL.
+    persist_snapshot();
+  }
 }
 
 // --- Checkpointing -----------------------------------------------------------
 
+namespace {
+
+constexpr const char* kCkptMagicV1 = "repchain-governor-ckpt-v1";
+constexpr const char* kCkptMagicV2 = "repchain-governor-ckpt-v2";
+
+void encode_unchecked_entry(BinaryWriter& w, const UncheckedEntry& entry) {
+  w.bytes(entry.tx.encode());
+  w.u32(static_cast<std::uint32_t>(entry.reports.size()));
+  for (const auto& report : entry.reports) {
+    w.u32(report.collector.value());
+    w.boolean(report.label == ledger::Label::kValid);
+  }
+  w.f64(entry.expected_loss);
+  w.boolean(entry.truly_valid);
+  w.boolean(entry.revealed);
+}
+
+UncheckedEntry decode_unchecked_entry(BinaryReader& r) {
+  UncheckedEntry entry;
+  entry.tx = ledger::Transaction::decode(r.bytes());
+  const std::uint32_t n_reports = r.u32();
+  r.expect_count(n_reports, 5);
+  entry.reports.reserve(n_reports);
+  for (std::uint32_t i = 0; i < n_reports; ++i) {
+    reputation::Report report;
+    report.collector = CollectorId(r.u32());
+    report.label = r.boolean() ? ledger::Label::kValid : ledger::Label::kInvalid;
+    entry.reports.push_back(report);
+  }
+  entry.expected_loss = r.f64();
+  entry.truly_valid = r.boolean();
+  entry.revealed = r.boolean();
+  return entry;
+}
+
+}  // namespace
+
 Bytes Governor::checkpoint() const {
   BinaryWriter w;
-  w.str("repchain-governor-ckpt-v1");
+  w.str(kCkptMagicV2);
   w.u32(id_.value());
   w.u64(static_cast<std::uint64_t>(chain_.height()));
   for (const auto& block : chain_.blocks()) w.bytes(block.encode());
   w.bytes(table_.encode());
   w.bytes(stake_consensus_.stake().encode());
+  // v2: unchecked entries with their screening-time report snapshots, in
+  // screening order, so case-3 updates survive a restore.
+  const auto entries = argues_.entries_in_order();
+  w.u64(entries.size());
+  for (const UncheckedEntry* entry : entries) encode_unchecked_entry(w, *entry);
   return std::move(w).take();
 }
 
 void Governor::restore(BytesView data) {
   BinaryReader r(data);
-  if (r.str() != "repchain-governor-ckpt-v1") {
+  const std::string magic = r.str();
+  const bool v1 = magic == kCkptMagicV1;
+  if (!v1 && magic != kCkptMagicV2) {
     throw DecodeError("bad governor checkpoint magic");
   }
   if (GovernorId(r.u32()) != id_) {
@@ -351,17 +535,65 @@ void Governor::restore(BytesView data) {
   }
   reputation::ReputationTable table = reputation::ReputationTable::decode(r.bytes());
   StakeLedger stake = StakeLedger::decode(r.bytes());
+  std::vector<UncheckedEntry> entries;
+  if (!v1) {
+    const std::uint64_t n_entries = r.u64();
+    r.expect_count(n_entries, 14);
+    entries.reserve(n_entries);
+    for (std::uint64_t i = 0; i < n_entries; ++i) {
+      entries.push_back(decode_unchecked_entry(r));
+    }
+  }
   r.expect_done();
 
   chain_ = std::move(chain);
   table_ = std::move(table);
   stake_consensus_.restore_stake(std::move(stake));
   // Rebuild the packed-transaction index from the restored chain; round
-  // transients (aggregations, unchecked snapshots, election) are dropped.
+  // transients (aggregations, election) are dropped. Unchecked entries are
+  // reinstalled from a v2 checkpoint (v1 blobs predate them: dropped).
   assembler_.reset_from_chain(chain_);
   intake_.clear();
-  argues_.reset_transient();
+  argues_.restore_entries(std::move(entries));
   election_.reset();
+  future_blocks_.clear();
+  sync_in_flight_ = false;
+}
+
+// --- Durable state -----------------------------------------------------------
+
+void Governor::persist_block(const ledger::Block& block) {
+  if (store_ == nullptr) return;
+  store_->wal_append(block.encode());
+  ++blocks_since_snapshot_;
+  if (config_.snapshot_interval > 0 &&
+      blocks_since_snapshot_ >= config_.snapshot_interval) {
+    persist_snapshot();
+  }
+}
+
+void Governor::persist_snapshot() {
+  if (store_ == nullptr) return;
+  store_->write_snapshot(checkpoint());
+  blocks_since_snapshot_ = 0;
+}
+
+void Governor::recover_from_store() {
+  if (store_ == nullptr) return;
+  if (const auto snapshot = store_->load_snapshot()) restore(*snapshot);
+  // Replay the WAL tail. Records the snapshot already covers are expected
+  // after a crash between snapshot rename and WAL truncation — skip them by
+  // serial; everything else must extend the chain cleanly.
+  for (const auto& record : store_->wal_records()) {
+    const ledger::Block block = ledger::Block::decode(record);
+    if (block.serial <= chain_.height()) continue;
+    chain_.append(block);  // re-verifies serial, hash link, tx root
+  }
+  if (!chain_.audit()) {
+    throw ProtocolError("recovered chain failed audit");
+  }
+  assembler_.reset_from_chain(chain_);
+  blocks_since_snapshot_ = 0;
 }
 
 // --- Expulsion ---------------------------------------------------------------

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "protocol/stake_consensus.hpp"
 #include "runtime/atomic_broadcast.hpp"
 #include "runtime/node_context.hpp"
+#include "storage/node_state_store.hpp"
 
 namespace repchain::protocol {
 
@@ -45,11 +47,17 @@ class Governor {
   /// uploads from — and keeps reputation for — the listed collectors
   /// (partial-information deployments, §3.1: "the structure of the network
   /// can be adjusted").
+  /// `store` (optional) attaches durable state: every committed block is
+  /// WAL-appended and every stake-transform commit (plus every
+  /// config.snapshot_interval blocks, if set) persists a checkpoint()
+  /// snapshot and truncates the log. Construction does not read the store —
+  /// call recover_from_store() to replay a previous incarnation's state.
   Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
            const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
            const Directory& directory, runtime::AtomicBroadcastGroup& governor_group,
            GovernorConfig config, StakeLedger genesis_stake,
-           std::vector<CollectorId> visible_collectors = {});
+           std::vector<CollectorId> visible_collectors = {},
+           storage::NodeStateStore* store = nullptr);
 
   // The screening engine holds references into this object; Governor is
   // pinned in memory (store it in a std::deque or behind a pointer).
@@ -113,18 +121,33 @@ class Governor {
   void set_cheat_stake_consensus(bool cheat) { stake_consensus_.set_cheat(cheat); }
 
   /// Checkpoint the governor's durable state — chain, reputation table,
-  /// stake ledger — as one verifiable blob. Transient round state (pending
-  /// aggregations, argue buffer, election) is intentionally not persisted:
-  /// a restarted governor rejoins at the next round boundary. Unchecked
-  /// report snapshots are also dropped, so case-3 updates for transactions
-  /// screened before the checkpoint are unavailable after a restore (a
-  /// bounded, documented loss, like the paper's U-latency).
+  /// stake ledger, and the unchecked entries with their screening-time
+  /// report snapshots (format v2; v1 dropped them, losing case-3 updates
+  /// across a restore) — as one verifiable blob. Round transients (pending
+  /// aggregations, election) are intentionally not persisted: a restarted
+  /// governor rejoins at the next round boundary.
   [[nodiscard]] Bytes checkpoint() const;
 
   /// Restore a checkpoint produced by `checkpoint()` on a governor with the
-  /// same identity/configuration. Throws DecodeError/ProtocolError on
-  /// malformed or tampered input.
+  /// same identity/configuration. Accepts the current v2 format and legacy
+  /// v1 blobs (whose unchecked entries are absent and stay dropped). Throws
+  /// DecodeError/ProtocolError on malformed or tampered input.
   void restore(BytesView data);
+
+  // --- Durable state --------------------------------------------------------
+
+  /// Rebuild state from the attached NodeStateStore: load the latest
+  /// snapshot (if any), replay the WAL tail on top of it (skipping records
+  /// the snapshot already covers), and re-audit the resulting chain. Throws
+  /// ProtocolError if the audit fails; no-op without a store. Call before
+  /// arming rounds on a restarted node, then sync_chain() to catch up with
+  /// blocks committed while it was down.
+  void recover_from_store();
+
+  /// Catch up with peers: request blocks above the local head from the
+  /// other governors (the provider light-client sync, reused node-to-node).
+  /// No-op while a sync is already in flight or when there are no peers.
+  void sync_chain();
 
   // --- Accessors ------------------------------------------------------------
 
@@ -165,9 +188,21 @@ class Governor {
   void on_expel(const runtime::Message& msg);
   void on_label_gossip(const runtime::Message& msg);
   void on_block_request(const runtime::Message& msg);
+  void on_block_response(const runtime::Message& msg);
 
   void broadcast_expel(GovernorId accused, Bytes evidence);
   void emit(runtime::TraceKind kind, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+  /// Ask a peer governor for block `serial` (round-robin over peers).
+  void request_block(BlockSerial serial);
+  /// Sync finished (caught up or failed): settle stashed future blocks.
+  void finish_sync();
+  /// Adopt stashed future blocks that have become contiguous with the head.
+  void drain_stash();
+  /// WAL-append a committed block; snapshot every config.snapshot_interval.
+  void persist_block(const ledger::Block& block);
+  /// Persist a checkpoint snapshot (truncates the WAL). No-op without store.
+  void persist_snapshot();
 
   GovernorId id_;
   runtime::NodeContext& ctx_;
@@ -194,6 +229,15 @@ class Governor {
   std::optional<ElectionState> election_;
   bool leader_announced_ = false;  // trace: kLeaderElected emitted this round
   std::set<GovernorId> expelled_;
+
+  // Durable state + catch-up sync.
+  storage::NodeStateStore* store_ = nullptr;
+  std::size_t blocks_since_snapshot_ = 0;
+  std::vector<NodeId> sync_peers_;  // other governors' nodes
+  bool sync_in_flight_ = false;
+  // Authenticated proposals from ahead of our head (we missed blocks while
+  // down): stashed until sync fills the gap, rejected if it cannot.
+  std::map<BlockSerial, ledger::Block> future_blocks_;
 
   // Self-driving mode (drive_rounds).
   bool auto_rounds_ = false;

@@ -23,6 +23,10 @@ struct GovernorConfig {
   /// the same transaction are a self-contained equivocation proof, punished
   /// like a forgery.
   bool enable_label_gossip = false;
+  /// When a NodeStateStore is attached: also persist a checkpoint snapshot
+  /// (and truncate the WAL) every N committed blocks. 0 keeps the paper's
+  /// recovery points only — snapshots happen at stake-transform commits.
+  std::size_t snapshot_interval = 0;
 };
 
 /// Loss bookkeeping on one unchecked transaction, kept for the experiments:
@@ -48,6 +52,7 @@ struct GovernorMetrics {
   std::uint64_t argue_validations = 0;
   std::uint64_t blocks_accepted = 0;
   std::uint64_t blocks_rejected = 0;
+  std::uint64_t blocks_synced = 0;  // adopted via catch-up sync, not proposal
   std::uint64_t equivocations_detected = 0;
   std::uint64_t uploads_invisible = 0;  // from collectors outside this
                                         // governor's partial view

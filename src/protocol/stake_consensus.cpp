@@ -109,11 +109,11 @@ void StakeConsensus::on_signature(const StateSignatureMsg& sig, Round round,
   }
 }
 
-void StakeConsensus::on_commit(const StateCommitMsg& commit, Round round,
+bool StakeConsensus::on_commit(const StateCommitMsg& commit, Round round,
                                std::optional<GovernorId> leader,
                                const std::set<GovernorId>& expelled) {
-  if (commit.round != round) return;
-  if (!leader || commit.leader != *leader) return;
+  if (commit.round != round) return false;
+  if (!leader || commit.leader != *leader) return false;
 
   // Rebuild the proposal preimage and verify every signature.
   StateProposalMsg proposal;
@@ -126,25 +126,26 @@ void StakeConsensus::on_commit(const StateCommitMsg& commit, Round round,
   for (GovernorId g : directory_.governors()) {
     if (!expelled.contains(g)) ++expected;
   }
-  if (commit.signatures.size() != expected) return;
+  if (commit.signatures.size() != expected) return false;
 
   std::set<GovernorId> signers;
   for (const auto& sig : commit.signatures) {
     const NodeId signer_node = directory_.node_of(sig.signer);
-    if (!im_.authenticate(signer_node, preimage, sig.sig)) return;
-    if (!signers.insert(sig.signer).second) return;
+    if (!im_.authenticate(signer_node, preimage, sig.sig)) return false;
+    if (!signers.insert(sig.signer).second) return false;
   }
 
   // Apply NEW_STATE.
   try {
     stake_ = StakeLedger::decode(commit.state);
   } catch (const DecodeError&) {
-    return;
+    return false;
   }
   round_stake_txs_.clear();
   current_proposal_.reset();
   collected_sigs_.clear();
   sig_senders_.clear();
+  return true;
 }
 
 bool StakeConsensus::matches_expected(const StateProposalMsg& proposal,

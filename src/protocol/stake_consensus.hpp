@@ -54,8 +54,10 @@ class StakeConsensus {
   void on_signature(const StateSignatureMsg& sig, Round round,
                     const std::set<GovernorId>& expelled);
 
-  /// Step 3: verify the full signature set and apply the NEW_STATE.
-  void on_commit(const StateCommitMsg& commit, Round round,
+  /// Step 3: verify the full signature set and apply the NEW_STATE. Returns
+  /// true iff the state was applied — a stake-transform commit, which is the
+  /// paper's checkpoint trigger (the caller snapshots durable state on it).
+  bool on_commit(const StateCommitMsg& commit, Round round,
                  std::optional<GovernorId> leader,
                  const std::set<GovernorId>& expelled);
 

@@ -3,6 +3,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
+#include "runtime/revocable_timers.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/transport.hpp"
 
@@ -16,7 +17,11 @@ class NodeContext {
  public:
   NodeContext(NodeId node, Transport& transport, Rng rng,
               TraceSink* trace = nullptr)
-      : node_(node), transport_(transport), rng_(rng), trace_(trace) {}
+      : node_(node),
+        transport_(transport),
+        timers_(transport.timers()),
+        rng_(rng),
+        trace_(trace) {}
 
   NodeContext(const NodeContext&) = delete;
   NodeContext& operator=(const NodeContext&) = delete;
@@ -25,8 +30,13 @@ class NodeContext {
 
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] Transport& transport() { return transport_; }
-  [[nodiscard]] TimerService& timers() { return transport_.timers(); }
+  [[nodiscard]] TimerService& timers() { return timers_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Cancel every timer callback scheduled through this context so far.
+  /// Called when the hosted node crashes: its protocol objects are about to
+  /// be destroyed while their callbacks are still queued in the event loop.
+  void revoke_timers() { timers_.revoke_all(); }
 
   [[nodiscard]] SimTime now() const { return transport_.timers().now(); }
   /// The synchrony bound Delta.
@@ -40,6 +50,7 @@ class NodeContext {
  private:
   NodeId node_;
   Transport& transport_;
+  RevocableTimers timers_;
   Rng rng_;
   TraceSink* trace_;
 };

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "runtime/timer.hpp"
+
+namespace repchain::runtime {
+
+/// TimerService wrapper whose pending callbacks can all be cancelled at
+/// once. Protocol objects capture `this` in timer callbacks; when a node
+/// crashes (simulated kill) the object is destroyed while its timers are
+/// still queued in the event loop. Revoking turns those queued callbacks
+/// into no-ops instead of dangling calls.
+///
+/// Scheduling passes straight through to the inner service, so arming order
+/// — and therefore FIFO firing at equal deadlines — is unchanged.
+class RevocableTimers final : public TimerService {
+ public:
+  explicit RevocableTimers(TimerService& inner)
+      : inner_(inner), epoch_(std::make_shared<const bool>(true)) {}
+
+  [[nodiscard]] SimTime now() const override { return inner_.now(); }
+
+  void schedule_at(SimTime t, Callback cb) override {
+    inner_.schedule_at(t, [guard = std::weak_ptr<const bool>(epoch_),
+                           cb = std::move(cb)]() {
+      if (guard.expired()) return;  // revoked: owner is gone
+      cb();
+    });
+  }
+
+  /// Disarm every callback scheduled so far; later schedules are live again.
+  void revoke_all() { epoch_ = std::make_shared<const bool>(true); }
+
+ private:
+  TimerService& inner_;
+  std::shared_ptr<const bool> epoch_;
+};
+
+}  // namespace repchain::runtime

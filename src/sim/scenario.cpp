@@ -1,9 +1,11 @@
 #include "sim/scenario.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/errors.hpp"
 #include "crypto/keygen.hpp"
+#include "storage/file_state_store.hpp"
 
 namespace repchain::sim {
 
@@ -52,12 +54,12 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
       *net_, directory_.governor_nodes());
 
-  // Genesis stake.
-  protocol::StakeLedger genesis;
+  // Genesis stake (retained: a restarted governor without a snapshot starts
+  // from genesis again).
   for (std::size_t i = 0; i < topo.governors; ++i) {
     const std::uint64_t units =
         i < config_.governor_stakes.size() ? config_.governor_stakes[i] : 1;
-    genesis.set(GovernorId(static_cast<std::uint32_t>(i)), units);
+    genesis_.set(GovernorId(static_cast<std::uint32_t>(i)), units);
   }
 
   // Instantiate nodes behind their runtime contexts (deques keep references
@@ -87,6 +89,10 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   if (config_.governor_visibility <= 0.0 || config_.governor_visibility > 1.0) {
     throw ConfigError("governor_visibility must be in (0, 1]");
   }
+  // Governors keep their rebuild material (key, visibility view, store) in
+  // the Scenario so a crashed one can be reconstructed in place.
+  governor_keys_ = std::move(governor_keys);
+  const bool durable = config_.durable_governors || !config_.crashes.empty();
   for (std::size_t i = 0; i < topo.governors; ++i) {
     const GovernorId id(static_cast<std::uint32_t>(i));
     std::vector<CollectorId> visible;
@@ -98,13 +104,21 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
             CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
       }
     }
+    governor_visible_.push_back(std::move(visible));
+    if (durable) {
+      if (config_.storage_dir.empty()) {
+        governor_stores_.push_back(std::make_unique<storage::MemoryStateStore>());
+      } else {
+        governor_stores_.push_back(std::make_unique<storage::FileStateStore>(
+            config_.storage_dir / ("gov" + std::to_string(i))));
+      }
+    }
     governor_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(2000 + i),
                                 &observer_);
-    governors_.emplace_back(id, governor_ctxs_.back(), std::move(governor_keys[i]),
-                            *im_, *oracle_, directory_, *governor_group_,
-                            config_.governor, genesis, std::move(visible));
+    governors_.emplace_back();
+    make_governor(i);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
-      governors_[i].on_message(m);
+      if (governors_[i]) governors_[i]->on_message(m);  // null slot = crashed
     });
   }
   observer_.watch(directory_.node_of(GovernorId(0)));
@@ -115,12 +129,45 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
 
 Scenario::~Scenario() = default;
 
+void Scenario::make_governor(std::size_t i) {
+  const GovernorId id(static_cast<std::uint32_t>(i));
+  storage::NodeStateStore* store =
+      governor_stores_.empty() ? nullptr : governor_stores_[i].get();
+  governors_[i] = std::make_unique<protocol::Governor>(
+      id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_, directory_,
+      *governor_group_, config_.governor, genesis_, governor_visible_[i], store);
+}
+
+void Scenario::crash_governor(std::size_t i) {
+  // Kill -9 equivalent: pending timer callbacks become no-ops, the object
+  // (and with it every byte of in-memory state) is destroyed. The store —
+  // owned by the Scenario, like a disk outlives a process — stays.
+  governor_ctxs_[i].revoke_timers();
+  governors_[i].reset();
+}
+
+void Scenario::restart_governor(std::size_t i) {
+  make_governor(i);
+  governors_[i]->recover_from_store();
+  governors_[i]->sync_chain();
+}
+
+const protocol::Governor* Scenario::first_live_governor() const {
+  for (const auto& g : governors_) {
+    if (g) return g.get();
+  }
+  return nullptr;
+}
+
 void Scenario::sample_rewards() {
   // Track leadership and distribute rewards from the leader's reputation.
-  const auto leader = governors_.front().round_leader();
+  const protocol::Governor* ref = first_live_governor();
+  if (ref == nullptr) return;
+  const auto leader = ref->round_leader();
   if (!leader) return;
   leader_counts_[leader->value()] += 1;
-  auto& leader_gov = governors_[leader->value()];
+  if (!governors_[leader->value()]) return;  // leader crashed mid-round
+  auto& leader_gov = *governors_[leader->value()];
   if (leader_gov.chain().empty()) return;
   const auto& block = leader_gov.chain().head();
   std::size_t valid_txs = 0;
@@ -141,9 +188,10 @@ void Scenario::run_audit() {
   // deterministic.
   Rng audit = rng_.derive(20'000 + round_);
   for (auto& g : governors_) {
-    for (const auto& id : g.unrevealed_unchecked()) {
+    if (!g) continue;
+    for (const auto& id : g->unrevealed_unchecked()) {
       if (audit.bernoulli(config_.audit_probability)) {
-        (void)g.reveal_unchecked(id);
+        (void)g->reveal_unchecked(id);
       }
     }
   }
@@ -152,22 +200,41 @@ void Scenario::run_audit() {
 void Scenario::run_round() {
   ++round_;
   const SimTime t0 = queue_.now();
+  // Scheduled restarts happen at the round boundary, before timers are
+  // armed, so the recovered governor takes part in this round's election.
+  for (const auto& plan : config_.crashes) {
+    if (plan.restart_round == round_ && !governors_[plan.governor]) {
+      restart_governor(plan.governor);
+    }
+  }
   RoundRecord record;
   record.round = round_;
   const std::uint64_t validations_before = oracle_->validations();
   const std::uint64_t messages_before = net_->stats().messages_sent;
-  const double loss_before = governors_.front().metrics().expected_loss;
+  const protocol::Governor* ref = first_live_governor();
+  const double loss_before = ref ? ref->metrics().expected_loss : 0.0;
   std::uint64_t argues_before = 0;
-  for (const auto& g : governors_) argues_before += g.metrics().argues_accepted;
+  for (const auto& g : governors_) {
+    if (g) argues_before += g->metrics().argues_accepted;
+  }
 
   // Arm every node's phase timers (election -> screening settle -> propose ->
   // stake consensus -> audit). Node order fixes the FIFO tie-break for timers
   // sharing a deadline.
-  for (auto& g : governors_) g.arm_round(round_, t0, timing_);
+  for (auto& g : governors_) {
+    if (g) g->arm_round(round_, t0, timing_);
+  }
   for (auto& p : providers_) p.arm_round(t0, timing_);
   queue_.schedule_at(t0 + timing_.rewards_offset, [this] { sample_rewards(); });
   if (config_.audit_probability > 0.0) {
     queue_.schedule_at(t0 + timing_.audit_offset, [this] { run_audit(); });
+  }
+  // Scheduled crashes fire mid-round at their configured offset.
+  for (const auto& plan : config_.crashes) {
+    if (plan.crash_round == round_) {
+      queue_.schedule_at(t0 + plan.crash_offset,
+                         [this, g = plan.governor] { crash_governor(g); });
+    }
   }
 
   // Collecting phase: inject the workload once the election has settled.
@@ -191,10 +258,13 @@ void Scenario::run_round() {
   record.block_txs = observer_.block_txs(round_);
   record.validations_delta = oracle_->validations() - validations_before;
   record.messages_delta = net_->stats().messages_sent - messages_before;
+  ref = first_live_governor();
   record.expected_loss_delta =
-      governors_.front().metrics().expected_loss - loss_before;
+      (ref ? ref->metrics().expected_loss : 0.0) - loss_before;
   std::uint64_t argues_after = 0;
-  for (const auto& g : governors_) argues_after += g.metrics().argues_accepted;
+  for (const auto& g : governors_) {
+    if (g) argues_after += g->metrics().argues_accepted;
+  }
   record.argues_delta = argues_after - argues_before;
   history_.push_back(record);
 }
@@ -207,7 +277,11 @@ ScenarioSummary Scenario::summary() const {
   ScenarioSummary s;
   for (const auto& p : providers_) s.txs_submitted += p.submitted();
 
-  const auto& chain0 = governors_.front().chain();
+  // Currently-dead governors are excluded: the summary reflects the view of
+  // the live replicas (agreement/audit over a null chain is meaningless).
+  const protocol::Governor* ref = first_live_governor();
+  if (ref == nullptr) return s;
+  const auto& chain0 = ref->chain();
   s.blocks = chain0.height();
   s.chain_valid_txs = chain0.count_status(ledger::TxStatus::kCheckedValid);
   s.chain_unchecked_txs = chain0.count_status(ledger::TxStatus::kUncheckedInvalid);
@@ -215,23 +289,27 @@ ScenarioSummary Scenario::summary() const {
 
   s.agreement = true;
   s.chains_audit_ok = true;
-  for (std::size_t i = 0; i < governors_.size(); ++i) {
-    s.chains_audit_ok = s.chains_audit_ok && governors_[i].chain().audit();
-    if (i > 0) {
-      s.agreement = s.agreement && ledger::ChainStore::same_prefix(
-                                       governors_[0].chain(), governors_[i].chain());
+  for (const auto& g : governors_) {
+    if (!g) continue;
+    s.chains_audit_ok = s.chains_audit_ok && g->chain().audit();
+    if (g.get() != ref) {
+      s.agreement =
+          s.agreement && ledger::ChainStore::same_prefix(chain0, g->chain());
     }
   }
 
   s.validations_total = oracle_->validations();
   double exp_loss = 0.0, real_loss = 0.0;
   std::uint64_t mistakes = 0;
+  std::size_t live = 0;
   for (const auto& g : governors_) {
-    exp_loss += g.metrics().expected_loss;
-    real_loss += g.metrics().realized_loss;
-    mistakes += g.metrics().mistakes;
+    if (!g) continue;
+    ++live;
+    exp_loss += g->metrics().expected_loss;
+    real_loss += g->metrics().realized_loss;
+    mistakes += g->metrics().mistakes;
   }
-  const double m = static_cast<double>(governors_.size());
+  const double m = static_cast<double>(live);
   s.mean_governor_expected_loss = exp_loss / m;
   s.mean_governor_realized_loss = real_loss / m;
   s.mean_governor_mistakes =

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -16,8 +17,21 @@
 #include "runtime/node_context.hpp"
 #include "sim/round_observer.hpp"
 #include "sim/topology.hpp"
+#include "storage/node_state_store.hpp"
 
 namespace repchain::sim {
+
+/// One scheduled crash/restart fault: the governor loses all in-memory state
+/// at `crash_round` + `crash_offset` (its pending timers are revoked, its
+/// object destroyed) and is rebuilt at the start of `restart_round` from its
+/// NodeStateStore — recover_from_store + sync_chain — before that round's
+/// timers are armed. Rounds are 1-based, matching Scenario::current_round().
+struct CrashPlan {
+  std::size_t governor = 0;
+  std::size_t crash_round = 1;
+  SimDuration crash_offset = 0;  // within the round, relative to its t0
+  std::size_t restart_round = 2;
+};
 
 /// Full scenario configuration: topology, protocol parameters, workload and
 /// fault mix. One Scenario = one deterministic whole-protocol run.
@@ -54,6 +68,16 @@ struct ScenarioConfig {
   /// governors after each uploading phase). Mirrors
   /// GovernorConfig::enable_label_gossip, set here for convenience.
   bool enable_label_gossip = false;
+
+  /// Crash/restart fault schedule (governors only). Scheduling any crash
+  /// implies durable_governors.
+  std::vector<CrashPlan> crashes;
+  /// Attach a NodeStateStore to every governor even without crashes (to
+  /// measure persistence overhead or snapshot sizes).
+  bool durable_governors = false;
+  /// Directory for on-disk stores (one subdirectory per governor). Empty =>
+  /// in-memory stores, which exercise the same framed WAL/snapshot images.
+  std::filesystem::path storage_dir;
 
   std::uint64_t seed = 1;
 };
@@ -105,13 +129,34 @@ class Scenario {
   /// Run a single round (callable repeatedly; advances the round counter).
   void run_round();
 
+  /// Kill governor `i` right now: revoke its pending timer callbacks and
+  /// destroy the object (all in-memory state is gone; its NodeStateStore,
+  /// held by the Scenario, survives). Messages to the dead node are dropped.
+  void crash_governor(std::size_t i);
+  /// Rebuild governor `i` from its store and start catching up with peers.
+  void restart_governor(std::size_t i);
+
   [[nodiscard]] ScenarioSummary summary() const;
 
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] const protocol::RoundTiming& timing() const { return timing_; }
   [[nodiscard]] std::deque<protocol::Provider>& providers() { return providers_; }
   [[nodiscard]] std::deque<protocol::Collector>& collectors() { return collectors_; }
-  [[nodiscard]] std::deque<protocol::Governor>& governors() { return governors_; }
+  /// Governors are held behind pointers so a crash can destroy one while the
+  /// deque slot (and the network handler indexing it) stays put; a null slot
+  /// is a currently-dead node.
+  [[nodiscard]] std::deque<std::unique_ptr<protocol::Governor>>& governors() {
+    return governors_;
+  }
+  /// Governor `i`, which must be alive.
+  [[nodiscard]] protocol::Governor& governor(std::size_t i) { return *governors_[i]; }
+  [[nodiscard]] const protocol::Governor& governor(std::size_t i) const {
+    return *governors_[i];
+  }
+  /// The store backing governor `i` (null unless durable/crash-scheduled).
+  [[nodiscard]] storage::NodeStateStore* governor_store(std::size_t i) {
+    return governor_stores_.empty() ? nullptr : governor_stores_[i].get();
+  }
   [[nodiscard]] const protocol::Directory& directory() const { return directory_; }
   [[nodiscard]] ledger::ValidationOracle& oracle() { return *oracle_; }
   [[nodiscard]] net::SimNetwork& network() { return *net_; }
@@ -131,6 +176,8 @@ class Scenario {
  private:
   void sample_rewards();  // timer: leadership tally + collector reward split
   void run_audit();       // timer: out-of-band reveal of unchecked truths
+  void make_governor(std::size_t i);  // (re)construct governor i in its slot
+  [[nodiscard]] const protocol::Governor* first_live_governor() const;
 
   ScenarioConfig config_;
   Rng rng_;
@@ -150,7 +197,15 @@ class Scenario {
   std::deque<runtime::NodeContext> governor_ctxs_;
   std::deque<protocol::Provider> providers_;
   std::deque<protocol::Collector> collectors_;
-  std::deque<protocol::Governor> governors_;
+  std::deque<std::unique_ptr<protocol::Governor>> governors_;
+
+  // Rebuild material for crashed governors: their signing keys, genesis
+  // stake, partial-visibility views, and (outliving the governor objects)
+  // their durable stores.
+  std::vector<crypto::SigningKey> governor_keys_;
+  protocol::StakeLedger genesis_;
+  std::vector<std::vector<CollectorId>> governor_visible_;
+  std::deque<std::unique_ptr<storage::NodeStateStore>> governor_stores_;
 
   Round round_ = 0;
   std::vector<double> rewards_;

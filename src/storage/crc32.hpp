@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace repchain::storage {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Guards every WAL frame and
+/// snapshot image against bit rot and torn writes — cheap enough to run on
+/// the append path, strong enough to catch any single-burst corruption a
+/// crashed write can produce.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+}  // namespace repchain::storage

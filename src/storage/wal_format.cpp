@@ -1,0 +1,66 @@
+#include "storage/wal_format.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "storage/crc32.hpp"
+
+namespace repchain::storage {
+
+namespace {
+constexpr char kSnapshotMagic[] = "repchain-snapshot-v1";
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+}  // namespace
+
+void append_frame(Bytes& out, BytesView payload) {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.raw(payload);
+  append(out, std::move(w).take());
+}
+
+WalScan scan_wal(BytesView data) {
+  WalScan scan;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeader) {
+      scan.torn_tail = true;  // header itself never finished
+      break;
+    }
+    BinaryReader r(BytesView(data.data() + pos, data.size() - pos));
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (data.size() - pos - kFrameHeader < len) {
+      scan.torn_tail = true;  // payload never finished
+      break;
+    }
+    Bytes payload = r.raw(len);
+    if (crc32(payload) != crc) {
+      throw ProtocolError("WAL frame CRC mismatch at offset " + std::to_string(pos));
+    }
+    scan.records.push_back(std::move(payload));
+    pos += kFrameHeader + len;
+    scan.clean_bytes = pos;
+  }
+  return scan;
+}
+
+Bytes encode_snapshot(BytesView payload) {
+  BinaryWriter w;
+  w.str(kSnapshotMagic);
+  w.u32(crc32(payload));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+Bytes decode_snapshot(BytesView image) {
+  BinaryReader r(image);
+  if (r.str() != kSnapshotMagic) throw DecodeError("bad snapshot magic");
+  const std::uint32_t crc = r.u32();
+  Bytes payload = r.bytes();
+  r.expect_done();
+  if (crc32(payload) != crc) throw DecodeError("snapshot CRC mismatch");
+  return payload;
+}
+
+}  // namespace repchain::storage

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace repchain::storage {
+
+// Record framing shared by every NodeStateStore backend. Frames and the
+// snapshot image reuse the library's single wire format (common/serial.hpp:
+// little-endian fixed-width integers, u32 length prefixes) so the on-disk
+// bytes are decodable with the same reader as every network payload.
+//
+// WAL frame:      u32 payload_len | u32 crc32(payload) | payload
+// Snapshot image: str magic       | u32 crc32(payload) | bytes payload
+//
+// The WAL is append-only, so the only states a crash can leave behind are a
+// clean log or a clean log plus one partial frame at the tail. A partial
+// tail is dropped on recovery (the write never completed, so the record was
+// never acknowledged); a *complete* frame whose CRC mismatches is genuine
+// corruption and refuses to load.
+
+/// Append one CRC-guarded frame to `out`.
+void append_frame(Bytes& out, BytesView payload);
+
+struct WalScan {
+  std::vector<Bytes> records;   // fully-verified payloads, in append order
+  std::size_t clean_bytes = 0;  // prefix length covered by `records`
+  bool torn_tail = false;       // a partial trailing frame was dropped
+};
+
+/// Scan a WAL byte image. Throws ProtocolError when a complete frame fails
+/// its CRC (corruption, as opposed to a torn tail).
+[[nodiscard]] WalScan scan_wal(BytesView data);
+
+/// Wrap a snapshot payload in the magic + CRC envelope.
+[[nodiscard]] Bytes encode_snapshot(BytesView payload);
+
+/// Unwrap a snapshot image. Throws DecodeError on bad magic, truncation or
+/// CRC mismatch — a half-written snapshot never silently loads.
+[[nodiscard]] Bytes decode_snapshot(BytesView image);
+
+}  // namespace repchain::storage

@@ -4,6 +4,8 @@
 // buffers of varied sizes plus mutation fuzz over valid encodings.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <functional>
 
 #include "common/errors.hpp"
@@ -12,10 +14,12 @@
 #include "crypto/keygen.hpp"
 #include "identity/certificate.hpp"
 #include "ledger/block.hpp"
+#include "ledger/chain.hpp"
 #include "ledger/transaction.hpp"
 #include "protocol/leader_election.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/stake.hpp"
+#include "storage/wal_format.hpp"
 
 namespace repchain {
 namespace {
@@ -122,6 +126,124 @@ TEST_P(DecodeFuzz, MutatedValidEncodingsAreHandledGracefully) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Storage-layer decoders --------------------------------------------------
+//
+// The WAL scanner and snapshot envelope face bytes that survived a crash, so
+// their contract is slightly different from the network decoders: scan_wal
+// may *succeed* on arbitrary input (dropping a torn tail) or throw
+// ProtocolError on a CRC-mismatching complete frame; decode_snapshot throws
+// DecodeError. ChainStore::load reads whole files and rejects with either
+// DecodeError (framing) or ProtocolError (chain integrity).
+
+/// Pass iff `fn` returns or throws DecodeError/ProtocolError.
+void expect_graceful_storage(const char* name, const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const DecodeError&) {
+  } catch (const ProtocolError&) {
+  } catch (const std::exception& e) {
+    FAIL() << name << " threw unexpected exception: " << e.what();
+  }
+}
+
+class StorageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StorageFuzz, WalScanHandlesArbitraryBytes) {
+  Rng rng(GetParam() ^ 0x3a1ULL);
+  for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 32u, 100u, 1000u}) {
+    for (int i = 0; i < 50; ++i) {
+      const Bytes data = rng.bytes(size);
+      expect_graceful_storage("scan_wal", [&] { (void)storage::scan_wal(data); });
+    }
+  }
+}
+
+TEST_P(StorageFuzz, WalScanMutationsOfValidLog) {
+  Rng rng(GetParam() ^ 0x3a2ULL);
+  Bytes wal;
+  for (int i = 0; i < 4; ++i) storage::append_frame(wal, rng.bytes(8 + i * 5));
+  for (std::size_t len = 0; len <= wal.size(); ++len) {
+    // Truncations must never throw: a cut log is a torn tail, not corruption.
+    const BytesView prefix(wal.data(), len);
+    const auto scan = storage::scan_wal(prefix);
+    EXPECT_LE(scan.clean_bytes, len);
+  }
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = wal;
+    mutated[rng.uniform(mutated.size())] = static_cast<std::uint8_t>(rng.next_u64());
+    expect_graceful_storage("scan_wal", [&] { (void)storage::scan_wal(mutated); });
+  }
+}
+
+TEST_P(StorageFuzz, SnapshotDecodeHandlesArbitraryAndMutatedBytes) {
+  Rng rng(GetParam() ^ 0x3a3ULL);
+  for (std::size_t size : {0u, 1u, 24u, 32u, 100u, 1000u}) {
+    for (int i = 0; i < 50; ++i) {
+      const Bytes data = rng.bytes(size);
+      try {
+        (void)storage::decode_snapshot(data);
+      } catch (const DecodeError&) {
+      } catch (const std::exception& e) {
+        FAIL() << "decode_snapshot threw non-DecodeError: " << e.what();
+      }
+    }
+  }
+  const Bytes image = storage::encode_snapshot(rng.bytes(64));
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = image;
+    mutated[rng.uniform(mutated.size())] = static_cast<std::uint8_t>(rng.next_u64());
+    expect_graceful_storage("decode_snapshot",
+                            [&] { (void)storage::decode_snapshot(mutated); });
+  }
+}
+
+TEST_P(StorageFuzz, ChainFileLoadHandlesMutations) {
+  Rng rng(GetParam() ^ 0x3a4ULL);
+  crypto::SigningKey key(crypto::random_seed(rng));
+  ledger::ChainStore chain;
+  for (BlockSerial s = 1; s <= 2; ++s) {
+    ledger::TxRecord rec;
+    rec.tx = ledger::make_transaction(ProviderId(1), s, s, rng.bytes(8), key);
+    chain.append(ledger::make_block(s, s, chain.head_hash(), GovernorId(0), {rec}, key));
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("repchain_fuzz_chain_" + std::to_string(GetParam()) + ".bin");
+  chain.save(path);
+  Bytes bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const auto rewrite = [&](const Bytes& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  };
+  // Truncations (sampled), single-byte corruption, and extensions.
+  for (std::size_t len = 0; len < bytes.size(); len += 1 + rng.uniform(9)) {
+    rewrite(Bytes(bytes.begin(), bytes.begin() + static_cast<long>(len)));
+    expect_graceful_storage("ChainStore::load",
+                            [&] { (void)ledger::ChainStore::load(path); });
+  }
+  for (int i = 0; i < 150; ++i) {
+    Bytes mutated = bytes;
+    mutated[rng.uniform(mutated.size())] = static_cast<std::uint8_t>(rng.next_u64());
+    rewrite(mutated);
+    expect_graceful_storage("ChainStore::load",
+                            [&] { (void)ledger::ChainStore::load(path); });
+  }
+  for (int i = 0; i < 20; ++i) {
+    Bytes extended = bytes;
+    append(extended, rng.bytes(1 + rng.uniform(16)));
+    rewrite(extended);
+    expect_graceful_storage("ChainStore::load",
+                            [&] { (void)ledger::ChainStore::load(path); });
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageFuzz, ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace repchain

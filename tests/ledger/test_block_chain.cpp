@@ -279,6 +279,117 @@ TEST(ChainStorePersistence, BadMagicRejected) {
   std::filesystem::remove(path);
 }
 
+// --- Hostile chain files ----------------------------------------------------
+//
+// The on-disk layout is `str magic | u64 count | count * bytes(block)`; the
+// magic string prefix occupies 4 + 17 bytes, so the count field sits at
+// offset 21 and the first block's u32 length prefix at offset 29. Every
+// malformed variant below must be rejected with DecodeError/ProtocolError —
+// never an allocation blow-up, crash, or silent partial load.
+
+struct HostileFile {
+  HostileFile() : path(std::filesystem::temp_directory_path() / "repchain_hostile.bin") {
+    Fixture f;
+    ChainStore chain;
+    for (BlockSerial s = 1; s <= 3; ++s) {
+      chain.append(f.make_chain_block(s, chain.head_hash()));
+    }
+    chain.save(path);
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ~HostileFile() { std::filesystem::remove(path); }
+
+  void rewrite(const std::vector<char>& data) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  std::filesystem::path path;
+  std::vector<char> bytes;
+};
+
+constexpr std::size_t kCountOffset = 4 + 17;       // u64 block count
+constexpr std::size_t kFirstLenOffset = 21 + 8;    // first block's u32 length
+
+TEST(ChainStorePersistence, TruncatedFilesRejected) {
+  HostileFile h;
+  // Cuts inside the magic, the count, a length prefix, and block payloads.
+  for (const std::size_t cut :
+       {std::size_t{1}, std::size_t{4}, kCountOffset - 1, kCountOffset + 3,
+        kFirstLenOffset + 2, h.bytes.size() / 2, h.bytes.size() - 1}) {
+    h.rewrite(std::vector<char>(h.bytes.begin(),
+                                h.bytes.begin() + static_cast<long>(cut)));
+    EXPECT_THROW((void)ChainStore::load(h.path), Error) << "cut at " << cut;
+  }
+}
+
+TEST(ChainStorePersistence, OversizedCountRejected) {
+  // A count field claiming ~2^64 blocks must fail the expect_count guard up
+  // front instead of looping or reserving absurd memory.
+  HostileFile h;
+  auto data = h.bytes;
+  for (std::size_t i = 0; i < 8; ++i) {
+    data[kCountOffset + i] = static_cast<char>(0xff);
+  }
+  h.rewrite(data);
+  EXPECT_THROW((void)ChainStore::load(h.path), DecodeError);
+}
+
+TEST(ChainStorePersistence, OversizedBlockLengthRejected) {
+  // A block length prefix far past the end of the file must be caught by
+  // the reader's bounds check, not trusted as an allocation size.
+  HostileFile h;
+  auto data = h.bytes;
+  data[kFirstLenOffset + 0] = static_cast<char>(0xff);
+  data[kFirstLenOffset + 1] = static_cast<char>(0xff);
+  data[kFirstLenOffset + 2] = static_cast<char>(0xff);
+  data[kFirstLenOffset + 3] = static_cast<char>(0x7f);
+  h.rewrite(data);
+  EXPECT_THROW((void)ChainStore::load(h.path), DecodeError);
+}
+
+TEST(ChainStorePersistence, HeaderByteFlipsRejected) {
+  // Any flip in the structural header (magic, count, first length prefix)
+  // must be rejected.
+  HostileFile h;
+  for (std::size_t i = 0; i < kFirstLenOffset + 4; ++i) {
+    auto data = h.bytes;
+    data[i] = static_cast<char>(data[i] ^ 0x20);
+    h.rewrite(data);
+    EXPECT_THROW((void)ChainStore::load(h.path), Error) << "flip at " << i;
+  }
+}
+
+TEST(ChainStorePersistence, BodyByteFlipsNeverCrash) {
+  // Flips in block bodies must either be detected (DecodeError from the
+  // block decoder, ProtocolError from append's integrity checks) or — for
+  // the rare bit that is not integrity-covered, like a signature byte the
+  // loader does not re-verify — still yield a well-formed store.
+  HostileFile h;
+  std::size_t rejected = 0;
+  for (std::size_t i = kFirstLenOffset; i < h.bytes.size(); i += 11) {
+    auto data = h.bytes;
+    data[i] = static_cast<char>(data[i] ^ 0x01);
+    h.rewrite(data);
+    try {
+      const ChainStore loaded = ChainStore::load(h.path);
+      EXPECT_EQ(loaded.height(), 3u);
+    } catch (const Error&) {
+      ++rejected;  // expected for integrity-covered bytes
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ChainStorePersistence, TrailingGarbageRejected) {
+  HostileFile h;
+  auto data = h.bytes;
+  data.push_back(0x00);
+  h.rewrite(data);
+  EXPECT_THROW((void)ChainStore::load(h.path), DecodeError);
+}
+
 TEST(ChainStore, HeadOnEmptyThrows) {
   ChainStore chain;
   EXPECT_THROW((void)chain.head(), ProtocolError);

@@ -32,18 +32,18 @@ TEST(Equivocation, DetectedWhenGossipEnabled) {
   s.run();
 
   std::uint64_t detections = 0;
-  for (auto& g : s.governors()) detections += g.metrics().equivocations_detected;
+  for (auto& g : s.governors()) detections += g->metrics().equivocations_detected;
   EXPECT_GT(detections, 0u);
 
   // The equivocator's forge counter went negative under every governor that
   // caught a conflict; honest collectors are untouched everywhere.
   for (auto& g : s.governors()) {
-    EXPECT_EQ(g.reputation().forge(CollectorId(0)), 0);
-    EXPECT_EQ(g.reputation().forge(CollectorId(1)), 0);
+    EXPECT_EQ(g->reputation().forge(CollectorId(0)), 0);
+    EXPECT_EQ(g->reputation().forge(CollectorId(1)), 0);
   }
   bool punished_somewhere = false;
   for (auto& g : s.governors()) {
-    punished_somewhere |= g.reputation().forge(CollectorId(2)) < 0;
+    punished_somewhere |= g->reputation().forge(CollectorId(2)) < 0;
   }
   EXPECT_TRUE(punished_somewhere);
 }
@@ -52,8 +52,8 @@ TEST(Equivocation, InvisibleWithoutGossip) {
   Scenario s(config_with_gossip(false));
   s.run();
   for (auto& g : s.governors()) {
-    EXPECT_EQ(g.metrics().equivocations_detected, 0u);
-    EXPECT_EQ(g.reputation().forge(CollectorId(2)), 0);
+    EXPECT_EQ(g->metrics().equivocations_detected, 0u);
+    EXPECT_EQ(g->reputation().forge(CollectorId(2)), 0);
   }
 }
 
@@ -67,7 +67,7 @@ TEST(Equivocation, HonestRunProducesNoFalsePositives) {
   // (the collector signs once and atomically broadcasts); only equivocation
   // triggers the detector.
   for (auto& g : s.governors()) {
-    EXPECT_EQ(g.metrics().equivocations_detected, 0u);
+    EXPECT_EQ(g->metrics().equivocations_detected, 0u);
   }
 }
 
@@ -79,7 +79,7 @@ TEST(Equivocation, PunishedAtMostOncePerTransaction) {
   // equivocator handled.
   std::uint64_t handled = s.collectors()[2].stats().uploaded;
   for (auto& g : s.governors()) {
-    EXPECT_LE(static_cast<std::uint64_t>(-g.reputation().forge(CollectorId(2))),
+    EXPECT_LE(static_cast<std::uint64_t>(-g->reputation().forge(CollectorId(2))),
               handled);
   }
 }
@@ -91,9 +91,9 @@ TEST(Equivocation, GossipCutsEquivocatorRevenue) {
   with.run();
   // Under gossip, the equivocator's revenue share collapses via nu^forge.
   for (auto& g : with.governors()) {
-    if (g.metrics().equivocations_detected == 0) continue;
+    if (g->metrics().equivocations_detected == 0) continue;
     double equiv_share = 0.0, honest_share = 0.0;
-    for (const auto& [c, share] : g.revenue_shares()) {
+    for (const auto& [c, share] : g->revenue_shares()) {
       if (c == CollectorId(2)) equiv_share = share;
       if (c == CollectorId(0)) honest_share = share;
     }

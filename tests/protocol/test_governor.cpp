@@ -7,6 +7,7 @@
 #include <deque>
 
 #include "common/errors.hpp"
+#include "common/serial.hpp"
 #include "crypto/keygen.hpp"
 #include "net/network.hpp"
 #include "protocol/governor.hpp"
@@ -294,7 +295,10 @@ TEST(GovernorBlocks, WrongSerialFromRealLeaderRejected) {
   w.governors[1].begin_round(1);
   w.settle();
   const auto winner = *w.governors[0].round_leader();
-  // The real leader proposes a block skipping to serial 3.
+  // The real leader proposes a block skipping to serial 3. The receiver
+  // first assumes it is the one behind and asks its peer for the missing
+  // prefix; the peer has nothing above height 0, so once that sync settles
+  // the unadoptable proposal is rejected.
   const ledger::Block block = ledger::make_block(
       3, 1, crypto::Hash256{}, winner, {}, w.governor_keys[winner.value()]);
   net::Message msg;
@@ -303,6 +307,7 @@ TEST(GovernorBlocks, WrongSerialFromRealLeaderRejected) {
   msg.kind = net::MsgKind::kBlockProposal;
   msg.payload = block.encode();
   w.governors[0].on_message(msg);
+  w.settle();
   EXPECT_EQ(w.governors[0].metrics().blocks_rejected, 1u);
   EXPECT_EQ(w.governors[0].chain().height(), 0u);
 }
@@ -422,6 +427,80 @@ TEST(GovernorCheckpoint, RejectsForeignAndTamperedCheckpoints) {
   Bytes truncated = ckpt0;
   truncated.resize(truncated.size() - 5);
   EXPECT_THROW(w.governors[0].restore(truncated), DecodeError);
+}
+
+/// Drive invalid-labeled uploads through governor 0 until screening records
+/// at least one unchecked entry (the -1 label surviving the validation coin
+/// is probabilistic; the fixture seed makes the loop deterministic).
+std::vector<ledger::TxId> make_unchecked(World& w) {
+  for (std::uint64_t seq = 1; seq <= 60; ++seq) {
+    if (!w.governors[0].unrevealed_unchecked().empty()) break;
+    const auto tx = w.make_tx(0, seq, false);
+    w.upload(ledger::make_labeled(tx, Label::kInvalid, CollectorId(0),
+                                  w.collector_keys[0]));
+    w.settle();
+  }
+  return w.governors[0].unrevealed_unchecked();
+}
+
+TEST(GovernorCheckpoint, V2RoundTripCarriesUncheckedEntries) {
+  World w;
+  const auto ids = make_unchecked(w);
+  ASSERT_FALSE(ids.empty());
+
+  // The satellite-1 gap: v1 checkpoints dropped the screening-time report
+  // snapshots, so a restored governor could never run the case-3 update.
+  // v2 must round-trip them.
+  const Bytes ckpt = w.governors[0].checkpoint();
+  w.governors[0].restore(ckpt);
+  EXPECT_EQ(w.governors[0].unrevealed_unchecked(), ids);
+
+  // Case 3 fires on the *restored* entry: the out-of-band reveal succeeds
+  // and consumes it exactly once.
+  EXPECT_TRUE(w.governors[0].reveal_unchecked(ids.front()));
+  EXPECT_FALSE(w.governors[0].reveal_unchecked(ids.front()));
+}
+
+TEST(GovernorCheckpoint, V2PreservesRevealedFlagAcrossRestore) {
+  World w;
+  const auto ids = make_unchecked(w);
+  ASSERT_FALSE(ids.empty());
+  ASSERT_TRUE(w.governors[0].reveal_unchecked(ids.front()));
+
+  const Bytes ckpt = w.governors[0].checkpoint();
+  w.governors[0].restore(ckpt);
+  // Already-revealed entries stay revealed: no double case-3 update.
+  EXPECT_FALSE(w.governors[0].reveal_unchecked(ids.front()));
+  const auto unrevealed = w.governors[0].unrevealed_unchecked();
+  for (const auto& id : unrevealed) EXPECT_FALSE(id == ids.front());
+}
+
+TEST(GovernorCheckpoint, LegacyV1BlobStillRestores) {
+  World w;
+  const auto ids = make_unchecked(w);
+  ASSERT_FALSE(ids.empty());
+  const std::size_t height_before = w.governors[0].chain().height();
+
+  // Transcode the v2 checkpoint into the legacy v1 layout (same fields
+  // minus the trailing unchecked-entry section, v1 magic).
+  const Bytes ckpt = w.governors[0].checkpoint();
+  BinaryReader r(ckpt);
+  (void)r.str();
+  BinaryWriter v1;
+  v1.str("repchain-governor-ckpt-v1");
+  v1.u32(r.u32());
+  const std::uint64_t height = r.u64();
+  v1.u64(height);
+  for (std::uint64_t i = 0; i < height; ++i) v1.bytes(r.bytes());
+  v1.bytes(r.bytes());  // reputation table
+  v1.bytes(r.bytes());  // stake ledger
+
+  w.governors[0].restore(std::move(v1).take());
+  EXPECT_EQ(w.governors[0].chain().height(), height_before);
+  EXPECT_EQ(w.governors[0].reputation().collector_count(), 2u);
+  // v1 semantics: the unchecked entries are gone after restore.
+  EXPECT_TRUE(w.governors[0].unrevealed_unchecked().empty());
+  EXPECT_FALSE(w.governors[0].reveal_unchecked(ids.front()));
 }
 
 TEST(GovernorMisc, UnknownMessageKindIgnored) {

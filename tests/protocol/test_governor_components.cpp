@@ -172,14 +172,46 @@ TEST_F(ArgueFixture, RevealIsIdempotentAndBlocksLaterArgues) {
   EXPECT_EQ(metrics.argues_accepted, 0u);
 }
 
-TEST_F(ArgueFixture, ResetTransientDropsSnapshotsButKeepsArgueWindow) {
+TEST_F(ArgueFixture, ResetTransientDropsSnapshotsAndArgueWindow) {
   const auto tx = make_tx(1, true);
   argues.record_unchecked(tx, reports());
   argues.reset_transient();
   EXPECT_FALSE(argues.known(tx.id()));
   EXPECT_TRUE(argues.unrevealed().empty());
-  // The argue-latency buffer survives (old burials still count toward U).
-  EXPECT_TRUE(argues.buffer().arguable(ProviderId(0), tx.id()));
+  // The argue-latency buffer resets with the entries: its burial positions
+  // are meaningless once the snapshots they index are gone (checkpointed
+  // entries come back via restore_entries, which rebuilds the buffer).
+  EXPECT_FALSE(argues.buffer().arguable(ProviderId(0), tx.id()));
+}
+
+TEST_F(ArgueFixture, RestoreEntriesReopensArgueWindowsInScreeningOrder) {
+  const auto tx1 = make_tx(1, true);
+  const auto tx2 = make_tx(2, false);
+  const auto tx3 = make_tx(3, true);
+  argues.record_unchecked(tx1, reports());
+  argues.record_unchecked(tx2, reports());
+  argues.record_unchecked(tx3, reports());
+  EXPECT_TRUE(argues.reveal(tx2.id()));
+
+  // Round-trip through the checkpoint representation: copy the entries out
+  // in order and reinstall them on a fresh reset.
+  std::vector<UncheckedEntry> copied;
+  for (const UncheckedEntry* e : argues.entries_in_order()) copied.push_back(*e);
+  ASSERT_EQ(copied.size(), 3u);
+  argues.restore_entries(std::move(copied));
+
+  EXPECT_TRUE(argues.known(tx1.id()));
+  const auto pending = argues.unrevealed();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0], tx1.id());  // screening order preserved
+  EXPECT_EQ(pending[1], tx3.id());
+  // Unrevealed entries are arguable again; the revealed one is consumed.
+  EXPECT_TRUE(argues.buffer().arguable(ProviderId(0), tx1.id()));
+  EXPECT_FALSE(argues.buffer().arguable(ProviderId(0), tx2.id()));
+  // And an argue still works end-to-end after the restore (case 3 fires).
+  const auto rec = argues.handle_argue(make_argue(ProviderId(0), tx1, 1, key));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->status, TxStatus::kArguedValid);
 }
 
 // --- StakeConsensus ----------------------------------------------------------

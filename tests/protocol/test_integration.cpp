@@ -59,7 +59,7 @@ TEST(Integration, AlmostNoCreation) {
   Scenario s(cfg);
   s.run();
 
-  const auto& chain = s.governors().front().chain();
+  const auto& chain = s.governor(0).chain();
   for (const auto& block : chain.blocks()) {
     for (const auto& rec : block.txs) {
       EXPECT_TRUE(s.oracle().is_registered(rec.tx.id()));
@@ -73,11 +73,11 @@ TEST(Integration, AlmostNoCreation) {
   for (auto& c : s.collectors()) forged += c.stats().forged;
   EXPECT_GT(forged, 0u);
   std::uint64_t detected = 0;
-  for (auto& g : s.governors()) detected += g.metrics().forgeries_detected;
+  for (auto& g : s.governors()) detected += g->metrics().forgeries_detected;
   EXPECT_EQ(detected, forged * s.governors().size());
   for (auto& g : s.governors()) {
-    EXPECT_LT(g.reputation().forge(CollectorId(1)), 0);
-    EXPECT_EQ(g.reputation().forge(CollectorId(0)), 0);
+    EXPECT_LT(g->reputation().forge(CollectorId(1)), 0);
+    EXPECT_EQ(g->reputation().forge(CollectorId(0)), 0);
   }
 }
 
@@ -139,7 +139,7 @@ TEST(Integration, ReputationIsolatesAdversarialCollector) {
 
   // The misreporter's revenue share collapses under every governor.
   for (auto& g : s.governors()) {
-    const auto shares = g.revenue_shares();
+    const auto shares = g->revenue_shares();
     double bad = 0.0, best_honest = 0.0;
     for (const auto& [c, share] : shares) {
       if (c == CollectorId(2)) {
@@ -162,14 +162,14 @@ TEST(Integration, StakeConsensusTransfersStake) {
   cfg.governor_stakes = {5, 5, 5};
   Scenario s(cfg);
 
-  s.governors()[0].submit_stake_transfer(GovernorId(1), 2);
+  s.governor(0).submit_stake_transfer(GovernorId(1), 2);
   s.queue().run();
   s.run_round();
 
   for (auto& g : s.governors()) {
-    EXPECT_EQ(g.stake().of(GovernorId(0)), 3u);
-    EXPECT_EQ(g.stake().of(GovernorId(1)), 7u);
-    EXPECT_EQ(g.stake().of(GovernorId(2)), 5u);
+    EXPECT_EQ(g->stake().of(GovernorId(0)), 3u);
+    EXPECT_EQ(g->stake().of(GovernorId(1)), 7u);
+    EXPECT_EQ(g->stake().of(GovernorId(2)), 5u);
   }
 }
 
@@ -180,20 +180,20 @@ TEST(Integration, CheatingStakeLeaderIsExpelled) {
   Scenario s(cfg);
 
   // Make every governor a cheater-if-leader; whoever leads will cheat.
-  for (auto& g : s.governors()) g.set_cheat_stake_consensus(true);
-  s.governors()[2].submit_stake_transfer(GovernorId(0), 1);
+  for (auto& g : s.governors()) g->set_cheat_stake_consensus(true);
+  s.governor(2).submit_stake_transfer(GovernorId(0), 1);
   s.queue().run();
   s.run_round();
 
-  const auto leader = s.governors().front().round_leader();
+  const auto leader = s.governor(0).round_leader();
   ASSERT_TRUE(leader.has_value());
   // All other governors expelled the cheating leader.
   for (auto& g : s.governors()) {
-    if (g.id() != *leader) {
-      EXPECT_TRUE(g.expelled().contains(*leader))
-          << "governor " << g.id() << " did not expel";
+    if (g->id() != *leader) {
+      EXPECT_TRUE(g->expelled().contains(*leader))
+          << "governor " << g->id() << " did not expel";
       // And the corrupt state was not applied.
-      EXPECT_EQ(g.stake().of(*leader), 5u);
+      EXPECT_EQ(g->stake().of(*leader), 5u);
     }
   }
 }
@@ -203,8 +203,8 @@ TEST(Integration, DeterministicAcrossIdenticalSeeds) {
   Scenario b(small_config(31));
   a.run();
   b.run();
-  EXPECT_EQ(a.governors().front().chain().head_hash(),
-            b.governors().front().chain().head_hash());
+  EXPECT_EQ(a.governor(0).chain().head_hash(),
+            b.governor(0).chain().head_hash());
   EXPECT_EQ(a.summary().validations_total, b.summary().validations_total);
 }
 
@@ -213,8 +213,8 @@ TEST(Integration, DifferentSeedsDiverge) {
   Scenario b(small_config(38));
   a.run();
   b.run();
-  EXPECT_NE(a.governors().front().chain().head_hash(),
-            b.governors().front().chain().head_hash());
+  EXPECT_NE(a.governor(0).chain().head_hash(),
+            b.governor(0).chain().head_hash());
 }
 
 TEST(Integration, BlockLimitRespected) {
@@ -223,12 +223,12 @@ TEST(Integration, BlockLimitRespected) {
   cfg.rounds = 6;
   Scenario s(cfg);
   s.run();
-  for (const auto& block : s.governors().front().chain().blocks()) {
+  for (const auto& block : s.governor(0).chain().blocks()) {
     EXPECT_LE(block.txs.size(), 3u);
   }
   // Overflow carries over; with 16 tx/round and limit 3 the chain lags but
   // still grows one block per round.
-  EXPECT_EQ(s.governors().front().chain().height(), 6u);
+  EXPECT_EQ(s.governor(0).chain().height(), 6u);
 }
 
 TEST(Integration, LeaderRotationRoughlyProportionalToStake) {
@@ -251,7 +251,7 @@ TEST(Integration, UncheckedFractionTracksF) {
   cfg.governor.rep.f = 0.8;
   Scenario s(cfg);
   s.run();
-  const auto& stats = s.governors().front().screening_stats();
+  const auto& stats = s.governor(0).screening_stats();
   ASSERT_GT(stats.screened, 0u);
   const double frac =
       static_cast<double>(stats.unchecked) / static_cast<double>(stats.screened);

@@ -25,7 +25,7 @@ TEST(PartialVisibility, FullVisibilityByDefault) {
   Scenario s(base_config());
   for (auto& g : s.governors()) {
     for (std::uint32_t c = 0; c < 4; ++c) {
-      EXPECT_TRUE(g.sees(CollectorId(c)));
+      EXPECT_TRUE(g->sees(CollectorId(c)));
     }
   }
 }
@@ -45,11 +45,11 @@ TEST(PartialVisibility, HalfViewStillSafeAndLive) {
   for (auto& g : s.governors()) {
     std::size_t seen = 0;
     for (std::uint32_t c = 0; c < 4; ++c) {
-      if (g.sees(CollectorId(c))) ++seen;
+      if (g->sees(CollectorId(c))) ++seen;
     }
     EXPECT_EQ(seen, 2u);
-    EXPECT_GT(g.metrics().uploads_invisible, 0u);
-    EXPECT_EQ(g.reputation().collector_count(), 2u);
+    EXPECT_GT(g->metrics().uploads_invisible, 0u);
+    EXPECT_EQ(g->reputation().collector_count(), 2u);
   }
 }
 
@@ -59,11 +59,11 @@ TEST(PartialVisibility, ViewsAreStaggeredAcrossGovernors) {
   Scenario s(cfg);
   // Governor j sees {(j+k) mod n}: neighbours overlap in exactly one
   // collector here (n=4, window 2).
-  EXPECT_TRUE(s.governors()[0].sees(CollectorId(0)));
-  EXPECT_TRUE(s.governors()[0].sees(CollectorId(1)));
-  EXPECT_FALSE(s.governors()[0].sees(CollectorId(2)));
-  EXPECT_TRUE(s.governors()[1].sees(CollectorId(1)));
-  EXPECT_TRUE(s.governors()[1].sees(CollectorId(2)));
+  EXPECT_TRUE(s.governor(0).sees(CollectorId(0)));
+  EXPECT_TRUE(s.governor(0).sees(CollectorId(1)));
+  EXPECT_FALSE(s.governor(0).sees(CollectorId(2)));
+  EXPECT_TRUE(s.governor(1).sees(CollectorId(1)));
+  EXPECT_TRUE(s.governor(1).sees(CollectorId(2)));
 }
 
 TEST(PartialVisibility, InvisibleAdversaryCannotHurtThisGovernorsReputation) {
@@ -77,7 +77,7 @@ TEST(PartialVisibility, InvisibleAdversaryCannotHurtThisGovernorsReputation) {
   s.run();
   // Governor 0 sees collectors {0, 1} only; the adversarial collector 2 is
   // outside its world entirely (no reputation entry, no screening input).
-  auto& g0 = s.governors()[0];
+  auto& g0 = s.governor(0);
   EXPECT_FALSE(g0.sees(CollectorId(2)));
   EXPECT_THROW((void)g0.reputation().misreport(CollectorId(2)), ProtocolError);
 }

@@ -22,7 +22,7 @@ ScenarioConfig sync_config(std::uint64_t seed = 91) {
 TEST(ProviderSync, ProvidersReplicateTheFullChain) {
   Scenario s(sync_config());
   s.run();
-  const auto& gov_chain = s.governors().front().chain();
+  const auto& gov_chain = s.governor(0).chain();
   ASSERT_EQ(gov_chain.height(), 5u);
   for (auto& p : s.providers()) {
     EXPECT_EQ(p.chain().height(), gov_chain.height());
@@ -87,7 +87,7 @@ TEST(ProviderSync, PassiveProvidersStillReplicateButDoNotArgue) {
   s.run();
   for (auto& p : s.providers()) {
     EXPECT_EQ(p.argued(), 0u);
-    EXPECT_EQ(p.chain().height(), s.governors().front().chain().height());
+    EXPECT_EQ(p.chain().height(), s.governor(0).chain().height());
   }
 }
 

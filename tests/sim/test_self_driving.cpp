@@ -24,22 +24,22 @@ ScenarioConfig small_config() {
 TEST(SelfDriving, AutoRoundsGrowTheChainWithoutHarnessCalls) {
   Scenario s(small_config());
   const auto timing = s.timing();
-  for (auto& g : s.governors()) g.drive_rounds(1, timing);
+  for (auto& g : s.governors()) g->drive_rounds(1, timing);
 
   // Advance the clock three round spans: three blocks, one per round, on
   // every replica, even with no transactions injected (empty blocks keep the
   // serial chain gapless).
   s.queue().run_until(s.queue().now() + 3 * timing.round_span);
   for (auto& g : s.governors()) {
-    EXPECT_EQ(g.chain().height(), 3u);
-    EXPECT_TRUE(g.chain().audit());
+    EXPECT_EQ(g->chain().height(), 3u);
+    EXPECT_TRUE(g->chain().audit());
   }
-  EXPECT_TRUE(ledger::ChainStore::same_prefix(s.governors()[0].chain(),
-                                              s.governors()[1].chain()));
+  EXPECT_TRUE(ledger::ChainStore::same_prefix(s.governor(0).chain(),
+                                              s.governor(1).chain()));
 
   // The clock alone keeps it going.
   s.queue().run_until(s.queue().now() + timing.round_span);
-  EXPECT_EQ(s.governors().front().chain().height(), 4u);
+  EXPECT_EQ(s.governor(0).chain().height(), 4u);
 }
 
 TEST(SelfDriving, ScenarioRoundsAreTimerDriven) {
@@ -51,7 +51,7 @@ TEST(SelfDriving, ScenarioRoundsAreTimerDriven) {
   Scenario s(cfg);
   s.run();
   EXPECT_EQ(s.queue().pending(), 0u);
-  EXPECT_EQ(s.governors().front().chain().height(), 2u);
+  EXPECT_EQ(s.governor(0).chain().height(), 2u);
   ASSERT_EQ(s.history().size(), 2u);
   for (const auto& rec : s.history()) {
     EXPECT_TRUE(rec.leader.has_value());

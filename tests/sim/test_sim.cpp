@@ -98,7 +98,7 @@ TEST(Scenario, RunRoundAdvancesRoundCounter) {
   EXPECT_EQ(s.current_round(), 1u);
   s.run_round();
   EXPECT_EQ(s.current_round(), 2u);
-  EXPECT_EQ(s.governors().front().chain().height(), 2u);
+  EXPECT_EQ(s.governor(0).chain().height(), 2u);
 }
 
 TEST(Scenario, RewardsArePaidToCollectors) {
@@ -142,7 +142,7 @@ TEST(Scenario, HistoryRecordsEachRound) {
   }
   // Per-round block sizes sum to the chain's total record count.
   std::size_t total = 0;
-  for (const auto& b : s.governors().front().chain().blocks()) total += b.txs.size();
+  for (const auto& b : s.governor(0).chain().blocks()) total += b.txs.size();
   EXPECT_EQ(chain_txs, total);
 }
 
@@ -161,12 +161,12 @@ TEST(Scenario, CrashedGovernorHaltsLivenessNotSafety) {
   cfg.seed = 19;
   Scenario s(cfg);
   s.run_round();
-  ASSERT_EQ(s.governors().front().chain().height(), 1u);
+  ASSERT_EQ(s.governor(0).chain().height(), 1u);
 
-  s.network().set_node_down(s.governors()[2].node(), true);
+  s.network().set_node_down(s.governor(2).node(), true);
   s.run_round();
 
-  EXPECT_EQ(s.governors().front().chain().height(), 1u);  // no new block
+  EXPECT_EQ(s.governor(0).chain().height(), 1u);  // no new block
   const auto sum = s.summary();
   EXPECT_TRUE(sum.agreement);
   EXPECT_TRUE(sum.chains_audit_ok);

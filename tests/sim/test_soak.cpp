@@ -66,7 +66,7 @@ TEST_P(ProtocolSoak, InvariantsHoldUnderRandomizedRuns) {
 
   // Almost No Creation: every chain record is a registered, provider-signed
   // transaction.
-  for (const auto& block : s.governors().front().chain().blocks()) {
+  for (const auto& block : s.governor(0).chain().blocks()) {
     for (const auto& rec : block.txs) {
       ASSERT_TRUE(s.oracle().is_registered(rec.tx.id()));
     }
@@ -74,7 +74,7 @@ TEST_P(ProtocolSoak, InvariantsHoldUnderRandomizedRuns) {
 
   // Lemma 2: the unchecked fraction never exceeds f (+ sampling slack).
   for (auto& g : s.governors()) {
-    const auto& st = g.screening_stats();
+    const auto& st = g->screening_stats();
     if (st.screened >= 20) {
       const double frac =
           static_cast<double>(st.unchecked) / static_cast<double>(st.screened);
@@ -85,7 +85,7 @@ TEST_P(ProtocolSoak, InvariantsHoldUnderRandomizedRuns) {
 
   // Providers replicated the chain they were served.
   for (auto& p : s.providers()) {
-    EXPECT_EQ(p.chain().head_hash(), s.governors().front().chain().head_hash());
+    EXPECT_EQ(p.chain().head_hash(), s.governor(0).chain().head_hash());
     EXPECT_EQ(p.rejected_blocks(), 0u);
   }
 
