@@ -86,7 +86,7 @@ void u_bound_protocol(bench::JsonReport& json) {
 
 int main() {
   std::printf("bench_argue_latency — E10: U-bounded argues, lag-tolerant learning\n");
-  bench::JsonReport json("argue_latency");
+  bench::JsonReport json("argue_latency", 606);
   lag_sweep(json);
   u_bound_protocol(json);
   json.write();

@@ -70,7 +70,7 @@ void compare(const Mix& mix, double f, bench::JsonReport& json) {
 int main() {
   std::printf("bench_baselines — E8: reputation vs reputation-free screening\n");
   const double f = 0.7;
-  bench::JsonReport json("baselines");
+  bench::JsonReport json("baselines", 2024);
   json.field("f", bench::jf(f, 2));
 
   const Mix mixes[] = {

@@ -105,7 +105,7 @@ void full_protocol_check(bench::JsonReport& json) {
 
 int main() {
   std::printf("bench_combined_loss — E4 / Theorem 4: L <= S + O(sqrt((f+delta)N))\n");
-  bench::JsonReport json("combined_loss");
+  bench::JsonReport json("combined_loss", 321);
   simulator_sweep(json);
   full_protocol_check(json);
   json.write();

@@ -217,7 +217,7 @@ void pbft_comparison(bench::JsonReport& json) {
 
 int main() {
   std::printf("bench_communication — E5 / §4.1: O(b_limit*m) blocks, O(m^2) stake\n");
-  bench::JsonReport json("communication");
+  bench::JsonReport json("communication", 5);
   block_complexity(json);
   stake_complexity(json);
   upload_fanout();

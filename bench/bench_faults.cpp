@@ -1,0 +1,171 @@
+// Robustness under injected network faults: sweep burst-loss rate x healed
+// partition length at a fixed seed with reliable delivery on, and measure
+// what the fault schedule costs the protocol — committed throughput, mean
+// commit latency within the round, the unchecked fraction of the chain, the
+// reliable channel's masking effort (retransmissions) and the liveness
+// watchdog's stall count.
+//
+// Expected shape: loss up to ~20% is fully masked (same block count, a
+// bounded retransmission overhead, commit latency flat); a single-governor
+// partition costs nothing while it is not the leader and heals via the
+// catch-up sync; unchecked fraction stays at the fault-free level across all
+// loss rates because screening inputs arrive (late but intact) through the
+// ack/retry channel.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace repchain;
+using repchain::bench::fmt;
+using repchain::bench::fmt_u;
+using repchain::bench::Table;
+
+constexpr std::uint64_t kSeed = 7777;
+constexpr std::size_t kRounds = 10;
+
+sim::ScenarioConfig base_config() {
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 6;
+  cfg.topology.collectors = 4;
+  cfg.topology.governors = 4;
+  cfg.topology.r = 2;
+  cfg.rounds = kRounds;
+  cfg.txs_per_provider_per_round = 3;
+  cfg.p_valid = 0.8;
+  cfg.latency = net::LatencyModel{1 * kMillisecond, 2 * kMillisecond};
+  cfg.reliable_delivery = true;
+  cfg.seed = kSeed;
+  return cfg;
+}
+
+struct Point {
+  double loss = 0.0;
+  std::size_t partition_rounds = 0;
+  std::uint64_t blocks = 0;
+  double tx_per_s = 0.0;
+  double commit_ms = 0.0;  // mean commit instant relative to round start
+  double unchecked_fraction = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t loss_drops = 0;
+  std::uint64_t partition_drops = 0;
+  std::uint64_t stalled = 0;
+  bool agreement = false;
+  bool audit_ok = false;
+};
+
+Point measure(double loss, std::size_t partition_rounds) {
+  sim::ScenarioConfig cfg = base_config();
+  if (loss > 0.0) {
+    sim::LossSpec spec;
+    spec.from_round = 2;
+    spec.until_round = kRounds + 1;
+    spec.probability = loss;
+    cfg.faults.losses = {spec};
+  }
+  if (partition_rounds > 0) {
+    sim::PartitionSpec spec;
+    spec.from_round = 2;
+    spec.until_round = 2 + partition_rounds;  // healed afterwards
+    spec.governors = {cfg.topology.governors - 1};
+    cfg.faults.partitions = {spec};
+  }
+
+  sim::Scenario s(cfg);
+  s.run();
+  const auto sum = s.summary();
+
+  Point p;
+  p.loss = loss;
+  p.partition_rounds = partition_rounds;
+  p.blocks = sum.blocks;
+  const double sim_seconds =
+      static_cast<double>(kRounds) * static_cast<double>(s.timing().round_span) /
+      static_cast<double>(kSecond);
+  const std::uint64_t committed = sum.chain_valid_txs + sum.chain_unchecked_txs;
+  p.tx_per_s = static_cast<double>(committed) / sim_seconds;
+  p.unchecked_fraction =
+      committed == 0 ? 0.0
+                     : static_cast<double>(sum.chain_unchecked_txs) /
+                           static_cast<double>(committed);
+
+  double latency_sum = 0.0;
+  std::size_t latency_n = 0;
+  for (Round r = 1; r <= kRounds; ++r) {
+    const auto at = s.observer().commit_at(r);
+    if (!at) continue;
+    const SimTime start = static_cast<SimTime>(r - 1) * s.timing().round_span;
+    latency_sum += static_cast<double>(*at - start) /
+                   static_cast<double>(kMillisecond);
+    ++latency_n;
+  }
+  p.commit_ms = latency_n == 0 ? 0.0 : latency_sum / static_cast<double>(latency_n);
+
+  for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
+    if (const auto* ch = s.governor(g).channel()) {
+      p.retransmits += ch->stats().retransmits;
+    }
+  }
+  if (const auto* fs = s.fault_stats()) {
+    p.loss_drops = fs->loss_drops;
+    p.partition_drops = fs->partition_drops;
+  }
+  p.stalled = sum.stalled_events;
+  p.agreement = sum.agreement;
+  p.audit_ok = sum.chains_audit_ok;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Fault robustness: loss rate x partition length (seed " +
+                 std::to_string(kSeed) + ", " + std::to_string(kRounds) +
+                 " rounds, reliable delivery)");
+
+  bench::JsonReport json("faults", kSeed);
+  json.field("rounds", bench::ju(kRounds));
+
+  Table table({"loss", "part_rounds", "blocks", "tx/s", "commit_ms", "unchecked",
+               "retransmit", "stalled", "ok"},
+              12);
+  table.print_header();
+
+  const std::vector<double> losses = {0.0, 0.05, 0.10, 0.20};
+  const std::vector<std::size_t> partitions = {0, 1, 3};
+  for (const double loss : losses) {
+    for (const std::size_t part : partitions) {
+      const Point p = measure(loss, part);
+      const bool ok = p.agreement && p.audit_ok;
+      table.row({fmt(p.loss, 2), fmt_u(p.partition_rounds), fmt_u(p.blocks),
+                 fmt(p.tx_per_s, 1), fmt(p.commit_ms, 2),
+                 fmt(p.unchecked_fraction, 3), fmt_u(p.retransmits),
+                 fmt_u(p.stalled), ok ? "yes" : "NO"});
+      json.row("sweep", {{"loss", bench::jf(p.loss, 2)},
+                         {"partition_rounds", bench::ju(p.partition_rounds)},
+                         {"blocks", bench::ju(p.blocks)},
+                         {"tx_per_s", bench::jf(p.tx_per_s, 2)},
+                         {"commit_latency_ms", bench::jf(p.commit_ms, 3)},
+                         {"unchecked_fraction", bench::jf(p.unchecked_fraction, 4)},
+                         {"retransmits", bench::ju(p.retransmits)},
+                         {"loss_drops", bench::ju(p.loss_drops)},
+                         {"partition_drops", bench::ju(p.partition_drops)},
+                         {"stalled_events", bench::ju(p.stalled)},
+                         {"agreement", p.agreement ? "true" : "false"},
+                         {"audit_ok", p.audit_ok ? "true" : "false"}});
+    }
+  }
+
+  bench::note("");
+  bench::note(
+      "Loss is masked by ack/retry (retransmits grow with the rate, blocks and "
+      "unchecked fraction do not); a one-governor partition is invisible to "
+      "the majority and heals via catch-up sync; 'NO' in the last column "
+      "would mean a divergent or audit-failing replica.");
+  json.write();
+  return 0;
+}

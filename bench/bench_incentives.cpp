@@ -135,7 +135,7 @@ void conceal_ablation() {
 
 int main() {
   std::printf("bench_incentives — E6 / §4.2: revenue punishes all misbehaviour\n");
-  bench::JsonReport json("incentives");
+  bench::JsonReport json("incentives", 4242);
   cohorts(json);
   mu_nu_sweep(json);
   conceal_ablation();

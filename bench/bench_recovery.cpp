@@ -131,7 +131,7 @@ void file_backed(bench::JsonReport& json) {
 
 int main() {
   std::printf("bench_recovery — durable footprint and crash-restart cost\n");
-  bench::JsonReport json("recovery");
+  bench::JsonReport json("recovery", 31);
   sweep(json);
   file_backed(json);
   json.write();

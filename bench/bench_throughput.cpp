@@ -98,7 +98,7 @@ void write_json_summary() {
   const auto sum = s.summary();
   const double sim_s =
       static_cast<double>(s.queue().now()) / (1000.0 * kMillisecond);
-  bench::JsonReport json("throughput");
+  bench::JsonReport json("throughput", 12);
   json.field("providers", bench::ju(cfg.topology.providers))
       .field("collectors", bench::ju(cfg.topology.collectors))
       .field("governors", bench::ju(cfg.topology.governors))

@@ -115,7 +115,7 @@ void hoeffding_tail(bench::JsonReport& json) {
 
 int main() {
   std::printf("bench_unchecked — E2 (Lemma 2) and E3 (Theorem 3)\n");
-  bench::JsonReport json("unchecked");
+  bench::JsonReport json("unchecked", 77);
   full_protocol_sweep(json);
   simulator_sweep(json);
   hoeffding_tail(json);

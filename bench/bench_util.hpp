@@ -68,18 +68,47 @@ inline std::string jf(double v, int precision = 6) {
 inline std::string js(const std::string& v) {
   std::string out = "\"";
   for (char c : v) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out + "\"";
+}
+
+/// Build-stamped short commit hash (set by bench/CMakeLists.txt); "unknown"
+/// outside a git checkout.
+inline std::string git_sha() {
+#ifdef REPCHAIN_GIT_SHA
+  return REPCHAIN_GIT_SHA;
+#else
+  return "unknown";
+#endif
 }
 
 /// Accumulates scalar fields and named series (arrays of flat objects), then
 /// writes `BENCH_<name>.json` into the current working directory.
 class JsonReport {
  public:
-  explicit JsonReport(std::string name) : name_(std::move(name)) {
+  /// `seed` is the bench's primary scenario seed (0 when the bench has no
+  /// single canonical seed). Every report carries the seed and the build's
+  /// git SHA so a dashboard can trace any number back to an exact run.
+  explicit JsonReport(std::string name, std::uint64_t seed = 0)
+      : name_(std::move(name)) {
     field("benchmark", js(name_));
+    field("git_sha", js(git_sha()));
+    field("seed", ju(seed));
   }
 
   /// Add one scalar field; `value` must already be a JSON literal (use

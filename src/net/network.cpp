@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "common/errors.hpp"
 
 namespace repchain::net {
@@ -58,7 +60,10 @@ void SimNetwork::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) {
   msg.payload = std::move(payload);
   msg.sent_at = queue_.now();
 
-  const SimTime deliver_at = queue_.now() + draw_delay();
+  SimTime deliver_at = queue_.now() + draw_delay();
+  if (const auto slow = link_delay_.find(link_key(from, to)); slow != link_delay_.end()) {
+    deliver_at += slow->second;
+  }
   queue_.schedule_at(deliver_at, [this, msg = std::move(msg), deliver_at]() mutable {
     msg.delivered_at = deliver_at;
     auto& handler = handlers_.at(msg.to.value());
@@ -72,17 +77,40 @@ void SimNetwork::multicast(NodeId from, std::span<const NodeId> to, MsgKind kind
 }
 
 void SimNetwork::set_drop_probability(NodeId from, NodeId to, double p) {
-  if (p < 0.0 || p > 1.0) throw ConfigError("drop probability out of [0,1]");
-  drop_[link_key(from, to)] = p;
+  // Clamp rather than throw: fault scripts sweep probabilities and a value a
+  // hair outside [0,1] (or a NaN) must not tear the run down mid-flight.
+  if (!(p > 0.0)) p = 0.0;
+  drop_[link_key(from, to)] = std::min(p, 1.0);
 }
 
 void SimNetwork::set_node_down(NodeId node, bool down) {
   down_.at(node.value()) = down;
 }
 
+void SimNetwork::set_link_delay(NodeId from, NodeId to, SimDuration extra) {
+  if (extra == 0) {
+    link_delay_.erase(link_key(from, to));
+  } else {
+    link_delay_[link_key(from, to)] = extra;
+  }
+}
+
 void SimNetwork::deliver_direct(const Message& msg) {
   auto& handler = handlers_.at(msg.to.value());
-  if (handler && !down_[msg.to.value()] && !down_[msg.from.value()]) handler(msg);
+  if (!handler || down_[msg.to.value()] || down_[msg.from.value()]) return;
+  if (msg.seq != 0) {
+    // Sequenced (atomic-broadcast) copy: group sequences rise monotonically
+    // per sender, so a sequence at or below the per-link mark is a
+    // re-delivery (fault-injected duplication) — ignore it rather than
+    // double-apply.
+    std::uint64_t& high = delivered_seq_[link_key(msg.from, msg.to)];
+    if (msg.seq <= high) {
+      ++stats_.duplicates_ignored;
+      return;
+    }
+    high = msg.seq;
+  }
+  handler(msg);
 }
 
 void SimNetwork::count_broadcast(MsgKind kind, std::size_t copies,

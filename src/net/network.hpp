@@ -34,6 +34,9 @@ struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  /// Re-deliveries of an already-sequenced broadcast copy suppressed by the
+  /// per-link guard in deliver_direct (fault-injected duplication).
+  std::uint64_t duplicates_ignored = 0;
   std::map<MsgKind, std::uint64_t> by_kind;
   std::map<MsgKind, std::uint64_t> bytes_by_kind;
 };
@@ -65,9 +68,14 @@ class SimNetwork final : public runtime::Transport {
                  const Bytes& payload) override;
 
   /// Fault injection: fraction of messages lost on the (from, to) link.
+  /// `p` is clamped into [0, 1] (a NaN clamps to 0).
   void set_drop_probability(NodeId from, NodeId to, double p);
   /// Fault injection: all messages sent by `node` are lost (crash).
   void set_node_down(NodeId node, bool down);
+  /// Fault injection: add `extra` to every delay drawn on the (from, to)
+  /// link (a slow link). 0 removes the entry. The fault-schedule engine
+  /// reuses this hook for per-link delay specs.
+  void set_link_delay(NodeId from, NodeId to, SimDuration extra);
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
@@ -96,6 +104,10 @@ class SimNetwork final : public runtime::Transport {
   std::vector<Handler> handlers_;
   std::vector<bool> down_;
   std::unordered_map<std::uint64_t, double> drop_;  // key = from<<32 | to
+  std::unordered_map<std::uint64_t, SimDuration> link_delay_;   // same key
+  // Highest broadcast sequence delivered per (from, to): group sequences are
+  // monotone per sender, so anything at or below the mark is a re-delivery.
+  std::unordered_map<std::uint64_t, std::uint64_t> delivered_seq_;
   NetworkStats stats_;
 };
 

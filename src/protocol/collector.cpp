@@ -10,7 +10,7 @@ Collector::Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningK
                      const identity::IdentityManager& im,
                      ledger::ValidationOracle& oracle, const Directory& directory,
                      runtime::AtomicBroadcastGroup& upload_group,
-                     CollectorBehavior behavior)
+                     CollectorBehavior behavior, bool reliable_delivery)
     : id_(id),
       ctx_(ctx),
       node_(ctx.node()),
@@ -19,9 +19,19 @@ Collector::Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningK
       oracle_(oracle),
       directory_(directory),
       upload_group_(upload_group),
-      behavior_(behavior) {}
+      behavior_(behavior) {
+  if (reliable_delivery) {
+    channel_.emplace(ctx_, /*epoch=*/0);
+    channel_->set_deliver([this](const runtime::Message& m) { on_message(m); });
+  }
+}
 
 void Collector::on_message(const runtime::Message& msg) {
+  if (msg.kind == runtime::MsgKind::kReliableData ||
+      msg.kind == runtime::MsgKind::kReliableAck) {
+    if (channel_) channel_->on_message(msg);
+    return;
+  }
   if (msg.kind != runtime::MsgKind::kProviderTx) return;
   ledger::Transaction tx;
   try {
@@ -59,11 +69,21 @@ void Collector::on_message(const runtime::Message& msg) {
   }
 }
 
+void Collector::upload_fanout(const Bytes& payload) {
+  if (!channel_) {
+    upload_group_.broadcast(node_, runtime::MsgKind::kCollectorUpload, payload);
+    return;
+  }
+  for (const NodeId gov : directory_.governor_nodes()) {
+    channel_->send(gov, runtime::MsgKind::kCollectorUpload, payload);
+  }
+}
+
 void Collector::upload(const ledger::Transaction& tx, Label label) {
   ++stats_.uploaded;
   if (!behavior_.equivocate) {
     const ledger::LabeledTransaction ltx = ledger::make_labeled(tx, label, id_, key_);
-    upload_group_.broadcast(node_, runtime::MsgKind::kCollectorUpload, ltx.encode());
+    upload_fanout(ltx.encode());
     return;
   }
   // Equivocation: a Byzantine collector bypasses the atomic broadcast and
@@ -92,7 +112,7 @@ void Collector::upload_forgery(ProviderId provider) {
 
   const ledger::LabeledTransaction ltx =
       ledger::make_labeled(fake, Label::kValid, id_, key_);
-  upload_group_.broadcast(node_, runtime::MsgKind::kCollectorUpload, ltx.encode());
+  upload_fanout(ltx.encode());
 }
 
 }  // namespace repchain::protocol

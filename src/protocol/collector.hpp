@@ -1,11 +1,14 @@
 #pragma once
 
+#include <optional>
+
 #include "crypto/ed25519.hpp"
 #include "identity/identity_manager.hpp"
 #include "ledger/validation_oracle.hpp"
 #include "protocol/directory.hpp"
 #include "runtime/atomic_broadcast.hpp"
 #include "runtime/node_context.hpp"
+#include "runtime/reliable_channel.hpp"
 
 namespace repchain::protocol {
 
@@ -74,10 +77,14 @@ struct CollectorStats {
 /// Behavioral randomness draws from the NodeContext's per-node rng stream.
 class Collector {
  public:
+  /// `reliable_delivery` routes uploads through a per-node ReliableChannel
+  /// (ack + retransmit) to each governor instead of the atomic broadcast
+  /// group; equivocators keep their bare per-governor sends (a Byzantine
+  /// collector steps outside the delivery primitive either way).
   Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
             const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
             const Directory& directory, runtime::AtomicBroadcastGroup& upload_group,
-            CollectorBehavior behavior);
+            CollectorBehavior behavior, bool reliable_delivery = false);
 
   /// Network delivery entry point (kProviderTx messages).
   void on_message(const runtime::Message& msg);
@@ -86,10 +93,16 @@ class Collector {
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] const CollectorBehavior& behavior() const { return behavior_; }
   [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+  [[nodiscard]] const runtime::ReliableChannel* channel() const {
+    return channel_ ? &*channel_ : nullptr;
+  }
 
  private:
   void upload(const ledger::Transaction& tx, ledger::Label label);
   void upload_forgery(ProviderId provider);
+  /// Honest upload fan-out: the broadcast group, or per-governor reliable
+  /// channel sends in reliable mode.
+  void upload_fanout(const Bytes& payload);
 
   CollectorId id_;
   runtime::NodeContext& ctx_;
@@ -101,6 +114,7 @@ class Collector {
   runtime::AtomicBroadcastGroup& upload_group_;
   CollectorBehavior behavior_;
   CollectorStats stats_;
+  std::optional<runtime::ReliableChannel> channel_;
   std::uint64_t forge_seq_ = 1'000'000'000;  // distinct seq space for fabrications
 };
 

@@ -42,14 +42,56 @@ Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey 
     table_.register_collector(c);
     for (ProviderId p : directory_.providers_of(c)) table_.link(c, p);
   }
+
+  if (config_.reliable_delivery) {
+    channel_.emplace(ctx_, config_.channel_epoch);
+    channel_->set_deliver([this](const runtime::Message& m) { on_message(m); });
+    stake_consensus_.set_reliable(
+        [this](NodeId to, runtime::MsgKind kind, const Bytes& payload) {
+          rsend(to, kind, payload);
+        },
+        [this](runtime::MsgKind kind, const Bytes& payload) {
+          rbroadcast(kind, payload);
+        });
+  }
+}
+
+void Governor::rsend(NodeId to, runtime::MsgKind kind, const Bytes& payload) {
+  if (channel_) {
+    channel_->send(to, kind, payload);
+  } else {
+    ctx_.transport().send(node_, to, kind, payload);
+  }
+}
+
+void Governor::rbroadcast(runtime::MsgKind kind, const Bytes& payload) {
+  if (!channel_) {
+    group_.broadcast(node_, kind, payload);
+    return;
+  }
+  for (const NodeId peer : sync_peers_) channel_->send(peer, kind, payload);
+  // Local loopback: our own copy never crosses the network (the atomic
+  // broadcast group delivers to self; the channel path must too).
+  runtime::Message self;
+  self.from = node_;
+  self.to = node_;
+  self.kind = kind;
+  self.payload = payload;
+  self.sent_at = ctx_.now();
+  self.delivered_at = ctx_.now();
+  on_message(self);
 }
 
 void Governor::emit(runtime::TraceKind kind, std::uint64_t arg0, std::uint64_t arg1) {
-  ctx_.emit(runtime::TraceEvent{kind, node_, round_, arg0, arg1});
+  ctx_.emit(runtime::TraceEvent{kind, node_, round_, arg0, arg1, ctx_.now()});
 }
 
 void Governor::on_message(const runtime::Message& msg) {
   switch (msg.kind) {
+    case runtime::MsgKind::kReliableData:
+    case runtime::MsgKind::kReliableAck:
+      if (channel_) channel_->on_message(msg);
+      return;
     case runtime::MsgKind::kCollectorUpload:
       intake_.on_upload(msg);
       break;
@@ -104,6 +146,9 @@ void Governor::arm_round(Round round, SimTime t0, const RoundTiming& timing) {
                      [this] { run_stake_consensus_if_leader(); });
   timers.schedule_at(t0 + timing.audit_offset,
                      [this] { emit(runtime::TraceKind::kAuditPoint); });
+  if (config_.watchdog_rounds > 0) {
+    timers.schedule_at(t0 + timing.round_span, [this] { watchdog_check(); });
+  }
   if (auto_rounds_) {
     timers.schedule_at(t0 + timing.round_span, [this, round, t0] {
       emit(runtime::TraceKind::kRoundEnded);
@@ -124,7 +169,7 @@ void Governor::gossip_labels() {
   if (!config_.enable_label_gossip) return;
   auto payload = equivocation_.take_gossip_payload();
   if (!payload) return;
-  group_.broadcast(node_, runtime::MsgKind::kLabelGossip, std::move(*payload));
+  rbroadcast(runtime::MsgKind::kLabelGossip, *payload);
 }
 
 void Governor::on_label_gossip(const runtime::Message& msg) {
@@ -164,13 +209,34 @@ std::vector<ledger::TxId> Governor::unrevealed_unchecked() const {
 void Governor::begin_round(Round round) {
   round_ = round;
   leader_announced_ = false;
+  // A reliable-mode replica that committed nothing in the previous round may
+  // be behind rather than merely stalled — e.g. it rejected the real
+  // leader's proposal against an incomplete election view and the reliable
+  // channel will never redeliver it. Hold it out of this election until one
+  // sync pass confirms (or repairs) its head; head_checked_ limits the
+  // hold-down to one round per stall episode.
+  if (channel_ && round > 1 && chain_.height() == round_start_height_ &&
+      !head_checked_) {
+    recovering_ = true;
+  }
+  round_start_height_ = chain_.height();
   emit(runtime::TraceKind::kRoundStarted);
+  // Proposals stashed against the previous round's winner are dead now.
+  metrics_.blocks_rejected += pending_proposals_.size();
+  pending_proposals_.clear();
   // Age out the equivocation evidence base.
   equivocation_.age_out();
   election_.emplace(round, stake_consensus_.stake(), expelled_);
+  // A recovering replica follows the round (accepts announcements and
+  // proposals) but does not announce: winning an election with a stale chain
+  // would make it propose — and self-commit — a forked block.
+  if (recovering_) {
+    sync_chain();
+    return;
+  }
   const VrfAnnounceMsg msg =
       make_announcement(round, id_, stake_consensus_.stake().of(id_), key_);
-  group_.broadcast(node_, runtime::MsgKind::kVrfAnnounce, msg.encode());
+  rbroadcast(runtime::MsgKind::kVrfAnnounce, msg.encode());
 }
 
 void Governor::on_vrf(const runtime::Message& msg) {
@@ -181,14 +247,30 @@ void Governor::on_vrf(const runtime::Message& msg) {
   } catch (const DecodeError&) {
     return;
   }
-  (void)election_->add_announcement(announce, im_,
-                                    directory_.node_of(announce.governor));
+  const bool fresh = election_->add_announcement(
+      announce, im_, directory_.node_of(announce.governor));
+  // Echo relay (reliable mode): forward a first-seen valid announcement to
+  // the remaining governors over our own channel, so its delivery no longer
+  // depends on the announcer staying alive to retransmit it. Without the
+  // echo, a crash right after announcing can split the election view at
+  // propose time: the peers that saw the winner wait for a dead leader while
+  // the rest elect — and fork behind — somebody else. The proofs are
+  // verified against the announcer's enrolled key, so a relay cannot forge,
+  // and the first-seen gate stops re-echo storms.
+  if (fresh && channel_ && announce.governor != id_) {
+    const NodeId origin = directory_.node_of(announce.governor);
+    for (const NodeId peer : sync_peers_) {
+      if (peer == origin || peer == msg.from) continue;
+      channel_->send(peer, runtime::MsgKind::kVrfAnnounce, msg.payload);
+    }
+  }
   if (!leader_announced_) {
     if (const auto winner = election_->winner()) {
       leader_announced_ = true;
       emit(runtime::TraceKind::kLeaderElected, winner->value());
     }
   }
+  retry_pending_proposals();
 }
 
 bool Governor::is_leader() const { return election_ && election_->winner() == id_; }
@@ -199,11 +281,40 @@ std::optional<GovernorId> Governor::round_leader() const {
 
 // --- Block proposal / adoption -----------------------------------------------
 
+void Governor::close_election() {
+  if (!channel_ || !election_) return;
+  election_->close(election_->expected() / 2 + 1);
+  if (!leader_announced_) {
+    if (const auto winner = election_->winner()) {
+      leader_announced_ = true;
+      emit(runtime::TraceKind::kLeaderElected, winner->value());
+    }
+  }
+  retry_pending_proposals();
+}
+
+void Governor::watchdog_check() {
+  if (chain_.height() > round_start_height_) {
+    stalled_rounds_ = 0;
+    return;
+  }
+  ++stalled_rounds_;
+  if (stalled_rounds_ < config_.watchdog_rounds) return;
+  // Degrade gracefully instead of hanging: surface the stall and try to
+  // adopt peers' blocks. The next begin_round re-arms the election anyway.
+  ++metrics_.watchdog_trips;
+  emit(runtime::TraceKind::kRoundStalled, stalled_rounds_);
+  sync_chain();
+}
+
 void Governor::propose_if_leader() {
+  // In reliable mode an election may never complete (announcements lost to a
+  // partition); close it on a majority quorum now so the round can proceed.
+  close_election();
   if (!is_leader()) return;
   const ledger::Block block =
       assembler_.propose(chain_, round_, id_, config_.block_limit, key_);
-  group_.broadcast(node_, runtime::MsgKind::kBlockProposal, block.encode());
+  rbroadcast(runtime::MsgKind::kBlockProposal, block.encode());
 }
 
 void Governor::on_block_proposal(const runtime::Message& msg) {
@@ -214,14 +325,26 @@ void Governor::on_block_proposal(const runtime::Message& msg) {
     ++metrics_.blocks_rejected;
     return;
   }
-
-  // Leader legitimacy: the proposer must be this round's election winner and
-  // the signature must authenticate as that governor.
-  const auto winner = round_leader();
-  if (!winner || block.leader != *winner || expelled_.contains(block.leader)) {
+  if (expelled_.contains(block.leader)) {
     ++metrics_.blocks_rejected;
     return;
   }
+
+  // Leader legitimacy: the proposer must be this round's election winner. A
+  // proposal can legitimately race ahead of its own election — announcements
+  // are still in flight right after a heal or a restart — so an undecided or
+  // mismatching winner view stashes the proposal for re-evaluation instead
+  // of discarding it; retry_pending_proposals settles it once the view
+  // converges, and the next begin_round drops whatever never matched.
+  const auto winner = round_leader();
+  if (!winner || block.leader != *winner) {
+    pending_proposals_.push_back(std::move(block));
+    return;
+  }
+  adopt_proposal(std::move(block));
+}
+
+void Governor::adopt_proposal(ledger::Block block) {
   const NodeId leader_node = directory_.node_of(block.leader);
   if (!im_.authorize(leader_node, identity::Role::kGovernor, block.signed_preimage(),
                      block.leader_sig)) {
@@ -253,12 +376,30 @@ void Governor::on_block_proposal(const runtime::Message& msg) {
     return;
   }
   ++metrics_.blocks_accepted;
+  head_checked_ = false;
 
   // Reconcile local pending list: drop records now present in the chain.
   const ledger::Block& accepted = chain_.head();
   persist_block(accepted);
   assembler_.reconcile(accepted);
   emit(runtime::TraceKind::kBlockCommitted, accepted.serial, accepted.txs.size());
+}
+
+void Governor::retry_pending_proposals() {
+  if (pending_proposals_.empty()) return;
+  const auto winner = round_leader();
+  if (!winner) return;
+  std::vector<ledger::Block> pending = std::move(pending_proposals_);
+  pending_proposals_.clear();
+  for (auto& block : pending) {
+    if (block.leader == *winner && !expelled_.contains(block.leader)) {
+      adopt_proposal(std::move(block));
+    } else {
+      // A better announcement may still arrive and shift the winner (the
+      // election tracks the best ticket even after a quorum close).
+      pending_proposals_.push_back(std::move(block));
+    }
+  }
 }
 
 void Governor::on_block_request(const runtime::Message& msg) {
@@ -276,8 +417,7 @@ void Governor::on_block_request(const runtime::Message& msg) {
     resp.found = true;
     resp.block = block->encode();
   }
-  ctx_.transport().send(node_, msg.from, runtime::MsgKind::kBlockResponse,
-                        resp.encode());
+  rsend(msg.from, runtime::MsgKind::kBlockResponse, resp.encode());
 }
 
 // --- Catch-up sync (provider light-client sync, reused node-to-node) ---------
@@ -291,14 +431,34 @@ void Governor::sync_chain() {
     return;
   }
   sync_in_flight_ = true;
+  sync_not_found_ = 0;
   request_block(chain_.height() + 1);
 }
 
+SimDuration Governor::sync_timeout() const { return 8 * ctx_.delta(); }
+
 void Governor::request_block(BlockSerial serial) {
-  const NodeId peer = sync_peers_[serial % sync_peers_.size()];
+  const NodeId peer = sync_peers_[(serial + sync_attempts_) % sync_peers_.size()];
   BlockRequestMsg req;
   req.serial = serial;
-  ctx_.transport().send(node_, peer, runtime::MsgKind::kBlockRequest, req.encode());
+  const std::uint64_t nonce = ++sync_nonce_;
+  rsend(peer, runtime::MsgKind::kBlockRequest, req.encode());
+  // A lost request or response must not wedge the sync flag forever: give up
+  // on this attempt after a grace window unless a newer request superseded
+  // it. Stashed future blocks stay stashed — a later sync (watchdog- or
+  // proposal-triggered) can still fill the gap below them.
+  ctx_.timers().schedule_after(sync_timeout(), [this, nonce] {
+    if (!sync_in_flight_ || nonce != sync_nonce_) return;
+    ++metrics_.sync_timeouts;
+    ++sync_attempts_;
+    sync_in_flight_ = false;
+    drain_stash();
+    // The restart hold-down depends on a sync eventually succeeding: keep
+    // polling (next peer each attempt) until one pass completes — e.g. a
+    // replica that restarted inside a partition can only catch up after the
+    // heal, long after its first request died.
+    if (recovering_) sync_chain();
+  });
 }
 
 void Governor::on_block_response(const runtime::Message& msg) {
@@ -312,8 +472,17 @@ void Governor::on_block_response(const runtime::Message& msg) {
   if (resp.serial != chain_.height() + 1) return;  // stale response
 
   if (!resp.found) {
-    // Peer has nothing above our head.
-    finish_sync();
+    // Peer has nothing above our head. Corroborate before concluding the
+    // pass: a lone answer may come from a replica exactly as far behind as
+    // we are, and a false "caught up" lets a stale replica win an election
+    // and fork. Majority agreement (or a timeout ending the pass) decides.
+    ++sync_not_found_;
+    if (sync_not_found_ >= sync_peers_.size() / 2 + 1) {
+      finish_sync();
+    } else {
+      ++sync_attempts_;  // rotate to the next peer
+      request_block(chain_.height() + 1);
+    }
     return;
   }
 
@@ -343,6 +512,8 @@ void Governor::on_block_response(const runtime::Message& msg) {
     return;
   }
   ++metrics_.blocks_synced;
+  head_checked_ = false;
+  sync_not_found_ = 0;  // progress: restart the not-found corroboration
   const ledger::Block& adopted = chain_.head();
   persist_block(adopted);
   assembler_.reconcile(adopted);
@@ -355,6 +526,8 @@ void Governor::on_block_response(const runtime::Message& msg) {
 
 void Governor::finish_sync() {
   sync_in_flight_ = false;
+  recovering_ = false;   // reached a peer and drained its head: caught up
+  head_checked_ = true;  // further commit-free rounds do not re-trigger it
   drain_stash();
   // Stashed proposals still above the head are unadoptable: the gap below
   // them cannot be filled from any peer.
@@ -385,6 +558,7 @@ void Governor::drain_stash() {
     }
     future_blocks_.erase(it);
     ++metrics_.blocks_accepted;
+    head_checked_ = false;
     const ledger::Block& accepted = chain_.head();
     persist_block(accepted);
     assembler_.reconcile(accepted);
@@ -594,13 +768,16 @@ void Governor::recover_from_store() {
   }
   assembler_.reset_from_chain(chain_);
   blocks_since_snapshot_ = 0;
+  // Reliable mode only: default delivery keeps the synchronous-model
+  // assumption that the restart sync completes before the next election.
+  recovering_ = channel_.has_value();
 }
 
 // --- Expulsion ---------------------------------------------------------------
 
 void Governor::broadcast_expel(GovernorId accused, Bytes evidence) {
   const ExpelMsg msg = make_expel(round_, id_, accused, std::move(evidence), key_);
-  group_.broadcast(node_, runtime::MsgKind::kExpelEvidence, msg.encode());
+  rbroadcast(runtime::MsgKind::kExpelEvidence, msg.encode());
 }
 
 void Governor::on_expel(const runtime::Message& msg) {

@@ -23,6 +23,7 @@
 #include "protocol/stake_consensus.hpp"
 #include "runtime/atomic_broadcast.hpp"
 #include "runtime/node_context.hpp"
+#include "runtime/reliable_channel.hpp"
 #include "storage/node_state_store.hpp"
 
 namespace repchain::protocol {
@@ -176,6 +177,10 @@ class Governor {
   unchecked_entries() const {
     return argues_.entries();
   }
+  /// The reliable channel, or nullptr when config.reliable_delivery is off.
+  [[nodiscard]] const runtime::ReliableChannel* channel() const {
+    return channel_ ? &*channel_ : nullptr;
+  }
 
  private:
   void on_argue(const runtime::Message& msg);
@@ -192,6 +197,27 @@ class Governor {
 
   void broadcast_expel(GovernorId accused, Bytes evidence);
   void emit(runtime::TraceKind kind, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+  /// Unicast through the reliable channel when one is configured, else the
+  /// bare transport.
+  void rsend(NodeId to, runtime::MsgKind kind, const Bytes& payload);
+  /// Governor-group broadcast: the atomic broadcast group by default; in
+  /// reliable mode, per-peer channel sends plus a synchronous local loopback
+  /// (the channel guarantees delivery, not total order — every reliable-mode
+  /// receive path is order-tolerant).
+  void rbroadcast(runtime::MsgKind kind, const Bytes& payload);
+  /// Reliable-mode degraded election closure (majority quorum) at propose
+  /// time; no-op otherwise.
+  void close_election();
+  /// Serial/link/authenticity checks + append for a proposal whose leader
+  /// legitimacy has already been established.
+  void adopt_proposal(ledger::Block block);
+  /// Re-evaluate proposals stashed while this round's winner was undecided
+  /// (see pending_proposals_).
+  void retry_pending_proposals();
+  /// Liveness watchdog (config.watchdog_rounds): fires at each round end.
+  void watchdog_check();
+  [[nodiscard]] SimDuration sync_timeout() const;
 
   /// Ask a peer governor for block `serial` (round-robin over peers).
   void request_block(BlockSerial serial);
@@ -230,14 +256,47 @@ class Governor {
   bool leader_announced_ = false;  // trace: kLeaderElected emitted this round
   std::set<GovernorId> expelled_;
 
+  // Reliable delivery (config.reliable_delivery).
+  std::optional<runtime::ReliableChannel> channel_;
+
+  // Liveness watchdog (config.watchdog_rounds).
+  std::size_t stalled_rounds_ = 0;
+  BlockSerial round_start_height_ = 0;
+
   // Durable state + catch-up sync.
   storage::NodeStateStore* store_ = nullptr;
   std::size_t blocks_since_snapshot_ = 0;
   std::vector<NodeId> sync_peers_;  // other governors' nodes
   bool sync_in_flight_ = false;
+  std::uint64_t sync_nonce_ = 0;  // guards the per-request timeout timers
+  std::uint64_t sync_attempts_ = 0;  // rotates the polled peer across retries
+  // Peers that reported nothing above our head in the current sync pass. One
+  // such answer is not proof of being caught up (the peer may be exactly as
+  // far behind — e.g. our partition island mate); the pass only concludes
+  // once a majority of peers agree.
+  std::size_t sync_not_found_ = 0;
+  // Reliable-mode hold-down: a governor that restarted — or that committed
+  // nothing in the previous round and so may have silently fallen behind —
+  // must not announce in elections (and so can never lead) until one sync
+  // pass completes: a stale winner would fork itself by proposing on an
+  // outdated chain. While recovering, a timed-out sync retries against the
+  // next peer.
+  bool recovering_ = false;
+  // True once a sync pass has confirmed the head since the last commit.
+  // Bounds the stall-triggered hold-down to one round per stall episode, so
+  // a cluster-wide stall (e.g. a quorum-splitting partition) cannot keep
+  // every governor out of the election forever.
+  bool head_checked_ = false;
   // Authenticated proposals from ahead of our head (we missed blocks while
   // down): stashed until sync fills the gap, rejected if it cannot.
   std::map<BlockSerial, ledger::Block> future_blocks_;
+  // Proposals whose leader check failed while this round's winner was still
+  // undecided (election not yet closed, or announcements still in flight):
+  // re-evaluated on every fresh announcement and at close, dropped at the
+  // next begin_round. Without the retry, a proposal racing ahead of its
+  // election — common right after a heal or restart — is rejected forever
+  // even though the reliable channel delivered it exactly once.
+  std::vector<ledger::Block> pending_proposals_;
 
   // Self-driving mode (drive_rounds).
   bool auto_rounds_ = false;

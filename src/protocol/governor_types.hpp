@@ -27,6 +27,22 @@ struct GovernorConfig {
   /// (and truncate the WAL) every N committed blocks. 0 keeps the paper's
   /// recovery points only — snapshots happen at stake-transform commits.
   std::size_t snapshot_interval = 0;
+  /// Opt-in reliable delivery: protocol-critical traffic (uploads, governor
+  /// peer messages, block sync) goes through a ReliableChannel
+  /// (ack + retransmit + backoff) instead of the bare transport, and the
+  /// leader election closes on a majority quorum at propose time rather
+  /// than requiring every announcement. Off by default — the clean-network
+  /// golden runs stay bit-identical.
+  bool reliable_delivery = false;
+  /// Liveness watchdog: after this many consecutive rounds without a local
+  /// commit, the governor emits a kRoundStalled trace and triggers a peer
+  /// sync instead of hanging. 0 disables (the default; fault schedules
+  /// enable it).
+  std::size_t watchdog_rounds = 0;
+  /// ReliableChannel incarnation number; the host increments it across
+  /// crash/restart cycles so peers never mistake the new life's sequence
+  /// space for replays of the old one.
+  std::uint32_t channel_epoch = 0;
 };
 
 /// Loss bookkeeping on one unchecked transaction, kept for the experiments:
@@ -53,6 +69,8 @@ struct GovernorMetrics {
   std::uint64_t blocks_accepted = 0;
   std::uint64_t blocks_rejected = 0;
   std::uint64_t blocks_synced = 0;  // adopted via catch-up sync, not proposal
+  std::uint64_t sync_timeouts = 0;  // catch-up requests that got no answer
+  std::uint64_t watchdog_trips = 0; // kRoundStalled events emitted
   std::uint64_t equivocations_detected = 0;
   std::uint64_t uploads_invisible = 0;  // from collectors outside this
                                         // governor's partial view

@@ -54,8 +54,14 @@ bool ElectionState::add_announcement(const VrfAnnounceMsg& msg,
 
 bool ElectionState::complete() const { return seen_.size() == expected_.size(); }
 
+void ElectionState::close(std::size_t quorum) {
+  if (complete() || closed_) return;
+  if (seen_.size() >= quorum && quorum > 0) closed_ = true;
+}
+
 std::optional<GovernorId> ElectionState::winner() const {
-  if (!complete() || expected_.empty()) return std::nullopt;
+  if (expected_.empty() || seen_.empty()) return std::nullopt;
+  if (!complete() && !closed_) return std::nullopt;
   return best_.governor;
 }
 

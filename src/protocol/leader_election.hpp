@@ -30,8 +30,16 @@ class ElectionState {
                         NodeId sender_node);
 
   [[nodiscard]] bool complete() const;
-  /// The winner once complete; nullopt before that.
+  /// The winner once complete (or once closed on a quorum); nullopt before.
   [[nodiscard]] std::optional<GovernorId> winner() const;
+
+  /// Degraded closure for lossy/partitioned networks: if at least `quorum`
+  /// announcements arrived, accept the best ticket seen so far as the
+  /// winner without waiting for the stragglers. A majority quorum keeps two
+  /// sides of a partition from electing different leaders: at most one side
+  /// can reach it. No-op below the quorum or after completion.
+  void close(std::size_t quorum);
+  [[nodiscard]] bool closed() const { return closed_; }
 
   /// Minimum-hash tie-break key: (hash, governor, unit), lexicographic.
   struct BestTicket {
@@ -50,6 +58,7 @@ class ElectionState {
   std::unordered_map<GovernorId, std::uint64_t> expected_;  // gov -> stake units
   std::set<GovernorId> seen_;
   BestTicket best_;
+  bool closed_ = false;
 };
 
 /// Build a governor's own announcement for a round.

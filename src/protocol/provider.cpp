@@ -7,7 +7,7 @@ namespace repchain::protocol {
 Provider::Provider(ProviderId id, runtime::NodeContext& ctx, crypto::SigningKey key,
                    const identity::IdentityManager& im,
                    ledger::ValidationOracle& oracle, const Directory& directory,
-                   bool active)
+                   bool active, bool reliable_delivery)
     : id_(id),
       ctx_(ctx),
       node_(ctx.node()),
@@ -17,7 +17,20 @@ Provider::Provider(ProviderId id, runtime::NodeContext& ctx, crypto::SigningKey 
       directory_(directory),
       active_(active),
       collector_group_(ctx.transport(), directory.collector_nodes_of(id)),
-      governor_nodes_(directory.governor_nodes()) {}
+      governor_nodes_(directory.governor_nodes()) {
+  if (reliable_delivery) {
+    channel_.emplace(ctx_, /*epoch=*/0);
+    channel_->set_deliver([this](const runtime::Message& m) { on_message(m); });
+  }
+}
+
+void Provider::rsend(NodeId to, runtime::MsgKind kind, const Bytes& payload) {
+  if (channel_) {
+    channel_->send(to, kind, payload);
+  } else {
+    ctx_.transport().send(node_, to, kind, payload);
+  }
+}
 
 const ledger::Transaction& Provider::submit(Bytes payload, bool truly_valid) {
   const ledger::Transaction tx = ledger::make_transaction(
@@ -25,8 +38,16 @@ const ledger::Transaction& Provider::submit(Bytes payload, bool truly_valid) {
   oracle_.register_tx(tx.id(), truly_valid);
 
   auto [it, inserted] = own_.emplace(tx.id(), OwnTx{tx, truly_valid, false, false});
-  // broadcast_provider(tx): atomic broadcast to the r linked collectors.
-  collector_group_.broadcast(node_, runtime::MsgKind::kProviderTx, tx.encode());
+  // broadcast_provider(tx): atomic broadcast to the r linked collectors — or
+  // per-collector reliable sends in reliable mode.
+  if (channel_) {
+    const Bytes payload = tx.encode();
+    for (const NodeId c : directory_.collector_nodes_of(id_)) {
+      channel_->send(c, runtime::MsgKind::kProviderTx, payload);
+    }
+  } else {
+    collector_group_.broadcast(node_, runtime::MsgKind::kProviderTx, tx.encode());
+  }
   return it->second.tx;
 }
 
@@ -41,7 +62,16 @@ void Provider::request_block(BlockSerial serial) {
   const NodeId gov = governor_nodes_[serial % governor_nodes_.size()];
   BlockRequestMsg req;
   req.serial = serial;
-  ctx_.transport().send(node_, gov, runtime::MsgKind::kBlockRequest, req.encode());
+  const std::uint64_t nonce = ++sync_nonce_;
+  rsend(gov, runtime::MsgKind::kBlockRequest, req.encode());
+  // A lost request or response must not wedge the sync flag until the next
+  // round's sync() re-arm: give up on this attempt after a grace window
+  // unless a newer request superseded it.
+  ctx_.timers().schedule_after(8 * ctx_.delta(), [this, nonce] {
+    if (!sync_in_flight_ || nonce != sync_nonce_) return;
+    ++sync_timeouts_;
+    sync_in_flight_ = false;
+  });
 }
 
 void Provider::sync() {
@@ -51,6 +81,11 @@ void Provider::sync() {
 }
 
 void Provider::on_message(const runtime::Message& msg) {
+  if (msg.kind == runtime::MsgKind::kReliableData ||
+      msg.kind == runtime::MsgKind::kReliableAck) {
+    if (channel_) channel_->on_message(msg);
+    return;
+  }
   if (msg.kind != runtime::MsgKind::kBlockResponse) return;
   BlockResponseMsg resp;
   try {
@@ -121,8 +156,15 @@ void Provider::on_block(const ledger::Block& block) {
       own.argued = true;
       ++argued_;
       const ArgueMsg msg = make_argue(id_, own.tx, block.serial, key_);
-      ctx_.transport().multicast(node_, governor_nodes_, runtime::MsgKind::kArgue,
-                                 msg.encode());
+      if (channel_) {
+        const Bytes payload = msg.encode();
+        for (const NodeId gov : governor_nodes_) {
+          channel_->send(gov, runtime::MsgKind::kArgue, payload);
+        }
+      } else {
+        ctx_.transport().multicast(node_, governor_nodes_, runtime::MsgKind::kArgue,
+                                   msg.encode());
+      }
     }
   }
 }

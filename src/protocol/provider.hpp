@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 
 #include "crypto/ed25519.hpp"
@@ -12,6 +13,7 @@
 #include "protocol/round_timing.hpp"
 #include "runtime/atomic_broadcast.hpp"
 #include "runtime/node_context.hpp"
+#include "runtime/reliable_channel.hpp"
 
 namespace repchain::protocol {
 
@@ -22,9 +24,12 @@ namespace repchain::protocol {
 /// Validity).
 class Provider {
  public:
+  /// `reliable_delivery` routes submissions, block requests and argues
+  /// through a per-node ReliableChannel (ack + retransmit) instead of the
+  /// bare transport / collector broadcast group.
   Provider(ProviderId id, runtime::NodeContext& ctx, crypto::SigningKey key,
            const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
-           const Directory& directory, bool active);
+           const Directory& directory, bool active, bool reliable_delivery = false);
 
   /// Collecting phase: create, register, sign and broadcast one transaction.
   /// `truly_valid` is the hidden application-level ground truth.
@@ -59,11 +64,13 @@ class Provider {
   [[nodiscard]] std::uint64_t argued() const { return argued_; }
   [[nodiscard]] std::uint64_t blocks_synced() const { return chain_.height(); }
   [[nodiscard]] std::uint64_t rejected_blocks() const { return rejected_blocks_; }
+  [[nodiscard]] std::uint64_t sync_timeouts() const { return sync_timeouts_; }
   /// Own valid transactions observed in a block with a valid/argued status.
   [[nodiscard]] std::uint64_t confirmed_valid() const { return confirmed_valid_; }
 
  private:
   void request_block(BlockSerial serial);
+  void rsend(NodeId to, runtime::MsgKind kind, const Bytes& payload);
 
   ProviderId id_;
   runtime::NodeContext& ctx_;
@@ -77,9 +84,13 @@ class Provider {
   runtime::AtomicBroadcastGroup collector_group_;
   std::vector<NodeId> governor_nodes_;
 
+  std::optional<runtime::ReliableChannel> channel_;
+
   ledger::ChainStore chain_;
   bool sync_in_flight_ = false;
+  std::uint64_t sync_nonce_ = 0;  // guards the per-request timeout timers
   std::uint64_t rejected_blocks_ = 0;
+  std::uint64_t sync_timeouts_ = 0;
 
   std::uint64_t next_seq_ = 0;
   std::uint64_t argued_ = 0;

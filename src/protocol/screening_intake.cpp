@@ -48,7 +48,7 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
   }
 
   const ledger::TxId id = ltx.tx.id();
-  if (assembler_.packed(id) || argues_.known(id)) {
+  if (assembler_.packed(id) || argues_.known(id) || screened_.contains(id)) {
     // Replay of an already-processed transaction (atomic broadcast plus the
     // timestamped signature makes this benign); ignore.
     return;
@@ -76,6 +76,7 @@ void ScreeningIntake::screen(const ledger::TxId& id) {
   if (it == aggregations_.end() || it->second.screened) return;
   Aggregation& agg = it->second;
   agg.screened = true;
+  screened_.insert(id);
 
   const ScreeningOutcome out = engine_.screen(agg.tx, agg.reports);
   switch (out.kind) {

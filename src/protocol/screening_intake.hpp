@@ -44,7 +44,9 @@ class ScreeningIntake {
     return visible_.empty() || visible_.contains(collector);
   }
 
-  /// Restore path: drop in-flight aggregation windows.
+  /// Restore path: drop in-flight aggregation windows. The screened-id set
+  /// is intentionally kept: it is a replay guard, and replays can arrive
+  /// after a restore (e.g. reliable-channel retransmits from before a crash).
   void clear() { aggregations_.clear(); }
 
  private:
@@ -70,6 +72,11 @@ class ScreeningIntake {
   const std::set<CollectorId>& visible_;  // empty = all
 
   std::unordered_map<ledger::TxId, Aggregation, ledger::TxIdHash> aggregations_;
+  // Every transaction ever screened by this governor. `packed`/`known` only
+  // cover appended/unchecked outcomes; without this set, a retransmitted
+  // upload arriving after a kDiscardedInvalid screening would reopen an
+  // aggregation window for an already-decided transaction.
+  std::unordered_set<ledger::TxId, ledger::TxIdHash> screened_;
 };
 
 }  // namespace repchain::protocol

@@ -1,29 +1,47 @@
 #include "protocol/stake_consensus.hpp"
 
+#include <algorithm>
+
 #include "common/errors.hpp"
 
 namespace repchain::protocol {
 
 void StakeConsensus::submit_transfer(GovernorId to, std::uint64_t amount) {
   const StakeTxMsg msg = make_stake_tx(self_, to, amount, next_seq_++, key_);
-  group_.broadcast(node_, runtime::MsgKind::kStakeTx, msg.encode());
+  bcast(runtime::MsgKind::kStakeTx, msg.encode());
 }
 
 void StakeConsensus::on_stake_tx(StakeTxMsg stx) {
-  const auto it = seq_seen_.find(stx.from);
-  if (it != seq_seen_.end() && stx.seq <= it->second) return;
-  seq_seen_[stx.from] = stx.seq;
+  SeqRecv& rec = seq_seen_[stx.from];
+  if (stx.seq < rec.next) return;                   // replay below the mark
+  if (!rec.above.insert(stx.seq).second) return;    // duplicate above it
+  while (rec.above.erase(rec.next) > 0) ++rec.next;
   round_stake_txs_.push_back(std::move(stx));
 }
 
 StakeLedger StakeConsensus::expected_state() const {
   StakeLedger state = stake_;
-  for (const auto& stx : round_stake_txs_) {
+  std::vector<const StakeTxMsg*> ordered;
+  ordered.reserve(round_stake_txs_.size());
+  for (const auto& stx : round_stake_txs_) ordered.push_back(&stx);
+  if (broadcast_) {
+    // Reliable mode: the channel does not preserve cross-sender order, so
+    // arrival order can differ between governors. Apply the transfers in a
+    // canonical (sender, sequence) order instead so every governor derives
+    // the same NEW_STATE. With the atomic broadcast the arrival order is
+    // already identical everywhere and stays authoritative.
+    std::sort(ordered.begin(), ordered.end(),
+              [](const StakeTxMsg* a, const StakeTxMsg* b) {
+                if (a->from != b->from) return a->from < b->from;
+                return a->seq < b->seq;
+              });
+  }
+  for (const StakeTxMsg* stx : ordered) {
     try {
-      state.transfer(stx.from, stx.to, stx.amount);
+      state.transfer(stx->from, stx->to, stx->amount);
     } catch (const ProtocolError&) {
       // Insufficient funds / unknown party: skipped identically by every
-      // governor since the atomic broadcast ordered the transfers.
+      // governor (identical application order, see above).
     }
   }
   return state;
@@ -56,7 +74,7 @@ void StakeConsensus::run_as_leader(Round round) {
   sig_senders_.insert(self_);
   collected_sigs_.push_back(own);
 
-  group_.broadcast(node_, runtime::MsgKind::kStateProposal, proposal.encode());
+  bcast(runtime::MsgKind::kStateProposal, proposal.encode());
 }
 
 std::optional<Bytes> StakeConsensus::on_proposal(const StateProposalMsg& proposal,
@@ -73,13 +91,21 @@ std::optional<Bytes> StakeConsensus::on_proposal(const StateProposalMsg& proposa
   if (proposal.leader == self_) return std::nullopt;  // own copy, handled at
                                                       // proposal time
 
+  // Idempotent receive: a redelivered copy of the proposal we already signed
+  // must not trigger a second signature.
+  if (current_proposal_ && current_proposal_->round == proposal.round &&
+      current_proposal_->leader == proposal.leader &&
+      current_proposal_->state == proposal.state) {
+    return std::nullopt;
+  }
+
   current_proposal_ = proposal;
   StateSignatureMsg sig;
   sig.round = proposal.round;
   sig.signer = self_;
   sig.sig = key_.sign(proposal.signed_preimage());
-  transport_.send(node_, directory_.node_of(proposal.leader),
-                  runtime::MsgKind::kStateSignature, sig.encode());
+  unicast(directory_.node_of(proposal.leader), runtime::MsgKind::kStateSignature,
+          sig.encode());
   return std::nullopt;
 }
 
@@ -105,7 +131,7 @@ void StakeConsensus::on_signature(const StateSignatureMsg& sig, Round round,
     commit.leader = self_;
     commit.state = current_proposal_->state;
     commit.signatures = collected_sigs_;
-    group_.broadcast(node_, runtime::MsgKind::kStateCommit, commit.encode());
+    bcast(runtime::MsgKind::kStateCommit, commit.encode());
   }
 }
 
@@ -114,6 +140,10 @@ bool StakeConsensus::on_commit(const StateCommitMsg& commit, Round round,
                                const std::set<GovernorId>& expelled) {
   if (commit.round != round) return false;
   if (!leader || commit.leader != *leader) return false;
+  // Idempotent receive: a redelivered commit for an already-applied round is
+  // dropped (it carries the same NEW_STATE; re-applying would re-trigger the
+  // caller's snapshot).
+  if (last_commit_round_ != 0 && commit.round <= last_commit_round_) return false;
 
   // Rebuild the proposal preimage and verify every signature.
   StateProposalMsg proposal;
@@ -145,6 +175,7 @@ bool StakeConsensus::on_commit(const StateCommitMsg& commit, Round round,
   current_proposal_.reset();
   collected_sigs_.clear();
   sig_senders_.clear();
+  last_commit_round_ = commit.round;
   return true;
 }
 

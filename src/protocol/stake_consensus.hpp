@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -80,7 +81,32 @@ class StakeConsensus {
   /// Restore path: install a checkpointed ledger.
   void restore_stake(StakeLedger stake) { stake_ = std::move(stake); }
 
+  /// Reliable-delivery mode: route this unit's sends through the facade's
+  /// ReliableChannel instead of the bare transport / broadcast group. The
+  /// broadcast hook must also loop the message back to the local facade.
+  using SendFn = std::function<void(NodeId, runtime::MsgKind, const Bytes&)>;
+  using BroadcastFn = std::function<void(runtime::MsgKind, const Bytes&)>;
+  void set_reliable(SendFn send, BroadcastFn broadcast) {
+    send_ = std::move(send);
+    broadcast_ = std::move(broadcast);
+  }
+
  private:
+  void bcast(runtime::MsgKind kind, const Bytes& payload) {
+    if (broadcast_) {
+      broadcast_(kind, payload);
+    } else {
+      group_.broadcast(node_, kind, payload);
+    }
+  }
+  void unicast(NodeId to, runtime::MsgKind kind, const Bytes& payload) {
+    if (send_) {
+      send_(to, kind, payload);
+    } else {
+      transport_.send(node_, to, kind, payload);
+    }
+  }
+
   GovernorId self_;
   NodeId node_;
   const crypto::SigningKey& key_;
@@ -91,15 +117,24 @@ class StakeConsensus {
 
   StakeLedger stake_;
   std::uint64_t next_seq_ = 0;
-  // Highest stake-tx sequence accepted per sender: transfers are broadcast
-  // in sequence order (atomic broadcast preserves it), so anything at or
-  // below the high-water mark is a replay.
-  std::unordered_map<GovernorId, std::uint64_t> seq_seen_;
+  // Replay protection per sender: a contiguous next-expected mark plus the
+  // sparse set of sequences seen above it. With the atomic broadcast the set
+  // stays empty (in-order arrival); the reliable channel does not preserve
+  // order, so out-of-order fresh sequences must still be accepted exactly
+  // once.
+  struct SeqRecv {
+    std::uint64_t next = 0;           // everything below is seen
+    std::set<std::uint64_t> above;    // sparse seen sequences >= next
+  };
+  std::unordered_map<GovernorId, SeqRecv> seq_seen_;
   std::vector<StakeTxMsg> round_stake_txs_;
   std::optional<StateProposalMsg> current_proposal_;
   std::vector<StateSignatureMsg> collected_sigs_;
   std::set<GovernorId> sig_senders_;
+  Round last_commit_round_ = 0;  // duplicate-commit guard (idempotent receive)
   bool cheat_ = false;
+  SendFn send_;
+  BroadcastFn broadcast_;
 };
 
 }  // namespace repchain::protocol

@@ -31,6 +31,7 @@ void AtomicBroadcastGroup::broadcast(NodeId from, MsgKind kind, const Bytes& pay
     msg.payload = payload;
     msg.sent_at = timers.now();
     msg.delivered_at = deliver_at;
+    msg.seq = next_seq_;
 
     timers.schedule_at(deliver_at, [&transport = transport_, msg = std::move(msg)]() {
       transport.deliver_direct(msg);

@@ -1,0 +1,178 @@
+#include "runtime/fault_schedule.hpp"
+
+#include <algorithm>
+
+namespace repchain::runtime {
+
+namespace {
+
+template <typename Fault>
+bool active(const Fault& fault, SimTime t) {
+  return fault.from <= t && t < fault.until;
+}
+
+bool in_island(const std::vector<NodeId>& island, NodeId node) {
+  return std::find(island.begin(), island.end(), node) != island.end();
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::add(PartitionFault fault) {
+  partitions_.push_back(std::move(fault));
+  return *this;
+}
+FaultSchedule& FaultSchedule::add(DelayFault fault) {
+  delays_.push_back(fault);
+  return *this;
+}
+FaultSchedule& FaultSchedule::add(DuplicateFault fault) {
+  duplicates_.push_back(fault);
+  return *this;
+}
+FaultSchedule& FaultSchedule::add(ReorderFault fault) {
+  reorders_.push_back(fault);
+  return *this;
+}
+FaultSchedule& FaultSchedule::add(LossFault fault) {
+  losses_.push_back(std::move(fault));
+  return *this;
+}
+
+bool FaultSchedule::severed(NodeId a, NodeId b, SimTime t) const {
+  for (const auto& p : partitions_) {
+    if (!active(p, t)) continue;
+    if (in_island(p.island, a) != in_island(p.island, b)) return true;
+  }
+  return false;
+}
+
+double FaultSchedule::loss_probability(NodeId from, NodeId to, SimTime t) const {
+  double pass = 1.0;
+  for (const auto& l : losses_) {
+    if (!active(l, t)) continue;
+    if (l.link && !(l.link->first == from && l.link->second == to)) continue;
+    pass *= 1.0 - std::clamp(l.probability, 0.0, 1.0);
+  }
+  return 1.0 - pass;
+}
+
+double FaultSchedule::duplicate_probability(SimTime t) const {
+  double pass = 1.0;
+  for (const auto& d : duplicates_) {
+    if (active(d, t)) pass *= 1.0 - std::clamp(d.probability, 0.0, 1.0);
+  }
+  return 1.0 - pass;
+}
+
+const ReorderFault* FaultSchedule::reorder_at(SimTime t) const {
+  for (const auto& r : reorders_) {
+    if (active(r, t)) return &r;
+  }
+  return nullptr;
+}
+
+SimDuration FaultSchedule::delay_extra_at(SimTime t, SimDuration& jitter_out) const {
+  SimDuration extra = 0;
+  for (const auto& d : delays_) {
+    if (!active(d, t)) continue;
+    extra += d.extra;
+    jitter_out += d.jitter;
+  }
+  return extra;
+}
+
+// --- FaultyTransport ---------------------------------------------------------
+
+void FaultyTransport::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) {
+  const SimTime t = inner_.timers().now();
+  if (from != to) {
+    if (schedule_.severed(from, to, t)) {
+      ++stats_.partition_drops;
+      return;
+    }
+    const double loss = schedule_.loss_probability(from, to, t);
+    if (loss > 0.0 && rng_.bernoulli(loss)) {
+      ++stats_.loss_drops;
+      return;
+    }
+    const double dup = schedule_.duplicate_probability(t);
+    if (dup > 0.0 && rng_.bernoulli(dup)) {
+      ++stats_.duplicated;
+      inner_.send(from, to, kind, payload);  // extra copy
+    }
+    if (const ReorderFault* reorder = schedule_.reorder_at(t);
+        reorder != nullptr && rng_.bernoulli(reorder->probability)) {
+      ++stats_.reordered;
+      const SimDuration hold =
+          reorder->max_extra == 0 ? 0 : rng_.uniform(reorder->max_extra + 1);
+      inner_.timers().schedule_after(
+          hold, [this, from, to, kind, payload = std::move(payload)]() mutable {
+            inner_.send(from, to, kind, std::move(payload));
+          });
+      return;
+    }
+    // Delay spike: a unicast never passes through draw_delay (the inner
+    // transport draws its link delay internally), so realize the spike by
+    // holding the message back before submission. The total transit time
+    // becomes hold + link delay, which may exceed the synchrony bound —
+    // that is the fault being modelled.
+    SimDuration jitter = 0;
+    const SimDuration extra = schedule_.delay_extra_at(t, jitter);
+    if (extra > 0 || jitter > 0) {
+      ++stats_.delay_extended;
+      const SimDuration hold = extra + (jitter == 0 ? 0 : rng_.uniform(jitter + 1));
+      inner_.timers().schedule_after(
+          hold, [this, from, to, kind, payload = std::move(payload)]() mutable {
+            inner_.send(from, to, kind, std::move(payload));
+          });
+      return;
+    }
+  }
+  inner_.send(from, to, kind, std::move(payload));
+}
+
+void FaultyTransport::multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
+                                const Bytes& payload) {
+  // Per-copy faulting: each destination rolls its own loss/duplication dice.
+  for (NodeId dest : to) send(from, dest, kind, payload);
+}
+
+SimDuration FaultyTransport::draw_delay() {
+  SimDuration delay = inner_.draw_delay();
+  const SimTime t = inner_.timers().now();
+  SimDuration jitter = 0;
+  const SimDuration extra = schedule_.delay_extra_at(t, jitter);
+  if (extra > 0 || jitter > 0) {
+    ++stats_.delay_extended;
+    delay += extra + (jitter == 0 ? 0 : rng_.uniform(jitter + 1));
+  }
+  return delay;
+}
+
+void FaultyTransport::deliver_direct(const Message& msg) {
+  const SimTime t = inner_.timers().now();
+  if (msg.from != msg.to) {
+    if (schedule_.severed(msg.from, msg.to, t)) {
+      ++stats_.partition_drops;
+      return;
+    }
+    const double loss = schedule_.loss_probability(msg.from, msg.to, t);
+    if (loss > 0.0 && rng_.bernoulli(loss)) {
+      ++stats_.loss_drops;
+      return;
+    }
+    const double dup = schedule_.duplicate_probability(t);
+    if (dup > 0.0 && rng_.bernoulli(dup)) {
+      ++stats_.duplicated;
+      inner_.deliver_direct(msg);  // the sequenced-duplicate guard eats it
+    }
+  }
+  inner_.deliver_direct(msg);
+}
+
+void FaultyTransport::count_broadcast(MsgKind kind, std::size_t copies,
+                                      std::size_t payload_bytes) {
+  inner_.count_broadcast(kind, copies, payload_bytes);
+}
+
+}  // namespace repchain::runtime

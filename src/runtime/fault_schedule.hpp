@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "runtime/transport.hpp"
+
+namespace repchain::runtime {
+
+// Time-windowed fault descriptions. Every window is half-open [from, until):
+// a fault is active at time t iff from <= t < until. Windows are absolute
+// simulation times; the sim layer lowers round-based specs onto them.
+
+/// Network partition: the `island` nodes are cut off from every node outside
+/// the island (traffic within the island, and among outsiders, still flows).
+struct PartitionFault {
+  SimTime from = 0;
+  SimTime until = 0;
+  std::vector<NodeId> island;
+};
+
+/// Global delay spike: every drawn link delay is extended by `extra` plus a
+/// uniform jitter in [0, jitter]. A spike may deliberately exceed the
+/// transport's advertised synchrony bound — that is the fault being modelled.
+struct DelayFault {
+  SimTime from = 0;
+  SimTime until = 0;
+  SimDuration extra = 0;
+  SimDuration jitter = 0;
+};
+
+/// Message duplication: each message is delivered twice with `probability`.
+struct DuplicateFault {
+  SimTime from = 0;
+  SimTime until = 0;
+  double probability = 0.0;
+};
+
+/// Bounded reordering: with `probability` a unicast is held back by a uniform
+/// extra in [0, max_extra] before entering the network, letting later sends
+/// overtake it.
+struct ReorderFault {
+  SimTime from = 0;
+  SimTime until = 0;
+  double probability = 0.0;
+  SimDuration max_extra = 0;
+};
+
+/// Burst loss: each message on the matching link (or on every link when
+/// `link` is unset) is dropped with `probability`.
+struct LossFault {
+  SimTime from = 0;
+  SimTime until = 0;
+  double probability = 0.0;
+  std::optional<std::pair<NodeId, NodeId>> link;  // unset = every link
+};
+
+/// A composed, deterministic fault plan queried by FaultyTransport. All
+/// predicates are pure: the schedule holds no mutable state, so the same
+/// (schedule, rng seed) pair always yields the same faulted run.
+class FaultSchedule {
+ public:
+  FaultSchedule& add(PartitionFault fault);
+  FaultSchedule& add(DelayFault fault);
+  FaultSchedule& add(DuplicateFault fault);
+  FaultSchedule& add(ReorderFault fault);
+  FaultSchedule& add(LossFault fault);
+
+  /// True iff an active partition separates `a` from `b` at time `t`.
+  [[nodiscard]] bool severed(NodeId a, NodeId b, SimTime t) const;
+
+  /// Combined loss probability on (from, to) at `t`: independent windows
+  /// compose as 1 - prod(1 - p_i).
+  [[nodiscard]] double loss_probability(NodeId from, NodeId to, SimTime t) const;
+
+  /// Combined duplication probability at `t`.
+  [[nodiscard]] double duplicate_probability(SimTime t) const;
+
+  /// The reorder fault active at `t` (first match), if any.
+  [[nodiscard]] const ReorderFault* reorder_at(SimTime t) const;
+
+  /// Sum of active delay extensions at `t`; `jitter_out` accumulates the
+  /// active jitter bounds.
+  [[nodiscard]] SimDuration delay_extra_at(SimTime t, SimDuration& jitter_out) const;
+
+  [[nodiscard]] bool empty() const {
+    return partitions_.empty() && delays_.empty() && duplicates_.empty() &&
+           reorders_.empty() && losses_.empty();
+  }
+
+ private:
+  std::vector<PartitionFault> partitions_;
+  std::vector<DelayFault> delays_;
+  std::vector<DuplicateFault> duplicates_;
+  std::vector<ReorderFault> reorders_;
+  std::vector<LossFault> losses_;
+};
+
+/// What the decorator did to the traffic (observability for tests/benches).
+struct FaultStats {
+  std::uint64_t partition_drops = 0;
+  std::uint64_t loss_drops = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delay_extended = 0;
+};
+
+/// Transport decorator applying a FaultSchedule to all traffic, composable
+/// with the crash faults the harness injects at the node level.
+///
+/// Unicasts (`send`): partition and loss drop the message before it enters
+/// the inner transport; reordering holds it back on the timer wheel before
+/// re-submitting; duplication submits it twice. Direct deliveries
+/// (`deliver_direct`, the atomic-broadcast path) respect partition/loss/
+/// duplication at the already-scheduled arrival instant, but are never
+/// re-timed — the broadcast layer owns their ordering, and the network's
+/// sequenced-duplicate guard turns a duplicated copy into a no-op.
+/// `draw_delay` stretches by the active delay spike, so broadcast deliveries
+/// feel the spike too.
+///
+/// The decorator draws from its own Rng stream: a fault-free schedule leaves
+/// the inner transport's randomness — and thus any golden run — untouched.
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(Transport& inner, FaultSchedule schedule, Rng rng)
+      : inner_(inner), schedule_(std::move(schedule)), rng_(rng) {}
+
+  void send(NodeId from, NodeId to, MsgKind kind, Bytes payload) override;
+  void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
+                 const Bytes& payload) override;
+  [[nodiscard]] SimDuration max_delay() const override { return inner_.max_delay(); }
+  [[nodiscard]] TimerService& timers() override { return inner_.timers(); }
+  [[nodiscard]] SimDuration draw_delay() override;
+  void deliver_direct(const Message& msg) override;
+  void count_broadcast(MsgKind kind, std::size_t copies,
+                       std::size_t payload_bytes) override;
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  Transport& inner_;
+  FaultSchedule schedule_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace repchain::runtime

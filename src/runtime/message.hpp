@@ -24,6 +24,8 @@ enum class MsgKind : std::uint16_t {
   kLabelGossip = 11,    // governor -> governors (equivocation detection)
   kBlockRequest = 12,   // any node -> governor (retrieve(s))
   kBlockResponse = 13,  // governor -> requester
+  kReliableData = 14,   // ReliableChannel envelope carrying an inner message
+  kReliableAck = 15,    // ReliableChannel acknowledgement
   kTest = 99,
 };
 
@@ -35,6 +37,10 @@ struct Message {
   Bytes payload;
   SimTime sent_at = 0;
   SimTime delivered_at = 0;
+  /// Total-order sequence number stamped by AtomicBroadcastGroup; 0 means
+  /// unsequenced (plain unicast). Receivers use it to reject re-delivery of
+  /// an already-sequenced broadcast copy (fault-injected duplication).
+  std::uint64_t seq = 0;
 };
 
 }  // namespace repchain::runtime

@@ -15,6 +15,8 @@ enum class TraceKind : std::uint8_t {
   kBlockCommitted = 3,  // a block was accepted (arg0 = serial, arg1 = #txs)
   kAuditPoint = 4,      // the round's audit deadline passed at this node
   kRoundEnded = 5,      // self-driving mode: the round span elapsed
+  kRoundStalled = 6,    // watchdog: no commit within its bound
+                        // (arg0 = consecutive stalled rounds at this node)
 };
 
 struct TraceEvent {
@@ -23,6 +25,7 @@ struct TraceEvent {
   Round round = 0;
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+  SimTime at = 0;         // emission time (commit-latency measurements)
 };
 
 /// Consumes trace events. The scenario harness implements this to assemble

@@ -3,6 +3,9 @@
 namespace repchain::sim {
 
 void RoundObserver::on_event(const runtime::TraceEvent& ev) {
+  // Stall events are a global liveness signal: count them from every node,
+  // before the watched filter.
+  if (ev.kind == runtime::TraceKind::kRoundStalled) ++stalled_events_;
   if (watched_ && ev.node != *watched_) return;
   switch (ev.kind) {
     case runtime::TraceKind::kLeaderElected:
@@ -10,6 +13,7 @@ void RoundObserver::on_event(const runtime::TraceEvent& ev) {
       break;
     case runtime::TraceKind::kBlockCommitted:
       rounds_[ev.round].block_txs = static_cast<std::size_t>(ev.arg1);
+      rounds_[ev.round].commit_at = ev.at;
       break;
     default:
       // Round markers (started/ended/audit) carry no payload to collect, but
@@ -27,6 +31,11 @@ std::optional<GovernorId> RoundObserver::leader(Round round) const {
 std::size_t RoundObserver::block_txs(Round round) const {
   const auto it = rounds_.find(round);
   return it == rounds_.end() ? 0 : it->second.block_txs;
+}
+
+std::optional<SimTime> RoundObserver::commit_at(Round round) const {
+  const auto it = rounds_.find(round);
+  return it == rounds_.end() ? std::nullopt : it->second.commit_at;
 }
 
 }  // namespace repchain::sim

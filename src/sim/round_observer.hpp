@@ -29,17 +29,27 @@ class RoundObserver final : public runtime::TraceSink {
   /// no block committed).
   [[nodiscard]] std::size_t block_txs(Round round) const;
 
+  /// When the watched node committed its block in `round` (the *last* commit
+  /// event of the round, covering catch-up adoptions); nullopt when none.
+  [[nodiscard]] std::optional<SimTime> commit_at(Round round) const;
+
   /// Rounds that emitted at least one watched event.
   [[nodiscard]] std::size_t rounds_seen() const { return rounds_.size(); }
+
+  /// kRoundStalled events across ALL nodes (not just the watched one): the
+  /// liveness-watchdog signal the chaos harness fails on.
+  [[nodiscard]] std::uint64_t stalled_events() const { return stalled_events_; }
 
  private:
   struct Entry {
     std::optional<GovernorId> leader;
     std::size_t block_txs = 0;
+    std::optional<SimTime> commit_at;
   };
 
   std::optional<NodeId> watched_;
   std::unordered_map<Round, Entry> rounds_;
+  std::uint64_t stalled_events_ = 0;
 };
 
 }  // namespace repchain::sim

@@ -13,8 +13,16 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   config_.topology.validate();
   config_.governor.rep.validate();
   config_.governor.enable_label_gossip |= config_.enable_label_gossip;
+  config_.governor.reliable_delivery |= config_.reliable_delivery;
+  // Fault schedules default the liveness watchdog on; clean runs keep it off
+  // so the crash-recovery goldens (whose stalls are the *expected* outcome of
+  // a dead governor) stay bit-identical.
+  if (!config_.faults.empty() && config_.governor.watchdog_rounds == 0) {
+    config_.governor.watchdog_rounds = 2;
+  }
 
   net_ = std::make_unique<net::SimNetwork>(queue_, rng_.derive(1), config_.latency);
+  transport_ = net_.get();
   Rng key_rng = rng_.derive(2);
   im_ = std::make_unique<identity::IdentityManager>(crypto::random_seed(key_rng));
   oracle_ = std::make_unique<ledger::ValidationOracle>(config_.validation_cost);
@@ -50,9 +58,10 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
     im_->enroll(node, identity::Role::kGovernor, governor_keys.back().public_key());
   }
   build_links(topo, directory_);
+  install_faults();  // replaces transport_ with the decorator when scheduled
 
   governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
-      *net_, directory_.governor_nodes());
+      *transport_, directory_.governor_nodes());
 
   // Genesis stake (retained: a restarted governor without a snapshot starts
   // from genesis again).
@@ -66,9 +75,11 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   // stable while wiring handlers).
   for (std::size_t i = 0; i < topo.providers; ++i) {
     const ProviderId id(static_cast<std::uint32_t>(i));
-    provider_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(3000 + i));
+    provider_ctxs_.emplace_back(directory_.node_of(id), *transport_,
+                                rng_.derive(3000 + i));
     providers_.emplace_back(id, provider_ctxs_.back(), std::move(provider_keys[i]),
-                            *im_, *oracle_, directory_, config_.providers_active);
+                            *im_, *oracle_, directory_, config_.providers_active,
+                            config_.reliable_delivery);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       providers_[i].on_message(m);
     });
@@ -79,9 +90,11 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
         config_.behaviors.empty()
             ? protocol::CollectorBehavior::honest()
             : config_.behaviors[i % config_.behaviors.size()];
-    collector_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(1000 + i));
+    collector_ctxs_.emplace_back(directory_.node_of(id), *transport_,
+                                 rng_.derive(1000 + i));
     collectors_.emplace_back(id, collector_ctxs_.back(), std::move(collector_keys[i]),
-                             *im_, *oracle_, directory_, *governor_group_, behavior);
+                             *im_, *oracle_, directory_, *governor_group_, behavior,
+                             config_.reliable_delivery);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       collectors_[i].on_message(m);
     });
@@ -113,9 +126,10 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
             config_.storage_dir / ("gov" + std::to_string(i))));
       }
     }
-    governor_ctxs_.emplace_back(directory_.node_of(id), *net_, rng_.derive(2000 + i),
-                                &observer_);
+    governor_ctxs_.emplace_back(directory_.node_of(id), *transport_,
+                                rng_.derive(2000 + i), &observer_);
     governors_.emplace_back();
+    governor_epochs_.push_back(0);
     make_governor(i);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       if (governors_[i]) governors_[i]->on_message(m);  // null slot = crashed
@@ -129,13 +143,70 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
 
 Scenario::~Scenario() = default;
 
+void Scenario::install_faults() {
+  if (config_.faults.empty()) return;
+  const auto& spec = config_.faults;
+  runtime::FaultSchedule schedule;
+  for (const auto& p : spec.partitions) {
+    runtime::PartitionFault f;
+    f.from = round_start(p.from_round);
+    f.until = round_start(p.until_round);
+    for (const std::size_t g : p.governors) {
+      f.island.push_back(directory_.node_of(GovernorId(static_cast<std::uint32_t>(g))));
+    }
+    for (const std::size_t c : p.collectors) {
+      f.island.push_back(directory_.node_of(CollectorId(static_cast<std::uint32_t>(c))));
+    }
+    for (const std::size_t pr : p.providers) {
+      f.island.push_back(directory_.node_of(ProviderId(static_cast<std::uint32_t>(pr))));
+    }
+    schedule.add(std::move(f));
+  }
+  for (const auto& l : spec.losses) {
+    schedule.add(runtime::LossFault{round_start(l.from_round),
+                                    round_start(l.until_round), l.probability,
+                                    std::nullopt});
+  }
+  for (const auto& d : spec.delay_spikes) {
+    schedule.add(runtime::DelayFault{round_start(d.from_round),
+                                     round_start(d.until_round), d.extra, d.jitter});
+  }
+  for (const auto& d : spec.duplications) {
+    schedule.add(runtime::DuplicateFault{round_start(d.from_round),
+                                         round_start(d.until_round), d.probability});
+  }
+  for (const auto& r : spec.reorders) {
+    schedule.add(runtime::ReorderFault{round_start(r.from_round),
+                                       round_start(r.until_round), r.probability,
+                                       r.max_extra});
+  }
+  // Slow links reuse the network's own per-link delay hook (they must affect
+  // broadcast deliveries scheduled by the network, not just unicasts).
+  for (const auto& ld : spec.link_delays) {
+    const NodeId a =
+        directory_.node_of(GovernorId(static_cast<std::uint32_t>(ld.from_governor)));
+    const NodeId b =
+        directory_.node_of(GovernorId(static_cast<std::uint32_t>(ld.to_governor)));
+    queue_.schedule_at(round_start(ld.from_round), [this, a, b, extra = ld.extra] {
+      net_->set_link_delay(a, b, extra);
+    });
+    queue_.schedule_at(round_start(ld.until_round),
+                       [this, a, b] { net_->set_link_delay(a, b, 0); });
+  }
+  faulty_ = std::make_unique<runtime::FaultyTransport>(*net_, std::move(schedule),
+                                                       rng_.derive(7));
+  transport_ = faulty_.get();
+}
+
 void Scenario::make_governor(std::size_t i) {
   const GovernorId id(static_cast<std::uint32_t>(i));
   storage::NodeStateStore* store =
       governor_stores_.empty() ? nullptr : governor_stores_[i].get();
+  protocol::GovernorConfig gc = config_.governor;
+  gc.channel_epoch = governor_epochs_[i];
   governors_[i] = std::make_unique<protocol::Governor>(
       id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_, directory_,
-      *governor_group_, config_.governor, genesis_, governor_visible_[i], store);
+      *governor_group_, gc, genesis_, governor_visible_[i], store);
 }
 
 void Scenario::crash_governor(std::size_t i) {
@@ -147,6 +218,7 @@ void Scenario::crash_governor(std::size_t i) {
 }
 
 void Scenario::restart_governor(std::size_t i) {
+  ++governor_epochs_[i];  // fresh ReliableChannel incarnation
   make_governor(i);
   governors_[i]->recover_from_store();
   governors_[i]->sync_chain();
@@ -289,6 +361,7 @@ ScenarioSummary Scenario::summary() const {
 
   s.agreement = true;
   s.chains_audit_ok = true;
+  s.stalled_events = observer_.stalled_events();
   for (const auto& g : governors_) {
     if (!g) continue;
     s.chains_audit_ok = s.chains_audit_ok && g->chain().audit();

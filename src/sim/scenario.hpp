@@ -14,6 +14,7 @@
 #include "protocol/provider.hpp"
 #include "protocol/round_timing.hpp"
 #include "runtime/atomic_broadcast.hpp"
+#include "runtime/fault_schedule.hpp"
 #include "runtime/node_context.hpp"
 #include "sim/round_observer.hpp"
 #include "sim/topology.hpp"
@@ -31,6 +32,80 @@ struct CrashPlan {
   std::size_t crash_round = 1;
   SimDuration crash_offset = 0;  // within the round, relative to its t0
   std::size_t restart_round = 2;
+};
+
+// --- Round-based network fault specs -----------------------------------------
+//
+// Declarative fault windows expressed in 1-based round numbers; the Scenario
+// lowers them onto the FaultSchedule's absolute time windows using the
+// derived RoundTiming (round r spans [(r-1), r) * round_span). Every window
+// is half-open: [from_round, until_round).
+
+/// Cut the island (governor/collector/provider indices) off from everyone
+/// else; traffic within the island and among outsiders still flows. The
+/// partition heals at until_round.
+struct PartitionSpec {
+  std::size_t from_round = 1;
+  std::size_t until_round = 2;
+  std::vector<std::size_t> governors;
+  std::vector<std::size_t> collectors;
+  std::vector<std::size_t> providers;
+};
+
+/// Burst loss on every link.
+struct LossSpec {
+  std::size_t from_round = 1;
+  std::size_t until_round = 2;
+  double probability = 0.0;
+};
+
+/// Global delay spike (extra + uniform jitter on every drawn delay). May
+/// deliberately exceed the synchrony bound Delta.
+struct DelaySpikeSpec {
+  std::size_t from_round = 1;
+  std::size_t until_round = 2;
+  SimDuration extra = 0;
+  SimDuration jitter = 0;
+};
+
+/// Message duplication.
+struct DuplicationSpec {
+  std::size_t from_round = 1;
+  std::size_t until_round = 2;
+  double probability = 0.0;
+};
+
+/// Bounded reordering of unicasts.
+struct ReorderSpec {
+  std::size_t from_round = 1;
+  std::size_t until_round = 2;
+  double probability = 0.0;
+  SimDuration max_extra = 5 * kMillisecond;
+};
+
+/// One slow governor-to-governor link (SimNetwork::set_link_delay), applied
+/// at from_round and removed at until_round.
+struct LinkDelaySpec {
+  std::size_t from_round = 1;
+  std::size_t until_round = 2;
+  std::size_t from_governor = 0;
+  std::size_t to_governor = 1;
+  SimDuration extra = 0;
+};
+
+/// The full declarative fault plan of a run.
+struct FaultScheduleSpec {
+  std::vector<PartitionSpec> partitions;
+  std::vector<LossSpec> losses;
+  std::vector<DelaySpikeSpec> delay_spikes;
+  std::vector<DuplicationSpec> duplications;
+  std::vector<ReorderSpec> reorders;
+  std::vector<LinkDelaySpec> link_delays;
+
+  [[nodiscard]] bool empty() const {
+    return partitions.empty() && losses.empty() && delay_spikes.empty() &&
+           duplications.empty() && reorders.empty() && link_delays.empty();
+  }
 };
 
 /// Full scenario configuration: topology, protocol parameters, workload and
@@ -72,6 +147,16 @@ struct ScenarioConfig {
   /// Crash/restart fault schedule (governors only). Scheduling any crash
   /// implies durable_governors.
   std::vector<CrashPlan> crashes;
+  /// Network fault plan (partitions, loss, delay spikes, duplication,
+  /// reordering, slow links), applied through a FaultyTransport decorator.
+  /// Scheduling any fault defaults the governors' liveness watchdog on
+  /// (watchdog_rounds = 2) unless the config sets it explicitly.
+  FaultScheduleSpec faults;
+  /// Route protocol traffic through per-node ReliableChannels (ack +
+  /// retransmit + backoff) and let elections close on a majority quorum.
+  /// Mirrors GovernorConfig::reliable_delivery and enables the same mode on
+  /// providers and collectors.
+  bool reliable_delivery = false;
   /// Attach a NodeStateStore to every governor even without crashes (to
   /// measure persistence overhead or snapshot sizes).
   bool durable_governors = false;
@@ -102,6 +187,7 @@ struct ScenarioSummary {
   std::uint64_t chain_argued_txs = 0;
   bool agreement = false;        // all governor chains share a prefix
   bool chains_audit_ok = false;  // integrity + no-skipping on every replica
+  std::uint64_t stalled_events = 0;     // watchdog kRoundStalled, all nodes
   std::uint64_t validations_total = 0;  // oracle-wide validate() calls
   double mean_governor_expected_loss = 0.0;
   double mean_governor_realized_loss = 0.0;
@@ -160,6 +246,11 @@ class Scenario {
   [[nodiscard]] const protocol::Directory& directory() const { return directory_; }
   [[nodiscard]] ledger::ValidationOracle& oracle() { return *oracle_; }
   [[nodiscard]] net::SimNetwork& network() { return *net_; }
+  /// Fault-injection stats (null when no faults are scheduled).
+  [[nodiscard]] const runtime::FaultStats* fault_stats() const {
+    return faulty_ ? &faulty_->stats() : nullptr;
+  }
+  [[nodiscard]] const RoundObserver& observer() const { return observer_; }
   [[nodiscard]] net::EventQueue& queue() { return queue_; }
   [[nodiscard]] identity::IdentityManager& identity_manager() { return *im_; }
   [[nodiscard]] Round current_round() const { return round_; }
@@ -178,11 +269,20 @@ class Scenario {
   void run_audit();       // timer: out-of-band reveal of unchecked truths
   void make_governor(std::size_t i);  // (re)construct governor i in its slot
   [[nodiscard]] const protocol::Governor* first_live_governor() const;
+  /// Lower config.faults (round windows) onto an absolute-time FaultSchedule
+  /// and build the FaultyTransport decorator; schedule the link-delay spans.
+  void install_faults();
+  /// Absolute start time of 1-based round `r`.
+  [[nodiscard]] SimTime round_start(std::size_t r) const {
+    return static_cast<SimTime>(r - 1) * timing_.round_span;
+  }
 
   ScenarioConfig config_;
   Rng rng_;
   net::EventQueue queue_;
   std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<runtime::FaultyTransport> faulty_;
+  runtime::Transport* transport_ = nullptr;  // faulty_ if faults, else net_
   std::unique_ptr<identity::IdentityManager> im_;
   std::unique_ptr<ledger::ValidationOracle> oracle_;
   protocol::Directory directory_;
@@ -206,6 +306,9 @@ class Scenario {
   protocol::StakeLedger genesis_;
   std::vector<std::vector<CollectorId>> governor_visible_;
   std::deque<std::unique_ptr<storage::NodeStateStore>> governor_stores_;
+  // ReliableChannel incarnation per governor, bumped on every restart so the
+  // new life's sequence space is distinct from the old one.
+  std::vector<std::uint32_t> governor_epochs_;
 
   Round round_ = 0;
   std::vector<double> rewards_;

@@ -288,7 +288,14 @@ TEST(ChainStorePersistence, BadMagicRejected) {
 // never an allocation blow-up, crash, or silent partial load.
 
 struct HostileFile {
-  HostileFile() : path(std::filesystem::temp_directory_path() / "repchain_hostile.bin") {
+  // Each test gets its own scratch file: ctest runs cases of this suite
+  // concurrently, and a shared path lets one test's rewrite/cleanup race
+  // another's load.
+  HostileFile()
+      : path(std::filesystem::temp_directory_path() /
+             (std::string("repchain_hostile_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin")) {
     Fixture f;
     ChainStore chain;
     for (BlockSerial s = 1; s <= 3; ++s) {

@@ -134,6 +134,46 @@ TEST(AtomicBroadcast, DeliveryWithinSynchronyBoundPerBroadcast) {
   }
 }
 
+TEST(AtomicBroadcast, RedeliveredSequencedCopyIsSuppressed) {
+  // Regression: fault-injected duplication replays an already-delivered
+  // broadcast copy through deliver_direct. The per-link sequence guard must
+  // swallow it instead of handing the handler a second delivery.
+  GroupFixture f(7, 3);
+  f.group->broadcast(f.member_ids[0], MsgKind::kTest, Bytes{9});
+  f.queue.run();
+  for (const auto& log : f.received) ASSERT_EQ(log.size(), 1u);
+
+  Message dup;
+  dup.from = f.member_ids[0];
+  dup.to = f.member_ids[1];
+  dup.kind = MsgKind::kTest;
+  dup.payload = Bytes{9};
+  dup.seq = f.group->sequence();  // already delivered on this link
+  f.net.deliver_direct(dup);
+  EXPECT_EQ(f.received[1].size(), 1u);
+  EXPECT_EQ(f.net.stats().duplicates_ignored, 1u);
+
+  // A fresh sequence on the same link still goes through.
+  f.group->broadcast(f.member_ids[0], MsgKind::kTest, Bytes{10});
+  f.queue.run();
+  EXPECT_EQ(f.received[1].size(), 2u);
+}
+
+TEST(AtomicBroadcast, UnsequencedDirectDeliveriesAreNeverDeduplicated) {
+  // seq == 0 marks a plain unicast; the guard must not apply (two identical
+  // unsequenced messages are legitimate traffic, e.g. repeated requests).
+  GroupFixture f(8, 2);
+  Message msg;
+  msg.from = f.member_ids[0];
+  msg.to = f.member_ids[1];
+  msg.kind = MsgKind::kTest;
+  msg.payload = Bytes{1};
+  f.net.deliver_direct(msg);
+  f.net.deliver_direct(msg);
+  EXPECT_EQ(f.received[1].size(), 2u);
+  EXPECT_EQ(f.net.stats().duplicates_ignored, 0u);
+}
+
 TEST(AtomicBroadcast, DownMemberMissesDeliveriesOthersUnaffected) {
   GroupFixture f(6, 4);
   f.net.set_node_down(f.member_ids[2], true);

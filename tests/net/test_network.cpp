@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/errors.hpp"
 
 namespace repchain::net {
@@ -163,12 +165,57 @@ TEST(Network, DownNodeNeitherSendsNorReceives) {
   EXPECT_EQ(received, 1);
 }
 
-TEST(Network, InvalidDropProbabilityThrows) {
+TEST(Network, DropProbabilityClampedIntoUnitInterval) {
   Fixture f;
   const NodeId a = f.net.add_node();
   const NodeId b = f.net.add_node();
-  EXPECT_THROW(f.net.set_drop_probability(a, b, -0.1), ConfigError);
-  EXPECT_THROW(f.net.set_drop_probability(a, b, 1.5), ConfigError);
+  int received = 0;
+  f.net.set_handler(b, [&](const Message&) { ++received; });
+
+  // Below 0 clamps to 0: everything flows.
+  f.net.set_drop_probability(a, b, -0.1);
+  for (int i = 0; i < 20; ++i) f.net.send(a, b, MsgKind::kTest, Bytes{});
+  f.queue.run();
+  EXPECT_EQ(received, 20);
+
+  // Above 1 clamps to 1: everything drops.
+  f.net.set_drop_probability(a, b, 1.5);
+  for (int i = 0; i < 20; ++i) f.net.send(a, b, MsgKind::kTest, Bytes{});
+  f.queue.run();
+  EXPECT_EQ(received, 20);
+
+  // NaN clamps to 0.
+  f.net.set_drop_probability(a, b, std::numeric_limits<double>::quiet_NaN());
+  for (int i = 0; i < 20; ++i) f.net.send(a, b, MsgKind::kTest, Bytes{});
+  f.queue.run();
+  EXPECT_EQ(received, 40);
+}
+
+TEST(Network, LinkDelayExtendsOneDirectionOnly) {
+  Fixture f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  std::vector<SimDuration> ab, ba;
+  f.net.set_handler(a, [&](const Message& m) { ba.push_back(m.delivered_at - m.sent_at); });
+  f.net.set_handler(b, [&](const Message& m) { ab.push_back(m.delivered_at - m.sent_at); });
+
+  f.net.set_link_delay(a, b, 50 * kMillisecond);
+  for (int i = 0; i < 50; ++i) {
+    f.net.send(a, b, MsgKind::kTest, Bytes{});
+    f.net.send(b, a, MsgKind::kTest, Bytes{});
+  }
+  f.queue.run();
+  ASSERT_EQ(ab.size(), 50u);
+  ASSERT_EQ(ba.size(), 50u);
+  for (auto d : ab) EXPECT_GE(d, 50 * kMillisecond + 2 * kMillisecond);
+  for (auto d : ba) EXPECT_LE(d, 9 * kMillisecond);
+
+  // 0 removes the slow-link entry.
+  f.net.set_link_delay(a, b, 0);
+  ab.clear();
+  for (int i = 0; i < 20; ++i) f.net.send(a, b, MsgKind::kTest, Bytes{});
+  f.queue.run();
+  for (auto d : ab) EXPECT_LE(d, 9 * kMillisecond);
 }
 
 TEST(Network, InvalidLatencyModelThrows) {

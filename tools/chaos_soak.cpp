@@ -1,0 +1,279 @@
+// Seeded chaos soak for CI: each seed derives a randomized fault schedule
+// (burst loss, duplication, bounded reordering, a delay spike, usually a
+// partition and sometimes a crash/restart) whose every window heals by
+// round `rounds - 3`, then runs the full protocol with reliable delivery
+// and checks the hard invariants:
+//
+//   - agreement: all governor chains share a prefix at the end;
+//   - audit: every replica's chain passes the integrity/no-skipping audit;
+//   - tail liveness: the last two (fault-free) rounds both commit a block,
+//     i.e. the cluster recovered from whatever the schedule threw at it.
+//
+// The schedule is a pure function of the seed, so a CI failure reproduces
+// locally with `chaos_soak --base-seed=<seed> --chaos-seeds=1`. Exit code is
+// the number of failing seeds (0 = all clean).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace repchain;
+
+struct Options {
+  std::uint64_t seeds = 4;
+  std::uint64_t base_seed = 90001;
+  std::size_t rounds = 10;
+};
+
+bool parse_u64(const char* arg, const char* prefix, std::uint64_t& out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  out = std::strtoull(arg + n, nullptr, 10);
+  return true;
+}
+
+/// Random half-open round window inside [2, heal): faults never touch round 1
+/// (genesis stake setup) and always end before the fault-free tail.
+struct Window {
+  std::size_t from;
+  std::size_t until;
+};
+
+Window draw_window(Rng& rng, std::size_t heal) {
+  const std::size_t from = 2 + rng.uniform(2);  // 2 or 3
+  const std::size_t until =
+      from + 1 + rng.uniform(heal > from + 1 ? heal - from - 1 : 1);
+  return {from, until < heal ? until : heal};
+}
+
+/// Derive this seed's fault plan. Every window ends by `heal`; probabilities
+/// stay inside what the reliable channel and catch-up sync are specified to
+/// mask (loss <= 20%, at most a minority-island partition).
+sim::ScenarioConfig make_config(std::uint64_t seed, std::size_t rounds) {
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 6;
+  cfg.topology.collectors = 4;
+  cfg.topology.governors = 4;
+  cfg.topology.r = 2;
+  cfg.rounds = rounds;
+  cfg.txs_per_provider_per_round = 3;
+  cfg.p_valid = 0.8;
+  cfg.latency = net::LatencyModel{1 * kMillisecond, 2 * kMillisecond};
+  cfg.reliable_delivery = true;
+  cfg.seed = seed;
+
+  const std::size_t heal = rounds - 3;
+  Rng chaos = Rng(seed).derive(0xC4A05);
+
+  {
+    sim::LossSpec loss;
+    const Window w = draw_window(chaos, heal);
+    loss.from_round = w.from;
+    loss.until_round = w.until;
+    loss.probability = 0.05 + 0.15 * chaos.uniform01();
+    cfg.faults.losses = {loss};
+  }
+  if (chaos.bernoulli(0.7)) {
+    sim::DuplicationSpec dup;
+    const Window w = draw_window(chaos, heal);
+    dup.from_round = w.from;
+    dup.until_round = w.until;
+    dup.probability = 0.1 + 0.3 * chaos.uniform01();
+    cfg.faults.duplications = {dup};
+  }
+  if (chaos.bernoulli(0.7)) {
+    sim::ReorderSpec reorder;
+    const Window w = draw_window(chaos, heal);
+    reorder.from_round = w.from;
+    reorder.until_round = w.until;
+    reorder.probability = 0.1 + 0.2 * chaos.uniform01();
+    reorder.max_extra = (2 + chaos.uniform(3)) * kMillisecond;
+    cfg.faults.reorders = {reorder};
+  }
+  if (chaos.bernoulli(0.5)) {
+    sim::DelaySpikeSpec spike;
+    const Window w = draw_window(chaos, heal);
+    spike.from_round = w.from;
+    spike.until_round = w.until;
+    spike.extra = (1 + chaos.uniform(2)) * kMillisecond;
+    spike.jitter = 1 * kMillisecond;
+    cfg.faults.delay_spikes = {spike};
+  }
+  if (chaos.bernoulli(0.7)) {
+    sim::PartitionSpec part;
+    const Window w = draw_window(chaos, heal);
+    part.from_round = w.from;
+    part.until_round = w.until;
+    const std::size_t first = chaos.uniform(cfg.topology.governors);
+    part.governors = {first};
+    if (chaos.bernoulli(0.3)) {
+      // Two-governor island: splits the 4-governor quorum, so the majority
+      // side stalls until the heal — the watchdog + catch-up path under test.
+      part.governors.push_back((first + 1) % cfg.topology.governors);
+    }
+    cfg.faults.partitions = {part};
+  }
+  if (chaos.bernoulli(0.3)) {
+    sim::CrashPlan crash;
+    crash.governor = chaos.uniform(cfg.topology.governors);
+    crash.crash_round = 3;
+    crash.restart_round = 4;
+    cfg.crashes = {crash};
+  }
+  return cfg;
+}
+
+struct Verdict {
+  bool ok = true;
+  std::string why;
+};
+
+Verdict check(sim::Scenario& s, const sim::ScenarioConfig& cfg) {
+  const auto sum = s.summary();
+  Verdict v;
+  if (!sum.agreement) {
+    v.ok = false;
+    v.why += " governors diverged;";
+  }
+  if (!sum.chains_audit_ok) {
+    v.ok = false;
+    v.why += " chain audit failed;";
+  }
+  for (Round r = static_cast<Round>(cfg.rounds) - 1;
+       r <= static_cast<Round>(cfg.rounds); ++r) {
+    if (!s.observer().commit_at(r)) {
+      v.ok = false;
+      v.why += " round " + std::to_string(r) + " stalled after heal;";
+    }
+  }
+  return v;
+}
+
+/// Failure diagnostics: the derived fault plan plus each replica's final
+/// height and sync counters, enough to reproduce and localize without rerun.
+void dump_failure(const sim::ScenarioConfig& cfg, sim::Scenario& s) {
+  for (const auto& l : cfg.faults.losses) {
+    std::printf("    plan: loss p=%.3f rounds [%zu,%zu)\n", l.probability,
+                l.from_round, l.until_round);
+  }
+  for (const auto& d : cfg.faults.duplications) {
+    std::printf("    plan: dup p=%.3f rounds [%zu,%zu)\n", d.probability,
+                d.from_round, d.until_round);
+  }
+  for (const auto& r : cfg.faults.reorders) {
+    std::printf("    plan: reorder p=%.3f max_extra=%lluus rounds [%zu,%zu)\n",
+                r.probability, static_cast<unsigned long long>(r.max_extra),
+                r.from_round, r.until_round);
+  }
+  for (const auto& ds : cfg.faults.delay_spikes) {
+    std::printf("    plan: spike extra=%lluus jitter=%lluus rounds [%zu,%zu)\n",
+                static_cast<unsigned long long>(ds.extra),
+                static_cast<unsigned long long>(ds.jitter), ds.from_round,
+                ds.until_round);
+  }
+  for (const auto& p : cfg.faults.partitions) {
+    std::printf("    plan: partition governors={");
+    for (std::size_t g : p.governors) std::printf(" %zu", g);
+    std::printf(" } rounds [%zu,%zu)\n", p.from_round, p.until_round);
+  }
+  for (const auto& c : cfg.crashes) {
+    std::printf("    plan: crash governor %zu round %zu, restart round %zu\n",
+                c.governor, c.crash_round, c.restart_round);
+  }
+  for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
+    if (s.governors()[g] == nullptr) {
+      std::printf("    governor %zu: dead\n", g);
+      continue;
+    }
+    const auto& gov = s.governor(g);
+    std::printf(
+        "    governor %zu: height=%llu synced=%llu sync_timeouts=%llu\n", g,
+        static_cast<unsigned long long>(gov.chain().height()),
+        static_cast<unsigned long long>(gov.metrics().blocks_synced),
+        static_cast<unsigned long long>(gov.metrics().sync_timeouts));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (parse_u64(argv[i], "--chaos-seeds=", opt.seeds)) continue;
+    if (parse_u64(argv[i], "--base-seed=", opt.base_seed)) continue;
+    std::uint64_t rounds = 0;
+    if (parse_u64(argv[i], "--rounds=", rounds)) {
+      opt.rounds = static_cast<std::size_t>(rounds);
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: chaos_soak [--chaos-seeds=N] [--base-seed=S] "
+                 "[--rounds=R]\n");
+    return 2;
+  }
+  if (opt.rounds < 6) {
+    std::fprintf(stderr, "chaos_soak: --rounds must be >= 6 (fault windows "
+                         "heal by rounds - 3)\n");
+    return 2;
+  }
+
+  std::printf("chaos_soak: %llu seed(s) from %llu, %zu rounds each\n",
+              static_cast<unsigned long long>(opt.seeds),
+              static_cast<unsigned long long>(opt.base_seed), opt.rounds);
+
+  int failures = 0;
+  for (std::uint64_t i = 0; i < opt.seeds; ++i) {
+    const std::uint64_t seed = opt.base_seed + i;
+    const sim::ScenarioConfig cfg = make_config(seed, opt.rounds);
+    sim::Scenario s(cfg);
+    s.run();
+    const Verdict v = check(s, cfg);
+    const auto sum = s.summary();
+
+    std::uint64_t retransmits = 0;
+    for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
+      if (s.governors()[g] != nullptr) {
+        if (const auto* ch = s.governor(g).channel()) {
+          retransmits += ch->stats().retransmits;
+        }
+      }
+    }
+    std::uint64_t drops = 0;
+    if (const auto* fs = s.fault_stats()) {
+      drops = fs->loss_drops + fs->partition_drops;
+    }
+
+    std::printf(
+        "  seed %llu: blocks=%llu drops=%llu retransmits=%llu stalled=%llu "
+        "partition=%s crash=%s -> %s%s\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(sum.blocks),
+        static_cast<unsigned long long>(drops),
+        static_cast<unsigned long long>(retransmits),
+        static_cast<unsigned long long>(sum.stalled_events),
+        cfg.faults.partitions.empty()
+            ? "no"
+            : (cfg.faults.partitions[0].governors.size() == 2 ? "quorum-split"
+                                                              : "minority"),
+        cfg.crashes.empty() ? "no" : "yes", v.ok ? "OK" : "FAIL:",
+        v.why.c_str());
+    if (!v.ok) {
+      dump_failure(cfg, s);
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("chaos_soak: %d of %llu seeds FAILED\n", failures,
+                static_cast<unsigned long long>(opt.seeds));
+  } else {
+    std::printf("chaos_soak: all seeds clean\n");
+  }
+  return failures;
+}
