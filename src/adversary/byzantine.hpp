@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace repchain::adversary {
+
+/// Classes of active misbehavior the adversary layer can inject and the
+/// defenses report. The numeric value rides in kByzantineEvidence trace
+/// events as arg0, so it is part of the observable surface — append only.
+enum class ByzantineKind : std::uint8_t {
+  kProposalEquivocation = 1,  // leader sent conflicting proposals (arg1 = governor)
+  kLyingSync = 2,             // sync peer served a forged/stale chain (arg1 = governor)
+  kCollectorEquivocation = 3, // conflicting signed labels across governors (arg1 = collector)
+  kForgedUpload = 4,          // invalid provider signature on an upload (arg1 = collector)
+  kDoubleSpend = 5,           // provider reused a serial across collectors (arg1 = provider)
+};
+
+[[nodiscard]] inline const char* byzantine_kind_name(ByzantineKind k) {
+  switch (k) {
+    case ByzantineKind::kProposalEquivocation: return "proposal-equivocation";
+    case ByzantineKind::kLyingSync: return "lying-sync";
+    case ByzantineKind::kCollectorEquivocation: return "collector-equivocation";
+    case ByzantineKind::kForgedUpload: return "forged-upload";
+    case ByzantineKind::kDoubleSpend: return "double-spend";
+  }
+  return "unknown";
+}
+
+/// In-protocol misbehavior toggles for a governor. Installed by the scenario
+/// harness (Governor::set_byzantine); every flag defaults to honest so the
+/// fault-free goldens are untouched.
+struct GovernorByzantine {
+  /// When this governor wins the election it assembles two conflicting
+  /// blocks for the same serial and sends each variant to a disjoint half of
+  /// its peers.
+  bool equivocate_proposals = false;
+  /// Answer kBlockRequest with an internally-forged block (tampered TXList,
+  /// re-signed by this governor) instead of the committed one.
+  bool lying_sync = false;
+
+  [[nodiscard]] bool any() const { return equivocate_proposals || lying_sync; }
+};
+
+}  // namespace repchain::adversary

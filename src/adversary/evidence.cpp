@@ -1,0 +1,43 @@
+#include "adversary/evidence.hpp"
+
+#include <string_view>
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::adversary {
+
+namespace {
+constexpr std::string_view kMagic = "repchain-block-equivocation-v1";
+}  // namespace
+
+Bytes BlockEquivocationEvidence::encode() const {
+  BinaryWriter w;
+  w.str(kMagic);
+  w.bytes(a.encode());
+  w.bytes(b.encode());
+  return std::move(w).take();
+}
+
+BlockEquivocationEvidence BlockEquivocationEvidence::decode(BytesView data) {
+  BinaryReader r(data);
+  if (r.str() != kMagic) throw DecodeError("not block-equivocation evidence");
+  BlockEquivocationEvidence ev;
+  ev.a = ledger::Block::decode(r.bytes());
+  ev.b = ledger::Block::decode(r.bytes());
+  r.expect_done();
+  return ev;
+}
+
+bool BlockEquivocationEvidence::verify(const identity::IdentityManager& im,
+                                       NodeId accused_node, GovernorId accused) const {
+  if (a.leader != accused || b.leader != accused) return false;
+  if (a.serial != b.serial) return false;
+  if (a.hash() == b.hash()) return false;
+  return im.authorize(accused_node, identity::Role::kGovernor, a.signed_preimage(),
+                      a.leader_sig) &&
+         im.authorize(accused_node, identity::Role::kGovernor, b.signed_preimage(),
+                      b.leader_sig);
+}
+
+}  // namespace repchain::adversary

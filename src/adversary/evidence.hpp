@@ -1,0 +1,31 @@
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "identity/identity_manager.hpp"
+#include "ledger/block.hpp"
+
+namespace repchain::adversary {
+
+/// Self-contained proof that a leader equivocated: two blocks for the same
+/// serial, both carrying the accused leader's valid signature, with
+/// different hashes. Carried in ExpelMsg::evidence (the magic prefix
+/// distinguishes it from the stake-consensus StateProposalMsg evidence
+/// format) so any governor can verify the accusation offline.
+struct BlockEquivocationEvidence {
+  ledger::Block a;
+  ledger::Block b;
+
+  [[nodiscard]] Bytes encode() const;
+  /// Throws DecodeError when the payload is not this format (wrong magic,
+  /// truncation, trailing bytes).
+  [[nodiscard]] static BlockEquivocationEvidence decode(BytesView data);
+
+  /// True iff both blocks claim the same serial from `accused` (enrolled as
+  /// a governor at `accused_node`), both signatures authenticate, and the
+  /// block hashes differ — i.e. the evidence proves equivocation.
+  [[nodiscard]] bool verify(const identity::IdentityManager& im, NodeId accused_node,
+                            GovernorId accused) const;
+};
+
+}  // namespace repchain::adversary

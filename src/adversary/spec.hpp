@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace repchain::adversary {
+
+/// Declarative, round-windowed Byzantine behavior specs, in the same style
+/// as sim::FaultScheduleSpec: every window is half-open [from_round,
+/// until_round) over 1-based protocol rounds and is lowered to absolute
+/// activation times by the scenario harness. Indices address nodes by their
+/// topology position (governor i / collector i / provider i).
+
+/// Governor `governor` equivocates on block proposals whenever it wins the
+/// election inside the window.
+struct EquivocatingLeaderSpec {
+  Round from_round = 0;
+  Round until_round = 0;
+  std::size_t governor = 0;
+};
+
+/// Governor `governor` serves forged blocks to sync_chain callers inside
+/// the window.
+struct LyingSyncSpec {
+  Round from_round = 0;
+  Round until_round = 0;
+  std::size_t governor = 0;
+};
+
+/// Collector `collector` deviates inside the window: label flips at
+/// `flip_probability` (optionally targeted per provider), forged uploads at
+/// `forge_probability`, and cross-governor label equivocation when
+/// `equivocate` is set. Outside the window the collector's configured
+/// baseline behavior is restored.
+struct ByzantineCollectorSpec {
+  Round from_round = 0;
+  Round until_round = 0;
+  std::size_t collector = 0;
+  double flip_probability = 0.0;
+  double forge_probability = 0.0;
+  bool equivocate = false;
+  /// Per-provider misreport overrides (provider topology index, flip
+  /// probability); unlisted providers use `flip_probability`.
+  std::vector<std::pair<std::uint32_t, double>> flip_by_provider;
+};
+
+/// Provider `provider` double-spends inside the window: with `probability`
+/// per submission it signs a second transaction reusing the same sequence
+/// number and sends each twin to a disjoint half of its collectors.
+struct DoubleSpendSpec {
+  Round from_round = 0;
+  Round until_round = 0;
+  std::size_t provider = 0;
+  double probability = 0.0;
+};
+
+/// The full adversary plan for one scenario. Non-empty specs switch the
+/// governors' Byzantine defenses on (ScenarioConfig wiring).
+struct AdversarySpec {
+  std::vector<EquivocatingLeaderSpec> equivocating_leaders;
+  std::vector<LyingSyncSpec> lying_sync_peers;
+  std::vector<ByzantineCollectorSpec> byzantine_collectors;
+  std::vector<DoubleSpendSpec> double_spenders;
+
+  [[nodiscard]] bool empty() const {
+    return equivocating_leaders.empty() && lying_sync_peers.empty() &&
+           byzantine_collectors.empty() && double_spenders.empty();
+  }
+};
+
+}  // namespace repchain::adversary

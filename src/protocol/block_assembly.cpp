@@ -21,6 +21,11 @@ void BlockAssembler::reconcile(const ledger::Block& accepted) {
   });
 }
 
+void BlockAssembler::drop_pending(const ledger::TxId& id) {
+  std::erase_if(pending_,
+                [&id](const ledger::TxRecord& rec) { return rec.tx.id() == id; });
+}
+
 void BlockAssembler::reset_from_chain(const ledger::ChainStore& chain) {
   pending_.clear();
   packed_.clear();

@@ -31,6 +31,11 @@ class BlockAssembler {
   /// them from the pending list.
   void reconcile(const ledger::Block& accepted);
 
+  /// Byzantine defense: remove a queued record before it is ever proposed
+  /// (double-spend twins are withdrawn from both replicas' pending lists so
+  /// neither spend can reach a block). No-op if `id` is not pending.
+  void drop_pending(const ledger::TxId& id);
+
   /// True iff the transaction is already part of an accepted block.
   [[nodiscard]] bool packed(const ledger::TxId& id) const {
     return packed_.contains(id);

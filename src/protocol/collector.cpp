@@ -57,7 +57,14 @@ void Collector::on_message(const runtime::Message& msg) {
     // validate(tx) from the collector's seat: a noisy observation of the
     // application-level ground truth.
     Label label = oracle_.observe(tx.id(), behavior_.accuracy, rng);
-    if (rng.bernoulli(behavior_.flip_probability)) label = ledger::opposite(label);
+    double flip = behavior_.flip_probability;
+    for (const auto& [provider, probability] : behavior_.flip_by_provider) {
+      if (provider == tx.provider.value()) {
+        flip = probability;
+        break;
+      }
+    }
+    if (rng.bernoulli(flip)) label = ledger::opposite(label);
     upload(tx, label);
   }
 
@@ -88,6 +95,7 @@ void Collector::upload(const ledger::Transaction& tx, Label label) {
   }
   // Equivocation: a Byzantine collector bypasses the atomic broadcast and
   // sends alternating labels to individual governors.
+  ++stats_.equivocated;
   const auto governors = directory_.governor_nodes();
   for (std::size_t i = 0; i < governors.size(); ++i) {
     const Label sent = (i % 2 == 0) ? label : ledger::opposite(label);

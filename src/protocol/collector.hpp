@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "crypto/ed25519.hpp"
 #include "identity/identity_manager.hpp"
@@ -27,6 +30,11 @@ struct CollectorBehavior {
   double drop_probability = 0.0;
   double forge_probability = 0.0;
   bool equivocate = false;
+  /// Targeted misreporting (adversary layer): per-provider flip-probability
+  /// overrides as (provider id value, probability) pairs; unlisted providers
+  /// use flip_probability. Same single rng draw either way, so installing an
+  /// empty override list leaves the behavioral stream untouched.
+  std::vector<std::pair<std::uint32_t, double>> flip_by_provider;
 
   [[nodiscard]] static CollectorBehavior honest() { return {}; }
   [[nodiscard]] static CollectorBehavior noisy(double accuracy) {
@@ -67,6 +75,7 @@ struct CollectorStats {
   std::uint64_t uploaded = 0;
   std::uint64_t dropped = 0;
   std::uint64_t forged = 0;
+  std::uint64_t equivocated = 0;  // uploads sent with per-governor labels
   std::uint64_t rejected_bad_signature = 0;
 };
 
@@ -92,6 +101,9 @@ class Collector {
   [[nodiscard]] CollectorId id() const { return id_; }
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] const CollectorBehavior& behavior() const { return behavior_; }
+  /// Swap the behavior model in place — the adversary layer schedules
+  /// Byzantine windows by swapping to a deviating profile and back.
+  void set_behavior(CollectorBehavior behavior) { behavior_ = behavior; }
   [[nodiscard]] const CollectorStats& stats() const { return stats_; }
   [[nodiscard]] const runtime::ReliableChannel* channel() const {
     return channel_ ? &*channel_ : nullptr;

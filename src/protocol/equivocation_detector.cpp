@@ -14,6 +14,42 @@ void EquivocationDetector::note_label(const ledger::TxId& id,
 void EquivocationDetector::age_out() {
   seen_labels_prev_ = std::move(seen_labels_);
   seen_labels_.clear();
+  seen_proposals_prev_ = std::move(seen_proposals_);
+  seen_proposals_.clear();
+}
+
+EquivocationDetector::ProposalNote EquivocationDetector::note_proposal(
+    const ledger::Block& block) {
+  ProposalNote note;
+  const NodeId leader_node = directory_.node_of(block.leader);
+  if (!im_.authorize(leader_node, identity::Role::kGovernor, block.signed_preimage(),
+                     block.leader_sig)) {
+    return note;  // unsigned claims are not evidence of anything
+  }
+  const auto key = std::make_pair(block.leader.value(), block.serial);
+  const auto hash = block.hash();
+  for (ProposalGen* gen : {&seen_proposals_, &seen_proposals_prev_}) {
+    const auto it = gen->find(key);
+    if (it == gen->end()) continue;
+    if (it->second.hash() == hash) return note;  // duplicate of the known block
+    // Two valid leader signatures over different blocks at one serial.
+    if (proposal_punished_.insert(key).second) {
+      note.conflict = it->second;
+      ++metrics_.proposal_equivocations;
+      if (evidence_) {
+        evidence_(adversary::ByzantineKind::kProposalEquivocation, block.leader.value());
+      }
+    }
+    return note;
+  }
+  seen_proposals_.emplace(key, block);
+  note.fresh = true;
+  return note;
+}
+
+bool EquivocationDetector::proposal_conflicted(GovernorId leader,
+                                               BlockSerial serial) const {
+  return proposal_punished_.contains({leader.value(), serial});
 }
 
 std::optional<Bytes> EquivocationDetector::take_gossip_payload() {
@@ -69,6 +105,10 @@ void EquivocationDetector::on_gossip(
     if (!punished_.insert(key).second) continue;
     ++metrics_.equivocations_detected;
     table_.punish_forgery(remote.collector);
+    if (evidence_) {
+      evidence_(adversary::ByzantineKind::kCollectorEquivocation,
+                remote.collector.value());
+    }
   }
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -7,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/byzantine.hpp"
 #include "identity/identity_manager.hpp"
+#include "ledger/block.hpp"
 #include "ledger/transaction.hpp"
 #include "protocol/directory.hpp"
 #include "protocol/governor_types.hpp"
@@ -49,6 +53,34 @@ class EquivocationDetector {
   /// cross-check it; malformed payloads are ignored.
   void on_gossip_payload(BytesView payload);
 
+  /// Outcome of recording one signed leader proposal.
+  struct ProposalNote {
+    /// First time this exact block was seen from its leader at this serial.
+    bool fresh = false;
+    /// The previously recorded conflicting block, when the leader signed two
+    /// different blocks for the same serial (self-contained equivocation
+    /// proof; callers build BlockEquivocationEvidence from it).
+    std::optional<ledger::Block> conflict;
+  };
+
+  /// Record a block proposal for leader-equivocation detection (§3.4.3
+  /// extension: the same two-generation window as labels). The leader's
+  /// signature is verified here; unsigned blocks are ignored (fresh =
+  /// false, no conflict). At most one conflict is reported per
+  /// (leader, serial).
+  [[nodiscard]] ProposalNote note_proposal(const ledger::Block& block);
+
+  /// True when a conflict was already reported for this leader and serial.
+  [[nodiscard]] bool proposal_conflicted(GovernorId leader, BlockSerial serial) const;
+
+  /// Install a callback fired once per fresh punishment (collector
+  /// equivocation or leader equivocation) so the host can emit
+  /// kByzantineEvidence traces without the detector depending on the
+  /// runtime layer. arg is the offender's raw id value.
+  void set_evidence(std::function<void(adversary::ByzantineKind, std::uint64_t)> cb) {
+    evidence_ = std::move(cb);
+  }
+
  private:
   using LabelGen = std::unordered_map<
       ledger::TxId, std::unordered_map<CollectorId, ledger::LabeledTransaction>,
@@ -59,10 +91,16 @@ class EquivocationDetector {
   reputation::ReputationTable& table_;
   GovernorMetrics& metrics_;
 
+  using ProposalGen = std::map<std::pair<std::uint32_t, BlockSerial>, ledger::Block>;
+
   LabelGen seen_labels_;
   LabelGen seen_labels_prev_;
   std::vector<ledger::LabeledTransaction> ungossiped_;
   std::set<std::pair<std::uint32_t, std::string>> punished_;
+  ProposalGen seen_proposals_;
+  ProposalGen seen_proposals_prev_;
+  std::set<std::pair<std::uint32_t, BlockSerial>> proposal_punished_;
+  std::function<void(adversary::ByzantineKind, std::uint64_t)> evidence_;
 };
 
 }  // namespace repchain::protocol

@@ -43,6 +43,17 @@ Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey 
     for (ProviderId p : directory_.providers_of(c)) table_.link(c, p);
   }
 
+  // Route every fresh equivocation/double-spend punishment into a
+  // kByzantineEvidence trace so harnesses observe detections without
+  // reaching into node internals.
+  equivocation_.set_evidence(
+      [this](adversary::ByzantineKind kind, std::uint64_t offender) {
+        emit_byzantine(kind, offender);
+      });
+  intake_.set_evidence([this](adversary::ByzantineKind kind, std::uint64_t offender) {
+    emit_byzantine(kind, offender);
+  });
+
   if (config_.reliable_delivery) {
     channel_.emplace(ctx_, config_.channel_epoch);
     channel_->set_deliver([this](const runtime::Message& m) { on_message(m); });
@@ -84,6 +95,12 @@ void Governor::rbroadcast(runtime::MsgKind kind, const Bytes& payload) {
 
 void Governor::emit(runtime::TraceKind kind, std::uint64_t arg0, std::uint64_t arg1) {
   ctx_.emit(runtime::TraceEvent{kind, node_, round_, arg0, arg1, ctx_.now()});
+}
+
+void Governor::emit_byzantine(adversary::ByzantineKind kind, std::uint64_t offender) {
+  ++metrics_.byzantine_evidence;
+  emit(runtime::TraceKind::kByzantineEvidence, static_cast<std::uint64_t>(kind),
+       offender);
 }
 
 void Governor::on_message(const runtime::Message& msg) {
@@ -193,6 +210,8 @@ void Governor::on_argue(const runtime::Message& msg) {
     return;
   }
   if (argue.tx.provider != argue.provider) return;
+  // A blacklisted double-spender cannot argue a withdrawn twin back in.
+  if (config_.byzantine_defense && intake_.blacklisted(argue.provider)) return;
 
   auto rec = argues_.handle_argue(argue);
   if (rec) assembler_.add_pending(std::move(*rec));
@@ -224,8 +243,9 @@ void Governor::begin_round(Round round) {
   // Proposals stashed against the previous round's winner are dead now.
   metrics_.blocks_rejected += pending_proposals_.size();
   pending_proposals_.clear();
-  // Age out the equivocation evidence base.
+  // Age out the equivocation evidence base and the double-spend serial guard.
   equivocation_.age_out();
+  intake_.age_out();
   election_.emplace(round, stake_consensus_.stake(), expelled_);
   // A recovering replica follows the round (accepts announcements and
   // proposals) but does not announce: winning an election with a stale chain
@@ -246,6 +266,18 @@ void Governor::on_vrf(const runtime::Message& msg) {
     announce = VrfAnnounceMsg::decode(msg.payload);
   } catch (const DecodeError&) {
     return;
+  }
+  // An expelled governor keeps announcing (its stake would dominate any
+  // replica that missed the expulsion — e.g. one that crashed past the expel
+  // broadcast and restarted with an empty expelled set, which then waits
+  // forever on a leader that never proposes). Re-share the held proof at
+  // most once per round so such replicas re-converge.
+  if (expelled_.contains(announce.governor)) {
+    const auto ev = expel_evidence_.find(announce.governor);
+    if (ev != expel_evidence_.end() && expel_reshare_round_ != round_) {
+      expel_reshare_round_ = round_;
+      broadcast_expel(announce.governor, ev->second);
+    }
   }
   const bool fresh = election_->add_announcement(
       announce, im_, directory_.node_of(announce.governor));
@@ -314,6 +346,31 @@ void Governor::propose_if_leader() {
   if (!is_leader()) return;
   const ledger::Block block =
       assembler_.propose(chain_, round_, id_, config_.block_limit, key_);
+  if (byz_.equivocate_proposals && !block.txs.empty()) {
+    // Adversary layer: sign a second, conflicting block for the same serial
+    // (same prefix, one record short) and send each variant to a disjoint
+    // half of the peers. Self-adopt variant A like an honest leader would.
+    std::vector<ledger::TxRecord> txs_b(block.txs.begin(), block.txs.end() - 1);
+    const ledger::Block alt = ledger::make_block(block.serial, block.round,
+                                                 block.prev_hash, id_,
+                                                 std::move(txs_b), key_);
+    const Bytes enc_a = block.encode();
+    const Bytes enc_b = alt.encode();
+    for (std::size_t i = 0; i < sync_peers_.size(); ++i) {
+      rsend(sync_peers_[i], runtime::MsgKind::kBlockProposal,
+            i < sync_peers_.size() / 2 ? enc_a : enc_b);
+    }
+    ++metrics_.byzantine_equivocations_sent;
+    runtime::Message self;
+    self.from = node_;
+    self.to = node_;
+    self.kind = runtime::MsgKind::kBlockProposal;
+    self.payload = enc_a;
+    self.sent_at = ctx_.now();
+    self.delivered_at = ctx_.now();
+    on_message(self);
+    return;
+  }
   rbroadcast(runtime::MsgKind::kBlockProposal, block.encode());
 }
 
@@ -327,9 +384,54 @@ void Governor::on_block_proposal(const runtime::Message& msg) {
   }
   if (expelled_.contains(block.leader)) {
     ++metrics_.blocks_rejected;
+    // Re-share the stored expulsion proof (at most once per round): a
+    // replica that crashed after the original expel broadcast lost its
+    // expelled set, and honest governors no longer echo the offender's
+    // proposals — without this, that replica keeps counting the expelled
+    // leader in its elections and the quorum diverges permanently.
+    const auto ev = expel_evidence_.find(block.leader);
+    if (ev != expel_evidence_.end() && expel_reshare_round_ != round_) {
+      expel_reshare_round_ = round_;
+      broadcast_expel(block.leader, ev->second);
+    }
     return;
   }
 
+  if (config_.byzantine_defense) {
+    // Leader-equivocation defense: record the signed proposal; two valid
+    // leader signatures over different blocks at one serial are a
+    // self-contained proof.
+    const auto note = equivocation_.note_proposal(block);
+    if (note.conflict) {
+      handle_proposal_equivocation(*note.conflict, block);
+      return;
+    }
+    if (!note.fresh) return;  // duplicate (an echo copy) or an unsigned claim
+    // Echo the first-seen variant to the other governors: an equivocator
+    // sends each variant to a disjoint peer subset, so without the echo no
+    // single governor ever holds both signatures.
+    const NodeId leader_node = directory_.node_of(block.leader);
+    for (const NodeId peer : sync_peers_) {
+      if (peer == leader_node || peer == msg.from) continue;
+      rsend(peer, runtime::MsgKind::kBlockProposal, msg.payload);
+    }
+    // Hold the proposal for 2*Delta before committing: under the synchrony
+    // bound, a conflicting variant's echo reaches us within that window, so
+    // no honest governor commits an equivocator's block.
+    ctx_.timers().schedule_after(2 * ctx_.delta(),
+                                 [this, block] { settle_proposal(block); });
+    return;
+  }
+  settle_proposal(std::move(block));
+}
+
+void Governor::settle_proposal(ledger::Block block) {
+  if (config_.byzantine_defense &&
+      (expelled_.contains(block.leader) ||
+       equivocation_.proposal_conflicted(block.leader, block.serial))) {
+    ++metrics_.blocks_rejected;  // conflict surfaced during the hold window
+    return;
+  }
   // Leader legitimacy: the proposer must be this round's election winner. A
   // proposal can legitimately race ahead of its own election — announcements
   // are still in flight right after a heal or a restart — so an undecided or
@@ -342,6 +444,18 @@ void Governor::on_block_proposal(const runtime::Message& msg) {
     return;
   }
   adopt_proposal(std::move(block));
+}
+
+void Governor::handle_proposal_equivocation(const ledger::Block& prior,
+                                            const ledger::Block& offending) {
+  ++metrics_.blocks_rejected;
+  expelled_.insert(offending.leader);
+  // The kByzantineEvidence trace was already emitted by the detector's
+  // evidence callback; spread the proof so every governor expels the leader,
+  // and keep it around to re-share with replicas that missed the broadcast.
+  const adversary::BlockEquivocationEvidence evidence{prior, offending};
+  expel_evidence_[offending.leader] = evidence.encode();
+  broadcast_expel(offending.leader, expel_evidence_[offending.leader]);
 }
 
 void Governor::adopt_proposal(ledger::Block block) {
@@ -392,7 +506,9 @@ void Governor::retry_pending_proposals() {
   std::vector<ledger::Block> pending = std::move(pending_proposals_);
   pending_proposals_.clear();
   for (auto& block : pending) {
-    if (block.leader == *winner && !expelled_.contains(block.leader)) {
+    if (block.leader == *winner && !expelled_.contains(block.leader) &&
+        !(config_.byzantine_defense &&
+          equivocation_.proposal_conflicted(block.leader, block.serial))) {
       adopt_proposal(std::move(block));
     } else {
       // A better announcement may still arrive and shift the winner (the
@@ -415,7 +531,24 @@ void Governor::on_block_request(const runtime::Message& msg) {
   const auto block = chain_.retrieve(req.serial);
   if (block) {
     resp.found = true;
-    resp.block = block->encode();
+    if (byz_.lying_sync) {
+      // Adversary layer: serve an internally-forged block — tampered first
+      // label, leadership claimed for ourselves, re-rooted and re-signed.
+      // The forgery links correctly to the caller's chain, so only the
+      // corroboration defense (not the local append checks) can reject it.
+      ledger::Block forged = *block;
+      if (!forged.txs.empty()) {
+        forged.txs.front().label = ledger::opposite(forged.txs.front().label);
+      }
+      forged.leader = id_;
+      forged.tx_root = forged.compute_tx_root();
+      forged.leader_sig = key_.sign(forged.signed_preimage());
+      resp.block = forged.encode();
+      ++metrics_.byzantine_lies_served;
+      if (directory_.governor_at(msg.from)) ++metrics_.byzantine_lies_to_governors;
+    } else {
+      resp.block = block->encode();
+    }
   }
   rsend(msg.from, runtime::MsgKind::kBlockResponse, resp.encode());
 }
@@ -437,8 +570,24 @@ void Governor::sync_chain() {
 
 SimDuration Governor::sync_timeout() const { return 8 * ctx_.delta(); }
 
+void Governor::note_lying_peer(NodeId peer) {
+  distrusted_peers_.insert(peer);
+  ++metrics_.lying_sync_rejected;
+  const auto offender = directory_.governor_at(peer);
+  emit_byzantine(adversary::ByzantineKind::kLyingSync,
+                 offender ? offender->value() : peer.value());
+}
+
 void Governor::request_block(BlockSerial serial) {
-  const NodeId peer = sync_peers_[(serial + sync_attempts_) % sync_peers_.size()];
+  // Distrusted peers (caught serving invalid or outvoted sync responses) are
+  // skipped while any alternative remains; with none scheduled the pool is
+  // exactly sync_peers_, so honest runs rotate identically to before.
+  std::vector<NodeId> pool;
+  for (const NodeId n : sync_peers_) {
+    if (!distrusted_peers_.contains(n)) pool.push_back(n);
+  }
+  if (pool.empty()) pool = sync_peers_;
+  const NodeId peer = pool[(serial + sync_attempts_) % pool.size()];
   BlockRequestMsg req;
   req.serial = serial;
   const std::uint64_t nonce = ++sync_nonce_;
@@ -487,23 +636,65 @@ void Governor::on_block_response(const runtime::Message& msg) {
   }
 
   ledger::Block block;
+  bool decoded = true;
   try {
     block = ledger::Block::decode(resp.block);
   } catch (const DecodeError&) {
-    ++metrics_.blocks_rejected;
-    finish_sync();
-    return;
+    decoded = false;
   }
   // Same light-client verification as Provider::on_message: leader must be
   // an enrolled governor, signature must authenticate; append re-checks
   // serial continuity, hash link and tx-root.
-  const NodeId leader_node = directory_.node_of(block.leader);
-  if (!im_.authorize(leader_node, identity::Role::kGovernor, block.signed_preimage(),
-                     block.leader_sig)) {
+  if (decoded) {
+    const NodeId leader_node = directory_.node_of(block.leader);
+    decoded = im_.authorize(leader_node, identity::Role::kGovernor,
+                            block.signed_preimage(), block.leader_sig);
+  }
+  if (!decoded) {
     ++metrics_.blocks_rejected;
+    if (config_.byzantine_defense && sync_peers_.size() > 1) {
+      // An unverifiable response marks the server as a liar; retry the same
+      // serial against the next peer instead of abandoning the pass.
+      note_lying_peer(msg.from);
+      ++sync_attempts_;
+      request_block(resp.serial);
+      return;
+    }
     finish_sync();
     return;
   }
+
+  if (config_.byzantine_defense && sync_peers_.size() > 1) {
+    // Corroborate before adopting: a lying peer can serve a forged block
+    // that links perfectly onto our chain (tampered TXList, re-signed by
+    // itself as leader), which every local check accepts. Adoption waits
+    // until two distinct peers served byte-identical encodings; the losing
+    // candidates' servers are distrusted.
+    auto& candidates = sync_candidates_[resp.serial];
+    SyncCandidate* match = nullptr;
+    for (auto& cand : candidates) {
+      if (cand.encoding == resp.block) {
+        match = &cand;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      candidates.push_back(SyncCandidate{resp.block, {}});
+      match = &candidates.back();
+    }
+    match->peers.insert(msg.from);
+    if (match->peers.size() < 2) {
+      ++sync_attempts_;  // poll another peer for a second opinion
+      request_block(resp.serial);
+      return;
+    }
+    for (const auto& cand : candidates) {
+      if (cand.encoding == match->encoding) continue;
+      for (const NodeId liar : cand.peers) note_lying_peer(liar);
+    }
+    sync_candidates_.erase(resp.serial);
+  }
+
   try {
     chain_.append(block);
   } catch (const ProtocolError&) {
@@ -528,6 +719,7 @@ void Governor::finish_sync() {
   sync_in_flight_ = false;
   recovering_ = false;   // reached a peer and drained its head: caught up
   head_checked_ = true;  // further commit-free rounds do not re-trigger it
+  sync_candidates_.clear();
   drain_stash();
   // Stashed proposals still above the head are unadoptable: the gap below
   // them cannot be filled from any peer.
@@ -791,6 +983,26 @@ void Governor::on_expel(const runtime::Message& msg) {
   if (!im_.authorize(accuser_node, identity::Role::kGovernor, expel.signed_preimage(),
                      expel.accuser_sig)) {
     return;
+  }
+
+  // Leader-equivocation evidence (adversary layer) is tried first; its magic
+  // prefix cannot decode as a StateProposalMsg, and vice versa. The proof is
+  // self-contained — two valid signatures by the accused over different
+  // blocks at one serial — so no local state is consulted.
+  try {
+    const auto equivocation =
+        adversary::BlockEquivocationEvidence::decode(expel.evidence);
+    const NodeId accused_node = directory_.node_of(expel.accused);
+    if (equivocation.verify(im_, accused_node, expel.accused)) {
+      expel_evidence_[expel.accused] = expel.evidence;  // for later re-shares
+      if (expelled_.insert(expel.accused).second) {
+        emit_byzantine(adversary::ByzantineKind::kProposalEquivocation,
+                       expel.accused.value());
+      }
+    }
+    return;
+  } catch (const DecodeError&) {
+    // Not that format: fall through to the stake-consensus evidence check.
   }
 
   // Verify the evidence independently: it must be a state proposal genuinely

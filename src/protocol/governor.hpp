@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adversary/byzantine.hpp"
+#include "adversary/evidence.hpp"
 #include "crypto/ed25519.hpp"
 #include "identity/identity_manager.hpp"
 #include "ledger/chain.hpp"
@@ -121,6 +123,12 @@ class Governor {
   /// proposes.
   void set_cheat_stake_consensus(bool cheat) { stake_consensus_.set_cheat(cheat); }
 
+  /// Install (or clear) in-protocol Byzantine behaviors — the adversary
+  /// layer's equivocating leader and lying sync peer. Scenario harnesses
+  /// flip these per round window; all flags default to honest.
+  void set_byzantine(adversary::GovernorByzantine byz) { byz_ = byz; }
+  [[nodiscard]] const adversary::GovernorByzantine& byzantine() const { return byz_; }
+
   /// Checkpoint the governor's durable state — chain, reputation table,
   /// stake ledger, and the unchecked entries with their screening-time
   /// report snapshots (format v2; v1 dropped them, losing case-3 updates
@@ -197,6 +205,8 @@ class Governor {
 
   void broadcast_expel(GovernorId accused, Bytes evidence);
   void emit(runtime::TraceKind kind, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+  /// Emit a kByzantineEvidence trace (and count it in the metrics).
+  void emit_byzantine(adversary::ByzantineKind kind, std::uint64_t offender);
 
   /// Unicast through the reliable channel when one is configured, else the
   /// bare transport.
@@ -209,9 +219,19 @@ class Governor {
   /// Reliable-mode degraded election closure (majority quorum) at propose
   /// time; no-op otherwise.
   void close_election();
+  /// Winner check + stash-or-adopt for a proposal that cleared the
+  /// byzantine-defense gate (or arrived with the defense off).
+  void settle_proposal(ledger::Block block);
+  /// A leader signed two conflicting blocks for one serial: reject, expel
+  /// locally, and broadcast the self-contained evidence to peers.
+  void handle_proposal_equivocation(const ledger::Block& prior,
+                                    const ledger::Block& offending);
   /// Serial/link/authenticity checks + append for a proposal whose leader
   /// legitimacy has already been established.
   void adopt_proposal(ledger::Block block);
+  /// Byzantine defense: record that `peer` served an invalid or outvoted
+  /// sync response; distrusted peers are deprioritized in request_block.
+  void note_lying_peer(NodeId peer);
   /// Re-evaluate proposals stashed while this round's winner was undecided
   /// (see pending_proposals_).
   void retry_pending_proposals();
@@ -251,10 +271,18 @@ class Governor {
   EquivocationDetector equivocation_;
   ScreeningIntake intake_;
 
+  // Adversary layer: installed Byzantine behaviors (all-honest by default).
+  adversary::GovernorByzantine byz_;
+
   Round round_ = 0;
   std::optional<ElectionState> election_;
   bool leader_announced_ = false;  // trace: kLeaderElected emitted this round
   std::set<GovernorId> expelled_;
+  // Held equivocation proofs per expelled governor, re-broadcast (at most
+  // once per round) when the offender is seen proposing again — so replicas
+  // that crashed past the original expel broadcast re-learn the expulsion.
+  std::map<GovernorId, Bytes> expel_evidence_;
+  Round expel_reshare_round_ = 0;
 
   // Reliable delivery (config.reliable_delivery).
   std::optional<runtime::ReliableChannel> channel_;
@@ -287,6 +315,16 @@ class Governor {
   // a cluster-wide stall (e.g. a quorum-splitting partition) cannot keep
   // every governor out of the election forever.
   bool head_checked_ = false;
+  // Byzantine defense: sync responses are corroborated before adoption —
+  // a block is appended only once two distinct peers served byte-identical
+  // encodings (single-peer topologies adopt directly). Losing candidates'
+  // servers are distrusted and skipped by later request_block rotations.
+  struct SyncCandidate {
+    Bytes encoding;
+    std::set<NodeId> peers;
+  };
+  std::map<BlockSerial, std::vector<SyncCandidate>> sync_candidates_;
+  std::set<NodeId> distrusted_peers_;
   // Authenticated proposals from ahead of our head (we missed blocks while
   // down): stashed until sync fills the gap, rejected if it cannot.
   std::map<BlockSerial, ledger::Block> future_blocks_;

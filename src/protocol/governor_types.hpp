@@ -43,6 +43,13 @@ struct GovernorConfig {
   /// crash/restart cycles so peers never mistake the new life's sequence
   /// space for replays of the old one.
   std::uint32_t channel_epoch = 0;
+  /// Byzantine defenses (this PR's adversary layer): leader-proposal
+  /// equivocation detection with a short settle window, sync-response
+  /// corroboration against a second peer, and a per-provider serial guard
+  /// against double-spends. Off by default — honest-run goldens stay
+  /// bit-identical; scenarios switch it on whenever an AdversarySpec is
+  /// scheduled.
+  bool byzantine_defense = false;
 };
 
 /// Loss bookkeeping on one unchecked transaction, kept for the experiments:
@@ -74,6 +81,17 @@ struct GovernorMetrics {
   std::uint64_t equivocations_detected = 0;
   std::uint64_t uploads_invisible = 0;  // from collectors outside this
                                         // governor's partial view
+  // Byzantine-defense counters (adversary layer).
+  std::uint64_t proposal_equivocations = 0;  // conflicting signed leader proposals
+  std::uint64_t lying_sync_rejected = 0;     // sync responses that failed validation
+  std::uint64_t double_spends_detected = 0;  // provider serial reuse caught
+  std::uint64_t byzantine_evidence = 0;      // kByzantineEvidence traces emitted
+  // Attack-side counters: what an installed Byzantine behavior actually did
+  // (benches compare these against the defense counters above).
+  std::uint64_t byzantine_equivocations_sent = 0;  // conflicting proposals sent
+  std::uint64_t byzantine_lies_served = 0;         // forged sync responses served
+  std::uint64_t byzantine_lies_to_governors = 0;   // ... of which to governor peers
+                                                   // (the callers able to corroborate)
   /// Realized mistakes: unchecked transactions whose revealed truth was
   /// valid (each costs the paper's loss of 2).
   std::uint64_t mistakes = 0;

@@ -38,6 +38,34 @@ const ledger::Transaction& Provider::submit(Bytes payload, bool truly_valid) {
   oracle_.register_tx(tx.id(), truly_valid);
 
   auto [it, inserted] = own_.emplace(tx.id(), OwnTx{tx, truly_valid, false, false});
+
+  if (double_spend_p_ > 0.0 && ctx_.rng().bernoulli(double_spend_p_)) {
+    // Double-spend: a second provider-signed transaction reusing this
+    // sequence number (tweaked payload, so a distinct TxId), each twin sent
+    // to a disjoint half of the linked collectors. A Byzantine provider
+    // steps outside the atomic-broadcast primitive, like an equivocating
+    // collector does.
+    Bytes twin_payload = it->second.tx.payload;
+    if (twin_payload.empty()) {
+      twin_payload.push_back(0xA5);
+    } else {
+      twin_payload[0] ^= 0xA5;
+    }
+    const ledger::Transaction twin = ledger::make_transaction(
+        id_, tx.seq, ctx_.now(), std::move(twin_payload), key_);
+    oracle_.register_tx(twin.id(), truly_valid);
+    ++double_spends_submitted_;
+    const auto collectors = directory_.collector_nodes_of(id_);
+    const Bytes enc_a = it->second.tx.encode();
+    const Bytes enc_b = twin.encode();
+    const std::size_t first_half = collectors.size() / 2 + collectors.size() % 2;
+    for (std::size_t i = 0; i < collectors.size(); ++i) {
+      rsend(collectors[i], runtime::MsgKind::kProviderTx,
+            i < first_half ? enc_a : enc_b);
+    }
+    return it->second.tx;
+  }
+
   // broadcast_provider(tx): atomic broadcast to the r linked collectors — or
   // per-collector reliable sends in reliable mode.
   if (channel_) {

@@ -60,6 +60,15 @@ class Provider {
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] const crypto::PublicKey& public_key() const { return key_.public_key(); }
 
+  /// Adversary layer: with probability `p` per submission, sign a second
+  /// transaction reusing the same sequence number and send each twin to a
+  /// disjoint half of the linked collectors (a double-spend). p = 0 restores
+  /// honesty and leaves the rng stream untouched (no extra draws).
+  void set_double_spend(double p) { double_spend_p_ = p; }
+  [[nodiscard]] std::uint64_t double_spends_submitted() const {
+    return double_spends_submitted_;
+  }
+
   [[nodiscard]] std::uint64_t submitted() const { return next_seq_; }
   [[nodiscard]] std::uint64_t argued() const { return argued_; }
   [[nodiscard]] std::uint64_t blocks_synced() const { return chain_.height(); }
@@ -95,6 +104,10 @@ class Provider {
   std::uint64_t next_seq_ = 0;
   std::uint64_t argued_ = 0;
   std::uint64_t confirmed_valid_ = 0;
+
+  // Adversary layer (set_double_spend).
+  double double_spend_p_ = 0.0;
+  std::uint64_t double_spends_submitted_ = 0;
 
   struct OwnTx {
     ledger::Transaction tx;

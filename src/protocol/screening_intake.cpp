@@ -44,6 +44,9 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
   if (!provider_known || !provider_sig_ok) {
     ++metrics_.forgeries_detected;
     table_.punish_forgery(ltx.collector);
+    if (evidence_) {
+      evidence_(adversary::ByzantineKind::kForgedUpload, ltx.collector.value());
+    }
     return;
   }
 
@@ -53,6 +56,8 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
     // timestamped signature makes this benign); ignore.
     return;
   }
+
+  if (config_.byzantine_defense && double_spend_guard(ltx.tx, id)) return;
 
   auto [it, inserted] = aggregations_.try_emplace(id);
   Aggregation& agg = it->second;
@@ -69,6 +74,42 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
   agg.reports.push_back(reputation::Report{ltx.collector, ltx.label});
 
   if (config_.enable_label_gossip) equivocation_.note_label(id, ltx);
+}
+
+void ScreeningIntake::age_out() {
+  serials_prev_ = std::move(serials_);
+  serials_.clear();
+}
+
+bool ScreeningIntake::double_spend_guard(const ledger::Transaction& tx,
+                                         const ledger::TxId& id) {
+  if (blacklisted_.contains(tx.provider)) return true;
+  const auto key = std::make_pair(tx.provider.value(), tx.seq);
+  for (const SerialGen* gen : {&serials_, &serials_prev_}) {
+    const auto it = gen->find(key);
+    if (it == gen->end()) continue;
+    if (it->second == id) return false;  // same transaction, another reporter
+    // Two provider-signed transactions sharing one (provider, seq) slot.
+    // Which twin a replica saw first depends on arrival order, so keeping
+    // the first-seen one would let two different leaders commit different
+    // twins in successive rounds: BOTH spends are withdrawn (the stored one
+    // is purged from the aggregation window and the pending TXList) and the
+    // provider is blacklisted. Twins that already reached a block are past
+    // saving, but then the guard rejects the late twin instead, so at most
+    // one spend can ever be committed.
+    ++metrics_.double_spends_detected;
+    blacklisted_.insert(tx.provider);
+    const ledger::TxId stored = it->second;
+    aggregations_.erase(stored);
+    screened_.insert(stored);
+    assembler_.drop_pending(stored);
+    if (evidence_) {
+      evidence_(adversary::ByzantineKind::kDoubleSpend, tx.provider.value());
+    }
+    return true;
+  }
+  serials_.emplace(key, id);
+  return false;
 }
 
 void ScreeningIntake::screen(const ledger::TxId& id) {

@@ -1,10 +1,15 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "adversary/byzantine.hpp"
 #include "identity/identity_manager.hpp"
 #include "ledger/transaction.hpp"
 #include "protocol/argue_service.hpp"
@@ -49,6 +54,22 @@ class ScreeningIntake {
   /// after a restore (e.g. reliable-channel retransmits from before a crash).
   void clear() { aggregations_.clear(); }
 
+  /// Round boundary: shift the double-spend serial-guard generations (a
+  /// container swap; a no-op unless the byzantine defense populated them).
+  void age_out();
+
+  /// True iff the byzantine defense has blacklisted `provider` for serial
+  /// reuse (argues from such providers must not resurrect withdrawn twins).
+  [[nodiscard]] bool blacklisted(ProviderId provider) const {
+    return blacklisted_.contains(provider);
+  }
+
+  /// Install a callback fired once per detected double-spend so the host
+  /// can emit kByzantineEvidence traces; arg is the offending provider id.
+  void set_evidence(std::function<void(adversary::ByzantineKind, std::uint64_t)> cb) {
+    evidence_ = std::move(cb);
+  }
+
  private:
   struct Aggregation {
     ledger::Transaction tx;
@@ -58,6 +79,11 @@ class ScreeningIntake {
   };
 
   void screen(const ledger::TxId& id);
+  /// Byzantine defense (config.byzantine_defense): reject a second distinct
+  /// transaction reusing a (provider, seq) slot — a double-spend — and
+  /// blacklist the provider. Returns true when the upload must be dropped.
+  [[nodiscard]] bool double_spend_guard(const ledger::Transaction& tx,
+                                        const ledger::TxId& id);
 
   const identity::IdentityManager& im_;
   const Directory& directory_;
@@ -77,6 +103,16 @@ class ScreeningIntake {
   // upload arriving after a kDiscardedInvalid screening would reopen an
   // aggregation window for an already-decided transaction.
   std::unordered_set<ledger::TxId, ledger::TxIdHash> screened_;
+
+  // Byzantine defense: two-generation (provider, seq) -> TxId serial guard.
+  // A second distinct transaction in the same slot within the window is a
+  // double-spend; collectors broadcast uploads to every governor, so the
+  // check is locally deterministic at each of them.
+  using SerialGen = std::map<std::pair<std::uint32_t, std::uint64_t>, ledger::TxId>;
+  SerialGen serials_;
+  SerialGen serials_prev_;
+  std::set<ProviderId> blacklisted_;
+  std::function<void(adversary::ByzantineKind, std::uint64_t)> evidence_;
 };
 
 }  // namespace repchain::protocol

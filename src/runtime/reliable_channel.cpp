@@ -100,6 +100,24 @@ void ReliableChannel::on_data(const Message& msg) {
                         encode_ack(epoch, seq));
   ++stats_.acks_sent;
 
+  // Epoch aging: a sender's newer incarnation supersedes every older one —
+  // its dedup state is dropped (bounding memory across repeated restarts)
+  // and stragglers from a superseded epoch are discarded. The ack above
+  // still goes out either way, silencing any old-life retransmitter.
+  const auto [epoch_it, first_contact] = peer_epoch_.try_emplace(msg.from.value(), epoch);
+  if (!first_contact) {
+    if (epoch < epoch_it->second) {
+      ++stats_.stale_epochs_dropped;
+      return;
+    }
+    if (epoch > epoch_it->second) {
+      const auto begin = recv_.lower_bound({msg.from.value(), 0});
+      const auto end = recv_.lower_bound({msg.from.value(), epoch});
+      recv_.erase(begin, end);
+      epoch_it->second = epoch;
+    }
+  }
+
   PeerRecv& peer = recv_[{msg.from.value(), epoch}];
   if (seq <= peer.high || peer.above.contains(seq)) {
     ++stats_.duplicates_dropped;

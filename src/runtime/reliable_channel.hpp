@@ -34,6 +34,7 @@ struct ReliableChannelStats {
   std::uint64_t acks_received = 0;    // acks that cleared an in-flight entry
   std::uint64_t delivered = 0;        // inner messages handed to the node
   std::uint64_t duplicates_dropped = 0;
+  std::uint64_t stale_epochs_dropped = 0;  // data from a superseded incarnation
 };
 
 /// Per-node reliable delivery over the (lossy, partitionable) transport:
@@ -92,12 +93,17 @@ class ReliableChannel {
   std::map<std::uint64_t, Pending> inflight_;
 
   // Receiver-side dedup per (sender node, sender epoch): a contiguous
-  // high-water mark plus the sparse set of sequences seen above it.
+  // high-water mark plus the sparse set of sequences seen above it. State for
+  // epochs superseded by a newer epoch from the same sender is aged out (and
+  // later stragglers from those epochs dropped), so long soaks with repeated
+  // crash/restart cycles keep the dedup footprint at one epoch per sender.
   struct PeerRecv {
     std::uint64_t high = 0;
     std::set<std::uint64_t> above;
   };
   std::map<std::pair<std::uint32_t, std::uint32_t>, PeerRecv> recv_;
+  // Highest epoch observed per sender; entries below it are superseded.
+  std::map<std::uint32_t, std::uint32_t> peer_epoch_;
 
   Deliver deliver_;
   ReliableChannelStats stats_;

@@ -17,6 +17,8 @@ enum class TraceKind : std::uint8_t {
   kRoundEnded = 5,      // self-driving mode: the round span elapsed
   kRoundStalled = 6,    // watchdog: no commit within its bound
                         // (arg0 = consecutive stalled rounds at this node)
+  kByzantineEvidence = 7,  // a defense caught active misbehavior
+                           // (arg0 = adversary::ByzantineKind, arg1 = offender id)
 };
 
 struct TraceEvent {

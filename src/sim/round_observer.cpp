@@ -6,6 +6,7 @@ void RoundObserver::on_event(const runtime::TraceEvent& ev) {
   // Stall events are a global liveness signal: count them from every node,
   // before the watched filter.
   if (ev.kind == runtime::TraceKind::kRoundStalled) ++stalled_events_;
+  if (ev.kind == runtime::TraceKind::kByzantineEvidence) ++byzantine_evidence_;
   if (watched_ && ev.node != *watched_) return;
   switch (ev.kind) {
     case runtime::TraceKind::kLeaderElected:

@@ -40,6 +40,10 @@ class RoundObserver final : public runtime::TraceSink {
   /// liveness-watchdog signal the chaos harness fails on.
   [[nodiscard]] std::uint64_t stalled_events() const { return stalled_events_; }
 
+  /// kByzantineEvidence events across ALL nodes: each one is a defense
+  /// catching active misbehavior (the adversary harness asserts on these).
+  [[nodiscard]] std::uint64_t byzantine_evidence() const { return byzantine_evidence_; }
+
  private:
   struct Entry {
     std::optional<GovernorId> leader;
@@ -50,6 +54,7 @@ class RoundObserver final : public runtime::TraceSink {
   std::optional<NodeId> watched_;
   std::unordered_map<Round, Entry> rounds_;
   std::uint64_t stalled_events_ = 0;
+  std::uint64_t byzantine_evidence_ = 0;
 };
 
 }  // namespace repchain::sim

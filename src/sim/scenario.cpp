@@ -14,6 +14,13 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   config_.governor.rep.validate();
   config_.governor.enable_label_gossip |= config_.enable_label_gossip;
   config_.governor.reliable_delivery |= config_.reliable_delivery;
+  // A scheduled adversary switches on the paired defenses: the Byzantine
+  // checks (proposal echo + 2Delta hold, sync corroboration, double-spend
+  // serial guard) and the label gossip the equivocation detector feeds on.
+  if (!config_.adversary.empty()) {
+    config_.governor.byzantine_defense = true;
+    config_.governor.enable_label_gossip = true;
+  }
   // Fault schedules default the liveness watchdog on; clean runs keep it off
   // so the crash-recovery goldens (whose stalls are the *expected* outcome of
   // a dead governor) stay bit-identical.
@@ -92,6 +99,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
             : config_.behaviors[i % config_.behaviors.size()];
     collector_ctxs_.emplace_back(directory_.node_of(id), *transport_,
                                  rng_.derive(1000 + i));
+    collector_baselines_.push_back(behavior);
     collectors_.emplace_back(id, collector_ctxs_.back(), std::move(collector_keys[i]),
                              *im_, *oracle_, directory_, *governor_group_, behavior,
                              config_.reliable_delivery);
@@ -105,6 +113,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   // Governors keep their rebuild material (key, visibility view, store) in
   // the Scenario so a crashed one can be reconstructed in place.
   governor_keys_ = std::move(governor_keys);
+  governor_byz_.assign(topo.governors, adversary::GovernorByzantine{});
   const bool durable = config_.durable_governors || !config_.crashes.empty();
   for (std::size_t i = 0; i < topo.governors; ++i) {
     const GovernorId id(static_cast<std::uint32_t>(i));
@@ -136,6 +145,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
     });
   }
   observer_.watch(directory_.node_of(GovernorId(0)));
+  install_adversary();
 
   rewards_.assign(topo.collectors, 0.0);
   leader_counts_.assign(topo.governors, 0);
@@ -198,6 +208,57 @@ void Scenario::install_faults() {
   transport_ = faulty_.get();
 }
 
+void Scenario::install_adversary() {
+  if (config_.adversary.empty()) return;
+  const auto& spec = config_.adversary;
+  // Window boundaries are enqueued here, before any round's phase timers, so
+  // a swap at round_start(r) fires ahead of round r's election (FIFO
+  // tie-break on equal deadlines). governor_byz_ is the source of truth the
+  // lambdas mutate; make_governor re-reads it, so a Byzantine governor stays
+  // Byzantine across a crash/restart inside its window.
+  const auto set_governor_flags =
+      [this](std::size_t g, auto member, bool value, std::size_t round) {
+        queue_.schedule_at(round_start(round), [this, g, member, value] {
+          governor_byz_[g].*member = value;
+          if (governors_[g]) governors_[g]->set_byzantine(governor_byz_[g]);
+        });
+      };
+  for (const auto& s : spec.equivocating_leaders) {
+    set_governor_flags(s.governor, &adversary::GovernorByzantine::equivocate_proposals,
+                       true, s.from_round);
+    set_governor_flags(s.governor, &adversary::GovernorByzantine::equivocate_proposals,
+                       false, s.until_round);
+  }
+  for (const auto& s : spec.lying_sync_peers) {
+    set_governor_flags(s.governor, &adversary::GovernorByzantine::lying_sync, true,
+                       s.from_round);
+    set_governor_flags(s.governor, &adversary::GovernorByzantine::lying_sync, false,
+                       s.until_round);
+  }
+  for (const auto& s : spec.byzantine_collectors) {
+    protocol::CollectorBehavior deviating = collector_baselines_[s.collector];
+    deviating.flip_probability = s.flip_probability;
+    deviating.forge_probability = s.forge_probability;
+    deviating.equivocate = s.equivocate;
+    deviating.flip_by_provider = s.flip_by_provider;
+    queue_.schedule_at(round_start(s.from_round),
+                       [this, c = s.collector, deviating = std::move(deviating)] {
+                         collectors_[c].set_behavior(deviating);
+                       });
+    queue_.schedule_at(round_start(s.until_round), [this, c = s.collector] {
+      collectors_[c].set_behavior(collector_baselines_[c]);
+    });
+  }
+  for (const auto& s : spec.double_spenders) {
+    queue_.schedule_at(round_start(s.from_round), [this, p = s.provider,
+                                                   probability = s.probability] {
+      providers_[p].set_double_spend(probability);
+    });
+    queue_.schedule_at(round_start(s.until_round),
+                       [this, p = s.provider] { providers_[p].set_double_spend(0.0); });
+  }
+}
+
 void Scenario::make_governor(std::size_t i) {
   const GovernorId id(static_cast<std::uint32_t>(i));
   storage::NodeStateStore* store =
@@ -207,6 +268,7 @@ void Scenario::make_governor(std::size_t i) {
   governors_[i] = std::make_unique<protocol::Governor>(
       id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_, directory_,
       *governor_group_, gc, genesis_, governor_visible_[i], store);
+  if (governor_byz_[i].any()) governors_[i]->set_byzantine(governor_byz_[i]);
 }
 
 void Scenario::crash_governor(std::size_t i) {
@@ -362,6 +424,7 @@ ScenarioSummary Scenario::summary() const {
   s.agreement = true;
   s.chains_audit_ok = true;
   s.stalled_events = observer_.stalled_events();
+  s.byzantine_evidence = observer_.byzantine_evidence();
   for (const auto& g : governors_) {
     if (!g) continue;
     s.chains_audit_ok = s.chains_audit_ok && g->chain().audit();

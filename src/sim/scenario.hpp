@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/spec.hpp"
 #include "identity/identity_manager.hpp"
 #include "ledger/validation_oracle.hpp"
 #include "net/network.hpp"
@@ -152,6 +153,13 @@ struct ScenarioConfig {
   /// Scheduling any fault defaults the governors' liveness watchdog on
   /// (watchdog_rounds = 2) unless the config sets it explicitly.
   FaultScheduleSpec faults;
+  /// In-protocol Byzantine behavior plan (equivocating leaders, lying sync
+  /// peers, Byzantine collectors, double-spending providers), expressed in
+  /// the same round-windowed style as `faults`. A non-empty plan switches the
+  /// governors' Byzantine defenses on (GovernorConfig::byzantine_defense and
+  /// label gossip) — attacks without their paired defenses are not a
+  /// supported configuration.
+  adversary::AdversarySpec adversary;
   /// Route protocol traffic through per-node ReliableChannels (ack +
   /// retransmit + backoff) and let elections close on a majority quorum.
   /// Mirrors GovernorConfig::reliable_delivery and enables the same mode on
@@ -188,6 +196,7 @@ struct ScenarioSummary {
   bool agreement = false;        // all governor chains share a prefix
   bool chains_audit_ok = false;  // integrity + no-skipping on every replica
   std::uint64_t stalled_events = 0;     // watchdog kRoundStalled, all nodes
+  std::uint64_t byzantine_evidence = 0;  // kByzantineEvidence, all nodes
   std::uint64_t validations_total = 0;  // oracle-wide validate() calls
   double mean_governor_expected_loss = 0.0;
   double mean_governor_realized_loss = 0.0;
@@ -272,6 +281,11 @@ class Scenario {
   /// Lower config.faults (round windows) onto an absolute-time FaultSchedule
   /// and build the FaultyTransport decorator; schedule the link-delay spans.
   void install_faults();
+  /// Lower config.adversary (round windows) onto scheduled behavior swaps:
+  /// governor Byzantine flags, collector deviation profiles, and provider
+  /// double-spend rates are installed at each window start and reverted at
+  /// its end. Governor flags also persist through crash/restart rebuilds.
+  void install_adversary();
   /// Absolute start time of 1-based round `r`.
   [[nodiscard]] SimTime round_start(std::size_t r) const {
     return static_cast<SimTime>(r - 1) * timing_.round_span;
@@ -309,6 +323,11 @@ class Scenario {
   // ReliableChannel incarnation per governor, bumped on every restart so the
   // new life's sequence space is distinct from the old one.
   std::vector<std::uint32_t> governor_epochs_;
+  // Current adversary toggles per governor (re-applied by make_governor so a
+  // Byzantine governor stays Byzantine across a crash/restart) and the
+  // collectors' baseline behaviors (restored when a Byzantine window ends).
+  std::vector<adversary::GovernorByzantine> governor_byz_;
+  std::vector<protocol::CollectorBehavior> collector_baselines_;
 
   Round round_ = 0;
   std::vector<double> rewards_;

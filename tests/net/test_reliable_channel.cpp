@@ -153,6 +153,55 @@ TEST(ReliableChannel, EpochSeparatesIncarnations) {
   EXPECT_EQ(f.b_delivered.back().payload, Bytes{3});
 }
 
+TEST(ReliableChannel, SupersededEpochStateIsAgedOutAndStragglersDropped) {
+  // Receiver-side dedup memory is bounded by epoch aging: a sender's newer
+  // incarnation supersedes every older one, dropping the old epoch's dedup
+  // state, and stragglers from a superseded epoch are discarded (but still
+  // acked, so a zombie retransmitter goes quiet) instead of consuming the
+  // fresh epoch's sequence space.
+  ChannelFixture f(8);
+  // Tap the wire so an old-epoch envelope can be replayed later.
+  Message old_epoch_wire;
+  f.net.set_handler(f.b_id, [&](const Message& m) {
+    // Capture only the first data envelope (the epoch-0 one).
+    if (m.kind == MsgKind::kReliableData &&
+        old_epoch_wire.kind != MsgKind::kReliableData) {
+      old_epoch_wire = m;
+    }
+    f.b.on_message(m);
+  });
+  f.a.send(f.b_id, MsgKind::kTest, Bytes{1});
+  f.queue.run();
+  ASSERT_EQ(f.b_delivered.size(), 1u);
+  ASSERT_EQ(old_epoch_wire.kind, MsgKind::kReliableData);
+
+  // The sender restarts with a bumped epoch: its first message supersedes
+  // epoch 0 at the receiver.
+  runtime::NodeContext a2_ctx(f.a_id, f.net, Rng(88));
+  ReliableChannel reborn(a2_ctx, /*epoch=*/1);
+  f.net.set_handler(f.a_id, [&](const Message& m) { reborn.on_message(m); });
+  reborn.send(f.b_id, MsgKind::kTest, Bytes{2});
+  f.queue.run();
+  ASSERT_EQ(f.b_delivered.size(), 2u);
+  EXPECT_EQ(f.b.stats().stale_epochs_dropped, 0u);
+
+  // A late retransmission from the dead epoch-0 incarnation: dropped as
+  // stale (NOT as a duplicate — that dedup state is gone), yet still acked.
+  const auto acks_before = f.b.stats().acks_sent;
+  f.b.on_message(old_epoch_wire);
+  EXPECT_EQ(f.b_delivered.size(), 2u);
+  EXPECT_EQ(f.b.stats().stale_epochs_dropped, 1u);
+  EXPECT_EQ(f.b.stats().duplicates_dropped, 0u);
+  EXPECT_EQ(f.b.stats().acks_sent, acks_before + 1);
+
+  // Epoch 1's sequence space is untouched by the straggler: the next fresh
+  // message (same seq number as the straggler carried) still delivers.
+  reborn.send(f.b_id, MsgKind::kTest, Bytes{3});
+  f.queue.run();
+  EXPECT_EQ(f.b_delivered.size(), 3u);
+  EXPECT_EQ(f.b_delivered.back().payload, Bytes{3});
+}
+
 TEST(ReliableChannel, RetryBudgetBoundsEffortOnUnreachablePeer) {
   ChannelFixture f(6);
   f.net.set_drop_probability(f.a_id, f.b_id, 1.0);  // peer never reachable

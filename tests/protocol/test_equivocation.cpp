@@ -1,8 +1,14 @@
 // Tests for the equivocation-detection extension: governors gossip the
 // signed labels they received; conflicting signatures by one collector over
 // the same transaction are a self-contained proof, punished like a forgery.
+// The unit-level section at the bottom drives the detector directly through
+// its edge cases: malformed gossip, signature checks, conflicts straddling
+// the age-out boundary, and leader-proposal equivocation.
 #include <gtest/gtest.h>
 
+#include "crypto/keygen.hpp"
+#include "ledger/block.hpp"
+#include "protocol/equivocation_detector.hpp"
 #include "sim/scenario.hpp"
 
 namespace repchain::sim {
@@ -99,6 +105,173 @@ TEST(Equivocation, GossipCutsEquivocatorRevenue) {
     }
     EXPECT_LT(equiv_share, honest_share);
   }
+}
+
+// --- Unit-level edge cases ---------------------------------------------------
+
+struct DetectorEdgeFixture : ::testing::Test {
+  DetectorEdgeFixture() {
+    directory.add_collector(CollectorId(0), NodeId(0));
+    im.enroll(NodeId(0), identity::Role::kCollector, collector_key.public_key());
+    directory.add_governor(GovernorId(7), NodeId(1));
+    im.enroll(NodeId(1), identity::Role::kGovernor, leader_key.public_key());
+    table.register_collector(CollectorId(0));
+    table.link(CollectorId(0), ProviderId(0));
+    detector.set_evidence([this](adversary::ByzantineKind, std::uint64_t) {
+      ++evidence_fired;
+    });
+  }
+
+  ledger::Transaction make_tx(std::uint64_t seq) {
+    return ledger::make_transaction(ProviderId(0), seq, 0, rng.bytes(8),
+                                    provider_key);
+  }
+
+  /// A signed leader block at `serial`; varying `round` varies the content,
+  /// so two calls with different rounds are a conflicting pair.
+  ledger::Block leader_block(BlockSerial serial, Round round) {
+    return ledger::make_block(serial, round, crypto::Hash256{}, GovernorId(7), {},
+                              leader_key);
+  }
+
+  Rng rng{66};
+  identity::IdentityManager im{crypto::random_seed(rng)};
+  protocol::Directory directory;
+  reputation::ReputationTable table{reputation::ReputationParams{}};
+  protocol::GovernorMetrics metrics;
+  crypto::SigningKey provider_key{crypto::random_seed(rng)};
+  crypto::SigningKey collector_key{crypto::random_seed(rng)};
+  crypto::SigningKey leader_key{crypto::random_seed(rng)};
+  protocol::EquivocationDetector detector{im, directory, table, metrics};
+  int evidence_fired = 0;
+};
+
+TEST_F(DetectorEdgeFixture, LabelConflictStraddlingOneAgeOutStillDetected) {
+  // The two-generation window exists exactly for this: the local label lands
+  // late in round r, the peer's conflicting gossip arrives in round r+1.
+  const auto tx = make_tx(1);
+  detector.note_label(
+      tx.id(), ledger::make_labeled(tx, ledger::Label::kValid, CollectorId(0),
+                                    collector_key));
+  detector.age_out();  // one round boundary: evidence now in the prev generation
+  detector.on_gossip({ledger::make_labeled(tx, ledger::Label::kInvalid,
+                                           CollectorId(0), collector_key)});
+  EXPECT_EQ(metrics.equivocations_detected, 1u);
+  EXPECT_EQ(evidence_fired, 1);
+}
+
+TEST_F(DetectorEdgeFixture, RepeatedGossipAcrossAgeOutPunishesAtMostOnce) {
+  // The punished set outlives the evidence generations: replaying the same
+  // proof in later rounds (even after the labels aged out) never compounds
+  // the punishment.
+  const auto tx = make_tx(1);
+  const auto mine = ledger::make_labeled(tx, ledger::Label::kValid, CollectorId(0),
+                                         collector_key);
+  const auto theirs = ledger::make_labeled(tx, ledger::Label::kInvalid,
+                                           CollectorId(0), collector_key);
+  detector.note_label(tx.id(), mine);
+  detector.on_gossip({theirs});
+  ASSERT_EQ(metrics.equivocations_detected, 1u);
+  const auto punished_score = table.forge(CollectorId(0));
+
+  detector.age_out();
+  detector.note_label(tx.id(), mine);  // evidence resurfaces in a later round
+  detector.on_gossip({theirs});
+  detector.on_gossip({theirs, theirs});
+  EXPECT_EQ(metrics.equivocations_detected, 1u);
+  EXPECT_EQ(table.forge(CollectorId(0)), punished_score);
+  EXPECT_EQ(evidence_fired, 1);
+}
+
+TEST_F(DetectorEdgeFixture, GossipWithInvalidCollectorSignatureIgnored) {
+  // A conflicting label whose collector signature does not verify is not
+  // evidence — anyone could fabricate it.
+  const auto tx = make_tx(1);
+  detector.note_label(
+      tx.id(), ledger::make_labeled(tx, ledger::Label::kValid, CollectorId(0),
+                                    collector_key));
+  auto forged = ledger::make_labeled(tx, ledger::Label::kInvalid, CollectorId(0),
+                                     collector_key);
+  forged.collector_sig.bytes[0] ^= 0xFF;
+  detector.on_gossip({forged});
+  EXPECT_EQ(metrics.equivocations_detected, 0u);
+  EXPECT_EQ(table.forge(CollectorId(0)), 0);
+  EXPECT_EQ(evidence_fired, 0);
+}
+
+TEST_F(DetectorEdgeFixture, TruncatedGossipPayloadIgnoredEvenWithValidPrefix) {
+  // A payload that decodes some entries and then runs out of bytes must be
+  // dropped whole — partially-applied gossip would make replicas diverge on
+  // what they have seen.
+  const auto tx = make_tx(1);
+  detector.note_label(
+      tx.id(), ledger::make_labeled(tx, ledger::Label::kValid, CollectorId(0),
+                                    collector_key));
+  protocol::EquivocationDetector peer(im, directory, table, metrics);
+  peer.note_label(tx.id(),
+                  ledger::make_labeled(tx, ledger::Label::kInvalid, CollectorId(0),
+                                       collector_key));
+  auto payload = detector.take_gossip_payload();
+  ASSERT_TRUE(payload.has_value());
+  payload->pop_back();  // truncate: the batch no longer parses to completion
+  peer.on_gossip_payload(*payload);
+  EXPECT_EQ(metrics.equivocations_detected, 0u);
+}
+
+TEST_F(DetectorEdgeFixture, ProposalFreshDuplicateConflictAndAtMostOnce) {
+  const auto first = leader_block(1, 1);
+  auto note = detector.note_proposal(first);
+  EXPECT_TRUE(note.fresh);
+  EXPECT_FALSE(note.conflict.has_value());
+
+  note = detector.note_proposal(first);  // byte-identical duplicate: benign
+  EXPECT_FALSE(note.fresh);
+  EXPECT_FALSE(note.conflict.has_value());
+  EXPECT_EQ(metrics.proposal_equivocations, 0u);
+
+  const auto second = leader_block(1, 2);  // same serial, different content
+  note = detector.note_proposal(second);
+  EXPECT_FALSE(note.fresh);
+  ASSERT_TRUE(note.conflict.has_value());
+  EXPECT_EQ(note.conflict->hash(), first.hash());
+  EXPECT_EQ(metrics.proposal_equivocations, 1u);
+  EXPECT_TRUE(detector.proposal_conflicted(GovernorId(7), 1));
+  EXPECT_EQ(evidence_fired, 1);
+
+  // A third variant at the same serial: already punished, no new evidence.
+  note = detector.note_proposal(leader_block(1, 3));
+  EXPECT_FALSE(note.fresh);
+  EXPECT_FALSE(note.conflict.has_value());
+  EXPECT_EQ(metrics.proposal_equivocations, 1u);
+  EXPECT_EQ(evidence_fired, 1);
+}
+
+TEST_F(DetectorEdgeFixture, ProposalWithBadLeaderSignatureIsNotEvidence) {
+  auto block = leader_block(1, 1);
+  block.leader_sig.bytes[0] ^= 0xFF;
+  const auto note = detector.note_proposal(block);
+  EXPECT_FALSE(note.fresh);
+  EXPECT_FALSE(note.conflict.has_value());
+  // The unsigned claim was not recorded either: the genuine block is fresh.
+  EXPECT_TRUE(detector.note_proposal(leader_block(1, 1)).fresh);
+}
+
+TEST_F(DetectorEdgeFixture, ProposalConflictStraddlingOneAgeOutStillDetected) {
+  ASSERT_TRUE(detector.note_proposal(leader_block(2, 2)).fresh);
+  detector.age_out();
+  const auto note = detector.note_proposal(leader_block(2, 3));
+  ASSERT_TRUE(note.conflict.has_value());
+  EXPECT_EQ(metrics.proposal_equivocations, 1u);
+}
+
+TEST_F(DetectorEdgeFixture, ProposalBeyondTwoGenerationsIsForgotten) {
+  ASSERT_TRUE(detector.note_proposal(leader_block(2, 2)).fresh);
+  detector.age_out();
+  detector.age_out();  // both generations shifted: the record is gone
+  const auto note = detector.note_proposal(leader_block(2, 3));
+  EXPECT_TRUE(note.fresh);
+  EXPECT_FALSE(note.conflict.has_value());
+  EXPECT_EQ(metrics.proposal_equivocations, 0u);
 }
 
 }  // namespace
