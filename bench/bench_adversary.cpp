@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -36,6 +37,14 @@ using namespace repchain;
 using repchain::bench::fmt;
 using repchain::bench::fmt_u;
 using repchain::bench::Table;
+
+// Every experiment row below is an isolated scenario run; each section
+// shards its runs over the cores and emits rows in the original order, so
+// the report matches a serial sweep exactly.
+const sim::ParallelSweep& sweep() {
+  static const sim::ParallelSweep pool(0);  // 0 = hardware concurrency
+  return pool;
+}
 
 sim::ScenarioConfig base_config(std::uint64_t seed, std::size_t rounds) {
   sim::ScenarioConfig cfg;
@@ -71,7 +80,13 @@ void equivocating_leader(bench::JsonReport& json) {
   table.print_header();
   const std::size_t rounds = 10;
   const std::size_t byz_gov = 2;
-  for (std::uint64_t seed = 7101; seed <= 7104; ++seed) {
+  struct Row {
+    std::uint64_t seed = 0, sent = 0, detected = 0, evidence = 0, blocks = 0;
+    std::size_t expellers = 0;
+    bool honest_agree = true;
+  };
+  const std::vector<Row> rows = sweep().map<Row>(4, [rounds, byz_gov](std::size_t i) {
+    const std::uint64_t seed = 7101 + i;
     sim::ScenarioConfig cfg = base_config(seed, rounds);
     cfg.governor_stakes = {1, 1, 5, 1};
     adversary::EquivocatingLeaderSpec e;
@@ -83,33 +98,38 @@ void equivocating_leader(bench::JsonReport& json) {
     s.run();
     const auto sum = s.summary();
 
-    const std::uint64_t sent = s.governor(byz_gov).metrics().byzantine_equivocations_sent;
-    std::uint64_t detected = 0;
-    std::size_t expellers = 0;
-    bool honest_agree = true;
+    Row row;
+    row.seed = seed;
+    row.sent = s.governor(byz_gov).metrics().byzantine_equivocations_sent;
     const protocol::Governor* ref = nullptr;
     for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
       if (g == byz_gov) continue;
       const auto& gov = s.governor(g);
-      detected += gov.metrics().proposal_equivocations;
-      if (gov.expelled().contains(GovernorId(byz_gov))) ++expellers;
+      row.detected += gov.metrics().proposal_equivocations;
+      if (gov.expelled().contains(GovernorId(byz_gov))) ++row.expellers;
       if (ref == nullptr) {
         ref = &gov;
       } else {
-        honest_agree =
-            honest_agree && ledger::ChainStore::same_prefix(ref->chain(), gov.chain());
+        row.honest_agree = row.honest_agree &&
+                           ledger::ChainStore::same_prefix(ref->chain(), gov.chain());
       }
     }
-    table.row({fmt_u(seed), fmt_u(sent), fmt_u(detected), fmt_u(expellers),
-               honest_agree ? "yes" : "NO", fmt_u(sum.blocks),
-               fmt_u(sum.byzantine_evidence)});
-    json.row("equivocating_leader", {{"seed", bench::ju(seed)},
-                                     {"equivocations_sent", bench::ju(sent)},
-                                     {"detected", bench::ju(detected)},
-                                     {"expellers", bench::ju(expellers)},
-                                     {"honest_agreement", honest_agree ? "true" : "false"},
-                                     {"blocks", bench::ju(sum.blocks)},
-                                     {"evidence_events", bench::ju(sum.byzantine_evidence)}});
+    row.blocks = sum.blocks;
+    row.evidence = sum.byzantine_evidence;
+    return row;
+  });
+  for (const Row& row : rows) {
+    table.row({fmt_u(row.seed), fmt_u(row.sent), fmt_u(row.detected),
+               fmt_u(row.expellers), row.honest_agree ? "yes" : "NO",
+               fmt_u(row.blocks), fmt_u(row.evidence)});
+    json.row("equivocating_leader",
+             {{"seed", bench::ju(row.seed)},
+              {"equivocations_sent", bench::ju(row.sent)},
+              {"detected", bench::ju(row.detected)},
+              {"expellers", bench::ju(row.expellers)},
+              {"honest_agreement", row.honest_agree ? "true" : "false"},
+              {"blocks", bench::ju(row.blocks)},
+              {"evidence_events", bench::ju(row.evidence)}});
   }
 }
 
@@ -120,25 +140,37 @@ void punishment_soundness(bench::JsonReport& json) {
               "punished. Expected: zero expulsions, zero evidence events.");
   Table table({"seed", "blocks", "expulsions", "evidence", "agreement"});
   table.print_header();
-  for (std::uint64_t seed = 7201; seed <= 7204; ++seed) {
+  struct Row {
+    std::uint64_t seed = 0, blocks = 0, expulsions = 0, evidence = 0;
+    bool agreement = false;
+  };
+  const std::vector<Row> rows = sweep().map<Row>(4, [](std::size_t i) {
+    const std::uint64_t seed = 7201 + i;
     sim::ScenarioConfig cfg = base_config(seed, 10);
     cfg.governor.byzantine_defense = true;
     cfg.enable_label_gossip = true;
     sim::Scenario s(cfg);
     s.run();
     const auto sum = s.summary();
-    std::uint64_t expulsions = 0;
+    Row row;
+    row.seed = seed;
+    row.blocks = sum.blocks;
     for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
-      expulsions += s.governor(g).expelled().size();
+      row.expulsions += s.governor(g).expelled().size();
     }
-    table.row({fmt_u(seed), fmt_u(sum.blocks), fmt_u(expulsions),
-               fmt_u(sum.byzantine_evidence), sum.agreement ? "yes" : "NO"});
+    row.evidence = sum.byzantine_evidence;
+    row.agreement = sum.agreement;
+    return row;
+  });
+  for (const Row& row : rows) {
+    table.row({fmt_u(row.seed), fmt_u(row.blocks), fmt_u(row.expulsions),
+               fmt_u(row.evidence), row.agreement ? "yes" : "NO"});
     json.row("honest_under_defense",
-             {{"seed", bench::ju(seed)},
-              {"blocks", bench::ju(sum.blocks)},
-              {"expulsions", bench::ju(expulsions)},
-              {"evidence_events", bench::ju(sum.byzantine_evidence)},
-              {"agreement", sum.agreement ? "true" : "false"}});
+             {{"seed", bench::ju(row.seed)},
+              {"blocks", bench::ju(row.blocks)},
+              {"expulsions", bench::ju(row.expulsions)},
+              {"evidence_events", bench::ju(row.evidence)},
+              {"agreement", row.agreement ? "true" : "false"}});
   }
 }
 
@@ -175,57 +207,75 @@ void creation_attacks(bench::JsonReport& json) {
   Table table({"attack", "rate", "injected", "detected", "in_chain", "blocks"});
   table.print_header();
   const std::size_t rounds = 10;
-  for (const double rate : {0.1, 0.3, 0.5}) {
-    sim::ScenarioConfig cfg = base_config(8301 + static_cast<std::uint64_t>(rate * 10),
-                                          rounds);
-    adversary::ByzantineCollectorSpec c;
-    c.from_round = 1;
-    c.until_round = rounds + 1;
-    c.collector = 1;
-    c.forge_probability = rate;
-    cfg.adversary.byzantine_collectors = {c};
-    sim::Scenario s(cfg);
-    s.run();
-    const auto sum = s.summary();
-    const std::uint64_t injected = s.collectors()[1].stats().forged;
-    std::uint64_t detected = 0;
-    for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
-      detected += s.governor(g).metrics().forgeries_detected;
-    }
-    const ChainAudit a = audit_chain(s.governor(0).chain());
-    table.row({"forge", fmt(rate, 1), fmt_u(injected), fmt_u(detected),
-               fmt_u(a.forged_in_chain), fmt_u(sum.blocks)});
-    json.row("forgery", {{"rate", bench::jf(rate, 2)},
-                         {"injected", bench::ju(injected)},
-                         {"detected", bench::ju(detected)},
-                         {"in_chain", bench::ju(a.forged_in_chain)},
-                         {"blocks", bench::ju(sum.blocks)}});
+  struct Row {
+    double rate = 0.0;
+    std::uint64_t injected = 0, detected = 0, in_chain = 0, blocks = 0;
+  };
+  const std::vector<double> forge_rates = {0.1, 0.3, 0.5};
+  const std::vector<Row> forge_rows =
+      sweep().map<Row>(forge_rates.size(), [rounds, &forge_rates](std::size_t i) {
+        const double rate = forge_rates[i];
+        sim::ScenarioConfig cfg =
+            base_config(8301 + static_cast<std::uint64_t>(rate * 10), rounds);
+        adversary::ByzantineCollectorSpec c;
+        c.from_round = 1;
+        c.until_round = rounds + 1;
+        c.collector = 1;
+        c.forge_probability = rate;
+        cfg.adversary.byzantine_collectors = {c};
+        sim::Scenario s(cfg);
+        s.run();
+        Row row;
+        row.rate = rate;
+        row.injected = s.collectors()[1].stats().forged;
+        for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
+          row.detected += s.governor(g).metrics().forgeries_detected;
+        }
+        row.in_chain = audit_chain(s.governor(0).chain()).forged_in_chain;
+        row.blocks = s.summary().blocks;
+        return row;
+      });
+  for (const Row& row : forge_rows) {
+    table.row({"forge", fmt(row.rate, 1), fmt_u(row.injected), fmt_u(row.detected),
+               fmt_u(row.in_chain), fmt_u(row.blocks)});
+    json.row("forgery", {{"rate", bench::jf(row.rate, 2)},
+                         {"injected", bench::ju(row.injected)},
+                         {"detected", bench::ju(row.detected)},
+                         {"in_chain", bench::ju(row.in_chain)},
+                         {"blocks", bench::ju(row.blocks)}});
   }
-  for (const double rate : {0.2, 0.5, 0.8}) {
-    sim::ScenarioConfig cfg = base_config(8401 + static_cast<std::uint64_t>(rate * 10),
-                                          rounds);
-    adversary::DoubleSpendSpec d;
-    d.from_round = 1;
-    d.until_round = rounds + 1;
-    d.provider = 2;
-    d.probability = rate;
-    cfg.adversary.double_spenders = {d};
-    sim::Scenario s(cfg);
-    s.run();
-    const auto sum = s.summary();
-    const std::uint64_t injected = s.providers()[2].double_spends_submitted();
-    std::uint64_t detected = 0;
-    for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
-      detected += s.governor(g).metrics().double_spends_detected;
-    }
-    const ChainAudit a = audit_chain(s.governor(0).chain());
-    table.row({"dspend", fmt(rate, 1), fmt_u(injected), fmt_u(detected),
-               fmt_u(a.twins_in_chain), fmt_u(sum.blocks)});
-    json.row("double_spend", {{"rate", bench::jf(rate, 2)},
-                              {"injected", bench::ju(injected)},
-                              {"detected", bench::ju(detected)},
-                              {"in_chain", bench::ju(a.twins_in_chain)},
-                              {"blocks", bench::ju(sum.blocks)}});
+  const std::vector<double> dspend_rates = {0.2, 0.5, 0.8};
+  const std::vector<Row> dspend_rows =
+      sweep().map<Row>(dspend_rates.size(), [rounds, &dspend_rates](std::size_t i) {
+        const double rate = dspend_rates[i];
+        sim::ScenarioConfig cfg =
+            base_config(8401 + static_cast<std::uint64_t>(rate * 10), rounds);
+        adversary::DoubleSpendSpec d;
+        d.from_round = 1;
+        d.until_round = rounds + 1;
+        d.provider = 2;
+        d.probability = rate;
+        cfg.adversary.double_spenders = {d};
+        sim::Scenario s(cfg);
+        s.run();
+        Row row;
+        row.rate = rate;
+        row.injected = s.providers()[2].double_spends_submitted();
+        for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
+          row.detected += s.governor(g).metrics().double_spends_detected;
+        }
+        row.in_chain = audit_chain(s.governor(0).chain()).twins_in_chain;
+        row.blocks = s.summary().blocks;
+        return row;
+      });
+  for (const Row& row : dspend_rows) {
+    table.row({"dspend", fmt(row.rate, 1), fmt_u(row.injected), fmt_u(row.detected),
+               fmt_u(row.in_chain), fmt_u(row.blocks)});
+    json.row("double_spend", {{"rate", bench::jf(row.rate, 2)},
+                              {"injected", bench::ju(row.injected)},
+                              {"detected", bench::ju(row.detected)},
+                              {"in_chain", bench::ju(row.in_chain)},
+                              {"blocks", bench::ju(row.blocks)}});
   }
 }
 
@@ -241,39 +291,53 @@ void misreport_bound(bench::JsonReport& json) {
   Table table({"q", "T", "loss_L", "bound", "ratio", "byz_score", "min_honest"});
   table.print_header();
   const std::size_t rounds = 12;
-  for (const double q : {0.0, 0.1, 0.2, 0.3, 0.5}) {
-    sim::ScenarioConfig cfg = base_config(8501 + static_cast<std::uint64_t>(q * 10),
-                                          rounds);
-    adversary::ByzantineCollectorSpec c;
-    c.from_round = 1;
-    c.until_round = rounds + 1;
-    c.collector = 0;
-    c.flip_probability = q;
-    cfg.adversary.byzantine_collectors = {c};
-    sim::Scenario s(cfg);
-    s.run();
-    const auto sum = s.summary();
-    const std::uint64_t t = screened_txs(sum);
-    const double bound =
-        16.0 * std::sqrt(static_cast<double>(t) *
-                         std::log(static_cast<double>(cfg.topology.collectors)));
-    const double loss = sum.mean_governor_expected_loss;
-    const std::int64_t byz_score = s.governor(0).reputation().misreport(CollectorId(0));
-    std::int64_t min_honest = std::numeric_limits<std::int64_t>::max();
-    for (std::uint32_t k = 1; k < cfg.topology.collectors; ++k) {
-      min_honest =
-          std::min(min_honest, s.governor(0).reputation().misreport(CollectorId(k)));
-    }
-    table.row({fmt(q, 1), fmt_u(t), fmt(loss, 1), fmt(bound, 1),
-               fmt(bound > 0 ? loss / bound : 0.0, 3),
-               std::to_string(byz_score), std::to_string(min_honest)});
-    json.row("misreport", {{"q", bench::jf(q, 2)},
-                           {"t", bench::ju(t)},
-                           {"loss", bench::jf(loss, 2)},
-                           {"bound", bench::jf(bound, 2)},
-                           {"ratio", bench::jf(bound > 0 ? loss / bound : 0.0, 4)},
-                           {"byz_misreport_score", std::to_string(byz_score)},
-                           {"min_honest_score", std::to_string(min_honest)}});
+  struct Row {
+    double q = 0.0, loss = 0.0, bound = 0.0;
+    std::uint64_t t = 0;
+    std::int64_t byz_score = 0, min_honest = 0;
+  };
+  const std::vector<double> qs = {0.0, 0.1, 0.2, 0.3, 0.5};
+  const std::vector<Row> rows =
+      sweep().map<Row>(qs.size(), [rounds, &qs](std::size_t i) {
+        const double q = qs[i];
+        sim::ScenarioConfig cfg =
+            base_config(8501 + static_cast<std::uint64_t>(q * 10), rounds);
+        adversary::ByzantineCollectorSpec c;
+        c.from_round = 1;
+        c.until_round = rounds + 1;
+        c.collector = 0;
+        c.flip_probability = q;
+        cfg.adversary.byzantine_collectors = {c};
+        sim::Scenario s(cfg);
+        s.run();
+        const auto sum = s.summary();
+        Row row;
+        row.q = q;
+        row.t = screened_txs(sum);
+        row.bound =
+            16.0 * std::sqrt(static_cast<double>(row.t) *
+                             std::log(static_cast<double>(cfg.topology.collectors)));
+        row.loss = sum.mean_governor_expected_loss;
+        row.byz_score = s.governor(0).reputation().misreport(CollectorId(0));
+        row.min_honest = std::numeric_limits<std::int64_t>::max();
+        for (std::uint32_t k = 1; k < cfg.topology.collectors; ++k) {
+          row.min_honest = std::min(
+              row.min_honest, s.governor(0).reputation().misreport(CollectorId(k)));
+        }
+        return row;
+      });
+  for (const Row& row : rows) {
+    table.row({fmt(row.q, 1), fmt_u(row.t), fmt(row.loss, 1), fmt(row.bound, 1),
+               fmt(row.bound > 0 ? row.loss / row.bound : 0.0, 3),
+               std::to_string(row.byz_score), std::to_string(row.min_honest)});
+    json.row("misreport",
+             {{"q", bench::jf(row.q, 2)},
+              {"t", bench::ju(row.t)},
+              {"loss", bench::jf(row.loss, 2)},
+              {"bound", bench::jf(row.bound, 2)},
+              {"ratio", bench::jf(row.bound > 0 ? row.loss / row.bound : 0.0, 4)},
+              {"byz_misreport_score", std::to_string(row.byz_score)},
+              {"min_honest_score", std::to_string(row.min_honest)}});
   }
   bench::note("\nq = 0.0 is the control: defenses on, nobody deviating. Loss\n"
               "grows with q but the ratio column must stay well under 1 — the\n"

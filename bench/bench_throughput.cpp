@@ -10,12 +10,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "baselines/policies.hpp"
 #include "baselines/policy_simulator.hpp"
 #include "bench_util.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -80,7 +84,7 @@ void f_sweep_protocol() {
 // Machine-readable summary for dashboards/CI trend lines: one full-protocol
 // run, timed wall-clock, dumped as flat JSON. The file name matches the
 // BENCH_*.json gitignore pattern.
-void write_json_summary() {
+void write_json_summary(bench::JsonReport& json) {
   sim::ScenarioConfig cfg;
   cfg.topology = {8, 4, 3, 2};
   cfg.rounds = 10;
@@ -98,7 +102,6 @@ void write_json_summary() {
   const auto sum = s.summary();
   const double sim_s =
       static_cast<double>(s.queue().now()) / (1000.0 * kMillisecond);
-  bench::JsonReport json("throughput", 12);
   json.field("providers", bench::ju(cfg.topology.providers))
       .field("collectors", bench::ju(cfg.topology.collectors))
       .field("governors", bench::ju(cfg.topology.governors))
@@ -114,7 +117,78 @@ void write_json_summary() {
       .field("wall_seconds", bench::jf(wall_s))
       .field("txs_per_wall_second",
              bench::jf(static_cast<double>(sum.txs_submitted) / wall_s, 1));
-  json.write();
+}
+
+// --- E7d: multi-core seed sweep (ParallelSweep) -------------------------------
+
+/// One sweep shard: a full fault-free protocol run at `seed`.
+sim::ScenarioSummary sweep_shard(std::uint64_t seed) {
+  sim::ScenarioConfig cfg;
+  cfg.topology = {8, 4, 3, 2};
+  cfg.rounds = 10;
+  cfg.txs_per_provider_per_round = 3;
+  cfg.p_valid = 0.5;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::noisy(0.8)};
+  cfg.seed = seed;
+  sim::Scenario s(cfg);
+  s.run();
+  return s.summary();
+}
+
+/// The per-seed facts the equivalence check compares (a summary digest; any
+/// divergence between serial and sharded execution shows up here first).
+bool same_outcome(const sim::ScenarioSummary& a, const sim::ScenarioSummary& b) {
+  return a.txs_submitted == b.txs_submitted && a.blocks == b.blocks &&
+         a.chain_valid_txs == b.chain_valid_txs &&
+         a.chain_unchecked_txs == b.chain_unchecked_txs &&
+         a.validations_total == b.validations_total &&
+         a.network.messages_sent == b.network.messages_sent &&
+         a.network.bytes_sent == b.network.bytes_sent &&
+         a.mean_governor_expected_loss == b.mean_governor_expected_loss;
+}
+
+void parallel_sweep_speedup(bench::JsonReport& json) {
+  constexpr std::size_t kSweepSeeds = 8;
+  constexpr std::uint64_t kSweepBase = 500;
+  const std::size_t jobs =
+      std::min<std::size_t>(kSweepSeeds, sim::ParallelSweep::resolve_jobs(0));
+  bench::section("E7d: 8-way seed sweep, serial vs " + std::to_string(jobs) +
+                 " worker threads (ParallelSweep)");
+
+  const auto run_sweep = [](std::size_t job_count) {
+    const sim::ParallelSweep sweep(job_count);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<sim::ScenarioSummary> sums = sweep.map<sim::ScenarioSummary>(
+        kSweepSeeds, [](std::size_t i) { return sweep_shard(kSweepBase + i); });
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return std::pair<std::vector<sim::ScenarioSummary>, double>(std::move(sums), wall);
+  };
+
+  const auto [serial, serial_s] = run_sweep(1);
+  const auto [parallel, parallel_s] = run_sweep(jobs);
+  bool identical = true;
+  for (std::size_t i = 0; i < kSweepSeeds; ++i) {
+    identical = identical && same_outcome(serial[i], parallel[i]);
+  }
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+  Table table({"jobs", "wall_s", "speedup", "identical"});
+  table.print_header();
+  table.row({"1", fmt(serial_s, 2), "1.00", "yes"});
+  table.row({std::to_string(jobs), fmt(parallel_s, 2), fmt(speedup, 2),
+             identical ? "yes" : "NO"});
+  bench::note("Each shard is an isolated deterministic instance; the merged\n"
+              "summaries must match the serial sweep exactly — parallelism\n"
+              "buys wall-clock only, never different results.");
+
+  json.field("sweep_seeds", bench::ju(kSweepSeeds))
+      .field("sweep_jobs", bench::ju(jobs))
+      .field("sweep_serial_seconds", bench::jf(serial_s))
+      .field("sweep_parallel_seconds", bench::jf(parallel_s))
+      .field("sweep_speedup", bench::jf(speedup, 2))
+      .field("sweep_outputs_identical", identical ? "true" : "false");
 }
 
 // --- google-benchmark timings of the screening hot path ------------------------
@@ -173,7 +247,10 @@ int main(int argc, char** argv) {
   std::printf("bench_throughput — E7: efficiency/correctness trade of f\n");
   f_sweep_table();
   f_sweep_protocol();
-  write_json_summary();
+  bench::JsonReport json("throughput", 12);
+  write_json_summary(json);
+  parallel_sweep_speedup(json);
+  json.write();
   bench::section("E7c: screening hot-path timings (google-benchmark)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

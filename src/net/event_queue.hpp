@@ -1,60 +1,16 @@
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+// The deterministic discrete-event scheduler moved to the runtime layer as
+// runtime::EventLoop (it owns time, the priority queue, and the explicit
+// (time, seq) tie-break key; every timer consumer schedules through it).
+// net:: keeps this thin alias so existing includes and spellings keep
+// compiling during the migration.
 
-#include "common/sim_time.hpp"
-#include "runtime/timer.hpp"
+#include "runtime/event_loop.hpp"
 
 namespace repchain::net {
 
-/// Deterministic discrete-event scheduler. Events scheduled for the same
-/// simulated time fire in scheduling order (FIFO tie-break), which makes
-/// whole-protocol runs bit-reproducible from the scenario seed.
-///
-/// This is the substrate for the paper's synchronous system model: message
-/// transmission and processing delays are realized as bounded event delays.
-/// It implements runtime::TimerService, so protocol nodes schedule their
-/// phase deadlines against it without depending on the simulator.
-class EventQueue final : public runtime::TimerService {
- public:
-  using Callback = runtime::TimerService::Callback;
-
-  [[nodiscard]] SimTime now() const override { return now_; }
-
-  /// Schedule `cb` at absolute simulated time `t` (>= now).
-  void schedule_at(SimTime t, Callback cb) override;
-
-  /// Process events until the queue drains or `max_events` fire.
-  /// Returns the number of events processed.
-  std::size_t run(std::size_t max_events = SIZE_MAX);
-
-  /// Process events with time <= `until`.
-  std::size_t run_until(SimTime until);
-
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
-  [[nodiscard]] std::uint64_t processed() const { return processed_; }
-
- private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for equal times
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t processed_ = 0;
-};
+using EventLoop = runtime::EventLoop;
+using EventQueue = runtime::EventLoop;
 
 }  // namespace repchain::net

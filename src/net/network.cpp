@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/errors.hpp"
 
@@ -35,40 +36,56 @@ SimDuration SimNetwork::draw_delay() {
 }
 
 void SimNetwork::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) {
+  send_copies(from, to, kind, std::move(payload), 1);
+}
+
+void SimNetwork::send_copies(NodeId from, NodeId to, MsgKind kind, Bytes payload,
+                             std::size_t copies) {
   if (from.value() >= handlers_.size() || to.value() >= handlers_.size()) {
     throw NetError("send to/from unregistered node");
   }
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
-  ++stats_.by_kind[kind];
-  stats_.bytes_by_kind[kind] += payload.size();
+  const std::size_t payload_bytes = payload.size();
+  // One shared Message backs every scheduled copy: duplicated traffic costs
+  // one extra delivery record, not an extra payload buffer. Each delivery
+  // stamps delivered_at just before invoking the handler; deliveries are
+  // synchronous and single-threaded, so the shared stamp cannot race.
+  std::shared_ptr<Message> msg;
+  for (std::size_t c = 0; c < copies; ++c) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload_bytes;
+    ++stats_.by_kind[kind];
+    stats_.bytes_by_kind[kind] += payload_bytes;
 
-  if (down_[from.value()] || down_[to.value()]) {
-    ++stats_.messages_dropped;
-    return;
-  }
-  if (const auto it = drop_.find(link_key(from, to));
-      it != drop_.end() && rng_.bernoulli(it->second)) {
-    ++stats_.messages_dropped;
-    return;
-  }
+    if (down_[from.value()] || down_[to.value()]) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    if (const auto it = drop_.find(link_key(from, to));
+        it != drop_.end() && rng_.bernoulli(it->second)) {
+      ++stats_.messages_dropped;
+      continue;
+    }
 
-  Message msg;
-  msg.from = from;
-  msg.to = to;
-  msg.kind = kind;
-  msg.payload = std::move(payload);
-  msg.sent_at = queue_.now();
+    if (!msg) {
+      msg = std::make_shared<Message>();
+      msg->from = from;
+      msg->to = to;
+      msg->kind = kind;
+      msg->payload = std::move(payload);
+      msg->sent_at = queue_.now();
+    }
 
-  SimTime deliver_at = queue_.now() + draw_delay();
-  if (const auto slow = link_delay_.find(link_key(from, to)); slow != link_delay_.end()) {
-    deliver_at += slow->second;
+    SimTime deliver_at = queue_.now() + draw_delay();
+    if (const auto slow = link_delay_.find(link_key(from, to));
+        slow != link_delay_.end()) {
+      deliver_at += slow->second;
+    }
+    queue_.schedule_at(deliver_at, [this, msg, deliver_at] {
+      msg->delivered_at = deliver_at;
+      auto& handler = handlers_.at(msg->to.value());
+      if (handler && !down_[msg->to.value()]) handler(*msg);
+    });
   }
-  queue_.schedule_at(deliver_at, [this, msg = std::move(msg), deliver_at]() mutable {
-    msg.delivered_at = deliver_at;
-    auto& handler = handlers_.at(msg.to.value());
-    if (handler && !down_[msg.to.value()]) handler(msg);
-  });
 }
 
 void SimNetwork::multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,

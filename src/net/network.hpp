@@ -63,6 +63,12 @@ class SimNetwork final : public runtime::Transport {
   /// link drops it.
   void send(NodeId from, NodeId to, MsgKind kind, Bytes payload) override;
 
+  /// `copies` deliveries of one message, each with its own drawn delay and
+  /// per-copy drop/accounting, all sharing one underlying Message buffer —
+  /// fault-injected duplication without the per-copy payload deep copy.
+  void send_copies(NodeId from, NodeId to, MsgKind kind, Bytes payload,
+                   std::size_t copies) override;
+
   /// Unicast to each destination.
   void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
                  const Bytes& payload) override;

@@ -823,8 +823,8 @@ void Governor::on_state_commit(const runtime::Message& msg) {
   }
   if (stake_consensus_.on_commit(commit, round_, round_leader(), expelled_)) {
     // A stake-transform block is the paper's recovery point: snapshot the
-    // durable state and truncate the WAL.
-    persist_snapshot();
+    // durable state (eagerly, or deferred under WAL compaction).
+    persist_recovery_point();
   }
 }
 
@@ -932,9 +932,20 @@ void Governor::persist_block(const ledger::Block& block) {
   if (store_ == nullptr) return;
   store_->wal_append(block.encode());
   ++blocks_since_snapshot_;
+  ++wal_appends_;
   if (config_.snapshot_interval > 0 &&
       blocks_since_snapshot_ >= config_.snapshot_interval) {
     persist_snapshot();
+  } else if (config_.wal_compaction_appends > 0 && recovery_point_ &&
+             wal_appends_ >= config_.wal_compaction_appends) {
+    // The log is long enough: persist the checkpoint captured at the latest
+    // stake-transform commit and drop the records it covers, keeping the
+    // tail appended since. Replay length stays bounded without the eager
+    // full-snapshot-per-commit write amplification.
+    store_->compact(recovery_point_->checkpoint, recovery_point_->covered_records);
+    wal_appends_ -= recovery_point_->covered_records;
+    blocks_since_snapshot_ = wal_appends_;
+    recovery_point_.reset();
   }
 }
 
@@ -942,6 +953,17 @@ void Governor::persist_snapshot() {
   if (store_ == nullptr) return;
   store_->write_snapshot(checkpoint());
   blocks_since_snapshot_ = 0;
+  wal_appends_ = 0;
+  recovery_point_.reset();  // superseded: the new snapshot covers more
+}
+
+void Governor::persist_recovery_point() {
+  if (store_ == nullptr) return;
+  if (config_.wal_compaction_appends > 0) {
+    recovery_point_ = RecoveryPoint{checkpoint(), wal_appends_};
+  } else {
+    persist_snapshot();
+  }
 }
 
 void Governor::recover_from_store() {
@@ -950,7 +972,8 @@ void Governor::recover_from_store() {
   // Replay the WAL tail. Records the snapshot already covers are expected
   // after a crash between snapshot rename and WAL truncation — skip them by
   // serial; everything else must extend the chain cleanly.
-  for (const auto& record : store_->wal_records()) {
+  const std::vector<Bytes> records = store_->wal_records();
+  for (const auto& record : records) {
     const ledger::Block block = ledger::Block::decode(record);
     if (block.serial <= chain_.height()) continue;
     chain_.append(block);  // re-verifies serial, hash link, tx root
@@ -960,6 +983,8 @@ void Governor::recover_from_store() {
   }
   assembler_.reset_from_chain(chain_);
   blocks_since_snapshot_ = 0;
+  wal_appends_ = records.size();
+  recovery_point_.reset();  // pre-crash capture died with the old life
   // Reliable mode only: default delivery keeps the synchronous-model
   // assumption that the restart sync completes before the next election.
   recovering_ = channel_.has_value();

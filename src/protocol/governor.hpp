@@ -245,10 +245,16 @@ class Governor {
   void finish_sync();
   /// Adopt stashed future blocks that have become contiguous with the head.
   void drain_stash();
-  /// WAL-append a committed block; snapshot every config.snapshot_interval.
+  /// WAL-append a committed block; snapshot every config.snapshot_interval
+  /// and compact at the captured recovery point once the log holds
+  /// config.wal_compaction_appends blocks.
   void persist_block(const ledger::Block& block);
   /// Persist a checkpoint snapshot (truncates the WAL). No-op without store.
   void persist_snapshot();
+  /// Stake-transform commit landed: either snapshot eagerly (default) or,
+  /// under WAL compaction, capture the checkpoint as the pending recovery
+  /// point for the next compaction.
+  void persist_recovery_point();
 
   GovernorId id_;
   runtime::NodeContext& ctx_;
@@ -294,6 +300,15 @@ class Governor {
   // Durable state + catch-up sync.
   storage::NodeStateStore* store_ = nullptr;
   std::size_t blocks_since_snapshot_ = 0;
+  std::size_t wal_appends_ = 0;  // records currently in the store's log
+  /// Checkpoint captured at the latest stake-transform commit, deferred
+  /// until the log grows past config.wal_compaction_appends (WAL compaction
+  /// only; the eager path snapshots immediately instead).
+  struct RecoveryPoint {
+    Bytes checkpoint;
+    std::size_t covered_records = 0;  // WAL length when it was captured
+  };
+  std::optional<RecoveryPoint> recovery_point_;
   std::vector<NodeId> sync_peers_;  // other governors' nodes
   bool sync_in_flight_ = false;
   std::uint64_t sync_nonce_ = 0;  // guards the per-request timeout timers

@@ -27,6 +27,13 @@ struct GovernorConfig {
   /// (and truncate the WAL) every N committed blocks. 0 keeps the paper's
   /// recovery points only — snapshots happen at stake-transform commits.
   std::size_t snapshot_interval = 0;
+  /// WAL compaction: once the log holds at least N appended blocks, persist
+  /// the checkpoint captured at the latest stake-transform commit (the
+  /// paper's recovery point) and truncate the log at that point, keeping the
+  /// tail — so replay length stays bounded by N plus the blocks since that
+  /// commit, without snapshotting eagerly on every stake transform. 0 (the
+  /// default) keeps the eager behavior: a full snapshot at each commit.
+  std::size_t wal_compaction_appends = 0;
   /// Opt-in reliable delivery: protocol-critical traffic (uploads, governor
   /// peer messages, block sync) goes through a ReliableChannel
   /// (ack + retransmit + backoff) instead of the bare transport, and the

@@ -1,21 +1,23 @@
-#include "net/event_queue.hpp"
+#include "runtime/event_loop.hpp"
 
 #include "common/errors.hpp"
 
-namespace repchain::net {
+namespace repchain::runtime {
 
-void EventQueue::schedule_at(SimTime t, Callback cb) {
+void EventLoop::schedule_at(SimTime t, Callback cb) {
+  // NetError (not a runtime-specific type) is kept for compatibility with
+  // the net::EventQueue era this class grew out of.
   if (t < now_) throw NetError("cannot schedule event in the past");
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  queue_.push(Event{EventKey{t, next_seq_++}, std::move(cb)});
 }
 
-std::size_t EventQueue::run(std::size_t max_events) {
+std::size_t EventLoop::run(std::size_t max_events) {
   std::size_t n = 0;
   while (!queue_.empty() && n < max_events) {
     // Move the callback out before popping so it can schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.time;
+    now_ = ev.key.time;
     ev.cb();
     ++n;
     ++processed_;
@@ -23,12 +25,12 @@ std::size_t EventQueue::run(std::size_t max_events) {
   return n;
 }
 
-std::size_t EventQueue::run_until(SimTime until) {
+std::size_t EventLoop::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!queue_.empty() && queue_.top().key.time <= until) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.time;
+    now_ = ev.key.time;
     ev.cb();
     ++n;
     ++processed_;
@@ -37,4 +39,4 @@ std::size_t EventQueue::run_until(SimTime until) {
   return n;
 }
 
-}  // namespace repchain::net
+}  // namespace repchain::runtime

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "runtime/timer.hpp"
+
+namespace repchain::runtime {
+
+/// The ordering key of one scheduled event: absolute simulated time plus a
+/// monotonically increasing schedule sequence. Events compare by (time, seq),
+/// so events scheduled for the same instant fire in scheduling order (FIFO
+/// tie-break). This key is the simulator's entire source of event order —
+/// making it explicit is what keeps whole-protocol runs bit-reproducible
+/// from the scenario seed, and what lets independent EventLoop instances run
+/// on different cores without sharing any ordering state.
+struct EventKey {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] bool operator<(const EventKey& other) const {
+    if (time != other.time) return time < other.time;
+    return seq < other.seq;
+  }
+};
+
+/// Deterministic discrete-event loop: owns simulated time, the priority
+/// queue, and timer scheduling. One EventLoop is one isolated simulation
+/// instance — it holds no global state, so many loops can run concurrently
+/// (sim::ParallelSweep) while each stays byte-identical to a serial run.
+///
+/// This is the substrate for the paper's synchronous system model: message
+/// transmission and processing delays are realized as bounded event delays.
+/// It implements runtime::TimerService, the one seam every time consumer
+/// (TimerService users, RevocableTimers, AtomicBroadcastGroup,
+/// FaultyTransport, ReliableChannel) schedules through — and the single
+/// place a real clock/poller would plug in for a socket transport.
+class EventLoop final : public TimerService {
+ public:
+  using Callback = TimerService::Callback;
+
+  [[nodiscard]] SimTime now() const override { return now_; }
+
+  /// Schedule `cb` at absolute simulated time `t` (>= now).
+  void schedule_at(SimTime t, Callback cb) override;
+
+  /// Process events until the queue drains or `max_events` fire.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Process events with time <= `until`.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    EventKey key;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const { return b.key < a.key; }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace repchain::runtime

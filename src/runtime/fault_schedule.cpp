@@ -85,6 +85,7 @@ SimDuration FaultSchedule::delay_extra_at(SimTime t, SimDuration& jitter_out) co
 
 void FaultyTransport::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) {
   const SimTime t = inner_.timers().now();
+  bool duplicated = false;
   if (from != to) {
     if (schedule_.severed(from, to, t)) {
       ++stats_.partition_drops;
@@ -98,10 +99,14 @@ void FaultyTransport::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) 
     const double dup = schedule_.duplicate_probability(t);
     if (dup > 0.0 && rng_.bernoulli(dup)) {
       ++stats_.duplicated;
-      inner_.send(from, to, kind, payload);  // extra copy
+      duplicated = true;
     }
     if (const ReorderFault* reorder = schedule_.reorder_at(t);
         reorder != nullptr && rng_.bernoulli(reorder->probability)) {
+      // The duplicate escapes the hold (it is a distinct wire copy), so it
+      // still needs its own payload buffer here; only the fused fallthrough
+      // below can share one.
+      if (duplicated) inner_.send(from, to, kind, payload);
       ++stats_.reordered;
       const SimDuration hold =
           reorder->max_extra == 0 ? 0 : rng_.uniform(reorder->max_extra + 1);
@@ -119,6 +124,7 @@ void FaultyTransport::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) 
     SimDuration jitter = 0;
     const SimDuration extra = schedule_.delay_extra_at(t, jitter);
     if (extra > 0 || jitter > 0) {
+      if (duplicated) inner_.send(from, to, kind, payload);
       ++stats_.delay_extended;
       const SimDuration hold = extra + (jitter == 0 ? 0 : rng_.uniform(jitter + 1));
       inner_.timers().schedule_after(
@@ -128,7 +134,8 @@ void FaultyTransport::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) 
       return;
     }
   }
-  inner_.send(from, to, kind, std::move(payload));
+  // Duplicate and original leave together: one shared buffer, two deliveries.
+  inner_.send_copies(from, to, kind, std::move(payload), duplicated ? 2 : 1);
 }
 
 void FaultyTransport::multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,

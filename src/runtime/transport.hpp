@@ -23,6 +23,18 @@ class Transport {
   /// Unicast; delivered after a bounded delay unless the link drops it.
   virtual void send(NodeId from, NodeId to, MsgKind kind, Bytes payload) = 0;
 
+  /// Deliver `copies` independent copies of one message (fault-injected
+  /// duplication). Each copy is scheduled, delayed, and counted like a
+  /// separate send, but implementations are encouraged to share a single
+  /// underlying payload buffer across the copies instead of deep-copying it
+  /// per copy (net::SimNetwork does). The default falls back to repeated
+  /// send() so lightweight Transport implementations need not override.
+  virtual void send_copies(NodeId from, NodeId to, MsgKind kind, Bytes payload,
+                           std::size_t copies) {
+    for (std::size_t c = 1; c < copies; ++c) send(from, to, kind, payload);
+    if (copies > 0) send(from, to, kind, std::move(payload));
+  }
+
   /// Unicast to each destination (each copy is a counted message).
   virtual void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
                          const Bytes& payload) = 0;

@@ -1,0 +1,106 @@
+#include "sim/harness/observation.hpp"
+
+#include "sim/harness/wiring.hpp"
+
+namespace repchain::sim {
+
+void Observation::begin_round(Round round, const Wiring& wiring) {
+  pending_ = RoundRecord{};
+  pending_.round = round;
+  validations_before_ = wiring.oracle_->validations();
+  messages_before_ = wiring.net_->stats().messages_sent;
+  const protocol::Governor* ref = wiring.first_live_governor();
+  loss_before_ = ref ? ref->metrics().expected_loss : 0.0;
+  argues_before_ = 0;
+  for (const auto& g : wiring.governors_) {
+    if (g) argues_before_ += g->metrics().argues_accepted;
+  }
+}
+
+void Observation::end_round(const Wiring& wiring) {
+  pending_.leader = observer_.leader(pending_.round);
+  pending_.block_txs = observer_.block_txs(pending_.round);
+  pending_.validations_delta = wiring.oracle_->validations() - validations_before_;
+  pending_.messages_delta = wiring.net_->stats().messages_sent - messages_before_;
+  const protocol::Governor* ref = wiring.first_live_governor();
+  pending_.expected_loss_delta =
+      (ref ? ref->metrics().expected_loss : 0.0) - loss_before_;
+  std::uint64_t argues_after = 0;
+  for (const auto& g : wiring.governors_) {
+    if (g) argues_after += g->metrics().argues_accepted;
+  }
+  pending_.argues_delta = argues_after - argues_before_;
+  history_.push_back(pending_);
+}
+
+void Observation::sample_rewards(const ScenarioConfig& config, const Wiring& wiring) {
+  // Track leadership and distribute rewards from the leader's reputation.
+  const protocol::Governor* ref = wiring.first_live_governor();
+  if (ref == nullptr) return;
+  const auto leader = ref->round_leader();
+  if (!leader) return;
+  leader_counts_[leader->value()] += 1;
+  if (!wiring.governors_[leader->value()]) return;  // leader crashed mid-round
+  auto& leader_gov = *wiring.governors_[leader->value()];
+  if (leader_gov.chain().empty()) return;
+  const auto& block = leader_gov.chain().head();
+  std::size_t valid_txs = 0;
+  for (const auto& rec : block.txs) {
+    if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++valid_txs;
+  }
+  const double profit = config.reward_per_valid_tx * static_cast<double>(valid_txs);
+  if (profit > 0.0) {
+    for (const auto& [c, share] : leader_gov.revenue_shares()) {
+      rewards_[c.value()] += profit * share;
+    }
+  }
+}
+
+ScenarioSummary Observation::summarize(const Wiring& wiring) const {
+  ScenarioSummary s;
+  for (const auto& p : wiring.providers_) s.txs_submitted += p.submitted();
+
+  // Currently-dead governors are excluded: the summary reflects the view of
+  // the live replicas (agreement/audit over a null chain is meaningless).
+  const protocol::Governor* ref = wiring.first_live_governor();
+  if (ref == nullptr) return s;
+  const auto& chain0 = ref->chain();
+  s.blocks = chain0.height();
+  s.chain_valid_txs = chain0.count_status(ledger::TxStatus::kCheckedValid);
+  s.chain_unchecked_txs = chain0.count_status(ledger::TxStatus::kUncheckedInvalid);
+  s.chain_argued_txs = chain0.count_status(ledger::TxStatus::kArguedValid);
+
+  s.agreement = true;
+  s.chains_audit_ok = true;
+  s.stalled_events = observer_.stalled_events();
+  s.byzantine_evidence = observer_.byzantine_evidence();
+  for (const auto& g : wiring.governors_) {
+    if (!g) continue;
+    s.chains_audit_ok = s.chains_audit_ok && g->chain().audit();
+    if (g.get() != ref) {
+      s.agreement =
+          s.agreement && ledger::ChainStore::same_prefix(chain0, g->chain());
+    }
+  }
+
+  s.validations_total = wiring.oracle_->validations();
+  double exp_loss = 0.0, real_loss = 0.0;
+  std::uint64_t mistakes = 0;
+  std::size_t live = 0;
+  for (const auto& g : wiring.governors_) {
+    if (!g) continue;
+    ++live;
+    exp_loss += g->metrics().expected_loss;
+    real_loss += g->metrics().realized_loss;
+    mistakes += g->metrics().mistakes;
+  }
+  const double m = static_cast<double>(live);
+  s.mean_governor_expected_loss = exp_loss / m;
+  s.mean_governor_realized_loss = real_loss / m;
+  s.mean_governor_mistakes =
+      static_cast<std::uint64_t>(static_cast<double>(mistakes) / m);
+  s.network = wiring.net_->stats();
+  return s;
+}
+
+}  // namespace repchain::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Harness layer: passive measurement. Observation owns the RoundObserver
+// (fed by node trace events), the reward/leadership tallies, and the
+// per-round time series; it probes counters at round open, assembles the
+// RoundRecord at round close, and renders the end-of-run ScenarioSummary.
+// It never injects events — everything here is read-only with respect to
+// the protocol run (sample_rewards mutates only its own tallies).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/harness/spec.hpp"
+#include "sim/round_observer.hpp"
+
+namespace repchain::sim {
+
+struct Wiring;
+
+class Observation {
+ public:
+  void init(std::size_t collectors, std::size_t governors) {
+    rewards_.assign(collectors, 0.0);
+    leader_counts_.assign(governors, 0);
+  }
+
+  /// Probe the before-counters of a new round.
+  void begin_round(Round round, const Wiring& wiring);
+  /// Assemble and append the round's RoundRecord from the probes, the
+  /// observer, and the after-counters.
+  void end_round(const Wiring& wiring);
+
+  /// Timer target: leadership tally + collector reward split (leader-share
+  /// based, §3.4.3).
+  void sample_rewards(const ScenarioConfig& config, const Wiring& wiring);
+
+  /// Aggregate a finished (or in-flight) run into a ScenarioSummary.
+  [[nodiscard]] ScenarioSummary summarize(const Wiring& wiring) const;
+
+  [[nodiscard]] RoundObserver& observer() { return observer_; }
+  [[nodiscard]] const RoundObserver& observer() const { return observer_; }
+  [[nodiscard]] const std::vector<double>& rewards() const { return rewards_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& leader_counts() const {
+    return leader_counts_;
+  }
+  [[nodiscard]] const std::vector<RoundRecord>& history() const { return history_; }
+
+ private:
+  RoundObserver observer_;
+  std::vector<double> rewards_;
+  std::vector<std::uint64_t> leader_counts_;
+  std::vector<RoundRecord> history_;
+
+  // Probes captured by begin_round, consumed by end_round.
+  RoundRecord pending_;
+  std::uint64_t validations_before_ = 0;
+  std::uint64_t messages_before_ = 0;
+  double loss_before_ = 0.0;
+  std::uint64_t argues_before_ = 0;
+};
+
+}  // namespace repchain::sim

@@ -1,0 +1,174 @@
+#include "sim/harness/wiring.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/errors.hpp"
+#include "crypto/keygen.hpp"
+#include "sim/harness/fault_plan.hpp"
+#include "sim/round_observer.hpp"
+#include "storage/file_state_store.hpp"
+
+namespace repchain::sim {
+
+Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
+               RoundObserver& observer)
+    : config_(config), rng_(rng) {
+  net_ = std::make_unique<net::SimNetwork>(queue, rng_.derive(1), config_.latency);
+  transport_ = net_.get();
+  Rng key_rng = rng_.derive(2);
+  im_ = std::make_unique<identity::IdentityManager>(crypto::random_seed(key_rng));
+  oracle_ = std::make_unique<ledger::ValidationOracle>(config_.validation_cost);
+
+  const auto& topo = config_.topology;
+
+  // Phase deadlines for the self-driving rounds, keyed to the synchrony
+  // bound Delta and the collecting-phase span.
+  timing_ = protocol::RoundTiming::derive(
+      net_->max_delay(), config_.governor.aggregation_delta,
+      static_cast<SimDuration>(topo.providers * config_.txs_per_provider_per_round) *
+          kMillisecond,
+      config_.governor.enable_label_gossip);
+
+  // Register network nodes and identities for every member, then links.
+  std::vector<crypto::SigningKey> provider_keys, collector_keys, governor_keys;
+  for (std::size_t i = 0; i < topo.providers; ++i) {
+    const NodeId node = net_->add_node();
+    directory_.add_provider(ProviderId(static_cast<std::uint32_t>(i)), node);
+    provider_keys.emplace_back(crypto::random_seed(key_rng));
+    im_->enroll(node, identity::Role::kProvider, provider_keys.back().public_key());
+  }
+  for (std::size_t i = 0; i < topo.collectors; ++i) {
+    const NodeId node = net_->add_node();
+    directory_.add_collector(CollectorId(static_cast<std::uint32_t>(i)), node);
+    collector_keys.emplace_back(crypto::random_seed(key_rng));
+    im_->enroll(node, identity::Role::kCollector, collector_keys.back().public_key());
+  }
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const NodeId node = net_->add_node();
+    directory_.add_governor(GovernorId(static_cast<std::uint32_t>(i)), node);
+    governor_keys.emplace_back(crypto::random_seed(key_rng));
+    im_->enroll(node, identity::Role::kGovernor, governor_keys.back().public_key());
+  }
+  build_links(topo, directory_);
+  // Replaces transport_ with the decorator when faults are scheduled.
+  faulty_ = FaultPlan::install_network_faults(config_, *net_, directory_, timing_,
+                                              queue, rng_);
+  if (faulty_) transport_ = faulty_.get();
+
+  governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
+      *transport_, directory_.governor_nodes());
+
+  // Genesis stake (retained: a restarted governor without a snapshot starts
+  // from genesis again).
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const std::uint64_t units =
+        i < config_.governor_stakes.size() ? config_.governor_stakes[i] : 1;
+    genesis_.set(GovernorId(static_cast<std::uint32_t>(i)), units);
+  }
+
+  // Instantiate nodes behind their runtime contexts (deques keep references
+  // stable while wiring handlers).
+  for (std::size_t i = 0; i < topo.providers; ++i) {
+    const ProviderId id(static_cast<std::uint32_t>(i));
+    provider_ctxs_.emplace_back(directory_.node_of(id), *transport_,
+                                rng_.derive(3000 + i));
+    providers_.emplace_back(id, provider_ctxs_.back(), std::move(provider_keys[i]),
+                            *im_, *oracle_, directory_, config_.providers_active,
+                            config_.reliable_delivery);
+    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
+      providers_[i].on_message(m);
+    });
+  }
+  for (std::size_t i = 0; i < topo.collectors; ++i) {
+    const CollectorId id(static_cast<std::uint32_t>(i));
+    const protocol::CollectorBehavior behavior =
+        config_.behaviors.empty()
+            ? protocol::CollectorBehavior::honest()
+            : config_.behaviors[i % config_.behaviors.size()];
+    collector_ctxs_.emplace_back(directory_.node_of(id), *transport_,
+                                 rng_.derive(1000 + i));
+    collector_baselines_.push_back(behavior);
+    collectors_.emplace_back(id, collector_ctxs_.back(), std::move(collector_keys[i]),
+                             *im_, *oracle_, directory_, *governor_group_, behavior,
+                             config_.reliable_delivery);
+    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
+      collectors_[i].on_message(m);
+    });
+  }
+  if (config_.governor_visibility <= 0.0 || config_.governor_visibility > 1.0) {
+    throw ConfigError("governor_visibility must be in (0, 1]");
+  }
+  // Governors keep their rebuild material (key, visibility view, store) here
+  // so a crashed one can be reconstructed in place.
+  governor_keys_ = std::move(governor_keys);
+  governor_byz_.assign(topo.governors, adversary::GovernorByzantine{});
+  const bool durable = config_.durable_governors || !config_.crashes.empty();
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const GovernorId id(static_cast<std::uint32_t>(i));
+    std::vector<CollectorId> visible;
+    if (config_.governor_visibility < 1.0) {
+      const auto count = static_cast<std::size_t>(
+          std::ceil(config_.governor_visibility * static_cast<double>(topo.collectors)));
+      for (std::size_t k = 0; k < std::max<std::size_t>(count, 1); ++k) {
+        visible.push_back(
+            CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
+      }
+    }
+    governor_visible_.push_back(std::move(visible));
+    if (durable) {
+      if (config_.storage_dir.empty()) {
+        governor_stores_.push_back(std::make_unique<storage::MemoryStateStore>());
+      } else {
+        governor_stores_.push_back(std::make_unique<storage::FileStateStore>(
+            config_.storage_dir / ("gov" + std::to_string(i))));
+      }
+    }
+    governor_ctxs_.emplace_back(directory_.node_of(id), *transport_,
+                                rng_.derive(2000 + i), &observer);
+    governors_.emplace_back();
+    governor_epochs_.push_back(0);
+    make_governor(i);
+    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
+      if (governors_[i]) governors_[i]->on_message(m);  // null slot = crashed
+    });
+  }
+}
+
+Wiring::~Wiring() = default;
+
+void Wiring::make_governor(std::size_t i) {
+  const GovernorId id(static_cast<std::uint32_t>(i));
+  storage::NodeStateStore* store =
+      governor_stores_.empty() ? nullptr : governor_stores_[i].get();
+  protocol::GovernorConfig gc = config_.governor;
+  gc.channel_epoch = governor_epochs_[i];
+  governors_[i] = std::make_unique<protocol::Governor>(
+      id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_, directory_,
+      *governor_group_, gc, genesis_, governor_visible_[i], store);
+  if (governor_byz_[i].any()) governors_[i]->set_byzantine(governor_byz_[i]);
+}
+
+void Wiring::crash_governor(std::size_t i) {
+  // Kill -9 equivalent: pending timer callbacks become no-ops, the object
+  // (and with it every byte of in-memory state) is destroyed. The store —
+  // owned here, like a disk outlives a process — stays.
+  governor_ctxs_[i].revoke_timers();
+  governors_[i].reset();
+}
+
+void Wiring::restart_governor(std::size_t i) {
+  ++governor_epochs_[i];  // fresh ReliableChannel incarnation
+  make_governor(i);
+  governors_[i]->recover_from_store();
+  governors_[i]->sync_chain();
+}
+
+const protocol::Governor* Wiring::first_live_governor() const {
+  for (const auto& g : governors_) {
+    if (g) return g.get();
+  }
+  return nullptr;
+}
+
+}  // namespace repchain::sim

@@ -1,0 +1,101 @@
+#pragma once
+
+// Harness layer: node construction and plumbing. Wiring owns every live
+// object of a run — network, identities, oracle, runtime contexts, the node
+// objects themselves, and the rebuild material (keys, genesis stake,
+// visibility views, durable stores) that lets a crashed governor be
+// reconstructed in place. Members are public: this is internal machinery the
+// Scenario facade encapsulates; FaultPlan and Workload reach in by design.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "identity/identity_manager.hpp"
+#include "ledger/validation_oracle.hpp"
+#include "net/network.hpp"
+#include "protocol/collector.hpp"
+#include "protocol/governor.hpp"
+#include "protocol/provider.hpp"
+#include "protocol/round_timing.hpp"
+#include "runtime/atomic_broadcast.hpp"
+#include "runtime/fault_schedule.hpp"
+#include "runtime/node_context.hpp"
+#include "sim/harness/spec.hpp"
+#include "sim/topology.hpp"
+#include "storage/node_state_store.hpp"
+
+namespace repchain::sim {
+
+class RoundObserver;
+
+/// Builds the whole system — identity manager, simulated network, per-node
+/// runtime contexts, atomic broadcast groups, providers/collectors/governors
+/// — and wires it per the topology. The constructor performs the full
+/// deterministic build sequence (RNG stream derivation order is part of the
+/// pinned-seed contract); afterwards Wiring is the registry the rest of the
+/// harness works against, plus the governor crash/restart lifecycle.
+struct Wiring {
+  /// `config` must already be normalized (validated, implied flags applied)
+  /// and must outlive the Wiring; governor rebuilds re-read it.
+  Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
+         RoundObserver& observer);
+  ~Wiring();
+
+  Wiring(const Wiring&) = delete;
+  Wiring& operator=(const Wiring&) = delete;
+
+  /// (Re)construct governor i in its slot from the retained rebuild material.
+  void make_governor(std::size_t i);
+  /// Kill governor `i` right now: revoke its pending timer callbacks and
+  /// destroy the object (all in-memory state is gone; its NodeStateStore,
+  /// held here, survives). Messages to the dead node are dropped.
+  void crash_governor(std::size_t i);
+  /// Rebuild governor `i` from its store and start catching up with peers.
+  void restart_governor(std::size_t i);
+  [[nodiscard]] const protocol::Governor* first_live_governor() const;
+
+  /// Absolute start time of 1-based round `r`.
+  [[nodiscard]] SimTime round_start(std::size_t r) const {
+    return static_cast<SimTime>(r - 1) * timing_.round_span;
+  }
+
+  ScenarioConfig& config_;
+  Rng rng_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<runtime::FaultyTransport> faulty_;
+  runtime::Transport* transport_ = nullptr;  // faulty_ if faults, else net_
+  std::unique_ptr<identity::IdentityManager> im_;
+  std::unique_ptr<ledger::ValidationOracle> oracle_;
+  protocol::Directory directory_;
+  std::unique_ptr<runtime::AtomicBroadcastGroup> governor_group_;
+  protocol::RoundTiming timing_;
+
+  // deques: node objects must never relocate (handlers, contexts and the
+  // governors' internal references are address-stable).
+  std::deque<runtime::NodeContext> provider_ctxs_;
+  std::deque<runtime::NodeContext> collector_ctxs_;
+  std::deque<runtime::NodeContext> governor_ctxs_;
+  std::deque<protocol::Provider> providers_;
+  std::deque<protocol::Collector> collectors_;
+  std::deque<std::unique_ptr<protocol::Governor>> governors_;
+
+  // Rebuild material for crashed governors: their signing keys, genesis
+  // stake, partial-visibility views, and (outliving the governor objects)
+  // their durable stores.
+  std::vector<crypto::SigningKey> governor_keys_;
+  protocol::StakeLedger genesis_;
+  std::vector<std::vector<CollectorId>> governor_visible_;
+  std::deque<std::unique_ptr<storage::NodeStateStore>> governor_stores_;
+  // ReliableChannel incarnation per governor, bumped on every restart so the
+  // new life's sequence space is distinct from the old one.
+  std::vector<std::uint32_t> governor_epochs_;
+  // Current adversary toggles per governor (re-applied by make_governor so a
+  // Byzantine governor stays Byzantine across a crash/restart) and the
+  // collectors' baseline behaviors (restored when a Byzantine window ends).
+  std::vector<adversary::GovernorByzantine> governor_byz_;
+  std::vector<protocol::CollectorBehavior> collector_baselines_;
+};
+
+}  // namespace repchain::sim

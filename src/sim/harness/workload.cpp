@@ -1,0 +1,34 @@
+#include "sim/harness/workload.hpp"
+
+#include "sim/harness/wiring.hpp"
+
+namespace repchain::sim {
+
+void Workload::inject(Round round) {
+  Rng workload = rng_.derive(10'000 + round);
+  for (auto& p : wiring_.providers_) {
+    for (std::size_t t = 0; t < config_.txs_per_provider_per_round; ++t) {
+      const bool valid = workload.bernoulli(config_.p_valid);
+      Bytes payload = workload.bytes(24);
+      (void)p.submit(std::move(payload), valid);
+      // Spread submissions a little so aggregation windows interleave.
+      queue_.run_until(queue_.now() + 1 * kMillisecond);
+    }
+  }
+}
+
+void Workload::run_audit(Round round) {
+  // One shared stream consumed in governor order keeps the draw sequence
+  // deterministic.
+  Rng audit = rng_.derive(20'000 + round);
+  for (auto& g : wiring_.governors_) {
+    if (!g) continue;
+    for (const auto& id : g->unrevealed_unchecked()) {
+      if (audit.bernoulli(config_.audit_probability)) {
+        (void)g->reveal_unchecked(id);
+      }
+    }
+  }
+}
+
+}  // namespace repchain::sim

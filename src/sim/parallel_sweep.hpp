@@ -1,0 +1,48 @@
+#pragma once
+
+// Multi-core sweep runner. One simulated instance is strictly
+// single-threaded and deterministic (FoundationDB-style); the only safe
+// parallelism is across *fully isolated* instances — each task builds, runs,
+// and summarizes its own Scenario from its own seed, touching zero shared
+// mutable state. ParallelSweep shards task indices over a worker pool and
+// collects results by index, so the merged output is identical for any job
+// count — `--jobs 8` must be byte-for-byte `--jobs 1`.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace repchain::sim {
+
+class ParallelSweep {
+ public:
+  /// `jobs` = worker threads; 0 picks the hardware concurrency (at least 1).
+  explicit ParallelSweep(std::size_t jobs) : jobs_(resolve_jobs(jobs)) {}
+
+  /// 0 => std::thread::hardware_concurrency() (or 1 if unknown).
+  [[nodiscard]] static std::size_t resolve_jobs(std::size_t requested);
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Invoke task(i) for every i in [0, count), sharded over the pool. Tasks
+  /// must be independent: they may not touch shared mutable state. A thrown
+  /// exception is captured and rethrown on the calling thread (remaining
+  /// tasks may still run). With jobs() == 1 the tasks run inline, in order.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& task) const;
+
+  /// for_each + collect: results[i] = task(i), ordered by index — the merge
+  /// is deterministic regardless of which worker ran which shard. R must be
+  /// default-constructible.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(
+      std::size_t count, const std::function<R(std::size_t)>& task) const {
+    std::vector<R> results(count);
+    for_each(count, [&results, &task](std::size_t i) { results[i] = task(i); });
+    return results;
+  }
+
+ private:
+  std::size_t jobs_ = 1;
+};
+
+}  // namespace repchain::sim

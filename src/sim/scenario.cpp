@@ -1,15 +1,12 @@
 #include "sim/scenario.hpp"
 
-#include <cmath>
-#include <string>
-
-#include "common/errors.hpp"
-#include "crypto/keygen.hpp"
-#include "storage/file_state_store.hpp"
+#include "sim/harness/fault_plan.hpp"
 
 namespace repchain::sim {
 
 Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  // Normalize the spec before any machinery sees it: validation plus the
+  // implied-flag rules that make attack/fault configs self-consistent.
   config_.topology.validate();
   config_.governor.rep.validate();
   config_.governor.enable_label_gossip |= config_.enable_label_gossip;
@@ -28,430 +25,54 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
     config_.governor.watchdog_rounds = 2;
   }
 
-  net_ = std::make_unique<net::SimNetwork>(queue_, rng_.derive(1), config_.latency);
-  transport_ = net_.get();
-  Rng key_rng = rng_.derive(2);
-  im_ = std::make_unique<identity::IdentityManager>(crypto::random_seed(key_rng));
-  oracle_ = std::make_unique<ledger::ValidationOracle>(config_.validation_cost);
+  wiring_ = std::make_unique<Wiring>(config_, rng_, queue_, observation_.observer());
+  observation_.observer().watch(wiring_->directory_.node_of(GovernorId(0)));
+  FaultPlan::install_adversary(config_, *wiring_, queue_);
+  workload_ = std::make_unique<Workload>(config_, rng_, queue_, *wiring_);
 
-  const auto& topo = config_.topology;
-
-  // Phase deadlines for the self-driving rounds, keyed to the synchrony
-  // bound Delta and the collecting-phase span.
-  timing_ = protocol::RoundTiming::derive(
-      net_->max_delay(), config_.governor.aggregation_delta,
-      static_cast<SimDuration>(topo.providers * config_.txs_per_provider_per_round) *
-          kMillisecond,
-      config_.governor.enable_label_gossip);
-
-  // Register network nodes and identities for every member, then links.
-  std::vector<crypto::SigningKey> provider_keys, collector_keys, governor_keys;
-  for (std::size_t i = 0; i < topo.providers; ++i) {
-    const NodeId node = net_->add_node();
-    directory_.add_provider(ProviderId(static_cast<std::uint32_t>(i)), node);
-    provider_keys.emplace_back(crypto::random_seed(key_rng));
-    im_->enroll(node, identity::Role::kProvider, provider_keys.back().public_key());
-  }
-  for (std::size_t i = 0; i < topo.collectors; ++i) {
-    const NodeId node = net_->add_node();
-    directory_.add_collector(CollectorId(static_cast<std::uint32_t>(i)), node);
-    collector_keys.emplace_back(crypto::random_seed(key_rng));
-    im_->enroll(node, identity::Role::kCollector, collector_keys.back().public_key());
-  }
-  for (std::size_t i = 0; i < topo.governors; ++i) {
-    const NodeId node = net_->add_node();
-    directory_.add_governor(GovernorId(static_cast<std::uint32_t>(i)), node);
-    governor_keys.emplace_back(crypto::random_seed(key_rng));
-    im_->enroll(node, identity::Role::kGovernor, governor_keys.back().public_key());
-  }
-  build_links(topo, directory_);
-  install_faults();  // replaces transport_ with the decorator when scheduled
-
-  governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
-      *transport_, directory_.governor_nodes());
-
-  // Genesis stake (retained: a restarted governor without a snapshot starts
-  // from genesis again).
-  for (std::size_t i = 0; i < topo.governors; ++i) {
-    const std::uint64_t units =
-        i < config_.governor_stakes.size() ? config_.governor_stakes[i] : 1;
-    genesis_.set(GovernorId(static_cast<std::uint32_t>(i)), units);
-  }
-
-  // Instantiate nodes behind their runtime contexts (deques keep references
-  // stable while wiring handlers).
-  for (std::size_t i = 0; i < topo.providers; ++i) {
-    const ProviderId id(static_cast<std::uint32_t>(i));
-    provider_ctxs_.emplace_back(directory_.node_of(id), *transport_,
-                                rng_.derive(3000 + i));
-    providers_.emplace_back(id, provider_ctxs_.back(), std::move(provider_keys[i]),
-                            *im_, *oracle_, directory_, config_.providers_active,
-                            config_.reliable_delivery);
-    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
-      providers_[i].on_message(m);
-    });
-  }
-  for (std::size_t i = 0; i < topo.collectors; ++i) {
-    const CollectorId id(static_cast<std::uint32_t>(i));
-    const protocol::CollectorBehavior behavior =
-        config_.behaviors.empty()
-            ? protocol::CollectorBehavior::honest()
-            : config_.behaviors[i % config_.behaviors.size()];
-    collector_ctxs_.emplace_back(directory_.node_of(id), *transport_,
-                                 rng_.derive(1000 + i));
-    collector_baselines_.push_back(behavior);
-    collectors_.emplace_back(id, collector_ctxs_.back(), std::move(collector_keys[i]),
-                             *im_, *oracle_, directory_, *governor_group_, behavior,
-                             config_.reliable_delivery);
-    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
-      collectors_[i].on_message(m);
-    });
-  }
-  if (config_.governor_visibility <= 0.0 || config_.governor_visibility > 1.0) {
-    throw ConfigError("governor_visibility must be in (0, 1]");
-  }
-  // Governors keep their rebuild material (key, visibility view, store) in
-  // the Scenario so a crashed one can be reconstructed in place.
-  governor_keys_ = std::move(governor_keys);
-  governor_byz_.assign(topo.governors, adversary::GovernorByzantine{});
-  const bool durable = config_.durable_governors || !config_.crashes.empty();
-  for (std::size_t i = 0; i < topo.governors; ++i) {
-    const GovernorId id(static_cast<std::uint32_t>(i));
-    std::vector<CollectorId> visible;
-    if (config_.governor_visibility < 1.0) {
-      const auto count = static_cast<std::size_t>(
-          std::ceil(config_.governor_visibility * static_cast<double>(topo.collectors)));
-      for (std::size_t k = 0; k < std::max<std::size_t>(count, 1); ++k) {
-        visible.push_back(
-            CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
-      }
-    }
-    governor_visible_.push_back(std::move(visible));
-    if (durable) {
-      if (config_.storage_dir.empty()) {
-        governor_stores_.push_back(std::make_unique<storage::MemoryStateStore>());
-      } else {
-        governor_stores_.push_back(std::make_unique<storage::FileStateStore>(
-            config_.storage_dir / ("gov" + std::to_string(i))));
-      }
-    }
-    governor_ctxs_.emplace_back(directory_.node_of(id), *transport_,
-                                rng_.derive(2000 + i), &observer_);
-    governors_.emplace_back();
-    governor_epochs_.push_back(0);
-    make_governor(i);
-    net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
-      if (governors_[i]) governors_[i]->on_message(m);  // null slot = crashed
-    });
-  }
-  observer_.watch(directory_.node_of(GovernorId(0)));
-  install_adversary();
-
-  rewards_.assign(topo.collectors, 0.0);
-  leader_counts_.assign(topo.governors, 0);
+  observation_.init(config_.topology.collectors, config_.topology.governors);
 }
 
 Scenario::~Scenario() = default;
-
-void Scenario::install_faults() {
-  if (config_.faults.empty()) return;
-  const auto& spec = config_.faults;
-  runtime::FaultSchedule schedule;
-  for (const auto& p : spec.partitions) {
-    runtime::PartitionFault f;
-    f.from = round_start(p.from_round);
-    f.until = round_start(p.until_round);
-    for (const std::size_t g : p.governors) {
-      f.island.push_back(directory_.node_of(GovernorId(static_cast<std::uint32_t>(g))));
-    }
-    for (const std::size_t c : p.collectors) {
-      f.island.push_back(directory_.node_of(CollectorId(static_cast<std::uint32_t>(c))));
-    }
-    for (const std::size_t pr : p.providers) {
-      f.island.push_back(directory_.node_of(ProviderId(static_cast<std::uint32_t>(pr))));
-    }
-    schedule.add(std::move(f));
-  }
-  for (const auto& l : spec.losses) {
-    schedule.add(runtime::LossFault{round_start(l.from_round),
-                                    round_start(l.until_round), l.probability,
-                                    std::nullopt});
-  }
-  for (const auto& d : spec.delay_spikes) {
-    schedule.add(runtime::DelayFault{round_start(d.from_round),
-                                     round_start(d.until_round), d.extra, d.jitter});
-  }
-  for (const auto& d : spec.duplications) {
-    schedule.add(runtime::DuplicateFault{round_start(d.from_round),
-                                         round_start(d.until_round), d.probability});
-  }
-  for (const auto& r : spec.reorders) {
-    schedule.add(runtime::ReorderFault{round_start(r.from_round),
-                                       round_start(r.until_round), r.probability,
-                                       r.max_extra});
-  }
-  // Slow links reuse the network's own per-link delay hook (they must affect
-  // broadcast deliveries scheduled by the network, not just unicasts).
-  for (const auto& ld : spec.link_delays) {
-    const NodeId a =
-        directory_.node_of(GovernorId(static_cast<std::uint32_t>(ld.from_governor)));
-    const NodeId b =
-        directory_.node_of(GovernorId(static_cast<std::uint32_t>(ld.to_governor)));
-    queue_.schedule_at(round_start(ld.from_round), [this, a, b, extra = ld.extra] {
-      net_->set_link_delay(a, b, extra);
-    });
-    queue_.schedule_at(round_start(ld.until_round),
-                       [this, a, b] { net_->set_link_delay(a, b, 0); });
-  }
-  faulty_ = std::make_unique<runtime::FaultyTransport>(*net_, std::move(schedule),
-                                                       rng_.derive(7));
-  transport_ = faulty_.get();
-}
-
-void Scenario::install_adversary() {
-  if (config_.adversary.empty()) return;
-  const auto& spec = config_.adversary;
-  // Window boundaries are enqueued here, before any round's phase timers, so
-  // a swap at round_start(r) fires ahead of round r's election (FIFO
-  // tie-break on equal deadlines). governor_byz_ is the source of truth the
-  // lambdas mutate; make_governor re-reads it, so a Byzantine governor stays
-  // Byzantine across a crash/restart inside its window.
-  const auto set_governor_flags =
-      [this](std::size_t g, auto member, bool value, std::size_t round) {
-        queue_.schedule_at(round_start(round), [this, g, member, value] {
-          governor_byz_[g].*member = value;
-          if (governors_[g]) governors_[g]->set_byzantine(governor_byz_[g]);
-        });
-      };
-  for (const auto& s : spec.equivocating_leaders) {
-    set_governor_flags(s.governor, &adversary::GovernorByzantine::equivocate_proposals,
-                       true, s.from_round);
-    set_governor_flags(s.governor, &adversary::GovernorByzantine::equivocate_proposals,
-                       false, s.until_round);
-  }
-  for (const auto& s : spec.lying_sync_peers) {
-    set_governor_flags(s.governor, &adversary::GovernorByzantine::lying_sync, true,
-                       s.from_round);
-    set_governor_flags(s.governor, &adversary::GovernorByzantine::lying_sync, false,
-                       s.until_round);
-  }
-  for (const auto& s : spec.byzantine_collectors) {
-    protocol::CollectorBehavior deviating = collector_baselines_[s.collector];
-    deviating.flip_probability = s.flip_probability;
-    deviating.forge_probability = s.forge_probability;
-    deviating.equivocate = s.equivocate;
-    deviating.flip_by_provider = s.flip_by_provider;
-    queue_.schedule_at(round_start(s.from_round),
-                       [this, c = s.collector, deviating = std::move(deviating)] {
-                         collectors_[c].set_behavior(deviating);
-                       });
-    queue_.schedule_at(round_start(s.until_round), [this, c = s.collector] {
-      collectors_[c].set_behavior(collector_baselines_[c]);
-    });
-  }
-  for (const auto& s : spec.double_spenders) {
-    queue_.schedule_at(round_start(s.from_round), [this, p = s.provider,
-                                                   probability = s.probability] {
-      providers_[p].set_double_spend(probability);
-    });
-    queue_.schedule_at(round_start(s.until_round),
-                       [this, p = s.provider] { providers_[p].set_double_spend(0.0); });
-  }
-}
-
-void Scenario::make_governor(std::size_t i) {
-  const GovernorId id(static_cast<std::uint32_t>(i));
-  storage::NodeStateStore* store =
-      governor_stores_.empty() ? nullptr : governor_stores_[i].get();
-  protocol::GovernorConfig gc = config_.governor;
-  gc.channel_epoch = governor_epochs_[i];
-  governors_[i] = std::make_unique<protocol::Governor>(
-      id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_, directory_,
-      *governor_group_, gc, genesis_, governor_visible_[i], store);
-  if (governor_byz_[i].any()) governors_[i]->set_byzantine(governor_byz_[i]);
-}
-
-void Scenario::crash_governor(std::size_t i) {
-  // Kill -9 equivalent: pending timer callbacks become no-ops, the object
-  // (and with it every byte of in-memory state) is destroyed. The store —
-  // owned by the Scenario, like a disk outlives a process — stays.
-  governor_ctxs_[i].revoke_timers();
-  governors_[i].reset();
-}
-
-void Scenario::restart_governor(std::size_t i) {
-  ++governor_epochs_[i];  // fresh ReliableChannel incarnation
-  make_governor(i);
-  governors_[i]->recover_from_store();
-  governors_[i]->sync_chain();
-}
-
-const protocol::Governor* Scenario::first_live_governor() const {
-  for (const auto& g : governors_) {
-    if (g) return g.get();
-  }
-  return nullptr;
-}
-
-void Scenario::sample_rewards() {
-  // Track leadership and distribute rewards from the leader's reputation.
-  const protocol::Governor* ref = first_live_governor();
-  if (ref == nullptr) return;
-  const auto leader = ref->round_leader();
-  if (!leader) return;
-  leader_counts_[leader->value()] += 1;
-  if (!governors_[leader->value()]) return;  // leader crashed mid-round
-  auto& leader_gov = *governors_[leader->value()];
-  if (leader_gov.chain().empty()) return;
-  const auto& block = leader_gov.chain().head();
-  std::size_t valid_txs = 0;
-  for (const auto& rec : block.txs) {
-    if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++valid_txs;
-  }
-  const double profit = config_.reward_per_valid_tx * static_cast<double>(valid_txs);
-  if (profit > 0.0) {
-    for (const auto& [c, share] : leader_gov.revenue_shares()) {
-      rewards_[c.value()] += profit * share;
-    }
-  }
-}
-
-void Scenario::run_audit() {
-  // Remaining unrevealed unchecked truths surface through "other evidence".
-  // One shared stream consumed in governor order keeps the draw sequence
-  // deterministic.
-  Rng audit = rng_.derive(20'000 + round_);
-  for (auto& g : governors_) {
-    if (!g) continue;
-    for (const auto& id : g->unrevealed_unchecked()) {
-      if (audit.bernoulli(config_.audit_probability)) {
-        (void)g->reveal_unchecked(id);
-      }
-    }
-  }
-}
 
 void Scenario::run_round() {
   ++round_;
   const SimTime t0 = queue_.now();
   // Scheduled restarts happen at the round boundary, before timers are
   // armed, so the recovered governor takes part in this round's election.
-  for (const auto& plan : config_.crashes) {
-    if (plan.restart_round == round_ && !governors_[plan.governor]) {
-      restart_governor(plan.governor);
-    }
-  }
-  RoundRecord record;
-  record.round = round_;
-  const std::uint64_t validations_before = oracle_->validations();
-  const std::uint64_t messages_before = net_->stats().messages_sent;
-  const protocol::Governor* ref = first_live_governor();
-  const double loss_before = ref ? ref->metrics().expected_loss : 0.0;
-  std::uint64_t argues_before = 0;
-  for (const auto& g : governors_) {
-    if (g) argues_before += g->metrics().argues_accepted;
-  }
+  FaultPlan::apply_restarts(config_, *wiring_, round_);
+  observation_.begin_round(round_, *wiring_);
 
   // Arm every node's phase timers (election -> screening settle -> propose ->
   // stake consensus -> audit). Node order fixes the FIFO tie-break for timers
   // sharing a deadline.
-  for (auto& g : governors_) {
-    if (g) g->arm_round(round_, t0, timing_);
+  const protocol::RoundTiming& timing = wiring_->timing_;
+  for (auto& g : wiring_->governors_) {
+    if (g) g->arm_round(round_, t0, timing);
   }
-  for (auto& p : providers_) p.arm_round(t0, timing_);
-  queue_.schedule_at(t0 + timing_.rewards_offset, [this] { sample_rewards(); });
+  for (auto& p : wiring_->providers_) p.arm_round(t0, timing);
+  queue_.schedule_at(t0 + timing.rewards_offset,
+                     [this] { observation_.sample_rewards(config_, *wiring_); });
   if (config_.audit_probability > 0.0) {
-    queue_.schedule_at(t0 + timing_.audit_offset, [this] { run_audit(); });
+    queue_.schedule_at(t0 + timing.audit_offset,
+                       [this] { workload_->run_audit(round_); });
   }
   // Scheduled crashes fire mid-round at their configured offset.
-  for (const auto& plan : config_.crashes) {
-    if (plan.crash_round == round_) {
-      queue_.schedule_at(t0 + plan.crash_offset,
-                         [this, g = plan.governor] { crash_governor(g); });
-    }
-  }
+  FaultPlan::schedule_crashes(config_, *wiring_, queue_, round_, t0);
 
   // Collecting phase: inject the workload once the election has settled.
-  queue_.run_until(t0 + timing_.workload_offset);
-  Rng workload = rng_.derive(10'000 + round_);
-  for (auto& p : providers_) {
-    for (std::size_t t = 0; t < config_.txs_per_provider_per_round; ++t) {
-      const bool valid = workload.bernoulli(config_.p_valid);
-      Bytes payload = workload.bytes(24);
-      (void)p.submit(std::move(payload), valid);
-      // Spread submissions a little so aggregation windows interleave.
-      queue_.run_until(queue_.now() + 1 * kMillisecond);
-    }
-  }
+  queue_.run_until(t0 + timing.workload_offset);
+  workload_->inject(round_);
 
   // The armed timers drive every remaining phase; just run the clock to the
   // round boundary.
-  queue_.run_until(t0 + timing_.round_span);
+  queue_.run_until(t0 + timing.round_span);
 
-  record.leader = observer_.leader(round_);
-  record.block_txs = observer_.block_txs(round_);
-  record.validations_delta = oracle_->validations() - validations_before;
-  record.messages_delta = net_->stats().messages_sent - messages_before;
-  ref = first_live_governor();
-  record.expected_loss_delta =
-      (ref ? ref->metrics().expected_loss : 0.0) - loss_before;
-  std::uint64_t argues_after = 0;
-  for (const auto& g : governors_) {
-    if (g) argues_after += g->metrics().argues_accepted;
-  }
-  record.argues_delta = argues_after - argues_before;
-  history_.push_back(record);
+  observation_.end_round(*wiring_);
 }
 
 void Scenario::run() {
   for (std::size_t i = 0; i < config_.rounds; ++i) run_round();
-}
-
-ScenarioSummary Scenario::summary() const {
-  ScenarioSummary s;
-  for (const auto& p : providers_) s.txs_submitted += p.submitted();
-
-  // Currently-dead governors are excluded: the summary reflects the view of
-  // the live replicas (agreement/audit over a null chain is meaningless).
-  const protocol::Governor* ref = first_live_governor();
-  if (ref == nullptr) return s;
-  const auto& chain0 = ref->chain();
-  s.blocks = chain0.height();
-  s.chain_valid_txs = chain0.count_status(ledger::TxStatus::kCheckedValid);
-  s.chain_unchecked_txs = chain0.count_status(ledger::TxStatus::kUncheckedInvalid);
-  s.chain_argued_txs = chain0.count_status(ledger::TxStatus::kArguedValid);
-
-  s.agreement = true;
-  s.chains_audit_ok = true;
-  s.stalled_events = observer_.stalled_events();
-  s.byzantine_evidence = observer_.byzantine_evidence();
-  for (const auto& g : governors_) {
-    if (!g) continue;
-    s.chains_audit_ok = s.chains_audit_ok && g->chain().audit();
-    if (g.get() != ref) {
-      s.agreement =
-          s.agreement && ledger::ChainStore::same_prefix(chain0, g->chain());
-    }
-  }
-
-  s.validations_total = oracle_->validations();
-  double exp_loss = 0.0, real_loss = 0.0;
-  std::uint64_t mistakes = 0;
-  std::size_t live = 0;
-  for (const auto& g : governors_) {
-    if (!g) continue;
-    ++live;
-    exp_loss += g->metrics().expected_loss;
-    real_loss += g->metrics().realized_loss;
-    mistakes += g->metrics().mistakes;
-  }
-  const double m = static_cast<double>(live);
-  s.mean_governor_expected_loss = exp_loss / m;
-  s.mean_governor_realized_loss = real_loss / m;
-  s.mean_governor_mistakes =
-      static_cast<std::uint64_t>(static_cast<double>(mistakes) / m);
-  s.network = net_->stats();
-  return s;
 }
 
 }  // namespace repchain::sim

@@ -1,213 +1,27 @@
 #pragma once
 
-#include <deque>
-#include <filesystem>
-#include <memory>
-#include <optional>
-#include <vector>
+// Thin facade over the simulation harness. The run specification lives in
+// sim/harness/spec.hpp; the machinery is decomposed under sim/harness/ —
+// Wiring (node construction + transport/storage plumbing), FaultPlan
+// (fault/adversary/crash lowering), Workload (provider traffic + audits),
+// Observation (passive measurement + summary). Scenario owns the EventLoop
+// and orchestrates the round loop; everything else delegates.
 
-#include "adversary/spec.hpp"
-#include "identity/identity_manager.hpp"
-#include "ledger/validation_oracle.hpp"
-#include "net/network.hpp"
-#include "protocol/collector.hpp"
-#include "protocol/governor.hpp"
-#include "protocol/provider.hpp"
-#include "protocol/round_timing.hpp"
-#include "runtime/atomic_broadcast.hpp"
-#include "runtime/fault_schedule.hpp"
-#include "runtime/node_context.hpp"
+#include <deque>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/event_queue.hpp"
+#include "sim/harness/observation.hpp"
+#include "sim/harness/spec.hpp"
+#include "sim/harness/wiring.hpp"
+#include "sim/harness/workload.hpp"
 #include "sim/round_observer.hpp"
-#include "sim/topology.hpp"
-#include "storage/node_state_store.hpp"
 
 namespace repchain::sim {
 
-/// One scheduled crash/restart fault: the governor loses all in-memory state
-/// at `crash_round` + `crash_offset` (its pending timers are revoked, its
-/// object destroyed) and is rebuilt at the start of `restart_round` from its
-/// NodeStateStore — recover_from_store + sync_chain — before that round's
-/// timers are armed. Rounds are 1-based, matching Scenario::current_round().
-struct CrashPlan {
-  std::size_t governor = 0;
-  std::size_t crash_round = 1;
-  SimDuration crash_offset = 0;  // within the round, relative to its t0
-  std::size_t restart_round = 2;
-};
-
-// --- Round-based network fault specs -----------------------------------------
-//
-// Declarative fault windows expressed in 1-based round numbers; the Scenario
-// lowers them onto the FaultSchedule's absolute time windows using the
-// derived RoundTiming (round r spans [(r-1), r) * round_span). Every window
-// is half-open: [from_round, until_round).
-
-/// Cut the island (governor/collector/provider indices) off from everyone
-/// else; traffic within the island and among outsiders still flows. The
-/// partition heals at until_round.
-struct PartitionSpec {
-  std::size_t from_round = 1;
-  std::size_t until_round = 2;
-  std::vector<std::size_t> governors;
-  std::vector<std::size_t> collectors;
-  std::vector<std::size_t> providers;
-};
-
-/// Burst loss on every link.
-struct LossSpec {
-  std::size_t from_round = 1;
-  std::size_t until_round = 2;
-  double probability = 0.0;
-};
-
-/// Global delay spike (extra + uniform jitter on every drawn delay). May
-/// deliberately exceed the synchrony bound Delta.
-struct DelaySpikeSpec {
-  std::size_t from_round = 1;
-  std::size_t until_round = 2;
-  SimDuration extra = 0;
-  SimDuration jitter = 0;
-};
-
-/// Message duplication.
-struct DuplicationSpec {
-  std::size_t from_round = 1;
-  std::size_t until_round = 2;
-  double probability = 0.0;
-};
-
-/// Bounded reordering of unicasts.
-struct ReorderSpec {
-  std::size_t from_round = 1;
-  std::size_t until_round = 2;
-  double probability = 0.0;
-  SimDuration max_extra = 5 * kMillisecond;
-};
-
-/// One slow governor-to-governor link (SimNetwork::set_link_delay), applied
-/// at from_round and removed at until_round.
-struct LinkDelaySpec {
-  std::size_t from_round = 1;
-  std::size_t until_round = 2;
-  std::size_t from_governor = 0;
-  std::size_t to_governor = 1;
-  SimDuration extra = 0;
-};
-
-/// The full declarative fault plan of a run.
-struct FaultScheduleSpec {
-  std::vector<PartitionSpec> partitions;
-  std::vector<LossSpec> losses;
-  std::vector<DelaySpikeSpec> delay_spikes;
-  std::vector<DuplicationSpec> duplications;
-  std::vector<ReorderSpec> reorders;
-  std::vector<LinkDelaySpec> link_delays;
-
-  [[nodiscard]] bool empty() const {
-    return partitions.empty() && losses.empty() && delay_spikes.empty() &&
-           duplications.empty() && reorders.empty() && link_delays.empty();
-  }
-};
-
-/// Full scenario configuration: topology, protocol parameters, workload and
-/// fault mix. One Scenario = one deterministic whole-protocol run.
-struct ScenarioConfig {
-  TopologyConfig topology;
-  protocol::GovernorConfig governor;
-  net::LatencyModel latency;
-
-  std::size_t rounds = 10;
-  std::size_t txs_per_provider_per_round = 2;
-  /// Ground-truth probability that a generated transaction is valid.
-  double p_valid = 0.8;
-  /// Providers argue over wrongly-buried transactions (Validity liveness).
-  bool providers_active = true;
-  /// Probability that the truth of a still-unrevealed unchecked transaction
-  /// surfaces through "other evidence" at the end of each round (the paper's
-  /// "real states ... are revealed sometime after"; argue only covers valid
-  /// transactions of active providers).
-  double audit_probability = 1.0;
-  /// Collector behaviours, assigned round-robin over the n collectors.
-  /// Empty => all honest.
-  std::vector<protocol::CollectorBehavior> behaviors;
-  /// Genesis stake per governor; empty => 1 unit each.
-  std::vector<std::uint64_t> governor_stakes;
-  /// Reward paid to collectors per valid transaction in an accepted block.
-  double reward_per_valid_tx = 1.0;
-  /// validate(tx) cost charged by the oracle.
-  SimDuration validation_cost = 1 * kMillisecond;
-  /// Fraction of collectors each governor perceives (1.0 = the paper's
-  /// default full connectivity). With v < 1, governor j sees the
-  /// ceil(v*n) collectors {(j + k) mod n}, staggered so views overlap.
-  double governor_visibility = 1.0;
-  /// Enable the equivocation-detection extension (label gossip between
-  /// governors after each uploading phase). Mirrors
-  /// GovernorConfig::enable_label_gossip, set here for convenience.
-  bool enable_label_gossip = false;
-
-  /// Crash/restart fault schedule (governors only). Scheduling any crash
-  /// implies durable_governors.
-  std::vector<CrashPlan> crashes;
-  /// Network fault plan (partitions, loss, delay spikes, duplication,
-  /// reordering, slow links), applied through a FaultyTransport decorator.
-  /// Scheduling any fault defaults the governors' liveness watchdog on
-  /// (watchdog_rounds = 2) unless the config sets it explicitly.
-  FaultScheduleSpec faults;
-  /// In-protocol Byzantine behavior plan (equivocating leaders, lying sync
-  /// peers, Byzantine collectors, double-spending providers), expressed in
-  /// the same round-windowed style as `faults`. A non-empty plan switches the
-  /// governors' Byzantine defenses on (GovernorConfig::byzantine_defense and
-  /// label gossip) — attacks without their paired defenses are not a
-  /// supported configuration.
-  adversary::AdversarySpec adversary;
-  /// Route protocol traffic through per-node ReliableChannels (ack +
-  /// retransmit + backoff) and let elections close on a majority quorum.
-  /// Mirrors GovernorConfig::reliable_delivery and enables the same mode on
-  /// providers and collectors.
-  bool reliable_delivery = false;
-  /// Attach a NodeStateStore to every governor even without crashes (to
-  /// measure persistence overhead or snapshot sizes).
-  bool durable_governors = false;
-  /// Directory for on-disk stores (one subdirectory per governor). Empty =>
-  /// in-memory stores, which exercise the same framed WAL/snapshot images.
-  std::filesystem::path storage_dir;
-
-  std::uint64_t seed = 1;
-};
-
-/// Per-round time series entry (what a dashboard would chart).
-struct RoundRecord {
-  Round round = 0;
-  std::optional<GovernorId> leader;
-  std::size_t block_txs = 0;            // size of this round's block
-  std::uint64_t validations_delta = 0;  // oracle validations this round
-  std::uint64_t messages_delta = 0;     // network messages this round
-  double expected_loss_delta = 0.0;     // governor 0's L increment
-  std::uint64_t argues_delta = 0;       // argues accepted (all governors)
-};
-
-/// Aggregated outcome of a run (also see per-node accessors on Scenario).
-struct ScenarioSummary {
-  std::uint64_t txs_submitted = 0;
-  std::uint64_t blocks = 0;
-  std::uint64_t chain_valid_txs = 0;
-  std::uint64_t chain_unchecked_txs = 0;
-  std::uint64_t chain_argued_txs = 0;
-  bool agreement = false;        // all governor chains share a prefix
-  bool chains_audit_ok = false;  // integrity + no-skipping on every replica
-  std::uint64_t stalled_events = 0;     // watchdog kRoundStalled, all nodes
-  std::uint64_t byzantine_evidence = 0;  // kByzantineEvidence, all nodes
-  std::uint64_t validations_total = 0;  // oracle-wide validate() calls
-  double mean_governor_expected_loss = 0.0;
-  double mean_governor_realized_loss = 0.0;
-  std::uint64_t mean_governor_mistakes = 0;
-  net::NetworkStats network;
-};
-
-/// Builds the whole system — identity manager, simulated network, per-node
-/// runtime contexts, atomic broadcast groups, providers/collectors/governors
-/// — and wires it per the topology. Rounds are self-driving: run_round arms
-/// every node's phase timers (keyed to the synchrony bound Delta via
+/// One deterministic whole-protocol run. Rounds are self-driving: run_round
+/// arms every node's phase timers (keyed to the synchrony bound Delta via
 /// RoundTiming), injects the collecting-phase workload, and then just runs
 /// the clock to the round boundary while a passive RoundObserver assembles
 /// the RoundRecord from emitted trace events.
@@ -226,113 +40,82 @@ class Scenario {
 
   /// Kill governor `i` right now: revoke its pending timer callbacks and
   /// destroy the object (all in-memory state is gone; its NodeStateStore,
-  /// held by the Scenario, survives). Messages to the dead node are dropped.
-  void crash_governor(std::size_t i);
+  /// held by the harness, survives). Messages to the dead node are dropped.
+  void crash_governor(std::size_t i) { wiring_->crash_governor(i); }
   /// Rebuild governor `i` from its store and start catching up with peers.
-  void restart_governor(std::size_t i);
+  void restart_governor(std::size_t i) { wiring_->restart_governor(i); }
 
-  [[nodiscard]] ScenarioSummary summary() const;
+  [[nodiscard]] ScenarioSummary summary() const {
+    return observation_.summarize(*wiring_);
+  }
 
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
-  [[nodiscard]] const protocol::RoundTiming& timing() const { return timing_; }
-  [[nodiscard]] std::deque<protocol::Provider>& providers() { return providers_; }
-  [[nodiscard]] std::deque<protocol::Collector>& collectors() { return collectors_; }
+  [[nodiscard]] const protocol::RoundTiming& timing() const { return wiring_->timing_; }
+  [[nodiscard]] std::deque<protocol::Provider>& providers() {
+    return wiring_->providers_;
+  }
+  [[nodiscard]] std::deque<protocol::Collector>& collectors() {
+    return wiring_->collectors_;
+  }
   /// Governors are held behind pointers so a crash can destroy one while the
   /// deque slot (and the network handler indexing it) stays put; a null slot
   /// is a currently-dead node.
   [[nodiscard]] std::deque<std::unique_ptr<protocol::Governor>>& governors() {
-    return governors_;
+    return wiring_->governors_;
   }
   /// Governor `i`, which must be alive.
-  [[nodiscard]] protocol::Governor& governor(std::size_t i) { return *governors_[i]; }
+  [[nodiscard]] protocol::Governor& governor(std::size_t i) {
+    return *wiring_->governors_[i];
+  }
   [[nodiscard]] const protocol::Governor& governor(std::size_t i) const {
-    return *governors_[i];
+    return *wiring_->governors_[i];
   }
   /// The store backing governor `i` (null unless durable/crash-scheduled).
   [[nodiscard]] storage::NodeStateStore* governor_store(std::size_t i) {
-    return governor_stores_.empty() ? nullptr : governor_stores_[i].get();
+    return wiring_->governor_stores_.empty() ? nullptr
+                                             : wiring_->governor_stores_[i].get();
   }
-  [[nodiscard]] const protocol::Directory& directory() const { return directory_; }
-  [[nodiscard]] ledger::ValidationOracle& oracle() { return *oracle_; }
-  [[nodiscard]] net::SimNetwork& network() { return *net_; }
+  [[nodiscard]] const protocol::Directory& directory() const {
+    return wiring_->directory_;
+  }
+  [[nodiscard]] ledger::ValidationOracle& oracle() { return *wiring_->oracle_; }
+  [[nodiscard]] net::SimNetwork& network() { return *wiring_->net_; }
   /// Fault-injection stats (null when no faults are scheduled).
   [[nodiscard]] const runtime::FaultStats* fault_stats() const {
-    return faulty_ ? &faulty_->stats() : nullptr;
+    return wiring_->faulty_ ? &wiring_->faulty_->stats() : nullptr;
   }
-  [[nodiscard]] const RoundObserver& observer() const { return observer_; }
+  [[nodiscard]] const RoundObserver& observer() const {
+    return observation_.observer();
+  }
   [[nodiscard]] net::EventQueue& queue() { return queue_; }
-  [[nodiscard]] identity::IdentityManager& identity_manager() { return *im_; }
+  [[nodiscard]] identity::IdentityManager& identity_manager() {
+    return *wiring_->im_;
+  }
   [[nodiscard]] Round current_round() const { return round_; }
 
   /// Cumulative reward paid to each collector (leader-share based, §3.4.3).
-  [[nodiscard]] const std::vector<double>& collector_rewards() const { return rewards_; }
+  [[nodiscard]] const std::vector<double>& collector_rewards() const {
+    return observation_.rewards();
+  }
   /// Rounds each governor led.
   [[nodiscard]] const std::vector<std::uint64_t>& leader_counts() const {
-    return leader_counts_;
+    return observation_.leader_counts();
   }
   /// Per-round time series (one entry per completed round).
-  [[nodiscard]] const std::vector<RoundRecord>& history() const { return history_; }
-
- private:
-  void sample_rewards();  // timer: leadership tally + collector reward split
-  void run_audit();       // timer: out-of-band reveal of unchecked truths
-  void make_governor(std::size_t i);  // (re)construct governor i in its slot
-  [[nodiscard]] const protocol::Governor* first_live_governor() const;
-  /// Lower config.faults (round windows) onto an absolute-time FaultSchedule
-  /// and build the FaultyTransport decorator; schedule the link-delay spans.
-  void install_faults();
-  /// Lower config.adversary (round windows) onto scheduled behavior swaps:
-  /// governor Byzantine flags, collector deviation profiles, and provider
-  /// double-spend rates are installed at each window start and reverted at
-  /// its end. Governor flags also persist through crash/restart rebuilds.
-  void install_adversary();
-  /// Absolute start time of 1-based round `r`.
-  [[nodiscard]] SimTime round_start(std::size_t r) const {
-    return static_cast<SimTime>(r - 1) * timing_.round_span;
+  [[nodiscard]] const std::vector<RoundRecord>& history() const {
+    return observation_.history();
   }
 
+ private:
   ScenarioConfig config_;
   Rng rng_;
   net::EventQueue queue_;
-  std::unique_ptr<net::SimNetwork> net_;
-  std::unique_ptr<runtime::FaultyTransport> faulty_;
-  runtime::Transport* transport_ = nullptr;  // faulty_ if faults, else net_
-  std::unique_ptr<identity::IdentityManager> im_;
-  std::unique_ptr<ledger::ValidationOracle> oracle_;
-  protocol::Directory directory_;
-  std::unique_ptr<runtime::AtomicBroadcastGroup> governor_group_;
-  protocol::RoundTiming timing_;
-  RoundObserver observer_;
-
-  // deques: node objects must never relocate (handlers, contexts and the
-  // governors' internal references are address-stable).
-  std::deque<runtime::NodeContext> provider_ctxs_;
-  std::deque<runtime::NodeContext> collector_ctxs_;
-  std::deque<runtime::NodeContext> governor_ctxs_;
-  std::deque<protocol::Provider> providers_;
-  std::deque<protocol::Collector> collectors_;
-  std::deque<std::unique_ptr<protocol::Governor>> governors_;
-
-  // Rebuild material for crashed governors: their signing keys, genesis
-  // stake, partial-visibility views, and (outliving the governor objects)
-  // their durable stores.
-  std::vector<crypto::SigningKey> governor_keys_;
-  protocol::StakeLedger genesis_;
-  std::vector<std::vector<CollectorId>> governor_visible_;
-  std::deque<std::unique_ptr<storage::NodeStateStore>> governor_stores_;
-  // ReliableChannel incarnation per governor, bumped on every restart so the
-  // new life's sequence space is distinct from the old one.
-  std::vector<std::uint32_t> governor_epochs_;
-  // Current adversary toggles per governor (re-applied by make_governor so a
-  // Byzantine governor stays Byzantine across a crash/restart) and the
-  // collectors' baseline behaviors (restored when a Byzantine window ends).
-  std::vector<adversary::GovernorByzantine> governor_byz_;
-  std::vector<protocol::CollectorBehavior> collector_baselines_;
+  Observation observation_;  // declared before wiring_: governor contexts
+                             // capture a pointer to its RoundObserver
+  std::unique_ptr<Wiring> wiring_;
+  std::unique_ptr<Workload> workload_;
 
   Round round_ = 0;
-  std::vector<double> rewards_;
-  std::vector<std::uint64_t> leader_counts_;
-  std::vector<RoundRecord> history_;
 };
 
 }  // namespace repchain::sim

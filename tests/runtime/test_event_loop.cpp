@@ -1,0 +1,123 @@
+// runtime::EventLoop determinism contracts. The loop's (time, seq) ordering
+// key is the simulator's entire source of event order, so these tests pin
+// the properties everything above relies on: FIFO tie-break at equal
+// timestamps (including events scheduled from inside callbacks), exact
+// cancellation semantics of RevocableTimers epochs, and bit-identical
+// replay of a mixed schedule across independent loop instances — the
+// isolation guarantee sim::ParallelSweep builds on.
+#include "runtime/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "runtime/revocable_timers.hpp"
+
+namespace repchain::runtime {
+namespace {
+
+TEST(EventLoop, SameTimestampFiresInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  // Interleave two timestamps; within each, insertion order must hold even
+  // though the priority queue itself is not stable.
+  for (int i = 0; i < 8; ++i) {
+    loop.schedule_at(i % 2 == 0 ? 10 : 20, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(loop.run(), 8u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(EventLoop, CallbackScheduledEventsKeepFifoAtSameInstant) {
+  // An event firing at t may schedule more work at t; that work must run
+  // after everything already queued for t, in the order it was added.
+  EventLoop loop;
+  std::vector<std::string> order;
+  loop.schedule_at(5, [&] {
+    order.push_back("first");
+    loop.schedule_at(5, [&] { order.push_back("nested-a"); });
+    loop.schedule_at(5, [&] { order.push_back("nested-b"); });
+  });
+  loop.schedule_at(5, [&] { order.push_back("second"); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "nested-a",
+                                             "nested-b"}));
+  EXPECT_EQ(loop.now(), 5u);
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEventsPending) {
+  EventLoop loop;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5, 10, 15, 20}) {
+    loop.schedule_at(t, [&fired, &loop] { fired.push_back(loop.now()); });
+  }
+  EXPECT_EQ(loop.run_until(12), 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10}));
+  EXPECT_EQ(loop.pending(), 2u);
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10, 15, 20}));
+}
+
+TEST(EventLoop, RevocableTimersCancelExactlyTheRevokedEpoch) {
+  EventLoop loop;
+  RevocableTimers timers(loop);
+  std::vector<int> fired;
+  timers.schedule_at(10, [&] { fired.push_back(1); });
+  timers.schedule_at(20, [&] { fired.push_back(2); });
+  timers.revoke_all();  // both armed callbacks die with the old epoch
+  timers.schedule_at(15, [&] { fired.push_back(3); });
+  loop.schedule_at(25, [&] { fired.push_back(4); });  // not revocable: lives
+  timers.revoke_all();  // kills 3, not the raw-loop 4
+  timers.schedule_at(30, [&] { fired.push_back(5); });
+  // All five events still occupy queue slots (revocation disarms, it does
+  // not unschedule), but only the live ones run.
+  EXPECT_EQ(loop.pending(), 5u);
+  loop.run();
+  EXPECT_EQ(fired, (std::vector<int>{4, 5}));
+}
+
+TEST(EventLoop, IdenticalMixedSchedulesReplayIdentically) {
+  // Two independent loops fed the same mixed schedule (duplicate
+  // timestamps, nested scheduling, a revoked epoch) must produce the same
+  // trace — the per-instance determinism ParallelSweep relies on, with no
+  // shared state between instances.
+  const auto trace = [] {
+    EventLoop loop;
+    RevocableTimers timers(loop);
+    std::vector<std::pair<SimTime, int>> out;
+    const auto mark = [&out, &loop](int tag) { out.emplace_back(loop.now(), tag); };
+    for (int i = 0; i < 4; ++i) {
+      loop.schedule_at(10, [&, i] {
+        mark(i);
+        loop.schedule_at(10, [&, i] { mark(100 + i); });
+      });
+      timers.schedule_at(30, [&, i] { mark(200 + i); });
+    }
+    loop.schedule_at(20, [&] {
+      mark(50);
+      timers.revoke_all();  // the four 200-series timers never fire
+      timers.schedule_at(30, [&] { mark(60); });
+    });
+    loop.run();
+    return out;
+  };
+  const auto a = trace();
+  const auto b = trace();
+  ASSERT_EQ(a.size(), 10u);  // 4 + 4 nested + mark(50) + mark(60)
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventLoop, SchedulingInPastThrowsAndCountsNothing) {
+  EventLoop loop;
+  loop.schedule_at(10, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(5, [] {}), NetError);
+  EXPECT_EQ(loop.processed(), 1u);
+  EXPECT_TRUE(loop.empty());
+}
+
+}  // namespace
+}  // namespace repchain::runtime

@@ -1,0 +1,98 @@
+// sim::ParallelSweep contracts: the merged output of a sharded sweep is
+// identical for any job count. Each shard here is a real Scenario run — an
+// isolated deterministic instance — so this is the end-to-end form of the
+// EventLoop isolation guarantee: parallelism buys wall-clock, never
+// different results.
+#include "sim/parallel_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace repchain::sim {
+namespace {
+
+TEST(ParallelSweep, ResolveJobsPicksAtLeastOne) {
+  EXPECT_GE(ParallelSweep::resolve_jobs(0), 1u);
+  EXPECT_EQ(ParallelSweep::resolve_jobs(1), 1u);
+  EXPECT_EQ(ParallelSweep::resolve_jobs(7), 7u);
+  EXPECT_EQ(ParallelSweep(0).jobs(), ParallelSweep::resolve_jobs(0));
+}
+
+TEST(ParallelSweep, ForEachCoversEveryIndexExactlyOnce) {
+  for (const std::size_t jobs : {1u, 3u, 8u}) {
+    const ParallelSweep sweep(jobs);
+    std::vector<std::atomic<int>> hits(17);
+    sweep.for_each(hits.size(),
+                   [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelSweep, MapMergesByIndexForAnyJobCount) {
+  const auto square = [](std::size_t i) { return i * i; };
+  const std::vector<std::size_t> serial = ParallelSweep(1).map<std::size_t>(32, square);
+  for (const std::size_t jobs : {2u, 5u, 8u}) {
+    EXPECT_EQ(ParallelSweep(jobs).map<std::size_t>(32, square), serial)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelSweep, WorkerExceptionRethrownOnCaller) {
+  const ParallelSweep sweep(4);
+  EXPECT_THROW(sweep.for_each(8,
+                              [](std::size_t i) {
+                                if (i == 5) throw std::runtime_error("shard 5");
+                              }),
+               std::runtime_error);
+}
+
+/// One sweep shard: a small full-protocol run, summarized. Builds its own
+/// Scenario from the seed — zero shared mutable state between shards.
+ScenarioSummary run_shard(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.topology = {4, 4, 3, 2};
+  cfg.rounds = 3;
+  cfg.txs_per_provider_per_round = 2;
+  cfg.p_valid = 0.7;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::noisy(0.85)};
+  cfg.seed = seed;
+  Scenario s(cfg);
+  s.run();
+  return s.summary();
+}
+
+TEST(ParallelSweep, ScenarioSweepIdenticalSerialVsEightJobs) {
+  const auto shard = [](std::size_t i) { return run_shard(900 + i); };
+  const std::vector<ScenarioSummary> serial =
+      ParallelSweep(1).map<ScenarioSummary>(8, shard);
+  const std::vector<ScenarioSummary> parallel =
+      ParallelSweep(8).map<ScenarioSummary>(8, shard);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    EXPECT_EQ(a.txs_submitted, b.txs_submitted) << i;
+    EXPECT_EQ(a.blocks, b.blocks) << i;
+    EXPECT_EQ(a.chain_valid_txs, b.chain_valid_txs) << i;
+    EXPECT_EQ(a.chain_unchecked_txs, b.chain_unchecked_txs) << i;
+    EXPECT_EQ(a.validations_total, b.validations_total) << i;
+    EXPECT_EQ(a.network.messages_sent, b.network.messages_sent) << i;
+    EXPECT_EQ(a.network.bytes_sent, b.network.bytes_sent) << i;
+    EXPECT_EQ(a.mean_governor_expected_loss, b.mean_governor_expected_loss) << i;
+    EXPECT_EQ(a.agreement, b.agreement) << i;
+    // And the runs did real work: an empty-summary false pass is impossible.
+    EXPECT_GT(a.txs_submitted, 0u) << i;
+    EXPECT_GT(a.blocks, 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace repchain::sim

@@ -30,6 +30,8 @@
 // --chaos-seeds=1`. Exit code is the number of failing seeds (0 = all
 // clean).
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -37,6 +39,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -47,8 +50,25 @@ struct Options {
   std::uint64_t seeds = 4;
   std::uint64_t base_seed = 90001;
   std::size_t rounds = 10;
+  std::uint64_t jobs = 1;
   bool byzantine = false;
 };
+
+/// printf into a growing per-seed log. Seeds may run concurrently
+/// (--jobs), so nothing inside a seed writes to stdout directly; the merged
+/// logs are emitted in seed order, making the output identical for any job
+/// count.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+}
 
 bool parse_u64(const char* arg, const char* prefix, std::uint64_t& out) {
   const std::size_t n = std::strlen(prefix);
@@ -428,38 +448,38 @@ Verdict check_byzantine(sim::Scenario& s, const sim::ScenarioConfig& cfg) {
 
 /// Failure diagnostics: the derived fault plan plus each replica's final
 /// height and sync counters, enough to reproduce and localize without rerun.
-void dump_failure(const sim::ScenarioConfig& cfg, sim::Scenario& s) {
+void dump_failure(std::string& out, const sim::ScenarioConfig& cfg, sim::Scenario& s) {
   for (const auto& l : cfg.faults.losses) {
-    std::printf("    plan: loss p=%.3f rounds [%zu,%zu)\n", l.probability,
-                l.from_round, l.until_round);
+    appendf(out, "    plan: loss p=%.3f rounds [%zu,%zu)\n", l.probability,
+            l.from_round, l.until_round);
   }
   for (const auto& d : cfg.faults.duplications) {
-    std::printf("    plan: dup p=%.3f rounds [%zu,%zu)\n", d.probability,
-                d.from_round, d.until_round);
+    appendf(out, "    plan: dup p=%.3f rounds [%zu,%zu)\n", d.probability,
+            d.from_round, d.until_round);
   }
   for (const auto& r : cfg.faults.reorders) {
-    std::printf("    plan: reorder p=%.3f max_extra=%lluus rounds [%zu,%zu)\n",
-                r.probability, static_cast<unsigned long long>(r.max_extra),
-                r.from_round, r.until_round);
+    appendf(out, "    plan: reorder p=%.3f max_extra=%lluus rounds [%zu,%zu)\n",
+            r.probability, static_cast<unsigned long long>(r.max_extra),
+            r.from_round, r.until_round);
   }
   for (const auto& ds : cfg.faults.delay_spikes) {
-    std::printf("    plan: spike extra=%lluus jitter=%lluus rounds [%zu,%zu)\n",
-                static_cast<unsigned long long>(ds.extra),
-                static_cast<unsigned long long>(ds.jitter), ds.from_round,
-                ds.until_round);
+    appendf(out, "    plan: spike extra=%lluus jitter=%lluus rounds [%zu,%zu)\n",
+            static_cast<unsigned long long>(ds.extra),
+            static_cast<unsigned long long>(ds.jitter), ds.from_round,
+            ds.until_round);
   }
   for (const auto& p : cfg.faults.partitions) {
-    std::printf("    plan: partition governors={");
-    for (std::size_t g : p.governors) std::printf(" %zu", g);
-    std::printf(" } rounds [%zu,%zu)\n", p.from_round, p.until_round);
+    appendf(out, "    plan: partition governors={");
+    for (std::size_t g : p.governors) appendf(out, " %zu", g);
+    appendf(out, " } rounds [%zu,%zu)\n", p.from_round, p.until_round);
   }
   for (const auto& c : cfg.crashes) {
-    std::printf("    plan: crash governor %zu round %zu, restart round %zu\n",
-                c.governor, c.crash_round, c.restart_round);
+    appendf(out, "    plan: crash governor %zu round %zu, restart round %zu\n",
+            c.governor, c.crash_round, c.restart_round);
   }
   for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
     if (s.governors()[g] == nullptr) {
-      std::printf("    governor %zu: dead\n", g);
+      appendf(out, "    governor %zu: dead\n", g);
       continue;
     }
     const auto& gov = s.governor(g);
@@ -468,24 +488,72 @@ void dump_failure(const sim::ScenarioConfig& cfg, sim::Scenario& s) {
       expelled += ' ';
       expelled += std::to_string(id.value());
     }
-    std::printf(
-        "    governor %zu: height=%llu synced=%llu sync_timeouts=%llu "
-        "prop_equiv=%llu evidence=%llu equiv_sent=%llu lies=%llu expelled={%s }\n",
-        g, static_cast<unsigned long long>(gov.chain().height()),
-        static_cast<unsigned long long>(gov.metrics().blocks_synced),
-        static_cast<unsigned long long>(gov.metrics().sync_timeouts),
-        static_cast<unsigned long long>(gov.metrics().proposal_equivocations),
-        static_cast<unsigned long long>(gov.metrics().byzantine_evidence),
-        static_cast<unsigned long long>(gov.metrics().byzantine_equivocations_sent),
-        static_cast<unsigned long long>(gov.metrics().byzantine_lies_served),
-        expelled.c_str());
+    appendf(out,
+            "    governor %zu: height=%llu synced=%llu sync_timeouts=%llu "
+            "prop_equiv=%llu evidence=%llu equiv_sent=%llu lies=%llu expelled={%s }\n",
+            g, static_cast<unsigned long long>(gov.chain().height()),
+            static_cast<unsigned long long>(gov.metrics().blocks_synced),
+            static_cast<unsigned long long>(gov.metrics().sync_timeouts),
+            static_cast<unsigned long long>(gov.metrics().proposal_equivocations),
+            static_cast<unsigned long long>(gov.metrics().byzantine_evidence),
+            static_cast<unsigned long long>(gov.metrics().byzantine_equivocations_sent),
+            static_cast<unsigned long long>(gov.metrics().byzantine_lies_served),
+            expelled.c_str());
   }
   for (const auto& rec : s.history()) {
-    std::printf("    round %llu: leader=%s block_txs=%zu\n",
-                static_cast<unsigned long long>(rec.round),
-                rec.leader ? std::to_string(rec.leader->value()).c_str() : "-",
-                rec.block_txs);
+    appendf(out, "    round %llu: leader=%s block_txs=%zu\n",
+            static_cast<unsigned long long>(rec.round),
+            rec.leader ? std::to_string(rec.leader->value()).c_str() : "-",
+            rec.block_txs);
   }
+}
+
+/// One fully-isolated shard: build, run, check, and render the log for a
+/// single seed. Everything it touches is local, so shards run on any worker
+/// thread of a ParallelSweep without synchronization.
+struct SeedResult {
+  bool ok = true;
+  std::string log;
+};
+
+SeedResult run_seed(const Options& opt, std::uint64_t index) {
+  const std::uint64_t seed = opt.base_seed + index;
+  const sim::ScenarioConfig cfg = opt.byzantine
+                                      ? make_byzantine_config(seed, opt.rounds)
+                                      : make_config(seed, opt.rounds);
+  sim::Scenario s(cfg);
+  s.run();
+  const Verdict v = opt.byzantine ? check_byzantine(s, cfg) : check(s, cfg);
+  const auto sum = s.summary();
+
+  std::uint64_t retransmits = 0;
+  for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
+    if (s.governors()[g] != nullptr) {
+      if (const auto* ch = s.governor(g).channel()) {
+        retransmits += ch->stats().retransmits;
+      }
+    }
+  }
+  std::uint64_t drops = 0;
+  if (const auto* fs = s.fault_stats()) {
+    drops = fs->loss_drops + fs->partition_drops;
+  }
+
+  SeedResult result;
+  result.ok = v.ok;
+  appendf(result.log,
+          "  seed %llu: blocks=%llu drops=%llu retransmits=%llu stalled=%llu "
+          "evidence=%llu -> %s%s\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(sum.blocks),
+          static_cast<unsigned long long>(drops),
+          static_cast<unsigned long long>(retransmits),
+          static_cast<unsigned long long>(sum.stalled_events),
+          static_cast<unsigned long long>(sum.byzantine_evidence),
+          v.ok ? "OK" : "FAIL:", v.why.c_str());
+  appendf(result.log, "    mix: %s\n", plan_line(cfg).c_str());
+  if (!v.ok) dump_failure(result.log, cfg, s);
+  return result;
 }
 
 }  // namespace
@@ -495,6 +563,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (parse_u64(argv[i], "--chaos-seeds=", opt.seeds)) continue;
     if (parse_u64(argv[i], "--base-seed=", opt.base_seed)) continue;
+    if (parse_u64(argv[i], "--jobs=", opt.jobs)) continue;
     if (std::strcmp(argv[i], "--byzantine") == 0) {
       opt.byzantine = true;
       continue;
@@ -506,7 +575,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: chaos_soak [--byzantine] [--chaos-seeds=N] "
-                 "[--base-seed=S] [--rounds=R]\n");
+                 "[--base-seed=S] [--rounds=R] [--jobs=N]\n");
     return 2;
   }
   if (opt.rounds < 6) {
@@ -520,45 +589,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.seeds),
               static_cast<unsigned long long>(opt.base_seed), opt.rounds);
 
+  // Shard the seeds over the worker pool; results are merged in seed order,
+  // so stdout is byte-identical for any --jobs value (the jobs note goes to
+  // stderr for exactly that reason).
+  const sim::ParallelSweep sweep(static_cast<std::size_t>(opt.jobs));
+  if (sweep.jobs() > 1) {
+    std::fprintf(stderr, "chaos_soak: running %zu seed shards on %zu threads\n",
+                 static_cast<std::size_t>(opt.seeds), sweep.jobs());
+  }
+  const std::vector<SeedResult> results = sweep.map<SeedResult>(
+      static_cast<std::size_t>(opt.seeds),
+      [&opt](std::size_t i) { return run_seed(opt, i); });
+
   int failures = 0;
-  for (std::uint64_t i = 0; i < opt.seeds; ++i) {
-    const std::uint64_t seed = opt.base_seed + i;
-    const sim::ScenarioConfig cfg = opt.byzantine
-                                        ? make_byzantine_config(seed, opt.rounds)
-                                        : make_config(seed, opt.rounds);
-    sim::Scenario s(cfg);
-    s.run();
-    const Verdict v = opt.byzantine ? check_byzantine(s, cfg) : check(s, cfg);
-    const auto sum = s.summary();
-
-    std::uint64_t retransmits = 0;
-    for (std::size_t g = 0; g < cfg.topology.governors; ++g) {
-      if (s.governors()[g] != nullptr) {
-        if (const auto* ch = s.governor(g).channel()) {
-          retransmits += ch->stats().retransmits;
-        }
-      }
-    }
-    std::uint64_t drops = 0;
-    if (const auto* fs = s.fault_stats()) {
-      drops = fs->loss_drops + fs->partition_drops;
-    }
-
-    std::printf(
-        "  seed %llu: blocks=%llu drops=%llu retransmits=%llu stalled=%llu "
-        "evidence=%llu -> %s%s\n",
-        static_cast<unsigned long long>(seed),
-        static_cast<unsigned long long>(sum.blocks),
-        static_cast<unsigned long long>(drops),
-        static_cast<unsigned long long>(retransmits),
-        static_cast<unsigned long long>(sum.stalled_events),
-        static_cast<unsigned long long>(sum.byzantine_evidence),
-        v.ok ? "OK" : "FAIL:", v.why.c_str());
-    std::printf("    mix: %s\n", plan_line(cfg).c_str());
-    if (!v.ok) {
-      dump_failure(cfg, s);
-      ++failures;
-    }
+  for (const SeedResult& result : results) {
+    std::fputs(result.log.c_str(), stdout);
+    if (!result.ok) ++failures;
   }
 
   if (failures > 0) {
