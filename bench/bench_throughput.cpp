@@ -19,6 +19,8 @@
 #include "baselines/policies.hpp"
 #include "baselines/policy_simulator.hpp"
 #include "bench_util.hpp"
+#include "runtime/poll_loop.hpp"
+#include "runtime/tcp_transport.hpp"
 #include "sim/parallel_sweep.hpp"
 #include "sim/scenario.hpp"
 
@@ -191,6 +193,67 @@ void parallel_sweep_speedup(bench::JsonReport& json) {
       .field("sweep_outputs_identical", identical ? "true" : "false");
 }
 
+// --- E7e: loopback socket throughput (TcpTransport) ---------------------------
+
+/// Real-socket counterpart of the message-count rows above: two TcpTransport
+/// endpoints on one PollLoop, a loopback TCP connection between them, and a
+/// pipelined stream of framed messages. Measures the full wire path — frame
+/// encode, non-blocking send with partial-write queueing, FrameReader
+/// reassembly, dispatch — and emits socket_* fields for trend lines.
+void socket_loopback(bench::JsonReport& json) {
+  constexpr std::size_t kMessages = 20'000;
+  constexpr std::size_t kPayload = 256;
+  constexpr std::size_t kBatch = 64;  // keep the outbuf bounded while pumping
+
+  bench::section("E7e: loopback socket throughput (" +
+                 std::to_string(kMessages) + " msgs x " +
+                 std::to_string(kPayload) + " B)");
+
+  runtime::PollLoop loop;
+  const crypto::Hash256 genesis = crypto::Sha256::hash(Bytes{7});
+  runtime::TcpTransport sender(loop, genesis);
+  runtime::TcpTransport receiver(loop, genesis);
+
+  std::size_t received = 0;
+  sender.host(NodeId(1));
+  receiver.host(NodeId(2), [&](const runtime::Message&) { ++received; });
+  sender.connect(receiver.listen(0));
+  loop.run_until(loop.now() + 2'000'000,
+                 [&] { return sender.reaches(NodeId(2)); });
+
+  Rng rng(99);
+  const Bytes payload = rng.bytes(kPayload);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  while (sent < kMessages) {
+    for (std::size_t i = 0; i < kBatch && sent < kMessages; ++i, ++sent) {
+      sender.send(NodeId(1), NodeId(2), runtime::MsgKind::kTest, payload);
+    }
+    loop.run_until(loop.now() + 1'000'000,
+                   [&] { return received + 4 * kBatch >= sent; });
+  }
+  loop.run_until(loop.now() + 10'000'000, [&] { return received == kMessages; });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto& stats = sender.stats();
+  const double mib = static_cast<double>(stats.bytes_sent) / (1024.0 * 1024.0);
+  Table table({"messages", "payload_B", "wall_s", "msgs/s", "MiB/s"});
+  table.print_header();
+  table.row({std::to_string(received), std::to_string(kPayload), fmt(wall_s, 3),
+             fmt(static_cast<double>(received) / wall_s, 0), fmt(mib / wall_s, 1)});
+  bench::note("Single-threaded: one PollLoop drives both endpoints, so this is\n"
+              "a protocol-stack cost, not a parallel-socket ceiling.");
+
+  json.field("socket_messages", bench::ju(received))
+      .field("socket_payload_bytes", bench::ju(kPayload))
+      .field("socket_frame_bytes_sent", bench::ju(stats.bytes_sent))
+      .field("socket_wall_seconds", bench::jf(wall_s))
+      .field("socket_msgs_per_second",
+             bench::jf(static_cast<double>(received) / wall_s, 1))
+      .field("socket_mib_per_second", bench::jf(mib / wall_s, 2));
+}
+
 // --- google-benchmark timings of the screening hot path ------------------------
 
 void bm_screen(benchmark::State& state) {
@@ -250,6 +313,7 @@ int main(int argc, char** argv) {
   bench::JsonReport json("throughput", 12);
   write_json_summary(json);
   parallel_sweep_speedup(json);
+  socket_loopback(json);
   json.write();
   bench::section("E7c: screening hot-path timings (google-benchmark)");
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,92 @@
+#include "cluster/sync_conn.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace repchain::cluster {
+
+SyncConn::SyncConn(int fd) : fd_(fd) {}
+
+SyncConn::~SyncConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SyncConn::send_frame(std::uint16_t type, BytesView payload) {
+  const Bytes frame = wire::encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("cluster send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+wire::Frame SyncConn::recv_frame() {
+  while (true) {
+    if (next_ < pending_.size()) {
+      wire::Frame f = std::move(pending_[next_++]);
+      if (next_ == pending_.size()) {
+        pending_.clear();
+        next_ = 0;
+      }
+      return f;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("cluster recv: ") + std::strerror(errno));
+    }
+    if (n == 0) throw NetError("cluster recv: connection closed");
+    reader_.feed(BytesView(buf, static_cast<std::size_t>(n)), pending_);
+  }
+}
+
+void SyncConn::send_error(wire::ProtocolError code,
+                          const std::string& detail) noexcept {
+  try {
+    const Bytes payload = wire::encode_error({code, detail});
+    const Bytes frame =
+        wire::encode_frame(static_cast<std::uint16_t>(wire::PacketType::kError),
+                           payload);
+    // One best-effort write; the peer may already be gone.
+    (void)::send(fd_, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  } catch (...) {
+  }
+}
+
+wire::Welcome handshake(SyncConn& conn, const wire::Welcome& local,
+                        const crypto::Hash256& genesis) {
+  conn.send_frame(static_cast<std::uint16_t>(wire::PacketType::kWelcome),
+                  wire::encode_welcome(local));
+  const wire::Frame frame = conn.recv_frame();
+  if (frame.type == static_cast<std::uint16_t>(wire::PacketType::kError)) {
+    const wire::ErrorPacket err = wire::decode_error(frame.payload);
+    throw wire::WireError(err.code, "peer rejected handshake: " + err.detail);
+  }
+  if (frame.type != static_cast<std::uint16_t>(wire::PacketType::kWelcome)) {
+    conn.send_error(wire::ProtocolError::kUnexpectedPacket,
+                    "expected a welcome");
+    throw wire::WireError(wire::ProtocolError::kUnexpectedPacket,
+                          "first packet was not a welcome");
+  }
+  try {
+    const wire::Welcome remote = wire::decode_welcome(frame.payload);
+    (void)wire::check_welcome(remote, genesis);
+    return remote;
+  } catch (const wire::WireError& e) {
+    conn.send_error(e.code(), e.what());
+    throw;
+  }
+}
+
+}  // namespace repchain::cluster

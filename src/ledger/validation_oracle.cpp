@@ -9,6 +9,7 @@ void ValidationOracle::register_tx(const TxId& id, bool valid) {
   if (!inserted && it->second != valid) {
     throw ConfigError("conflicting ground truth for transaction");
   }
+  if (inserted && register_hook_) register_hook_(id, valid);
 }
 
 bool ValidationOracle::is_registered(const TxId& id) const { return truth_.contains(id); }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "common/ids.hpp"
@@ -28,6 +29,14 @@ class ValidationOracle {
   /// Record ground truth for a transaction (workload generator only).
   void register_tx(const TxId& id, bool valid);
 
+  /// Invoked on every register_tx (after the truth is recorded). The cluster
+  /// driver uses it to forward each truth to the replica oracles living in
+  /// governor node processes; a fresh registration reaches them before any
+  /// message that could trigger validating the transaction.
+  void set_register_hook(std::function<void(const TxId&, bool)> hook) {
+    register_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] bool is_registered(const TxId& id) const;
 
   /// The governor's validate(tx): exact, counted, costed.
@@ -51,6 +60,7 @@ class ValidationOracle {
   SimDuration validation_cost_;
   std::unordered_map<TxId, bool, TxIdHash> truth_;
   std::uint64_t validations_ = 0;
+  std::function<void(const TxId&, bool)> register_hook_;
 };
 
 }  // namespace repchain::ledger

@@ -9,7 +9,7 @@ using ledger::Label;
 Collector::Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
                      const identity::IdentityManager& im,
                      ledger::ValidationOracle& oracle, const Directory& directory,
-                     runtime::AtomicBroadcastGroup& upload_group,
+                     runtime::Broadcaster& upload_group,
                      CollectorBehavior behavior, bool reliable_delivery)
     : id_(id),
       ctx_(ctx),

@@ -9,7 +9,7 @@
 #include "identity/identity_manager.hpp"
 #include "ledger/validation_oracle.hpp"
 #include "protocol/directory.hpp"
-#include "runtime/atomic_broadcast.hpp"
+#include "runtime/broadcaster.hpp"
 #include "runtime/node_context.hpp"
 #include "runtime/reliable_channel.hpp"
 
@@ -92,7 +92,7 @@ class Collector {
   /// collector steps outside the delivery primitive either way).
   Collector(CollectorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
             const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
-            const Directory& directory, runtime::AtomicBroadcastGroup& upload_group,
+            const Directory& directory, runtime::Broadcaster& upload_group,
             CollectorBehavior behavior, bool reliable_delivery = false);
 
   /// Network delivery entry point (kProviderTx messages).
@@ -123,7 +123,7 @@ class Collector {
   const identity::IdentityManager& im_;
   ledger::ValidationOracle& oracle_;
   const Directory& directory_;
-  runtime::AtomicBroadcastGroup& upload_group_;
+  runtime::Broadcaster& upload_group_;
   CollectorBehavior behavior_;
   CollectorStats stats_;
   std::optional<runtime::ReliableChannel> channel_;

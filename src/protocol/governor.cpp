@@ -8,7 +8,7 @@ namespace repchain::protocol {
 Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
                    const identity::IdentityManager& im,
                    ledger::ValidationOracle& oracle, const Directory& directory,
-                   runtime::AtomicBroadcastGroup& governor_group, GovernorConfig config,
+                   runtime::Broadcaster& governor_group, GovernorConfig config,
                    StakeLedger genesis_stake, std::vector<CollectorId> visible_collectors,
                    storage::NodeStateStore* store)
     : id_(id),

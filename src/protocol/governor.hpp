@@ -23,7 +23,7 @@
 #include "protocol/screening.hpp"
 #include "protocol/screening_intake.hpp"
 #include "protocol/stake_consensus.hpp"
-#include "runtime/atomic_broadcast.hpp"
+#include "runtime/broadcaster.hpp"
 #include "runtime/node_context.hpp"
 #include "runtime/reliable_channel.hpp"
 #include "storage/node_state_store.hpp"
@@ -57,7 +57,7 @@ class Governor {
   /// call recover_from_store() to replay a previous incarnation's state.
   Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey key,
            const identity::IdentityManager& im, ledger::ValidationOracle& oracle,
-           const Directory& directory, runtime::AtomicBroadcastGroup& governor_group,
+           const Directory& directory, runtime::Broadcaster& governor_group,
            GovernorConfig config, StakeLedger genesis_stake,
            std::vector<CollectorId> visible_collectors = {},
            storage::NodeStateStore* store = nullptr);
@@ -263,7 +263,7 @@ class Governor {
   const identity::IdentityManager& im_;
   ledger::ValidationOracle& oracle_;
   const Directory& directory_;
-  runtime::AtomicBroadcastGroup& group_;
+  runtime::Broadcaster& group_;
   GovernorConfig config_;
   std::set<CollectorId> visible_;  // empty = all
 

@@ -11,7 +11,7 @@
 #include "protocol/directory.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/stake.hpp"
-#include "runtime/atomic_broadcast.hpp"
+#include "runtime/broadcaster.hpp"
 #include "runtime/transport.hpp"
 
 namespace repchain::protocol {
@@ -29,7 +29,7 @@ class StakeConsensus {
  public:
   StakeConsensus(GovernorId self, NodeId node, const crypto::SigningKey& key,
                  const identity::IdentityManager& im, const Directory& directory,
-                 runtime::Transport& transport, runtime::AtomicBroadcastGroup& group,
+                 runtime::Transport& transport, runtime::Broadcaster& group,
                  StakeLedger genesis)
       : self_(self), node_(node), key_(key), im_(im), directory_(directory),
         transport_(transport), group_(group), stake_(std::move(genesis)) {}
@@ -113,7 +113,7 @@ class StakeConsensus {
   const identity::IdentityManager& im_;
   const Directory& directory_;
   runtime::Transport& transport_;
-  runtime::AtomicBroadcastGroup& group_;
+  runtime::Broadcaster& group_;
 
   StakeLedger stake_;
   std::uint64_t next_seq_ = 0;

@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "runtime/broadcaster.hpp"
 #include "runtime/transport.hpp"
 
 namespace repchain::runtime {
@@ -21,7 +22,7 @@ namespace repchain::runtime {
 /// delayed (within the synchrony bound) so that members observe broadcasts
 /// in exactly sequence order. Per-member delivery times still vary inside
 /// the latency bound, as the real primitive allows.
-class AtomicBroadcastGroup {
+class AtomicBroadcastGroup final : public Broadcaster {
  public:
   /// `members` receive every broadcast (a broadcasting member also delivers
   /// to itself iff it is in `members`).
@@ -29,9 +30,11 @@ class AtomicBroadcastGroup {
 
   /// Totally-ordered broadcast of `payload` from `from` to all members.
   /// The single total order covers all kinds sent through this group.
-  void broadcast(NodeId from, MsgKind kind, const Bytes& payload);
+  void broadcast(NodeId from, MsgKind kind, const Bytes& payload) override;
 
-  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] const std::vector<NodeId>& members() const override {
+    return members_;
+  }
   [[nodiscard]] std::uint64_t sequence() const { return next_seq_; }
 
  private:

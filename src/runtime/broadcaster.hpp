@@ -1,0 +1,27 @@
+#pragma once
+
+// The total-order broadcast seam protocol nodes are written against.
+// AtomicBroadcastGroup is the in-process sequencer realization; the cluster
+// layer substitutes a proxy that ships each broadcast to the driver's
+// sequencer, so governors run unchanged in a separate process.
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "runtime/message.hpp"
+
+namespace repchain::runtime {
+
+class Broadcaster {
+ public:
+  virtual ~Broadcaster() = default;
+
+  /// Totally-ordered broadcast of `payload` from `from` to all members.
+  virtual void broadcast(NodeId from, MsgKind kind, const Bytes& payload) = 0;
+
+  /// The fixed member set every broadcast reaches.
+  [[nodiscard]] virtual const std::vector<NodeId>& members() const = 0;
+};
+
+}  // namespace repchain::runtime

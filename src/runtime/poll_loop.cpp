@@ -1,0 +1,91 @@
+#include "runtime/poll_loop.hpp"
+
+#include <poll.h>
+#include <time.h>
+
+#include <utility>
+
+namespace repchain::runtime {
+namespace {
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+PollLoop::PollLoop() : epoch_ns_(monotonic_ns()) {}
+
+SimTime PollLoop::now() const { return (monotonic_ns() - epoch_ns_) / 1000; }
+
+void PollLoop::schedule_at(SimTime t, Callback cb) {
+  timers_.push(Timer{t, next_seq_++, std::move(cb)});
+}
+
+void PollLoop::watch(int fd, short events, FdCallback cb) {
+  watches_[fd] = {events, std::move(cb)};
+}
+
+void PollLoop::set_events(int fd, short events) {
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.first = events;
+}
+
+void PollLoop::unwatch(int fd) { watches_.erase(fd); }
+
+void PollLoop::fire_due() {
+  while (!timers_.empty() && timers_.top().at <= now()) {
+    // Copy out before pop: the callback may arm new timers.
+    Callback cb = timers_.top().cb;
+    timers_.pop();
+    cb();
+  }
+}
+
+void PollLoop::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(watches_.size());
+  for (const auto& [fd, entry] : watches_) {
+    fds.push_back(pollfd{fd, entry.first, 0});
+  }
+  if (fds.empty()) {
+    // Nothing to multiplex: sleep on a disarmed poll so timers still pace us.
+    (void)poll(nullptr, 0, timeout_ms);
+    return;
+  }
+  const int n = poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  if (n <= 0) return;  // timeout or EINTR; timers handle the rest
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    // The callback may watch/unwatch fds (accept, close); re-check that this
+    // fd is still registered before dispatching to it.
+    const auto it = watches_.find(p.fd);
+    if (it == watches_.end()) continue;
+    FdCallback cb = it->second.second;  // copy: the callback may replace itself
+    cb(p.revents);
+  }
+}
+
+void PollLoop::run_until(SimTime deadline) {
+  run_until(deadline, [] { return false; });
+}
+
+bool PollLoop::run_until(SimTime deadline, const std::function<bool()>& pred) {
+  for (;;) {
+    fire_due();
+    if (pred()) return true;
+    const SimTime t = now();
+    if (t >= deadline) return false;
+    SimTime wake = deadline;
+    if (!timers_.empty() && timers_.top().at < wake) wake = timers_.top().at;
+    const SimTime wait_us = wake > t ? wake - t : 0;
+    // Round up so a sub-millisecond timer is not spun on a 0ms poll.
+    const int timeout_ms = static_cast<int>((wait_us + 999) / 1000);
+    poll_once(timeout_ms);
+  }
+}
+
+}  // namespace repchain::runtime

@@ -1,0 +1,73 @@
+#pragma once
+
+// A poll(2)-driven event loop implementing the TimerService contract over
+// the monotonic clock — the production-runtime counterpart of the simulated
+// EventLoop. Protocol components schedule timers against it exactly as they
+// do against the discrete-event queue; the loop additionally multiplexes
+// non-blocking file descriptors for the TcpTransport. Single-threaded by
+// design: fd callbacks and timer callbacks all run on the thread inside
+// run_until(), so no component needs locks.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "runtime/timer.hpp"
+
+namespace repchain::runtime {
+
+class PollLoop final : public TimerService {
+ public:
+  using FdCallback = std::function<void(short revents)>;
+
+  PollLoop();
+
+  /// Microseconds of monotonic time since the loop was constructed. Shares
+  /// SimTime's unit so RoundTiming/ReliableChannel arithmetic carries over.
+  [[nodiscard]] SimTime now() const override;
+
+  /// Timers armed for the same instant fire in arming order, matching the
+  /// EventLoop guarantee the round machinery relies on.
+  void schedule_at(SimTime t, Callback cb) override;
+
+  /// Watch `fd` for `events` (POLLIN/POLLOUT); replaces any existing watch.
+  void watch(int fd, short events, FdCallback cb);
+  /// Change the event mask of an existing watch (keeps the callback).
+  void set_events(int fd, short events);
+  void unwatch(int fd);
+
+  /// Poll fds and fire due timers until the clock passes `deadline`.
+  void run_until(SimTime deadline);
+  /// Same, but returns early (true) as soon as `pred()` holds. `pred` is
+  /// evaluated after every poll wakeup and timer batch.
+  bool run_until(SimTime deadline, const std::function<bool()>& pred);
+
+  [[nodiscard]] std::size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct TimerOrder {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  /// Fire every timer due at or before the current instant.
+  void fire_due();
+  /// One poll(2) round with the given timeout in milliseconds.
+  void poll_once(int timeout_ms);
+
+  std::uint64_t epoch_ns_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
+  std::unordered_map<int, std::pair<short, FdCallback>> watches_;
+};
+
+}  // namespace repchain::runtime

@@ -1,0 +1,161 @@
+#pragma once
+
+// A real-socket realization of the Transport seam. Non-blocking TCP
+// connections are driven by a PollLoop; every connection starts with the
+// wire-protocol welcome exchange (version negotiation + genesis check) and
+// then carries length-framed packets encoded by the shared wire codec, so a
+// message on a socket is byte-identical to the same message in the
+// simulator. Protocol nodes, ReliableChannel, FaultyTransport and the
+// atomic-broadcast layer run unchanged on top.
+//
+// Single-threaded like the rest of the runtime: all socket callbacks and
+// timers run inside the owning PollLoop's run_until().
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/message.hpp"
+#include "runtime/poll_loop.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/transport.hpp"
+#include "wire/frame.hpp"
+#include "wire/protocol_error.hpp"
+
+namespace repchain::runtime {
+
+/// Traffic and error counters for one transport endpoint.
+struct TcpStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;  // no route to destination
+  std::uint64_t bytes_sent = 0;        // frame bytes queued, header included
+  std::uint64_t frames_received = 0;
+  std::uint64_t duplicates_ignored = 0;
+  std::uint64_t connections_opened = 0;    // outbound attempts
+  std::uint64_t connections_accepted = 0;  // inbound accepts
+  std::uint64_t protocol_errors = 0;
+  wire::ProtocolError last_error = wire::ProtocolError::kNone;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  struct Options {
+    /// The synchrony bound Delta reported to the protocol stack.
+    SimDuration max_delay = 10 * kMillisecond;
+    /// Frame payload bound fed to every connection's FrameReader.
+    std::size_t max_payload = wire::kDefaultMaxPayload;
+  };
+
+  TcpTransport(PollLoop& loop, crypto::Hash256 genesis)
+      : TcpTransport(loop, genesis, Options{}) {}
+  TcpTransport(PollLoop& loop, crypto::Hash256 genesis, Options opts);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Register a node living on this endpoint; its id is announced in the
+  /// welcome packet of every connection. Handler may be installed later.
+  void host(NodeId id, Handler handler = nullptr);
+  void set_handler(NodeId id, Handler handler);
+
+  /// Trace sink for kProtocolError events (may be null).
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Bind + listen on loopback (`port` 0 picks an ephemeral port). Returns
+  /// the actual bound port. Throws NetError on socket failure.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Open a non-blocking outbound connection to loopback:`port`; the
+  /// welcome exchange begins once the connect completes.
+  void connect(std::uint16_t port);
+
+  /// Adopt one end of an already-connected socket (e.g. socketpair) and run
+  /// the welcome exchange over it. Takes ownership of `fd`.
+  void adopt(int fd);
+
+  /// True once a welcome naming `id` has been accepted (or `id` is local).
+  [[nodiscard]] bool reaches(NodeId id) const;
+  /// Connections that completed the welcome exchange.
+  [[nodiscard]] std::size_t established() const;
+
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+
+  // --- Transport -------------------------------------------------------------
+
+  void send(NodeId from, NodeId to, MsgKind kind, Bytes payload) override;
+  void multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
+                 const Bytes& payload) override;
+  [[nodiscard]] SimDuration max_delay() const override {
+    return opts_.max_delay;
+  }
+  [[nodiscard]] TimerService& timers() override { return loop_; }
+  /// The broadcast layer schedules deliveries with this; a socket has no
+  /// simulated latency model, so the bound itself is the deterministic draw.
+  [[nodiscard]] SimDuration draw_delay() override { return opts_.max_delay; }
+  void deliver_direct(const Message& msg) override;
+  void count_broadcast(MsgKind kind, std::size_t copies,
+                       std::size_t payload_bytes) override;
+
+ private:
+  struct Conn {
+    enum class State : std::uint8_t {
+      kConnecting,    // outbound, waiting for connect(2) to complete
+      kAwaitWelcome,  // welcome sent, peer's not yet received
+      kEstablished,
+    };
+
+    explicit Conn(int f, State s, std::size_t max_payload)
+        : fd(f), state(s), reader(max_payload) {}
+
+    int fd;
+    State state;
+    wire::FrameReader reader;
+    Bytes outbuf;                // unsent frame bytes (partial-write queue)
+    std::size_t out_off = 0;     // consumed prefix of outbuf
+    std::vector<NodeId> hosted;  // routes learned from the peer's welcome
+  };
+
+  void start_handshake(Conn& conn);
+  void on_readable(int fd);
+  void on_writable(int fd);
+  void handle_frame(Conn& conn, const wire::Frame& frame);
+  void handle_welcome(Conn& conn, const wire::Frame& frame);
+  void dispatch(Message msg, bool restamp);
+  /// Queue frame bytes on the connection, flushing as far as the socket
+  /// accepts and arming POLLOUT for the rest.
+  void queue_frame(Conn& conn, std::uint16_t type, BytesView payload);
+  void flush(Conn& conn);
+  /// Record the violation, best-effort send a kError packet, close.
+  void fail_conn(Conn& conn, wire::ProtocolError code, std::string detail);
+  void close_conn(int fd);
+  void update_events(Conn& conn);
+  [[nodiscard]] Conn* route(NodeId to);
+  [[nodiscard]] NodeId trace_node() const;
+
+  PollLoop& loop_;
+  crypto::Hash256 genesis_;
+  Options opts_;
+  TraceSink* trace_ = nullptr;
+  std::uint64_t nonce_ = 0;
+  int listen_fd_ = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;  // by fd
+  std::unordered_map<NodeId, int> routes_;                // remote id -> fd
+  std::vector<NodeId> local_ids_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  // Highest broadcast sequence delivered per (from, to); mirrors the
+  // SimNetwork guard so fault-injected duplicate copies stay suppressed.
+  std::unordered_map<std::uint64_t, std::uint64_t> delivered_seq_;
+  TcpStats stats_;
+};
+
+}  // namespace repchain::runtime

@@ -19,6 +19,8 @@ enum class TraceKind : std::uint8_t {
                         // (arg0 = consecutive stalled rounds at this node)
   kByzantineEvidence = 7,  // a defense caught active misbehavior
                            // (arg0 = adversary::ByzantineKind, arg1 = offender id)
+  kProtocolError = 8,      // a socket peer violated the wire protocol
+                           // (arg0 = wire::ProtocolError code, arg1 = fd)
 };
 
 struct TraceEvent {

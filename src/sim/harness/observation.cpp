@@ -4,67 +4,91 @@
 
 namespace repchain::sim {
 
-void Observation::begin_round(Round round, const Wiring& wiring) {
-  pending_ = RoundRecord{};
-  pending_.round = round;
-  validations_before_ = wiring.oracle_->validations();
-  messages_before_ = wiring.net_->stats().messages_sent;
+CounterProbe Observation::probe_counters(const Wiring& wiring) {
+  CounterProbe p;
+  p.validations = wiring.oracle_->validations();
+  p.messages = wiring.net_->stats().messages_sent;
   const protocol::Governor* ref = wiring.first_live_governor();
-  loss_before_ = ref ? ref->metrics().expected_loss : 0.0;
-  argues_before_ = 0;
+  p.ref_expected_loss = ref ? ref->metrics().expected_loss : 0.0;
   for (const auto& g : wiring.governors_) {
-    if (g) argues_before_ += g->metrics().argues_accepted;
+    if (g) p.argues += g->metrics().argues_accepted;
   }
+  return p;
 }
 
-void Observation::end_round(const Wiring& wiring) {
+void Observation::begin_round(Round round, const CounterProbe& probe) {
+  pending_ = RoundRecord{};
+  pending_.round = round;
+  before_ = probe;
+}
+
+void Observation::begin_round(Round round, const Wiring& wiring) {
+  begin_round(round, probe_counters(wiring));
+}
+
+void Observation::end_round(const CounterProbe& probe) {
   pending_.leader = observer_.leader(pending_.round);
   pending_.block_txs = observer_.block_txs(pending_.round);
-  pending_.validations_delta = wiring.oracle_->validations() - validations_before_;
-  pending_.messages_delta = wiring.net_->stats().messages_sent - messages_before_;
-  const protocol::Governor* ref = wiring.first_live_governor();
-  pending_.expected_loss_delta =
-      (ref ? ref->metrics().expected_loss : 0.0) - loss_before_;
-  std::uint64_t argues_after = 0;
-  for (const auto& g : wiring.governors_) {
-    if (g) argues_after += g->metrics().argues_accepted;
-  }
-  pending_.argues_delta = argues_after - argues_before_;
+  pending_.validations_delta = probe.validations - before_.validations;
+  pending_.messages_delta = probe.messages - before_.messages;
+  pending_.expected_loss_delta = probe.ref_expected_loss - before_.ref_expected_loss;
+  pending_.argues_delta = probe.argues - before_.argues;
   history_.push_back(pending_);
 }
 
-void Observation::sample_rewards(const ScenarioConfig& config, const Wiring& wiring) {
+void Observation::end_round(const Wiring& wiring) {
+  end_round(probe_counters(wiring));
+}
+
+void Observation::sample_rewards(const ScenarioConfig& config,
+                                 const RewardSample& sample) {
   // Track leadership and distribute rewards from the leader's reputation.
-  const protocol::Governor* ref = wiring.first_live_governor();
-  if (ref == nullptr) return;
-  const auto leader = ref->round_leader();
-  if (!leader) return;
-  leader_counts_[leader->value()] += 1;
-  if (!wiring.governors_[leader->value()]) return;  // leader crashed mid-round
-  auto& leader_gov = *wiring.governors_[leader->value()];
-  if (leader_gov.chain().empty()) return;
-  const auto& block = leader_gov.chain().head();
-  std::size_t valid_txs = 0;
-  for (const auto& rec : block.txs) {
-    if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++valid_txs;
-  }
-  const double profit = config.reward_per_valid_tx * static_cast<double>(valid_txs);
+  if (!sample.leader) return;
+  leader_counts_[sample.leader->value()] += 1;
+  if (!sample.leader_live) return;  // leader crashed mid-round
+  if (sample.chain_empty) return;
+  const double profit =
+      config.reward_per_valid_tx * static_cast<double>(sample.head_valid_txs);
   if (profit > 0.0) {
-    for (const auto& [c, share] : leader_gov.revenue_shares()) {
+    for (const auto& [c, share] : sample.shares) {
       rewards_[c.value()] += profit * share;
     }
   }
 }
 
-ScenarioSummary Observation::summarize(const Wiring& wiring) const {
+void Observation::sample_rewards(const ScenarioConfig& config, const Wiring& wiring) {
+  const protocol::Governor* ref = wiring.first_live_governor();
+  if (ref == nullptr) return;
+  RewardSample sample;
+  sample.leader = ref->round_leader();
+  if (!sample.leader) {
+    sample_rewards(config, sample);
+    return;
+  }
+  const auto& slot = wiring.governors_[sample.leader->value()];
+  sample.leader_live = slot != nullptr;
+  if (sample.leader_live) {
+    sample.chain_empty = slot->chain().empty();
+    if (!sample.chain_empty) {
+      for (const auto& rec : slot->chain().head().txs) {
+        if (rec.status != ledger::TxStatus::kUncheckedInvalid) ++sample.head_valid_txs;
+      }
+      sample.shares = slot->revenue_shares();
+    }
+  }
+  sample_rewards(config, sample);
+}
+
+ScenarioSummary Observation::summarize(
+    std::uint64_t txs_submitted, const std::vector<GovernorSnapshot>& governors,
+    std::uint64_t validations_total, const net::NetworkStats& network) const {
   ScenarioSummary s;
-  for (const auto& p : wiring.providers_) s.txs_submitted += p.submitted();
+  s.txs_submitted = txs_submitted;
 
   // Currently-dead governors are excluded: the summary reflects the view of
   // the live replicas (agreement/audit over a null chain is meaningless).
-  const protocol::Governor* ref = wiring.first_live_governor();
-  if (ref == nullptr) return s;
-  const auto& chain0 = ref->chain();
+  if (governors.empty()) return s;
+  const ledger::ChainStore& chain0 = *governors.front().chain;
   s.blocks = chain0.height();
   s.chain_valid_txs = chain0.count_status(ledger::TxStatus::kCheckedValid);
   s.chain_unchecked_txs = chain0.count_status(ledger::TxStatus::kUncheckedInvalid);
@@ -74,33 +98,42 @@ ScenarioSummary Observation::summarize(const Wiring& wiring) const {
   s.chains_audit_ok = true;
   s.stalled_events = observer_.stalled_events();
   s.byzantine_evidence = observer_.byzantine_evidence();
-  for (const auto& g : wiring.governors_) {
-    if (!g) continue;
-    s.chains_audit_ok = s.chains_audit_ok && g->chain().audit();
-    if (g.get() != ref) {
-      s.agreement =
-          s.agreement && ledger::ChainStore::same_prefix(chain0, g->chain());
+  for (const auto& g : governors) {
+    s.chains_audit_ok = s.chains_audit_ok && g.chain->audit();
+    if (g.chain != &chain0) {
+      s.agreement = s.agreement && ledger::ChainStore::same_prefix(chain0, *g.chain);
     }
   }
 
-  s.validations_total = wiring.oracle_->validations();
+  s.validations_total = validations_total;
   double exp_loss = 0.0, real_loss = 0.0;
   std::uint64_t mistakes = 0;
-  std::size_t live = 0;
-  for (const auto& g : wiring.governors_) {
-    if (!g) continue;
-    ++live;
-    exp_loss += g->metrics().expected_loss;
-    real_loss += g->metrics().realized_loss;
-    mistakes += g->metrics().mistakes;
+  for (const auto& g : governors) {
+    exp_loss += g.expected_loss;
+    real_loss += g.realized_loss;
+    mistakes += g.mistakes;
   }
-  const double m = static_cast<double>(live);
+  const double m = static_cast<double>(governors.size());
   s.mean_governor_expected_loss = exp_loss / m;
   s.mean_governor_realized_loss = real_loss / m;
   s.mean_governor_mistakes =
       static_cast<std::uint64_t>(static_cast<double>(mistakes) / m);
-  s.network = wiring.net_->stats();
+  s.network = network;
   return s;
+}
+
+ScenarioSummary Observation::summarize(const Wiring& wiring) const {
+  std::uint64_t txs_submitted = 0;
+  for (const auto& p : wiring.providers_) txs_submitted += p.submitted();
+  std::vector<GovernorSnapshot> snapshots;
+  for (const auto& g : wiring.governors_) {
+    if (!g) continue;
+    snapshots.push_back(GovernorSnapshot{&g->chain(), g->metrics().expected_loss,
+                                         g->metrics().realized_loss,
+                                         g->metrics().mistakes});
+  }
+  return summarize(txs_submitted, snapshots, wiring.oracle_->validations(),
+                   wiring.net_->stats());
 }
 
 }  // namespace repchain::sim

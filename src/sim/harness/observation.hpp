@@ -6,16 +6,51 @@
 // RoundRecord at round close, and renders the end-of-run ScenarioSummary.
 // It never injects events — everything here is read-only with respect to
 // the protocol run (sample_rewards mutates only its own tallies).
+//
+// Each measurement has two entry points: a probe-struct core (CounterProbe /
+// RewardSample / GovernorSnapshot inputs, used by the cluster driver whose
+// governors answer over RPC) and a Wiring convenience wrapper that gathers
+// the same probe from in-process objects. Both paths consume the data in the
+// same order, so a cluster run and a simulated run accumulate bit-identical
+// tallies.
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "ledger/chain.hpp"
 #include "sim/harness/spec.hpp"
 #include "sim/round_observer.hpp"
 
 namespace repchain::sim {
 
 struct Wiring;
+
+/// Counters probed at both edges of a round.
+struct CounterProbe {
+  std::uint64_t validations = 0;  // oracle validations, all replicas summed
+  std::uint64_t messages = 0;     // network messages_sent
+  double ref_expected_loss = 0.0;  // first live governor's L
+  std::uint64_t argues = 0;        // argues_accepted over all live governors
+};
+
+/// What the reward timer needs from the current leader.
+struct RewardSample {
+  std::optional<GovernorId> leader;
+  bool leader_live = false;
+  bool chain_empty = true;
+  std::size_t head_valid_txs = 0;  // head-block txs not kUncheckedInvalid
+  std::vector<std::pair<CollectorId, double>> shares;  // leader's revenue split
+};
+
+/// One governor's end-of-run state for the summary.
+struct GovernorSnapshot {
+  const ledger::ChainStore* chain = nullptr;
+  double expected_loss = 0.0;
+  double realized_loss = 0.0;
+  std::uint64_t mistakes = 0;
+};
 
 class Observation {
  public:
@@ -25,16 +60,24 @@ class Observation {
   }
 
   /// Probe the before-counters of a new round.
+  void begin_round(Round round, const CounterProbe& probe);
   void begin_round(Round round, const Wiring& wiring);
   /// Assemble and append the round's RoundRecord from the probes, the
   /// observer, and the after-counters.
+  void end_round(const CounterProbe& probe);
   void end_round(const Wiring& wiring);
 
   /// Timer target: leadership tally + collector reward split (leader-share
   /// based, §3.4.3).
+  void sample_rewards(const ScenarioConfig& config, const RewardSample& sample);
   void sample_rewards(const ScenarioConfig& config, const Wiring& wiring);
 
-  /// Aggregate a finished (or in-flight) run into a ScenarioSummary.
+  /// Aggregate a finished (or in-flight) run into a ScenarioSummary. The
+  /// snapshot list holds one entry per LIVE governor, in governor order; the
+  /// first entry is the reference replica.
+  [[nodiscard]] ScenarioSummary summarize(
+      std::uint64_t txs_submitted, const std::vector<GovernorSnapshot>& governors,
+      std::uint64_t validations_total, const net::NetworkStats& network) const;
   [[nodiscard]] ScenarioSummary summarize(const Wiring& wiring) const;
 
   [[nodiscard]] RoundObserver& observer() { return observer_; }
@@ -46,6 +89,8 @@ class Observation {
   [[nodiscard]] const std::vector<RoundRecord>& history() const { return history_; }
 
  private:
+  [[nodiscard]] static CounterProbe probe_counters(const Wiring& wiring);
+
   RoundObserver observer_;
   std::vector<double> rewards_;
   std::vector<std::uint64_t> leader_counts_;
@@ -53,10 +98,7 @@ class Observation {
 
   // Probes captured by begin_round, consumed by end_round.
   RoundRecord pending_;
-  std::uint64_t validations_before_ = 0;
-  std::uint64_t messages_before_ = 0;
-  double loss_before_ = 0.0;
-  std::uint64_t argues_before_ = 0;
+  CounterProbe before_;
 };
 
 }  // namespace repchain::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+// Spec normalization and the canonical ScenarioConfig encoding. The
+// normalization rules (implied-flag wiring that makes attack/fault configs
+// self-consistent) used to live in the Scenario constructor; they are shared
+// here so a cluster node process, handed a config blob, applies exactly the
+// same rules as the driver. The canonical encoding doubles as the genesis
+// identity of a run: its sha256 is the hash both sides of the cluster
+// handshake must present, so two processes can only talk if they were
+// configured for the same universe.
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/harness/spec.hpp"
+
+namespace repchain::sim {
+
+/// Validate the spec and apply the implied-flag rules in place (idempotent):
+/// scenario-level gossip/reliable mirror into GovernorConfig, a scheduled
+/// adversary switches the paired defenses on, fault schedules default the
+/// liveness watchdog on.
+void normalize_config(ScenarioConfig& config);
+
+/// Throws ConfigError on features a multi-process run cannot host: crash
+/// plans, network fault schedules, adversary plans, durable governors,
+/// on-disk storage — those need in-process access to the governor objects.
+void require_cluster_runnable(const ScenarioConfig& config);
+
+/// Canonical byte encoding of a cluster-runnable config. Throws ConfigError
+/// on features a multi-process run cannot host: crash plans, network fault
+/// schedules, adversary plans, durable governors, on-disk storage — those
+/// need in-process access to the governor objects.
+[[nodiscard]] Bytes encode_config(const ScenarioConfig& config);
+
+/// Inverse of encode_config. Throws DecodeError on malformed input.
+[[nodiscard]] ScenarioConfig decode_config(BytesView data);
+
+/// The run's genesis identity: sha256 of the canonical encoding of the
+/// normalized config. Presented in the cluster welcome handshake.
+[[nodiscard]] crypto::Hash256 config_genesis(const ScenarioConfig& config);
+
+}  // namespace repchain::sim

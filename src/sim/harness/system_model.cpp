@@ -1,0 +1,77 @@
+#include "sim/harness/system_model.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "crypto/keygen.hpp"
+#include "sim/topology.hpp"
+
+namespace repchain::sim {
+
+SystemModel SystemModel::build(const ScenarioConfig& config,
+                               const Rng& scenario_rng) {
+  SystemModel m;
+  Rng key_rng = scenario_rng.derive(2);
+  m.im = std::make_unique<identity::IdentityManager>(crypto::random_seed(key_rng));
+
+  const auto& topo = config.topology;
+
+  // Phase deadlines for the self-driving rounds, keyed to the synchrony
+  // bound Delta and the collecting-phase span.
+  m.timing = protocol::RoundTiming::derive(
+      config.latency.max_delay, config.governor.aggregation_delta,
+      static_cast<SimDuration>(topo.providers * config.txs_per_provider_per_round) *
+          kMillisecond,
+      config.governor.enable_label_gossip);
+
+  // Node ids and identities for every member: sequential flat ids in
+  // provider, collector, governor order (the order SimNetwork::add_node
+  // assigns them), one key drawn per member.
+  std::uint32_t next_node = 0;
+  for (std::size_t i = 0; i < topo.providers; ++i) {
+    const NodeId node(next_node++);
+    m.directory.add_provider(ProviderId(static_cast<std::uint32_t>(i)), node);
+    m.provider_keys.emplace_back(crypto::random_seed(key_rng));
+    m.im->enroll(node, identity::Role::kProvider, m.provider_keys.back().public_key());
+  }
+  for (std::size_t i = 0; i < topo.collectors; ++i) {
+    const NodeId node(next_node++);
+    m.directory.add_collector(CollectorId(static_cast<std::uint32_t>(i)), node);
+    m.collector_keys.emplace_back(crypto::random_seed(key_rng));
+    m.im->enroll(node, identity::Role::kCollector, m.collector_keys.back().public_key());
+  }
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const NodeId node(next_node++);
+    m.directory.add_governor(GovernorId(static_cast<std::uint32_t>(i)), node);
+    m.governor_keys.emplace_back(crypto::random_seed(key_rng));
+    m.im->enroll(node, identity::Role::kGovernor, m.governor_keys.back().public_key());
+  }
+  build_links(topo, m.directory);
+
+  // Genesis stake (retained: a restarted governor without a snapshot starts
+  // from genesis again).
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    const std::uint64_t units =
+        i < config.governor_stakes.size() ? config.governor_stakes[i] : 1;
+    m.genesis.set(GovernorId(static_cast<std::uint32_t>(i)), units);
+  }
+
+  if (config.governor_visibility <= 0.0 || config.governor_visibility > 1.0) {
+    throw ConfigError("governor_visibility must be in (0, 1]");
+  }
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    std::vector<CollectorId> visible;
+    if (config.governor_visibility < 1.0) {
+      const auto count = static_cast<std::size_t>(
+          std::ceil(config.governor_visibility * static_cast<double>(topo.collectors)));
+      for (std::size_t k = 0; k < std::max<std::size_t>(count, 1); ++k) {
+        visible.push_back(
+            CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
+      }
+    }
+    m.governor_visible.push_back(std::move(visible));
+  }
+  return m;
+}
+
+}  // namespace repchain::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+// The deterministic build material of a run, derived purely from the
+// normalized ScenarioConfig and the scenario Rng: node ids, key material,
+// enrolled identities, link structure, round timing, genesis stake, and the
+// governors' partial-visibility views. Extracted from Wiring so a cluster
+// node process — handed only (config, seed) — reconstructs byte-identical
+// material without a network or any live object. The derive() salts and the
+// draw order inside each stream are part of the pinned-seed contract.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "identity/identity_manager.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/round_timing.hpp"
+#include "protocol/stake.hpp"
+#include "sim/harness/spec.hpp"
+
+namespace repchain::sim {
+
+struct SystemModel {
+  std::unique_ptr<identity::IdentityManager> im;
+  protocol::Directory directory;
+  protocol::RoundTiming timing;
+  // Signing keys in enrollment order; Wiring moves them into the node
+  // objects, a cluster node host picks the one governor key it needs.
+  std::vector<crypto::SigningKey> provider_keys;
+  std::vector<crypto::SigningKey> collector_keys;
+  std::vector<crypto::SigningKey> governor_keys;
+  protocol::StakeLedger genesis;
+  std::vector<std::vector<CollectorId>> governor_visible;
+
+  /// `config` must already be normalized. Key derivation consumes one
+  /// derive(2) child stream of `scenario_rng`: the identity-manager seed
+  /// first, then provider, collector, governor keys in enrollment order.
+  /// Node ids are sequential in that same order, matching
+  /// SimNetwork::add_node. Throws ConfigError on an invalid visibility.
+  [[nodiscard]] static SystemModel build(const ScenarioConfig& config,
+                                         const Rng& scenario_rng);
+};
+
+}  // namespace repchain::sim

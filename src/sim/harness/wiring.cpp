@@ -1,10 +1,7 @@
 #include "sim/harness/wiring.hpp"
 
-#include <cmath>
 #include <string>
 
-#include "common/errors.hpp"
-#include "crypto/keygen.hpp"
 #include "sim/harness/fault_plan.hpp"
 #include "sim/round_observer.hpp"
 #include "storage/file_state_store.hpp"
@@ -12,45 +9,32 @@
 namespace repchain::sim {
 
 Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
-               RoundObserver& observer)
-    : config_(config), rng_(rng) {
+               RoundObserver& observer, RemoteGovernorLink* remote)
+    : config_(config), rng_(rng), remote_(remote) {
   net_ = std::make_unique<net::SimNetwork>(queue, rng_.derive(1), config_.latency);
   transport_ = net_.get();
-  Rng key_rng = rng_.derive(2);
-  im_ = std::make_unique<identity::IdentityManager>(crypto::random_seed(key_rng));
   oracle_ = std::make_unique<ledger::ValidationOracle>(config_.validation_cost);
 
   const auto& topo = config_.topology;
 
-  // Phase deadlines for the self-driving rounds, keyed to the synchrony
-  // bound Delta and the collecting-phase span.
-  timing_ = protocol::RoundTiming::derive(
-      net_->max_delay(), config_.governor.aggregation_delta,
-      static_cast<SimDuration>(topo.providers * config_.txs_per_provider_per_round) *
-          kMillisecond,
-      config_.governor.enable_label_gossip);
+  // The deterministic build material — keys, identities, directory, timing,
+  // genesis stake, visibility views — derives purely from (config, rng); a
+  // cluster node process rebuilds the identical model from the same inputs.
+  SystemModel model = SystemModel::build(config_, rng_);
+  im_ = std::move(model.im);
+  directory_ = std::move(model.directory);
+  timing_ = model.timing;
+  genesis_ = std::move(model.genesis);
+  governor_visible_ = std::move(model.governor_visible);
+  std::vector<crypto::SigningKey> provider_keys = std::move(model.provider_keys);
+  std::vector<crypto::SigningKey> collector_keys = std::move(model.collector_keys);
+  std::vector<crypto::SigningKey> governor_keys = std::move(model.governor_keys);
 
-  // Register network nodes and identities for every member, then links.
-  std::vector<crypto::SigningKey> provider_keys, collector_keys, governor_keys;
-  for (std::size_t i = 0; i < topo.providers; ++i) {
-    const NodeId node = net_->add_node();
-    directory_.add_provider(ProviderId(static_cast<std::uint32_t>(i)), node);
-    provider_keys.emplace_back(crypto::random_seed(key_rng));
-    im_->enroll(node, identity::Role::kProvider, provider_keys.back().public_key());
-  }
-  for (std::size_t i = 0; i < topo.collectors; ++i) {
-    const NodeId node = net_->add_node();
-    directory_.add_collector(CollectorId(static_cast<std::uint32_t>(i)), node);
-    collector_keys.emplace_back(crypto::random_seed(key_rng));
-    im_->enroll(node, identity::Role::kCollector, collector_keys.back().public_key());
-  }
-  for (std::size_t i = 0; i < topo.governors; ++i) {
-    const NodeId node = net_->add_node();
-    directory_.add_governor(GovernorId(static_cast<std::uint32_t>(i)), node);
-    governor_keys.emplace_back(crypto::random_seed(key_rng));
-    im_->enroll(node, identity::Role::kGovernor, governor_keys.back().public_key());
-  }
-  build_links(topo, directory_);
+  // Register the network node slots; SimNetwork assigns the same sequential
+  // flat ids the model derived.
+  const std::size_t total = topo.providers + topo.collectors + topo.governors;
+  for (std::size_t i = 0; i < total; ++i) (void)net_->add_node();
+
   // Replaces transport_ with the decorator when faults are scheduled.
   faulty_ = FaultPlan::install_network_faults(config_, *net_, directory_, timing_,
                                               queue, rng_);
@@ -58,14 +42,6 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
 
   governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
       *transport_, directory_.governor_nodes());
-
-  // Genesis stake (retained: a restarted governor without a snapshot starts
-  // from genesis again).
-  for (std::size_t i = 0; i < topo.governors; ++i) {
-    const std::uint64_t units =
-        i < config_.governor_stakes.size() ? config_.governor_stakes[i] : 1;
-    genesis_.set(GovernorId(static_cast<std::uint32_t>(i)), units);
-  }
 
   // Instantiate nodes behind their runtime contexts (deques keep references
   // stable while wiring handlers).
@@ -96,9 +72,6 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
       collectors_[i].on_message(m);
     });
   }
-  if (config_.governor_visibility <= 0.0 || config_.governor_visibility > 1.0) {
-    throw ConfigError("governor_visibility must be in (0, 1]");
-  }
   // Governors keep their rebuild material (key, visibility view, store) here
   // so a crashed one can be reconstructed in place.
   governor_keys_ = std::move(governor_keys);
@@ -106,16 +79,6 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
   const bool durable = config_.durable_governors || !config_.crashes.empty();
   for (std::size_t i = 0; i < topo.governors; ++i) {
     const GovernorId id(static_cast<std::uint32_t>(i));
-    std::vector<CollectorId> visible;
-    if (config_.governor_visibility < 1.0) {
-      const auto count = static_cast<std::size_t>(
-          std::ceil(config_.governor_visibility * static_cast<double>(topo.collectors)));
-      for (std::size_t k = 0; k < std::max<std::size_t>(count, 1); ++k) {
-        visible.push_back(
-            CollectorId(static_cast<std::uint32_t>((i + k) % topo.collectors)));
-      }
-    }
-    governor_visible_.push_back(std::move(visible));
     if (durable) {
       if (config_.storage_dir.empty()) {
         governor_stores_.push_back(std::make_unique<storage::MemoryStateStore>());
@@ -128,9 +91,13 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
                                 rng_.derive(2000 + i), &observer);
     governors_.emplace_back();
     governor_epochs_.push_back(0);
-    make_governor(i);
+    if (remote_ == nullptr) make_governor(i);  // remote: slot stays null
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
-      if (governors_[i]) governors_[i]->on_message(m);  // null slot = crashed
+      if (remote_ != nullptr) {
+        remote_->deliver(i, m);
+      } else if (governors_[i]) {
+        governors_[i]->on_message(m);  // null slot = crashed
+      }
     });
   }
 }

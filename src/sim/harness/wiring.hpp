@@ -23,12 +23,22 @@
 #include "runtime/fault_schedule.hpp"
 #include "runtime/node_context.hpp"
 #include "sim/harness/spec.hpp"
+#include "sim/harness/system_model.hpp"
 #include "sim/topology.hpp"
 #include "storage/node_state_store.hpp"
 
 namespace repchain::sim {
 
 class RoundObserver;
+
+/// Cluster seam: when a run hosts its governors in separate processes, the
+/// driver installs this link and Wiring forwards every network delivery
+/// addressed to governor `index` instead of constructing a local object.
+class RemoteGovernorLink {
+ public:
+  virtual ~RemoteGovernorLink() = default;
+  virtual void deliver(std::size_t index, const runtime::Message& msg) = 0;
+};
 
 /// Builds the whole system — identity manager, simulated network, per-node
 /// runtime contexts, atomic broadcast groups, providers/collectors/governors
@@ -38,9 +48,11 @@ class RoundObserver;
 /// harness works against, plus the governor crash/restart lifecycle.
 struct Wiring {
   /// `config` must already be normalized (validated, implied flags applied)
-  /// and must outlive the Wiring; governor rebuilds re-read it.
+  /// and must outlive the Wiring; governor rebuilds re-read it. With a
+  /// non-null `remote`, governor slots stay empty and deliveries to governor
+  /// nodes are forwarded through the link (multi-process cluster runs).
   Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
-         RoundObserver& observer);
+         RoundObserver& observer, RemoteGovernorLink* remote = nullptr);
   ~Wiring();
 
   Wiring(const Wiring&) = delete;
@@ -96,6 +108,8 @@ struct Wiring {
   // collectors' baseline behaviors (restored when a Byzantine window ends).
   std::vector<adversary::GovernorByzantine> governor_byz_;
   std::vector<protocol::CollectorBehavior> collector_baselines_;
+  // Cluster seam (null for ordinary in-process runs).
+  RemoteGovernorLink* remote_ = nullptr;
 };
 
 }  // namespace repchain::sim

@@ -1,29 +1,14 @@
 #include "sim/scenario.hpp"
 
 #include "sim/harness/fault_plan.hpp"
+#include "sim/harness/spec_codec.hpp"
 
 namespace repchain::sim {
 
 Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(config_.seed) {
   // Normalize the spec before any machinery sees it: validation plus the
   // implied-flag rules that make attack/fault configs self-consistent.
-  config_.topology.validate();
-  config_.governor.rep.validate();
-  config_.governor.enable_label_gossip |= config_.enable_label_gossip;
-  config_.governor.reliable_delivery |= config_.reliable_delivery;
-  // A scheduled adversary switches on the paired defenses: the Byzantine
-  // checks (proposal echo + 2Delta hold, sync corroboration, double-spend
-  // serial guard) and the label gossip the equivocation detector feeds on.
-  if (!config_.adversary.empty()) {
-    config_.governor.byzantine_defense = true;
-    config_.governor.enable_label_gossip = true;
-  }
-  // Fault schedules default the liveness watchdog on; clean runs keep it off
-  // so the crash-recovery goldens (whose stalls are the *expected* outcome of
-  // a dead governor) stay bit-identical.
-  if (!config_.faults.empty() && config_.governor.watchdog_rounds == 0) {
-    config_.governor.watchdog_rounds = 2;
-  }
+  normalize_config(config_);
 
   wiring_ = std::make_unique<Wiring>(config_, rng_, queue_, observation_.observer());
   observation_.observer().watch(wiring_->directory_.node_of(GovernorId(0)));

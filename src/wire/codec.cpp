@@ -1,0 +1,172 @@
+#include "wire/codec.hpp"
+
+#include "common/serial.hpp"
+
+namespace repchain::wire {
+namespace {
+
+/// Run a BinaryReader decode body, translating the serial layer's
+/// DecodeError (ran off the end / bad count) into kTruncatedPayload and
+/// enforcing that the payload holds nothing beyond its fields.
+template <typename Fn>
+auto decode_exact(BytesView data, Fn&& fn) {
+  BinaryReader r(data);
+  try {
+    auto value = fn(r);
+    if (r.remaining() != 0) {
+      throw WireError(ProtocolError::kTrailingBytes,
+                      std::to_string(r.remaining()) + " bytes after the last field");
+    }
+    return value;
+  } catch (const WireError&) {
+    throw;
+  } catch (const DecodeError& e) {
+    throw WireError(ProtocolError::kTruncatedPayload, e.what());
+  }
+}
+
+}  // namespace
+
+Bytes encode_message(const runtime::Message& msg) {
+  BinaryWriter w;
+  w.u32(msg.from.value());
+  w.u32(msg.to.value());
+  w.u16(static_cast<std::uint16_t>(msg.kind));
+  w.u64(msg.sent_at);
+  w.u64(msg.delivered_at);
+  w.u64(msg.seq);
+  w.bytes(msg.payload);
+  return std::move(w).take();
+}
+
+runtime::Message decode_message(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    runtime::Message m;
+    m.from = NodeId(r.u32());
+    m.to = NodeId(r.u32());
+    m.kind = static_cast<runtime::MsgKind>(r.u16());
+    m.sent_at = r.u64();
+    m.delivered_at = r.u64();
+    m.seq = r.u64();
+    m.payload = r.bytes();
+    return m;
+  });
+}
+
+Bytes encode_trace(const runtime::TraceEvent& ev) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(ev.kind));
+  w.u32(ev.node.value());
+  w.u64(ev.round);
+  w.u64(ev.arg0);
+  w.u64(ev.arg1);
+  w.u64(ev.at);
+  return std::move(w).take();
+}
+
+runtime::TraceEvent decode_trace(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    runtime::TraceEvent ev;
+    const std::uint8_t kind = r.u8();
+    if (kind < static_cast<std::uint8_t>(runtime::TraceKind::kRoundStarted) ||
+        kind > static_cast<std::uint8_t>(runtime::TraceKind::kProtocolError)) {
+      throw WireError(ProtocolError::kBadPayload,
+                      "trace kind " + std::to_string(kind) + " out of range");
+    }
+    ev.kind = static_cast<runtime::TraceKind>(kind);
+    ev.node = NodeId(r.u32());
+    ev.round = r.u64();
+    ev.arg0 = r.u64();
+    ev.arg1 = r.u64();
+    ev.at = r.u64();
+    return ev;
+  });
+}
+
+Bytes encode_welcome(const Welcome& w) {
+  BinaryWriter out;
+  out.u16(w.version_min);
+  out.u16(w.version_max);
+  out.raw(view(w.genesis));
+  out.u8(static_cast<std::uint8_t>(w.role));
+  out.u32(w.node_index);
+  out.u32(static_cast<std::uint32_t>(w.hosted.size()));
+  for (const NodeId n : w.hosted) out.u32(n.value());
+  out.u64(w.nonce);
+  return std::move(out).take();
+}
+
+Welcome decode_welcome(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    Welcome w;
+    w.version_min = r.u16();
+    w.version_max = r.u16();
+    if (w.version_min > w.version_max) {
+      throw WireError(ProtocolError::kBadPayload, "welcome version range inverted");
+    }
+    w.genesis = r.raw_array<32>();
+    const std::uint8_t role = r.u8();
+    if (role < static_cast<std::uint8_t>(Role::kPeer) ||
+        role > static_cast<std::uint8_t>(Role::kNode)) {
+      throw WireError(ProtocolError::kBadRole,
+                      "welcome role " + std::to_string(role) + " unknown");
+    }
+    w.role = static_cast<Role>(role);
+    w.node_index = r.u32();
+    const std::uint32_t hosted = r.u32();
+    r.expect_count(hosted, 4);
+    w.hosted.reserve(hosted);
+    for (std::uint32_t i = 0; i < hosted; ++i) w.hosted.push_back(NodeId(r.u32()));
+    w.nonce = r.u64();
+    return w;
+  });
+}
+
+std::uint16_t negotiate_version(std::uint16_t local_min, std::uint16_t local_max,
+                                std::uint16_t remote_min, std::uint16_t remote_max) {
+  if (remote_min > local_max) {
+    throw WireError(ProtocolError::kHighVersion,
+                    "peer speaks only versions >= " + std::to_string(remote_min) +
+                        ", ours end at " + std::to_string(local_max));
+  }
+  if (remote_max < local_min) {
+    throw WireError(ProtocolError::kLowVersion,
+                    "peer speaks only versions <= " + std::to_string(remote_max) +
+                        ", ours start at " + std::to_string(local_min));
+  }
+  return remote_max < local_max ? remote_max : local_max;
+}
+
+std::uint16_t check_welcome(const Welcome& remote, const crypto::Hash256& genesis) {
+  const std::uint16_t version = negotiate_version(kVersionMin, kVersionMax,
+                                                  remote.version_min,
+                                                  remote.version_max);
+  if (remote.genesis != genesis) {
+    throw WireError(ProtocolError::kWrongGenesis,
+                    "peer lives on a different genesis");
+  }
+  return version;
+}
+
+Bytes encode_error(const ErrorPacket& e) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(e.code));
+  w.str(e.detail);
+  return std::move(w).take();
+}
+
+ErrorPacket decode_error(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    ErrorPacket e;
+    const std::uint8_t code = r.u8();
+    if (code >= kProtocolErrorCount) {
+      throw WireError(ProtocolError::kBadPayload,
+                      "error code " + std::to_string(code) + " out of range");
+    }
+    e.code = static_cast<ProtocolError>(code);
+    e.detail = r.str();
+    return e;
+  });
+}
+
+}  // namespace repchain::wire

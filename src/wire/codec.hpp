@@ -1,0 +1,88 @@
+#pragma once
+
+// Canonical codecs for everything that crosses a socket, shared with the
+// simulator: the runtime::Message envelope (so a frame on the wire and a
+// delivery in the simulated network are the same bytes), trace events, and
+// the welcome/error handshake packets. Every decode failure is reported as
+// a WireError carrying a ProtocolError code — truncation, trailing bytes
+// and out-of-domain fields map to distinct codes so tests and peers can
+// tell them apart.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/message.hpp"
+#include "runtime/trace.hpp"
+#include "wire/frame.hpp"
+#include "wire/protocol_error.hpp"
+
+namespace repchain::wire {
+
+// --- Message envelope --------------------------------------------------------
+
+/// Full envelope: from, to, kind, payload, timestamps, broadcast sequence.
+/// Timestamps/seq ride along so the pre-ordered deliver_direct path and the
+/// lockstep cluster replay see exactly the simulator's metadata.
+[[nodiscard]] Bytes encode_message(const runtime::Message& msg);
+[[nodiscard]] runtime::Message decode_message(BytesView data);
+
+// --- Trace events ------------------------------------------------------------
+
+[[nodiscard]] Bytes encode_trace(const runtime::TraceEvent& ev);
+[[nodiscard]] runtime::TraceEvent decode_trace(BytesView data);
+
+// --- Handshake ---------------------------------------------------------------
+
+/// Endpoint roles announced in the welcome exchange.
+enum class Role : std::uint8_t {
+  kPeer = 1,    // symmetric mesh endpoint (TcpTransport)
+  kDriver = 2,  // cluster driver (hosts everything but the governors)
+  kNode = 3,    // cluster governor node process
+};
+
+/// First packet in each direction on every fresh connection, pettycoin
+/// welcome style: the version range the sender speaks, the genesis hash of
+/// the universe it lives in, its role, and the NodeIds it hosts. Either
+/// side drops the connection with a kError packet when the ranges do not
+/// overlap or the genesis differs.
+struct Welcome {
+  std::uint16_t version_min = kVersionMin;
+  std::uint16_t version_max = kVersionMax;
+  crypto::Hash256 genesis{};
+  Role role = Role::kPeer;
+  std::uint32_t node_index = 0;  // governor index for Role::kNode
+  std::vector<NodeId> hosted;    // NodeIds reachable through this endpoint
+  std::uint64_t nonce = 0;       // self-connection detection
+};
+
+[[nodiscard]] Bytes encode_welcome(const Welcome& w);
+[[nodiscard]] Welcome decode_welcome(BytesView data);
+
+/// The version both sides will speak: the highest version in both ranges.
+/// Throws WireError kHighVersion when the peer only speaks newer versions,
+/// kLowVersion when only older ones.
+[[nodiscard]] std::uint16_t negotiate_version(std::uint16_t local_min,
+                                              std::uint16_t local_max,
+                                              std::uint16_t remote_min,
+                                              std::uint16_t remote_max);
+
+/// Full admission check against local expectations: version negotiation
+/// plus the genesis-hash comparison (throws kWrongGenesis). Returns the
+/// negotiated version.
+[[nodiscard]] std::uint16_t check_welcome(const Welcome& remote,
+                                          const crypto::Hash256& genesis);
+
+// --- Error packet ------------------------------------------------------------
+
+struct ErrorPacket {
+  ProtocolError code = ProtocolError::kNone;
+  std::string detail;
+};
+
+[[nodiscard]] Bytes encode_error(const ErrorPacket& e);
+[[nodiscard]] ErrorPacket decode_error(BytesView data);
+
+}  // namespace repchain::wire

@@ -1,0 +1,74 @@
+#include "wire/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/serial.hpp"
+
+namespace repchain::wire {
+
+Bytes encode_frame(std::uint16_t type, BytesView payload, std::uint16_t version) {
+  BinaryWriter w;
+  w.u32(kMagic);
+  w.u16(version);
+  w.u16(type);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+void FrameReader::poison(ProtocolError code, const std::string& what) {
+  poisoned_ = code;
+  throw WireError(code, what);
+}
+
+void FrameReader::feed(BytesView data, std::vector<Frame>& out) {
+  if (poisoned_ != ProtocolError::kNone) {
+    throw WireError(poisoned_, "frame reader poisoned by an earlier error");
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  for (;;) {
+    if (buf_.size() < kHeaderSize) return;
+    // Fixed little-endian header reads; the BinaryReader is not used here
+    // because the buffer usually holds a partial next frame behind this one.
+    const auto rd_u32 = [&](std::size_t off) {
+      return static_cast<std::uint32_t>(buf_[off]) |
+             static_cast<std::uint32_t>(buf_[off + 1]) << 8 |
+             static_cast<std::uint32_t>(buf_[off + 2]) << 16 |
+             static_cast<std::uint32_t>(buf_[off + 3]) << 24;
+    };
+    const auto rd_u16 = [&](std::size_t off) {
+      return static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf_[off]) |
+                                        static_cast<std::uint16_t>(buf_[off + 1]) << 8);
+    };
+    if (rd_u32(0) != kMagic) {
+      poison(ProtocolError::kBadMagic, "stream does not carry the protocol magic");
+    }
+    const std::uint16_t version = rd_u16(4);
+    if (version > kVersionMax) {
+      poison(ProtocolError::kHighVersion,
+             "frame version " + std::to_string(version) + " above max " +
+                 std::to_string(kVersionMax));
+    }
+    if (version < kVersionMin) {
+      poison(ProtocolError::kLowVersion,
+             "frame version " + std::to_string(version) + " below min " +
+                 std::to_string(kVersionMin));
+    }
+    const std::uint32_t length = rd_u32(8);
+    if (length > max_payload_) {
+      poison(ProtocolError::kOversizedFrame,
+             "announced payload of " + std::to_string(length) + " bytes exceeds bound");
+    }
+    if (buf_.size() < kHeaderSize + length) return;
+    Frame f;
+    f.version = version;
+    f.type = rd_u16(6);
+    f.payload.assign(buf_.begin() + kHeaderSize,
+                     buf_.begin() + kHeaderSize + length);
+    buf_.erase(buf_.begin(), buf_.begin() + kHeaderSize + length);
+    out.push_back(std::move(f));
+  }
+}
+
+}  // namespace repchain::wire

@@ -1,0 +1,79 @@
+#pragma once
+
+// Length-framed packet layer shared by every real-socket path (TcpTransport
+// mesh, cluster driver/node RPC). One frame on the stream is
+//
+//   magic u32 | version u16 | type u16 | length u32 | payload[length]
+//
+// all little-endian. The magic pins stream alignment (a desynced or foreign
+// stream fails immediately with kBadMagic instead of misparsing), the
+// version is checked structurally against the range this build speaks, and
+// the length is bounded so a hostile peer cannot make us buffer without
+// limit. FrameReader is incremental: feed it whatever the socket returned —
+// including single bytes — and it emits complete frames as they close.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "wire/protocol_error.hpp"
+
+namespace repchain::wire {
+
+/// "RepC" in stream order (the header is little-endian).
+inline constexpr std::uint32_t kMagic = 0x43706552;
+
+/// Wire-protocol versions this build can speak, inclusive.
+inline constexpr std::uint16_t kVersionMin = 1;
+inline constexpr std::uint16_t kVersionMax = 1;
+
+inline constexpr std::size_t kHeaderSize = 12;
+
+/// Default payload bound: generous for block sync, far below anything a
+/// hostile length field could use to exhaust memory.
+inline constexpr std::size_t kDefaultMaxPayload = 8u << 20;
+
+/// Packet types in the shared (wire-level) range; subsystems extend the
+/// space from 16 upward (cluster RPC vocabulary lives there).
+enum class PacketType : std::uint16_t {
+  kWelcome = 1,  // handshake announcement (both directions)
+  kError = 2,    // ProtocolError + detail, sent before closing
+  kMessage = 3,  // canonical runtime::Message envelope (transport unicast)
+  kDirect = 4,   // pre-ordered envelope (Transport::deliver_direct path)
+};
+
+struct Frame {
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  Bytes payload;
+};
+
+/// One encoded frame, ready for the socket.
+[[nodiscard]] Bytes encode_frame(std::uint16_t type, BytesView payload,
+                                 std::uint16_t version = kVersionMax);
+
+/// Incremental frame decoder over an arbitrary chunking of the stream.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Consume `data`, appending every frame completed by it to `out`.
+  /// Throws WireError (kBadMagic / kHighVersion / kLowVersion /
+  /// kOversizedFrame) on a structurally bad header; after a throw the
+  /// reader is poisoned and every further feed re-throws.
+  void feed(BytesView data, std::vector<Frame>& out);
+
+  /// Bytes buffered toward an incomplete frame (0 on a frame boundary).
+  [[nodiscard]] std::size_t pending() const { return buf_.size(); }
+  [[nodiscard]] bool poisoned() const { return poisoned_ != ProtocolError::kNone; }
+
+ private:
+  [[noreturn]] void poison(ProtocolError code, const std::string& what);
+
+  std::size_t max_payload_;
+  Bytes buf_;
+  ProtocolError poisoned_ = ProtocolError::kNone;
+};
+
+}  // namespace repchain::wire

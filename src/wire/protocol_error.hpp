@@ -1,0 +1,72 @@
+#pragma once
+
+// Explicit wire-protocol error vocabulary, in the style of pettycoin's
+// protocol_error enum: every way a peer's byte stream can be wrong gets its
+// own code, the code travels in the kError packet that closes the
+// connection, and handshake/framing tests assert on codes rather than on
+// message strings.
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/errors.hpp"
+
+namespace repchain::wire {
+
+/// Everything that can go wrong between two endpoints before (or instead
+/// of) a protocol message being understood. Codes are wire-stable: they are
+/// sent inside kError packets, so values must never be reused.
+enum class ProtocolError : std::uint8_t {
+  kNone = 0,             // placeholder; never a valid failure
+  kBadMagic = 1,         // stream does not start with the protocol magic
+  kHighVersion = 2,      // peer only speaks versions newer than ours
+  kLowVersion = 3,       // peer only speaks versions older than ours
+  kWrongGenesis = 4,     // peer's genesis hash differs: different universe
+  kOversizedFrame = 5,   // announced payload length beyond the frame bound
+  kTruncatedPayload = 6, // payload ended before its fields did
+  kTrailingBytes = 7,    // payload longer than its fields account for
+  kBadPayload = 8,       // a field holds a value outside its domain
+  kUnknownPacket = 9,    // packet type unknown at the negotiated version
+  kBadRole = 10,         // handshake role invalid for this endpoint
+  kBadNodeIndex = 11,    // hosted-node announcement out of range/duplicate
+  kUnexpectedPacket = 12 // well-formed packet at the wrong exchange point
+};
+
+/// Number of defined codes (fuzz coverage assertions iterate the range).
+inline constexpr std::size_t kProtocolErrorCount = 13;
+
+[[nodiscard]] constexpr std::string_view to_string(ProtocolError e) {
+  switch (e) {
+    case ProtocolError::kNone: return "none";
+    case ProtocolError::kBadMagic: return "bad-magic";
+    case ProtocolError::kHighVersion: return "high-version";
+    case ProtocolError::kLowVersion: return "low-version";
+    case ProtocolError::kWrongGenesis: return "wrong-genesis";
+    case ProtocolError::kOversizedFrame: return "oversized-frame";
+    case ProtocolError::kTruncatedPayload: return "truncated-payload";
+    case ProtocolError::kTrailingBytes: return "trailing-bytes";
+    case ProtocolError::kBadPayload: return "bad-payload";
+    case ProtocolError::kUnknownPacket: return "unknown-packet";
+    case ProtocolError::kBadRole: return "bad-role";
+    case ProtocolError::kBadNodeIndex: return "bad-node-index";
+    case ProtocolError::kUnexpectedPacket: return "unexpected-packet";
+  }
+  return "invalid";
+}
+
+/// The exception every wire decode/handshake failure is reported through;
+/// carries the ProtocolError code the kError packet (and the trace event)
+/// surface.
+class WireError : public Error {
+ public:
+  WireError(ProtocolError code, const std::string& what)
+      : Error("wire [" + std::string(to_string(code)) + "]: " + what),
+        code_(code) {}
+
+  [[nodiscard]] ProtocolError code() const { return code_; }
+
+ private:
+  ProtocolError code_;
+};
+
+}  // namespace repchain::wire

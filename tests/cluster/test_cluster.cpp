@@ -1,0 +1,174 @@
+// In-process cluster harness: NodeHosts served on socketpairs from threads
+// stand in for the forked node processes, which lets the lockstep replay be
+// asserted byte-for-byte against the simulation inside one test binary, and
+// lets the admission failures (wrong genesis, future version, bad role) be
+// driven from hand-crafted welcomes.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/driver.hpp"
+#include "cluster/node_host.hpp"
+#include "cluster/sync_conn.hpp"
+#include "common/errors.hpp"
+#include "sim/harness/run_codec.hpp"
+#include "sim/harness/spec_codec.hpp"
+
+namespace repchain::cluster {
+namespace {
+
+sim::ScenarioConfig small_config() {
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 3;
+  cfg.topology.collectors = 2;
+  cfg.topology.governors = 2;
+  cfg.topology.r = 2;
+  cfg.rounds = 2;
+  cfg.txs_per_provider_per_round = 1;
+  cfg.p_valid = 0.7;
+  cfg.audit_probability = 0.5;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::noisy(0.8)};
+  cfg.seed = 7;
+  return cfg;
+}
+
+crypto::Hash256 genesis_of(sim::ScenarioConfig cfg) {
+  sim::normalize_config(cfg);
+  return sim::config_genesis(cfg);
+}
+
+/// One governor "process": a NodeHost served from a thread over a
+/// socketpair. Any WireError escaping serve() is recorded for assertions.
+struct HostThread {
+  HostThread(const sim::ScenarioConfig& config, std::size_t index, int fd)
+      : thread([config, index, fd, this] {
+          try {
+            NodeHost host(config, index);
+            host.serve(fd);
+          } catch (const wire::WireError& e) {
+            error = e.code();
+          } catch (const std::exception&) {
+            error = wire::ProtocolError::kBadPayload;  // unexpected kind
+          }
+        }) {}
+  ~HostThread() { join(); }
+
+  void join() {
+    if (thread.joinable()) thread.join();
+  }
+
+  std::thread thread;
+  wire::ProtocolError error = wire::ProtocolError::kNone;
+};
+
+std::pair<int, int> stream_pair() {
+  int sv[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  return {sv[0], sv[1]};
+}
+
+TEST(Cluster, LockstepReplayMatchesSimulationByteForByte) {
+  const sim::ScenarioConfig config = small_config();
+  const crypto::Hash256 genesis = genesis_of(config);
+  const std::size_t governors = config.topology.governors;
+
+  std::vector<std::unique_ptr<HostThread>> hosts;
+  std::vector<std::unique_ptr<SyncConn>> conns(governors);
+  const wire::Welcome local = driver_welcome(genesis);
+  for (std::size_t i = 0; i < governors; ++i) {
+    const auto [driver_fd, node_fd] = stream_pair();
+    hosts.push_back(std::make_unique<HostThread>(config, i, node_fd));
+    auto conn = std::make_unique<SyncConn>(driver_fd);
+    const wire::Welcome remote = handshake(*conn, local, genesis);
+    ASSERT_EQ(remote.role, wire::Role::kNode);
+    ASSERT_EQ(remote.node_index, i);
+    ASSERT_EQ(remote.hosted.size(), 1u);
+    conns[remote.node_index] = std::move(conn);
+  }
+
+  ClusterRun run(config, std::move(conns));
+  const sim::RunResult socketed = run.run();
+  const sim::RunResult simulated = sim::simulate_run(config);
+
+  EXPECT_EQ(sim::encode_run_result(socketed), sim::encode_run_result(simulated))
+      << "socket replay diverged from the simulation:\n=== simulated ===\n"
+      << sim::render_run_result(simulated) << "\n=== socket replay ===\n"
+      << sim::render_run_result(socketed);
+  for (const auto& host : hosts) {
+    EXPECT_EQ(host->error, wire::ProtocolError::kNone);
+  }
+}
+
+TEST(Cluster, WrongGenesisNodeIsRefusedAtHandshake) {
+  const sim::ScenarioConfig config = small_config();
+  sim::ScenarioConfig other = config;
+  other.seed = 8;  // different chain: different genesis hash
+  ASSERT_NE(genesis_of(config), genesis_of(other));
+
+  const auto [driver_fd, node_fd] = stream_pair();
+  HostThread host(other, 0, node_fd);
+  SyncConn conn(driver_fd);
+  const crypto::Hash256 genesis = genesis_of(config);
+  try {
+    (void)handshake(conn, driver_welcome(genesis), genesis);
+    FAIL() << "foreign-genesis node admitted";
+  } catch (const wire::WireError& e) {
+    EXPECT_EQ(e.code(), wire::ProtocolError::kWrongGenesis);
+  }
+}
+
+TEST(Cluster, FutureOnlyDriverVersionIsAnsweredWithHighVersionError) {
+  const sim::ScenarioConfig config = small_config();
+  const auto [driver_fd, node_fd] = stream_pair();
+  HostThread host(config, 0, node_fd);
+
+  SyncConn conn(driver_fd);
+  wire::Welcome future = driver_welcome(genesis_of(config));
+  future.version_min = wire::kVersionMax + 1;
+  future.version_max = wire::kVersionMax + 1;
+  conn.send_frame(static_cast<std::uint16_t>(wire::PacketType::kWelcome),
+                  wire::encode_welcome(future));
+
+  // The node sends its own welcome first, then the admission verdict.
+  const wire::Frame their_welcome = conn.recv_frame();
+  EXPECT_EQ(their_welcome.type,
+            static_cast<std::uint16_t>(wire::PacketType::kWelcome));
+  const wire::Frame verdict = conn.recv_frame();
+  ASSERT_EQ(verdict.type, static_cast<std::uint16_t>(wire::PacketType::kError));
+  EXPECT_EQ(wire::decode_error(verdict.payload).code,
+            wire::ProtocolError::kHighVersion);
+  host.join();
+  EXPECT_EQ(host.error, wire::ProtocolError::kHighVersion);
+}
+
+TEST(Cluster, NonDriverPeerIsRefusedWithBadRole) {
+  const sim::ScenarioConfig config = small_config();
+  const auto [driver_fd, node_fd] = stream_pair();
+  HostThread host(config, 0, node_fd);
+
+  SyncConn conn(driver_fd);
+  wire::Welcome imposter = driver_welcome(genesis_of(config));
+  imposter.role = wire::Role::kPeer;  // a mesh peer, not the cluster driver
+  conn.send_frame(static_cast<std::uint16_t>(wire::PacketType::kWelcome),
+                  wire::encode_welcome(imposter));
+
+  (void)conn.recv_frame();  // the node's welcome
+  const wire::Frame verdict = conn.recv_frame();
+  ASSERT_EQ(verdict.type, static_cast<std::uint16_t>(wire::PacketType::kError));
+  EXPECT_EQ(wire::decode_error(verdict.payload).code,
+            wire::ProtocolError::kBadRole);
+  host.join();
+  EXPECT_EQ(host.error, wire::ProtocolError::kBadRole);
+}
+
+TEST(Cluster, OutOfRangeGovernorIndexIsAConfigError) {
+  EXPECT_THROW(NodeHost(small_config(), 99), ConfigError);
+}
+
+}  // namespace
+}  // namespace repchain::cluster

@@ -1,0 +1,213 @@
+// TcpTransport over real loopback sockets: delivery, route learning from the
+// welcome exchange, rejection of wrong-genesis / bad-magic / wrong-version
+// peers with the documented ProtocolError, and the partial-write (POLLOUT)
+// path via a payload far larger than one socket buffer.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/poll_loop.hpp"
+#include "runtime/tcp_transport.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace repchain::runtime {
+namespace {
+
+constexpr SimDuration kTestWait = 2'000'000;  // 2s of real time, worst case
+
+crypto::Hash256 test_genesis() { return crypto::Sha256::hash(Bytes{9, 9, 9}); }
+
+/// Pump `loop` until `pred` holds; fails the test on timeout.
+void pump(PollLoop& loop, const std::function<bool()>& pred) {
+  ASSERT_TRUE(loop.run_until(loop.now() + kTestWait, pred))
+      << "condition not reached before timeout";
+}
+
+/// Blocking loopback connect for raw-socket adversary clients.
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_all(int fd, const Bytes& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+TEST(TcpTransport, DeliversAcrossLoopbackAndLearnsRoutes) {
+  PollLoop loop;
+  TcpTransport a(loop, test_genesis());
+  TcpTransport b(loop, test_genesis());
+
+  std::vector<Message> got_b;
+  a.host(NodeId(1));
+  b.host(NodeId(2), [&](const Message& m) { got_b.push_back(m); });
+
+  const std::uint16_t port = b.listen(0);
+  ASSERT_NE(port, 0);
+  a.connect(port);
+  pump(loop, [&] { return a.reaches(NodeId(2)) && b.reaches(NodeId(1)); });
+  EXPECT_EQ(a.established(), 1u);
+  EXPECT_EQ(b.established(), 1u);
+
+  a.send(NodeId(1), NodeId(2), MsgKind::kTest, Bytes{5, 6, 7});
+  pump(loop, [&] { return got_b.size() == 1; });
+  EXPECT_EQ(got_b[0].from, NodeId(1));
+  EXPECT_EQ(got_b[0].to, NodeId(2));
+  EXPECT_EQ(got_b[0].kind, MsgKind::kTest);
+  EXPECT_EQ(got_b[0].payload, (Bytes{5, 6, 7}));
+  EXPECT_EQ(a.stats().messages_sent, 1u);
+  EXPECT_EQ(b.stats().frames_received, 2u);  // welcome + the message
+}
+
+TEST(TcpTransport, MulticastFansOutOverOneSocketPerPeer) {
+  PollLoop loop;
+  TcpTransport hub(loop, test_genesis());
+  TcpTransport left(loop, test_genesis());
+  TcpTransport right(loop, test_genesis());
+
+  std::size_t left_got = 0;
+  std::size_t right_got = 0;
+  hub.host(NodeId(1));
+  left.host(NodeId(2), [&](const Message&) { ++left_got; });
+  right.host(NodeId(3), [&](const Message&) { ++right_got; });
+
+  const std::uint16_t port = hub.listen(0);
+  left.connect(port);
+  right.connect(port);
+  pump(loop, [&] { return hub.reaches(NodeId(2)) && hub.reaches(NodeId(3)); });
+
+  const std::vector<NodeId> dests{NodeId(2), NodeId(3)};
+  hub.multicast(NodeId(1), dests, MsgKind::kTest, Bytes{1});
+  pump(loop, [&] { return left_got == 1 && right_got == 1; });
+  EXPECT_EQ(hub.stats().messages_sent, 2u);
+}
+
+TEST(TcpTransport, SendToSelfDeliversLocally) {
+  PollLoop loop;
+  TcpTransport t(loop, test_genesis());
+  std::vector<Message> got;
+  t.host(NodeId(4), [&](const Message& m) { got.push_back(m); });
+  t.send(NodeId(4), NodeId(4), MsgKind::kTest, Bytes{8});
+  pump(loop, [&] { return got.size() == 1; });
+  EXPECT_EQ(got[0].payload, Bytes{8});
+}
+
+TEST(TcpTransport, SendWithoutRouteCountsDrop) {
+  PollLoop loop;
+  TcpTransport t(loop, test_genesis());
+  t.host(NodeId(1));
+  t.send(NodeId(1), NodeId(42), MsgKind::kTest, Bytes{1});
+  EXPECT_EQ(t.stats().messages_dropped, 1u);
+}
+
+TEST(TcpTransport, WrongGenesisPeerIsRejected) {
+  PollLoop loop;
+  TcpTransport server(loop, test_genesis());
+  TcpTransport intruder(loop, crypto::Sha256::hash(Bytes{6, 6, 6}));
+  server.host(NodeId(1));
+  intruder.host(NodeId(2));
+
+  const std::uint16_t port = server.listen(0);
+  intruder.connect(port);
+  pump(loop, [&] {
+    return server.stats().protocol_errors >= 1 &&
+           intruder.established() == 0 && intruder.stats().protocol_errors >= 1;
+  });
+  EXPECT_EQ(server.stats().last_error, wire::ProtocolError::kWrongGenesis);
+  EXPECT_EQ(server.established(), 0u);
+  EXPECT_FALSE(server.reaches(NodeId(2)));
+}
+
+TEST(TcpTransport, BadMagicFromRawClientIsRejected) {
+  PollLoop loop;
+  TcpTransport server(loop, test_genesis());
+  server.host(NodeId(1));
+  const std::uint16_t port = server.listen(0);
+
+  const int fd = dial(port);
+  Bytes junk(wire::kHeaderSize, 0x5A);  // wrong magic in the first four bytes
+  send_all(fd, junk);
+  pump(loop, [&] { return server.stats().protocol_errors >= 1; });
+  EXPECT_EQ(server.stats().last_error, wire::ProtocolError::kBadMagic);
+  EXPECT_EQ(server.established(), 0u);
+  ::close(fd);
+}
+
+TEST(TcpTransport, FutureVersionHeaderIsRejected) {
+  PollLoop loop;
+  TcpTransport server(loop, test_genesis());
+  server.host(NodeId(1));
+  const std::uint16_t port = server.listen(0);
+
+  const int fd = dial(port);
+  // A structurally valid frame whose header claims version 99.
+  send_all(fd, wire::encode_frame(
+                   static_cast<std::uint16_t>(wire::PacketType::kWelcome),
+                   Bytes{}, 99));
+  pump(loop, [&] { return server.stats().protocol_errors >= 1; });
+  EXPECT_EQ(server.stats().last_error, wire::ProtocolError::kHighVersion);
+  EXPECT_EQ(server.established(), 0u);
+  ::close(fd);
+}
+
+TEST(TcpTransport, LargePayloadSurvivesPartialWrites) {
+  PollLoop loop;
+  TcpTransport a(loop, test_genesis());
+  TcpTransport b(loop, test_genesis());
+
+  std::vector<Message> got;
+  a.host(NodeId(1));
+  b.host(NodeId(2), [&](const Message& m) { got.push_back(m); });
+  const std::uint16_t port = b.listen(0);
+  a.connect(port);
+  pump(loop, [&] { return a.reaches(NodeId(2)); });
+
+  // ~2 MiB: far beyond any socket buffer, so queue_frame must take the
+  // partial-write path and drain through POLLOUT.
+  Bytes big(2u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  a.send(NodeId(1), NodeId(2), MsgKind::kTest, big);
+  pump(loop, [&] { return got.size() == 1; });
+  EXPECT_EQ(got[0].payload, big);
+}
+
+TEST(TcpTransport, AdoptedSocketpairHandshakes) {
+  PollLoop loop;
+  TcpTransport a(loop, test_genesis());
+  TcpTransport b(loop, test_genesis());
+  std::size_t got = 0;
+  a.host(NodeId(1));
+  b.host(NodeId(2), [&](const Message&) { ++got; });
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  a.adopt(sv[0]);
+  b.adopt(sv[1]);
+  pump(loop, [&] { return a.reaches(NodeId(2)) && b.reaches(NodeId(1)); });
+  a.send(NodeId(1), NodeId(2), MsgKind::kTest, Bytes{3});
+  pump(loop, [&] { return got == 1; });
+}
+
+}  // namespace
+}  // namespace repchain::runtime

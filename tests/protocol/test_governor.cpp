@@ -6,6 +6,7 @@
 
 #include <deque>
 
+#include "runtime/atomic_broadcast.hpp"
 #include "common/errors.hpp"
 #include "common/serial.hpp"
 #include "crypto/keygen.hpp"

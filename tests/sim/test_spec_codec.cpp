@@ -1,0 +1,99 @@
+// Canonical config codec behind the cluster handshake: byte-stable encode /
+// decode round trips, the genesis identity derived from them, and the
+// cluster-runnability gate for features only an in-process run can host.
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "sim/harness/spec_codec.hpp"
+
+namespace repchain::sim {
+namespace {
+
+ScenarioConfig rich_config() {
+  ScenarioConfig cfg;
+  cfg.topology.providers = 6;
+  cfg.topology.collectors = 3;
+  cfg.topology.governors = 3;
+  cfg.topology.r = 2;
+  cfg.rounds = 4;
+  cfg.txs_per_provider_per_round = 2;
+  cfg.p_valid = 0.75;
+  cfg.audit_probability = 0.4;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::noisy(0.9),
+                   protocol::CollectorBehavior::misreporting(0.25)};
+  cfg.enable_label_gossip = true;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(SpecCodec, EncodeDecodeRoundTripIsByteStable) {
+  ScenarioConfig cfg = rich_config();
+  normalize_config(cfg);
+  const Bytes blob = encode_config(cfg);
+  const ScenarioConfig back = decode_config(blob);
+  // Byte equality of re-encoding is the strongest equality the spec needs:
+  // the encoding is canonical, so equal bytes mean equal configs.
+  EXPECT_EQ(encode_config(back), blob);
+}
+
+TEST(SpecCodec, NormalizeIsIdempotentOnTheEncoding) {
+  ScenarioConfig cfg = rich_config();
+  normalize_config(cfg);
+  const Bytes once = encode_config(cfg);
+  normalize_config(cfg);
+  EXPECT_EQ(encode_config(cfg), once);
+}
+
+TEST(SpecCodec, GenesisIsStableAndSeedSensitive) {
+  ScenarioConfig a = rich_config();
+  ScenarioConfig b = rich_config();
+  EXPECT_EQ(config_genesis(a), config_genesis(b));
+
+  b.seed = 1235;
+  EXPECT_NE(config_genesis(a), config_genesis(b));
+
+  ScenarioConfig c = rich_config();
+  c.rounds += 1;
+  EXPECT_NE(config_genesis(a), config_genesis(c));
+}
+
+TEST(SpecCodec, TruncatedBlobIsRejected) {
+  ScenarioConfig cfg = rich_config();
+  normalize_config(cfg);
+  Bytes blob = encode_config(cfg);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW((void)decode_config(blob), DecodeError);
+}
+
+TEST(SpecCodec, ClusterGateRejectsCrashPlans) {
+  ScenarioConfig cfg = rich_config();
+  CrashPlan plan;
+  plan.governor = 1;
+  plan.crash_round = 2;
+  plan.restart_round = 3;
+  cfg.crashes.push_back(plan);
+  EXPECT_THROW(require_cluster_runnable(cfg), ConfigError);
+  EXPECT_THROW((void)encode_config(cfg), ConfigError);
+}
+
+TEST(SpecCodec, ClusterGateRejectsDurableGovernors) {
+  ScenarioConfig cfg = rich_config();
+  cfg.durable_governors = true;
+  EXPECT_THROW(require_cluster_runnable(cfg), ConfigError);
+}
+
+TEST(SpecCodec, ClusterGateRejectsStorageDir) {
+  ScenarioConfig cfg = rich_config();
+  cfg.storage_dir = "/tmp/somewhere";
+  EXPECT_THROW(require_cluster_runnable(cfg), ConfigError);
+}
+
+TEST(SpecCodec, ClusterGateAcceptsPlainConfig) {
+  ScenarioConfig cfg = rich_config();
+  normalize_config(cfg);
+  EXPECT_NO_THROW(require_cluster_runnable(cfg));
+}
+
+}  // namespace
+}  // namespace repchain::sim

@@ -1,0 +1,138 @@
+// Canonical codecs shared between the simulator and the socket paths:
+// message envelope, trace events, welcome and error packets. Decode
+// failures carry distinct ProtocolError codes.
+#include <gtest/gtest.h>
+
+#include "wire/codec.hpp"
+
+namespace repchain::wire {
+namespace {
+
+runtime::Message sample_message() {
+  runtime::Message m;
+  m.from = NodeId(3);
+  m.to = NodeId(11);
+  m.kind = runtime::MsgKind::kBlockProposal;
+  m.payload = {1, 2, 3, 250, 251};
+  m.sent_at = 1'000'000;
+  m.delivered_at = 1'004'321;
+  m.seq = 42;
+  return m;
+}
+
+TEST(Codec, MessageRoundTripPreservesEveryField) {
+  const runtime::Message m = sample_message();
+  const runtime::Message d = decode_message(encode_message(m));
+  EXPECT_EQ(d.from, m.from);
+  EXPECT_EQ(d.to, m.to);
+  EXPECT_EQ(d.kind, m.kind);
+  EXPECT_EQ(d.payload, m.payload);
+  EXPECT_EQ(d.sent_at, m.sent_at);
+  EXPECT_EQ(d.delivered_at, m.delivered_at);
+  EXPECT_EQ(d.seq, m.seq);
+}
+
+TEST(Codec, TruncatedMessageReportsTruncatedPayload) {
+  Bytes enc = encode_message(sample_message());
+  enc.resize(enc.size() - 3);
+  try {
+    (void)decode_message(enc);
+    FAIL() << "truncated message accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kTruncatedPayload);
+  }
+}
+
+TEST(Codec, TrailingBytesAreRejected) {
+  Bytes enc = encode_message(sample_message());
+  enc.push_back(0);
+  try {
+    (void)decode_message(enc);
+    FAIL() << "trailing byte accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kTrailingBytes);
+  }
+}
+
+TEST(Codec, TraceRoundTrip) {
+  runtime::TraceEvent ev;
+  ev.kind = runtime::TraceKind::kProtocolError;
+  ev.node = NodeId(5);
+  ev.round = 3;
+  ev.arg0 = 4;
+  ev.arg1 = 99;
+  ev.at = 123'456;
+  const runtime::TraceEvent d = decode_trace(encode_trace(ev));
+  EXPECT_EQ(d.kind, ev.kind);
+  EXPECT_EQ(d.node, ev.node);
+  EXPECT_EQ(d.round, ev.round);
+  EXPECT_EQ(d.arg0, ev.arg0);
+  EXPECT_EQ(d.arg1, ev.arg1);
+  EXPECT_EQ(d.at, ev.at);
+}
+
+TEST(Codec, TraceKindOutOfDomainIsBadPayload) {
+  runtime::TraceEvent ev;
+  Bytes enc = encode_trace(ev);
+  enc[0] = 200;
+  try {
+    (void)decode_trace(enc);
+    FAIL() << "bogus trace kind accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kBadPayload);
+  }
+}
+
+TEST(Codec, WelcomeRoundTrip) {
+  Welcome w;
+  w.version_min = kVersionMin;
+  w.version_max = kVersionMax;
+  w.genesis[0] = 0xAB;
+  w.genesis[31] = 0xCD;
+  w.role = Role::kNode;
+  w.node_index = 2;
+  w.hosted = {NodeId(7), NodeId(9)};
+  w.nonce = 0xDEADBEEF;
+  const Welcome d = decode_welcome(encode_welcome(w));
+  EXPECT_EQ(d.version_min, w.version_min);
+  EXPECT_EQ(d.version_max, w.version_max);
+  EXPECT_EQ(d.genesis, w.genesis);
+  EXPECT_EQ(d.role, w.role);
+  EXPECT_EQ(d.node_index, w.node_index);
+  EXPECT_EQ(d.hosted, w.hosted);
+  EXPECT_EQ(d.nonce, w.nonce);
+}
+
+TEST(Codec, WelcomeWithUnknownRoleIsBadRole) {
+  Welcome w;
+  Bytes enc = encode_welcome(w);
+  enc[2 + 2 + 32] = 77;  // the role byte follows the version range + genesis
+  try {
+    (void)decode_welcome(enc);
+    FAIL() << "unknown role accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kBadRole);
+  }
+}
+
+TEST(Codec, WelcomeWithInvertedVersionRangeIsBadPayload) {
+  Welcome w;
+  w.version_min = 5;
+  w.version_max = 2;
+  try {
+    (void)decode_welcome(encode_welcome(w));
+    FAIL() << "inverted version range accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kBadPayload);
+  }
+}
+
+TEST(Codec, ErrorPacketRoundTrip) {
+  const ErrorPacket e{ProtocolError::kWrongGenesis, "different universe"};
+  const ErrorPacket d = decode_error(encode_error(e));
+  EXPECT_EQ(d.code, e.code);
+  EXPECT_EQ(d.detail, e.detail);
+}
+
+}  // namespace
+}  // namespace repchain::wire

@@ -1,0 +1,138 @@
+// Frame layer: length-framed packets with magic + version header, decoded
+// incrementally by FrameReader under arbitrary stream chunking. Structural
+// header violations map to distinct ProtocolErrors and poison the reader.
+#include <gtest/gtest.h>
+
+#include "wire/frame.hpp"
+
+namespace repchain::wire {
+namespace {
+
+Bytes payload_of(std::size_t n, std::uint8_t salt = 7) {
+  Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(i ^ salt);
+  return p;
+}
+
+TEST(Frame, RoundTripSingleFrame) {
+  const Bytes payload = payload_of(100);
+  const Bytes encoded = encode_frame(3, payload);
+  ASSERT_EQ(encoded.size(), kHeaderSize + payload.size());
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  reader.feed(encoded, frames);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, 3u);
+  EXPECT_EQ(frames[0].version, kVersionMax);
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(Frame, ByteAtATimeChunkingYieldsIdenticalFrames) {
+  Bytes stream;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes f = encode_frame(static_cast<std::uint16_t>(10 + i),
+                                 payload_of(17 * (i + 1), static_cast<std::uint8_t>(i)));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (const std::uint8_t b : stream) reader.feed(BytesView(&b, 1), frames);
+  ASSERT_EQ(frames.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(frames[i].type, 10u + i);
+    EXPECT_EQ(frames[i].payload,
+              payload_of(17 * (i + 1), static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(Frame, EmptyPayloadFrame) {
+  FrameReader reader;
+  std::vector<Frame> frames;
+  reader.feed(encode_frame(1, BytesView{}), frames);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].payload.empty());
+}
+
+TEST(Frame, BadMagicPoisonsReader) {
+  Bytes bad = encode_frame(1, payload_of(4));
+  bad[0] ^= 0xFF;
+  FrameReader reader;
+  std::vector<Frame> frames;
+  try {
+    reader.feed(bad, frames);
+    FAIL() << "bad magic accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kBadMagic);
+  }
+  EXPECT_TRUE(reader.poisoned());
+  // Every further feed rethrows; a desynced stream never half-recovers.
+  EXPECT_THROW(reader.feed(encode_frame(1, BytesView{}), frames), WireError);
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(Frame, HigherVersionThanWeSpeakIsRejected) {
+  const Bytes f = encode_frame(1, payload_of(4), kVersionMax + 1);
+  FrameReader reader;
+  std::vector<Frame> frames;
+  try {
+    reader.feed(f, frames);
+    FAIL() << "future version accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kHighVersion);
+  }
+}
+
+TEST(Frame, LowerVersionThanWeSpeakIsRejected) {
+  ASSERT_GE(kVersionMin, 1);
+  const Bytes f = encode_frame(1, payload_of(4), kVersionMin - 1);
+  FrameReader reader;
+  std::vector<Frame> frames;
+  try {
+    reader.feed(f, frames);
+    FAIL() << "ancient version accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kLowVersion);
+  }
+}
+
+TEST(Frame, OversizedLengthFieldIsRejectedBeforeBuffering) {
+  FrameReader reader(/*max_payload=*/64);
+  // Hand-build a header announcing 65 bytes: beyond this reader's bound.
+  Bytes header;
+  auto u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) header.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto u16 = [&](std::uint16_t v) {
+    header.push_back(static_cast<std::uint8_t>(v));
+    header.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  u32(kMagic);
+  u16(kVersionMax);
+  u16(1);
+  u32(65);
+  std::vector<Frame> frames;
+  try {
+    reader.feed(header, frames);
+    FAIL() << "oversized frame accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kOversizedFrame);
+  }
+}
+
+TEST(Frame, PendingTracksIncompleteFrame) {
+  const Bytes f = encode_frame(1, payload_of(32));
+  FrameReader reader;
+  std::vector<Frame> frames;
+  reader.feed(BytesView(f.data(), 20), frames);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(reader.pending(), 20u);
+  reader.feed(BytesView(f.data() + 20, f.size() - 20), frames);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace repchain::wire

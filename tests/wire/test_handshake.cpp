@@ -1,0 +1,70 @@
+// Handshake admission: version negotiation over explicit ranges and the
+// genesis-hash comparison, each failing with its documented ProtocolError.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "wire/codec.hpp"
+
+namespace repchain::wire {
+namespace {
+
+TEST(Handshake, NegotiatesHighestCommonVersion) {
+  EXPECT_EQ(negotiate_version(1, 3, 2, 5), 3u);
+  EXPECT_EQ(negotiate_version(2, 5, 1, 3), 3u);
+  EXPECT_EQ(negotiate_version(1, 1, 1, 1), 1u);
+  EXPECT_EQ(negotiate_version(1, 4, 4, 4), 4u);
+}
+
+TEST(Handshake, PeerOnlyNewerIsHighVersion) {
+  try {
+    (void)negotiate_version(1, 1, 2, 4);
+    FAIL() << "disjoint (newer) ranges negotiated";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kHighVersion);
+  }
+}
+
+TEST(Handshake, PeerOnlyOlderIsLowVersion) {
+  try {
+    (void)negotiate_version(3, 5, 1, 2);
+    FAIL() << "disjoint (older) ranges negotiated";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kLowVersion);
+  }
+}
+
+TEST(Handshake, CheckWelcomeAcceptsMatchingGenesis) {
+  const crypto::Hash256 genesis = crypto::Sha256::hash(Bytes{1, 2, 3});
+  Welcome w;
+  w.genesis = genesis;
+  EXPECT_EQ(check_welcome(w, genesis), kVersionMax);
+}
+
+TEST(Handshake, CheckWelcomeRejectsWrongGenesis) {
+  Welcome w;
+  w.genesis = crypto::Sha256::hash(Bytes{1, 2, 3});
+  const crypto::Hash256 ours = crypto::Sha256::hash(Bytes{4, 5, 6});
+  try {
+    (void)check_welcome(w, ours);
+    FAIL() << "wrong genesis admitted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kWrongGenesis);
+  }
+}
+
+TEST(Handshake, CheckWelcomeRejectsDisjointVersions) {
+  const crypto::Hash256 genesis{};
+  Welcome w;
+  w.genesis = genesis;
+  w.version_min = kVersionMax + 1;
+  w.version_max = kVersionMax + 2;
+  try {
+    (void)check_welcome(w, genesis);
+    FAIL() << "future-only peer admitted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kHighVersion);
+  }
+}
+
+}  // namespace
+}  // namespace repchain::wire

@@ -1,0 +1,240 @@
+// Loopback cluster golden check: run a golden scenario twice — once fully
+// in-process (the simulation the goldens pin) and once with every governor
+// in its own `node` process speaking the versioned wire protocol over real
+// TCP — and byte-compare the two runs' canonical summaries
+// (sim::encode_run_result). The lockstep replay (src/cluster/) makes the
+// comparison exact: any divergence, down to one ULP of a double, is a bug.
+//
+//   cluster_driver [--scenario=mixed|gossip] [--artifact-dir=<dir>]
+//
+// On a mismatch the hexfloat renderings of both runs are written to
+// <artifact-dir>/cluster_diff_<scenario>.txt (CI uploads them) and the exit
+// code is the number of failing scenarios.
+
+#include <libgen.h>
+
+#include <cinttypes>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/driver.hpp"
+#include "cluster/sync_conn.hpp"
+#include "sim/harness/run_codec.hpp"
+#include "sim/harness/spec_codec.hpp"
+
+namespace {
+
+using namespace repchain;
+
+struct Golden {
+  const char* name;
+  sim::ScenarioConfig config;
+};
+
+sim::ScenarioConfig mixed_config() {
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 8;
+  cfg.topology.collectors = 4;
+  cfg.topology.governors = 3;
+  cfg.topology.r = 2;
+  cfg.rounds = 5;
+  cfg.txs_per_provider_per_round = 2;
+  cfg.p_valid = 0.8;
+  cfg.audit_probability = 0.6;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::noisy(0.9),
+                   protocol::CollectorBehavior::misreporting(0.3),
+                   protocol::CollectorBehavior::forging(0.2)};
+  cfg.seed = 42;
+  return cfg;
+}
+
+sim::ScenarioConfig gossip_config() {
+  sim::ScenarioConfig cfg;
+  cfg.topology.providers = 6;
+  cfg.topology.collectors = 3;
+  cfg.topology.governors = 4;
+  cfg.topology.r = 2;
+  cfg.rounds = 4;
+  cfg.txs_per_provider_per_round = 2;
+  cfg.p_valid = 0.8;
+  cfg.behaviors = {protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::honest(),
+                   protocol::CollectorBehavior::equivocating()};
+  cfg.enable_label_gossip = true;
+  cfg.seed = 2112;
+  return cfg;
+}
+
+/// Directory holding this binary (so the sibling `node` binary is found
+/// regardless of the working directory).
+std::string self_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) throw NetError("cannot resolve /proc/self/exe");
+  buf[n] = '\0';
+  return ::dirname(buf);
+}
+
+int listen_loopback(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    throw NetError(std::string("bind/listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw NetError(std::string("getsockname: ") + std::strerror(errno));
+  }
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+std::string write_blob(const Bytes& blob, const char* name) {
+  std::string path = "/tmp/repchain_" + std::string(name) + "_XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) throw NetError(std::string("mkstemp: ") + std::strerror(errno));
+  ::close(fd);
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  return path;
+}
+
+/// Run one golden over a real loopback cluster and return its RunResult.
+sim::RunResult cluster_run(const Golden& golden) {
+  sim::ScenarioConfig config = golden.config;
+  sim::normalize_config(config);
+  const crypto::Hash256 genesis = sim::config_genesis(config);
+  const std::size_t governors = config.topology.governors;
+  const std::string blob_path = write_blob(sim::encode_config(config), golden.name);
+  const std::string node_bin = self_dir() + "/node";
+
+  std::uint16_t port = 0;
+  const int listen_fd = listen_loopback(port);
+
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < governors; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw NetError(std::string("fork: ") + std::strerror(errno));
+    if (pid == 0) {
+      ::close(listen_fd);
+      const std::string cfg_arg = "--config=" + blob_path;
+      const std::string idx_arg = "--index=" + std::to_string(i);
+      const std::string port_arg = "--connect=" + std::to_string(port);
+      ::execl(node_bin.c_str(), node_bin.c_str(), cfg_arg.c_str(),
+              idx_arg.c_str(), port_arg.c_str(), static_cast<char*>(nullptr));
+      std::fprintf(stderr, "exec %s: %s\n", node_bin.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  // Admit each node: welcome exchange, then slot the connection by the
+  // announced governor index (connection order is whatever the OS raced).
+  std::vector<std::unique_ptr<cluster::SyncConn>> conns(governors);
+  const wire::Welcome local = cluster::driver_welcome(genesis);
+  for (std::size_t admitted = 0; admitted < governors; ++admitted) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) throw NetError(std::string("accept: ") + std::strerror(errno));
+    auto conn = std::make_unique<cluster::SyncConn>(fd);
+    const wire::Welcome remote = cluster::handshake(*conn, local, genesis);
+    if (remote.role != wire::Role::kNode) {
+      throw wire::WireError(wire::ProtocolError::kBadRole,
+                            "peer is not a cluster node");
+    }
+    if (remote.node_index >= governors || conns[remote.node_index] != nullptr) {
+      throw wire::WireError(wire::ProtocolError::kBadNodeIndex,
+                            "governor index " + std::to_string(remote.node_index));
+    }
+    conns[remote.node_index] = std::move(conn);
+  }
+  ::close(listen_fd);
+
+  cluster::ClusterRun run(golden.config, std::move(conns));
+  sim::RunResult result = run.run();
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      throw NetError("node process exited abnormally (status " +
+                     std::to_string(status) + ")");
+    }
+  }
+  ::unlink(blob_path.c_str());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only;
+  std::string artifact_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scenario=", 0) == 0) {
+      only = arg.substr(11);
+    } else if (arg.rfind("--artifact-dir=", 0) == 0) {
+      artifact_dir = arg.substr(15);
+    } else {
+      std::fprintf(stderr,
+                   "usage: cluster_driver [--scenario=mixed|gossip] "
+                   "[--artifact-dir=<dir>]\n");
+      return 2;
+    }
+  }
+  ::alarm(600);  // hard stop: a wedged cluster must not hang CI forever
+
+  std::vector<Golden> goldens;
+  if (only.empty() || only == "mixed") goldens.push_back({"mixed", mixed_config()});
+  if (only.empty() || only == "gossip")
+    goldens.push_back({"gossip", gossip_config()});
+  if (goldens.empty()) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", only.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const Golden& golden : goldens) {
+    try {
+      const sim::RunResult simulated = sim::simulate_run(golden.config);
+      const sim::RunResult socketed = cluster_run(golden);
+      const Bytes a = sim::encode_run_result(simulated);
+      const Bytes b = sim::encode_run_result(socketed);
+      if (a == b) {
+        std::printf("%-8s OK  (%zu bytes, %zu rounds, %" PRIu64 " messages)\n",
+                    golden.name, a.size(), simulated.history.size(),
+                    simulated.summary.network.messages_sent);
+        continue;
+      }
+      ++failures;
+      const std::string path =
+          artifact_dir + "/cluster_diff_" + golden.name + ".txt";
+      std::ofstream out(path);
+      out << "=== simulated ===\n"
+          << sim::render_run_result(simulated) << "\n=== socket replay ===\n"
+          << sim::render_run_result(socketed);
+      std::fprintf(stderr, "%-8s MISMATCH — diff written to %s\n", golden.name,
+                   path.c_str());
+    } catch (const std::exception& e) {
+      ++failures;
+      std::fprintf(stderr, "%-8s FAILED: %s\n", golden.name, e.what());
+    }
+  }
+  return failures;
+}

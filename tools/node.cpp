@@ -1,0 +1,81 @@
+// One cluster governor process. Handed a canonical config blob, a governor
+// index and the driver's loopback port, it rebuilds the deterministic
+// SystemModel from the blob, constructs its governor, dials the driver and
+// serves the lockstep RPC loop until shutdown (see src/cluster/). Spawned
+// by cluster_driver; runnable by hand for debugging a single node.
+//
+//   node --config=<blob-file> --index=<governor index> --connect=<port>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cluster/node_host.hpp"
+#include "sim/harness/spec_codec.hpp"
+
+namespace {
+
+using namespace repchain;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "node: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot open config blob " + path);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) die(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    die(std::string("connect: ") + std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  long index = -1;
+  long port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--config=", 0) == 0) {
+      config_path = arg.substr(9);
+    } else if (arg.rfind("--index=", 0) == 0) {
+      index = std::strtol(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      port = std::strtol(arg.c_str() + 10, nullptr, 10);
+    } else {
+      die("unknown argument " + arg);
+    }
+  }
+  if (config_path.empty() || index < 0 || port <= 0 || port > 65535) {
+    die("usage: node --config=<blob-file> --index=<i> --connect=<port>");
+  }
+
+  try {
+    const sim::ScenarioConfig config = sim::decode_config(read_file(config_path));
+    cluster::NodeHost host(config, static_cast<std::size_t>(index));
+    host.serve(dial(static_cast<std::uint16_t>(port)));
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  return 0;
+}
