@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Bench trajectory guard: fail when a headline throughput metric regresses
+# more than the tolerance against the committed baseline.
+#
+#   usage: check_bench_trajectory.sh <current.json> <baseline.json> [metric]
+#
+# The baseline under ci/bench_baseline/ is a committed snapshot of a Release
+# run; refresh it deliberately (re-run the bench, commit the new JSON) when a
+# change legitimately moves the number. Tolerance is a percentage, default 20,
+# overridable via BENCH_TRAJECTORY_TOLERANCE for noisier runners.
+set -euo pipefail
+
+current="${1:?usage: check_bench_trajectory.sh <current.json> <baseline.json> [metric]}"
+baseline="${2:?usage: check_bench_trajectory.sh <current.json> <baseline.json> [metric]}"
+metric="${3:-txs_per_wall_second}"
+tolerance="${BENCH_TRAJECTORY_TOLERANCE:-20}"
+
+python3 - "$current" "$baseline" "$metric" "$tolerance" <<'PY'
+import json
+import sys
+
+current_path, baseline_path, metric, tolerance = sys.argv[1:5]
+tolerance = float(tolerance)
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+current = load(current_path)
+baseline = load(baseline_path)
+for name, report in (("current", current), ("baseline", baseline)):
+    if metric not in report:
+        sys.exit(f"trajectory guard: metric '{metric}' missing from {name} report")
+
+cur = float(current[metric])
+base = float(baseline[metric])
+floor = base * (1.0 - tolerance / 100.0)
+print(f"trajectory guard: {metric} current={cur:.1f} baseline={base:.1f} "
+      f"floor={floor:.1f} (tolerance {tolerance:.0f}%)")
+if cur < floor:
+    sys.exit(f"trajectory guard: {metric} regressed {100.0 * (1.0 - cur / base):.1f}% "
+             f"(> {tolerance:.0f}% allowed) vs committed baseline {baseline_path}")
+print("trajectory guard: ok")
+PY

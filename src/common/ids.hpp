@@ -35,6 +35,7 @@ struct ProviderTag {};
 struct CollectorTag {};
 struct GovernorTag {};
 struct NodeTag {};
+struct ShardTag {};
 
 /// Identifier of a provider node (tier 1 of the hierarchy).
 using ProviderId = StrongId<ProviderTag>;
@@ -44,6 +45,9 @@ using CollectorId = StrongId<CollectorTag>;
 using GovernorId = StrongId<GovernorTag>;
 /// Flat network-level node identifier (any tier).
 using NodeId = StrongId<NodeTag>;
+/// Identifier of a governor committee (shard) in a sharded deployment; the
+/// single-committee default is shard 0.
+using ShardId = StrongId<ShardTag>;
 
 /// Protocol round number (one block per round).
 using Round = std::uint64_t;

@@ -1,0 +1,97 @@
+#include "ledger/anchor.hpp"
+
+#include <string>
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace repchain::ledger {
+namespace {
+
+constexpr std::uint32_t kBeaconMagic = 0x424E4352;  // "RCNB" little-endian
+
+}  // namespace
+
+Bytes AnchorRecord::encode() const {
+  BinaryWriter w;
+  w.u32(shard.value());
+  w.u64(round);
+  w.u64(head_serial);
+  w.raw(view(head_hash));
+  return std::move(w).take();
+}
+
+AnchorRecord AnchorRecord::decode(BytesView data) {
+  BinaryReader r(data);
+  AnchorRecord rec;
+  rec.shard = ShardId(r.u32());
+  rec.round = r.u64();
+  rec.head_serial = r.u64();
+  rec.head_hash = r.raw_array<32>();
+  r.expect_done();
+  return rec;
+}
+
+AnchorRecord make_anchor(ShardId shard, Round round, const ChainStore& chain) {
+  AnchorRecord rec;
+  rec.shard = shard;
+  rec.round = round;
+  rec.head_serial = chain.height();
+  rec.head_hash = chain.head_hash();  // zero hash when the chain is empty
+  return rec;
+}
+
+void BeaconLog::append(AnchorRecord record) {
+  if (const auto prev = latest(record.shard)) {
+    if (record.round <= prev->round) {
+      throw ProtocolError("beacon: shard " + std::to_string(record.shard.value()) +
+                          " anchor round " + std::to_string(record.round) +
+                          " does not advance past " + std::to_string(prev->round));
+    }
+    if (record.head_serial < prev->head_serial) {
+      throw ProtocolError("beacon: shard " + std::to_string(record.shard.value()) +
+                          " anchors a rollback (serial " +
+                          std::to_string(record.head_serial) + " < " +
+                          std::to_string(prev->head_serial) + ")");
+    }
+  }
+  records_.push_back(record);
+}
+
+std::optional<AnchorRecord> BeaconLog::latest(ShardId shard) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->shard == shard) return *it;
+  }
+  return std::nullopt;
+}
+
+bool BeaconLog::verify(ShardId shard, const ChainStore& chain) const {
+  const auto anchor = latest(shard);
+  if (!anchor) return true;
+  if (anchor->head_serial == 0) return true;  // anchored while still empty
+  const auto block = chain.retrieve(anchor->head_serial);
+  if (!block) return false;  // replica has not reached the anchored height
+  return block->hash() == anchor->head_hash;
+}
+
+Bytes BeaconLog::encode() const {
+  BinaryWriter w;
+  w.u32(kBeaconMagic);
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const auto& rec : records_) w.bytes(rec.encode());
+  return std::move(w).take();
+}
+
+BeaconLog BeaconLog::decode(BytesView data) {
+  BinaryReader r(data);
+  if (r.u32() != kBeaconMagic) throw DecodeError("beacon: bad magic");
+  const auto count = r.u32();
+  BeaconLog log;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    log.append(AnchorRecord::decode(r.bytes()));  // re-checked through append()
+  }
+  r.expect_done();
+  return log;
+}
+
+}  // namespace repchain::ledger

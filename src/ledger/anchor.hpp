@@ -1,0 +1,69 @@
+#pragma once
+
+// Cross-shard anchoring. Every K rounds each committee commits its chain
+// head into a beacon record; the BeaconLog is the ordered ledger of those
+// anchors. A replica (or a freshly-synced node) is verified against the
+// beacon by checking that its block at the anchored serial hashes to the
+// anchored head hash — a committee cannot silently rewrite history below
+// its last anchor without diverging from the beacon.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/chain.hpp"
+
+namespace repchain::ledger {
+
+/// One committee head commitment: "shard s's chain, as of `round`, is
+/// `head_serial` blocks high and its head block hashes to `head_hash`". An
+/// empty chain anchors as (serial 0, zero hash) — the genesis predecessor.
+struct AnchorRecord {
+  ShardId shard;
+  Round round = 0;
+  BlockSerial head_serial = 0;
+  crypto::Hash256 head_hash{};
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static AnchorRecord decode(BytesView data);
+
+  bool operator==(const AnchorRecord&) const = default;
+};
+
+/// Build the anchor of `chain` at `round`.
+[[nodiscard]] AnchorRecord make_anchor(ShardId shard, Round round,
+                                       const ChainStore& chain);
+
+/// The beacon: an append-only log of anchor records across all committees,
+/// in anchoring order. Appends are monotonicity-checked per shard (rounds
+/// strictly increasing, head serials non-decreasing); verification checks a
+/// chain replica against its shard's latest anchor.
+class BeaconLog {
+ public:
+  /// Append an anchor. Throws ProtocolError when it regresses its shard's
+  /// previous anchor (round not increasing or head serial shrinking — a
+  /// committee must never anchor a rollback).
+  void append(AnchorRecord record);
+
+  [[nodiscard]] const std::vector<AnchorRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// The most recent anchor of `shard` (nullopt before its first anchor).
+  [[nodiscard]] std::optional<AnchorRecord> latest(ShardId shard) const;
+
+  /// Verify a replica of `shard`'s chain against the latest anchor: the
+  /// replica must have reached the anchored serial and its block there must
+  /// hash to the anchored head hash. True when the shard has no anchor yet.
+  [[nodiscard]] bool verify(ShardId shard, const ChainStore& chain) const;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static BeaconLog decode(BytesView data);
+
+ private:
+  std::vector<AnchorRecord> records_;
+};
+
+}  // namespace repchain::ledger

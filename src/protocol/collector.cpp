@@ -1,6 +1,7 @@
 #include "protocol/collector.hpp"
 
 #include "common/errors.hpp"
+#include "wire/protocol_error.hpp"
 
 namespace repchain::protocol {
 
@@ -40,6 +41,21 @@ void Collector::on_message(const runtime::Message& msg) {
     return;
   }
   ++stats_.received;
+
+  // Committee membership (sharded deployments only): a tx whose provider
+  // lives in another committee is unroutable here — refuse it with the
+  // explicit cross-shard code rather than silently dropping it.
+  if (same_shard_ && !same_shard_(tx.provider)) {
+    ++stats_.rejected_cross_shard;
+    runtime::TraceEvent ev;
+    ev.kind = runtime::TraceKind::kCrossShardRejected;
+    ev.node = node_;
+    ev.arg0 = tx.provider.value();
+    ev.arg1 = static_cast<std::uint64_t>(wire::ProtocolError::kCrossShardTx);
+    ev.at = ctx_.now();
+    ctx_.emit(ev);
+    return;
+  }
 
   // verify(p_k, tx): authenticated provider signature from a linked provider.
   if (!directory_.linked(tx.provider, id_)) return;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -77,6 +78,7 @@ struct CollectorStats {
   std::uint64_t forged = 0;
   std::uint64_t equivocated = 0;  // uploads sent with per-governor labels
   std::uint64_t rejected_bad_signature = 0;
+  std::uint64_t rejected_cross_shard = 0;  // provider in another committee
 };
 
 /// A collector node (tier 2): verifies provider signatures, labels
@@ -104,6 +106,15 @@ class Collector {
   /// Swap the behavior model in place — the adversary layer schedules
   /// Byzantine windows by swapping to a deviating profile and back.
   void set_behavior(CollectorBehavior behavior) { behavior_ = behavior; }
+  /// Install the committee membership test of a sharded deployment: a
+  /// transaction whose provider fails the predicate is refused before
+  /// authentication with the explicit cross-shard code
+  /// (wire::ProtocolError::kCrossShardTx, TraceKind::kCrossShardRejected).
+  /// Never installed on classic single-committee runs, so their intake path
+  /// is untouched.
+  void set_shard_filter(std::function<bool(ProviderId)> same_shard) {
+    same_shard_ = std::move(same_shard);
+  }
   [[nodiscard]] const CollectorStats& stats() const { return stats_; }
   [[nodiscard]] const runtime::ReliableChannel* channel() const {
     return channel_ ? &*channel_ : nullptr;
@@ -126,6 +137,7 @@ class Collector {
   runtime::Broadcaster& upload_group_;
   CollectorBehavior behavior_;
   CollectorStats stats_;
+  std::function<bool(ProviderId)> same_shard_;  // empty = single committee
   std::optional<runtime::ReliableChannel> channel_;
   std::uint64_t forge_seq_ = 1'000'000'000;  // distinct seq space for fabrications
 };

@@ -79,6 +79,16 @@ const ledger::Transaction& Provider::submit(Bytes payload, bool truly_valid) {
   return it->second.tx;
 }
 
+const ledger::Transaction& Provider::submit_to(NodeId collector, Bytes payload,
+                                               bool truly_valid) {
+  const ledger::Transaction tx = ledger::make_transaction(
+      id_, next_seq_++, ctx_.now(), std::move(payload), key_);
+  oracle_.register_tx(tx.id(), truly_valid);
+  auto [it, inserted] = own_.emplace(tx.id(), OwnTx{tx, truly_valid, false, false});
+  rsend(collector, runtime::MsgKind::kProviderTx, it->second.tx.encode());
+  return it->second.tx;
+}
+
 void Provider::arm_round(SimTime t0, const RoundTiming& timing) {
   // Passive providers still replicate the chain; active_ only gates arguing
   // (checked inside the sync path).

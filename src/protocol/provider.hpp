@@ -35,6 +35,13 @@ class Provider {
   /// `truly_valid` is the hidden application-level ground truth.
   const ledger::Transaction& submit(Bytes payload, bool truly_valid);
 
+  /// Directed submission to one explicit collector node instead of the
+  /// linked-collector broadcast. The sharded workload uses this to aim
+  /// transactions at a *foreign* committee's collector, exercising the
+  /// cross-shard reject path; the double-spend knob does not apply here.
+  const ledger::Transaction& submit_to(NodeId collector, Bytes payload,
+                                       bool truly_valid);
+
   /// Self-driving rounds: schedule this provider's sync at the round's
   /// block-propagation deadline.
   void arm_round(SimTime t0, const RoundTiming& timing);

@@ -1,0 +1,74 @@
+#include "protocol/shard_router.hpp"
+
+#include <string>
+
+#include "common/errors.hpp"
+
+namespace repchain::protocol {
+namespace {
+
+// Distinct tag bytes keep the three id spaces in separate hash families, so
+// provider 3 and collector 3 land independently.
+constexpr std::uint8_t kProviderTag = 0x50;   // 'P'
+constexpr std::uint8_t kCollectorTag = 0x43;  // 'C'
+
+}  // namespace
+
+std::uint64_t ShardRouter::stable_hash(std::uint8_t tag, std::uint32_t value) {
+  // FNV-1a 64 over (tag, value LE): tiny, endian-pinned, and stable across
+  // platforms — the placement is part of the consensus surface.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  mix(tag);
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(value >> (8 * i)));
+  return h;
+}
+
+ShardRouter::ShardRouter(std::size_t shard_count, std::size_t providers,
+                         std::size_t collectors, std::size_t governors) {
+  if (shard_count == 0) throw ConfigError("shard_router: shard_count must be >= 1");
+  if (shard_count > governors) {
+    throw ConfigError("shard_router: need at least one governor per committee (" +
+                      std::to_string(shard_count) + " shards, " +
+                      std::to_string(governors) + " governors)");
+  }
+  shards_.assign(shard_count, Members{});
+
+  // Providers and collectors place by stable hash of their identity;
+  // governors are dealt round-robin so committees stay balanced (a
+  // hash-placed committee could end up too small to ever close an election).
+  for (std::size_t i = 0; i < providers; ++i) {
+    const auto value = static_cast<std::uint32_t>(i);
+    const ShardId s(static_cast<std::uint32_t>(stable_hash(kProviderTag, value) %
+                                               shard_count));
+    provider_shard_.push_back(s);
+    shards_[s.value()].providers.emplace_back(value);
+  }
+  for (std::size_t i = 0; i < collectors; ++i) {
+    const auto value = static_cast<std::uint32_t>(i);
+    const ShardId s(static_cast<std::uint32_t>(stable_hash(kCollectorTag, value) %
+                                               shard_count));
+    collector_shard_.push_back(s);
+    shards_[s.value()].collectors.emplace_back(value);
+  }
+  for (std::size_t i = 0; i < governors; ++i) {
+    const auto value = static_cast<std::uint32_t>(i);
+    const ShardId s(static_cast<std::uint32_t>(i % shard_count));
+    governor_shard_.push_back(s);
+    shards_[s.value()].governors.emplace_back(value);
+  }
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (shards_[s].providers.empty() || shards_[s].collectors.empty()) {
+      throw ConfigError("shard_router: shard " + std::to_string(s) +
+                        " has no " +
+                        (shards_[s].providers.empty() ? "providers" : "collectors") +
+                        " — resize the population or lower shard_count");
+    }
+  }
+}
+
+}  // namespace repchain::protocol

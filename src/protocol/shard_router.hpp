@@ -1,0 +1,96 @@
+#pragma once
+
+// Multi-committee scale-out: the ShardRouter partitions the Figure 1
+// hierarchy into N governor committees (shards). Providers and collectors
+// are assigned by a stable hash of their identity (deployment-order
+// independent, so a re-enumerated membership keeps its shard placement);
+// governors are dealt round-robin so every committee is within one member
+// of the same size and the VRF-PoS election always has a quorum to close.
+//
+// Each committee runs the full screening/argue/stake-consensus pipeline on
+// its own chain — the paper's reputation pipeline is shard-local by
+// construction, so committees need no coordination beyond the periodic
+// beacon anchoring (ledger::BeaconLog). A transaction whose provider and
+// collector live in different shards is not routable and is rejected at
+// collector intake with the explicit cross-shard code
+// (wire::ProtocolError::kCrossShardTx / TraceKind::kCrossShardRejected),
+// following pettycoin's PROTOCOL_ERROR_TRANS_CROSS_SHARDS.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace repchain::protocol {
+
+class ShardRouter {
+ public:
+  /// Single-committee identity routing (everything in shard 0).
+  ShardRouter() = default;
+
+  /// Partition `providers`/`collectors`/`governors` members (ids 0..k-1)
+  /// across `shard_count` committees. Assignments are precomputed, so every
+  /// shard_of lookup is O(1). Throws ConfigError when shard_count is 0,
+  /// exceeds the governor count, or strands a shard without a provider or
+  /// collector (the stable hash left a tier empty — resize the population
+  /// or lower the shard count).
+  ShardRouter(std::size_t shard_count, std::size_t providers,
+              std::size_t collectors, std::size_t governors);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  // Members beyond the partitioned population (and every member of a
+  // default-constructed router) fall into shard 0 — the single-committee
+  // semantics.
+  [[nodiscard]] ShardId shard_of(ProviderId id) const {
+    return id.value() < provider_shard_.size() ? provider_shard_[id.value()]
+                                               : ShardId(0);
+  }
+  [[nodiscard]] ShardId shard_of(CollectorId id) const {
+    return id.value() < collector_shard_.size() ? collector_shard_[id.value()]
+                                                : ShardId(0);
+  }
+  [[nodiscard]] ShardId shard_of(GovernorId id) const {
+    return id.value() < governor_shard_.size() ? governor_shard_[id.value()]
+                                               : ShardId(0);
+  }
+
+  /// True iff a (provider, collector) pair spans two committees — the
+  /// transaction is unroutable and must be rejected.
+  [[nodiscard]] bool cross_shard(ProviderId provider, CollectorId collector) const {
+    return shard_of(provider) != shard_of(collector);
+  }
+
+  /// Shard membership in ascending global-id order.
+  [[nodiscard]] const std::vector<ProviderId>& providers_of(ShardId s) const {
+    return shards_[s.value()].providers;
+  }
+  [[nodiscard]] const std::vector<CollectorId>& collectors_of(ShardId s) const {
+    return shards_[s.value()].collectors;
+  }
+  [[nodiscard]] const std::vector<GovernorId>& governors_of(ShardId s) const {
+    return shards_[s.value()].governors;
+  }
+
+  /// The FNV-1a-64 placement hash over (tag byte, id little-endian). Public
+  /// so tests can pin the assignment as part of the wire contract: shard
+  /// membership is consensus-relevant, every node must derive the same
+  /// partition.
+  [[nodiscard]] static std::uint64_t stable_hash(std::uint8_t tag,
+                                                 std::uint32_t value);
+
+ private:
+  struct Members {
+    std::vector<ProviderId> providers;
+    std::vector<CollectorId> collectors;
+    std::vector<GovernorId> governors;
+  };
+
+  std::vector<ShardId> provider_shard_;
+  std::vector<ShardId> collector_shard_;
+  std::vector<ShardId> governor_shard_;
+  std::vector<Members> shards_{1};  // default: one committee, no members listed
+};
+
+}  // namespace repchain::protocol

@@ -21,6 +21,8 @@ enum class TraceKind : std::uint8_t {
                            // (arg0 = adversary::ByzantineKind, arg1 = offender id)
   kProtocolError = 8,      // a socket peer violated the wire protocol
                            // (arg0 = wire::ProtocolError code, arg1 = fd)
+  kCrossShardRejected = 9, // a collector refused a tx whose provider lives
+                           // in another committee (arg0 = provider id)
 };
 
 struct TraceEvent {

@@ -34,6 +34,10 @@ void Observation::end_round(const CounterProbe& probe) {
   pending_.expected_loss_delta = probe.ref_expected_loss - before_.ref_expected_loss;
   pending_.argues_delta = probe.argues - before_.argues;
   history_.push_back(pending_);
+  if (bounded_history_ != 0 && history_.size() > bounded_history_) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(bounded_history_));
+  }
 }
 
 void Observation::end_round(const Wiring& wiring) {
@@ -77,6 +81,27 @@ void Observation::sample_rewards(const ScenarioConfig& config, const Wiring& wir
     }
   }
   sample_rewards(config, sample);
+}
+
+void Observation::record_anchors(const Wiring& wiring, Round round) {
+  for (std::size_t s = 0; s < wiring.shard_directories_.size(); ++s) {
+    const ShardId shard(static_cast<std::uint32_t>(s));
+    const ledger::ChainStore* ref = nullptr;
+    for (const GovernorId g : wiring.router_.governors_of(shard)) {
+      if (wiring.governors_[g.value()]) {
+        ref = &wiring.governors_[g.value()]->chain();
+        break;
+      }
+    }
+    if (ref == nullptr) continue;  // whole committee dead right now
+    const ledger::AnchorRecord rec = ledger::make_anchor(shard, round, *ref);
+    if (const auto prev = beacon_.latest(shard)) {
+      // A reference replica that changed to a lagging restartee must not
+      // regress the beacon; skip this interval instead.
+      if (rec.round <= prev->round || rec.head_serial < prev->head_serial) continue;
+    }
+    beacon_.append(rec);
+  }
 }
 
 ScenarioSummary Observation::summarize(
@@ -125,15 +150,103 @@ ScenarioSummary Observation::summarize(
 ScenarioSummary Observation::summarize(const Wiring& wiring) const {
   std::uint64_t txs_submitted = 0;
   for (const auto& p : wiring.providers_) txs_submitted += p.submitted();
-  std::vector<GovernorSnapshot> snapshots;
-  for (const auto& g : wiring.governors_) {
-    if (!g) continue;
-    snapshots.push_back(GovernorSnapshot{&g->chain(), g->metrics().expected_loss,
-                                         g->metrics().realized_loss,
-                                         g->metrics().mistakes});
+
+  ScenarioSummary s;
+  if (wiring.shard_directories_.size() <= 1) {
+    // Classic single-committee path: the probe-core aggregation, unchanged.
+    std::vector<GovernorSnapshot> snapshots;
+    for (const auto& g : wiring.governors_) {
+      if (!g) continue;
+      snapshots.push_back(GovernorSnapshot{&g->chain(), g->metrics().expected_loss,
+                                           g->metrics().realized_loss,
+                                           g->metrics().mistakes});
+    }
+    s = summarize(txs_submitted, snapshots, wiring.oracle_->validations(),
+                  wiring.net_->stats());
+  } else {
+    // Sharded: aggregate committee by committee. Agreement and audit are
+    // committee-local properties (different shards legitimately hold
+    // different chains); the global flags are the conjunction, the global
+    // tx/block totals the sum across committees.
+    s.txs_submitted = txs_submitted;
+    s.agreement = true;
+    s.chains_audit_ok = true;
+    s.stalled_events = observer_.stalled_events();
+    s.byzantine_evidence = observer_.byzantine_evidence();
+    s.validations_total = wiring.oracle_->validations();
+    s.network = wiring.net_->stats();
+    double exp_loss = 0.0, real_loss = 0.0;
+    std::uint64_t mistakes = 0;
+    std::size_t live = 0;
+    for (const auto& g : wiring.governors_) {
+      if (!g) continue;
+      ++live;
+      exp_loss += g->metrics().expected_loss;
+      real_loss += g->metrics().realized_loss;
+      mistakes += g->metrics().mistakes;
+    }
+    if (live > 0) {
+      const double m = static_cast<double>(live);
+      s.mean_governor_expected_loss = exp_loss / m;
+      s.mean_governor_realized_loss = real_loss / m;
+      s.mean_governor_mistakes =
+          static_cast<std::uint64_t>(static_cast<double>(mistakes) / m);
+    }
   }
-  return summarize(txs_submitted, snapshots, wiring.oracle_->validations(),
-                   wiring.net_->stats());
+
+  // Per-committee slices (a single entry on classic runs), the cross-shard
+  // reject tally, and the beacon verdict.
+  for (std::size_t i = 0; i < wiring.shard_directories_.size(); ++i) {
+    const ShardId shard(static_cast<std::uint32_t>(i));
+    ShardSummary sh;
+    sh.shard = shard;
+    sh.providers = wiring.router_.providers_of(shard).size();
+    sh.collectors = wiring.router_.collectors_of(shard).size();
+    sh.governors = wiring.router_.governors_of(shard).size();
+    sh.agreement = true;
+    sh.chains_audit_ok = true;
+    const ledger::ChainStore* ref = nullptr;
+    for (const GovernorId g : wiring.router_.governors_of(shard)) {
+      const auto& slot = wiring.governors_[g.value()];
+      if (!slot) continue;
+      const ledger::ChainStore& chain = slot->chain();
+      sh.chains_audit_ok = sh.chains_audit_ok && chain.audit();
+      if (ref == nullptr) {
+        ref = &chain;
+        sh.blocks = chain.height();
+        sh.chain_valid_txs = chain.count_status(ledger::TxStatus::kCheckedValid);
+        sh.chain_unchecked_txs =
+            chain.count_status(ledger::TxStatus::kUncheckedInvalid);
+        sh.chain_argued_txs = chain.count_status(ledger::TxStatus::kArguedValid);
+      } else {
+        sh.agreement =
+            sh.agreement && ledger::ChainStore::same_prefix(*ref, chain);
+      }
+    }
+    if (wiring.shard_directories_.size() > 1) {
+      s.blocks += sh.blocks;
+      s.chain_valid_txs += sh.chain_valid_txs;
+      s.chain_unchecked_txs += sh.chain_unchecked_txs;
+      s.chain_argued_txs += sh.chain_argued_txs;
+      s.agreement = s.agreement && sh.agreement;
+      s.chains_audit_ok = s.chains_audit_ok && sh.chains_audit_ok;
+    }
+    s.shards.push_back(sh);
+  }
+  for (const auto& c : wiring.collectors_) {
+    s.cross_shard_rejected += c.stats().rejected_cross_shard;
+  }
+  s.anchors_recorded = beacon_.size();
+  s.anchors_ok = true;
+  for (std::size_t i = 0; i < wiring.shard_directories_.size(); ++i) {
+    const ShardId shard(static_cast<std::uint32_t>(i));
+    for (const GovernorId g : wiring.router_.governors_of(shard)) {
+      const auto& slot = wiring.governors_[g.value()];
+      if (!slot) continue;
+      s.anchors_ok = s.anchors_ok && beacon_.verify(shard, slot->chain());
+    }
+  }
+  return s;
 }
 
 }  // namespace repchain::sim

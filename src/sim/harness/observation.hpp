@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "ledger/anchor.hpp"
 #include "ledger/chain.hpp"
 #include "sim/harness/spec.hpp"
 #include "sim/round_observer.hpp"
@@ -59,6 +60,14 @@ class Observation {
     leader_counts_.assign(governors, 0);
   }
 
+  /// Cap the per-round history at the newest `cap` records (ring-buffer
+  /// semantics) and bound the RoundObserver's round map likewise. 0 (the
+  /// default) keeps everything — the classic behaviour.
+  void set_bounded_history(std::size_t cap) {
+    bounded_history_ = cap;
+    observer_.set_retention(cap);
+  }
+
   /// Probe the before-counters of a new round.
   void begin_round(Round round, const CounterProbe& probe);
   void begin_round(Round round, const Wiring& wiring);
@@ -71,6 +80,13 @@ class Observation {
   /// based, §3.4.3).
   void sample_rewards(const ScenarioConfig& config, const RewardSample& sample);
   void sample_rewards(const ScenarioConfig& config, const Wiring& wiring);
+
+  /// Cross-shard anchoring: commit every committee's reference-replica chain
+  /// head into the beacon at `round`. An anchor that would regress its
+  /// shard's previous one (reference replica changed to a lagging restartee)
+  /// is skipped rather than recorded — the beacon stays monotone.
+  void record_anchors(const Wiring& wiring, Round round);
+  [[nodiscard]] const ledger::BeaconLog& beacon() const { return beacon_; }
 
   /// Aggregate a finished (or in-flight) run into a ScenarioSummary. The
   /// snapshot list holds one entry per LIVE governor, in governor order; the
@@ -95,6 +111,8 @@ class Observation {
   std::vector<double> rewards_;
   std::vector<std::uint64_t> leader_counts_;
   std::vector<RoundRecord> history_;
+  ledger::BeaconLog beacon_;
+  std::size_t bounded_history_ = 0;
 
   // Probes captured by begin_round, consumed by end_round.
   RoundRecord pending_;

@@ -170,6 +170,23 @@ struct ScenarioConfig {
   /// in-memory stores, which exercise the same framed WAL/snapshot images.
   std::filesystem::path storage_dir;
 
+  /// Number of governor committees (shards). 1 = the classic single-committee
+  /// deployment (bit-identical to the pre-sharding harness). With S > 1 the
+  /// ShardRouter partitions providers/collectors by stable hash and governors
+  /// round-robin; each committee runs the full pipeline on its own chain.
+  std::size_t shard_count = 1;
+  /// Anchor each committee's chain head into the beacon every K rounds.
+  std::size_t anchor_interval = 1;
+  /// Fraction of injected transactions deliberately routed to a collector in
+  /// a *different* shard (exercising the cross-shard reject path). Only
+  /// meaningful with shard_count > 1; 0 keeps the workload RNG stream
+  /// untouched.
+  double cross_shard_probability = 0.0;
+  /// Cap Observation's per-round history and reward series at this many
+  /// entries (ring buffer semantics: the newest N are kept). 0 = unbounded,
+  /// the classic behaviour.
+  std::size_t bounded_history = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -182,6 +199,20 @@ struct RoundRecord {
   std::uint64_t messages_delta = 0;     // network messages this round
   double expected_loss_delta = 0.0;     // governor 0's L increment
   std::uint64_t argues_delta = 0;       // argues accepted (all governors)
+};
+
+/// Per-committee slice of a sharded run's outcome.
+struct ShardSummary {
+  ShardId shard;
+  std::size_t providers = 0;
+  std::size_t collectors = 0;
+  std::size_t governors = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t chain_valid_txs = 0;
+  std::uint64_t chain_unchecked_txs = 0;
+  std::uint64_t chain_argued_txs = 0;
+  bool agreement = false;        // committee replicas share a prefix
+  bool chains_audit_ok = false;  // integrity on every committee replica
 };
 
 /// Aggregated outcome of a run (also see per-node accessors on Scenario).
@@ -200,6 +231,16 @@ struct ScenarioSummary {
   double mean_governor_realized_loss = 0.0;
   std::uint64_t mean_governor_mistakes = 0;
   net::NetworkStats network;
+
+  /// Sharding: one entry per committee (size 1 for classic runs).
+  std::vector<ShardSummary> shards;
+  /// Transactions refused at collector intake because provider and collector
+  /// live in different committees (TraceKind::kCrossShardRejected).
+  std::uint64_t cross_shard_rejected = 0;
+  /// Beacon anchors recorded across all committees.
+  std::uint64_t anchors_recorded = 0;
+  /// Every live replica verified against its shard's latest anchor.
+  bool anchors_ok = false;
 };
 
 }  // namespace repchain::sim

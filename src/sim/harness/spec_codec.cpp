@@ -6,26 +6,50 @@
 namespace repchain::sim {
 namespace {
 
-constexpr std::uint8_t kConfigVersion = 1;
+// v1 predates sharding; v2 appends shard_count / anchor_interval /
+// cross_shard_probability / bounded_history. The version byte leads the
+// encoding, so v1 and v2 universes can never present the same genesis hash.
+constexpr std::uint8_t kConfigVersion = 2;
 
 }  // namespace
 
-void require_cluster_runnable(const ScenarioConfig& c) {
+void require_encodable(const ScenarioConfig& c) {
   if (!c.crashes.empty())
-    throw ConfigError("cluster config cannot schedule crashes");
+    throw ConfigError("encodable config cannot schedule crashes");
   if (!c.faults.empty())
-    throw ConfigError("cluster config cannot schedule network faults");
+    throw ConfigError("encodable config cannot schedule network faults");
   if (!c.adversary.empty())
-    throw ConfigError("cluster config cannot schedule an adversary plan");
+    throw ConfigError("encodable config cannot schedule an adversary plan");
   if (c.durable_governors)
-    throw ConfigError("cluster config cannot attach durable governors");
+    throw ConfigError("encodable config cannot attach durable governors");
   if (!c.storage_dir.empty())
-    throw ConfigError("cluster config cannot use on-disk storage");
+    throw ConfigError("encodable config cannot use on-disk storage");
+}
+
+void require_cluster_runnable(const ScenarioConfig& c) {
+  require_encodable(c);
+  if (c.shard_count > 1)
+    throw ConfigError("cluster config cannot host a sharded deployment "
+                      "(one committee graph per run)");
 }
 
 void normalize_config(ScenarioConfig& config) {
   config.topology.validate();
   config.governor.rep.validate();
+  if (config.shard_count == 0)
+    throw ConfigError("shard_count must be >= 1");
+  if (config.shard_count > config.topology.governors)
+    throw ConfigError("shard_count exceeds the governor count");
+  if (config.anchor_interval == 0)
+    throw ConfigError("anchor_interval must be >= 1");
+  if (config.cross_shard_probability < 0.0 || config.cross_shard_probability > 1.0)
+    throw ConfigError("cross_shard_probability must be within [0, 1]");
+  if (config.cross_shard_probability > 0.0 && config.shard_count == 1)
+    throw ConfigError("cross_shard_probability needs shard_count > 1");
+  if (config.shard_count > 1 && config.governor_visibility < 1.0)
+    throw ConfigError(
+        "partial governor visibility is not supported with shard_count > 1 "
+        "(visibility views are drawn over the global collector set)");
   config.governor.enable_label_gossip |= config.enable_label_gossip;
   config.governor.reliable_delivery |= config.reliable_delivery;
   // A scheduled adversary switches on the paired defenses: the Byzantine
@@ -44,7 +68,7 @@ void normalize_config(ScenarioConfig& config) {
 }
 
 Bytes encode_config(const ScenarioConfig& c) {
-  require_cluster_runnable(c);
+  require_encodable(c);
   BinaryWriter w;
   w.u8(kConfigVersion);
   w.u64(c.topology.providers);
@@ -95,6 +119,10 @@ Bytes encode_config(const ScenarioConfig& c) {
   w.boolean(c.enable_label_gossip);
   w.boolean(c.reliable_delivery);
   w.u64(c.seed);
+  w.u64(c.shard_count);
+  w.u64(c.anchor_interval);
+  w.f64(c.cross_shard_probability);
+  w.u64(c.bounded_history);
   return std::move(w).take();
 }
 
@@ -155,6 +183,10 @@ ScenarioConfig decode_config(BytesView data) {
   c.enable_label_gossip = r.boolean();
   c.reliable_delivery = r.boolean();
   c.seed = r.u64();
+  c.shard_count = r.u64();
+  c.anchor_interval = r.u64();
+  c.cross_shard_probability = r.f64();
+  c.bounded_history = r.u64();
   r.expect_done();
   return c;
 }

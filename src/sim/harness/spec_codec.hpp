@@ -21,15 +21,19 @@ namespace repchain::sim {
 /// liveness watchdog on.
 void normalize_config(ScenarioConfig& config);
 
-/// Throws ConfigError on features a multi-process run cannot host: crash
-/// plans, network fault schedules, adversary plans, durable governors,
+/// Throws ConfigError on features the canonical encoding cannot express:
+/// crash plans, network fault schedules, adversary plans, durable governors,
 /// on-disk storage — those need in-process access to the governor objects.
+/// Sharded configs ARE encodable (their genesis identity must be computable
+/// so two differently-sharded universes cannot admit each other).
+void require_encodable(const ScenarioConfig& config);
+
+/// Everything require_encodable checks, plus rejection of `shard_count > 1`:
+/// the multi-process cluster hosts exactly one committee graph per run.
 void require_cluster_runnable(const ScenarioConfig& config);
 
-/// Canonical byte encoding of a cluster-runnable config. Throws ConfigError
-/// on features a multi-process run cannot host: crash plans, network fault
-/// schedules, adversary plans, durable governors, on-disk storage — those
-/// need in-process access to the governor objects.
+/// Canonical byte encoding of an encodable config (see require_encodable,
+/// which this applies). Throws ConfigError on inexpressible features.
 [[nodiscard]] Bytes encode_config(const ScenarioConfig& config);
 
 /// Inverse of encode_config. Throws DecodeError on malformed input.

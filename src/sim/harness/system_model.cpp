@@ -1,5 +1,6 @@
 #include "sim/harness/system_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/errors.hpp"
@@ -70,6 +71,40 @@ SystemModel SystemModel::build(const ScenarioConfig& config,
       }
     }
     m.governor_visible.push_back(std::move(visible));
+  }
+
+  // Committee partition: per-shard directories over the same global ids and
+  // node ids, with a per-committee circulant link structure. At
+  // shard_count = 1 the single shard directory replays build_links exactly
+  // (local member order == global id order, r_s == r), so the classic
+  // deployment is reproduced bit-for-bit.
+  m.router = protocol::ShardRouter(config.shard_count, topo.providers,
+                                   topo.collectors, topo.governors);
+  for (std::size_t s = 0; s < config.shard_count; ++s) {
+    const ShardId shard(static_cast<std::uint32_t>(s));
+    protocol::Directory d;
+    const auto& ps = m.router.providers_of(shard);
+    const auto& cs = m.router.collectors_of(shard);
+    for (const ProviderId p : ps) d.add_provider(p, m.directory.node_of(p));
+    for (const CollectorId c : cs) d.add_collector(c, m.directory.node_of(c));
+    for (const GovernorId g : m.router.governors_of(shard)) {
+      d.add_governor(g, m.directory.node_of(g));
+    }
+    const std::size_t r_s = std::min(topo.r, cs.size());
+    for (std::size_t ip = 0; ip < ps.size(); ++ip) {
+      for (std::size_t j = 0; j < r_s; ++j) {
+        d.link(ps[ip], cs[(ip * r_s + j) % cs.size()]);
+      }
+    }
+    protocol::StakeLedger genesis;
+    for (const GovernorId g : m.router.governors_of(shard)) {
+      const std::uint64_t units = g.value() < config.governor_stakes.size()
+                                      ? config.governor_stakes[g.value()]
+                                      : 1;
+      genesis.set(g, units);
+    }
+    m.shard_directories.push_back(std::move(d));
+    m.shard_genesis.push_back(std::move(genesis));
   }
   return m;
 }

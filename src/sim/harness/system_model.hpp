@@ -16,6 +16,7 @@
 #include "identity/identity_manager.hpp"
 #include "protocol/directory.hpp"
 #include "protocol/round_timing.hpp"
+#include "protocol/shard_router.hpp"
 #include "protocol/stake.hpp"
 #include "sim/harness/spec.hpp"
 
@@ -32,6 +33,13 @@ struct SystemModel {
   std::vector<crypto::SigningKey> governor_keys;
   protocol::StakeLedger genesis;
   std::vector<std::vector<CollectorId>> governor_visible;
+
+  // Committee partition. At shard_count = 1 every per-shard structure is
+  // content-identical to its global counterpart above (same insertion order,
+  // same circulant links), which is what keeps classic runs bit-identical.
+  protocol::ShardRouter router;
+  std::vector<protocol::Directory> shard_directories;  // global ids retained
+  std::vector<protocol::StakeLedger> shard_genesis;
 
   /// `config` must already be normalized. Key derivation consumes one
   /// derive(2) child stream of `scenario_rng`: the identity-manager seed

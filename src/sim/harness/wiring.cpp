@@ -23,6 +23,9 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
   SystemModel model = SystemModel::build(config_, rng_);
   im_ = std::move(model.im);
   directory_ = std::move(model.directory);
+  router_ = std::move(model.router);
+  shard_directories_ = std::move(model.shard_directories);
+  shard_genesis_ = std::move(model.shard_genesis);
   timing_ = model.timing;
   genesis_ = std::move(model.genesis);
   governor_visible_ = std::move(model.governor_visible);
@@ -40,8 +43,14 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
                                               queue, rng_);
   if (faulty_) transport_ = faulty_.get();
 
-  governor_group_ = std::make_unique<runtime::AtomicBroadcastGroup>(
-      *transport_, directory_.governor_nodes());
+  // One atomic-broadcast group per committee: collectors upload to (and
+  // governors gossip within) their own shard's governors only. On classic
+  // runs this is the single global governor group, same member list as ever.
+  for (const auto& shard_dir : shard_directories_) {
+    shard_groups_.push_back(std::make_unique<runtime::AtomicBroadcastGroup>(
+        *transport_, shard_dir.governor_nodes()));
+  }
+  governor_group_ = shard_groups_.front().get();
 
   // Instantiate nodes behind their runtime contexts (deques keep references
   // stable while wiring handlers).
@@ -50,24 +59,37 @@ Wiring::Wiring(ScenarioConfig& config, const Rng& rng, net::EventQueue& queue,
     provider_ctxs_.emplace_back(directory_.node_of(id), *transport_,
                                 rng_.derive(3000 + i));
     providers_.emplace_back(id, provider_ctxs_.back(), std::move(provider_keys[i]),
-                            *im_, *oracle_, directory_, config_.providers_active,
-                            config_.reliable_delivery);
+                            *im_, *oracle_,
+                            shard_directories_[router_.shard_of(id).value()],
+                            config_.providers_active, config_.reliable_delivery);
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       providers_[i].on_message(m);
     });
   }
   for (std::size_t i = 0; i < topo.collectors; ++i) {
     const CollectorId id(static_cast<std::uint32_t>(i));
+    const ShardId shard = router_.shard_of(id);
     const protocol::CollectorBehavior behavior =
         config_.behaviors.empty()
             ? protocol::CollectorBehavior::honest()
             : config_.behaviors[i % config_.behaviors.size()];
+    // Sharded collectors get the trace sink (cross-shard rejects are round
+    // observations); classic ones keep their sink-less context as before.
     collector_ctxs_.emplace_back(directory_.node_of(id), *transport_,
-                                 rng_.derive(1000 + i));
+                                 rng_.derive(1000 + i),
+                                 config_.shard_count > 1
+                                     ? static_cast<runtime::TraceSink*>(&observer)
+                                     : nullptr);
     collector_baselines_.push_back(behavior);
     collectors_.emplace_back(id, collector_ctxs_.back(), std::move(collector_keys[i]),
-                             *im_, *oracle_, directory_, *governor_group_, behavior,
+                             *im_, *oracle_, shard_directories_[shard.value()],
+                             *shard_groups_[shard.value()], behavior,
                              config_.reliable_delivery);
+    if (config_.shard_count > 1) {
+      collectors_.back().set_shard_filter([this, shard](ProviderId p) {
+        return router_.shard_of(p) == shard;
+      });
+    }
     net_->set_handler(directory_.node_of(id), [this, i](const net::Message& m) {
       collectors_[i].on_message(m);
     });
@@ -106,13 +128,15 @@ Wiring::~Wiring() = default;
 
 void Wiring::make_governor(std::size_t i) {
   const GovernorId id(static_cast<std::uint32_t>(i));
+  const ShardId shard = router_.shard_of(id);
   storage::NodeStateStore* store =
       governor_stores_.empty() ? nullptr : governor_stores_[i].get();
   protocol::GovernorConfig gc = config_.governor;
   gc.channel_epoch = governor_epochs_[i];
   governors_[i] = std::make_unique<protocol::Governor>(
-      id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_, directory_,
-      *governor_group_, gc, genesis_, governor_visible_[i], store);
+      id, governor_ctxs_[i], governor_keys_[i], *im_, *oracle_,
+      shard_directories_[shard.value()], *shard_groups_[shard.value()], gc,
+      shard_genesis_[shard.value()], governor_visible_[i], store);
   if (governor_byz_[i].any()) governors_[i]->set_byzantine(governor_byz_[i]);
 }
 

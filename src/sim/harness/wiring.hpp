@@ -73,6 +73,11 @@ struct Wiring {
     return static_cast<SimTime>(r - 1) * timing_.round_span;
   }
 
+  /// Committee of a member id (shard 0 on classic runs).
+  [[nodiscard]] ShardId shard_of(ProviderId id) const { return router_.shard_of(id); }
+  [[nodiscard]] ShardId shard_of(CollectorId id) const { return router_.shard_of(id); }
+  [[nodiscard]] ShardId shard_of(GovernorId id) const { return router_.shard_of(id); }
+
   ScenarioConfig& config_;
   Rng rng_;
   std::unique_ptr<net::SimNetwork> net_;
@@ -81,7 +86,17 @@ struct Wiring {
   std::unique_ptr<identity::IdentityManager> im_;
   std::unique_ptr<ledger::ValidationOracle> oracle_;
   protocol::Directory directory_;
-  std::unique_ptr<runtime::AtomicBroadcastGroup> governor_group_;
+  // Committee partition: the router plus per-shard directories / genesis /
+  // broadcast groups. One shard on classic runs, where shard 0's structures
+  // are content-identical to the global ones.
+  protocol::ShardRouter router_;
+  std::vector<protocol::Directory> shard_directories_;
+  std::vector<protocol::StakeLedger> shard_genesis_;
+  std::vector<std::unique_ptr<runtime::AtomicBroadcastGroup>> shard_groups_;
+  // The shard-0 group; the committee every governor of a classic run is in.
+  // Kept as a named alias because the cluster driver (single-committee by
+  // require_cluster_runnable) re-broadcasts through it.
+  runtime::AtomicBroadcastGroup* governor_group_ = nullptr;
   protocol::RoundTiming timing_;
 
   // deques: node objects must never relocate (handlers, contexts and the

@@ -7,6 +7,12 @@ void RoundObserver::on_event(const runtime::TraceEvent& ev) {
   // before the watched filter.
   if (ev.kind == runtime::TraceKind::kRoundStalled) ++stalled_events_;
   if (ev.kind == runtime::TraceKind::kByzantineEvidence) ++byzantine_evidence_;
+  // Cross-shard rejects are a global tally too; collectors do not track
+  // rounds, so the event must not open a (round 0) entry below.
+  if (ev.kind == runtime::TraceKind::kCrossShardRejected) {
+    ++cross_shard_rejected_;
+    return;
+  }
   if (watched_ && ev.node != *watched_) return;
   switch (ev.kind) {
     case runtime::TraceKind::kLeaderElected:
@@ -21,6 +27,17 @@ void RoundObserver::on_event(const runtime::TraceEvent& ev) {
       // they still open the round entry so rounds_seen() counts them.
       rounds_.try_emplace(ev.round);
       break;
+  }
+  prune();
+}
+
+void RoundObserver::prune() {
+  while (retention_ != 0 && rounds_.size() > retention_) {
+    auto oldest = rounds_.begin();
+    for (auto it = rounds_.begin(); it != rounds_.end(); ++it) {
+      if (it->first < oldest->first) oldest = it;
+    }
+    rounds_.erase(oldest);
   }
 }
 

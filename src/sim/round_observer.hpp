@@ -44,6 +44,17 @@ class RoundObserver final : public runtime::TraceSink {
   /// catching active misbehavior (the adversary harness asserts on these).
   [[nodiscard]] std::uint64_t byzantine_evidence() const { return byzantine_evidence_; }
 
+  /// kCrossShardRejected events across ALL nodes: collectors refusing
+  /// transactions whose provider lives in another committee.
+  [[nodiscard]] std::uint64_t cross_shard_rejected() const {
+    return cross_shard_rejected_;
+  }
+
+  /// Keep only the newest `rounds` round entries (0 = unbounded, the
+  /// default). Long sweeps over large populations set this so the per-round
+  /// map stays memory-bounded; global tallies are unaffected.
+  void set_retention(std::size_t rounds) { retention_ = rounds; }
+
  private:
   struct Entry {
     std::optional<GovernorId> leader;
@@ -51,10 +62,14 @@ class RoundObserver final : public runtime::TraceSink {
     std::optional<SimTime> commit_at;
   };
 
+  void prune();
+
   std::optional<NodeId> watched_;
   std::unordered_map<Round, Entry> rounds_;
   std::uint64_t stalled_events_ = 0;
   std::uint64_t byzantine_evidence_ = 0;
+  std::uint64_t cross_shard_rejected_ = 0;
+  std::size_t retention_ = 0;
 };
 
 }  // namespace repchain::sim

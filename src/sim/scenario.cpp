@@ -16,6 +16,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)), rng_(con
   workload_ = std::make_unique<Workload>(config_, rng_, queue_, *wiring_);
 
   observation_.init(config_.topology.collectors, config_.topology.governors);
+  observation_.set_bounded_history(config_.bounded_history);
 }
 
 Scenario::~Scenario() = default;
@@ -54,6 +55,13 @@ void Scenario::run_round() {
   queue_.run_until(t0 + timing.round_span);
 
   observation_.end_round(*wiring_);
+
+  // Cross-shard anchoring: commit every committee's chain head into the
+  // beacon at the interval boundary (pure observation — no messages, no RNG,
+  // so classic fixed-seed runs are untouched).
+  if (round_ % config_.anchor_interval == 0) {
+    observation_.record_anchors(*wiring_, round_);
+  }
 }
 
 void Scenario::run() {

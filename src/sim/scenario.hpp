@@ -78,6 +78,15 @@ class Scenario {
   [[nodiscard]] const protocol::Directory& directory() const {
     return wiring_->directory_;
   }
+  /// The committee partition (identity routing on classic runs).
+  [[nodiscard]] const protocol::ShardRouter& shard_router() const {
+    return wiring_->router_;
+  }
+  /// The cross-shard anchor log (one head commitment per committee every
+  /// anchor_interval rounds).
+  [[nodiscard]] const ledger::BeaconLog& beacon() const {
+    return observation_.beacon();
+  }
   [[nodiscard]] ledger::ValidationOracle& oracle() { return *wiring_->oracle_; }
   [[nodiscard]] net::SimNetwork& network() { return *wiring_->net_; }
   /// Fault-injection stats (null when no faults are scheduled).

@@ -29,11 +29,13 @@ enum class ProtocolError : std::uint8_t {
   kUnknownPacket = 9,    // packet type unknown at the negotiated version
   kBadRole = 10,         // handshake role invalid for this endpoint
   kBadNodeIndex = 11,    // hosted-node announcement out of range/duplicate
-  kUnexpectedPacket = 12 // well-formed packet at the wrong exchange point
+  kUnexpectedPacket = 12,// well-formed packet at the wrong exchange point
+  kCrossShardTx = 13     // tx's provider and collector live in different
+                         // committees (pettycoin TRANS_CROSS_SHARDS)
 };
 
 /// Number of defined codes (fuzz coverage assertions iterate the range).
-inline constexpr std::size_t kProtocolErrorCount = 13;
+inline constexpr std::size_t kProtocolErrorCount = 14;
 
 [[nodiscard]] constexpr std::string_view to_string(ProtocolError e) {
   switch (e) {
@@ -50,6 +52,7 @@ inline constexpr std::size_t kProtocolErrorCount = 13;
     case ProtocolError::kBadRole: return "bad-role";
     case ProtocolError::kBadNodeIndex: return "bad-node-index";
     case ProtocolError::kUnexpectedPacket: return "unexpected-packet";
+    case ProtocolError::kCrossShardTx: return "cross-shard-tx";
   }
   return "invalid";
 }

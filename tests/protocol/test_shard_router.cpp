@@ -1,0 +1,124 @@
+// Committee partitioning: the stable-hash placement is part of the consensus
+// surface (every node must derive the same partition), so the hash itself and
+// the assignment semantics are pinned here.
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "protocol/shard_router.hpp"
+
+namespace repchain::protocol {
+namespace {
+
+TEST(ShardRouter, StableHashIsPinned) {
+  // FNV-1a 64 over (tag, value LE). These values are the wire contract: a
+  // change silently re-partitions every deployed population.
+  const auto fnv = [](std::uint8_t tag, std::uint32_t v) {
+    std::uint64_t h = 14695981039346656037ULL;
+    const auto mix = [&h](std::uint8_t byte) {
+      h ^= byte;
+      h *= 1099511628211ULL;
+    };
+    mix(tag);
+    for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(v >> (8 * i)));
+    return h;
+  };
+  for (const std::uint8_t tag : {std::uint8_t{0x50}, std::uint8_t{0x43}}) {
+    for (const std::uint32_t v : {0u, 1u, 7u, 1000u, 0xFFFFFFFFu}) {
+      EXPECT_EQ(ShardRouter::stable_hash(tag, v), fnv(tag, v));
+    }
+  }
+  // Tag bytes keep provider/collector id spaces in distinct hash families.
+  EXPECT_NE(ShardRouter::stable_hash(0x50, 3), ShardRouter::stable_hash(0x43, 3));
+}
+
+TEST(ShardRouter, SingleShardPutsEveryoneInShardZero) {
+  const ShardRouter router(1, 8, 4, 3);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(router.shard_of(ProviderId(i)), ShardId(0));
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(router.shard_of(CollectorId(i)), ShardId(0));
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(router.shard_of(GovernorId(i)), ShardId(0));
+  }
+  // Membership lists preserve ascending global-id order.
+  ASSERT_EQ(router.providers_of(ShardId(0)).size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(router.providers_of(ShardId(0))[i], ProviderId(i));
+  }
+  EXPECT_FALSE(router.cross_shard(ProviderId(5), CollectorId(2)));
+}
+
+TEST(ShardRouter, DefaultConstructedRoutesEverythingToShardZero) {
+  const ShardRouter router;
+  EXPECT_EQ(router.shard_count(), 1u);
+  EXPECT_EQ(router.shard_of(ProviderId(123)), ShardId(0));
+  EXPECT_EQ(router.shard_of(CollectorId(9)), ShardId(0));
+  EXPECT_FALSE(router.cross_shard(ProviderId(1), CollectorId(2)));
+}
+
+TEST(ShardRouter, PartitionIsDeterministicAndComplete) {
+  const ShardRouter a(4, 24, 12, 12);
+  const ShardRouter b(4, 24, 12, 12);
+  std::size_t providers = 0, collectors = 0, governors = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const ShardId shard(s);
+    providers += a.providers_of(shard).size();
+    collectors += a.collectors_of(shard).size();
+    governors += a.governors_of(shard).size();
+    EXPECT_EQ(a.providers_of(shard), b.providers_of(shard));
+    EXPECT_EQ(a.collectors_of(shard), b.collectors_of(shard));
+    EXPECT_EQ(a.governors_of(shard), b.governors_of(shard));
+    // Membership and reverse lookup agree.
+    for (const ProviderId p : a.providers_of(shard)) {
+      EXPECT_EQ(a.shard_of(p), shard);
+    }
+    for (const CollectorId c : a.collectors_of(shard)) {
+      EXPECT_EQ(a.shard_of(c), shard);
+    }
+    for (const GovernorId g : a.governors_of(shard)) {
+      EXPECT_EQ(a.shard_of(g), shard);
+    }
+  }
+  EXPECT_EQ(providers, 24u);
+  EXPECT_EQ(collectors, 12u);
+  EXPECT_EQ(governors, 12u);
+}
+
+TEST(ShardRouter, GovernorsAreDealtRoundRobin) {
+  const ShardRouter router(3, 9, 6, 7);
+  // i % shard_count keeps committees within one member of each other.
+  EXPECT_EQ(router.shard_of(GovernorId(0)), ShardId(0));
+  EXPECT_EQ(router.shard_of(GovernorId(1)), ShardId(1));
+  EXPECT_EQ(router.shard_of(GovernorId(2)), ShardId(2));
+  EXPECT_EQ(router.shard_of(GovernorId(3)), ShardId(0));
+  EXPECT_EQ(router.governors_of(ShardId(0)).size(), 3u);
+  EXPECT_EQ(router.governors_of(ShardId(1)).size(), 2u);
+  EXPECT_EQ(router.governors_of(ShardId(2)).size(), 2u);
+}
+
+TEST(ShardRouter, CrossShardDetectsCommitteeSpanningPairs) {
+  const ShardRouter router(2, 16, 8, 4);
+  std::size_t cross = 0, local = 0;
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      const bool x = router.cross_shard(ProviderId(p), CollectorId(c));
+      EXPECT_EQ(x, router.shard_of(ProviderId(p)) != router.shard_of(CollectorId(c)));
+      (x ? cross : local) += 1;
+    }
+  }
+  EXPECT_GT(cross, 0u);
+  EXPECT_GT(local, 0u);
+}
+
+TEST(ShardRouter, RejectsUnrealizablePartitions) {
+  EXPECT_THROW(ShardRouter(0, 8, 4, 3), ConfigError);
+  // More committees than governors: some committee could never elect.
+  EXPECT_THROW(ShardRouter(4, 8, 4, 3), ConfigError);
+  // Tiny populations strand a shard without a provider or collector.
+  EXPECT_THROW(ShardRouter(2, 1, 1, 2), ConfigError);
+}
+
+}  // namespace
+}  // namespace repchain::protocol

@@ -95,5 +95,86 @@ TEST(SpecCodec, ClusterGateAcceptsPlainConfig) {
   EXPECT_NO_THROW(require_cluster_runnable(cfg));
 }
 
+ScenarioConfig sharded_config() {
+  ScenarioConfig cfg = rich_config();
+  cfg.topology.providers = 16;
+  cfg.topology.collectors = 8;
+  cfg.topology.governors = 4;
+  cfg.behaviors.clear();
+  cfg.shard_count = 2;
+  cfg.anchor_interval = 3;
+  cfg.cross_shard_probability = 0.25;
+  cfg.bounded_history = 64;
+  return cfg;
+}
+
+TEST(SpecCodec, ShardFieldsRoundTrip) {
+  ScenarioConfig cfg = sharded_config();
+  normalize_config(cfg);
+  const Bytes blob = encode_config(cfg);
+  const ScenarioConfig back = decode_config(blob);
+  EXPECT_EQ(back.shard_count, 2u);
+  EXPECT_EQ(back.anchor_interval, 3u);
+  EXPECT_EQ(back.cross_shard_probability, 0.25);
+  EXPECT_EQ(back.bounded_history, 64u);
+  EXPECT_EQ(encode_config(back), blob);
+}
+
+TEST(SpecCodec, GenesisIsShardSensitive) {
+  // Two configs differing only in the committee partition must not admit
+  // each other: they describe different ledgers (per-shard chains), so the
+  // genesis identity exchanged in the handshake has to split.
+  ScenarioConfig one = sharded_config();
+  ScenarioConfig two = sharded_config();
+  one.shard_count = 1;
+  one.cross_shard_probability = 0.0;  // needs shards; drop for the S=1 twin
+  two.cross_shard_probability = 0.0;
+  EXPECT_NE(config_genesis(one), config_genesis(two));
+
+  ScenarioConfig spaced = sharded_config();
+  spaced.anchor_interval = 4;
+  EXPECT_NE(config_genesis(sharded_config()), config_genesis(spaced));
+}
+
+TEST(SpecCodec, ClusterGateRejectsShardsButEncodingAllowsThem) {
+  ScenarioConfig cfg = sharded_config();
+  normalize_config(cfg);
+  // Sharded specs are first-class for codec/genesis purposes...
+  EXPECT_NO_THROW(require_encodable(cfg));
+  EXPECT_NO_THROW((void)encode_config(cfg));
+  // ...but the multi-process cluster host runs exactly one committee.
+  EXPECT_THROW(require_cluster_runnable(cfg), ConfigError);
+
+  cfg.shard_count = 1;
+  cfg.cross_shard_probability = 0.0;
+  EXPECT_NO_THROW(require_cluster_runnable(cfg));
+}
+
+TEST(SpecCodec, NormalizeRejectsUnrealizableShardSpecs) {
+  ScenarioConfig cfg = sharded_config();
+  cfg.shard_count = 0;
+  EXPECT_THROW(normalize_config(cfg), ConfigError);
+
+  cfg = sharded_config();
+  cfg.shard_count = 5;  // more committees than governors
+  EXPECT_THROW(normalize_config(cfg), ConfigError);
+
+  cfg = sharded_config();
+  cfg.anchor_interval = 0;
+  EXPECT_THROW(normalize_config(cfg), ConfigError);
+
+  cfg = sharded_config();
+  cfg.cross_shard_probability = 1.5;
+  EXPECT_THROW(normalize_config(cfg), ConfigError);
+
+  cfg = sharded_config();
+  cfg.shard_count = 1;  // cross-shard traffic needs somewhere foreign to go
+  EXPECT_THROW(normalize_config(cfg), ConfigError);
+
+  cfg = sharded_config();
+  cfg.governor_visibility = 0.5;  // views are drawn over the global set
+  EXPECT_THROW(normalize_config(cfg), ConfigError);
+}
+
 }  // namespace
 }  // namespace repchain::sim
