@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/bytes.hpp"
 #include "common/errors.hpp"
 #include "ledger/chain.hpp"
 #include "sim/harness/spec_codec.hpp"
@@ -28,6 +29,9 @@ ClusterRun::ClusterRun(sim::ScenarioConfig config,
                       " node connections for " +
                       std::to_string(config_.topology.governors) + " governors");
   }
+  alive_.assign(conns_.size(), true);
+  generation_.assign(conns_.size(), 0);
+  incarnations_.assign(conns_.size(), 0);
 
   // Mirror the Scenario constructor sequence on the driver-side objects.
   wiring_ = std::make_unique<sim::Wiring>(config_, rng_, queue_,
@@ -41,32 +45,76 @@ ClusterRun::ClusterRun(sim::ScenarioConfig config,
   // any later delivery that could validate the transaction.
   wiring_->oracle_->set_register_hook([this](const ledger::TxId& id, bool valid) {
     const Bytes payload = encode_register_tx({id, valid});
-    for (auto& conn : conns_) {
-      conn->send_frame(static_cast<std::uint16_t>(ClusterPacket::kRegisterTx),
-                       payload);
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (!alive_[i] || conns_[i] == nullptr) continue;
+      try {
+        conns_[i]->send_frame(
+            static_cast<std::uint16_t>(ClusterPacket::kRegisterTx), payload);
+      } catch (const std::exception&) {
+        if (!converge_) throw;
+        mark_dead(i);
+      }
     }
   });
+}
+
+void ClusterRun::set_supervision(CrashPlan plan, KillFn kill, RespawnFn respawn,
+                                 std::uint32_t max_restart_attempts,
+                                 std::uint64_t rpc_timeout_us) {
+  converge_ = true;
+  plan_ = plan;
+  kill_ = std::move(kill);
+  respawn_ = std::move(respawn);
+  max_restarts_ = max_restart_attempts;
+  rpc_timeout_us_ = rpc_timeout_us;
+  // A node that dies mid-RPC without closing its socket must not wedge the
+  // driver: bound every blocking call (SyncConn throws kPeerTimeout).
+  for (auto& conn : conns_) {
+    if (conn != nullptr) conn->set_timeout(rpc_timeout_us_);
+  }
+}
+
+void ClusterRun::mark_dead(std::size_t index) {
+  if (!alive_[index]) return;
+  alive_[index] = false;
+  ++generation_[index];
+  conns_[index].reset();
+}
+
+std::size_t ClusterRun::first_alive() const {
+  for (std::size_t i = 0; i < alive_.size(); ++i)
+    if (alive_[i]) return i;
+  return alive_.size();
 }
 
 ClusterRun::~ClusterRun() = default;
 
 std::vector<Effect> ClusterRun::rpc_done(std::size_t index, ClusterPacket type,
                                          BytesView payload) {
-  SyncConn& conn = *conns_[index];
-  conn.send_frame(static_cast<std::uint16_t>(type), payload);
-  const wire::Frame reply = conn.recv_frame();
-  if (reply.type == static_cast<std::uint16_t>(wire::PacketType::kError)) {
-    const wire::ErrorPacket err = wire::decode_error(reply.payload);
-    throw wire::WireError(err.code, "node " + std::to_string(index) +
-                                        " failed: " + err.detail);
+  if (converge_ && (!alive_[index] || conns_[index] == nullptr)) return {};
+  try {
+    SyncConn& conn = *conns_[index];
+    conn.send_frame(static_cast<std::uint16_t>(type), payload);
+    const wire::Frame reply = conn.recv_frame();
+    if (reply.type == static_cast<std::uint16_t>(wire::PacketType::kError)) {
+      const wire::ErrorPacket err = wire::decode_error(reply.payload);
+      throw wire::WireError(err.code, "node " + std::to_string(index) +
+                                          " failed: " + err.detail);
+    }
+    if (reply.type != static_cast<std::uint16_t>(ClusterPacket::kDone)) {
+      throw wire::WireError(wire::ProtocolError::kUnexpectedPacket,
+                            "node " + std::to_string(index) +
+                                ": expected kDone, got type " +
+                                std::to_string(reply.type));
+    }
+    return decode_effects(reply.payload);
+  } catch (const std::exception&) {
+    // Convergence mode treats a broken/hung/expelled node as a crash: mark
+    // it dead and let the round continue over the survivors.
+    if (!converge_) throw;
+    mark_dead(index);
+    return {};
   }
-  if (reply.type != static_cast<std::uint16_t>(ClusterPacket::kDone)) {
-    throw wire::WireError(wire::ProtocolError::kUnexpectedPacket,
-                          "node " + std::to_string(index) +
-                              ": expected kDone, got type " +
-                              std::to_string(reply.type));
-  }
-  return decode_effects(reply.payload);
 }
 
 Bytes ClusterRun::rpc_query(std::size_t index, ClusterPacket request,
@@ -93,6 +141,20 @@ GovernorState ClusterRun::query_state(std::size_t index) {
       rpc_query(index, ClusterPacket::kQueryState, ClusterPacket::kState));
 }
 
+std::optional<Bytes> ClusterRun::try_query(std::size_t index,
+                                           ClusterPacket request,
+                                           ClusterPacket reply) {
+  if (converge_ && (!alive_[index] || conns_[index] == nullptr))
+    return std::nullopt;
+  try {
+    return rpc_query(index, request, reply);
+  } catch (const std::exception&) {
+    if (!converge_) throw;
+    mark_dead(index);
+    return std::nullopt;
+  }
+}
+
 void ClusterRun::apply_effects(std::size_t index,
                                const std::vector<Effect>& effects) {
   for (const Effect& e : effects) {
@@ -107,9 +169,15 @@ void ClusterRun::apply_effects(std::size_t index,
         wiring_->governor_group_->broadcast(e.from, e.msg_kind, e.payload);
         break;
       case Effect::Kind::kArmTimer:
-        queue_.schedule_at(e.at, [this, index, id = e.timer_id] {
-          fire_timer(index, id);
-        });
+        // The generation captured at arm time guards against stale fires: a
+        // timer armed by a killed incarnation must not be fired into its
+        // successor (whose timer-id space restarted from scratch).
+        queue_.schedule_at(
+            e.at, [this, index, id = e.timer_id, gen = generation_[index]] {
+              if (converge_ && (!alive_[index] || generation_[index] != gen))
+                return;
+              fire_timer(index, id);
+            });
         break;
       case Effect::Kind::kTrace:
         observation_.observer().on_event(e.trace);
@@ -124,6 +192,7 @@ void ClusterRun::fire_timer(std::size_t index, std::uint64_t timer_id) {
 }
 
 void ClusterRun::deliver(std::size_t index, const runtime::Message& msg) {
+  if (converge_ && !alive_[index]) return;  // messages to the dead are lost
   apply_effects(index, rpc_done(index, ClusterPacket::kDeliver,
                                 encode_deliver(queue_.now(), msg)));
 }
@@ -132,10 +201,17 @@ sim::CounterProbe ClusterRun::probe_counters() {
   sim::CounterProbe p;
   p.validations = wiring_->oracle_->validations();
   p.messages = wiring_->net_->stats().messages_sent;
+  bool ref_set = false;
   for (std::size_t i = 0; i < conns_.size(); ++i) {
-    const GovernorState s = query_state(i);
+    const auto bytes = try_query(i, ClusterPacket::kQueryState,
+                                 ClusterPacket::kState);
+    if (!bytes) continue;  // dead node (convergence mode only)
+    const GovernorState s = decode_state(*bytes);
     p.validations += s.validations;
-    if (i == 0) p.ref_expected_loss = s.expected_loss;  // reference replica
+    if (!ref_set) {  // reference replica: first live governor
+      p.ref_expected_loss = s.expected_loss;
+      ref_set = true;
+    }
     p.argues += s.argues_accepted;
   }
   return p;
@@ -143,17 +219,35 @@ sim::CounterProbe ClusterRun::probe_counters() {
 
 void ClusterRun::sample_rewards() {
   sim::RewardSample sample;
-  const GovernorState ref = query_state(0);
-  sample.leader = ref.leader;
-  if (sample.leader) {
-    sample.leader_live = true;  // cluster configs forbid crashes
-    const std::size_t li = sample.leader->value();
-    const GovernorState ls = li == 0 ? ref : query_state(li);
-    sample.chain_empty = ls.chain_empty;
-    if (!ls.chain_empty) {
-      sample.head_valid_txs = ls.head_valid_txs;
-      sample.shares = decode_shares(
-          rpc_query(li, ClusterPacket::kQueryShares, ClusterPacket::kShares));
+  const std::size_t ref = first_alive();
+  if (ref < conns_.size()) {
+    if (const auto refb = try_query(ref, ClusterPacket::kQueryState,
+                                    ClusterPacket::kState)) {
+      const GovernorState rs = decode_state(*refb);
+      sample.leader = rs.leader;
+      if (sample.leader) {
+        const std::size_t li = sample.leader->value();
+        sample.leader_live = li < alive_.size() && alive_[li];
+        if (sample.leader_live) {
+          const auto lb = li == ref
+                              ? refb
+                              : try_query(li, ClusterPacket::kQueryState,
+                                          ClusterPacket::kState);
+          if (lb) {
+            const GovernorState ls = decode_state(*lb);
+            sample.chain_empty = ls.chain_empty;
+            if (!ls.chain_empty) {
+              sample.head_valid_txs = ls.head_valid_txs;
+              if (const auto sb = try_query(li, ClusterPacket::kQueryShares,
+                                            ClusterPacket::kShares)) {
+                sample.shares = decode_shares(*sb);
+              }
+            }
+          } else {
+            sample.leader_live = false;
+          }
+        }
+      }
     }
   }
   observation_.sample_rewards(config_, sample);
@@ -164,8 +258,10 @@ void ClusterRun::run_audit(Round round) {
   // stream consumed in governor order.
   Rng audit = rng_.derive(20'000 + round);
   for (std::size_t i = 0; i < conns_.size(); ++i) {
-    const std::vector<ledger::TxId> ids = decode_txid_list(rpc_query(
-        i, ClusterPacket::kQueryUnrevealed, ClusterPacket::kUnrevealed));
+    const auto bytes = try_query(i, ClusterPacket::kQueryUnrevealed,
+                                 ClusterPacket::kUnrevealed);
+    if (!bytes) continue;
+    const std::vector<ledger::TxId> ids = decode_txid_list(*bytes);
     for (const ledger::TxId& id : ids) {
       if (audit.bernoulli(config_.audit_probability)) {
         apply_effects(i, rpc_done(i, ClusterPacket::kReveal,
@@ -177,6 +273,11 @@ void ClusterRun::run_audit(Round round) {
 
 void ClusterRun::run_round() {
   ++round_;
+  // Supervision: the respawn happens at a round boundary (before arming,
+  // like the sim's restart_governor), the kill strikes mid-round below.
+  if (converge_ && round_ == plan_.restart_round && !alive_[plan_.victim]) {
+    respawn_victim();
+  }
   const SimTime t0 = queue_.now();
   observation_.begin_round(round_, probe_counters());
 
@@ -184,6 +285,7 @@ void ClusterRun::run_round() {
   // loop before governor i+1's, the order a local loop would produce.
   const protocol::RoundTiming& timing = wiring_->timing_;
   for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (converge_ && !alive_[i]) continue;
     apply_effects(i, rpc_done(i, ClusterPacket::kArmRound,
                               encode_arm_round({queue_.now(), round_, t0})));
   }
@@ -194,10 +296,99 @@ void ClusterRun::run_round() {
   }
 
   queue_.run_until(t0 + timing.workload_offset);
+  if (converge_ && round_ == plan_.kill_round && alive_[plan_.victim] &&
+      kill_) {
+    // SIGKILL mid-round: in-memory state (including any uncommitted round
+    // progress) is gone; only the WAL/snapshot survive on disk.
+    kill_(plan_.victim);
+    mark_dead(plan_.victim);
+    report_.killed_at = queue_.now();
+  }
   workload_->inject(round_);
   queue_.run_until(t0 + timing.round_span);
 
   observation_.end_round(probe_counters());
+}
+
+void ClusterRun::respawn_victim() {
+  const std::size_t v = plan_.victim;
+  const std::uint32_t incarnation = ++incarnations_[v];
+  std::unique_ptr<SyncConn> conn;
+  for (std::uint32_t a = 0; a < max_restarts_ && conn == nullptr; ++a) {
+    ++report_.restart_attempts;
+    try {
+      conn = respawn_(v, incarnation);
+    } catch (const std::exception&) {
+      conn = nullptr;
+    }
+  }
+  if (conn == nullptr) return;  // stays dead; the convergence check fails
+  conn->set_timeout(rpc_timeout_us_);
+  conns_[v] = std::move(conn);
+  alive_[v] = true;
+  ++generation_[v];
+  // The fresh process recovered its chain from disk but its oracle replica
+  // is empty: replay the full ground truth before anything can validate.
+  const auto& truth = wiring_->oracle_->truth();
+  for (const auto& [id, valid] : truth) {
+    const Bytes payload = encode_register_tx({id, valid});
+    try {
+      conns_[v]->send_frame(
+          static_cast<std::uint16_t>(ClusterPacket::kRegisterTx), payload);
+    } catch (const std::exception&) {
+      mark_dead(v);
+      return;
+    }
+  }
+  // Hand the node the master clock and let it start chasing the chain; its
+  // sync requests to peers come back as ordinary send effects.
+  apply_effects(v, rpc_done(v, ClusterPacket::kResync,
+                            encode_resync(queue_.now())));
+  if (alive_[v]) report_.rejoined_at = queue_.now();
+}
+
+bool ClusterRun::check_converged() {
+  std::optional<HeadInfo> ref;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (!alive_[i]) return false;  // a hole in the cluster is not converged
+    const auto bytes =
+        try_query(i, ClusterPacket::kQueryHead, ClusterPacket::kHead);
+    if (!bytes) return false;
+    const HeadInfo h = decode_head(*bytes);
+    if (!ref) {
+      ref = h;
+    } else if (h.serial != ref->serial || h.hash != ref->hash ||
+               h.committed_txs != ref->committed_txs) {
+      return false;
+    }
+  }
+  if (!ref || ref->serial == 0) return false;
+  report_.head_serial = ref->serial;
+  report_.committed_txs = ref->committed_txs;
+  report_.head_hash_hex = to_hex(view(ref->hash));
+  return true;
+}
+
+ConvergenceReport ClusterRun::run_converge(Round grace_rounds) {
+  if (!converge_) {
+    throw ConfigError("cluster driver: run_converge without set_supervision");
+  }
+  for (std::size_t i = 0; i < config_.rounds; ++i) run_round();
+  report_.converged = check_converged();
+  Round extra = 0;
+  // Grace rounds: catch-up traffic needs master-loop time to flow, so keep
+  // running full rounds until the heads agree or patience runs out.
+  while (!report_.converged && extra < grace_rounds) {
+    run_round();
+    ++extra;
+    report_.converged = check_converged();
+  }
+  if (report_.converged) report_.converged_round = round_;
+  report_.rounds_run = round_;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (alive_[i]) (void)rpc_done(i, ClusterPacket::kShutdown, BytesView{});
+  }
+  return report_;
 }
 
 sim::RunResult ClusterRun::run() {

@@ -13,7 +13,10 @@
 // is why the replayed run's summary is byte-identical to the simulated one.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/packets.hpp"
@@ -32,6 +35,30 @@ namespace repchain::cluster {
 /// The welcome the driver presents on every node connection.
 [[nodiscard]] wire::Welcome driver_welcome(const crypto::Hash256& genesis);
 
+/// Supervision schedule for a convergence-mode run: SIGKILL `victim`
+/// mid-round `kill_round`, respawn it against its persisted state directory
+/// at the start of round `restart_round`.
+struct CrashPlan {
+  std::size_t victim = 0;
+  Round kill_round = 0;
+  Round restart_round = 0;
+};
+
+/// What a supervised run reports instead of a byte-compared summary: did
+/// every survivor plus the restarted node end on the same chain head, and
+/// how long did the rejoin take.
+struct ConvergenceReport {
+  bool converged = false;
+  Round rounds_run = 0;        // configured rounds + any grace rounds
+  Round converged_round = 0;   // round at whose end the heads first agreed
+  std::uint64_t head_serial = 0;
+  std::uint64_t committed_txs = 0;
+  std::string head_hash_hex;
+  SimTime killed_at = 0;       // master-clock instant of the SIGKILL
+  SimTime rejoined_at = 0;     // instant the respawn finished re-admission
+  std::uint32_t restart_attempts = 0;
+};
+
 /// One cluster-hosted run. `conns[i]` must be the (already handshaken)
 /// connection to the process hosting governor i; the constructor mirrors the
 /// Scenario constructor sequence on the driver-side objects.
@@ -47,6 +74,27 @@ class ClusterRun final : public sim::RemoteGovernorLink {
   /// Run all configured rounds over the cluster, assemble the RunResult,
   /// and shut the nodes down.
   [[nodiscard]] sim::RunResult run();
+
+  /// Kills the victim process (SIGKILL, no RPC goodbye).
+  using KillFn = std::function<void(std::size_t index)>;
+  /// Respawns governor `index` as incarnation `incarnation` against its
+  /// persisted state directory and returns the admitted (handshaken)
+  /// connection; throws or returns null on a failed attempt.
+  using RespawnFn = std::function<std::unique_ptr<SyncConn>(
+      std::size_t index, std::uint32_t incarnation)>;
+
+  /// Switch this run to convergence mode: RPC failures mark a node dead
+  /// instead of aborting, every connection gets a blocking-IO deadline, the
+  /// crash plan executes during run_converge(), and a failed node is
+  /// respawned at most `max_restart_attempts` times per restart point.
+  void set_supervision(CrashPlan plan, KillFn kill, RespawnFn respawn,
+                       std::uint32_t max_restart_attempts = 3,
+                       std::uint64_t rpc_timeout_us = 10'000'000);
+
+  /// Convergence-mode counterpart of run(): executes the configured rounds
+  /// (with the crash plan), then up to `grace_rounds` extra rounds until
+  /// all nodes report an identical chain head. Shuts the nodes down.
+  [[nodiscard]] ConvergenceReport run_converge(Round grace_rounds = 4);
 
   /// RemoteGovernorLink: a master-loop delivery for governor `index` — the
   /// synchronous RPC at the heart of the lockstep scheme.
@@ -64,10 +112,21 @@ class ClusterRun final : public sim::RemoteGovernorLink {
   [[nodiscard]] Bytes rpc_query(std::size_t index, ClusterPacket request,
                                 ClusterPacket reply);
   [[nodiscard]] GovernorState query_state(std::size_t index);
+  /// rpc_query that, in convergence mode, converts a dead peer into
+  /// std::nullopt (marking the node) instead of throwing.
+  [[nodiscard]] std::optional<Bytes> try_query(std::size_t index,
+                                               ClusterPacket request,
+                                               ClusterPacket reply);
   /// The cross-replica counters Observation probes at round edges.
   [[nodiscard]] sim::CounterProbe probe_counters();
   void sample_rewards();
   void run_audit(Round round);
+  // --- convergence mode ------------------------------------------------------
+  void mark_dead(std::size_t index);
+  [[nodiscard]] std::size_t first_alive() const;
+  void respawn_victim();
+  /// Query every node's head; true when all alive and identical (non-empty).
+  bool check_converged();
 
   sim::ScenarioConfig config_;
   Rng rng_;
@@ -78,6 +137,21 @@ class ClusterRun final : public sim::RemoteGovernorLink {
   std::unique_ptr<sim::Workload> workload_;
 
   Round round_ = 0;
+
+  // Convergence-mode state. In lockstep mode alive_ stays all-true and
+  // generation_ all-zero, so the shared paths behave identically.
+  bool converge_ = false;
+  CrashPlan plan_;
+  KillFn kill_;
+  RespawnFn respawn_;
+  std::uint32_t max_restarts_ = 3;
+  std::uint64_t rpc_timeout_us_ = 0;
+  std::vector<bool> alive_;
+  // Bumped on every kill and respawn of a node: timers armed by an earlier
+  // life are skipped when they fire (the new incarnation re-arms its own).
+  std::vector<std::uint32_t> generation_;
+  std::vector<std::uint32_t> incarnations_;
+  ConvergenceReport report_;
 };
 
 }  // namespace repchain::cluster

@@ -160,6 +160,38 @@ GovernorSnapshotData decode_snapshot(BytesView data) {
   });
 }
 
+Bytes encode_head(const HeadInfo& h) {
+  BinaryWriter w;
+  w.u64(h.serial);
+  w.raw(view(h.hash));
+  w.u64(h.committed_txs);
+  w.u32(h.incarnation);
+  return std::move(w).take();
+}
+
+HeadInfo decode_head(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    HeadInfo h;
+    h.serial = r.u64();
+    h.hash = r.raw_array<32>();
+    h.committed_txs = r.u64();
+    h.incarnation = r.u32();
+    return h;
+  });
+}
+
+Bytes encode_resync(SimTime now) {
+  BinaryWriter w;
+  w.u64(static_cast<std::uint64_t>(now));
+  return std::move(w).take();
+}
+
+SimTime decode_resync(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    return static_cast<SimTime>(r.u64());
+  });
+}
+
 Bytes encode_register_tx(const RegisterTx& reg) {
   BinaryWriter w;
   w.raw(view(reg.id));

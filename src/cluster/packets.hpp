@@ -42,12 +42,15 @@ enum class ClusterPacket : std::uint16_t {
   kQueryUnrevealed = 23,
   kSnapshot = 24,  // end-of-run chain + metrics
   kShutdown = 25,
+  kQueryHead = 26,  // convergence probe: chain head identity
+  kResync = 27,     // post-restart: recover clock and start sync_chain()
   // node -> driver
   kDone = 32,   // effects recorded while serving the request
   kState = 33,  // GovernorState
   kShares = 34,
   kUnrevealed = 35,
   kSnapshotData = 36,  // GovernorSnapshotData
+  kHead = 37,          // HeadInfo
 };
 
 /// One externally-visible action recorded by a node while running governor
@@ -92,6 +95,23 @@ struct GovernorState {
 
 [[nodiscard]] Bytes encode_state(const GovernorState& s);
 [[nodiscard]] GovernorState decode_state(BytesView data);
+
+/// kHead reply: the chain-head identity the convergence check compares
+/// across survivors and the restarted node.
+struct HeadInfo {
+  std::uint64_t serial = 0;        // head block serial (0 = empty chain)
+  crypto::Hash256 hash{};          // H(head block)
+  std::uint64_t committed_txs = 0; // tx records across the whole chain
+  std::uint32_t incarnation = 0;   // the node's restart count
+};
+
+[[nodiscard]] Bytes encode_head(const HeadInfo& h);
+[[nodiscard]] HeadInfo decode_head(BytesView data);
+
+/// kResync: the master clock at re-admission; the node re-seats its virtual
+/// clock and starts the governor's chain catch-up.
+[[nodiscard]] Bytes encode_resync(SimTime now);
+[[nodiscard]] SimTime decode_resync(BytesView data);
 
 /// kSnapshotData reply: everything the end-of-run summary needs.
 struct GovernorSnapshotData {

@@ -1,0 +1,129 @@
+#include "cluster/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace repchain::cluster {
+
+ProcessSupervisor::ProcessSupervisor(Options opts, std::size_t nodes)
+    : opts_(std::move(opts)), pids_(nodes, -1), state_dirs_(nodes) {
+  if (!opts_.state_root.empty()) {
+    (void)::mkdir(opts_.state_root.c_str(), 0755);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      state_dirs_[i] = opts_.state_root + "/node" + std::to_string(i);
+    }
+  }
+  if (!opts_.log_dir.empty()) (void)::mkdir(opts_.log_dir.c_str(), 0755);
+}
+
+ProcessSupervisor::~ProcessSupervisor() {
+  for (std::size_t i = 0; i < pids_.size(); ++i) kill(i);
+}
+
+void ProcessSupervisor::spawn(std::size_t index, std::uint32_t incarnation) {
+  // A failed respawn attempt leaves an exited child behind; reap it before
+  // forking the next one so retries don't accumulate zombies.
+  kill(index);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw NetError(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    if (!opts_.log_dir.empty()) {
+      const std::string log =
+          opts_.log_dir + "/node" + std::to_string(index) + ".log";
+      const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        (void)::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+    }
+    const std::string cfg_arg = "--config=" + opts_.config_blob;
+    const std::string idx_arg = "--index=" + std::to_string(index);
+    const std::string port_arg = "--connect=" + std::to_string(opts_.port);
+    std::vector<std::string> args = {opts_.node_bin, cfg_arg, idx_arg,
+                                     port_arg};
+    if (!state_dirs_[index].empty()) {
+      args.push_back("--state-dir=" + state_dirs_[index]);
+    }
+    if (incarnation > 0) {
+      args.push_back("--incarnation=" + std::to_string(incarnation));
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(opts_.node_bin.c_str(), argv.data());
+    std::fprintf(stderr, "exec %s: %s\n", opts_.node_bin.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  pids_[index] = pid;
+}
+
+void ProcessSupervisor::kill(std::size_t index) {
+  const pid_t pid = pids_[index];
+  if (pid <= 0) return;
+  (void)::kill(pid, SIGKILL);
+  int status = 0;
+  (void)::waitpid(pid, &status, 0);
+  pids_[index] = -1;
+}
+
+int ProcessSupervisor::wait_exit(std::size_t index) {
+  const pid_t pid = pids_[index];
+  if (pid <= 0) return 0;
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) {
+    throw NetError(std::string("waitpid: ") + std::strerror(errno));
+  }
+  pids_[index] = -1;
+  return status;
+}
+
+std::unique_ptr<SyncConn> admit_node(int listen_fd, const wire::Welcome& local,
+                                     const crypto::Hash256& genesis,
+                                     std::size_t governors, int timeout_ms,
+                                     wire::Welcome* welcome_out) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      throw wire::WireError(wire::ProtocolError::kPeerTimeout,
+                            "no node dialed within the admission deadline");
+    }
+    break;
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) throw NetError(std::string("accept: ") + std::strerror(errno));
+  auto conn = std::make_unique<SyncConn>(fd);
+  // Bound the handshake too: a child that connects and hangs must not
+  // wedge the admission loop.
+  conn->set_timeout(static_cast<std::uint64_t>(timeout_ms) * 1000);
+  const wire::Welcome remote = handshake(*conn, local, genesis);
+  conn->set_timeout(0);
+  if (remote.role != wire::Role::kNode) {
+    throw wire::WireError(wire::ProtocolError::kBadRole,
+                          "peer is not a cluster node");
+  }
+  if (remote.node_index >= governors) {
+    throw wire::WireError(wire::ProtocolError::kBadNodeIndex,
+                          "governor index " + std::to_string(remote.node_index));
+  }
+  if (welcome_out != nullptr) *welcome_out = remote;
+  return conn;
+}
+
+}  // namespace repchain::cluster

@@ -1,6 +1,7 @@
 #include "cluster/sync_conn.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,6 +12,14 @@
 namespace repchain::cluster {
 
 SyncConn::SyncConn(int fd) : fd_(fd) {}
+
+void SyncConn::set_timeout(std::uint64_t micros) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(micros / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(micros % 1000000);
+  (void)setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
 
 SyncConn::~SyncConn() {
   if (fd_ >= 0) ::close(fd_);
@@ -24,6 +33,9 @@ void SyncConn::send_frame(std::uint16_t type, BytesView payload) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw wire::WireError(wire::ProtocolError::kPeerTimeout,
+                              "cluster send: deadline expired");
       throw NetError(std::string("cluster send: ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
@@ -44,6 +56,9 @@ wire::Frame SyncConn::recv_frame() {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw wire::WireError(wire::ProtocolError::kPeerTimeout,
+                              "cluster recv: deadline expired");
       throw NetError(std::string("cluster recv: ") + std::strerror(errno));
     }
     if (n == 0) throw NetError("cluster recv: connection closed");

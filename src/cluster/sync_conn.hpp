@@ -26,12 +26,20 @@ class SyncConn {
   SyncConn(const SyncConn&) = delete;
   SyncConn& operator=(const SyncConn&) = delete;
 
+  /// Bound every subsequent blocking send/recv to `micros` microseconds
+  /// (0 restores indefinite blocking). On expiry the call throws
+  /// WireError(kPeerTimeout) instead of hanging on a peer that died without
+  /// closing its socket — the supervised driver's liveness seam.
+  void set_timeout(std::uint64_t micros);
+
   /// Write one frame, looping over partial writes until it is fully out.
-  /// Throws NetError on a broken socket.
+  /// Throws NetError on a broken socket, WireError(kPeerTimeout) when a
+  /// deadline is set and the peer stops draining.
   void send_frame(std::uint16_t type, BytesView payload);
 
   /// Block until the next complete frame arrives. Throws NetError on EOF or
-  /// a socket error, WireError on a structurally bad stream.
+  /// a socket error, WireError on a structurally bad stream,
+  /// WireError(kPeerTimeout) when a deadline is set and nothing arrives.
   [[nodiscard]] wire::Frame recv_frame();
 
   /// Best-effort kError notification before dropping the connection; never

@@ -49,6 +49,13 @@ class ValidationOracle {
   /// Ground truth without cost accounting (for metrics/tests only).
   [[nodiscard]] bool true_validity(const TxId& id) const;
 
+  /// Full ground-truth registry (read-only). The cluster driver replays it
+  /// to a respawned node process, whose fresh oracle replica lost every
+  /// registration made before the crash.
+  [[nodiscard]] const std::unordered_map<TxId, bool, TxIdHash>& truth() const {
+    return truth_;
+  }
+
   [[nodiscard]] std::uint64_t validations() const { return validations_; }
   [[nodiscard]] SimDuration total_cost() const { return validations_ * validation_cost_; }
   [[nodiscard]] SimDuration validation_cost() const { return validation_cost_; }

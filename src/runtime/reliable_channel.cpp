@@ -56,6 +56,12 @@ void ReliableChannel::arm_retransmit(std::uint64_t seq, SimDuration delay) {
     Pending& p = it->second;
     if (p.attempts >= config_.max_retries) {
       ++stats_.exhausted;
+      // Surface the abandonment: cluster runs attribute lost envelopes by
+      // (peer, epoch, seq) instead of inferring them from downstream stalls.
+      ctx_.emit(TraceEvent{TraceKind::kDeliveryFailed, ctx_.node(), 0,
+                           (static_cast<std::uint64_t>(epoch_) << 32) |
+                               p.to.value(),
+                           seq, ctx_.now()});
       inflight_.erase(it);
       return;
     }

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -26,6 +27,14 @@ std::uint64_t link_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
 }
 
+// Handshake verdicts that cannot change between dials of the same peer;
+// reconnecting after one of these would loop forever.
+bool permanent_error(wire::ProtocolError code) {
+  return code == wire::ProtocolError::kHighVersion ||
+         code == wire::ProtocolError::kLowVersion ||
+         code == wire::ProtocolError::kWrongGenesis;
+}
+
 }  // namespace
 
 TcpTransport::TcpTransport(PollLoop& loop, crypto::Hash256 genesis,
@@ -36,9 +45,17 @@ TcpTransport::TcpTransport(PollLoop& loop, crypto::Hash256 genesis,
   static std::uint64_t counter = 0;
   nonce_ = (reinterpret_cast<std::uintptr_t>(this) << 8) ^ ++counter ^
            static_cast<std::uint64_t>(::getpid());
+  jitter_state_ = nonce_ | 1;
+  if (opts_.heartbeat_interval > 0) {
+    loop_.schedule_at(loop_.now() + opts_.heartbeat_interval,
+                      [this, alive = alive_] {
+                        if (*alive) on_heartbeat_tick();
+                      });
+  }
 }
 
 TcpTransport::~TcpTransport() {
+  *alive_ = false;
   for (auto& [fd, conn] : conns_) {
     loop_.unwatch(fd);
     ::close(fd);
@@ -92,22 +109,41 @@ std::uint16_t TcpTransport::listen(std::uint16_t port) {
 }
 
 void TcpTransport::connect(std::uint16_t port) {
+  dials_.push_back(Dial{.port = port});
+  connect_dial(dials_.size() - 1);
+}
+
+void TcpTransport::connect_dial(std::size_t idx) {
+  Dial& d = dials_[idx];
+  d.retry_armed = false;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw NetError("tcp: socket() failed");
+  if (fd < 0) {
+    // Only the very first dial of a target reports failure by throwing;
+    // re-dials stay on the backoff schedule.
+    if (d.attempts == 0) throw NetError("tcp: socket() failed");
+    schedule_reconnect(idx);
+    return;
+  }
   set_nonblocking(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(d.port);
   ++stats_.connections_opened;
   const int rc =
       ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (rc < 0 && errno != EINPROGRESS) {
     ::close(fd);
-    throw NetError("tcp: connect() failed: " + std::string(strerror(errno)));
+    if (d.attempts == 0)
+      throw NetError("tcp: connect() failed: " + std::string(strerror(errno)));
+    schedule_reconnect(idx);
+    return;
   }
+  d.fd = fd;
   auto conn = std::make_unique<Conn>(fd, Conn::State::kConnecting,
                                      opts_.max_payload);
+  conn->dial = static_cast<int>(idx);
+  conn->last_heard = loop_.now();
   conns_.emplace(fd, std::move(conn));
   loop_.watch(fd, POLLOUT, [this, fd](short revents) {
     const auto it = conns_.find(fd);
@@ -142,6 +178,7 @@ void TcpTransport::adopt(int fd) {
   set_nonblocking(fd);
   auto conn = std::make_unique<Conn>(fd, Conn::State::kAwaitWelcome,
                                      opts_.max_payload);
+  conn->last_heard = loop_.now();
   Conn& c = *conns_.emplace(fd, std::move(conn)).first->second;
   loop_.watch(fd, POLLIN, [this, fd](short revents) {
     if ((revents & POLLOUT) != 0) on_writable(fd);
@@ -158,8 +195,87 @@ void TcpTransport::start_handshake(Conn& conn) {
   w.role = wire::Role::kPeer;
   w.hosted = local_ids_;
   w.nonce = nonce_;
+  w.resume = resume_;
+  w.incarnation = incarnation_;
+  w.head_serial = head_serial_;
   queue_frame(conn, static_cast<std::uint16_t>(wire::PacketType::kWelcome),
               wire::encode_welcome(w));
+}
+
+void TcpTransport::schedule_reconnect(std::size_t idx) {
+  Dial& d = dials_[idx];
+  d.fd = -1;
+  if (!opts_.auto_reconnect || d.gave_up || d.retry_armed) return;
+  ++d.attempts;
+  if (opts_.max_reconnect_attempts != 0 &&
+      d.attempts > opts_.max_reconnect_attempts) {
+    d.gave_up = true;
+    return;
+  }
+  d.backoff = d.backoff == 0
+                  ? opts_.reconnect_base
+                  : std::min(d.backoff * 2, opts_.reconnect_max);
+  const SimDuration delay = d.backoff + jitter(d.backoff / 2);
+  ++stats_.reconnect_attempts;
+  d.retry_armed = true;
+  loop_.schedule_at(loop_.now() + delay, [this, idx, alive = alive_] {
+    if (!*alive) return;
+    connect_dial(idx);
+  });
+}
+
+SimDuration TcpTransport::jitter(SimDuration bound) {
+  if (bound <= 0) return 0;
+  // LCG seeded off the endpoint nonce: spreads redial storms between
+  // processes without consuming entropy or perturbing any seeded RNG.
+  jitter_state_ =
+      jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  return static_cast<SimDuration>(
+      (jitter_state_ >> 33) % (static_cast<std::uint64_t>(bound) + 1));
+}
+
+void TcpTransport::on_heartbeat_tick() {
+  const SimTime now = loop_.now();
+  const SimDuration window =
+      opts_.heartbeat_interval *
+      static_cast<SimDuration>(opts_.dead_after_beats);
+  // Snapshot fds first: queue_frame/close_conn below mutate conns_.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_)
+    if (conn->state == Conn::State::kEstablished) fds.push_back(fd);
+  for (const int fd : fds) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn& c = *it->second;
+    if (now - c.last_heard > window) {
+      ++stats_.dead_peers;
+      if (trace_ != nullptr) {
+        trace_->on_event(TraceEvent{TraceKind::kPeerDead, trace_node(), 0,
+                                    static_cast<std::uint64_t>(fd),
+                                    static_cast<std::uint64_t>(now - c.last_heard),
+                                    now});
+      }
+      close_conn(fd);
+      continue;
+    }
+    wire::Heartbeat hb;
+    hb.nonce = nonce_;
+    hb.sent_at = now;
+    ++stats_.heartbeats_sent;
+    queue_frame(c, static_cast<std::uint16_t>(wire::PacketType::kHeartbeat),
+                wire::encode_heartbeat(hb));
+  }
+  loop_.schedule_at(now + opts_.heartbeat_interval, [this, alive = alive_] {
+    if (*alive) on_heartbeat_tick();
+  });
+}
+
+void TcpTransport::drop_connections() {
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) close_conn(fd);
 }
 
 bool TcpTransport::reaches(NodeId id) const {
@@ -248,6 +364,7 @@ void TcpTransport::on_readable(int fd) {
       if (errno != EAGAIN && errno != EWOULDBLOCK) close_conn(fd);
       return;
     }
+    it->second->last_heard = loop_.now();
     std::vector<wire::Frame> frames;
     try {
       it->second->reader.feed(BytesView(buf, static_cast<std::size_t>(n)),
@@ -279,7 +396,9 @@ void TcpTransport::handle_frame(Conn& conn, const wire::Frame& frame) {
         return;
       case wire::PacketType::kError: {
         // The peer is reporting that *we* violated the protocol; surface it
-        // and drop the link without echoing another error back.
+        // and drop the link without echoing another error back. Handshake
+        // verdicts (version range, genesis) are permanent: re-dialing the
+        // same peer can only repeat them.
         const wire::ErrorPacket e = wire::decode_error(frame.payload);
         ++stats_.protocol_errors;
         stats_.last_error = e.code;
@@ -289,7 +408,17 @@ void TcpTransport::handle_frame(Conn& conn, const wire::Frame& frame) {
                                       static_cast<std::uint64_t>(conn.fd),
                                       loop_.now()});
         }
-        close_conn(conn.fd);
+        close_conn(conn.fd, !permanent_error(e.code));
+        return;
+      }
+      case wire::PacketType::kHeartbeat: {
+        if (conn.state != Conn::State::kEstablished) {
+          fail_conn(conn, wire::ProtocolError::kUnexpectedPacket,
+                    "heartbeat before welcome");
+          return;
+        }
+        (void)wire::decode_heartbeat(frame.payload);
+        ++stats_.heartbeats_received;
         return;
       }
       case wire::PacketType::kMessage:
@@ -320,13 +449,20 @@ void TcpTransport::handle_welcome(Conn& conn, const wire::Frame& frame) {
   }
   const wire::Welcome w = wire::decode_welcome(frame.payload);
   if (w.nonce == nonce_) {
-    close_conn(conn.fd);  // connected to ourselves; drop quietly
+    // Connected to ourselves; drop quietly and never redial.
+    close_conn(conn.fd, /*allow_reconnect=*/false);
     return;
   }
   (void)wire::check_welcome(w, genesis_);  // throws on version/genesis mismatch
   conn.state = Conn::State::kEstablished;
   conn.hosted = w.hosted;
   for (const NodeId id : conn.hosted) routes_[id] = conn.fd;
+  if (conn.dial >= 0) {
+    Dial& d = dials_[static_cast<std::size_t>(conn.dial)];
+    if (d.attempts > 0) ++stats_.reconnects;
+    d.attempts = 0;
+    d.backoff = 0;
+  }
 }
 
 void TcpTransport::dispatch(Message msg, bool restamp) {
@@ -405,19 +541,32 @@ void TcpTransport::fail_conn(Conn& conn, wire::ProtocolError code,
       static_cast<std::uint16_t>(wire::PacketType::kError),
       wire::encode_error(wire::ErrorPacket{code, std::move(detail)}));
   (void)::send(conn.fd, pkt.data(), pkt.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
-  close_conn(conn.fd);
+  close_conn(conn.fd, !permanent_error(code));
 }
 
-void TcpTransport::close_conn(int fd) {
-  for (auto it = routes_.begin(); it != routes_.end();) {
-    if (it->second == fd)
-      it = routes_.erase(it);
+void TcpTransport::close_conn(int fd, bool allow_reconnect) {
+  const auto it = conns_.find(fd);
+  const int dial = it != conns_.end() ? it->second->dial : -1;
+  if (it != conns_.end() && it->second->state == Conn::State::kEstablished)
+    ++stats_.connections_lost;
+  for (auto rit = routes_.begin(); rit != routes_.end();) {
+    if (rit->second == fd)
+      rit = routes_.erase(rit);
     else
-      ++it;
+      ++rit;
   }
   loop_.unwatch(fd);
   ::close(fd);
   conns_.erase(fd);
+  if (dial >= 0) {
+    Dial& d = dials_[static_cast<std::size_t>(dial)];
+    if (allow_reconnect)
+      schedule_reconnect(static_cast<std::size_t>(dial));
+    else {
+      d.fd = -1;
+      d.gave_up = true;
+    }
+  }
 }
 
 TcpTransport::Conn* TcpTransport::route(NodeId to) {

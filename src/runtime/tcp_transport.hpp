@@ -40,6 +40,12 @@ struct TcpStats {
   std::uint64_t duplicates_ignored = 0;
   std::uint64_t connections_opened = 0;    // outbound attempts
   std::uint64_t connections_accepted = 0;  // inbound accepts
+  std::uint64_t connections_lost = 0;      // established links that dropped
+  std::uint64_t reconnect_attempts = 0;    // backed-off re-dials scheduled
+  std::uint64_t reconnects = 0;            // links re-established after loss
+  std::uint64_t dead_peers = 0;            // keepalive silence-window kills
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
   std::uint64_t protocol_errors = 0;
   wire::ProtocolError last_error = wire::ProtocolError::kNone;
 };
@@ -53,6 +59,24 @@ class TcpTransport final : public Transport {
     SimDuration max_delay = 10 * kMillisecond;
     /// Frame payload bound fed to every connection's FrameReader.
     std::size_t max_payload = wire::kDefaultMaxPayload;
+    /// Re-dial lost outbound connections with exponential backoff plus
+    /// deterministic jitter. Off by default: lockstep cluster RPC treats a
+    /// dropped link as fatal, while live deployments turn this on. While a
+    /// link is down, send() drops as usual (messages_dropped) and the
+    /// ReliableChannel retransmit schedule carries traffic over the gap;
+    /// the fresh welcome exchange re-learns routes.
+    bool auto_reconnect = false;
+    SimDuration reconnect_base = 50 * kMillisecond;
+    SimDuration reconnect_max = 2 * kSecond;
+    /// Consecutive failed re-dials before a target is abandoned
+    /// (0 = retry forever).
+    std::uint32_t max_reconnect_attempts = 0;
+    /// Keepalive (0 = off): every interval a kHeartbeat goes out on each
+    /// established link, and a link with no inbound traffic at all for
+    /// `dead_after_beats` intervals is declared dead — kPeerDead trace,
+    /// dead_peers counter, close (re-dialed when auto_reconnect).
+    SimDuration heartbeat_interval = 0;
+    std::uint32_t dead_after_beats = 3;
   };
 
   TcpTransport(PollLoop& loop, crypto::Hash256 genesis)
@@ -71,6 +95,15 @@ class TcpTransport final : public Transport {
   /// Trace sink for kProtocolError events (may be null).
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
+  /// v2 session resume: every subsequent welcome announces this endpoint as
+  /// a returning incarnation with the given recovered chain head, letting
+  /// peers re-admit it instead of treating it as a stranger.
+  void set_resume(std::uint32_t incarnation, std::uint64_t head_serial) {
+    resume_ = true;
+    incarnation_ = incarnation;
+    head_serial_ = head_serial;
+  }
+
   /// Bind + listen on loopback (`port` 0 picks an ephemeral port). Returns
   /// the actual bound port. Throws NetError on socket failure.
   std::uint16_t listen(std::uint16_t port);
@@ -87,6 +120,11 @@ class TcpTransport final : public Transport {
   [[nodiscard]] bool reaches(NodeId id) const;
   /// Connections that completed the welcome exchange.
   [[nodiscard]] std::size_t established() const;
+
+  /// Chaos/test hook: hard-close every connection (the listener survives).
+  /// Partial inbound frames are discarded with the connection; dialed
+  /// targets re-enter the backoff schedule when auto_reconnect is on.
+  void drop_connections();
 
   [[nodiscard]] const TcpStats& stats() const { return stats_; }
 
@@ -123,9 +161,26 @@ class TcpTransport final : public Transport {
     Bytes outbuf;                // unsent frame bytes (partial-write queue)
     std::size_t out_off = 0;     // consumed prefix of outbuf
     std::vector<NodeId> hosted;  // routes learned from the peer's welcome
+    int dial = -1;               // index into dials_ for outbound conns
+    SimTime last_heard = 0;      // last inbound byte (keepalive window)
+  };
+
+  /// One outbound target we keep trying to reach while auto_reconnect.
+  struct Dial {
+    std::uint16_t port = 0;
+    std::uint32_t attempts = 0;  // consecutive failures since last success
+    SimDuration backoff = 0;     // delay before the next re-dial
+    int fd = -1;                 // live conn fd, -1 while down
+    bool retry_armed = false;    // a reconnect timer is pending
+    bool gave_up = false;        // attempt budget exhausted or permanent error
   };
 
   void start_handshake(Conn& conn);
+  void connect_dial(std::size_t idx);
+  void schedule_reconnect(std::size_t idx);
+  void on_heartbeat_tick();
+  /// Bounded deterministic jitter derived from the endpoint nonce.
+  [[nodiscard]] SimDuration jitter(SimDuration bound);
   void on_readable(int fd);
   void on_writable(int fd);
   void handle_frame(Conn& conn, const wire::Frame& frame);
@@ -137,7 +192,7 @@ class TcpTransport final : public Transport {
   void flush(Conn& conn);
   /// Record the violation, best-effort send a kError packet, close.
   void fail_conn(Conn& conn, wire::ProtocolError code, std::string detail);
-  void close_conn(int fd);
+  void close_conn(int fd, bool allow_reconnect = true);
   void update_events(Conn& conn);
   [[nodiscard]] Conn* route(NodeId to);
   [[nodiscard]] NodeId trace_node() const;
@@ -147,7 +202,15 @@ class TcpTransport final : public Transport {
   Options opts_;
   TraceSink* trace_ = nullptr;
   std::uint64_t nonce_ = 0;
+  std::uint64_t jitter_state_ = 0;
+  bool resume_ = false;
+  std::uint32_t incarnation_ = 0;
+  std::uint64_t head_serial_ = 0;
   int listen_fd_ = -1;
+  std::vector<Dial> dials_;
+  // Timer callbacks (reconnect, heartbeat) may outlive the transport in the
+  // loop's queue; they hold this flag and no-op once it flips.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;  // by fd
   std::unordered_map<NodeId, int> routes_;                // remote id -> fd
   std::vector<NodeId> local_ids_;

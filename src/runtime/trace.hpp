@@ -23,6 +23,12 @@ enum class TraceKind : std::uint8_t {
                            // (arg0 = wire::ProtocolError code, arg1 = fd)
   kCrossShardRejected = 9, // a collector refused a tx whose provider lives
                            // in another committee (arg0 = provider id)
+  kPeerDead = 10,          // keepalive: no traffic from an established peer
+                           // for the dead-peer window (arg0 = fd,
+                           // arg1 = microseconds since last traffic)
+  kDeliveryFailed = 11,    // ReliableChannel retry budget exhausted
+                           // (arg0 = (epoch << 32) | peer node id,
+                           //  arg1 = channel sequence number)
 };
 
 struct TraceEvent {

@@ -13,6 +13,17 @@ void RoundObserver::on_event(const runtime::TraceEvent& ev) {
     ++cross_shard_rejected_;
     return;
   }
+  // Transport-plane events (reliable-delivery exhaustion, keepalive death)
+  // are global tallies as well: they carry no protocol round, so they must
+  // not open a (round 0) entry below.
+  if (ev.kind == runtime::TraceKind::kDeliveryFailed) {
+    ++delivery_failures_;
+    return;
+  }
+  if (ev.kind == runtime::TraceKind::kPeerDead) {
+    ++dead_peer_events_;
+    return;
+  }
   if (watched_ && ev.node != *watched_) return;
   switch (ev.kind) {
     case runtime::TraceKind::kLeaderElected:

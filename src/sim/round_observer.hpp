@@ -50,6 +50,17 @@ class RoundObserver final : public runtime::TraceSink {
     return cross_shard_rejected_;
   }
 
+  /// kDeliveryFailed events across ALL nodes: ReliableChannel retry budgets
+  /// exhausted (the envelope was abandoned to the sync/watchdog fallbacks).
+  [[nodiscard]] std::uint64_t delivery_failures() const {
+    return delivery_failures_;
+  }
+
+  /// kPeerDead events across ALL nodes: keepalive timeouts on socket links.
+  [[nodiscard]] std::uint64_t dead_peer_events() const {
+    return dead_peer_events_;
+  }
+
   /// Keep only the newest `rounds` round entries (0 = unbounded, the
   /// default). Long sweeps over large populations set this so the per-round
   /// map stays memory-bounded; global tallies are unaffected.
@@ -69,6 +80,8 @@ class RoundObserver final : public runtime::TraceSink {
   std::uint64_t stalled_events_ = 0;
   std::uint64_t byzantine_evidence_ = 0;
   std::uint64_t cross_shard_rejected_ = 0;
+  std::uint64_t delivery_failures_ = 0;
+  std::uint64_t dead_peer_events_ = 0;
   std::size_t retention_ = 0;
 };
 

@@ -69,7 +69,7 @@ runtime::TraceEvent decode_trace(BytesView data) {
     runtime::TraceEvent ev;
     const std::uint8_t kind = r.u8();
     if (kind < static_cast<std::uint8_t>(runtime::TraceKind::kRoundStarted) ||
-        kind > static_cast<std::uint8_t>(runtime::TraceKind::kProtocolError)) {
+        kind > static_cast<std::uint8_t>(runtime::TraceKind::kDeliveryFailed)) {
       throw WireError(ProtocolError::kBadPayload,
                       "trace kind " + std::to_string(kind) + " out of range");
     }
@@ -93,6 +93,10 @@ Bytes encode_welcome(const Welcome& w) {
   out.u32(static_cast<std::uint32_t>(w.hosted.size()));
   for (const NodeId n : w.hosted) out.u32(n.value());
   out.u64(w.nonce);
+  // v2 session-resume extension (always encoded by this build).
+  out.u8(w.resume ? 1 : 0);
+  out.u32(w.incarnation);
+  out.u64(w.head_serial);
   return std::move(out).take();
 }
 
@@ -118,6 +122,18 @@ Welcome decode_welcome(BytesView data) {
     w.hosted.reserve(hosted);
     for (std::uint32_t i = 0; i < hosted; ++i) w.hosted.push_back(NodeId(r.u32()));
     w.nonce = r.u64();
+    const std::uint8_t resume = r.u8();
+    if (resume > 1) {
+      throw WireError(ProtocolError::kBadPayload,
+                      "welcome resume flag " + std::to_string(resume));
+    }
+    w.resume = resume == 1;
+    w.incarnation = r.u32();
+    w.head_serial = r.u64();
+    if (w.resume && w.incarnation == 0) {
+      throw WireError(ProtocolError::kBadPayload,
+                      "resuming welcome with incarnation 0");
+    }
     return w;
   });
 }
@@ -146,6 +162,22 @@ std::uint16_t check_welcome(const Welcome& remote, const crypto::Hash256& genesi
                     "peer lives on a different genesis");
   }
   return version;
+}
+
+Bytes encode_heartbeat(const Heartbeat& h) {
+  BinaryWriter w;
+  w.u64(h.nonce);
+  w.u64(h.sent_at);
+  return std::move(w).take();
+}
+
+Heartbeat decode_heartbeat(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    Heartbeat h;
+    h.nonce = r.u64();
+    h.sent_at = r.u64();
+    return h;
+  });
 }
 
 Bytes encode_error(const ErrorPacket& e) {

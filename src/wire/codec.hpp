@@ -56,6 +56,13 @@ struct Welcome {
   std::uint32_t node_index = 0;  // governor index for Role::kNode
   std::vector<NodeId> hosted;    // NodeIds reachable through this endpoint
   std::uint64_t nonce = 0;       // self-connection detection
+  // v2 session-resume extension: a restarted endpoint announces that it is
+  // a returning incarnation and how far its persisted chain reaches, so the
+  // admitting side re-admits it into the running session (replaying ground
+  // truth, triggering catch-up sync) instead of treating it as a cold peer.
+  bool resume = false;            // true = returning incarnation
+  std::uint32_t incarnation = 0;  // restart count (ReliableChannel epoch)
+  std::uint64_t head_serial = 0;  // chain height recovered from the store
 };
 
 [[nodiscard]] Bytes encode_welcome(const Welcome& w);
@@ -74,6 +81,19 @@ struct Welcome {
 /// negotiated version.
 [[nodiscard]] std::uint16_t check_welcome(const Welcome& remote,
                                           const crypto::Hash256& genesis);
+
+// --- Heartbeat ---------------------------------------------------------------
+
+/// v2 keepalive payload. The nonce identifies the sending endpoint (same
+/// value as its welcome nonce) and sent_at carries its local clock; both are
+/// diagnostic only — receipt of *any* bytes is what proves liveness.
+struct Heartbeat {
+  std::uint64_t nonce = 0;
+  SimTime sent_at = 0;
+};
+
+[[nodiscard]] Bytes encode_heartbeat(const Heartbeat& h);
+[[nodiscard]] Heartbeat decode_heartbeat(BytesView data);
 
 // --- Error packet ------------------------------------------------------------
 

@@ -23,9 +23,12 @@ namespace repchain::wire {
 /// "RepC" in stream order (the header is little-endian).
 inline constexpr std::uint32_t kMagic = 0x43706552;
 
-/// Wire-protocol versions this build can speak, inclusive.
+/// Wire-protocol versions this build can speak, inclusive. Version 2 adds
+/// the kHeartbeat keepalive packet and the session-resume fields trailing
+/// the Welcome payload (resume flag + persisted chain head serial); the
+/// frame format itself is unchanged, so v1 streams still parse.
 inline constexpr std::uint16_t kVersionMin = 1;
-inline constexpr std::uint16_t kVersionMax = 1;
+inline constexpr std::uint16_t kVersionMax = 2;
 
 inline constexpr std::size_t kHeaderSize = 12;
 
@@ -36,10 +39,12 @@ inline constexpr std::size_t kDefaultMaxPayload = 8u << 20;
 /// Packet types in the shared (wire-level) range; subsystems extend the
 /// space from 16 upward (cluster RPC vocabulary lives there).
 enum class PacketType : std::uint16_t {
-  kWelcome = 1,  // handshake announcement (both directions)
-  kError = 2,    // ProtocolError + detail, sent before closing
-  kMessage = 3,  // canonical runtime::Message envelope (transport unicast)
-  kDirect = 4,   // pre-ordered envelope (Transport::deliver_direct path)
+  kWelcome = 1,    // handshake announcement (both directions)
+  kError = 2,      // ProtocolError + detail, sent before closing
+  kMessage = 3,    // canonical runtime::Message envelope (transport unicast)
+  kDirect = 4,     // pre-ordered envelope (Transport::deliver_direct path)
+  kHeartbeat = 5,  // v2 keepalive: any traffic proves liveness, this packet
+                   // exists so an idle link still produces some
 };
 
 struct Frame {

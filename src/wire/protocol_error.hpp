@@ -30,12 +30,14 @@ enum class ProtocolError : std::uint8_t {
   kBadRole = 10,         // handshake role invalid for this endpoint
   kBadNodeIndex = 11,    // hosted-node announcement out of range/duplicate
   kUnexpectedPacket = 12,// well-formed packet at the wrong exchange point
-  kCrossShardTx = 13     // tx's provider and collector live in different
+  kCrossShardTx = 13,    // tx's provider and collector live in different
                          // committees (pettycoin TRANS_CROSS_SHARDS)
+  kPeerTimeout = 14      // blocking RPC deadline expired: the peer process
+                         // hung or died without closing the socket
 };
 
 /// Number of defined codes (fuzz coverage assertions iterate the range).
-inline constexpr std::size_t kProtocolErrorCount = 14;
+inline constexpr std::size_t kProtocolErrorCount = 15;
 
 [[nodiscard]] constexpr std::string_view to_string(ProtocolError e) {
   switch (e) {
@@ -53,6 +55,7 @@ inline constexpr std::size_t kProtocolErrorCount = 14;
     case ProtocolError::kBadNodeIndex: return "bad-node-index";
     case ProtocolError::kUnexpectedPacket: return "unexpected-packet";
     case ProtocolError::kCrossShardTx: return "cross-shard-tx";
+    case ProtocolError::kPeerTimeout: return "peer-timeout";
   }
   return "invalid";
 }

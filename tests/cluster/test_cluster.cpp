@@ -170,5 +170,67 @@ TEST(Cluster, OutOfRangeGovernorIndexIsAConfigError) {
   EXPECT_THROW(NodeHost(small_config(), 99), ConfigError);
 }
 
+TEST(Cluster, SyncConnRecvTimeoutIsPeerTimeout) {
+  const auto [driver_fd, node_fd] = stream_pair();
+  SyncConn conn(driver_fd);
+  conn.set_timeout(100'000);  // 100ms deadline on a silent peer
+  try {
+    (void)conn.recv_frame();
+    FAIL() << "recv on a silent peer returned";
+  } catch (const wire::WireError& e) {
+    EXPECT_EQ(e.code(), wire::ProtocolError::kPeerTimeout);
+  }
+  ::close(node_fd);
+}
+
+TEST(Cluster, HeadInfoCodecRoundTrip) {
+  HeadInfo h;
+  h.serial = 12;
+  h.hash[0] = 0xAA;
+  h.hash[31] = 0x55;
+  h.committed_txs = 340;
+  h.incarnation = 2;
+  const HeadInfo d = decode_head(encode_head(h));
+  EXPECT_EQ(d.serial, h.serial);
+  EXPECT_EQ(d.hash, h.hash);
+  EXPECT_EQ(d.committed_txs, h.committed_txs);
+  EXPECT_EQ(d.incarnation, h.incarnation);
+}
+
+TEST(Cluster, ResyncCodecRoundTrip) {
+  EXPECT_EQ(decode_resync(encode_resync(7'654'321)), 7'654'321u);
+}
+
+TEST(Cluster, RestartedNodeAnnouncesSessionResume) {
+  const sim::ScenarioConfig config = small_config();
+  const auto [driver_fd, node_fd] = stream_pair();
+  char dir[] = "/tmp/repchain_resume_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+
+  // Incarnation 1 against an empty store: recovery finds nothing (head
+  // serial 0), but the welcome must still announce the returning life.
+  wire::ProtocolError error = wire::ProtocolError::kNone;
+  std::thread node([&, node_fd] {
+    try {
+      NodeHost host(config, 0, dir, /*incarnation=*/1);
+      host.serve(node_fd);
+    } catch (const wire::WireError& e) {
+      error = e.code();
+    }
+  });
+
+  SyncConn conn(driver_fd);
+  const wire::Welcome remote =
+      handshake(conn, driver_welcome(genesis_of(config)), genesis_of(config));
+  EXPECT_TRUE(remote.resume);
+  EXPECT_EQ(remote.incarnation, 1u);
+  EXPECT_EQ(remote.head_serial, 0u);
+
+  conn.send_frame(static_cast<std::uint16_t>(ClusterPacket::kShutdown), {});
+  (void)conn.recv_frame();
+  node.join();
+  EXPECT_EQ(error, wire::ProtocolError::kNone);
+}
+
 }  // namespace
 }  // namespace repchain::cluster

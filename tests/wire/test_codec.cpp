@@ -103,6 +103,54 @@ TEST(Codec, WelcomeRoundTrip) {
   EXPECT_EQ(d.nonce, w.nonce);
 }
 
+TEST(Codec, WelcomeResumeFieldsRoundTrip) {
+  Welcome w;
+  w.role = Role::kNode;
+  w.node_index = 1;
+  w.hosted = {NodeId(3)};
+  w.resume = true;
+  w.incarnation = 4;
+  w.head_serial = 17;
+  const Welcome d = decode_welcome(encode_welcome(w));
+  EXPECT_TRUE(d.resume);
+  EXPECT_EQ(d.incarnation, 4u);
+  EXPECT_EQ(d.head_serial, 17u);
+
+  // A cold peer's welcome carries the v2 fields at their defaults.
+  const Welcome cold = decode_welcome(encode_welcome(Welcome{}));
+  EXPECT_FALSE(cold.resume);
+  EXPECT_EQ(cold.incarnation, 0u);
+  EXPECT_EQ(cold.head_serial, 0u);
+}
+
+TEST(Codec, HeartbeatRoundTrip) {
+  Heartbeat h;
+  h.nonce = 0xFEEDFACECAFEBEEFULL;
+  h.sent_at = 9'876'543;
+  const Heartbeat d = decode_heartbeat(encode_heartbeat(h));
+  EXPECT_EQ(d.nonce, h.nonce);
+  EXPECT_EQ(d.sent_at, h.sent_at);
+}
+
+TEST(Codec, HeartbeatTruncationIsTruncatedPayload) {
+  Bytes enc = encode_heartbeat(Heartbeat{1, 2});
+  enc.resize(enc.size() - 1);
+  try {
+    (void)decode_heartbeat(enc);
+    FAIL() << "truncated heartbeat accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ProtocolError::kTruncatedPayload);
+  }
+}
+
+TEST(Codec, VersionRangeSpansSessionResume) {
+  // v2 introduced the resume extension and the heartbeat packet; the
+  // advertised range must cover it while still admitting v1 peers.
+  EXPECT_EQ(kVersionMax, 2);
+  EXPECT_EQ(negotiate_version(kVersionMin, kVersionMax, 1, 1), 1);
+  EXPECT_EQ(negotiate_version(kVersionMin, kVersionMax, 2, 2), 2);
+}
+
 TEST(Codec, WelcomeWithUnknownRoleIsBadRole) {
   Welcome w;
   Bytes enc = encode_welcome(w);

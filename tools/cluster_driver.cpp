@@ -1,11 +1,28 @@
-// Loopback cluster golden check: run a golden scenario twice — once fully
-// in-process (the simulation the goldens pin) and once with every governor
-// in its own `node` process speaking the versioned wire protocol over real
-// TCP — and byte-compare the two runs' canonical summaries
-// (sim::encode_run_result). The lockstep replay (src/cluster/) makes the
-// comparison exact: any divergence, down to one ULP of a double, is a bug.
+// Loopback cluster golden check, two modes.
+//
+// Lockstep (default): run a golden scenario twice — once fully in-process
+// (the simulation the goldens pin) and once with every governor in its own
+// `node` process speaking the versioned wire protocol over real TCP — and
+// byte-compare the two runs' canonical summaries (sim::encode_run_result).
+// The lockstep replay (src/cluster/) makes the comparison exact: any
+// divergence, down to one ULP of a double, is a bug.
+//
+// Converge (--mode=converge): fault-tolerance golden. Nodes run with
+// persisted state directories; the driver SIGKILLs one mid-round, respawns
+// it against its on-disk WAL/snapshot as a higher incarnation, re-admits it
+// via the session-resume welcome, and the run passes when every survivor
+// plus the restarted node report an identical non-empty chain head
+// (serial, hash, committed txs) — convergence instead of byte-identity.
 //
 //   cluster_driver [--scenario=mixed|gossip] [--artifact-dir=<dir>]
+//                  [--mode=lockstep|converge]
+//                  [--kill=<victim>@<kill_round>:<restart_round>]
+//                  [--state-root=<dir>] [--listen-port=<port>]
+//                  [--node-port=<port>] [--grace=<rounds>]
+//
+// --node-port points the children at a different dial port (a wire_proxy
+// interposed between nodes and driver); admission still happens on the
+// driver's own listener, which the proxy forwards to.
 //
 // On a mismatch the hexfloat renderings of both runs are written to
 // <artifact-dir>/cluster_diff_<scenario>.txt (CI uploads them) and the exit
@@ -20,13 +37,16 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "cluster/driver.hpp"
+#include "cluster/supervisor.hpp"
 #include "cluster/sync_conn.hpp"
 #include "sim/harness/run_codec.hpp"
 #include "sim/harness/spec_codec.hpp"
@@ -85,12 +105,14 @@ std::string self_dir() {
   return ::dirname(buf);
 }
 
-int listen_loopback(std::uint16_t& port_out) {
+int listen_loopback(std::uint16_t& port_out, std::uint16_t want = 0) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw NetError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = 0;  // ephemeral
+  addr.sin_port = htons(want);  // 0 = ephemeral
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(fd, 16) < 0) {
@@ -180,21 +202,171 @@ sim::RunResult cluster_run(const Golden& golden) {
   return result;
 }
 
+/// Run one golden in convergence mode: supervised nodes with persisted
+/// state, a SIGKILL + respawn per the crash plan, head-agreement verdict.
+int converge_run(const Golden& golden, const cluster::CrashPlan& plan,
+                 const std::string& artifact_dir, std::string state_root,
+                 std::uint16_t listen_port, std::uint16_t node_port,
+                 Round grace) {
+  sim::ScenarioConfig config = golden.config;
+  sim::normalize_config(config);
+  const crypto::Hash256 genesis = sim::config_genesis(config);
+  const std::size_t governors = config.topology.governors;
+  const std::string blob_path =
+      write_blob(sim::encode_config(config), golden.name);
+
+  std::uint16_t port = 0;
+  const int listen_fd = listen_loopback(port, listen_port);
+
+  if (state_root.empty()) {
+    state_root = "/tmp/repchain_state_XXXXXX";
+    if (::mkdtemp(state_root.data()) == nullptr) {
+      throw NetError(std::string("mkdtemp: ") + std::strerror(errno));
+    }
+  } else {
+    // A fixed --state-root (the ctest entry reuses one under the build
+    // dir) must start cold: a leftover chain from a previous run would
+    // make the respawned node resume ahead of the survivors.
+    std::error_code ec;
+    std::filesystem::remove_all(state_root, ec);
+  }
+
+  cluster::ProcessSupervisor::Options sopts;
+  sopts.node_bin = self_dir() + "/node";
+  sopts.config_blob = blob_path;
+  sopts.port = node_port != 0 ? node_port : port;
+  sopts.state_root = state_root;
+  sopts.log_dir = artifact_dir;
+  cluster::ProcessSupervisor sup(sopts, governors);
+  for (std::size_t i = 0; i < governors; ++i) sup.spawn(i);
+
+  constexpr int kAdmitMs = 15'000;
+  std::vector<std::unique_ptr<cluster::SyncConn>> conns(governors);
+  const wire::Welcome local = cluster::driver_welcome(genesis);
+  for (std::size_t admitted = 0; admitted < governors; ++admitted) {
+    wire::Welcome remote;
+    auto conn =
+        cluster::admit_node(listen_fd, local, genesis, governors, kAdmitMs,
+                            &remote);
+    if (conns[remote.node_index] != nullptr) {
+      throw wire::WireError(wire::ProtocolError::kBadNodeIndex,
+                            "governor index " +
+                                std::to_string(remote.node_index) +
+                                " admitted twice");
+    }
+    conns[remote.node_index] = std::move(conn);
+  }
+  // Listener stays open: the respawned node re-admits through it.
+
+  cluster::ClusterRun run(golden.config, std::move(conns));
+  run.set_supervision(
+      plan, [&sup](std::size_t i) { sup.kill(i); },
+      [&](std::size_t i, std::uint32_t incarnation) {
+        sup.spawn(i, incarnation);
+        wire::Welcome remote;
+        auto conn = cluster::admit_node(listen_fd, local, genesis, governors,
+                                        kAdmitMs, &remote);
+        if (remote.node_index != i || !remote.resume ||
+            remote.incarnation != incarnation) {
+          throw wire::WireError(wire::ProtocolError::kBadNodeIndex,
+                                "respawn admitted the wrong node or a "
+                                "non-resuming welcome");
+        }
+        std::printf("%-8s respawned node %zu as incarnation %u "
+                    "(recovered head serial %" PRIu64 ")\n",
+                    golden.name, i, incarnation, remote.head_serial);
+        return conn;
+      });
+  const cluster::ConvergenceReport report = run.run_converge(grace);
+  ::close(listen_fd);
+
+  for (std::size_t i = 0; i < governors; ++i) {
+    const int status = sup.wait_exit(i);
+    if (status != 0 && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+      std::fprintf(stderr, "%-8s node %zu exited abnormally (status %d)\n",
+                   golden.name, i, status);
+    }
+  }
+  ::unlink(blob_path.c_str());
+
+  if (report.converged) {
+    std::printf("%-8s CONVERGED  head serial %" PRIu64 " hash %.16s… "
+                "%" PRIu64 " txs, %u rounds (kill@%" PRIu64 "us, "
+                "rejoin@%" PRIu64 "us, %u restart attempts)\n",
+                golden.name, report.head_serial, report.head_hash_hex.c_str(),
+                report.committed_txs,
+                static_cast<unsigned>(report.rounds_run), report.killed_at,
+                report.rejoined_at, report.restart_attempts);
+    return 0;
+  }
+  const std::string path =
+      artifact_dir + "/cluster_diff_" + std::string(golden.name) + ".txt";
+  std::ofstream out(path);
+  out << "convergence FAILED after " << report.rounds_run << " rounds\n"
+      << "victim " << plan.victim << " killed round " << plan.kill_round
+      << " (t=" << report.killed_at << "us), restart round "
+      << plan.restart_round << " (rejoin t=" << report.rejoined_at
+      << "us, attempts " << report.restart_attempts << ")\n"
+      << "last agreed head: serial " << report.head_serial << " hash "
+      << report.head_hash_hex << "\n";
+  std::fprintf(stderr, "%-8s DID NOT CONVERGE — report written to %s\n",
+               golden.name, path.c_str());
+  return 1;
+}
+
+/// Parse --kill=<victim>@<kill_round>:<restart_round>.
+bool parse_kill(const std::string& spec, cluster::CrashPlan& plan) {
+  const std::size_t at = spec.find('@');
+  const std::size_t colon = spec.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos) return false;
+  plan.victim = static_cast<std::size_t>(
+      std::strtoul(spec.substr(0, at).c_str(), nullptr, 10));
+  plan.kill_round = static_cast<Round>(
+      std::strtoul(spec.substr(at + 1, colon - at - 1).c_str(), nullptr, 10));
+  plan.restart_round = static_cast<Round>(
+      std::strtoul(spec.substr(colon + 1).c_str(), nullptr, 10));
+  return plan.kill_round > 0 && plan.restart_round > plan.kill_round;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string only;
   std::string artifact_dir = ".";
+  std::string mode = "lockstep";
+  std::string state_root;
+  cluster::CrashPlan plan{1, 2, 4};  // default: kill node 1 in r2, back in r4
+  long listen_port = 0;
+  long node_port = 0;
+  long grace = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scenario=", 0) == 0) {
       only = arg.substr(11);
     } else if (arg.rfind("--artifact-dir=", 0) == 0) {
       artifact_dir = arg.substr(15);
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+    } else if (arg.rfind("--kill=", 0) == 0) {
+      if (!parse_kill(arg.substr(7), plan)) {
+        std::fprintf(stderr, "bad --kill spec (want v@kill:restart, "
+                             "restart > kill > 0)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--state-root=", 0) == 0) {
+      state_root = arg.substr(13);
+    } else if (arg.rfind("--listen-port=", 0) == 0) {
+      listen_port = std::strtol(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--node-port=", 0) == 0) {
+      node_port = std::strtol(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--grace=", 0) == 0) {
+      grace = std::strtol(arg.c_str() + 8, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: cluster_driver [--scenario=mixed|gossip] "
-                   "[--artifact-dir=<dir>]\n");
+                   "[--artifact-dir=<dir>] [--mode=lockstep|converge] "
+                   "[--kill=v@k:r] [--state-root=<dir>] [--listen-port=<p>] "
+                   "[--node-port=<p>] [--grace=<rounds>]\n");
       return 2;
     }
   }
@@ -206,6 +378,31 @@ int main(int argc, char** argv) {
     goldens.push_back({"gossip", gossip_config()});
   if (goldens.empty()) {
     std::fprintf(stderr, "unknown scenario '%s'\n", only.c_str());
+    return 2;
+  }
+
+  if (mode == "converge") {
+    int failures = 0;
+    for (const Golden& golden : goldens) {
+      try {
+        if (plan.victim >= golden.config.topology.governors ||
+            plan.kill_round > golden.config.rounds) {
+          throw ConfigError("crash plan out of range for scenario " +
+                            std::string(golden.name));
+        }
+        failures += converge_run(golden, plan, artifact_dir, state_root,
+                                 static_cast<std::uint16_t>(listen_port),
+                                 static_cast<std::uint16_t>(node_port),
+                                 static_cast<Round>(grace));
+      } catch (const std::exception& e) {
+        ++failures;
+        std::fprintf(stderr, "%-8s FAILED: %s\n", golden.name, e.what());
+      }
+    }
+    return failures;
+  }
+  if (mode != "lockstep") {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;
   }
 

@@ -5,6 +5,12 @@
 // by cluster_driver; runnable by hand for debugging a single node.
 //
 //   node --config=<blob-file> --index=<governor index> --connect=<port>
+//        [--state-dir=<dir>] [--incarnation=<n>]
+//
+// --state-dir attaches a durable FileStateStore (WAL + snapshots) so the
+// chain survives a SIGKILL; --incarnation=<n> (n > 0) marks a restarted
+// process: it replays its store before dialing and announces session
+// resume in its welcome.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -52,8 +58,10 @@ int dial(std::uint16_t port) {
 
 int main(int argc, char** argv) {
   std::string config_path;
+  std::string state_dir;
   long index = -1;
   long port = -1;
+  long incarnation = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--config=", 0) == 0) {
@@ -62,17 +70,27 @@ int main(int argc, char** argv) {
       index = std::strtol(arg.c_str() + 8, nullptr, 10);
     } else if (arg.rfind("--connect=", 0) == 0) {
       port = std::strtol(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--state-dir=", 0) == 0) {
+      state_dir = arg.substr(12);
+    } else if (arg.rfind("--incarnation=", 0) == 0) {
+      incarnation = std::strtol(arg.c_str() + 14, nullptr, 10);
     } else {
       die("unknown argument " + arg);
     }
   }
-  if (config_path.empty() || index < 0 || port <= 0 || port > 65535) {
-    die("usage: node --config=<blob-file> --index=<i> --connect=<port>");
+  if (config_path.empty() || index < 0 || port <= 0 || port > 65535 ||
+      incarnation < 0) {
+    die("usage: node --config=<blob-file> --index=<i> --connect=<port> "
+        "[--state-dir=<dir>] [--incarnation=<n>]");
+  }
+  if (incarnation > 0 && state_dir.empty()) {
+    die("--incarnation requires --state-dir (nothing to recover from)");
   }
 
   try {
     const sim::ScenarioConfig config = sim::decode_config(read_file(config_path));
-    cluster::NodeHost host(config, static_cast<std::size_t>(index));
+    cluster::NodeHost host(config, static_cast<std::size_t>(index), state_dir,
+                           static_cast<std::uint32_t>(incarnation));
     host.serve(dial(static_cast<std::uint16_t>(port)));
   } catch (const std::exception& e) {
     die(e.what());
