@@ -23,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "cluster/driver.hpp"
+#include "cluster/free_run.hpp"
 #include "cluster/supervisor.hpp"
 #include "sim/harness/spec_codec.hpp"
 #include "sim/scenario.hpp"
@@ -257,6 +258,125 @@ void cluster_restart(bench::JsonReport& json) {
   }
 }
 
+/// Free-running multi-crash cost: nodes self-drive rounds on real clocks
+/// over the peer mesh while overlapping victims die and return. The single
+/// crash keeps quorum; the double crash drops the 3-governor committee to a
+/// lone survivor, so the series also prices the quorum-loss stall window
+/// (watchdog span) against the post-respawn recovery rounds.
+void free_run_multi_crash(bench::JsonReport& json) {
+  bench::section("free-running cluster, overlapping crash schedules");
+  const std::filesystem::path node_bin = self_dir() / ".." / "tools" / "node";
+  if (!std::filesystem::exists(node_bin)) {
+    std::printf("  tools/node not built — skipping the free-run section\n");
+    return;
+  }
+
+  struct Series {
+    const char* name;
+    std::vector<cluster::CrashPlan> plans;
+  };
+  const std::vector<Series> series = {
+      {"single_crash", {cluster::CrashPlan{1, 2, 4}}},
+      // Victims 1 and 2 overlap in round 2: 1 of 3 alive < quorum 2.
+      {"quorum_breaking", {cluster::CrashPlan{1, 2, 4},
+                           cluster::CrashPlan{2, 2, 3}}},
+  };
+
+  Table table({"schedule", "min_live", "quorum_lost", "stalls", "stall_ms",
+               "recover_rounds", "attempts", "wall_ms"});
+  table.print_header();
+  std::uint16_t peer_base = 23100;
+  for (const Series& sr : series) {
+    sim::ScenarioConfig cfg = cluster::free_run_config(base_config(6, 2));
+    cfg.durable_governors = false;  // the node processes persist themselves
+    sim::normalize_config(cfg);
+    const std::size_t governors = cfg.topology.governors;
+    cluster::validate_crash_plans(sr.plans, governors, cfg.rounds);
+    const std::size_t min_live =
+        cluster::min_live_governors(sr.plans, governors, cfg.rounds);
+
+    const auto scratch =
+        std::filesystem::temp_directory_path() /
+        ("repchain_bench_free_" + std::to_string(::getpid()) + "_" + sr.name);
+    std::filesystem::remove_all(scratch);
+    std::filesystem::create_directories(scratch);
+    const auto blob_path = scratch / "config.blob";
+    {
+      const Bytes blob = sim::encode_config(cfg);
+      std::ofstream out(blob_path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+    }
+
+    std::uint16_t port = 0;
+    const int listen_fd = listen_ephemeral(port);
+    cluster::ProcessSupervisor::Options sopts;
+    sopts.node_bin = node_bin.string();
+    sopts.config_blob = blob_path.string();
+    sopts.port = port;
+    sopts.state_root = (scratch / "state").string();
+    sopts.log_dir = (scratch / "logs").string();
+    sopts.extra_args = {"--free-run", "--peer-base=" + std::to_string(peer_base)};
+    cluster::ProcessSupervisor sup(sopts, governors);
+    for (std::size_t i = 0; i < governors; ++i) sup.spawn(i);
+
+    std::vector<std::unique_ptr<cluster::SyncConn>> conns(governors);
+    const wire::Welcome local = cluster::driver_welcome(sim::config_genesis(cfg));
+    for (std::size_t admitted = 0; admitted < governors; ++admitted) {
+      wire::Welcome remote;
+      auto conn = cluster::admit_node(listen_fd, local, sim::config_genesis(cfg),
+                                      governors, 15'000, &remote);
+      conns[remote.node_index] = std::move(conn);
+    }
+
+    cluster::FreeRunDriver::Options fopts;
+    fopts.peer_base = peer_base;
+    cluster::FreeRunDriver driver(cfg, std::move(conns), fopts);
+    driver.set_supervision(
+        sr.plans, [&sup](std::size_t i) { sup.kill(i); },
+        [&](std::size_t i, std::uint32_t incarnation) {
+          sup.spawn(i, incarnation);
+          return cluster::admit_node(listen_fd, local, sim::config_genesis(cfg),
+                                     governors, 15'000);
+        });
+    const auto t0 = std::chrono::steady_clock::now();
+    const cluster::FreeRunReport r = driver.run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ::close(listen_fd);
+    for (std::size_t i = 0; i < governors; ++i) (void)sup.wait_exit(i);
+    std::filesystem::remove_all(scratch);
+    peer_base = static_cast<std::uint16_t>(peer_base + 64);
+
+    const cluster::DegradationReport& d = r.degradation;
+    const double stall_ms =
+        d.stalled_events == 0
+            ? 0.0
+            : static_cast<double>(d.stall_last - d.stall_first) /
+                  static_cast<double>(kMillisecond);
+    table.row({sr.name, std::to_string(d.min_live),
+               d.quorum_lost ? "yes" : "no", std::to_string(d.stalled_events),
+               fmt(stall_ms, 1), std::to_string(d.rounds_to_recover),
+               std::to_string(r.restart_attempts), fmt(wall_ms, 1)});
+    json.row("free_run_multi_crash",
+             {{"schedule", bench::js(sr.name)},
+              {"victims", bench::ju(sr.plans.size())},
+              {"predicted_min_live", bench::ju(min_live)},
+              {"observed_min_live", bench::ju(d.min_live)},
+              {"quorum_lost", d.quorum_lost ? "true" : "false"},
+              {"contract_ok", r.ok() ? "true" : "false"},
+              {"stalled_events", bench::ju(d.stalled_events)},
+              {"stall_span_ms", bench::jf(stall_ms, 2)},
+              {"rounds_to_recover", bench::ju(d.rounds_to_recover)},
+              {"restart_attempts", bench::ju(r.restart_attempts)},
+              {"rounds_run", bench::ju(r.rounds_run)},
+              {"head_serial", bench::ju(r.head_serial)},
+              {"committed_txs", bench::ju(r.committed_txs)},
+              {"wall_ms", bench::jf(wall_ms, 2)}});
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -265,6 +385,7 @@ int main() {
   sweep(json);
   file_backed(json);
   cluster_restart(json);
+  free_run_multi_crash(json);
   json.write();
   return 0;
 }

@@ -6,11 +6,20 @@
 # TSan with a bounded wall-clock; on failure the node logs and the
 # convergence diff land in the artifact directory.
 #
-#   usage: cluster_chaos.sh <tools-dir> <artifact-dir>
+#   usage: cluster_chaos.sh <tools-dir> <artifact-dir> [--multi]
+#
+# --multi switches to the overlapping double-kill schedule (victims 1 and 2
+# down at once — quorum loss on the 3-governor mixed golden): the driver
+# must ride out the stall window and converge after both respawns, with the
+# first respawn dial still truncated+reset by the proxy.
 set -euo pipefail
 
-tools="${1:?usage: cluster_chaos.sh <tools-dir> <artifact-dir>}"
-artifacts="${2:?usage: cluster_chaos.sh <tools-dir> <artifact-dir>}"
+tools="${1:?usage: cluster_chaos.sh <tools-dir> <artifact-dir> [--multi]}"
+artifacts="${2:?usage: cluster_chaos.sh <tools-dir> <artifact-dir> [--multi]}"
+kills=(--kill=1@2:4)
+if [[ "${3:-}" == "--multi" ]]; then
+  kills=(--kill=1@2:4 --kill=2@2:3)
+fi
 mkdir -p "$artifacts"
 
 # PID-derived ports keep concurrent ctest invocations off each other.
@@ -42,6 +51,6 @@ for _ in $(seq 50); do
   sleep 0.1
 done
 
-"$tools/cluster_driver" --scenario=mixed --mode=converge --kill=1@2:4 \
+"$tools/cluster_driver" --scenario=mixed --mode=converge "${kills[@]}" \
   --listen-port="$driver_port" --node-port="$proxy_port" \
   --state-root="$state_root" --artifact-dir="$artifacts"

@@ -1,5 +1,6 @@
 #include "cluster/driver.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <string>
 #include <utility>
@@ -17,6 +18,70 @@ wire::Welcome driver_welcome(const crypto::Hash256& genesis) {
   w.genesis = genesis;
   w.role = wire::Role::kDriver;
   return w;
+}
+
+bool parse_crash_plan(const std::string& spec, CrashPlan& plan) {
+  const std::size_t at = spec.find('@');
+  const std::size_t colon = spec.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos || at == 0 ||
+      colon <= at + 1 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  try {
+    std::size_t used = 0;
+    plan.victim = std::stoul(spec.substr(0, at), &used);
+    if (used != at) return false;
+    const std::string kill = spec.substr(at + 1, colon - at - 1);
+    plan.kill_round = std::stoul(kill, &used);
+    if (used != kill.size()) return false;
+    const std::string restart = spec.substr(colon + 1);
+    plan.restart_round = std::stoul(restart, &used);
+    if (used != restart.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return plan.kill_round > 0 && plan.restart_round > plan.kill_round;
+}
+
+void validate_crash_plans(const std::vector<CrashPlan>& plans,
+                          std::size_t governors, Round rounds) {
+  std::vector<bool> seen(governors, false);
+  for (const CrashPlan& p : plans) {
+    if (p.victim >= governors) {
+      throw ConfigError("crash plan: victim " + std::to_string(p.victim) +
+                        " out of range (" + std::to_string(governors) +
+                        " governors)");
+    }
+    if (seen[p.victim]) {
+      throw ConfigError("crash plan: victim " + std::to_string(p.victim) +
+                        " scheduled twice");
+    }
+    seen[p.victim] = true;
+    if (p.kill_round == 0 || p.kill_round > rounds) {
+      throw ConfigError("crash plan: kill round " +
+                        std::to_string(p.kill_round) + " outside [1, " +
+                        std::to_string(rounds) + "]");
+    }
+    if (p.restart_round <= p.kill_round) {
+      throw ConfigError("crash plan: restart round " +
+                        std::to_string(p.restart_round) +
+                        " not after kill round " +
+                        std::to_string(p.kill_round));
+    }
+  }
+}
+
+std::size_t min_live_governors(const std::vector<CrashPlan>& plans,
+                               std::size_t governors, Round rounds) {
+  std::size_t min_live = governors;
+  for (Round r = 1; r <= rounds; ++r) {
+    std::size_t dead = 0;
+    for (const CrashPlan& p : plans) {
+      if (p.kill_round <= r && r < p.restart_round) ++dead;
+    }
+    min_live = std::min(min_live, governors - dead);
+  }
+  return min_live;
 }
 
 ClusterRun::ClusterRun(sim::ScenarioConfig config,
@@ -58,15 +123,17 @@ ClusterRun::ClusterRun(sim::ScenarioConfig config,
   });
 }
 
-void ClusterRun::set_supervision(CrashPlan plan, KillFn kill, RespawnFn respawn,
+void ClusterRun::set_supervision(std::vector<CrashPlan> plans, KillFn kill,
+                                 RespawnFn respawn,
                                  std::uint32_t max_restart_attempts,
                                  std::uint64_t rpc_timeout_us) {
   converge_ = true;
-  plan_ = plan;
+  plans_ = std::move(plans);
   kill_ = std::move(kill);
   respawn_ = std::move(respawn);
   max_restarts_ = max_restart_attempts;
   rpc_timeout_us_ = rpc_timeout_us;
+  report_.degradation.min_live = conns_.size();
   // A node that dies mid-RPC without closing its socket must not wedge the
   // driver: bound every blocking call (SyncConn throws kPeerTimeout).
   for (auto& conn : conns_) {
@@ -74,11 +141,29 @@ void ClusterRun::set_supervision(CrashPlan plan, KillFn kill, RespawnFn respawn,
   }
 }
 
+void ClusterRun::set_supervision(CrashPlan plan, KillFn kill, RespawnFn respawn,
+                                 std::uint32_t max_restart_attempts,
+                                 std::uint64_t rpc_timeout_us) {
+  set_supervision(std::vector<CrashPlan>{plan}, std::move(kill),
+                  std::move(respawn), max_restart_attempts, rpc_timeout_us);
+}
+
 void ClusterRun::mark_dead(std::size_t index) {
   if (!alive_[index]) return;
   alive_[index] = false;
   ++generation_[index];
   conns_[index].reset();
+  note_liveness();
+}
+
+void ClusterRun::note_liveness() {
+  if (!converge_) return;
+  std::size_t live = 0;
+  for (const bool a : alive_)
+    if (a) ++live;
+  DegradationReport& d = report_.degradation;
+  d.min_live = std::min(d.min_live, live);
+  if (live < election_quorum(alive_.size())) d.quorum_lost = true;
 }
 
 std::size_t ClusterRun::first_alive() const {
@@ -180,6 +265,14 @@ void ClusterRun::apply_effects(std::size_t index,
             });
         break;
       case Effect::Kind::kTrace:
+        // Degradation accounting: each kRoundStalled is one watchdog trip
+        // on a live replica; the first/last timestamps bound the stall span.
+        if (converge_ && e.trace.kind == runtime::TraceKind::kRoundStalled) {
+          DegradationReport& d = report_.degradation;
+          ++d.stalled_events;
+          if (d.stall_first == 0) d.stall_first = e.trace.at;
+          d.stall_last = e.trace.at;
+        }
         observation_.observer().on_event(e.trace);
         break;
     }
@@ -273,10 +366,16 @@ void ClusterRun::run_audit(Round round) {
 
 void ClusterRun::run_round() {
   ++round_;
-  // Supervision: the respawn happens at a round boundary (before arming,
-  // like the sim's restart_governor), the kill strikes mid-round below.
-  if (converge_ && round_ == plan_.restart_round && !alive_[plan_.victim]) {
-    respawn_victim();
+  // Supervision: respawns happen at a round boundary (before arming, like
+  // the sim's restart_governor), kills strike mid-round below. Plans may
+  // overlap: several victims can be down at once, and a round can respawn
+  // one victim while another is still dead.
+  if (converge_) {
+    for (const CrashPlan& plan : plans_) {
+      if (round_ == plan.restart_round && !alive_[plan.victim]) {
+        respawn_victim(plan.victim);
+      }
+    }
   }
   const SimTime t0 = queue_.now();
   observation_.begin_round(round_, probe_counters());
@@ -296,13 +395,15 @@ void ClusterRun::run_round() {
   }
 
   queue_.run_until(t0 + timing.workload_offset);
-  if (converge_ && round_ == plan_.kill_round && alive_[plan_.victim] &&
-      kill_) {
-    // SIGKILL mid-round: in-memory state (including any uncommitted round
-    // progress) is gone; only the WAL/snapshot survive on disk.
-    kill_(plan_.victim);
-    mark_dead(plan_.victim);
-    report_.killed_at = queue_.now();
+  if (converge_ && kill_) {
+    for (const CrashPlan& plan : plans_) {
+      if (round_ != plan.kill_round || !alive_[plan.victim]) continue;
+      // SIGKILL mid-round: in-memory state (including any uncommitted round
+      // progress) is gone; only the WAL/snapshot survive on disk.
+      kill_(plan.victim);
+      mark_dead(plan.victim);
+      if (report_.killed_at == 0) report_.killed_at = queue_.now();
+    }
   }
   workload_->inject(round_);
   queue_.run_until(t0 + timing.round_span);
@@ -310,8 +411,7 @@ void ClusterRun::run_round() {
   observation_.end_round(probe_counters());
 }
 
-void ClusterRun::respawn_victim() {
-  const std::size_t v = plan_.victim;
+void ClusterRun::respawn_victim(std::size_t v) {
   const std::uint32_t incarnation = ++incarnations_[v];
   std::unique_ptr<SyncConn> conn;
   for (std::uint32_t a = 0; a < max_restarts_ && conn == nullptr; ++a) {
@@ -344,7 +444,10 @@ void ClusterRun::respawn_victim() {
   // sync requests to peers come back as ordinary send effects.
   apply_effects(v, rpc_done(v, ClusterPacket::kResync,
                             encode_resync(queue_.now())));
-  if (alive_[v]) report_.rejoined_at = queue_.now();
+  if (alive_[v]) {
+    report_.rejoined_at = queue_.now();
+    report_.degradation.last_restart_round = round_;
+  }
 }
 
 bool ClusterRun::check_converged() {
@@ -383,7 +486,13 @@ ConvergenceReport ClusterRun::run_converge(Round grace_rounds) {
     ++extra;
     report_.converged = check_converged();
   }
-  if (report_.converged) report_.converged_round = round_;
+  if (report_.converged) {
+    report_.converged_round = round_;
+    if (report_.degradation.last_restart_round > 0) {
+      report_.degradation.rounds_to_recover =
+          round_ - report_.degradation.last_restart_round;
+    }
+  }
   report_.rounds_run = round_;
   for (std::size_t i = 0; i < conns_.size(); ++i) {
     if (alive_[i]) (void)rpc_done(i, ClusterPacket::kShutdown, BytesView{});

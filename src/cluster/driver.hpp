@@ -35,17 +35,57 @@ namespace repchain::cluster {
 /// The welcome the driver presents on every node connection.
 [[nodiscard]] wire::Welcome driver_welcome(const crypto::Hash256& genesis);
 
-/// Supervision schedule for a convergence-mode run: SIGKILL `victim`
-/// mid-round `kill_round`, respawn it against its persisted state directory
-/// at the start of round `restart_round`.
+/// Supervision schedule for one victim of a convergence-mode run: SIGKILL
+/// `victim` mid-round `kill_round`, respawn it against its persisted state
+/// directory at the start of round `restart_round`. A run takes a list of
+/// these (one per victim, windows may overlap) — concurrent kills that drop
+/// the committee below election quorum are a legal, tested schedule.
 struct CrashPlan {
   std::size_t victim = 0;
   Round kill_round = 0;
   Round restart_round = 0;
 };
 
+/// Reliable-mode election quorum: close_election() requires a strict
+/// majority of the (non-expelled) committee, counted against committee size
+/// — not live count — so dead governors subtract from the margin.
+[[nodiscard]] constexpr std::size_t election_quorum(std::size_t governors) {
+  return governors / 2 + 1;
+}
+
+/// Parse one `v@k:r` crash-plan spec (victim, kill round, restart round).
+/// Returns false on malformed input.
+[[nodiscard]] bool parse_crash_plan(const std::string& spec, CrashPlan& plan);
+
+/// Reject inconsistent schedules: a duplicate victim, a victim index at or
+/// past `governors`, kill_round 0 or past `rounds`, or restart_round not
+/// strictly after kill_round. Throws ConfigError.
+void validate_crash_plans(const std::vector<CrashPlan>& plans,
+                          std::size_t governors, Round rounds);
+
+/// Fewest governors alive in any round of [1, rounds] under `plans` (a
+/// victim counts dead from its kill round until the round before its
+/// restart). Compare against election_quorum() to predict a stall window.
+[[nodiscard]] std::size_t min_live_governors(const std::vector<CrashPlan>& plans,
+                                             std::size_t governors, Round rounds);
+
+/// How a supervised run degraded while victims were down: whether the live
+/// committee ever dropped below election quorum, the watchdog activity the
+/// survivors surfaced (kRoundStalled traces and their time span), and how
+/// many rounds the cluster needed after the last respawn to converge.
+struct DegradationReport {
+  bool quorum_lost = false;       // live committee < election_quorum at some point
+  std::size_t min_live = 0;       // fewest live governors observed
+  std::uint64_t stalled_events = 0;  // kRoundStalled traces (= watchdog trips)
+  SimTime stall_first = 0;        // clock of the first kRoundStalled (0 = none)
+  SimTime stall_last = 0;         // clock of the last kRoundStalled
+  Round last_restart_round = 0;   // round of the final respawn
+  Round rounds_to_recover = 0;    // converged_round - last_restart_round
+  std::uint32_t spontaneous_exits = 0;  // from ProcessSupervisor::report()
+};
+
 /// What a supervised run reports instead of a byte-compared summary: did
-/// every survivor plus the restarted node end on the same chain head, and
+/// every survivor plus the restarted nodes end on the same chain head, and
 /// how long did the rejoin take.
 struct ConvergenceReport {
   bool converged = false;
@@ -54,9 +94,10 @@ struct ConvergenceReport {
   std::uint64_t head_serial = 0;
   std::uint64_t committed_txs = 0;
   std::string head_hash_hex;
-  SimTime killed_at = 0;       // master-clock instant of the SIGKILL
-  SimTime rejoined_at = 0;     // instant the respawn finished re-admission
+  SimTime killed_at = 0;       // master-clock instant of the first SIGKILL
+  SimTime rejoined_at = 0;     // instant the last respawn finished re-admission
   std::uint32_t restart_attempts = 0;
+  DegradationReport degradation;
 };
 
 /// One cluster-hosted run. `conns[i]` must be the (already handshaken)
@@ -85,8 +126,16 @@ class ClusterRun final : public sim::RemoteGovernorLink {
 
   /// Switch this run to convergence mode: RPC failures mark a node dead
   /// instead of aborting, every connection gets a blocking-IO deadline, the
-  /// crash plan executes during run_converge(), and a failed node is
+  /// crash schedule executes during run_converge(), and a failed node is
   /// respawned at most `max_restart_attempts` times per restart point.
+  /// `plans` holds one entry per victim; overlapping kill/restart windows
+  /// (including quorum-breaking ones) are allowed. Validate the schedule
+  /// with validate_crash_plans() first.
+  void set_supervision(std::vector<CrashPlan> plans, KillFn kill,
+                       RespawnFn respawn,
+                       std::uint32_t max_restart_attempts = 3,
+                       std::uint64_t rpc_timeout_us = 10'000'000);
+  /// Single-victim convenience overload.
   void set_supervision(CrashPlan plan, KillFn kill, RespawnFn respawn,
                        std::uint32_t max_restart_attempts = 3,
                        std::uint64_t rpc_timeout_us = 10'000'000);
@@ -124,7 +173,9 @@ class ClusterRun final : public sim::RemoteGovernorLink {
   // --- convergence mode ------------------------------------------------------
   void mark_dead(std::size_t index);
   [[nodiscard]] std::size_t first_alive() const;
-  void respawn_victim();
+  void respawn_victim(std::size_t victim);
+  /// Track the live count against quorum for the degradation report.
+  void note_liveness();
   /// Query every node's head; true when all alive and identical (non-empty).
   bool check_converged();
 
@@ -141,7 +192,7 @@ class ClusterRun final : public sim::RemoteGovernorLink {
   // Convergence-mode state. In lockstep mode alive_ stays all-true and
   // generation_ all-zero, so the shared paths behave identically.
   bool converge_ = false;
-  CrashPlan plan_;
+  std::vector<CrashPlan> plans_;
   KillFn kill_;
   RespawnFn respawn_;
   std::uint32_t max_restarts_ = 3;

@@ -1,0 +1,468 @@
+#include "cluster/free_run.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/errors.hpp"
+#include "sim/harness/run_codec.hpp"
+#include "sim/harness/spec_codec.hpp"
+
+namespace repchain::cluster {
+namespace {
+
+sim::ScenarioConfig observer_normalized(sim::ScenarioConfig config) {
+  sim::normalize_config(config);
+  sim::require_cluster_runnable(config);
+  if (!config.reliable_delivery) {
+    throw ConfigError(
+        "free-run observer: reliable_delivery is required (run the config "
+        "through free_run_config first)");
+  }
+  return config;
+}
+
+runtime::TcpTransport::Options observer_mesh_options(
+    const sim::ScenarioConfig& config) {
+  runtime::TcpTransport::Options opts;
+  opts.max_delay = config.latency.max_delay;
+  opts.auto_reconnect = true;
+  opts.reconnect_base = 25 * kMillisecond;
+  opts.reconnect_max = 250 * kMillisecond;
+  return opts;
+}
+
+}  // namespace
+
+sim::ScenarioConfig free_run_config(sim::ScenarioConfig base) {
+  base.reliable_delivery = true;
+  if (base.governor.watchdog_rounds == 0) base.governor.watchdog_rounds = 2;
+  // Audits would need mid-round reveal RPCs riding the self-driving
+  // schedule; cross-shard traffic is meaningless with one committee.
+  base.audit_probability = 0.0;
+  base.cross_shard_probability = 0.0;
+  // The protocol's phase windows assume every message lands within Delta.
+  // On real sockets the wire is microseconds, but a single-threaded node
+  // verifying a large block holds its loop for tens of milliseconds, and a
+  // VRF announcement delayed past a peer's 2-Delta election deadline splits
+  // the leader election — a fork. Widen Delta so real scheduling satisfies
+  // the synchrony bound with margin; the reference simulation runs the same
+  // derived config, so the convergence contract stays aligned.
+  if (base.latency.max_delay < 50 * kMillisecond) {
+    base.latency.max_delay = 50 * kMillisecond;
+  }
+  return base;
+}
+
+FreeRunDriver::FreeRunDriver(sim::ScenarioConfig config,
+                             std::vector<std::unique_ptr<SyncConn>> conns,
+                             Options opts)
+    : config_(observer_normalized(std::move(config))),
+      opts_(opts),
+      rng_(config_.seed),
+      model_(sim::SystemModel::build(config_, Rng(config_.seed))),
+      transport_(loop_, sim::config_genesis(config_),
+                 observer_mesh_options(config_)),
+      upload_group_(transport_, model_.directory.governor_nodes()),
+      oracle_(config_.validation_cost),
+      conns_(std::move(conns)) {
+  if (conns_.size() != config_.topology.governors) {
+    throw ConfigError("free-run observer: " + std::to_string(conns_.size()) +
+                      " control connections for " +
+                      std::to_string(config_.topology.governors) +
+                      " governors");
+  }
+  alive_.assign(conns_.size(), true);
+  incarnations_.assign(conns_.size(), 0);
+  last_serial_.assign(conns_.size(), 0);
+  report_.degradation.min_live = conns_.size();
+  for (auto& conn : conns_) conn->set_timeout(rpc_timeout_us_);
+
+  // Forward every ground-truth registration to the node oracles; the
+  // control FIFO puts a truth ahead of any traffic that could validate it.
+  oracle_.set_register_hook([this](const ledger::TxId& id, bool valid) {
+    const Bytes payload = encode_register_tx({id, valid});
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (!alive_[i] || conns_[i] == nullptr) continue;
+      try {
+        conns_[i]->send_frame(
+            static_cast<std::uint16_t>(ClusterPacket::kRegisterTx), payload);
+      } catch (const std::exception&) {
+        mark_dead(i);
+      }
+    }
+  });
+
+  // Providers and collectors live here, on the observer's loop, built with
+  // the same identities and rng salts as Wiring builds them — the traffic
+  // pattern matches the simulated reference run statistically.
+  const auto& topo = config_.topology;
+  for (std::size_t i = 0; i < topo.providers; ++i) {
+    const ProviderId id(static_cast<std::uint32_t>(i));
+    provider_ctxs_.emplace_back(model_.directory.node_of(id), transport_,
+                                rng_.derive(3000 + i));
+    providers_.emplace_back(id, provider_ctxs_.back(),
+                            std::move(model_.provider_keys[i]), *model_.im,
+                            oracle_, model_.directory, config_.providers_active,
+                            config_.reliable_delivery);
+    transport_.host(model_.directory.node_of(id),
+                    [this, i](const runtime::Message& m) {
+                      providers_[i].on_message(m);
+                    });
+  }
+  for (std::size_t i = 0; i < topo.collectors; ++i) {
+    const CollectorId id(static_cast<std::uint32_t>(i));
+    const protocol::CollectorBehavior behavior =
+        config_.behaviors.empty()
+            ? protocol::CollectorBehavior::honest()
+            : config_.behaviors[i % config_.behaviors.size()];
+    collector_ctxs_.emplace_back(model_.directory.node_of(id), transport_,
+                                 rng_.derive(1000 + i));
+    collectors_.emplace_back(id, collector_ctxs_.back(),
+                             std::move(model_.collector_keys[i]), *model_.im,
+                             oracle_, model_.directory, upload_group_, behavior,
+                             config_.reliable_delivery);
+    transport_.host(model_.directory.node_of(id),
+                    [this, i](const runtime::Message& m) {
+                      collectors_[i].on_message(m);
+                    });
+  }
+  // A healed node link refreshes every local channel aimed at it.
+  transport_.set_reconnect_hook([this](NodeId peer) {
+    for (auto& p : providers_) p.on_peer_reconnected(peer);
+    for (auto& c : collectors_) c.on_peer_reconnected(peer);
+  });
+  for (std::size_t i = 0; i < topo.governors; ++i) {
+    transport_.connect(static_cast<std::uint16_t>(opts_.peer_base + i));
+  }
+}
+
+FreeRunDriver::~FreeRunDriver() = default;
+
+void FreeRunDriver::set_supervision(std::vector<CrashPlan> plans,
+                                    ClusterRun::KillFn kill,
+                                    ClusterRun::RespawnFn respawn,
+                                    std::uint32_t max_restart_attempts,
+                                    std::uint64_t rpc_timeout_us) {
+  plans_ = std::move(plans);
+  kill_ = std::move(kill);
+  respawn_ = std::move(respawn);
+  max_restarts_ = max_restart_attempts;
+  rpc_timeout_us_ = rpc_timeout_us;
+  for (auto& conn : conns_) {
+    if (conn != nullptr) conn->set_timeout(rpc_timeout_us_);
+  }
+}
+
+std::size_t FreeRunDriver::live_count() const {
+  std::size_t live = 0;
+  for (const bool a : alive_) {
+    if (a) ++live;
+  }
+  return live;
+}
+
+void FreeRunDriver::note_liveness() {
+  DegradationReport& d = report_.degradation;
+  const std::size_t live = live_count();
+  d.min_live = std::min(d.min_live, live);
+  if (live < election_quorum(conns_.size())) d.quorum_lost = true;
+}
+
+void FreeRunDriver::mark_dead(std::size_t index) {
+  if (!alive_[index]) return;
+  alive_[index] = false;
+  conns_[index].reset();
+  note_liveness();
+}
+
+std::optional<Bytes> FreeRunDriver::try_query(std::size_t index,
+                                              ClusterPacket request,
+                                              BytesView payload,
+                                              ClusterPacket reply) {
+  if (!alive_[index] || conns_[index] == nullptr) return std::nullopt;
+  try {
+    conns_[index]->send_frame(static_cast<std::uint16_t>(request), payload);
+    const wire::Frame frame = conns_[index]->recv_frame();
+    if (frame.type != static_cast<std::uint16_t>(reply)) {
+      mark_dead(index);
+      return std::nullopt;
+    }
+    return frame.payload;
+  } catch (const std::exception&) {
+    mark_dead(index);
+    return std::nullopt;
+  }
+}
+
+void FreeRunDriver::start_nodes() {
+  // The observer mesh must reach every governor before round 1: a provider
+  // whose first submission races the welcome exchange only costs latency,
+  // but starting the schedule blind would skew the whole first round.
+  const std::vector<NodeId>& governors = model_.directory.governor_nodes();
+  const bool reached =
+      loop_.run_until(loop_.now() + opts_.mesh_deadline, [&] {
+        return std::all_of(governors.begin(), governors.end(),
+                           [&](NodeId g) { return transport_.reaches(g); });
+      });
+  if (!reached) {
+    throw NetError("free-run: peer mesh did not reach every governor node");
+  }
+  round_start_ = loop_.now() + opts_.start_cushion;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    FreeStart s;
+    s.first_round = 1;
+    // Re-derived per node: each one measures the delay from its own receive
+    // instant, so the fan-out time of earlier announcements cancels out.
+    s.start_delay = round_start_ - loop_.now();
+    conns_[i]->send_frame(static_cast<std::uint16_t>(ClusterPacket::kFreeStart),
+                          encode_free_start(s));
+    const wire::Frame reply = conns_[i]->recv_frame();
+    if (reply.type != static_cast<std::uint16_t>(ClusterPacket::kDone)) {
+      throw NetError("free-run: node " + std::to_string(i) +
+                     " rejected the start announcement");
+    }
+  }
+}
+
+void FreeRunDriver::inject_workload(Round round) {
+  // Same derivation and draw order as Workload::inject, so the traffic the
+  // reference simulation saw is reproduced tx for tx; only the delivery
+  // fabric differs. Draws happen up front (provider-major), submissions are
+  // spread at the same 1 ms spacing as loop timers.
+  Rng workload = rng_.derive(10'000 + round);
+  struct Draw {
+    std::size_t provider;
+    Bytes payload;
+    bool valid;
+  };
+  std::vector<Draw> draws;
+  draws.reserve(providers_.size() * config_.txs_per_provider_per_round);
+  for (std::size_t i = 0; i < providers_.size(); ++i) {
+    for (std::size_t t = 0; t < config_.txs_per_provider_per_round; ++t) {
+      const bool valid = workload.bernoulli(config_.p_valid);
+      draws.push_back({i, workload.bytes(24), valid});
+    }
+  }
+  SimTime at = loop_.now();
+  for (Draw& d : draws) {
+    loop_.schedule_at(at, [this, draw = std::move(d)]() mutable {
+      (void)providers_[draw.provider].submit(std::move(draw.payload),
+                                             draw.valid);
+    });
+    at += 1 * kMillisecond;
+  }
+}
+
+void FreeRunDriver::kill_due_victims() {
+  for (const CrashPlan& plan : plans_) {
+    if (round_ != plan.kill_round || !alive_[plan.victim]) continue;
+    // SIGKILL mid-round: the victim's in-memory state (and its peer mesh
+    // endpoint) vanish; survivors' channels retransmit into the gap.
+    kill_(plan.victim);
+    mark_dead(plan.victim);
+    if (report_.killed_at == 0) report_.killed_at = loop_.now();
+  }
+}
+
+void FreeRunDriver::respawn_victim(std::size_t victim) {
+  const std::uint32_t incarnation = ++incarnations_[victim];
+  std::unique_ptr<SyncConn> conn;
+  for (std::uint32_t a = 0; a < max_restarts_ && conn == nullptr; ++a) {
+    ++report_.restart_attempts;
+    try {
+      conn = respawn_(victim, incarnation);
+    } catch (const std::exception&) {
+      conn = nullptr;
+    }
+  }
+  if (conn == nullptr) return;  // stays dead; the convergence check fails
+  conn->set_timeout(rpc_timeout_us_);
+  conns_[victim] = std::move(conn);
+  alive_[victim] = true;
+  // Fresh process, empty oracle replica: replay the ground truth before the
+  // catch-up sync can validate anything.
+  for (const auto& [id, valid] : oracle_.truth()) {
+    const Bytes payload = encode_register_tx({id, valid});
+    try {
+      conns_[victim]->send_frame(
+          static_cast<std::uint16_t>(ClusterPacket::kRegisterTx), payload);
+    } catch (const std::exception&) {
+      mark_dead(victim);
+      return;
+    }
+  }
+  // Point the node at the next boundary it can realistically make; it runs
+  // its chain catch-up in the meantime and rejoins the election there.
+  FreeStart s;
+  SimTime start = round_start_;
+  Round first = round_;
+  const SimTime earliest = loop_.now() + 50 * kMillisecond;
+  while (start < earliest) {
+    start += model_.timing.round_span;
+    ++first;
+  }
+  s.first_round = first;
+  s.start_delay = start - loop_.now();
+  try {
+    conns_[victim]->send_frame(
+        static_cast<std::uint16_t>(ClusterPacket::kFreeStart),
+        encode_free_start(s));
+    const wire::Frame reply = conns_[victim]->recv_frame();
+    if (reply.type != static_cast<std::uint16_t>(ClusterPacket::kDone)) {
+      mark_dead(victim);
+      return;
+    }
+  } catch (const std::exception&) {
+    mark_dead(victim);
+    return;
+  }
+  report_.rejoined_at = loop_.now();
+  report_.degradation.last_restart_round = round_;
+  note_liveness();
+}
+
+void FreeRunDriver::end_round_checks() {
+  std::uint64_t max_serial = 0;
+  std::uint64_t min_serial = std::numeric_limits<std::uint64_t>::max();
+  std::optional<HeadInfo> ref;
+  bool all_same = true;
+  report_.node_stats.assign(conns_.size(), FreeRunStats{});
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (!alive_[i]) {
+      all_same = false;
+      continue;
+    }
+    const auto bytes =
+        try_query(i, ClusterPacket::kQueryFreeStats, {}, ClusterPacket::kFreeStats);
+    if (!bytes) {
+      all_same = false;
+      continue;
+    }
+    const FreeRunStats s = decode_free_stats(*bytes);
+    report_.node_stats[i] = s;
+    if (s.head.serial < last_serial_[i]) report_.monotone_ok = false;
+    last_serial_[i] = s.head.serial;
+    max_serial = std::max(max_serial, s.head.serial);
+    min_serial = std::min(min_serial, s.head.serial);
+    if (!ref) {
+      ref = s.head;
+    } else if (s.head.serial != ref->serial || s.head.hash != ref->hash ||
+               s.head.committed_txs != ref->committed_txs) {
+      all_same = false;
+    }
+  }
+  // Common-prefix probe at the lowest live head: every node already holding
+  // that serial must report the same block hash, this round and forever.
+  if (min_serial != std::numeric_limits<std::uint64_t>::max() &&
+      min_serial > 0) {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (!alive_[i]) continue;
+      const auto bytes = try_query(i, ClusterPacket::kQueryBlockAt,
+                                   encode_block_at(min_serial),
+                                   ClusterPacket::kBlockHash);
+      if (!bytes) continue;
+      const BlockHashInfo info = decode_block_hash(*bytes);
+      if (!info.found) continue;
+      const auto [it, inserted] = seen_hashes_.try_emplace(min_serial, info.hash);
+      if (!inserted && it->second != info.hash) report_.prefix_ok = false;
+    }
+  }
+  // Observer-side stall detection: a full round with no serial advance
+  // anywhere spans the degradation window even if node counters were lost
+  // with a crash.
+  if (max_serial <= last_max_serial_) {
+    DegradationReport& d = report_.degradation;
+    if (d.stall_first == 0) d.stall_first = loop_.now();
+    d.stall_last = loop_.now();
+  }
+  last_max_serial_ = std::max(last_max_serial_, max_serial);
+
+  if (!report_.converged && all_same && ref && ref->serial > 0 &&
+      live_count() == conns_.size() && round_ >= config_.rounds) {
+    report_.converged = true;
+    report_.converged_round = round_;
+    report_.head_serial = ref->serial;
+    report_.committed_txs = ref->committed_txs;
+    report_.head_hash_hex = to_hex(view(ref->hash));
+  }
+}
+
+void FreeRunDriver::run_round() {
+  ++round_;
+  const SimTime t0 = round_start_;
+  const protocol::RoundTiming& timing = model_.timing;
+  for (auto& p : providers_) p.arm_round(t0, timing);
+  // Respawns due at this boundary happen before the round's traffic: the
+  // returning governor syncs during the round and rejoins at the next
+  // aligned boundary.
+  for (const CrashPlan& plan : plans_) {
+    if (round_ == plan.restart_round && !alive_[plan.victim]) {
+      respawn_victim(plan.victim);
+    }
+  }
+  loop_.run_until(t0 + timing.workload_offset);
+  kill_due_victims();
+  inject_workload(round_);
+  loop_.run_until(t0 + timing.round_span);
+  end_round_checks();
+  round_start_ = t0 + timing.round_span;
+}
+
+void FreeRunDriver::shutdown_nodes() {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (!alive_[i] || conns_[i] == nullptr) continue;
+    try {
+      conns_[i]->send_frame(static_cast<std::uint16_t>(ClusterPacket::kShutdown),
+                            Bytes{});
+      (void)conns_[i]->recv_frame();
+    } catch (const std::exception&) {
+    }
+    conns_[i].reset();
+  }
+}
+
+FreeRunReport FreeRunDriver::run() {
+  // Reference side of the tolerance check: the identical config, simulated
+  // in-process on the deterministic event loop.
+  {
+    const sim::RunResult ref = sim::simulate_run(config_);
+    report_.reference_txs = ref.summary.chain_valid_txs +
+                            ref.summary.chain_unchecked_txs +
+                            ref.summary.chain_argued_txs;
+  }
+  start_nodes();
+  const Round configured = static_cast<Round>(config_.rounds);
+  while (round_ < configured + opts_.grace_rounds && !report_.converged) {
+    run_round();
+  }
+  report_.rounds_run = round_;
+  std::uint64_t stalled = 0;
+  for (const FreeRunStats& s : report_.node_stats) stalled += s.stalled_events;
+  report_.degradation.stalled_events = stalled;
+  if (report_.converged && report_.degradation.last_restart_round > 0) {
+    report_.degradation.rounds_to_recover =
+        report_.converged_round - report_.degradation.last_restart_round;
+  }
+  // The committed-tx contract scales the reference to the rounds actually
+  // run: grace rounds keep injecting workload, so a recovered cluster that
+  // needed them commits proportionally more.
+  const double scale =
+      config_.rounds > 0
+          ? static_cast<double>(report_.rounds_run) / config_.rounds
+          : 1.0;
+  const double expected = static_cast<double>(report_.reference_txs) * scale;
+  report_.tolerance_lo =
+      static_cast<std::uint64_t>(expected * opts_.tolerance_lo);
+  report_.tolerance_hi =
+      static_cast<std::uint64_t>(expected * opts_.tolerance_hi) + 1;
+  report_.txs_in_tolerance = report_.converged &&
+                             report_.committed_txs >= report_.tolerance_lo &&
+                             report_.committed_txs <= report_.tolerance_hi;
+  shutdown_nodes();
+  return report_;
+}
+
+}  // namespace repchain::cluster

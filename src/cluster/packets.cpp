@@ -316,4 +316,81 @@ std::vector<ledger::TxId> decode_txid_list(BytesView data) {
   });
 }
 
+Bytes encode_free_start(const FreeStart& s) {
+  BinaryWriter w;
+  w.u64(s.first_round);
+  w.u64(static_cast<std::uint64_t>(s.start_delay));
+  return std::move(w).take();
+}
+
+FreeStart decode_free_start(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    FreeStart s;
+    s.first_round = r.u64();
+    s.start_delay = static_cast<SimDuration>(r.u64());
+    return s;
+  });
+}
+
+Bytes encode_free_stats(const FreeRunStats& s) {
+  BinaryWriter w;
+  w.raw(encode_head(s.head));
+  w.u64(s.current_round);
+  w.u64(s.rounds_started);
+  w.u64(s.stalled_events);
+  w.u64(s.watchdog_trips);
+  w.u64(s.delivery_failures);
+  w.u64(s.reconnects);
+  w.u64(s.blocks_accepted);
+  w.u64(s.blocks_synced);
+  return std::move(w).take();
+}
+
+FreeRunStats decode_free_stats(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    FreeRunStats s;
+    s.head.serial = r.u64();
+    s.head.hash = r.raw_array<32>();
+    s.head.committed_txs = r.u64();
+    s.head.incarnation = r.u32();
+    s.current_round = r.u64();
+    s.rounds_started = r.u64();
+    s.stalled_events = r.u64();
+    s.watchdog_trips = r.u64();
+    s.delivery_failures = r.u64();
+    s.reconnects = r.u64();
+    s.blocks_accepted = r.u64();
+    s.blocks_synced = r.u64();
+    return s;
+  });
+}
+
+Bytes encode_block_at(std::uint64_t serial) {
+  BinaryWriter w;
+  w.u64(serial);
+  return std::move(w).take();
+}
+
+std::uint64_t decode_block_at(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) { return r.u64(); });
+}
+
+Bytes encode_block_hash(const BlockHashInfo& b) {
+  BinaryWriter w;
+  w.u64(b.serial);
+  w.boolean(b.found);
+  w.raw(view(b.hash));
+  return std::move(w).take();
+}
+
+BlockHashInfo decode_block_hash(BytesView data) {
+  return decode_exact(data, [](BinaryReader& r) {
+    BlockHashInfo b;
+    b.serial = r.u64();
+    b.found = r.boolean();
+    b.hash = r.raw_array<32>();
+    return b;
+  });
+}
+
 }  // namespace repchain::cluster

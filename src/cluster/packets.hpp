@@ -44,6 +44,9 @@ enum class ClusterPacket : std::uint16_t {
   kShutdown = 25,
   kQueryHead = 26,  // convergence probe: chain head identity
   kResync = 27,     // post-restart: recover clock and start sync_chain()
+  kFreeStart = 28,      // free-run: self-drive rounds from an aligned t0
+  kQueryFreeStats = 29, // free-run probe: head + liveness counters
+  kQueryBlockAt = 30,   // fork probe: hash of the block at a given serial
   // node -> driver
   kDone = 32,   // effects recorded while serving the request
   kState = 33,  // GovernorState
@@ -51,6 +54,8 @@ enum class ClusterPacket : std::uint16_t {
   kUnrevealed = 35,
   kSnapshotData = 36,  // GovernorSnapshotData
   kHead = 37,          // HeadInfo
+  kFreeStats = 38,     // FreeRunStats
+  kBlockHash = 39,     // BlockHashInfo
 };
 
 /// One externally-visible action recorded by a node while running governor
@@ -163,5 +168,55 @@ struct ArmRound {
 
 [[nodiscard]] Bytes encode_txid_list(const std::vector<ledger::TxId>& ids);
 [[nodiscard]] std::vector<ledger::TxId> decode_txid_list(BytesView data);
+
+// --- Free-running mode -------------------------------------------------------
+
+/// kFreeStart: arm self-driving rounds. Each process measures time on its
+/// own CLOCK_MONOTONIC epoch, so absolute times cannot cross the wire; the
+/// driver instead announces "round `first_round` begins `start_delay`
+/// microseconds after you receive this", which every node converts to its
+/// local clock. Skew is one loopback RPC (sub-millisecond) against phase
+/// offsets keyed to Delta (milliseconds).
+struct FreeStart {
+  Round first_round = 1;
+  SimDuration start_delay = 0;
+};
+
+[[nodiscard]] Bytes encode_free_start(const FreeStart& s);
+[[nodiscard]] FreeStart decode_free_start(BytesView data);
+
+/// kFreeStats reply: the head identity plus the liveness counters a
+/// free-running observer needs for the convergence contract and the
+/// degradation report (watchdog trips, stall events, channel exhaustion).
+struct FreeRunStats {
+  HeadInfo head;
+  std::uint64_t current_round = 0;
+  std::uint64_t rounds_started = 0;
+  std::uint64_t stalled_events = 0;     // kRoundStalled traces emitted
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t delivery_failures = 0;  // reliable-channel budget exhaustion
+  std::uint64_t reconnects = 0;         // transport links re-established
+  std::uint64_t blocks_accepted = 0;
+  std::uint64_t blocks_synced = 0;
+};
+
+[[nodiscard]] Bytes encode_free_stats(const FreeRunStats& s);
+[[nodiscard]] FreeRunStats decode_free_stats(BytesView data);
+
+/// kQueryBlockAt request: a block serial. Reply kBlockHash: whether the
+/// node's chain holds that serial yet and, if so, the block's hash — the
+/// observer cross-checks these across nodes to prove common-prefix (no
+/// fork) without shipping whole blocks.
+[[nodiscard]] Bytes encode_block_at(std::uint64_t serial);
+[[nodiscard]] std::uint64_t decode_block_at(BytesView data);
+
+struct BlockHashInfo {
+  std::uint64_t serial = 0;
+  bool found = false;
+  crypto::Hash256 hash{};
+};
+
+[[nodiscard]] Bytes encode_block_hash(const BlockHashInfo& b);
+[[nodiscard]] BlockHashInfo decode_block_hash(BytesView data);
 
 }  // namespace repchain::cluster

@@ -58,6 +58,7 @@ void ProcessSupervisor::spawn(std::size_t index, std::uint32_t incarnation) {
     if (incarnation > 0) {
       args.push_back("--incarnation=" + std::to_string(incarnation));
     }
+    for (const std::string& extra : opts_.extra_args) args.push_back(extra);
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -73,8 +74,20 @@ void ProcessSupervisor::spawn(std::size_t index, std::uint32_t incarnation) {
 void ProcessSupervisor::kill(std::size_t index) {
   const pid_t pid = pids_[index];
   if (pid <= 0) return;
-  (void)::kill(pid, SIGKILL);
+  // A victim may have died on its own (crash, exec failure) before we got
+  // here; reap and record that instead of claiming the SIGKILL worked.
   int status = 0;
+  const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+  if (reaped == pid) {
+    ++report_.spontaneous_exits;
+    std::fprintf(stderr,
+                 "supervisor: node %zu (pid %d) exited on its own "
+                 "(status 0x%x) before kill\n",
+                 index, static_cast<int>(pid), status);
+    pids_[index] = -1;
+    return;
+  }
+  (void)::kill(pid, SIGKILL);
   (void)::waitpid(pid, &status, 0);
   pids_[index] = -1;
 }

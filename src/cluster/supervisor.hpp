@@ -32,6 +32,18 @@ class ProcessSupervisor {
     /// Non-empty: each child's stderr is appended to <log_dir>/node<i>.log
     /// (the convergence-diff artifact CI uploads on failure).
     std::string log_dir;
+    /// Extra argv entries appended to every spawn (e.g. --free-run,
+    /// --peer-base=<port> for free-running nodes).
+    std::vector<std::string> extra_args;
+  };
+
+  /// Lifecycle observations across the run.
+  struct Report {
+    /// Victims found already dead when kill() went to SIGKILL them: the
+    /// child exited on its own (crash, exec failure) during the wait
+    /// window, so the "kill" would otherwise be reported as a success it
+    /// never was.
+    std::uint32_t spontaneous_exits = 0;
   };
 
   ProcessSupervisor(Options opts, std::size_t nodes);
@@ -45,7 +57,9 @@ class ProcessSupervisor {
   /// NetError on fork failure.
   void spawn(std::size_t index, std::uint32_t incarnation = 0);
 
-  /// SIGKILL + reap. No-op when the child is already gone.
+  /// SIGKILL + reap. No-op when the child is already gone. A victim that
+  /// already exited on its own is reaped, logged and counted in
+  /// report().spontaneous_exits instead of being treated as a kill.
   void kill(std::size_t index);
 
   /// Reap a child expected to exit on its own; returns its wait status.
@@ -55,11 +69,13 @@ class ProcessSupervisor {
   [[nodiscard]] const std::string& state_dir(std::size_t index) const {
     return state_dirs_[index];
   }
+  [[nodiscard]] const Report& report() const { return report_; }
 
  private:
   Options opts_;
   std::vector<pid_t> pids_;
   std::vector<std::string> state_dirs_;
+  Report report_;
 };
 
 /// Accept one node connection on `listen_fd` within `timeout_ms` (poll(2)

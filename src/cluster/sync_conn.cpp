@@ -1,5 +1,7 @@
 #include "cluster/sync_conn.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -11,7 +13,13 @@
 
 namespace repchain::cluster {
 
-SyncConn::SyncConn(int fd) : fd_(fd) {}
+SyncConn::SyncConn(int fd) : fd_(fd) {
+  // Control traffic mixes RPC ping-pong with one-way fire-and-forget frames
+  // (kRegisterTx): Nagle coalescing against a delayed ACK would hold those
+  // for tens of milliseconds, losing races against the peer's phase timers.
+  const int one = 1;
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
 
 void SyncConn::set_timeout(std::uint64_t micros) {
   timeval tv{};

@@ -120,6 +120,12 @@ class Collector {
     return channel_ ? &*channel_ : nullptr;
   }
 
+  /// Transport reconnect notification: refresh the reliable channel's retry
+  /// budget for `peer` (no-op without a channel).
+  void on_peer_reconnected(NodeId peer) {
+    if (channel_) channel_->on_peer_reconnect(peer);
+  }
+
  private:
   void upload(const ledger::Transaction& tx, ledger::Label label);
   void upload_forgery(ProviderId provider);

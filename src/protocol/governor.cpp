@@ -175,9 +175,13 @@ void Governor::arm_round(Round round, SimTime t0, const RoundTiming& timing) {
 }
 
 void Governor::drive_rounds(Round first, const RoundTiming& timing) {
+  drive_rounds(first, ctx_.now(), timing);
+}
+
+void Governor::drive_rounds(Round first, SimTime t0, const RoundTiming& timing) {
   auto_rounds_ = true;
   auto_timing_ = timing;
-  arm_round(first, ctx_.now(), timing);
+  arm_round(first, t0, timing);
 }
 
 // --- Label gossip (equivocation-detection extension, §4.2) -------------------
@@ -247,6 +251,13 @@ void Governor::begin_round(Round round) {
   equivocation_.age_out();
   intake_.age_out();
   election_.emplace(round, stake_consensus_.stake(), expelled_);
+  // Feed back any announcements that beat this boundary here; ones for a
+  // still-later round re-stash themselves, stale ones fall out.
+  if (!early_announcements_.empty()) {
+    std::vector<runtime::Message> replay = std::move(early_announcements_);
+    early_announcements_.clear();
+    for (const runtime::Message& m : replay) on_vrf(m);
+  }
   // A recovering replica follows the round (accepts announcements and
   // proposals) but does not announce: winning an election with a stale chain
   // would make it propose — and self-commit — a forked block.
@@ -260,11 +271,22 @@ void Governor::begin_round(Round round) {
 }
 
 void Governor::on_vrf(const runtime::Message& msg) {
-  if (!election_) return;
   VrfAnnounceMsg announce;
   try {
     announce = VrfAnnounceMsg::decode(msg.payload);
   } catch (const DecodeError&) {
+    return;
+  }
+  // Announcements race the round boundary: every governor sends exactly at
+  // its own t0, so a peer a few timer ticks ahead delivers before our
+  // begin_round fires. Hold those for the round they belong to instead of
+  // letting the previous round's election reject them — an announcement
+  // lost here shrinks the quorum-closed view and can split the election.
+  if (!election_ || announce.round > round_) {
+    if (announce.round >= round_ && announce.round <= round_ + 2 &&
+        early_announcements_.size() < kMaxEarlyAnnouncements) {
+      early_announcements_.push_back(msg);
+    }
     return;
   }
   // An expelled governor keeps announcing (its stake would dominate any

@@ -87,6 +87,12 @@ class Governor {
   /// after round_span, forever. Used where no harness exists at all.
   void drive_rounds(Round first, const RoundTiming& timing);
 
+  /// Autonomous mode with an explicit start time: free-running cluster nodes
+  /// align their local round boundaries to a driver-announced t0 (now or in
+  /// the near future) so peers begin each round within network skew of each
+  /// other rather than at whatever instant the process came up.
+  void drive_rounds(Round first, SimTime t0, const RoundTiming& timing);
+
   /// Start round r: reset election state and broadcast own VRF tickets.
   void begin_round(Round round);
 
@@ -188,6 +194,17 @@ class Governor {
   /// The reliable channel, or nullptr when config.reliable_delivery is off.
   [[nodiscard]] const runtime::ReliableChannel* channel() const {
     return channel_ ? &*channel_ : nullptr;
+  }
+  /// Watchdog surfacing for free-running observers: the round the governor
+  /// is currently in and how many consecutive rounds ended without a commit.
+  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] std::size_t stalled_rounds() const { return stalled_rounds_; }
+
+  /// Transport reconnect notification: refresh the reliable channel's retry
+  /// budget for `peer` (no-op without a channel). Wire this to
+  /// TcpTransport::set_reconnect_hook on live deployments.
+  void on_peer_reconnected(NodeId peer) {
+    if (channel_) channel_->on_peer_reconnect(peer);
   }
 
  private:
@@ -350,6 +367,15 @@ class Governor {
   // election — common right after a heal or restart — is rejected forever
   // even though the reliable channel delivered it exactly once.
   std::vector<ledger::Block> pending_proposals_;
+  // Announcements that arrived for a round this replica has not begun yet.
+  // Every governor announces exactly at the round boundary, so on real
+  // clocks sub-millisecond timer skew routinely lands a peer's announcement
+  // while the local election still belongs to the previous round; dropping
+  // it would silently shrink the election view (and fork the chain whenever
+  // the dropped ticket was the winner). Replayed at the next begin_round,
+  // bounded to the immediately following rounds.
+  static constexpr std::size_t kMaxEarlyAnnouncements = 64;
+  std::vector<runtime::Message> early_announcements_;
 
   // Self-driving mode (drive_rounds).
   bool auto_rounds_ = false;

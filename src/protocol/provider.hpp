@@ -84,6 +84,12 @@ class Provider {
   /// Own valid transactions observed in a block with a valid/argued status.
   [[nodiscard]] std::uint64_t confirmed_valid() const { return confirmed_valid_; }
 
+  /// Transport reconnect notification: refresh the reliable channel's retry
+  /// budget for `peer` (no-op without a channel).
+  void on_peer_reconnected(NodeId peer) {
+    if (channel_) channel_->on_peer_reconnect(peer);
+  }
+
  private:
   void request_block(BlockSerial serial);
   void rsend(NodeId to, runtime::MsgKind kind, const Bytes& payload);

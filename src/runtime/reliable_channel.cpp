@@ -73,6 +73,20 @@ void ReliableChannel::arm_retransmit(std::uint64_t seq, SimDuration delay) {
   });
 }
 
+void ReliableChannel::on_peer_reconnect(NodeId peer) {
+  for (auto& [seq, p] : inflight_) {
+    if (p.to != peer) continue;
+    p.attempts = 0;
+    p.rto = config_.base_rto;
+    ++stats_.reconnect_resets;
+    ++stats_.retransmits;
+    ctx_.transport().send(ctx_.node(), p.to, MsgKind::kReliableData, p.envelope);
+    // The already-armed backoff timer keeps running; when it fires it finds
+    // the refreshed budget and resumes the normal retransmission ladder.
+    // The receiver's (epoch, seq) dedup absorbs the extra copy.
+  }
+}
+
 bool ReliableChannel::on_message(const Message& msg) {
   switch (msg.kind) {
     case MsgKind::kReliableData:

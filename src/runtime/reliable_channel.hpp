@@ -35,6 +35,7 @@ struct ReliableChannelStats {
   std::uint64_t delivered = 0;        // inner messages handed to the node
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t stale_epochs_dropped = 0;  // data from a superseded incarnation
+  std::uint64_t reconnect_resets = 0;  // in-flight budgets refreshed on redial
 };
 
 /// Per-node reliable delivery over the (lossy, partitionable) transport:
@@ -69,6 +70,14 @@ class ReliableChannel {
   /// Route kReliableData / kReliableAck deliveries here. Returns true iff
   /// the message was consumed (false for any other kind).
   bool on_message(const Message& msg);
+
+  /// The transport re-established a link to `peer`: refresh the retry budget
+  /// and RTO of every in-flight envelope addressed to it and retransmit
+  /// immediately. Retries burned against a dead TCP link say nothing about
+  /// the revived one, so without the reset a redial that lands mid-backoff
+  /// inherits a nearly-exhausted budget and surfaces a spurious
+  /// kDeliveryFailed for traffic the peer is about to receive.
+  void on_peer_reconnect(NodeId peer);
 
   [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
   [[nodiscard]] std::size_t in_flight() const { return inflight_.size(); }

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -21,6 +22,14 @@ namespace {
 void set_nonblocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   if (flags >= 0) (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Protocol traffic is streams of small one-way frames whose deadlines are
+// keyed to the synchrony bound; Nagle coalescing against a delayed ACK can
+// hold a frame for tens of milliseconds — longer than a phase window.
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 std::uint64_t link_key(NodeId from, NodeId to) {
@@ -125,6 +134,7 @@ void TcpTransport::connect_dial(std::size_t idx) {
     return;
   }
   set_nonblocking(fd);
+  set_nodelay(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -176,6 +186,7 @@ void TcpTransport::connect_dial(std::size_t idx) {
 
 void TcpTransport::adopt(int fd) {
   set_nonblocking(fd);
+  set_nodelay(fd);
   auto conn = std::make_unique<Conn>(fd, Conn::State::kAwaitWelcome,
                                      opts_.max_payload);
   conn->last_heard = loop_.now();
@@ -463,6 +474,13 @@ void TcpTransport::handle_welcome(Conn& conn, const wire::Frame& frame) {
     d.attempts = 0;
     d.backoff = 0;
   }
+  // Fire the reconnect hook for every re-learned route, whichever side
+  // redialed. Collect first: the hook may send, which can mutate conns_.
+  std::vector<NodeId> recovered;
+  for (const NodeId id : conn.hosted)
+    if (lost_routes_.erase(id) > 0) recovered.push_back(id);
+  if (reconnect_hook_)
+    for (const NodeId id : recovered) reconnect_hook_(id);
 }
 
 void TcpTransport::dispatch(Message msg, bool restamp) {
@@ -550,10 +568,12 @@ void TcpTransport::close_conn(int fd, bool allow_reconnect) {
   if (it != conns_.end() && it->second->state == Conn::State::kEstablished)
     ++stats_.connections_lost;
   for (auto rit = routes_.begin(); rit != routes_.end();) {
-    if (rit->second == fd)
+    if (rit->second == fd) {
+      lost_routes_.insert(rit->first);
       rit = routes_.erase(rit);
-    else
+    } else {
       ++rit;
+    }
   }
   loop_.unwatch(fd);
   ::close(fd);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -94,6 +95,16 @@ class TcpTransport final : public Transport {
 
   /// Trace sink for kProtocolError events (may be null).
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Called once per remote node id whose route was lost with a connection
+  /// and then re-learned from a later welcome — i.e. the link to that peer
+  /// is live again, regardless of which side redialed. ReliableChannel
+  /// owners hook this to refresh retry budgets (on_peer_reconnect) instead
+  /// of burning them against the dead link's backoff schedule.
+  using ReconnectHook = std::function<void(NodeId)>;
+  void set_reconnect_hook(ReconnectHook hook) {
+    reconnect_hook_ = std::move(hook);
+  }
 
   /// v2 session resume: every subsequent welcome announces this endpoint as
   /// a returning incarnation with the given recovered chain head, letting
@@ -213,6 +224,10 @@ class TcpTransport final : public Transport {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;  // by fd
   std::unordered_map<NodeId, int> routes_;                // remote id -> fd
+  // Routes torn down with a lost connection; a welcome that re-announces
+  // one of these ids fires the reconnect hook.
+  std::unordered_set<NodeId> lost_routes_;
+  ReconnectHook reconnect_hook_;
   std::vector<NodeId> local_ids_;
   std::unordered_map<NodeId, Handler> handlers_;
   // Highest broadcast sequence delivered per (from, to); mirrors the

@@ -58,6 +58,21 @@ struct HostThread {
         }) {}
   ~HostThread() { join(); }
 
+  /// Restarted-process flavor: serve incarnation `incarnation` against the
+  /// persisted `dir` (the constructor replays snapshot + WAL before serving).
+  HostThread(const sim::ScenarioConfig& config, std::size_t index,
+             std::string dir, std::uint32_t incarnation, int fd)
+      : thread([config, index, dir = std::move(dir), incarnation, fd, this] {
+          try {
+            NodeHost host(config, index, dir, incarnation);
+            host.serve(fd);
+          } catch (const wire::WireError& e) {
+            error = e.code();
+          } catch (const std::exception&) {
+            error = wire::ProtocolError::kBadPayload;  // unexpected kind
+          }
+        }) {}
+
   void join() {
     if (thread.joinable()) thread.join();
   }
@@ -230,6 +245,148 @@ TEST(Cluster, RestartedNodeAnnouncesSessionResume) {
   (void)conn.recv_frame();
   node.join();
   EXPECT_EQ(error, wire::ProtocolError::kNone);
+}
+
+TEST(Cluster, CrashPlanParsesCanonicalSpec) {
+  CrashPlan plan;
+  ASSERT_TRUE(parse_crash_plan("1@2:4", plan));
+  EXPECT_EQ(plan.victim, 1u);
+  EXPECT_EQ(plan.kill_round, 2u);
+  EXPECT_EQ(plan.restart_round, 4u);
+
+  ASSERT_TRUE(parse_crash_plan("12@3:15", plan));
+  EXPECT_EQ(plan.victim, 12u);
+  EXPECT_EQ(plan.kill_round, 3u);
+  EXPECT_EQ(plan.restart_round, 15u);
+}
+
+TEST(Cluster, CrashPlanRejectsMalformedSpecs) {
+  CrashPlan plan;
+  const char* bad[] = {
+      "",        "1",      "1@2",    "@2:3",   "1@:3",    "1@2:",
+      "x@2:3",   "1@x:3",  "1@2:x",  "1x@2:3", "1@2x:3",  "1@2:3x",
+      "1:2@3",   "1@2:3:4x",
+      "1@0:3",   // kill round 0: the schedule starts at round 1
+      "1@3:3",   // restart not strictly after kill
+      "1@3:2",
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(parse_crash_plan(spec, plan)) << "accepted: " << spec;
+  }
+}
+
+TEST(Cluster, ValidateCrashPlansRejectsInconsistentSchedules) {
+  const std::size_t governors = 4;
+  const Round rounds = 5;
+  const auto plan = [](std::size_t v, Round k, Round r) {
+    return CrashPlan{v, k, r};
+  };
+
+  // Overlapping multi-victim windows — including quorum-breaking ones — are
+  // exactly what the free-running mode exercises; they must validate.
+  EXPECT_NO_THROW(validate_crash_plans({plan(1, 2, 4), plan(2, 2, 3)},
+                                       governors, rounds));
+  EXPECT_NO_THROW(validate_crash_plans({}, governors, rounds));
+
+  EXPECT_THROW(validate_crash_plans({plan(1, 2, 3), plan(1, 4, 5)},
+                                    governors, rounds),
+               ConfigError);  // same victim scheduled twice
+  EXPECT_THROW(validate_crash_plans({plan(4, 2, 3)}, governors, rounds),
+               ConfigError);  // victim index out of range
+  EXPECT_THROW(validate_crash_plans({plan(0, 0, 2)}, governors, rounds),
+               ConfigError);  // kill round 0
+  EXPECT_THROW(validate_crash_plans({plan(0, 6, 7)}, governors, rounds),
+               ConfigError);  // kill round past the configured rounds
+  EXPECT_THROW(validate_crash_plans({plan(0, 3, 3)}, governors, rounds),
+               ConfigError);  // restart not strictly after kill
+}
+
+TEST(Cluster, MinLiveGovernorsTracksOverlappingWindows) {
+  const auto plan = [](std::size_t v, Round k, Round r) {
+    return CrashPlan{v, k, r};
+  };
+
+  EXPECT_EQ(min_live_governors({}, 4, 5), 4u);
+
+  // One victim down for rounds [1, 2): never below quorum on 3 governors.
+  EXPECT_EQ(min_live_governors({plan(0, 1, 2)}, 3, 3), 2u);
+  EXPECT_GE(min_live_governors({plan(0, 1, 2)}, 3, 3), election_quorum(3));
+
+  // Two overlapping windows on 4 governors: round 2 has both victims down
+  // (2 live < quorum 3), round 3 has victim 2 back but victim 1 still out.
+  const std::vector<CrashPlan> overlap = {plan(1, 2, 4), plan(2, 2, 3)};
+  EXPECT_EQ(min_live_governors(overlap, 4, 5), 2u);
+  EXPECT_LT(min_live_governors(overlap, 4, 5), election_quorum(4));
+
+  // Disjoint windows never stack: one dead at a time.
+  const std::vector<CrashPlan> disjoint = {plan(0, 1, 2), plan(1, 3, 4)};
+  EXPECT_EQ(min_live_governors(disjoint, 4, 5), 3u);
+
+  EXPECT_EQ(election_quorum(1), 1u);
+  EXPECT_EQ(election_quorum(2), 2u);
+  EXPECT_EQ(election_quorum(3), 2u);
+  EXPECT_EQ(election_quorum(4), 3u);
+  EXPECT_EQ(election_quorum(5), 3u);
+}
+
+TEST(Cluster, QuorumLossStallsAndRecoversUnderSupervision) {
+  // Three governors (quorum 2); both victims die in round 1, leaving a lone
+  // survivor below quorum, then return one at a time. The run must record
+  // the quorum loss and still converge once the committee is whole again.
+  sim::ScenarioConfig config = small_config();
+  config.topology.governors = 3;
+  config.rounds = 3;
+  const crypto::Hash256 genesis = genesis_of(config);
+  const std::size_t governors = config.topology.governors;
+
+  const std::vector<CrashPlan> plans = {CrashPlan{1, 1, 2}, CrashPlan{2, 1, 3}};
+  validate_crash_plans(plans, governors, config.rounds);
+  ASSERT_LT(min_live_governors(plans, governors, config.rounds),
+            election_quorum(governors));
+
+  std::vector<std::unique_ptr<HostThread>> hosts;
+  std::vector<std::unique_ptr<SyncConn>> conns(governors);
+  const wire::Welcome local = driver_welcome(genesis);
+  for (std::size_t i = 0; i < governors; ++i) {
+    const auto [driver_fd, node_fd] = stream_pair();
+    hosts.push_back(std::make_unique<HostThread>(config, i, node_fd));
+    auto conn = std::make_unique<SyncConn>(driver_fd);
+    const wire::Welcome remote = handshake(*conn, local, genesis);
+    ASSERT_EQ(remote.node_index, i);
+    conns[remote.node_index] = std::move(conn);
+  }
+
+  std::vector<std::string> dirs(governors);
+  for (std::size_t i = 0; i < governors; ++i) {
+    char dir[] = "/tmp/repchain_quorum_XXXXXX";
+    ASSERT_NE(::mkdtemp(dir), nullptr);
+    dirs[i] = dir;
+  }
+
+  ClusterRun run(config, std::move(conns));
+  // Killing here means dropping the driver connection: ClusterRun closes the
+  // socket right after this hook, which is what SIGKILLs the hosted thread.
+  const auto kill = [](std::size_t) {};
+  const auto respawn = [&](std::size_t index, std::uint32_t incarnation) {
+    const auto [driver_fd, node_fd] = stream_pair();
+    hosts.push_back(std::make_unique<HostThread>(config, index, dirs[index],
+                                                 incarnation, node_fd));
+    auto conn = std::make_unique<SyncConn>(driver_fd);
+    const wire::Welcome remote = handshake(*conn, local, genesis);
+    EXPECT_TRUE(remote.resume);
+    EXPECT_EQ(remote.incarnation, incarnation);
+    return conn;
+  };
+  run.set_supervision(plans, kill, respawn);
+
+  const ConvergenceReport report = run.run_converge();
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.head_serial, 0u);
+  EXPECT_TRUE(report.degradation.quorum_lost);
+  EXPECT_EQ(report.degradation.min_live, 1u);
+  EXPECT_EQ(report.degradation.last_restart_round, 3u);
+  EXPECT_GE(report.restart_attempts, 2u);
+  EXPECT_GE(report.converged_round, report.degradation.last_restart_round);
 }
 
 }  // namespace

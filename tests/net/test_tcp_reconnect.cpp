@@ -221,6 +221,56 @@ TEST(TcpReconnect, HeartbeatTrafficKeepsQuietLinkAlive) {
   EXPECT_TRUE(b.reaches(NodeId(1)));
 }
 
+TEST(TcpReconnect, ReliableChannelRetryBudgetResetsOnReconnect) {
+  PollLoop loop;
+  TcpTransport ta(loop, test_genesis(), reconnect_opts());
+
+  NodeContext ca(NodeId(1), ta, Rng(9).derive(1));
+  ReliableChannelConfig cfg;
+  cfg.base_rto = 15 * kMillisecond;
+  cfg.max_retries = 4;
+  ReliableChannel a(ca, /*epoch=*/0, cfg);
+  ta.host(NodeId(1), [&](const Message& m) { a.on_message(m); });
+  // The wiring under test: a healed link refreshes every in-flight envelope
+  // aimed at the returning peer, so a crash window longer than the backoff
+  // ladder cannot surface a spurious kDeliveryFailed.
+  ta.set_reconnect_hook([&](NodeId peer) { a.on_peer_reconnect(peer); });
+
+  auto tb = std::make_unique<TcpTransport>(loop, test_genesis());
+  std::vector<Message> delivered;
+  std::vector<std::unique_ptr<NodeContext>> b_ctxs;
+  std::vector<std::unique_ptr<ReliableChannel>> b_chans;
+  auto make_b = [&](TcpTransport& t) {
+    b_ctxs.push_back(std::make_unique<NodeContext>(NodeId(2), t, Rng(9).derive(2)));
+    b_chans.push_back(std::make_unique<ReliableChannel>(*b_ctxs.back(), /*epoch=*/0));
+    ReliableChannel* bp = b_chans.back().get();
+    bp->set_deliver([&](const Message& m) { delivered.push_back(m); });
+    t.host(NodeId(2), [bp](const Message& m) { bp->on_message(m); });
+  };
+  make_b(*tb);
+  const std::uint16_t port = tb->listen(0);
+  ta.connect(port);
+  pump(loop, [&] { return ta.reaches(NodeId(2)); });
+
+  // Peer crashes; the envelope sent into the gap burns retry budget against
+  // a dead socket.
+  tb.reset();
+  pump(loop, [&] { return ta.established() == 0; });
+  a.send(NodeId(2), MsgKind::kTest, Bytes{5, 5, 5});
+  pump(loop, [&] { return a.stats().retransmits >= 1; });
+
+  // The peer returns on the same port: auto-reconnect heals the link and
+  // the hook must zero the attempt counter and retransmit immediately.
+  auto tb2 = std::make_unique<TcpTransport>(loop, test_genesis());
+  make_b(*tb2);
+  ASSERT_EQ(tb2->listen(port), port);
+  pump(loop, [&] { return delivered.size() == 1 && a.in_flight() == 0; });
+
+  EXPECT_EQ(delivered[0].payload, (Bytes{5, 5, 5}));
+  EXPECT_GE(a.stats().reconnect_resets, 1u);
+  EXPECT_EQ(a.stats().exhausted, 0u);
+}
+
 TEST(TcpReconnect, ReliableChannelDedupHoldsAcrossReconnect) {
   PollLoop loop;
   TcpTransport ta(loop, test_genesis(), reconnect_opts());

@@ -1,4 +1,4 @@
-// Loopback cluster golden check, two modes.
+// Loopback cluster golden check, three modes.
 //
 // Lockstep (default): run a golden scenario twice — once fully in-process
 // (the simulation the goldens pin) and once with every governor in its own
@@ -8,21 +8,33 @@
 // divergence, down to one ULP of a double, is a bug.
 //
 // Converge (--mode=converge): fault-tolerance golden. Nodes run with
-// persisted state directories; the driver SIGKILLs one mid-round, respawns
-// it against its on-disk WAL/snapshot as a higher incarnation, re-admits it
-// via the session-resume welcome, and the run passes when every survivor
-// plus the restarted node report an identical non-empty chain head
-// (serial, hash, committed txs) — convergence instead of byte-identity.
+// persisted state directories; the driver SIGKILLs victims mid-round per
+// the crash schedule, respawns each against its on-disk WAL/snapshot as a
+// higher incarnation, re-admits it via the session-resume welcome, and the
+// run passes when every survivor plus the restarted nodes report an
+// identical non-empty chain head (serial, hash, committed txs) —
+// convergence instead of byte-identity.
+//
+// Free (--mode=free): free-running golden. Every node self-drives its
+// rounds on a real monotonic clock and exchanges protocol traffic
+// peer-to-peer (see src/cluster/free_run.hpp); the driver becomes an
+// observer enforcing the statistical convergence contract. The same
+// multi-victim crash schedule applies — including overlapping kills that
+// transiently drop the committee below election quorum, which must stall
+// safely (watchdog trips, no fork) and recover after the respawns.
 //
 //   cluster_driver [--scenario=mixed|gossip] [--artifact-dir=<dir>]
-//                  [--mode=lockstep|converge]
-//                  [--kill=<victim>@<kill_round>:<restart_round>]
+//                  [--mode=lockstep|converge|free]
+//                  [--kill=<victim>@<kill_round>:<restart_round>]...
 //                  [--state-root=<dir>] [--listen-port=<port>]
-//                  [--node-port=<port>] [--grace=<rounds>]
+//                  [--node-port=<port>] [--peer-base=<port>]
+//                  [--grace=<rounds>]
 //
-// --node-port points the children at a different dial port (a wire_proxy
-// interposed between nodes and driver); admission still happens on the
-// driver's own listener, which the proxy forwards to.
+// --kill may repeat (one victim each; windows may overlap). --node-port
+// points the children at a different dial port (a wire_proxy interposed
+// between nodes and driver); admission still happens on the driver's own
+// listener, which the proxy forwards to. --peer-base (free mode) sets the
+// first port of the node-to-node mesh: node i listens on peer_base + i.
 //
 // On a mismatch the hexfloat renderings of both runs are written to
 // <artifact-dir>/cluster_diff_<scenario>.txt (CI uploads them) and the exit
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "cluster/driver.hpp"
+#include "cluster/free_run.hpp"
 #include "cluster/supervisor.hpp"
 #include "cluster/sync_conn.hpp"
 #include "sim/harness/run_codec.hpp"
@@ -202,9 +215,32 @@ sim::RunResult cluster_run(const Golden& golden) {
   return result;
 }
 
+/// Render a crash schedule for log lines and failure artifacts.
+std::string render_plans(const std::vector<cluster::CrashPlan>& plans) {
+  std::string out;
+  for (const cluster::CrashPlan& p : plans) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(p.victim) + '@' + std::to_string(p.kill_round) +
+           ':' + std::to_string(p.restart_round);
+  }
+  return out.empty() ? "none" : out;
+}
+
+void print_degradation(const char* name, const cluster::DegradationReport& d,
+                       std::size_t governors, std::uint32_t restart_attempts) {
+  std::printf("%-8s degradation: min live %zu/%zu%s, %" PRIu64
+              " stalls (span %" PRIu64 "us), %u restart attempts, "
+              "recovered in %u rounds, %u spontaneous exits\n",
+              name, d.min_live, governors,
+              d.quorum_lost ? " (quorum lost)" : "", d.stalled_events,
+              d.stall_last - d.stall_first, restart_attempts,
+              static_cast<unsigned>(d.rounds_to_recover), d.spontaneous_exits);
+}
+
 /// Run one golden in convergence mode: supervised nodes with persisted
-/// state, a SIGKILL + respawn per the crash plan, head-agreement verdict.
-int converge_run(const Golden& golden, const cluster::CrashPlan& plan,
+/// state, a SIGKILL + respawn per the crash schedule, head-agreement verdict.
+int converge_run(const Golden& golden,
+                 const std::vector<cluster::CrashPlan>& plans,
                  const std::string& artifact_dir, std::string state_root,
                  std::uint16_t listen_port, std::uint16_t node_port,
                  Round grace) {
@@ -260,7 +296,7 @@ int converge_run(const Golden& golden, const cluster::CrashPlan& plan,
 
   cluster::ClusterRun run(golden.config, std::move(conns));
   run.set_supervision(
-      plan, [&sup](std::size_t i) { sup.kill(i); },
+      plans, [&sup](std::size_t i) { sup.kill(i); },
       [&](std::size_t i, std::uint32_t incarnation) {
         sup.spawn(i, incarnation);
         wire::Welcome remote;
@@ -277,7 +313,8 @@ int converge_run(const Golden& golden, const cluster::CrashPlan& plan,
                     golden.name, i, incarnation, remote.head_serial);
         return conn;
       });
-  const cluster::ConvergenceReport report = run.run_converge(grace);
+  cluster::ConvergenceReport report = run.run_converge(grace);
+  report.degradation.spontaneous_exits = sup.report().spontaneous_exits;
   ::close(listen_fd);
 
   for (std::size_t i = 0; i < governors; ++i) {
@@ -297,16 +334,20 @@ int converge_run(const Golden& golden, const cluster::CrashPlan& plan,
                 report.committed_txs,
                 static_cast<unsigned>(report.rounds_run), report.killed_at,
                 report.rejoined_at, report.restart_attempts);
+    print_degradation(golden.name, report.degradation, governors,
+                      report.restart_attempts);
     return 0;
   }
   const std::string path =
       artifact_dir + "/cluster_diff_" + std::string(golden.name) + ".txt";
   std::ofstream out(path);
   out << "convergence FAILED after " << report.rounds_run << " rounds\n"
-      << "victim " << plan.victim << " killed round " << plan.kill_round
-      << " (t=" << report.killed_at << "us), restart round "
-      << plan.restart_round << " (rejoin t=" << report.rejoined_at
+      << "crash schedule: " << render_plans(plans) << " (first kill t="
+      << report.killed_at << "us, last rejoin t=" << report.rejoined_at
       << "us, attempts " << report.restart_attempts << ")\n"
+      << "quorum_lost " << report.degradation.quorum_lost << " min_live "
+      << report.degradation.min_live << " stalls "
+      << report.degradation.stalled_events << "\n"
       << "last agreed head: serial " << report.head_serial << " hash "
       << report.head_hash_hex << "\n";
   std::fprintf(stderr, "%-8s DID NOT CONVERGE — report written to %s\n",
@@ -314,18 +355,161 @@ int converge_run(const Golden& golden, const cluster::CrashPlan& plan,
   return 1;
 }
 
-/// Parse --kill=<victim>@<kill_round>:<restart_round>.
-bool parse_kill(const std::string& spec, cluster::CrashPlan& plan) {
-  const std::size_t at = spec.find('@');
-  const std::size_t colon = spec.find(':', at == std::string::npos ? 0 : at);
-  if (at == std::string::npos || colon == std::string::npos) return false;
-  plan.victim = static_cast<std::size_t>(
-      std::strtoul(spec.substr(0, at).c_str(), nullptr, 10));
-  plan.kill_round = static_cast<Round>(
-      std::strtoul(spec.substr(at + 1, colon - at - 1).c_str(), nullptr, 10));
-  plan.restart_round = static_cast<Round>(
-      std::strtoul(spec.substr(colon + 1).c_str(), nullptr, 10));
-  return plan.kill_round > 0 && plan.restart_round > plan.kill_round;
+/// Run one golden in free-running mode: every node self-drives rounds on a
+/// real monotonic clock over a peer mesh while the observer injects the
+/// workload, executes the crash schedule and enforces the statistical
+/// convergence contract (see src/cluster/free_run.hpp).
+int free_run(const Golden& golden,
+             const std::vector<cluster::CrashPlan>& plans,
+             const std::string& artifact_dir, std::string state_root,
+             std::uint16_t listen_port, std::uint16_t node_port,
+             std::uint16_t peer_base, Round grace) {
+  sim::ScenarioConfig config = cluster::free_run_config(golden.config);
+  sim::normalize_config(config);
+  const crypto::Hash256 genesis = sim::config_genesis(config);
+  const std::size_t governors = config.topology.governors;
+  cluster::validate_crash_plans(plans, governors, config.rounds);
+  if (peer_base == 0 || peer_base + governors > 65535) {
+    throw ConfigError("--peer-base leaves no room for the node mesh");
+  }
+  const std::size_t quorum = cluster::election_quorum(governors);
+  const std::size_t min_live =
+      cluster::min_live_governors(plans, governors, config.rounds);
+  if (min_live < quorum) {
+    std::printf("%-8s schedule %s breaks quorum (min live %zu < %zu) — "
+                "expecting a stall window\n",
+                golden.name, render_plans(plans).c_str(), min_live, quorum);
+  }
+  const std::string blob_path =
+      write_blob(sim::encode_config(config), golden.name);
+
+  std::uint16_t port = 0;
+  const int listen_fd = listen_loopback(port, listen_port);
+
+  if (state_root.empty()) {
+    state_root = "/tmp/repchain_state_XXXXXX";
+    if (::mkdtemp(state_root.data()) == nullptr) {
+      throw NetError(std::string("mkdtemp: ") + std::strerror(errno));
+    }
+  } else {
+    std::error_code ec;
+    std::filesystem::remove_all(state_root, ec);
+  }
+
+  cluster::ProcessSupervisor::Options sopts;
+  sopts.node_bin = self_dir() + "/node";
+  sopts.config_blob = blob_path;
+  sopts.port = node_port != 0 ? node_port : port;
+  sopts.state_root = state_root;
+  sopts.log_dir = artifact_dir;
+  sopts.extra_args = {"--free-run",
+                      "--peer-base=" + std::to_string(peer_base)};
+  cluster::ProcessSupervisor sup(sopts, governors);
+  for (std::size_t i = 0; i < governors; ++i) sup.spawn(i);
+
+  constexpr int kAdmitMs = 15'000;
+  std::vector<std::unique_ptr<cluster::SyncConn>> conns(governors);
+  const wire::Welcome local = cluster::driver_welcome(genesis);
+  for (std::size_t admitted = 0; admitted < governors; ++admitted) {
+    wire::Welcome remote;
+    auto conn = cluster::admit_node(listen_fd, local, genesis, governors,
+                                    kAdmitMs, &remote);
+    if (conns[remote.node_index] != nullptr) {
+      throw wire::WireError(wire::ProtocolError::kBadNodeIndex,
+                            "governor index " +
+                                std::to_string(remote.node_index) +
+                                " admitted twice");
+    }
+    conns[remote.node_index] = std::move(conn);
+  }
+  // Listener stays open: respawned victims re-admit through it.
+
+  cluster::FreeRunDriver::Options fopts;
+  fopts.peer_base = peer_base;
+  fopts.grace_rounds = grace;
+  cluster::FreeRunDriver driver(config, std::move(conns), fopts);
+  if (!plans.empty()) {
+    driver.set_supervision(
+        plans, [&sup](std::size_t i) { sup.kill(i); },
+        [&](std::size_t i, std::uint32_t incarnation) {
+          sup.spawn(i, incarnation);
+          wire::Welcome remote;
+          auto conn = cluster::admit_node(listen_fd, local, genesis,
+                                          governors, kAdmitMs, &remote);
+          if (remote.node_index != i || !remote.resume ||
+              remote.incarnation != incarnation) {
+            throw wire::WireError(wire::ProtocolError::kBadNodeIndex,
+                                  "respawn admitted the wrong node or a "
+                                  "non-resuming welcome");
+          }
+          std::printf("%-8s respawned node %zu as incarnation %u "
+                      "(recovered head serial %" PRIu64 ")\n",
+                      golden.name, i, incarnation, remote.head_serial);
+          return conn;
+        });
+  }
+  cluster::FreeRunReport report = driver.run();
+  report.degradation.spontaneous_exits = sup.report().spontaneous_exits;
+  ::close(listen_fd);
+
+  for (std::size_t i = 0; i < governors; ++i) {
+    const int status = sup.wait_exit(i);
+    if (status != 0 && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+      std::fprintf(stderr, "%-8s node %zu exited abnormally (status %d)\n",
+                   golden.name, i, status);
+    }
+  }
+  ::unlink(blob_path.c_str());
+
+  if (report.ok()) {
+    std::printf("%-8s FREE-RUN CONVERGED  head serial %" PRIu64
+                " hash %.16s… %" PRIu64 " txs in [%" PRIu64 ", %" PRIu64
+                "] (ref %" PRIu64 "), %u rounds (converged r%u)\n",
+                golden.name, report.head_serial, report.head_hash_hex.c_str(),
+                report.committed_txs, report.tolerance_lo,
+                report.tolerance_hi, report.reference_txs,
+                static_cast<unsigned>(report.rounds_run),
+                static_cast<unsigned>(report.converged_round));
+    if (!plans.empty()) {
+      print_degradation(golden.name, report.degradation, governors,
+                        report.restart_attempts);
+    }
+    return 0;
+  }
+  const std::string path =
+      artifact_dir + "/free_run_" + std::string(golden.name) + ".txt";
+  std::ofstream out(path);
+  out << "free-run contract FAILED after " << report.rounds_run
+      << " rounds (converged " << report.converged << " monotone "
+      << report.monotone_ok << " prefix " << report.prefix_ok
+      << " txs_in_tolerance " << report.txs_in_tolerance << ")\n"
+      << "crash schedule: " << render_plans(plans) << " (first kill t="
+      << report.killed_at << "us, last rejoin t=" << report.rejoined_at
+      << "us, attempts " << report.restart_attempts << ")\n"
+      << "quorum_lost " << report.degradation.quorum_lost << " min_live "
+      << report.degradation.min_live << " stalls "
+      << report.degradation.stalled_events << " stall_span "
+      << (report.degradation.stall_last - report.degradation.stall_first)
+      << "us rounds_to_recover " << report.degradation.rounds_to_recover
+      << " spontaneous_exits " << report.degradation.spontaneous_exits
+      << "\n"
+      << "head: serial " << report.head_serial << " hash "
+      << report.head_hash_hex << " committed " << report.committed_txs
+      << " reference " << report.reference_txs << " band ["
+      << report.tolerance_lo << ", " << report.tolerance_hi << "]\n";
+  for (std::size_t i = 0; i < report.node_stats.size(); ++i) {
+    const cluster::FreeRunStats& s = report.node_stats[i];
+    out << "node " << i << ": head serial " << s.head.serial << " txs "
+        << s.head.committed_txs << " incarnation " << s.head.incarnation
+        << " round " << s.current_round << " started " << s.rounds_started
+        << " stalls " << s.stalled_events << " watchdog " << s.watchdog_trips
+        << " delivery_failures " << s.delivery_failures << " reconnects "
+        << s.reconnects << " accepted " << s.blocks_accepted << " synced "
+        << s.blocks_synced << "\n";
+  }
+  std::fprintf(stderr, "%-8s FREE-RUN FAILED — report written to %s\n",
+               golden.name, path.c_str());
+  return 1;
 }
 
 }  // namespace
@@ -335,9 +519,12 @@ int main(int argc, char** argv) {
   std::string artifact_dir = ".";
   std::string mode = "lockstep";
   std::string state_root;
-  cluster::CrashPlan plan{1, 2, 4};  // default: kill node 1 in r2, back in r4
+  std::vector<cluster::CrashPlan> kills;  // one --kill each; may overlap
   long listen_port = 0;
   long node_port = 0;
+  // Mesh base port: PID-derived default keeps concurrent local runs apart;
+  // ctest entries pin it explicitly (with a port resource lock).
+  long peer_base = 20000 + (static_cast<long>(::getpid()) * 131) % 20000;
   long grace = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -348,27 +535,36 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--mode=", 0) == 0) {
       mode = arg.substr(7);
     } else if (arg.rfind("--kill=", 0) == 0) {
-      if (!parse_kill(arg.substr(7), plan)) {
+      cluster::CrashPlan plan;
+      if (!cluster::parse_crash_plan(arg.substr(7), plan)) {
         std::fprintf(stderr, "bad --kill spec (want v@kill:restart, "
                              "restart > kill > 0)\n");
         return 2;
       }
+      kills.push_back(plan);
     } else if (arg.rfind("--state-root=", 0) == 0) {
       state_root = arg.substr(13);
     } else if (arg.rfind("--listen-port=", 0) == 0) {
       listen_port = std::strtol(arg.c_str() + 14, nullptr, 10);
     } else if (arg.rfind("--node-port=", 0) == 0) {
       node_port = std::strtol(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--peer-base=", 0) == 0) {
+      peer_base = std::strtol(arg.c_str() + 12, nullptr, 10);
     } else if (arg.rfind("--grace=", 0) == 0) {
       grace = std::strtol(arg.c_str() + 8, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: cluster_driver [--scenario=mixed|gossip] "
-                   "[--artifact-dir=<dir>] [--mode=lockstep|converge] "
-                   "[--kill=v@k:r] [--state-root=<dir>] [--listen-port=<p>] "
-                   "[--node-port=<p>] [--grace=<rounds>]\n");
+                   "[--artifact-dir=<dir>] [--mode=lockstep|converge|free] "
+                   "[--kill=v@k:r]... [--state-root=<dir>] "
+                   "[--listen-port=<p>] [--node-port=<p>] "
+                   "[--peer-base=<p>] [--grace=<rounds>]\n");
       return 2;
     }
+  }
+  if (peer_base <= 0 || peer_base > 65535 - 64) {
+    std::fprintf(stderr, "--peer-base out of range\n");
+    return 2;
   }
   ::alarm(600);  // hard stop: a wedged cluster must not hang CI forever
 
@@ -381,19 +577,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (mode == "converge") {
+  if (mode == "converge" || mode == "free") {
+    // Converge keeps its historical default schedule; free mode with no
+    // --kill is the zero-fault contract check.
+    if (mode == "converge" && kills.empty()) kills.push_back({1, 2, 4});
     int failures = 0;
     for (const Golden& golden : goldens) {
       try {
-        if (plan.victim >= golden.config.topology.governors ||
-            plan.kill_round > golden.config.rounds) {
-          throw ConfigError("crash plan out of range for scenario " +
-                            std::string(golden.name));
-        }
-        failures += converge_run(golden, plan, artifact_dir, state_root,
-                                 static_cast<std::uint16_t>(listen_port),
-                                 static_cast<std::uint16_t>(node_port),
-                                 static_cast<Round>(grace));
+        cluster::validate_crash_plans(kills, golden.config.topology.governors,
+                                      golden.config.rounds);
+        failures +=
+            mode == "free"
+                ? free_run(golden, kills, artifact_dir, state_root,
+                           static_cast<std::uint16_t>(listen_port),
+                           static_cast<std::uint16_t>(node_port),
+                           static_cast<std::uint16_t>(peer_base),
+                           static_cast<Round>(grace))
+                : converge_run(golden, kills, artifact_dir, state_root,
+                               static_cast<std::uint16_t>(listen_port),
+                               static_cast<std::uint16_t>(node_port),
+                               static_cast<Round>(grace));
       } catch (const std::exception& e) {
         ++failures;
         std::fprintf(stderr, "%-8s FAILED: %s\n", golden.name, e.what());

@@ -6,14 +6,22 @@
 //
 //   node --config=<blob-file> --index=<governor index> --connect=<port>
 //        [--state-dir=<dir>] [--incarnation=<n>]
+//        [--free-run --peer-base=<port>]
 //
 // --state-dir attaches a durable FileStateStore (WAL + snapshots) so the
 // chain survives a SIGKILL; --incarnation=<n> (n > 0) marks a restarted
 // process: it replays its store before dialing and announces session
 // resume in its welcome.
+//
+// --free-run switches from the lockstep RPC loop to the self-driving mode:
+// the governor's rounds are armed on a real poll loop, protocol traffic
+// travels peer-to-peer over a TCP mesh (this node listens on
+// --peer-base + index and dials every lower-indexed peer), and the dialed
+// driver port becomes a thin control/observation channel.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 
 #include <cstdio>
@@ -22,6 +30,7 @@
 #include <fstream>
 #include <string>
 
+#include "cluster/free_node.hpp"
 #include "cluster/node_host.hpp"
 #include "sim/harness/spec_codec.hpp"
 
@@ -51,6 +60,8 @@ int dial(std::uint16_t port) {
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     die(std::string("connect: ") + std::strerror(errno));
   }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 
@@ -62,6 +73,8 @@ int main(int argc, char** argv) {
   long index = -1;
   long port = -1;
   long incarnation = 0;
+  long peer_base = 0;
+  bool free_run = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--config=", 0) == 0) {
@@ -74,6 +87,10 @@ int main(int argc, char** argv) {
       state_dir = arg.substr(12);
     } else if (arg.rfind("--incarnation=", 0) == 0) {
       incarnation = std::strtol(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--peer-base=", 0) == 0) {
+      peer_base = std::strtol(arg.c_str() + 12, nullptr, 10);
+    } else if (arg == "--free-run") {
+      free_run = true;
     } else {
       die("unknown argument " + arg);
     }
@@ -81,17 +98,29 @@ int main(int argc, char** argv) {
   if (config_path.empty() || index < 0 || port <= 0 || port > 65535 ||
       incarnation < 0) {
     die("usage: node --config=<blob-file> --index=<i> --connect=<port> "
-        "[--state-dir=<dir>] [--incarnation=<n>]");
+        "[--state-dir=<dir>] [--incarnation=<n>] "
+        "[--free-run --peer-base=<port>]");
   }
   if (incarnation > 0 && state_dir.empty()) {
     die("--incarnation requires --state-dir (nothing to recover from)");
   }
+  if (free_run && (peer_base <= 0 || peer_base + index > 65535)) {
+    die("--free-run requires --peer-base with room for every node's port");
+  }
 
   try {
     const sim::ScenarioConfig config = sim::decode_config(read_file(config_path));
-    cluster::NodeHost host(config, static_cast<std::size_t>(index), state_dir,
-                           static_cast<std::uint32_t>(incarnation));
-    host.serve(dial(static_cast<std::uint16_t>(port)));
+    if (free_run) {
+      cluster::FreeNodeHost host(config, static_cast<std::size_t>(index),
+                                 static_cast<std::uint16_t>(peer_base),
+                                 state_dir,
+                                 static_cast<std::uint32_t>(incarnation));
+      host.run(dial(static_cast<std::uint16_t>(port)));
+    } else {
+      cluster::NodeHost host(config, static_cast<std::size_t>(index), state_dir,
+                             static_cast<std::uint32_t>(incarnation));
+      host.serve(dial(static_cast<std::uint16_t>(port)));
+    }
   } catch (const std::exception& e) {
     die(e.what());
   }
