@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <span>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -192,6 +193,40 @@ void write_json_summary() {
   add("vrf_verify", 200, [&] {
     benchmark::DoNotOptimize(vrf_verify(key.public_key(), alpha, vrf.proof));
   });
+
+  // Batch-vs-single verification: the hot-path intake trades N single
+  // verifies for one randomized batch equation, so the headline here is
+  // amortized signatures/second and the speedup factor over the
+  // one-at-a-time path at the same batch size.
+  std::vector<BatchItem> items;
+  Rng batch_rng(101);
+  for (int i = 0; i < 64; ++i) {
+    const SigningKey k(random_seed(batch_rng));
+    BatchItem item;
+    item.pub = k.public_key();
+    item.message = batch_rng.bytes(64);
+    item.sig = k.sign(item.message);
+    items.push_back(std::move(item));
+  }
+  const double single_per_sec = ops_per_sec(256, [&] {
+    const auto& it = items[0];
+    benchmark::DoNotOptimize(verify(it.pub, it.message, it.sig));
+  });
+  for (const std::size_t n : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+    const std::span<const BatchItem> chunk(items.data(), n);
+    const int reps = static_cast<int>(256 / n) + 1;
+    const double batches_per_sec = ops_per_sec(reps, [&] {
+      benchmark::DoNotOptimize(verify_batch(chunk, batch_rng));
+    });
+    const double items_per_sec = batches_per_sec * static_cast<double>(n);
+    json.row("batch_verification",
+             {{"batch_size", repchain::bench::ju(n)},
+              {"items_per_second", repchain::bench::jf(items_per_sec, 1)},
+              {"single_items_per_second", repchain::bench::jf(single_per_sec, 1)},
+              {"speedup_vs_single",
+               repchain::bench::jf(
+                   single_per_sec > 0.0 ? items_per_sec / single_per_sec : 0.0, 3)}});
+  }
   json.write();
 }
 

@@ -4,6 +4,11 @@
 #
 #   usage: check_bench_trajectory.sh <current.json> <baseline.json> [metric]
 #
+# Besides the primary metric, every socket_* rate field present in both
+# reports (socket_msgs_per_second, socket_mib_per_second, ...) is guarded at
+# the same tolerance, so a transport-layer regression fails the gate even
+# when protocol throughput holds.
+#
 # The baseline under ci/bench_baseline/ is a committed snapshot of a Release
 # run; refresh it deliberately (re-run the bench, commit the new JSON) when a
 # change legitimately moves the number. Tolerance is a percentage, default 20,
@@ -32,13 +37,26 @@ for name, report in (("current", current), ("baseline", baseline)):
     if metric not in report:
         sys.exit(f"trajectory guard: metric '{metric}' missing from {name} report")
 
-cur = float(current[metric])
-base = float(baseline[metric])
-floor = base * (1.0 - tolerance / 100.0)
-print(f"trajectory guard: {metric} current={cur:.1f} baseline={base:.1f} "
-      f"floor={floor:.1f} (tolerance {tolerance:.0f}%)")
-if cur < floor:
-    sys.exit(f"trajectory guard: {metric} regressed {100.0 * (1.0 - cur / base):.1f}% "
-             f"(> {tolerance:.0f}% allowed) vs committed baseline {baseline_path}")
+# The primary metric plus every socket-layer rate field the two reports
+# share: message-rate regressions in the transport must fail the gate too.
+metrics = [metric]
+metrics += sorted(
+    name for name in baseline
+    if name.startswith("socket_") and name.endswith("_per_second")
+    and name in current and name not in metrics)
+
+failures = []
+for name in metrics:
+    cur = float(current[name])
+    base = float(baseline[name])
+    floor = base * (1.0 - tolerance / 100.0)
+    print(f"trajectory guard: {name} current={cur:.1f} baseline={base:.1f} "
+          f"floor={floor:.1f} (tolerance {tolerance:.0f}%)")
+    if cur < floor:
+        failures.append(
+            f"trajectory guard: {name} regressed {100.0 * (1.0 - cur / base):.1f}% "
+            f"(> {tolerance:.0f}% allowed) vs committed baseline {baseline_path}")
+if failures:
+    sys.exit("\n".join(failures))
 print("trajectory guard: ok")
 PY

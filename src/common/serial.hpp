@@ -16,6 +16,14 @@ namespace repchain {
 /// preimages, so that hashing/signing is well-defined byte-exact.
 class BinaryWriter {
  public:
+  BinaryWriter() = default;
+  /// Adopt an existing buffer and append to it (arena reuse: move a recycled
+  /// buffer in, take() it back out, and its capacity survives the round
+  /// trip). The buffer is NOT cleared — callers that want a fresh encoding
+  /// clear before handing it over. The adopted buffer must not alias any
+  /// BytesView later passed to bytes()/raw().
+  explicit BinaryWriter(Bytes&& recycle) : buf_(std::move(recycle)) {}
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
   void u16(std::uint16_t v) {

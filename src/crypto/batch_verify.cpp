@@ -4,21 +4,57 @@
 
 namespace repchain::crypto {
 
+namespace {
+
+/// 4-bit window of scalar `b` at window index `w` (window 0 = least
+/// significant nibble).
+inline unsigned window_at(const ByteArray<32>& b, int w) {
+  const unsigned byte = b[static_cast<std::size_t>(w >> 1)];
+  return (w & 1) ? (byte >> 4) : (byte & 0xF);
+}
+
+}  // namespace
+
 Point point_multi_scalar_mul(std::span<const std::pair<Scalar, Point>> terms) {
-  std::vector<ByteArray<32>> bits;
-  bits.reserve(terms.size());
-  for (const auto& [s, p] : terms) {
-    (void)p;
-    bits.push_back(sc_to_bytes(s));
+  const std::size_t n = terms.size();
+  if (n == 0) return point_identity();
+
+  // Interleaved Strauss with 4-bit windows: one shared doubling chain for
+  // all terms (4 doublings per window step), and per term a table of the
+  // first 15 multiples so each nonzero window costs a single addition. For
+  // n terms this is ~252 doublings + n*(14 table adds + <=64 window adds),
+  // versus 256 doublings *per term* for independent ladders — and short
+  // scalars (the 128-bit batch coefficients) skip their zero windows for
+  // free.
+  std::vector<ByteArray<32>> bits(n);
+  std::vector<std::array<Point, 15>> table(n);
+  int top = -1;  // highest window index that is nonzero in any term
+  for (std::size_t i = 0; i < n; ++i) {
+    bits[i] = sc_to_bytes(terms[i].first);
+    table[i][0] = terms[i].second;
+    table[i][1] = point_double(table[i][0]);
+    for (std::size_t j = 2; j < 15; ++j) {
+      table[i][j] = point_add(table[i][j - 1], table[i][0]);
+    }
+    for (int w = 63; w > top; --w) {
+      if (window_at(bits[i], w) != 0) {
+        top = w;
+        break;
+      }
+    }
   }
 
   Point acc = point_identity();
-  for (int byte = 31; byte >= 0; --byte) {
-    for (int bit = 7; bit >= 0; --bit) {
+  for (int w = top; w >= 0; --w) {
+    if (w != top) {
       acc = point_double(acc);
-      for (std::size_t i = 0; i < terms.size(); ++i) {
-        if ((bits[i][byte] >> bit) & 1) acc = point_add(acc, terms[i].second);
-      }
+      acc = point_double(acc);
+      acc = point_double(acc);
+      acc = point_double(acc);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned nibble = window_at(bits[i], w);
+      if (nibble != 0) acc = point_add(acc, table[i][nibble - 1]);
     }
   }
   return acc;

@@ -17,8 +17,9 @@ struct BatchItem {
 };
 
 /// Sum of [s_i]P_i with a single shared doubling chain (interleaved
-/// Strauss). For n points this costs 256 doublings + sum-of-hamming-weights
-/// additions, versus n*256 doublings for independent ladders.
+/// Strauss, 4-bit windows). For n points this costs ~252 doublings +
+/// n*(14 table + <=64 window) additions, versus n*256 doublings for
+/// independent ladders; 128-bit scalars skip their zero windows for free.
 [[nodiscard]] Point point_multi_scalar_mul(
     std::span<const std::pair<Scalar, Point>> terms);
 

@@ -48,17 +48,23 @@ bool IdentityManager::verify_certificate(const Certificate& cert) const {
 
 bool IdentityManager::authenticate(NodeId node, BytesView message,
                                    const crypto::Signature& sig) const {
-  if (is_revoked(node)) return false;
-  const auto it = certs_.find(node);
-  if (it == certs_.end()) return false;
-  return crypto::verify(it->second.public_key, message, sig);
+  const crypto::PublicKey* key = verification_key(node);
+  return key != nullptr && crypto::verify(*key, message, sig);
 }
 
 bool IdentityManager::authorize(NodeId node, Role required_role, BytesView message,
                                 const crypto::Signature& sig) const {
-  const auto role = role_of(node);
-  if (!role || *role != required_role) return false;
-  return authenticate(node, message, sig);
+  const crypto::PublicKey* key = verification_key(node, required_role);
+  return key != nullptr && crypto::verify(*key, message, sig);
+}
+
+const crypto::PublicKey* IdentityManager::verification_key(
+    NodeId node, std::optional<Role> required_role) const {
+  if (is_revoked(node)) return nullptr;
+  const auto it = certs_.find(node);
+  if (it == certs_.end()) return nullptr;
+  if (required_role && it->second.role != *required_role) return nullptr;
+  return &it->second.public_key;
 }
 
 void IdentityManager::revoke(NodeId node) { revoked_.insert(node); }

@@ -45,6 +45,15 @@ class IdentityManager {
   [[nodiscard]] bool authorize(NodeId node, Role required_role, BytesView message,
                                const crypto::Signature& sig) const;
 
+  /// The non-cryptographic half of authenticate/authorize: the enrolled,
+  /// unrevoked (and role-matching, when `required_role` is given) key for
+  /// `node`, or nullptr. Batch-verification front-ends run this gate per
+  /// item, collect the surviving (key, message, sig) triples into one
+  /// crypto::verify_batch call, and so decide exactly what the per-item
+  /// authenticate/authorize calls would have decided.
+  [[nodiscard]] const crypto::PublicKey* verification_key(
+      NodeId node, std::optional<Role> required_role = std::nullopt) const;
+
   void revoke(NodeId node);
   [[nodiscard]] bool is_revoked(NodeId node) const;
 

@@ -90,7 +90,54 @@ void SimNetwork::send_copies(NodeId from, NodeId to, MsgKind kind, Bytes payload
 
 void SimNetwork::multicast(NodeId from, std::span<const NodeId> to, MsgKind kind,
                            const Bytes& payload) {
-  for (NodeId dest : to) send(from, dest, kind, payload);
+  if (from.value() >= handlers_.size()) {
+    throw NetError("send to/from unregistered node");
+  }
+  const std::size_t payload_bytes = payload.size();
+  // One shared Message backs every destination's copy (see send_copies): the
+  // fan-out costs one payload buffer, not one per destination. to and
+  // delivered_at are stamped just before each delivery; deliveries are
+  // synchronous and single-threaded, so the shared stamps cannot race.
+  std::shared_ptr<Message> msg;
+  for (NodeId dest : to) {
+    if (dest.value() >= handlers_.size()) {
+      throw NetError("send to/from unregistered node");
+    }
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload_bytes;
+    ++stats_.by_kind[kind];
+    stats_.bytes_by_kind[kind] += payload_bytes;
+
+    if (down_[from.value()] || down_[dest.value()]) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    if (const auto it = drop_.find(link_key(from, dest));
+        it != drop_.end() && rng_.bernoulli(it->second)) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+
+    if (!msg) {
+      msg = std::make_shared<Message>();
+      msg->from = from;
+      msg->kind = kind;
+      msg->payload = payload;
+      msg->sent_at = queue_.now();
+    }
+
+    SimTime deliver_at = queue_.now() + draw_delay();
+    if (const auto slow = link_delay_.find(link_key(from, dest));
+        slow != link_delay_.end()) {
+      deliver_at += slow->second;
+    }
+    queue_.schedule_at(deliver_at, [this, msg, dest, deliver_at] {
+      msg->to = dest;
+      msg->delivered_at = deliver_at;
+      auto& handler = handlers_.at(dest.value());
+      if (handler && !down_[dest.value()]) handler(*msg);
+    });
+  }
 }
 
 void SimNetwork::set_drop_probability(NodeId from, NodeId to, double p) {

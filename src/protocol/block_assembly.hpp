@@ -20,6 +20,17 @@ class BlockAssembler {
     pending_.push_back(std::move(record));
   }
 
+  /// Bulk intake for records that already cleared verification upstream
+  /// (the VerifiedBatch-settled upload pipeline plus the screening draw):
+  /// the assembler trusts its callers and re-checks nothing, so a batch is
+  /// one reserve plus element moves. The caller keeps the cleared vector —
+  /// and its capacity — as a reusable arena.
+  void add_pending_batch(std::vector<ledger::TxRecord>& records) {
+    pending_.reserve(pending_.size() + records.size());
+    for (auto& rec : records) pending_.push_back(std::move(rec));
+    records.clear();
+  }
+
   /// Pack up to `block_limit` pending records into a block extending `chain`,
   /// signed by `leader`. Does not consume pending_ — reconciliation against
   /// the accepted copy does (the proposal could be lost).

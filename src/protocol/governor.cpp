@@ -28,7 +28,10 @@ Governor::Governor(GovernorId id, runtime::NodeContext& ctx, crypto::SigningKey 
                        std::move(genesis_stake)),
       equivocation_(im_, directory_, table_, metrics_),
       intake_(im_, directory_, table_, engine_, assembler_, argues_, equivocation_,
-              metrics_, ctx_.timers(), config_, visible_),
+              metrics_, ctx_.timers(), config_, visible_,
+              // Private coefficient stream for batched signature checks:
+              // derive() is const, so the behavioral stream sees no draws.
+              ctx.rng().derive(0x62766B26696E74ULL /* "bvk&int" */)),
       store_(store) {
   config_.rep.validate();
   for (const NodeId n : directory_.governor_nodes()) {

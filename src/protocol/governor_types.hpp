@@ -57,6 +57,12 @@ struct GovernorConfig {
   /// bit-identical; scenarios switch it on whenever an AdversarySpec is
   /// scheduled.
   bool byzantine_defense = false;
+  /// Batched intake verification: collector uploads landing at one instant
+  /// are settled through a single crypto::verify_batch call (same-instant
+  /// flush timer + VerifiedBatch) instead of per-upload Strauss ladders.
+  /// Outcome-identical to the single-verify path — the off switch exists
+  /// only so equivalence tests can run both paths side by side.
+  bool batch_verify_intake = true;
 };
 
 /// Loss bookkeeping on one unchecked transaction, kept for the experiments:

@@ -22,25 +22,98 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
     return;
   }
 
-  // The collector's own signature must authenticate, or the upload cannot
-  // even be attributed — drop silently.
   const auto collector_node = directory_.node_of(ltx.collector);
-  if (!im_.authorize(collector_node, identity::Role::kCollector, ltx.signed_preimage(),
-                     ltx.collector_sig)) {
+  const ledger::TxId id = ltx.tx.id();
+
+  if (!config_.batch_verify_intake) {
+    // Single-verify path, kept for side-by-side equivalence tests: the
+    // collector's own signature must authorize, or the upload cannot even
+    // be attributed — drop silently. verify(c_i, Tx): the contained
+    // provider signature must be genuine and the provider linked with this
+    // collector; otherwise the upload is a forgery — Algorithm 3 case 1.
+    const bool collector_ok =
+        im_.authorize(collector_node, identity::Role::kCollector,
+                      ltx.signed_preimage(), ltx.collector_sig);
+    const bool provider_known = directory_.linked(ltx.tx.provider, ltx.collector);
+    bool provider_sig_ok = false;
+    if (collector_ok && provider_known) {
+      const NodeId provider_node = directory_.node_of(ltx.tx.provider);
+      provider_sig_ok =
+          im_.authenticate(provider_node, ltx.tx.signed_preimage(), ltx.tx.provider_sig);
+    }
+    ingest(ltx, id, collector_ok, provider_known, provider_sig_ok);
+    return;
+  }
+
+  // Batched path: run the non-cryptographic gates now, queue the surviving
+  // signatures, and let the same-instant flush settle them in bulk. The
+  // gates mirror authorize/authenticate exactly, so the verdicts are what
+  // the single-verify path would have produced.
+  PendingUpload pu;
+  const crypto::PublicKey* collector_key =
+      im_.verification_key(collector_node, identity::Role::kCollector);
+  pu.collector_check = (collector_key != nullptr)
+                           ? batch_.add(*collector_key, ltx.signed_preimage(),
+                                        ltx.collector_sig)
+                           : batch_.add_decided(false);
+
+  pu.id = id;
+  pu.provider_known = directory_.linked(ltx.tx.provider, ltx.collector);
+  if (pu.provider_known) {
+    const NodeId provider_node = directory_.node_of(ltx.tx.provider);
+    const crypto::PublicKey* provider_key = im_.verification_key(provider_node);
+    if (provider_key == nullptr) {
+      pu.provider_check = batch_.add_decided(false);
+    } else {
+      const auto memo = provider_sig_memo_.find(id);
+      if (memo != provider_sig_memo_.end() &&
+          memo->second.bytes == ltx.tx.provider_sig.bytes) {
+        pu.provider_check = batch_.add_decided(true);
+      } else {
+        pu.provider_check = batch_.add(*provider_key, ltx.tx.signed_preimage(),
+                                       ltx.tx.provider_sig);
+        pu.provider_in_batch = true;
+      }
+    }
+  } else {
+    pu.provider_check = batch_.add_decided(false);
+  }
+
+  pu.ltx = std::move(ltx);
+  pending_uploads_.push_back(std::move(pu));
+  if (!flush_armed_) {
+    flush_armed_ = true;
+    // Zero delay: the flush runs at this same SimTime, after every other
+    // delivery already in flight for this instant has been processed (their
+    // events were scheduled before this timer), so the batch covers the
+    // whole same-instant burst.
+    timers_.schedule_after(0, [this] { flush(); });
+  }
+}
+
+void ScreeningIntake::flush() {
+  flush_armed_ = false;
+  batch_.settle(batch_rng_);
+  for (PendingUpload& pu : pending_uploads_) {
+    if (pu.provider_in_batch && batch_.ok(pu.provider_check)) {
+      provider_sig_memo_.insert_or_assign(pu.id, pu.ltx.tx.provider_sig);
+    }
+    const bool provider_sig_ok = pu.provider_known && batch_.ok(pu.provider_check);
+    ingest(pu.ltx, pu.id, batch_.ok(pu.collector_check), pu.provider_known,
+           provider_sig_ok);
+  }
+  pending_uploads_.clear();
+  batch_.clear();
+}
+
+void ScreeningIntake::ingest(const ledger::LabeledTransaction& ltx,
+                             const ledger::TxId& id, bool collector_ok,
+                             bool provider_known, bool provider_sig_ok) {
+  if (!collector_ok) {
     ++metrics_.uploads_rejected;
     return;
   }
 
-  // verify(c_i, Tx): the contained provider signature must be genuine and
-  // the provider must be linked with this collector; otherwise the upload is
-  // a forgery — Algorithm 3 case 1.
-  const bool provider_known = directory_.linked(ltx.tx.provider, ltx.collector);
-  bool provider_sig_ok = false;
-  if (provider_known) {
-    const NodeId provider_node = directory_.node_of(ltx.tx.provider);
-    provider_sig_ok =
-        im_.authenticate(provider_node, ltx.tx.signed_preimage(), ltx.tx.provider_sig);
-  }
   if (!provider_known || !provider_sig_ok) {
     ++metrics_.forgeries_detected;
     table_.punish_forgery(ltx.collector);
@@ -50,7 +123,6 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
     return;
   }
 
-  const ledger::TxId id = ltx.tx.id();
   if (assembler_.packed(id) || argues_.known(id) || screened_.contains(id)) {
     // Replay of an already-processed transaction (atomic broadcast plus the
     // timestamped signature makes this benign); ignore.
@@ -64,7 +136,7 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
   if (inserted) {
     agg.tx = ltx.tx;
     // starttime(tx, Delta): screen after the aggregation window.
-    timers_.schedule_after(config_.aggregation_delta, [this, id] { screen(id); });
+    schedule_screen(id);
   }
   if (agg.screened) return;
   if (!agg.reporters.insert(ltx.collector).second) {
@@ -79,6 +151,7 @@ void ScreeningIntake::on_upload(const runtime::Message& msg) {
 void ScreeningIntake::age_out() {
   serials_prev_ = std::move(serials_);
   serials_.clear();
+  provider_sig_memo_.clear();
 }
 
 bool ScreeningIntake::double_spend_guard(const ledger::Transaction& tx,
@@ -112,6 +185,28 @@ bool ScreeningIntake::double_spend_guard(const ledger::Transaction& tx,
   return false;
 }
 
+void ScreeningIntake::schedule_screen(const ledger::TxId& id) {
+  const SimTime due = timers_.now() + config_.aggregation_delta;
+  // Deadlines are monotone (now is monotone, the delta fixed), so a fresh
+  // deadline only ever appends, and each distinct one arms a single sweep.
+  const bool arm = screen_queue_.empty() || screen_queue_.back().first != due;
+  screen_queue_.emplace_back(due, id);
+  if (arm) {
+    timers_.schedule_after(config_.aggregation_delta, [this] { screen_sweep(); });
+  }
+}
+
+void ScreeningIntake::screen_sweep() {
+  const SimTime now = timers_.now();
+  while (!screen_queue_.empty() && screen_queue_.front().first <= now) {
+    screen(screen_queue_.front().second);
+    screen_queue_.pop_front();
+  }
+  // One bulk, pre-verified handoff per burst; the buffer's capacity is
+  // retained for the next sweep.
+  if (!screen_batch_.empty()) assembler_.add_pending_batch(screen_batch_);
+}
+
 void ScreeningIntake::screen(const ledger::TxId& id) {
   const auto it = aggregations_.find(id);
   if (it == aggregations_.end() || it->second.screened) return;
@@ -123,21 +218,21 @@ void ScreeningIntake::screen(const ledger::TxId& id) {
   switch (out.kind) {
     case ScreeningKind::kAppendedValid: {
       ledger::TxRecord rec;
-      rec.tx = agg.tx;
+      rec.tx = std::move(agg.tx);
       rec.label = Label::kValid;
       rec.status = TxStatus::kCheckedValid;
-      assembler_.add_pending(std::move(rec));
+      screen_batch_.push_back(std::move(rec));
       break;
     }
     case ScreeningKind::kDiscardedInvalid:
       break;  // checked invalid: never enters a block
     case ScreeningKind::kRecordedUnchecked: {
+      argues_.record_unchecked(agg.tx, agg.reports);
       ledger::TxRecord rec;
-      rec.tx = agg.tx;
+      rec.tx = std::move(agg.tx);
       rec.label = Label::kInvalid;
       rec.status = TxStatus::kUncheckedInvalid;
-      assembler_.add_pending(std::move(rec));
-      argues_.record_unchecked(agg.tx, agg.reports);
+      screen_batch_.push_back(std::move(rec));
       break;
     }
   }

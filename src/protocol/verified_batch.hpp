@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/batch_verify.hpp"
+
+namespace repchain::protocol {
+
+/// A batch of signature checks accumulated by an ingestion front-end and
+/// settled in one crypto::verify_batch call.
+///
+/// Front-ends (ScreeningIntake's upload flush, EquivocationDetector's gossip
+/// ingestion, StakeConsensus quorum checks) run their non-cryptographic
+/// gates per item first — enrollment, role, revocation, link structure — via
+/// IdentityManager::verification_key. Items that fail a gate, or that hit a
+/// verified-signature memo, enter the batch pre-decided; the rest carry a
+/// (key, message, sig) triple and are settled together: one random-linear-
+/// combination check for the whole batch, with the verify_batch_detailed
+/// per-item fallback isolating the offending items when the combined check
+/// fails. The per-item verdicts are therefore exactly what per-item
+/// authenticate/authorize calls would have produced, at a fraction of the
+/// scalar-multiplication cost.
+///
+/// The Rng passed to settle() must be a private derived stream: coefficient
+/// draws depend on batch composition and must never perturb behavioral
+/// streams that fixed-seed goldens pin.
+class VerifiedBatch {
+ public:
+  using Index = std::size_t;
+
+  /// Queue one signature for bulk verification.
+  Index add(const crypto::PublicKey& key, Bytes message, const crypto::Signature& sig) {
+    items_.push_back(crypto::BatchItem{key, std::move(message), sig});
+    slots_.push_back(items_.size() - 1);
+    verdicts_.push_back(kPending);
+    return verdicts_.size() - 1;
+  }
+
+  /// Record an item whose outcome is already known (failed precheck gate or
+  /// verified-signature memo hit); it consumes no crypto work.
+  Index add_decided(bool ok) {
+    slots_.push_back(kNoSlot);
+    verdicts_.push_back(ok ? kTrue : kFalse);
+    return verdicts_.size() - 1;
+  }
+
+  /// Run the queued checks: one verify_batch over every pending item, with
+  /// per-item fallback on failure. Idempotent once settled.
+  void settle(Rng& rng);
+
+  /// Per-item verdict; only valid after settle().
+  [[nodiscard]] bool ok(Index i) const { return verdicts_[i] == kTrue; }
+
+  [[nodiscard]] std::size_t size() const { return verdicts_.size(); }
+  /// How many items actually went through cryptographic verification.
+  [[nodiscard]] std::size_t crypto_checks() const { return items_.size(); }
+  [[nodiscard]] bool settled() const { return settled_; }
+
+  /// Reset for reuse; keeps the vectors' capacity (intake flushes reuse one
+  /// batch object round after round).
+  void clear() {
+    items_.clear();
+    slots_.clear();
+    verdicts_.clear();
+    settled_ = false;
+  }
+
+ private:
+  static constexpr std::int8_t kPending = -1;
+  static constexpr std::int8_t kFalse = 0;
+  static constexpr std::int8_t kTrue = 1;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  std::vector<crypto::BatchItem> items_;   // pending crypto checks, in order
+  std::vector<std::size_t> slots_;         // item index -> items_ slot (or kNoSlot)
+  std::vector<std::int8_t> verdicts_;
+  bool settled_ = false;
+};
+
+}  // namespace repchain::protocol

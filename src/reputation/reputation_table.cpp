@@ -16,11 +16,37 @@ ReputationTable::ReputationTable(ReputationParams params) : params_(params) {
   params_.validate();
 }
 
+ReputationTable::ReputationTable(const ReputationTable& other)
+    : params_(other.params_),
+      collectors_(other.collectors_),
+      by_provider_(other.by_provider_) {
+  rebuild_link_index();
+}
+
+ReputationTable& ReputationTable::operator=(const ReputationTable& other) {
+  if (this == &other) return *this;
+  params_ = other.params_;
+  collectors_ = other.collectors_;
+  by_provider_ = other.by_provider_;
+  rebuild_link_index();
+  return *this;
+}
+
+void ReputationTable::rebuild_link_index() {
+  link_index_.clear();
+  link_index_.reserve(collectors_.size() * 4);
+  for (auto& [c, e] : collectors_) {
+    for (auto& [p, lw] : e.log_w) link_index_.emplace(link_key(c, p), &lw);
+  }
+}
+
 void ReputationTable::link(CollectorId collector, ProviderId provider) {
   auto& e = collectors_[collector];
   const auto [it, inserted] = e.log_w.emplace(provider, 0.0);
-  (void)it;
-  if (inserted) by_provider_[provider].push_back(collector);
+  if (inserted) {
+    by_provider_[provider].push_back(collector);
+    link_index_.emplace(link_key(collector, provider), &it->second);
+  }
 }
 
 void ReputationTable::register_collector(CollectorId collector) {
@@ -28,13 +54,14 @@ void ReputationTable::register_collector(CollectorId collector) {
 }
 
 bool ReputationTable::linked(CollectorId collector, ProviderId provider) const {
-  const auto it = collectors_.find(collector);
-  return it != collectors_.end() && it->second.log_w.contains(provider);
+  return link_index_.contains(link_key(collector, provider));
 }
 
-std::vector<CollectorId> ReputationTable::collectors_for(ProviderId provider) const {
+const std::vector<CollectorId>& ReputationTable::collectors_for(
+    ProviderId provider) const {
+  static const std::vector<CollectorId> kEmpty;
   const auto it = by_provider_.find(provider);
-  return it == by_provider_.end() ? std::vector<CollectorId>{} : it->second;
+  return it == by_provider_.end() ? kEmpty : it->second;
 }
 
 const ReputationTable::Entry& ReputationTable::entry(CollectorId c) const {
@@ -49,12 +76,17 @@ ReputationTable::Entry& ReputationTable::entry(CollectorId c) {
   return it->second;
 }
 
-double ReputationTable::log_w_or_throw(const Entry& e, ProviderId provider) const {
-  const auto it = e.log_w.find(provider);
-  if (it == e.log_w.end()) {
+double& ReputationTable::link_slot_or_throw(CollectorId c, ProviderId p) const {
+  double* slot = link_slot(c, p);
+  if (slot == nullptr) {
+    // Preserve the pre-index error taxonomy: unknown collector vs known
+    // collector with no link to this provider.
+    if (!collectors_.contains(c)) {
+      throw ProtocolError("unknown collector in reputation table");
+    }
     throw ProtocolError("collector not linked with provider in reputation table");
   }
-  return it->second;
+  return *slot;
 }
 
 double ReputationTable::weight(CollectorId collector, ProviderId provider) const {
@@ -62,7 +94,7 @@ double ReputationTable::weight(CollectorId collector, ProviderId provider) const
 }
 
 double ReputationTable::log_weight(CollectorId collector, ProviderId provider) const {
-  return log_w_or_throw(entry(collector), provider);
+  return link_slot_or_throw(collector, provider);
 }
 
 std::int64_t ReputationTable::misreport(CollectorId collector) const {
@@ -103,7 +135,8 @@ std::optional<double> ReputationTable::update_revealed(ProviderId provider,
   // Algorithm 3, case 3. Compute L_tx over reporters with current weights,
   // derive gamma_tx, then apply the multiplicative updates.
   const Label truth = tx_valid ? Label::kValid : Label::kInvalid;
-  const std::vector<double> rel = relative_weights(provider, reports);
+  std::vector<double>& rel = rel_scratch_;
+  relative_weights_into(provider, reports, rel);
 
   double w_right = 0.0, w_wrong = 0.0;
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -121,12 +154,12 @@ std::optional<double> ReputationTable::update_revealed(ProviderId provider,
   // Reporters: wrong label -> *gamma; correct -> unchanged.
   for (const Report& r : reports) {
     if (r.label != truth) {
-      Entry& e = entry(r.collector);
-      const auto it = e.log_w.find(provider);
-      if (it == e.log_w.end()) {
+      double* slot = link_slot(r.collector, provider);
+      if (slot == nullptr) {
+        (void)entry(r.collector);  // unknown-collector taxonomy first
         throw ProtocolError("reporter not linked with provider");
       }
-      it->second += log_gamma;
+      *slot += log_gamma;
     }
   }
   // Linked collectors that did not report: -> *beta.
@@ -134,31 +167,33 @@ std::optional<double> ReputationTable::update_revealed(ProviderId provider,
     const bool reported = std::any_of(reports.begin(), reports.end(),
                                       [c](const Report& r) { return r.collector == c; });
     if (!reported) {
-      entry(c).log_w.at(provider) += log_beta;
+      link_slot_or_throw(c, provider) += log_beta;
     }
   }
   return gamma;
 }
 
-std::vector<double> ReputationTable::relative_weights(
-    ProviderId provider, std::span<const Report> reports) const {
-  std::vector<double> logs;
+void ReputationTable::relative_weights_into(ProviderId provider,
+                                            std::span<const Report> reports,
+                                            std::vector<double>& rel) const {
+  std::vector<double>& logs = log_scratch_;
+  logs.clear();
   logs.reserve(reports.size());
   for (const Report& r : reports) {
-    logs.push_back(log_w_or_throw(entry(r.collector), provider));
+    logs.push_back(link_slot_or_throw(r.collector, provider));
   }
   const double max_log = logs.empty() ? 0.0 : *std::max_element(logs.begin(), logs.end());
-  std::vector<double> rel;
+  rel.clear();
   rel.reserve(logs.size());
   for (double lw : logs) rel.push_back(std::exp(lw - max_log));
-  return rel;
 }
 
 Selection ReputationTable::select_reporter(ProviderId provider,
                                            std::span<const Report> reports,
                                            Rng& rng) const {
   if (reports.empty()) throw ProtocolError("select_reporter with no reports");
-  const std::vector<double> rel = relative_weights(provider, reports);
+  std::vector<double>& rel = rel_scratch_;
+  relative_weights_into(provider, reports, rel);
   const double total = std::accumulate(rel.begin(), rel.end(), 0.0);
   const std::size_t idx = rng.weighted_choice(rel);
 
@@ -173,7 +208,8 @@ double ReputationTable::check_probability(ProviderId provider,
                                           std::span<const Report> reports) const {
   // P_checked = 1 - f * sum_{i labeled -1} Pr[i]^2 (Lemma 2's derivation):
   // a +1 pick is always validated; a -1 pick with probability 1 - f*Pr[i].
-  const std::vector<double> rel = relative_weights(provider, reports);
+  std::vector<double>& rel = rel_scratch_;
+  relative_weights_into(provider, reports, rel);
   const double total = std::accumulate(rel.begin(), rel.end(), 0.0);
   if (total <= 0.0) return 1.0;
   double sum_sq_invalid = 0.0;
@@ -190,7 +226,8 @@ double ReputationTable::expected_loss_for(ProviderId provider,
                                           std::span<const Report> reports,
                                           bool tx_valid) const {
   const Label truth = tx_valid ? Label::kValid : Label::kInvalid;
-  const std::vector<double> rel = relative_weights(provider, reports);
+  std::vector<double>& rel = rel_scratch_;
+  relative_weights_into(provider, reports, rel);
   double w_right = 0.0, w_wrong = 0.0;
   for (std::size_t i = 0; i < reports.size(); ++i) {
     (reports[i].label == truth ? w_right : w_wrong) += rel[i];
@@ -308,6 +345,7 @@ ReputationTable ReputationTable::decode(BytesView data) {
     }
   }
   r.expect_done();
+  table.rebuild_link_index();
   return table;
 }
 

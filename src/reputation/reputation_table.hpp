@@ -46,9 +46,26 @@ struct Selection {
 /// max-subtraction before exponentiation) is exact for the protocol while
 /// immune to the underflow a linear representation hits after a few thousand
 /// discounts.
+///
+/// Hot-path layout: every (collector, provider) query — linked, log_weight,
+/// the per-report lookups inside selection/update — goes through a
+/// composite-key index (collector<<32 | provider -> weight slot, the
+/// gamebank multi_index idiom) instead of the two-level hash walk, and the
+/// screening-support queries reuse mutable scratch buffers instead of
+/// allocating per call. The index points into the canonical per-collector
+/// storage (unordered_map nodes are address-stable), so iteration-order
+/// dependent results — the revenue-weight summation, the canonical encode —
+/// are byte-for-byte what they were before the index existed; it is rebuilt
+/// on copy and on decode.
 class ReputationTable {
  public:
   explicit ReputationTable(ReputationParams params);
+
+  ReputationTable(const ReputationTable& other);
+  ReputationTable& operator=(const ReputationTable& other);
+  // Moves steal the unordered_map nodes, so the index stays valid as-is.
+  ReputationTable(ReputationTable&&) noexcept = default;
+  ReputationTable& operator=(ReputationTable&&) noexcept = default;
 
   /// Register a collector-provider link (weight starts at 1). Idempotent.
   void link(CollectorId collector, ProviderId provider);
@@ -56,7 +73,7 @@ class ReputationTable {
   void register_collector(CollectorId collector);
 
   [[nodiscard]] bool linked(CollectorId collector, ProviderId provider) const;
-  [[nodiscard]] std::vector<CollectorId> collectors_for(ProviderId provider) const;
+  [[nodiscard]] const std::vector<CollectorId>& collectors_for(ProviderId provider) const;
 
   /// w_{j,i,k} as a linear value (exp of the stored log; for inspection and
   /// short horizons — protocol code uses the ratio-based queries below).
@@ -133,15 +150,35 @@ class ReputationTable {
 
   [[nodiscard]] const Entry& entry(CollectorId c) const;
   [[nodiscard]] Entry& entry(CollectorId c);
-  [[nodiscard]] double log_w_or_throw(const Entry& e, ProviderId provider) const;
 
-  /// Relative (max-normalized) weights of the reporters for `provider`.
-  [[nodiscard]] std::vector<double> relative_weights(ProviderId provider,
-                                                     std::span<const Report> reports) const;
+  [[nodiscard]] static constexpr std::uint64_t link_key(CollectorId c, ProviderId p) {
+    return (static_cast<std::uint64_t>(c.value()) << 32) | p.value();
+  }
+  /// O(1) composite-key slot lookup; nullptr when the pair is not linked.
+  [[nodiscard]] double* link_slot(CollectorId c, ProviderId p) const {
+    const auto it = link_index_.find(link_key(c, p));
+    return it == link_index_.end() ? nullptr : it->second;
+  }
+  /// Same, but throwing the pre-index error taxonomy on a miss.
+  [[nodiscard]] double& link_slot_or_throw(CollectorId c, ProviderId p) const;
+  /// Repoint the index at this table's own storage (after copy or decode).
+  void rebuild_link_index();
+
+  /// Relative (max-normalized) weights of the reporters for `provider`,
+  /// written into `rel` (cleared first; capacity is reused across calls).
+  void relative_weights_into(ProviderId provider, std::span<const Report> reports,
+                             std::vector<double>& rel) const;
 
   ReputationParams params_;
   std::unordered_map<CollectorId, Entry> collectors_;
   std::unordered_map<ProviderId, std::vector<CollectorId>> by_provider_;
+  // (collector<<32 | provider) -> &Entry::log_w[provider]. unordered_map
+  // guarantees node address stability, so slots survive unrelated inserts.
+  std::unordered_map<std::uint64_t, double*> link_index_;
+  // Scratch for the per-screening queries (select/check/loss): these run
+  // once per transaction report set, and the buffers keep their capacity.
+  mutable std::vector<double> rel_scratch_;
+  mutable std::vector<double> log_scratch_;
 };
 
 }  // namespace repchain::reputation

@@ -1,6 +1,7 @@
 #include "runtime/atomic_broadcast.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/errors.hpp"
 
@@ -15,6 +16,18 @@ AtomicBroadcastGroup::AtomicBroadcastGroup(Transport& transport,
 void AtomicBroadcastGroup::broadcast(NodeId from, MsgKind kind, const Bytes& payload) {
   ++next_seq_;
   TimerService& timers = transport_.timers();
+  // One shared Message backs every member's copy (the send_copies
+  // single-payload idea applied to the fan-out): the broadcast costs one
+  // payload buffer, not one per member. Each delivery stamps to/delivered_at
+  // just before invoking the handler; deliveries are synchronous and
+  // single-threaded, so the shared stamps cannot race, and handlers receive
+  // a const reference they must not retain (the send_copies contract).
+  auto msg = std::make_shared<Message>();
+  msg->from = from;
+  msg->kind = kind;
+  msg->payload = payload;
+  msg->sent_at = timers.now();
+  msg->seq = next_seq_;
   for (NodeId member : members_) {
     // Count the copy in network statistics (atomic broadcast costs one
     // message per member in this sequencer realization).
@@ -24,17 +37,11 @@ void AtomicBroadcastGroup::broadcast(NodeId from, MsgKind kind, const Bytes& pay
     const SimTime deliver_at = std::max(arrival, last);
     last = deliver_at;
 
-    Message msg;
-    msg.from = from;
-    msg.to = member;
-    msg.kind = kind;
-    msg.payload = payload;
-    msg.sent_at = timers.now();
-    msg.delivered_at = deliver_at;
-    msg.seq = next_seq_;
-
-    timers.schedule_at(deliver_at, [&transport = transport_, msg = std::move(msg)]() {
-      transport.deliver_direct(msg);
+    timers.schedule_at(deliver_at,
+                       [&transport = transport_, msg, member, deliver_at]() {
+      msg->to = member;
+      msg->delivered_at = deliver_at;
+      transport.deliver_direct(*msg);
     });
   }
   transport_.count_broadcast(kind, members_.size(), payload.size());

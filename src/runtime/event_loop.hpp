@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -54,8 +53,8 @@ class EventLoop final : public TimerService {
   /// Process events with time <= `until`.
   std::size_t run_until(SimTime until);
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
  private:
@@ -67,7 +66,16 @@ class EventLoop final : public TimerService {
     bool operator()(const Event& a, const Event& b) const { return b.key < a.key; }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pop the earliest event off the heap and return it by move.
+  [[nodiscard]] Event pop_next();
+
+  // Explicit binary heap (std::push_heap/pop_heap) rather than
+  // std::priority_queue: the dispatch loop moves each callback out of the
+  // container before running it, and priority_queue's const top() forces a
+  // const_cast for that. pop_heap hands the element back as the mutable
+  // vector tail, so dispatch is a plain move and the vector's capacity is
+  // reused across the whole run.
+  std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -326,8 +326,9 @@ void TcpTransport::send(NodeId from, NodeId to, MsgKind kind, Bytes payload) {
     return;
   }
   ++stats_.messages_sent;
+  wire::encode_message_into(msg, encode_arena_);
   queue_frame(*conn, static_cast<std::uint16_t>(wire::PacketType::kMessage),
-              wire::encode_message(msg));
+              encode_arena_);
 }
 
 void TcpTransport::multicast(NodeId from, std::span<const NodeId> to,
@@ -347,8 +348,9 @@ void TcpTransport::deliver_direct(const Message& msg) {
     return;
   }
   ++stats_.messages_sent;
+  wire::encode_message_into(msg, encode_arena_);
   queue_frame(*conn, static_cast<std::uint16_t>(wire::PacketType::kDirect),
-              wire::encode_message(msg));
+              encode_arena_);
 }
 
 void TcpTransport::count_broadcast(MsgKind kind, std::size_t copies,
@@ -505,13 +507,14 @@ void TcpTransport::dispatch(Message msg, bool restamp) {
 
 void TcpTransport::queue_frame(Conn& conn, std::uint16_t type,
                                BytesView payload) {
-  const Bytes frame = wire::encode_frame(type, payload);
-  stats_.bytes_sent += frame.size();
+  stats_.bytes_sent += wire::kHeaderSize + payload.size();
   if (conn.out_off > 0 && conn.out_off == conn.outbuf.size()) {
     conn.outbuf.clear();
     conn.out_off = 0;
   }
-  conn.outbuf.insert(conn.outbuf.end(), frame.begin(), frame.end());
+  // The outbuf is the encode arena: the frame header and payload are
+  // appended in place, with no intermediate frame allocation.
+  wire::append_frame(conn.outbuf, type, payload);
   flush(conn);
 }
 

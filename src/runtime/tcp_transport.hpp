@@ -233,6 +233,9 @@ class TcpTransport final : public Transport {
   // Highest broadcast sequence delivered per (from, to); mirrors the
   // SimNetwork guard so fault-injected duplicate copies stay suppressed.
   std::unordered_map<std::uint64_t, std::uint64_t> delivered_seq_;
+  // Recycled envelope buffer for the hot send/deliver_direct encode path;
+  // its capacity survives across messages (see wire::encode_message_into).
+  Bytes encode_arena_;
   TcpStats stats_;
 };
 

@@ -28,7 +28,14 @@ auto decode_exact(BytesView data, Fn&& fn) {
 }  // namespace
 
 Bytes encode_message(const runtime::Message& msg) {
-  BinaryWriter w;
+  Bytes out;
+  encode_message_into(msg, out);
+  return out;
+}
+
+void encode_message_into(const runtime::Message& msg, Bytes& out) {
+  out.clear();
+  BinaryWriter w(std::move(out));
   w.u32(msg.from.value());
   w.u32(msg.to.value());
   w.u16(static_cast<std::uint16_t>(msg.kind));
@@ -36,7 +43,7 @@ Bytes encode_message(const runtime::Message& msg) {
   w.u64(msg.delivered_at);
   w.u64(msg.seq);
   w.bytes(msg.payload);
-  return std::move(w).take();
+  out = std::move(w).take();
 }
 
 runtime::Message decode_message(BytesView data) {

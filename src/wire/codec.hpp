@@ -27,6 +27,9 @@ namespace repchain::wire {
 /// Timestamps/seq ride along so the pre-ordered deliver_direct path and the
 /// lockstep cluster replay see exactly the simulator's metadata.
 [[nodiscard]] Bytes encode_message(const runtime::Message& msg);
+/// Encode into `out` (cleared first, capacity kept): the hot send path
+/// reuses one envelope buffer instead of allocating per message.
+void encode_message_into(const runtime::Message& msg, Bytes& out);
 [[nodiscard]] runtime::Message decode_message(BytesView data);
 
 // --- Trace events ------------------------------------------------------------

@@ -8,13 +8,20 @@
 namespace repchain::wire {
 
 Bytes encode_frame(std::uint16_t type, BytesView payload, std::uint16_t version) {
-  BinaryWriter w;
+  Bytes out;
+  append_frame(out, type, payload, version);
+  return out;
+}
+
+void append_frame(Bytes& out, std::uint16_t type, BytesView payload,
+                  std::uint16_t version) {
+  BinaryWriter w(std::move(out));
   w.u32(kMagic);
   w.u16(version);
   w.u16(type);
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.raw(payload);
-  return std::move(w).take();
+  out = std::move(w).take();
 }
 
 void FrameReader::poison(ProtocolError code, const std::string& what) {

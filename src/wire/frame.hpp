@@ -57,6 +57,12 @@ struct Frame {
 [[nodiscard]] Bytes encode_frame(std::uint16_t type, BytesView payload,
                                  std::uint16_t version = kVersionMax);
 
+/// Append one frame (header + payload) to `out` in place, so an outbound
+/// socket buffer can be used as the encode arena — no intermediate frame
+/// allocation. `payload` must not alias `out`.
+void append_frame(Bytes& out, std::uint16_t type, BytesView payload,
+                  std::uint16_t version = kVersionMax);
+
 /// Incremental frame decoder over an arbitrary chunking of the stream.
 class FrameReader {
  public:

@@ -22,7 +22,7 @@ using ledger::Label;
 /// Hand-wired world: 2 providers, 2 collectors (both linked to both
 /// providers), 2 governors.
 struct World {
-  World()
+  explicit World(bool batch_verify_intake = true)
       : rng(12345),
         net(queue, rng.derive(1), net::LatencyModel{1 * kMillisecond, 2 * kMillisecond}),
         im(crypto::random_seed(rng)),
@@ -56,6 +56,7 @@ struct World {
 
     GovernorConfig config;
     config.aggregation_delta = 5 * kMillisecond;
+    config.batch_verify_intake = batch_verify_intake;
     for (int i = 0; i < 2; ++i) {
       contexts.emplace_back(directory.node_of(GovernorId(i)), net,
                             rng.derive(100 + i));
@@ -77,14 +78,24 @@ struct World {
     return tx;
   }
 
-  /// Inject an upload directly into governor 0.
-  void upload(const ledger::LabeledTransaction& ltx) {
+  /// Inject an upload into governor 0 without draining the instant, so a
+  /// burst of calls lands in one verification batch.
+  void inject(const ledger::LabeledTransaction& ltx) {
     net::Message msg;
     msg.from = directory.node_of(ltx.collector);
     msg.to = directory.node_of(GovernorId(0));
     msg.kind = net::MsgKind::kCollectorUpload;
     msg.payload = ltx.encode();
     governors[0].on_message(msg);
+  }
+
+  /// Inject an upload directly into governor 0.
+  void upload(const ledger::LabeledTransaction& ltx) {
+    inject(ltx);
+    // Batched intake settles signature checks on a same-instant flush
+    // timer; drain the current instant so verdicts (and metrics) land
+    // before the caller's assertions, without advancing simulated time.
+    queue.run_until(queue.now());
   }
 
   void settle() { queue.run(); }
@@ -155,6 +166,79 @@ TEST(GovernorUpload, ForgedProviderSignaturePunished) {
   EXPECT_EQ(w.governors[0].metrics().forgeries_detected, 1u);
   EXPECT_EQ(w.governors[0].reputation().forge(CollectorId(0)), -1);
   EXPECT_EQ(w.governors[0].pending_txs(), 0u);
+}
+
+TEST(GovernorUpload, ForgedSignatureInsideBatchMatchesSingleVerify) {
+  // Regression for the batched intake: a same-instant burst carrying two
+  // genuine uploads and one forged-provider-signature upload must isolate
+  // and punish exactly the bad item — byte-for-byte the same metrics,
+  // reputation counters, and pending set as the single-verify path.
+  struct Outcome {
+    std::uint64_t received, rejected, forgeries;
+    std::int64_t forge0, forge1;
+    std::size_t pending;
+  };
+  const auto run = [](bool batched) {
+    World w(batched);
+    const auto good = w.make_tx(0, 1, true);
+    ledger::Transaction fake;
+    fake.provider = ProviderId(1);
+    fake.seq = 99;
+    fake.timestamp = 1;
+    fake.payload = to_bytes("fabricated");  // all-zero provider sig: forged
+    // One instant, one batch: genuine report from each collector plus the
+    // forgery from collector 1.
+    w.inject(ledger::make_labeled(good, Label::kValid, CollectorId(0),
+                                  w.collector_keys[0]));
+    w.inject(ledger::make_labeled(fake, Label::kValid, CollectorId(1),
+                                  w.collector_keys[1]));
+    w.inject(ledger::make_labeled(good, Label::kValid, CollectorId(1),
+                                  w.collector_keys[1]));
+    w.queue.run_until(w.queue.now());
+    w.settle();
+    const auto& g = w.governors[0];
+    return Outcome{g.metrics().uploads_received, g.metrics().uploads_rejected,
+                   g.metrics().forgeries_detected,
+                   g.reputation().forge(CollectorId(0)),
+                   g.reputation().forge(CollectorId(1)), g.pending_txs()};
+  };
+
+  const Outcome batched = run(true);
+  const Outcome single = run(false);
+  EXPECT_EQ(batched.received, single.received);
+  EXPECT_EQ(batched.rejected, single.rejected);
+  EXPECT_EQ(batched.forgeries, single.forgeries);
+  EXPECT_EQ(batched.forge0, single.forge0);
+  EXPECT_EQ(batched.forge1, single.forge1);
+  EXPECT_EQ(batched.pending, single.pending);
+
+  // And the absolute outcome is the expected one: only collector 1 punished,
+  // only the genuine transaction pending.
+  EXPECT_EQ(batched.forgeries, 1u);
+  EXPECT_EQ(batched.forge0, 0);
+  EXPECT_EQ(batched.forge1, -1);
+  EXPECT_EQ(batched.pending, 1u);
+}
+
+TEST(GovernorUpload, TamperedCollectorSignatureInsideBatchRejected) {
+  // The batch's other failure class: an upload whose *collector* signature
+  // does not verify is unattributable and must be dropped (rejected, no
+  // punishment) while its batch-mates proceed.
+  World w;
+  const auto tx = w.make_tx(0, 1, true);
+  auto bad = ledger::make_labeled(tx, Label::kValid, CollectorId(1),
+                                  w.collector_keys[1]);
+  bad.collector_sig.bytes[0] ^= 0x01;
+  w.inject(ledger::make_labeled(tx, Label::kValid, CollectorId(0),
+                                w.collector_keys[0]));
+  w.inject(bad);
+  w.queue.run_until(w.queue.now());
+  w.settle();
+  const auto& g = w.governors[0];
+  EXPECT_EQ(g.metrics().uploads_rejected, 1u);
+  EXPECT_EQ(g.metrics().forgeries_detected, 0u);
+  EXPECT_EQ(g.reputation().forge(CollectorId(1)), 0);
+  EXPECT_EQ(g.pending_txs(), 1u);
 }
 
 TEST(GovernorUpload, UnlinkedProviderCountsAsForgery) {

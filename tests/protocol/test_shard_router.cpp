@@ -3,8 +3,11 @@
 // the assignment semantics are pinned here.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/errors.hpp"
 #include "protocol/shard_router.hpp"
+#include "reputation/reputation_table.hpp"
 
 namespace repchain::protocol {
 namespace {
@@ -118,6 +121,48 @@ TEST(ShardRouter, RejectsUnrealizablePartitions) {
   EXPECT_THROW(ShardRouter(4, 8, 4, 3), ConfigError);
   // Tiny populations strand a shard without a provider or collector.
   EXPECT_THROW(ShardRouter(2, 1, 1, 2), ConfigError);
+}
+
+TEST(ShardRouter, ShardScopedReputationLookup) {
+  // S=2: each committee's governors keep a reputation table over their own
+  // committee's links only. The composite-key indexed lookups must stay
+  // scoped — a committee-local table answers linked() for local pairs
+  // exactly as a linear scan of its membership lists, and knows nothing
+  // about the other committee's pairs.
+  const std::size_t kShards = 2, kProviders = 8, kCollectors = 4;
+  const ShardRouter router(kShards, kProviders, kCollectors, 4);
+
+  reputation::ReputationParams params;
+  params.beta = 0.9;
+  params.f = 0.5;
+  std::vector<reputation::ReputationTable> tables(kShards,
+                                                  reputation::ReputationTable(params));
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    for (const CollectorId c : router.collectors_of(ShardId(shard))) {
+      for (const ProviderId p : router.providers_of(ShardId(shard))) {
+        tables[shard].link(c, p);
+      }
+    }
+  }
+
+  for (std::uint32_t c = 0; c < kCollectors; ++c) {
+    for (std::uint32_t p = 0; p < kProviders; ++p) {
+      const CollectorId cid(c);
+      const ProviderId pid(p);
+      const bool local = !router.cross_shard(pid, cid);
+      const std::size_t home = router.shard_of(cid).value();
+      // Indexed lookup in the pair's home committee matches the scan of the
+      // committee's own membership list.
+      bool scan = false;
+      for (const CollectorId member : tables[home].collectors_for(pid)) {
+        if (member == cid) scan = true;
+      }
+      EXPECT_EQ(tables[home].linked(cid, pid), scan);
+      EXPECT_EQ(tables[home].linked(cid, pid), local);
+      // The other committee's table never knows the pair.
+      EXPECT_FALSE(tables[1 - home].linked(cid, pid));
+    }
+  }
 }
 
 }  // namespace

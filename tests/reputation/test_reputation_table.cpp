@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/errors.hpp"
+#include "common/rng.hpp"
 
 namespace repchain::reputation {
 namespace {
@@ -368,6 +369,140 @@ TEST(ReputationTable, RegisterCollectorWithoutLinks) {
   EXPECT_EQ(t.misreport(CollectorId(5)), 0);
   EXPECT_EQ(t.collector_count(), 1u);
   EXPECT_DOUBLE_EQ(t.log_revenue_weight(CollectorId(5)), 0.0);
+}
+
+// --- Composite-key index invariants ------------------------------------------
+//
+// The (collector, provider) index is an acceleration layer over the
+// per-collector weight maps; these tests churn the table through every
+// mutation class and assert the indexed lookups stay equivalent to a linear
+// scan of the canonical per-provider membership lists, and stay coherent
+// through encode/decode, copies, and moves (the index-rebuild paths).
+
+/// Linear-scan reference for `linked`: walk the per-provider collector list.
+bool linked_by_scan(const ReputationTable& t, CollectorId c, ProviderId p) {
+  for (const CollectorId member : t.collectors_for(p)) {
+    if (member == c) return true;
+  }
+  return false;
+}
+
+/// Assert index ≡ scan over the full (collector, provider) universe, and
+/// that every linked pair's weight queries resolve without throwing and
+/// agree between the log and linear representations.
+void expect_index_matches_scan(const ReputationTable& t, std::uint32_t collectors,
+                               std::uint32_t providers) {
+  for (std::uint32_t c = 0; c < collectors; ++c) {
+    for (std::uint32_t p = 0; p < providers; ++p) {
+      const CollectorId cid(c);
+      const ProviderId pid(p);
+      ASSERT_EQ(t.linked(cid, pid), linked_by_scan(t, cid, pid))
+          << "index/scan mismatch at (" << c << ", " << p << ")";
+      if (t.linked(cid, pid)) {
+        EXPECT_DOUBLE_EQ(t.weight(cid, pid), std::exp(t.log_weight(cid, pid)));
+      } else {
+        EXPECT_THROW((void)t.log_weight(cid, pid), ProtocolError);
+      }
+    }
+  }
+}
+
+TEST(ReputationIndex, MatchesLinearScanUnderChurn) {
+  constexpr std::uint32_t kCollectors = 5;
+  constexpr std::uint32_t kProviders = 4;
+  ReputationTable t(default_params());
+  Rng rng(777);
+
+  // Insert churn: a ragged link pattern (collector c skips provider c%4).
+  for (std::uint32_t c = 0; c < kCollectors; ++c) {
+    for (std::uint32_t p = 0; p < kProviders; ++p) {
+      if (p == c % kProviders) continue;
+      t.link(CollectorId(c), ProviderId(p));
+    }
+  }
+  expect_index_matches_scan(t, kCollectors, kProviders);
+
+  // Update churn: rounds of checked/revealed/forgery mutations.
+  for (int round = 0; round < 20; ++round) {
+    const ProviderId pid(rng.uniform(kProviders));
+    std::vector<Report> reports;
+    for (const CollectorId c : t.collectors_for(pid)) {
+      if (rng.bernoulli(0.7)) {
+        reports.push_back(Report{c, rng.bernoulli(0.5) ? ledger::Label::kValid
+                                                       : ledger::Label::kInvalid});
+      }
+    }
+    if (reports.empty()) continue;
+    if (rng.bernoulli(0.5)) {
+      t.update_checked(pid, reports, rng.bernoulli(0.5));
+    } else {
+      (void)t.update_revealed(pid, reports, rng.bernoulli(0.5));
+    }
+    if (rng.bernoulli(0.3)) t.punish_forgery(reports.front().collector);
+  }
+  expect_index_matches_scan(t, kCollectors, kProviders);
+
+  // Decode churn: a persist/recover round trip must rebuild the index onto
+  // the fresh table's own storage with identical lookups.
+  const ReputationTable restored = ReputationTable::decode(t.encode());
+  expect_index_matches_scan(restored, kCollectors, kProviders);
+  for (std::uint32_t c = 0; c < kCollectors; ++c) {
+    for (std::uint32_t p = 0; p < kProviders; ++p) {
+      if (!t.linked(CollectorId(c), ProviderId(p))) continue;
+      EXPECT_DOUBLE_EQ(restored.log_weight(CollectorId(c), ProviderId(p)),
+                       t.log_weight(CollectorId(c), ProviderId(p)));
+    }
+  }
+  EXPECT_EQ(restored.encode(), t.encode());
+}
+
+TEST(ReputationIndex, CopyRebuildsOntoOwnStorage) {
+  ReputationTable t = make_table();
+  const std::vector<Report> reports = {{CollectorId(0), ledger::Label::kInvalid},
+                                       {CollectorId(1), ledger::Label::kValid}};
+  (void)t.update_revealed(ProviderId(0), reports, /*tx_valid=*/true);
+
+  ReputationTable copy(t);
+  expect_index_matches_scan(copy, 3, 1);
+  // Mutating the copy through its index must not touch the original (a
+  // stale index would alias the source table's weight slots).
+  const double before = t.log_weight(CollectorId(0), ProviderId(0));
+  const std::vector<Report> again = {{CollectorId(0), ledger::Label::kInvalid}};
+  (void)copy.update_revealed(ProviderId(0), again, /*tx_valid=*/true);
+  EXPECT_DOUBLE_EQ(t.log_weight(CollectorId(0), ProviderId(0)), before);
+  EXPECT_LT(copy.log_weight(CollectorId(0), ProviderId(0)), before);
+
+  // Copy-assignment over a populated table rebuilds too.
+  ReputationTable assigned(default_params());
+  assigned.link(CollectorId(9), ProviderId(9));
+  assigned = t;
+  expect_index_matches_scan(assigned, 3, 1);
+  EXPECT_FALSE(assigned.linked(CollectorId(9), ProviderId(9)));
+  EXPECT_EQ(assigned.encode(), t.encode());
+
+  // Moves steal the node-stable storage; lookups keep working.
+  ReputationTable moved(std::move(assigned));
+  expect_index_matches_scan(moved, 3, 1);
+  EXPECT_EQ(moved.encode(), t.encode());
+}
+
+TEST(ReputationIndex, ExpulsionChurnRebuild) {
+  // Governor-level expulsion rebuilds reputation state for the survivors
+  // (the table itself has no removal API); the rebuilt table's index must
+  // match a scan and carry over the surviving collectors' state exactly.
+  ReputationTable t = make_table();
+  t.punish_forgery(CollectorId(2));  // the collector about to be expelled
+  const std::vector<Report> reports = {{CollectorId(0), ledger::Label::kInvalid},
+                                       {CollectorId(1), ledger::Label::kValid}};
+  (void)t.update_revealed(ProviderId(0), reports, /*tx_valid=*/true);
+
+  ReputationTable survivors(t.params());
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    survivors.link(CollectorId(c), ProviderId(0));
+  }
+  expect_index_matches_scan(survivors, 3, 1);
+  EXPECT_FALSE(survivors.linked(CollectorId(2), ProviderId(0)));
+  EXPECT_TRUE(linked_by_scan(t, CollectorId(2), ProviderId(0)));
 }
 
 }  // namespace
